@@ -1,0 +1,185 @@
+//! One Criterion group per paper table/figure: each bench runs a
+//! reduced-duration kernel of the corresponding experiment scenario.
+//!
+//! These benches measure the *cost* of regenerating each result (and
+//! catch simulator performance regressions); the scientific values come
+//! from `cargo run -p nomc-experiments --bin all_experiments`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nomc_bench::run_shrunk;
+use nomc_experiments::experiments::{cases, common, fig01, fig03, fig19, fig20, fig28};
+use nomc_sim::{NetworkBehavior, Scenario};
+use nomc_topology::paper;
+use nomc_units::Dbm;
+use std::hint::black_box;
+
+fn bench_fig01(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig01_cfd_throughput");
+    g.sample_size(10);
+    g.bench_function("cfd3_5ch", |b| {
+        b.iter(|| black_box(run_shrunk(fig01::scenario(3.0, 5, 1))))
+    });
+    g.bench_function("cfd9_1ch", |b| {
+        b.iter(|| black_box(run_shrunk(fig01::scenario(9.0, 1, 1))))
+    });
+    g.finish();
+}
+
+fn bench_fig04(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig04_cprr");
+    g.sample_size(10);
+    for cfd in [1.0, 3.0] {
+        g.bench_function(format!("cfd{cfd}"), |b| {
+            b.iter(|| black_box(run_shrunk(fig03::scenario(cfd, 1))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig06(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig06_cca_sweep_point");
+    g.sample_size(10);
+    for thr in [-95.0, -77.0, -30.0] {
+        g.bench_function(format!("thr{thr}"), |b| {
+            b.iter(|| {
+                let (sc, _) = common::fig5_scenario(Dbm::new(thr), Dbm::new(0.0), 1);
+                black_box(run_shrunk(sc))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig08(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig08_cochannel_point");
+    g.sample_size(10);
+    g.bench_function("thr-50", |b| {
+        b.iter(|| {
+            let (sc, _) = common::fig8_scenario(Dbm::new(-50.0), Dbm::new(0.0), 1);
+            black_box(run_shrunk(sc))
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig14_17(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig14_17_via_deployment");
+    g.sample_size(10);
+    g.bench_function("cfd3_no_dcn", |b| {
+        b.iter(|| black_box(run_shrunk(common::vi_a_scenario(3.0, 5, &[], 1))))
+    });
+    g.bench_function("cfd3_dcn_all", |b| {
+        b.iter(|| {
+            black_box(run_shrunk(common::vi_a_scenario(3.0, 5, &[0, 1, 2, 3, 4], 1)))
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig19(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig19_designs");
+    g.sample_size(10);
+    g.bench_function("zigbee_arm", |b| {
+        b.iter(|| black_box(run_shrunk(fig19::zigbee_scenario(1))))
+    });
+    g.bench_function("dcn_arm", |b| {
+        b.iter(|| black_box(run_shrunk(fig19::dcn_scenario(1))))
+    });
+    g.finish();
+}
+
+fn bench_fig20(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig20_power_sweep_point");
+    g.sample_size(10);
+    g.bench_function("n0_at_-15dBm", |b| {
+        b.iter(|| black_box(run_shrunk(fig20::scenario(-15.0, 1))))
+    });
+    g.finish();
+}
+
+fn bench_table1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_fairness");
+    g.sample_size(10);
+    g.bench_function("six_networks_dcn", |b| {
+        b.iter(|| black_box(run_shrunk(common::band15_line_dcn(1))))
+    });
+    g.finish();
+}
+
+fn bench_cases(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig25_27_cases");
+    g.sample_size(10);
+    for case in [
+        cases::Case::DenseRegion,
+        cases::Case::Clustered,
+        cases::Case::Random,
+    ] {
+        g.bench_function(format!("{case:?}_dcn"), |b| {
+            b.iter(|| black_box(run_shrunk(cases::scenario(case, cases::Design::Dcn, 1))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig28(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig28_recovery_point");
+    g.sample_size(10);
+    g.bench_function("relaxed_with_positions", |b| {
+        b.iter(|| black_box(run_shrunk(fig28::scenario(-20.0, 1))))
+    });
+    g.finish();
+}
+
+fn bench_fig30(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig30_wideband");
+    g.sample_size(10);
+    g.bench_function("seven_networks_dcn", |b| {
+        b.iter(|| {
+            let plan = common::plan_18mhz();
+            let mut builder =
+                Scenario::builder(paper::line_deployment(&plan, Dbm::new(0.0)));
+            builder.behavior_all(NetworkBehavior::dcn_default()).seed(1);
+            black_box(run_shrunk(builder.build().expect("valid")))
+        })
+    });
+    g.finish();
+}
+
+fn bench_extensions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("extensions");
+    g.sample_size(10);
+    g.bench_function("acknowledged_network", |b| {
+        b.iter(|| {
+            let mut sc = common::vi_a_scenario(3.0, 5, &[0, 1, 2, 3, 4], 1);
+            for beh in &mut sc.behaviors {
+                beh.mac.acknowledged = true;
+            }
+            black_box(run_shrunk(sc))
+        })
+    });
+    g.bench_function("trace_enabled", |b| {
+        b.iter(|| {
+            let mut sc = common::vi_a_scenario(3.0, 5, &[], 1);
+            sc.record_trace = true;
+            black_box(run_shrunk(sc))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    paper_figures,
+    bench_fig01,
+    bench_fig04,
+    bench_fig06,
+    bench_fig08,
+    bench_fig14_17,
+    bench_fig19,
+    bench_fig20,
+    bench_table1,
+    bench_cases,
+    bench_fig28,
+    bench_fig30,
+    bench_extensions,
+);
+criterion_main!(paper_figures);

@@ -1,0 +1,53 @@
+//! # nomc-bench
+//!
+//! Benchmark-only crate. The benches live in `benches/`:
+//!
+//! * `paper_figures` — one Criterion group per paper table/figure,
+//!   running a reduced-duration kernel of the corresponding experiment
+//!   (these measure simulator cost, not paper metrics; the metrics come
+//!   from `nomc-experiments`),
+//! * `micro` — hot-path micro-benchmarks (BER evaluation, binomial
+//!   sampling, SINR segmentation, CRC, event queue, PRNG).
+//!
+//! This library exposes the shared reduced-duration scenario helpers so
+//! both bench files stay small.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use nomc_sim::{Scenario, SimResult};
+use nomc_units::SimDuration;
+
+/// Shrinks a scenario to benchmark duration (1.5 s simulated, 0.5 s
+/// warmup) so a Criterion sample stays in the tens of milliseconds.
+pub fn shrink(mut scenario: Scenario) -> Scenario {
+    scenario.duration = SimDuration::from_millis(1500);
+    scenario.warmup = SimDuration::from_millis(500);
+    scenario
+}
+
+/// Runs a shrunken scenario and returns its result (black-boxed by the
+/// caller).
+pub fn run_shrunk(scenario: Scenario) -> SimResult {
+    nomc_sim::engine::run(&shrink(scenario))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nomc_topology::{paper, spectrum::ChannelPlan};
+    use nomc_units::{Dbm, Megahertz};
+
+    #[test]
+    fn shrink_sets_bench_duration() {
+        let plan = ChannelPlan::with_count(Megahertz::new(2460.0), Megahertz::new(5.0), 1);
+        let sc = Scenario::builder(paper::line_deployment(&plan, Dbm::new(0.0)))
+            .build()
+            .unwrap();
+        let s = shrink(sc);
+        assert_eq!(s.duration, SimDuration::from_millis(1500));
+        assert!(s.warmup < s.duration);
+        let result = run_shrunk(s);
+        assert!(result.total_throughput() > 0.0);
+    }
+}

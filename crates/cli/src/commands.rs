@@ -1,0 +1,417 @@
+//! The `nomc` subcommands.
+
+use nomc_phy::planning::CprrModel;
+use nomc_phy::{LogDistance, PathLoss};
+use nomc_sim::{engine, NetworkBehavior, Scenario};
+use nomc_topology::spectrum::{ChannelPlan, FitPolicy};
+use nomc_topology::paper;
+use nomc_units::{Db, Dbm, Megahertz};
+
+/// Help text.
+pub const USAGE: &str = "\
+nomc — non-orthogonal multi-channel 802.15.4 simulator (DCN, ICDCS 2010)
+
+USAGE:
+  nomc generate <template> [out.json]    write an example scenario file
+                                         templates: line | dense | fig5 | attacker
+  nomc run <scenario.json> [--json out] [--trace out.jsonl]
+                                         simulate a scenario file
+  nomc inspect <scenario.json>           print the link/interference budget
+  nomc plan [--target-cprr F] [--delta DB] [--sigma DB] [--frame-bits N]
+                                         smallest CFD meeting a CPRR target
+  nomc assign <scenario.json> [out.json] re-assign channels to minimize
+                                         predicted coupled interference
+  nomc help                              this text
+";
+
+/// `nomc generate <template> [out.json]`.
+pub fn generate(args: &[String]) -> Result<(), String> {
+    let template = args
+        .first()
+        .ok_or("generate needs a template name (line|dense|fig5|attacker)")?;
+    let scenario = template_scenario(template)?;
+    let json = serde_json::to_string_pretty(&scenario)
+        .map_err(|e| format!("serialization failed: {e}"))?;
+    match args.get(1) {
+        Some(path) => {
+            std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+    Ok(())
+}
+
+/// Builds one of the example scenarios.
+fn template_scenario(template: &str) -> Result<Scenario, String> {
+    let plan = ChannelPlan::fit(
+        Megahertz::new(2458.0),
+        Megahertz::new(15.0),
+        Megahertz::new(3.0),
+        FitPolicy::InclusiveEnds,
+    )
+    .map_err(|e| e.to_string())?;
+    match template {
+        "line" => {
+            let mut b = Scenario::builder(paper::line_deployment(&plan, Dbm::new(0.0)));
+            b.behavior_all(NetworkBehavior::dcn_default());
+            b.build()
+        }
+        "dense" => {
+            use rand::SeedableRng;
+            let mut rng = nomc_sim::rng::Xoshiro256StarStar::seed_from_u64(1);
+            let deployment = paper::vi_a_deployment(&mut rng, &plan, 2, Dbm::new(0.0));
+            let mut b = Scenario::builder(deployment);
+            b.behavior_all(NetworkBehavior::dcn_default());
+            b.build()
+        }
+        "fig5" => {
+            let (deployment, _) = paper::fig5_deployment(
+                Megahertz::new(2464.0),
+                Megahertz::new(3.0),
+                Dbm::new(0.0),
+                Dbm::new(0.0),
+            );
+            Scenario::builder(deployment).build()
+        }
+        "attacker" => {
+            let (deployment, n, a) = paper::fig4_deployment(
+                Megahertz::new(2460.0),
+                Megahertz::new(3.0),
+                Dbm::new(0.0),
+            );
+            let mut b = Scenario::builder(deployment);
+            b.behavior(n, NetworkBehavior::attacker(nomc_units::SimDuration::from_millis(9)))
+                .behavior(a, NetworkBehavior::attacker(nomc_units::SimDuration::from_micros(2200)));
+            b.build()
+        }
+        other => return Err(format!("unknown template `{other}` (line|dense|fig5|attacker)")),
+    }
+    .map_err(|e| format!("template invalid: {e}"))
+}
+
+/// `nomc run <scenario.json> [--json out.json] [--trace out.jsonl]`.
+pub fn run(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("run needs a scenario file")?;
+    let mut scenario = load_scenario(path)?;
+    let trace_path = flag_value(args, "--trace");
+    if trace_path.is_some() {
+        scenario.record_trace = true;
+    }
+    let result = engine::run(&scenario);
+    if let Some(out) = &trace_path {
+        std::fs::write(out, nomc_sim::trace::to_jsonl(&result.trace))
+            .map_err(|e| format!("cannot write {out}: {e}"))?;
+        eprintln!("wrote {} trace records to {out}", result.trace.len());
+    }
+    println!(
+        "simulated {:.1}s (measured {:.1}s), seed {}",
+        scenario.duration.as_secs_f64(),
+        result.measured.as_secs_f64(),
+        scenario.seed
+    );
+    println!(
+        "total throughput: {:.1} pkt/s   PRR: {}",
+        result.total_throughput(),
+        result
+            .total_prr()
+            .map(|p| format!("{:.1}%", p * 100.0))
+            .unwrap_or_else(|| "n/a".to_string())
+    );
+    println!("\nper-network:");
+    for net in result.networks() {
+        println!(
+            "  #{} @ {}: {:>7.1} pkt/s  (sent {}, crc-failed {}, sync-missed {})",
+            net.index,
+            net.frequency,
+            net.throughput(result.measured),
+            net.totals.sent,
+            net.totals.crc_failed,
+            net.totals.sync_missed,
+        );
+    }
+    println!("\nfinal CCA thresholds:");
+    for (i, t) in result.final_thresholds.iter().enumerate() {
+        println!("  sender {i}: {t}");
+    }
+    if let Some(out) = flag_value(args, "--json") {
+        let summary = serde_json::json!({
+            "total_throughput": result.total_throughput(),
+            "total_prr": result.total_prr(),
+            "networks": result
+                .networks()
+                .iter()
+                .map(|n| {
+                    serde_json::json!({
+                        "index": n.index,
+                        "frequency_mhz": n.frequency.value(),
+                        "throughput": n.throughput(result.measured),
+                        "sent": n.totals.sent,
+                        "received": n.totals.received,
+                    })
+                })
+                .collect::<Vec<_>>(),
+        });
+        std::fs::write(&out, serde_json::to_string_pretty(&summary).expect("serializable"))
+            .map_err(|e| format!("cannot write {out}: {e}"))?;
+        eprintln!("wrote {out}");
+    }
+    Ok(())
+}
+
+/// `nomc inspect <scenario.json>`.
+pub fn inspect(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("inspect needs a scenario file")?;
+    let scenario = load_scenario(path)?;
+    let pl = LogDistance::indoor_2_4ghz();
+    println!(
+        "{} networks, {} links, min CFD {}",
+        scenario.deployment.networks.len(),
+        scenario.deployment.link_count(),
+        scenario
+            .deployment
+            .min_cfd()
+            .map(|c| c.to_string())
+            .unwrap_or_else(|| "n/a".to_string())
+    );
+    for (ni, net) in scenario.deployment.networks.iter().enumerate() {
+        println!("\nnetwork #{ni} @ {}:", net.frequency);
+        for (li, link) in net.links.iter().enumerate() {
+            let rssi = link.tx_power - pl.loss(link.distance());
+            println!(
+                "  link {li}: {} -> {}  ({}, TX {}, mean RSSI {})",
+                link.tx,
+                link.rx,
+                link.distance(),
+                link.tx_power,
+                rssi
+            );
+            // Strongest coupled interferer at this link's receiver.
+            let mut worst: Option<(usize, Dbm)> = None;
+            for (oi, other) in scenario.deployment.networks.iter().enumerate() {
+                if oi == ni {
+                    continue;
+                }
+                let rejection = scenario
+                    .propagation
+                    .acr
+                    .rejection(other.frequency.distance_to(net.frequency));
+                for l2 in &other.links {
+                    let coupled =
+                        l2.tx_power - pl.loss(l2.tx.distance_to(link.rx)) - rejection;
+                    if worst.map(|(_, w)| coupled > w).unwrap_or(true) {
+                        worst = Some((oi, coupled));
+                    }
+                }
+            }
+            if let Some((oi, coupled)) = worst {
+                let sinr = rssi - coupled;
+                println!(
+                    "           strongest interferer: network #{oi}, coupled {coupled} \
+                     (SINR margin {sinr})"
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `nomc plan [--target-cprr F] [--delta DB] [--sigma DB] [--frame-bits N]`.
+pub fn plan(args: &[String]) -> Result<(), String> {
+    let target: f64 = parse_flag(args, "--target-cprr")?.unwrap_or(0.95);
+    let delta: f64 = parse_flag(args, "--delta")?.unwrap_or(0.0);
+    let sigma: f64 = parse_flag(args, "--sigma")?.unwrap_or(4.0);
+    let frame_bits: u32 = parse_flag(args, "--frame-bits")?.unwrap_or(408);
+    if !(0.0 < target && target <= 1.0) {
+        return Err(format!("--target-cprr must be in (0,1], got {target}"));
+    }
+    let model = CprrModel {
+        power_delta: Db::new(delta),
+        sigma_db: sigma,
+        frame_bits,
+        ..CprrModel::calibrated_default()
+    };
+    println!("predicted CPRR vs CFD (Δ={delta} dB, σ={sigma} dB, {frame_bits} bits):");
+    for tenths in (0..=60).step_by(5) {
+        let cfd = Megahertz::new(f64::from(tenths) / 10.0);
+        let cprr = model.predicted_cprr(cfd);
+        println!(
+            "  {:>4.1} MHz: {:>5.1}%  {}",
+            cfd.value(),
+            cprr * 100.0,
+            "#".repeat((cprr * 30.0).round() as usize)
+        );
+    }
+    match model.min_cfd_for_cprr(target) {
+        Some(cfd) => println!(
+            "\nsmallest CFD with CPRR ≥ {:.0}%: {cfd}",
+            target * 100.0
+        ),
+        None => println!(
+            "\nno CFD under the curve's saturation point reaches {:.0}%",
+            target * 100.0
+        ),
+    }
+    Ok(())
+}
+
+/// `nomc assign <scenario.json> [out.json]`.
+pub fn assign(args: &[String]) -> Result<(), String> {
+    use nomc_topology::assignment::{apply_assignment, optimize_assignment};
+    use nomc_topology::spectrum::ChannelPlan;
+
+    let path = args.first().ok_or("assign needs a scenario file")?;
+    let mut scenario = load_scenario(path)?;
+    let mut freqs: Vec<f64> = scenario
+        .deployment
+        .networks
+        .iter()
+        .map(|n| n.frequency.value())
+        .collect();
+    freqs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let cfd = freqs
+        .windows(2)
+        .map(|w| w[1] - w[0])
+        .fold(f64::MAX, f64::min);
+    if !cfd.is_finite() || cfd <= 0.0 {
+        return Err("assignment needs at least two networks on distinct channels".into());
+    }
+    let plan = ChannelPlan::with_count(
+        Megahertz::new(freqs[0]),
+        Megahertz::new(cfd),
+        freqs.len(),
+    );
+    let assignment = optimize_assignment(
+        &scenario.deployment.networks,
+        &plan,
+        &LogDistance::indoor_2_4ghz(),
+        &scenario.propagation.acr,
+    );
+    println!(
+        "coupled-interference cost: {:.3e} (plan order) -> {:.3e} (optimized), {:+.1}%",
+        assignment.identity_cost,
+        assignment.cost,
+        (assignment.cost / assignment.identity_cost - 1.0) * 100.0
+    );
+    for (i, f) in assignment.frequencies.iter().enumerate() {
+        println!("  network #{i}: {f}");
+    }
+    apply_assignment(&mut scenario.deployment.networks, &assignment);
+    if let Some(out) = args.get(1) {
+        let json = serde_json::to_string_pretty(&scenario)
+            .map_err(|e| format!("serialization failed: {e}"))?;
+        std::fs::write(out, json).map_err(|e| format!("cannot write {out}: {e}"))?;
+        eprintln!("wrote {out}");
+    }
+    Ok(())
+}
+
+fn load_scenario(path: &str) -> Result<Scenario, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let scenario: Scenario =
+        serde_json::from_str(&text).map_err(|e| format!("invalid scenario JSON: {e}"))?;
+    scenario
+        .deployment
+        .validate()
+        .map_err(|e| format!("invalid deployment: {e}"))?;
+    Ok(scenario)
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Result<Option<T>, String>
+where
+    T::Err: std::fmt::Display,
+{
+    match flag_value(args, flag) {
+        None => Ok(None),
+        Some(raw) => raw
+            .parse()
+            .map(Some)
+            .map_err(|e| format!("bad value for {flag}: {e}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn templates_build_and_serialize() {
+        for t in ["line", "dense", "fig5", "attacker"] {
+            let sc = template_scenario(t).unwrap_or_else(|e| panic!("{t}: {e}"));
+            // Exact round-trip: serde_json's `float_roundtrip` feature
+            // guarantees bit-faithful f64 decoding.
+            let json = serde_json::to_string(&sc).expect("serializes");
+            let back: Scenario = serde_json::from_str(&json).expect("deserializes");
+            assert_eq!(back, sc, "template {t} did not round-trip");
+        }
+        assert!(template_scenario("nope").is_err());
+    }
+
+    #[test]
+    fn run_round_trip_via_tempfile() {
+        let sc = template_scenario("attacker").unwrap();
+        let dir = std::env::temp_dir().join("nomc-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("scenario.json");
+        std::fs::write(&path, serde_json::to_string(&sc).unwrap()).unwrap();
+        let loaded = load_scenario(path.to_str().unwrap()).unwrap();
+        assert_eq!(loaded, sc);
+    }
+
+    #[test]
+    fn flag_parsing() {
+        let args: Vec<String> = ["--target-cprr", "0.9", "--sigma", "2"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(parse_flag::<f64>(&args, "--target-cprr").unwrap(), Some(0.9));
+        assert_eq!(parse_flag::<f64>(&args, "--sigma").unwrap(), Some(2.0));
+        assert_eq!(parse_flag::<f64>(&args, "--missing").unwrap(), None);
+        assert!(parse_flag::<f64>(&["--sigma".into(), "x".into()], "--sigma").is_err());
+    }
+
+    #[test]
+    fn plan_rejects_bad_target() {
+        assert!(plan(&["--target-cprr".into(), "1.5".into()]).is_err());
+    }
+
+    #[test]
+    fn assign_round_trip() {
+        let sc = template_scenario("dense").unwrap();
+        let dir = std::env::temp_dir().join("nomc-cli-assign");
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = dir.join("in.json");
+        let output = dir.join("out.json");
+        std::fs::write(&input, serde_json::to_string(&sc).unwrap()).unwrap();
+        assign(&[
+            input.to_str().unwrap().to_string(),
+            output.to_str().unwrap().to_string(),
+        ])
+        .unwrap();
+        let optimized = load_scenario(output.to_str().unwrap()).unwrap();
+        // Same channel set, possibly permuted.
+        let mut a: Vec<f64> = sc
+            .deployment
+            .networks
+            .iter()
+            .map(|n| n.frequency.value())
+            .collect();
+        let mut b: Vec<f64> = optimized
+            .deployment
+            .networks
+            .iter()
+            .map(|n| n.frequency.value())
+            .collect();
+        a.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        b.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        assert_eq!(a, b);
+    }
+}

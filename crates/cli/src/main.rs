@@ -1,0 +1,39 @@
+//! `nomc` — command-line front end for the non-orthogonal multi-channel
+//! simulator.
+//!
+//! ```text
+//! nomc generate <template> [out.json]   write an example scenario file
+//! nomc run <scenario.json> [--json out] [--trace out.jsonl]
+//!                                       simulate a scenario file
+//! nomc inspect <scenario.json>          print the link/interference budget
+//! nomc plan [--target-cprr F] [--delta DB] [--sigma DB]
+//!                                       analytic minimum-CFD planner
+//! nomc assign <scenario.json> [out]     interference-aware channel re-assignment
+//! ```
+
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("generate") => commands::generate(&args[1..]),
+        Some("run") => commands::run(&args[1..]),
+        Some("inspect") => commands::inspect(&args[1..]),
+        Some("plan") => commands::plan(&args[1..]),
+        Some("assign") => commands::assign(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print!("{}", commands::USAGE);
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}`\n\n{}", commands::USAGE)),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("nomc: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! The §VII-C future-work direction: interference classification.
+//!
+//! DCN's threshold is bounded by the *minimum* co-channel RSSI, which (as
+//! the paper's Case III shows) sacrifices inter-channel concurrency when
+//! a weak co-channel competitor exists. If a node could *classify* the
+//! energy it senses at CCA time — co-channel packet vs. inter-channel
+//! leakage — it could defer only to the former. [`OracleClassifierCca`]
+//! models a perfect such classifier, providing an upper bound for the
+//! `ablation`/extension experiments.
+//!
+//! Unlike [`nomc_mac::CcaThresholdProvider`], the oracle needs the
+//! decomposed sensed power; the node runtime supplies both components
+//! when the oracle is active.
+
+use nomc_units::{Dbm, SimTime};
+
+/// A perfect interference classifier: CCA defers only when the
+/// *co-channel* component of sensed power exceeds the (still
+/// DCN-maintained or fixed) threshold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OracleClassifierCca {
+    threshold: Dbm,
+}
+
+impl OracleClassifierCca {
+    /// Creates an oracle deferring to co-channel power above `threshold`.
+    pub fn new(threshold: Dbm) -> Self {
+        OracleClassifierCca { threshold }
+    }
+
+    /// The classification threshold.
+    pub fn threshold(&self) -> Dbm {
+        self.threshold
+    }
+
+    /// The CCA verdict given the decomposed sensed powers.
+    ///
+    /// Inter-channel power is ignored entirely — the oracle never backs
+    /// off for tolerable neighbour-channel energy, and always backs off
+    /// for a co-channel competitor above threshold.
+    pub fn channel_clear(&self, cochannel_power: Dbm, _interchannel_power: Dbm) -> bool {
+        cochannel_power < self.threshold
+    }
+
+    /// Lower the threshold when a weaker co-channel competitor appears
+    /// (same Case-I rule as DCN, so the oracle stays co-channel safe).
+    pub fn observe_cochannel(&mut self, rssi: Dbm, _now: SimTime) {
+        if rssi < self.threshold {
+            self.threshold = rssi;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ignores_interchannel_power_entirely() {
+        let o = OracleClassifierCca::new(Dbm::new(-77.0));
+        // Massive inter-channel energy, no co-channel: clear.
+        assert!(o.channel_clear(Dbm::new(-120.0), Dbm::new(-20.0)));
+        // Co-channel above threshold: busy, regardless of inter-channel.
+        assert!(!o.channel_clear(Dbm::new(-60.0), Dbm::new(-120.0)));
+    }
+
+    #[test]
+    fn observes_weak_competitors() {
+        let mut o = OracleClassifierCca::new(Dbm::new(-77.0));
+        o.observe_cochannel(Dbm::new(-85.0), SimTime::ZERO);
+        assert_eq!(o.threshold(), Dbm::new(-85.0));
+        o.observe_cochannel(Dbm::new(-60.0), SimTime::ZERO);
+        assert_eq!(o.threshold(), Dbm::new(-85.0), "stronger ones ignored");
+    }
+}

@@ -1,0 +1,102 @@
+//! DCN configuration.
+
+use nomc_units::{Db, SimDuration};
+
+/// Tunable parameters of the DCN CCA-Adjustor.
+///
+/// Defaults match the paper's implementation (§V-C): `T_I` = 1 s,
+/// millisecond power sensing during initialization, `T_U` = 3 s, and no
+/// extra safety margin.
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Copy, PartialEq)]
+pub struct DcnConfig {
+    /// Length of the initializing phase.
+    pub t_init: SimDuration,
+    /// In-channel power-sensing period during the initializing phase.
+    pub power_sense_interval: SimDuration,
+    /// The Case-II silence window `T_U`.
+    pub t_update: SimDuration,
+    /// Extra margin subtracted below the derived threshold. The paper
+    /// uses none; the `ablation_margin` bench explores small values that
+    /// trade concurrency for co-channel safety.
+    pub safety_margin: Db,
+}
+
+impl DcnConfig {
+    /// The paper's configuration.
+    pub fn paper_default() -> Self {
+        DcnConfig {
+            t_init: SimDuration::from_secs(1),
+            power_sense_interval: SimDuration::from_millis(1),
+            t_update: SimDuration::from_secs(3),
+            safety_margin: Db::ZERO,
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if any duration is zero or the sensing interval
+    /// exceeds the initializing phase.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.t_init.is_zero() {
+            return Err("T_I must be positive".into());
+        }
+        if self.t_update.is_zero() {
+            return Err("T_U must be positive".into());
+        }
+        if self.power_sense_interval.is_zero() {
+            return Err("power-sense interval must be positive".into());
+        }
+        if self.power_sense_interval > self.t_init {
+            return Err(format!(
+                "power-sense interval ({}) exceeds T_I ({})",
+                self.power_sense_interval, self.t_init
+            ));
+        }
+        if self.safety_margin.value() < 0.0 {
+            return Err("safety margin must be non-negative".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for DcnConfig {
+    fn default() -> Self {
+        DcnConfig::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let c = DcnConfig::paper_default();
+        assert_eq!(c.t_init, SimDuration::from_secs(1));
+        assert_eq!(c.t_update, SimDuration::from_secs(3));
+        assert_eq!(c.power_sense_interval, SimDuration::from_millis(1));
+        assert_eq!(c.safety_margin, Db::ZERO);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_configs() {
+        let mut c = DcnConfig::paper_default();
+        c.t_init = SimDuration::ZERO;
+        assert!(c.validate().is_err());
+
+        let mut c = DcnConfig::paper_default();
+        c.t_update = SimDuration::ZERO;
+        assert!(c.validate().is_err());
+
+        let mut c = DcnConfig::paper_default();
+        c.power_sense_interval = SimDuration::from_secs(2);
+        assert!(c.validate().is_err());
+
+        let mut c = DcnConfig::paper_default();
+        c.safety_margin = Db::new(-1.0);
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests of the DCN CCA-Adjustor's safety invariant.
+//!
+//! The design intent of Eqs. 2-4 is that the threshold always defers to
+//! every *currently active* co-channel competitor: at any time in the
+//! updating phase, the threshold is at or below the minimum RSSI in the
+//! live `T_U` window. Case I enforces it on arrival, Case II can only
+//! raise the threshold *to* that minimum, never above it.
+
+use nomc_core::{CcaAdjustor, DcnConfig, DcnPhase};
+use nomc_mac::CcaThresholdProvider;
+use nomc_units::{Dbm, SimDuration, SimTime};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Step {
+    /// Co-channel packet with the given RSSI after the given gap (ms).
+    Packet { gap_ms: u64, rssi_dbm: i32 },
+    /// Housekeeping tick after the given gap.
+    Tick { gap_ms: u64 },
+}
+
+fn arb_steps() -> impl Strategy<Value = Vec<Step>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u64..2500, -90i32..-40).prop_map(|(gap_ms, rssi_dbm)| Step::Packet {
+                gap_ms,
+                rssi_dbm
+            }),
+            (0u64..2500).prop_map(|gap_ms| Step::Tick { gap_ms }),
+        ],
+        1..60,
+    )
+}
+
+proptest! {
+    #[test]
+    fn threshold_never_exceeds_live_window_minimum(steps in arb_steps()) {
+        let cfg = DcnConfig::paper_default();
+        let mut dcn = CcaAdjustor::new(cfg, Dbm::new(-77.0));
+        let mut now = SimTime::ZERO;
+        // Complete initialization with one power sample so the run starts
+        // from a deterministic threshold.
+        dcn.on_power_sense(Dbm::new(-80.0), now);
+        now += SimDuration::from_millis(1100);
+        dcn.on_tick(now);
+        prop_assert_eq!(dcn.phase(), DcnPhase::Updating);
+
+        let mut window: Vec<(SimTime, f64)> = Vec::new();
+        for step in steps {
+            match step {
+                Step::Packet { gap_ms, rssi_dbm } => {
+                    now += SimDuration::from_millis(gap_ms);
+                    let rssi = f64::from(rssi_dbm);
+                    dcn.on_cochannel_packet(Dbm::new(rssi), now);
+                    window.push((now, rssi));
+                }
+                Step::Tick { gap_ms } => {
+                    now += SimDuration::from_millis(gap_ms);
+                    dcn.on_tick(now);
+                }
+            }
+            window.retain(|&(t, _)| now.saturating_since(t) <= cfg.t_update);
+            if let Some(min) = window
+                .iter()
+                .map(|&(_, r)| r)
+                .min_by(|a, b| a.partial_cmp(b).expect("finite"))
+            {
+                let threshold = dcn.threshold(now).value();
+                prop_assert!(
+                    threshold <= min + 1e-9,
+                    "threshold {threshold} above live window minimum {min}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn threshold_is_bounded_by_observations(steps in arb_steps()) {
+        // The threshold never rises above the strongest RSSI ever seen
+        // (there is nothing to justify a higher setting) and never sinks
+        // below the weakest (Case I stops there).
+        let mut dcn = CcaAdjustor::new(DcnConfig::paper_default(), Dbm::new(-77.0));
+        let mut now = SimTime::from_millis(1100);
+        dcn.on_tick(now);
+        let (mut lo, mut hi) = (-77.0f64, -77.0f64);
+        for step in steps {
+            if let Step::Packet { gap_ms, rssi_dbm } = step {
+                now += SimDuration::from_millis(gap_ms);
+                let rssi = f64::from(rssi_dbm);
+                dcn.on_cochannel_packet(Dbm::new(rssi), now);
+                lo = lo.min(rssi);
+                hi = hi.max(rssi);
+                let t = dcn.threshold(now).value();
+                prop_assert!(t >= lo - 1e-9, "threshold {t} below floor {lo}");
+                prop_assert!(t <= hi + 1e-9, "threshold {t} above ceiling {hi}");
+            }
+        }
+    }
+}

@@ -1,0 +1,10 @@
+//! Ablations of reproduction design choices and DCN parameters.
+//!
+//! Pass `--quick` (or set `NOMC_QUICK`) for a fast low-fidelity run.
+
+fn main() {
+    let cfg = nomc_experiments::ExpConfig::from_env();
+    for report in nomc_experiments::experiments::ablations::run(&cfg) {
+        println!("{report}");
+    }
+}

@@ -1,0 +1,37 @@
+//! Regenerates every table and figure of the paper in one run and
+//! (optionally) writes the markdown summary used by EXPERIMENTS.md.
+//!
+//! Usage: `all_experiments [--quick] [--markdown <path>] [--json <path>]`
+
+use std::io::Write;
+
+fn main() {
+    let cfg = nomc_experiments::ExpConfig::from_env();
+    let reports = nomc_experiments::experiments::all(&cfg);
+    for report in &reports {
+        println!("{report}");
+    }
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(path) = flag_value(&args, "--markdown") {
+        let mut out = String::from("# Generated experiment results\n\n");
+        for report in &reports {
+            out.push_str(&report.to_markdown());
+            out.push('\n');
+        }
+        std::fs::write(&path, out).expect("write markdown");
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = flag_value(&args, "--json") {
+        let json: Vec<String> = reports.iter().map(|r| r.to_json()).collect();
+        let mut f = std::fs::File::create(&path).expect("create json file");
+        writeln!(f, "[{}]", json.join(",\n")).expect("write json");
+        eprintln!("wrote {path}");
+    }
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}

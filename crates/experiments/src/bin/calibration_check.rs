@@ -1,0 +1,116 @@
+//! Calibration self-check: verifies that the simulator still reproduces
+//! the paper's anchor values (Fig. 4 CPRR bands, saturated throughput
+//! scale, Fig. 6 threshold response, headline Fig. 19 gain). Exits
+//! non-zero on any failure, so CI can gate on it.
+//!
+//! Pass `--quick` for the fast configuration.
+
+use nomc_experiments::experiments::{common, fig04, fig06, fig19};
+use nomc_experiments::{runner, ExpConfig};
+use nomc_sim::SimResult;
+use nomc_units::Dbm;
+
+struct Check {
+    name: &'static str,
+    pass: bool,
+    detail: String,
+}
+
+fn check(name: &'static str, pass: bool, detail: String) -> Check {
+    Check { name, pass, detail }
+}
+
+fn main() -> std::process::ExitCode {
+    let cfg = ExpConfig::from_env();
+    let mut checks: Vec<Check> = Vec::new();
+
+    // 1. Saturated per-network throughput sits in the paper's range.
+    let sat = runner::stat_over_seeds(
+        &cfg,
+        |seed| {
+            let plan = nomc_topology::spectrum::ChannelPlan::with_count(
+                common::band_start(),
+                nomc_units::Megahertz::new(5.0),
+                1,
+            );
+            let mut b = nomc_sim::Scenario::builder(nomc_topology::paper::line_deployment(
+                &plan,
+                Dbm::new(0.0),
+            ));
+            b.seed(seed);
+            b.build().expect("valid")
+        },
+        SimResult::total_throughput,
+    );
+    checks.push(check(
+        "saturated 2-link network ≈ 230-300 pkt/s",
+        (230.0..=300.0).contains(&sat.mean),
+        format!("measured {:.1} ± {:.1}", sat.mean, sat.std),
+    ));
+
+    // 2. Fig. 4 CPRR bands.
+    let bands = [
+        (5.0, 0.99, 1.01),
+        (4.0, 0.98, 1.01),
+        (3.0, 0.93, 1.0),
+        (2.0, 0.50, 0.85),
+        (1.0, 0.0, 0.30),
+    ];
+    for (cfd, lo, hi) in bands {
+        let (cprr, _) = fig04::cprr_at(&cfg, cfd);
+        checks.push(check(
+            match cfd as u32 {
+                5 => "CPRR @ 5 MHz ≈ 100 %",
+                4 => "CPRR @ 4 MHz ≈ 100 %",
+                3 => "CPRR @ 3 MHz ≈ 97 %",
+                2 => "CPRR @ 2 MHz ≈ 70 %",
+                _ => "CPRR @ 1 MHz < 30 %",
+            },
+            (lo..=hi).contains(&cprr),
+            format!("measured {:.1} %", cprr * 100.0),
+        ));
+    }
+
+    // 3. Fig. 6: relaxing the threshold meaningfully raises the link.
+    let sweep = fig06::sweep(&cfg, Dbm::new(0.0));
+    let default = sweep.iter().find(|p| p.threshold == -77.0).expect("-77 in sweep");
+    let relaxed = sweep.last().expect("non-empty sweep");
+    checks.push(check(
+        "CCA relaxation gain ≥ 30 % at ~100 % PRR",
+        relaxed.sent > 1.3 * default.sent && relaxed.prr > 0.95,
+        format!(
+            "{:.0} → {:.0} pkt/s, PRR {:.1} %",
+            default.sent,
+            relaxed.sent,
+            relaxed.prr * 100.0
+        ),
+    ));
+
+    // 4. Headline: DCN design beats ZigBee design substantially.
+    let o = fig19::outcome(&cfg);
+    checks.push(check(
+        "Fig. 19 headline gain in 30-90 % band (paper ≈ 58 %)",
+        (0.30..=0.90).contains(&o.overall_gain()),
+        format!("measured {:.1} %", o.overall_gain() * 100.0),
+    ));
+
+    // Report.
+    let mut ok = true;
+    println!("calibration self-check ({} seeds × {:.0}s):\n", cfg.seeds.len(), cfg.duration.as_secs_f64());
+    for c in &checks {
+        println!(
+            "  [{}] {:<45} {}",
+            if c.pass { "PASS" } else { "FAIL" },
+            c.name,
+            c.detail
+        );
+        ok &= c.pass;
+    }
+    if ok {
+        println!("\nall {} checks passed", checks.len());
+        std::process::ExitCode::SUCCESS
+    } else {
+        println!("\nCALIBRATION DRIFT DETECTED");
+        std::process::ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,11 @@
+//! Beyond-the-paper studies: energy per delivered packet, the analytic
+//! channel planner, and online recovery-demand detection.
+//!
+//! Pass `--quick` (or set `NOMC_QUICK`) for a fast low-fidelity run.
+
+fn main() {
+    let cfg = nomc_experiments::ExpConfig::from_env();
+    for report in nomc_experiments::experiments::extensions::run(&cfg) {
+        println!("{report}");
+    }
+}

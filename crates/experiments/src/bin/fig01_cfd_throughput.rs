@@ -1,0 +1,10 @@
+//! Fig. 1: aggregate throughput vs CFD on a 12 MHz band.
+//!
+//! Pass `--quick` (or set `NOMC_QUICK`) for a fast low-fidelity run.
+
+fn main() {
+    let cfg = nomc_experiments::ExpConfig::from_env();
+    for report in nomc_experiments::experiments::fig01::run(&cfg) {
+        println!("{report}");
+    }
+}

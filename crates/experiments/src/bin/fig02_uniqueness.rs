@@ -1,0 +1,10 @@
+//! Fig. 2: 802.11b vs 802.15.4 under adjacent-channel interference.
+//!
+//! Pass `--quick` (or set `NOMC_QUICK`) for a fast low-fidelity run.
+
+fn main() {
+    let cfg = nomc_experiments::ExpConfig::from_env();
+    for report in nomc_experiments::experiments::fig02::run(&cfg) {
+        println!("{report}");
+    }
+}

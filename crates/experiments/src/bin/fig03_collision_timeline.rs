@@ -1,0 +1,10 @@
+//! Fig. 3: attacker/normal-sender collision timeline.
+//!
+//! Pass `--quick` (or set `NOMC_QUICK`) for a fast low-fidelity run.
+
+fn main() {
+    let cfg = nomc_experiments::ExpConfig::from_env();
+    for report in nomc_experiments::experiments::fig03::run(&cfg) {
+        println!("{report}");
+    }
+}

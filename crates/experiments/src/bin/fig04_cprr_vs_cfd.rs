@@ -1,0 +1,10 @@
+//! Fig. 4: collided-packet receive rate vs CFD.
+//!
+//! Pass `--quick` (or set `NOMC_QUICK`) for a fast low-fidelity run.
+
+fn main() {
+    let cfg = nomc_experiments::ExpConfig::from_env();
+    for report in nomc_experiments::experiments::fig04::run(&cfg) {
+        println!("{report}");
+    }
+}

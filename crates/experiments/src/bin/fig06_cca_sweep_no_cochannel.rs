@@ -1,0 +1,12 @@
+//! Fig. 6: link sent/received vs CCA threshold (no co-channel).
+//!
+//! Pass `--quick` (or set `NOMC_QUICK`) for a fast low-fidelity run.
+
+fn main() {
+    let cfg = nomc_experiments::ExpConfig::from_env();
+    for report in nomc_experiments::experiments::fig06::run(&cfg) {
+        if report.id == "fig06" {
+            println!("{report}");
+        }
+    }
+}

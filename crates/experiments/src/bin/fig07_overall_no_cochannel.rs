@@ -1,0 +1,12 @@
+//! Fig. 7: overall throughput vs CCA threshold (no co-channel).
+//!
+//! Pass `--quick` (or set `NOMC_QUICK`) for a fast low-fidelity run.
+
+fn main() {
+    let cfg = nomc_experiments::ExpConfig::from_env();
+    for report in nomc_experiments::experiments::fig06::run(&cfg) {
+        if report.id == "fig07" {
+            println!("{report}");
+        }
+    }
+}

@@ -1,0 +1,10 @@
+//! Fig. 8: CCA sweep with co-channel interference.
+//!
+//! Pass `--quick` (or set `NOMC_QUICK`) for a fast low-fidelity run.
+
+fn main() {
+    let cfg = nomc_experiments::ExpConfig::from_env();
+    for report in nomc_experiments::experiments::fig08::run(&cfg) {
+        println!("{report}");
+    }
+}

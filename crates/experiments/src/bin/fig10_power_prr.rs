@@ -1,0 +1,12 @@
+//! Fig. 10: PRR vs CCA threshold at different TX powers.
+//!
+//! Pass `--quick` (or set `NOMC_QUICK`) for a fast low-fidelity run.
+
+fn main() {
+    let cfg = nomc_experiments::ExpConfig::from_env();
+    for report in nomc_experiments::experiments::fig09::run(&cfg) {
+        if report.id == "fig10" {
+            println!("{report}");
+        }
+    }
+}

@@ -1,0 +1,10 @@
+//! Fig. 12: Eq. 2 initial threshold placement.
+//!
+//! Pass `--quick` (or set `NOMC_QUICK`) for a fast low-fidelity run.
+
+fn main() {
+    let cfg = nomc_experiments::ExpConfig::from_env();
+    for report in nomc_experiments::experiments::fig12::run(&cfg) {
+        println!("{report}");
+    }
+}

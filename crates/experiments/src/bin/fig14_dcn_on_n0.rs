@@ -1,0 +1,10 @@
+//! Figs. 14-15: DCN applied only on network N0.
+//!
+//! Pass `--quick` (or set `NOMC_QUICK`) for a fast low-fidelity run.
+
+fn main() {
+    let cfg = nomc_experiments::ExpConfig::from_env();
+    for report in nomc_experiments::experiments::fig14::run(&cfg) {
+        println!("{report}");
+    }
+}

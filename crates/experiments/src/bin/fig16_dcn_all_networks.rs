@@ -1,0 +1,10 @@
+//! Figs. 16-18: DCN on all networks, CFD 2 vs 3 MHz.
+//!
+//! Pass `--quick` (or set `NOMC_QUICK`) for a fast low-fidelity run.
+
+fn main() {
+    let cfg = nomc_experiments::ExpConfig::from_env();
+    for report in nomc_experiments::experiments::fig16::run(&cfg) {
+        println!("{report}");
+    }
+}

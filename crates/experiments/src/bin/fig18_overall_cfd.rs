@@ -1,0 +1,12 @@
+//! Fig. 18: overall throughput vs CFD with DCN.
+//!
+//! Pass `--quick` (or set `NOMC_QUICK`) for a fast low-fidelity run.
+
+fn main() {
+    let cfg = nomc_experiments::ExpConfig::from_env();
+    for report in nomc_experiments::experiments::fig16::run(&cfg) {
+        if report.id == "fig18" {
+            println!("{report}");
+        }
+    }
+}

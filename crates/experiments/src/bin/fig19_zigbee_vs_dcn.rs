@@ -1,0 +1,10 @@
+//! Fig. 19: ZigBee design vs DCN design on 15 MHz.
+//!
+//! Pass `--quick` (or set `NOMC_QUICK`) for a fast low-fidelity run.
+
+fn main() {
+    let cfg = nomc_experiments::ExpConfig::from_env();
+    for report in nomc_experiments::experiments::fig19::run(&cfg) {
+        println!("{report}");
+    }
+}

@@ -1,0 +1,12 @@
+//! Fig. 21: other networks vs N0's TX power.
+//!
+//! Pass `--quick` (or set `NOMC_QUICK`) for a fast low-fidelity run.
+
+fn main() {
+    let cfg = nomc_experiments::ExpConfig::from_env();
+    for report in nomc_experiments::experiments::fig20::run(&cfg) {
+        if report.id == "fig21" {
+            println!("{report}");
+        }
+    }
+}

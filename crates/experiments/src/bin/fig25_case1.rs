@@ -1,0 +1,12 @@
+//! Fig. 25: Case I (one interfering region).
+//!
+//! Pass `--quick` (or set `NOMC_QUICK`) for a fast low-fidelity run.
+
+fn main() {
+    let cfg = nomc_experiments::ExpConfig::from_env();
+    for report in nomc_experiments::experiments::cases::run(&cfg) {
+        if report.id == "fig25" {
+            println!("{report}");
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! Fig. 27: Case III (random topology).
+//!
+//! Pass `--quick` (or set `NOMC_QUICK`) for a fast low-fidelity run.
+
+fn main() {
+    let cfg = nomc_experiments::ExpConfig::from_env();
+    for report in nomc_experiments::experiments::cases::run(&cfg) {
+        if report.id == "fig27" {
+            println!("{report}");
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! Fig. 28: packet recovery under severe interference.
+//!
+//! Pass `--quick` (or set `NOMC_QUICK`) for a fast low-fidelity run.
+
+fn main() {
+    let cfg = nomc_experiments::ExpConfig::from_env();
+    for report in nomc_experiments::experiments::fig28::run(&cfg) {
+        if report.id == "fig28" {
+            println!("{report}");
+        }
+    }
+}

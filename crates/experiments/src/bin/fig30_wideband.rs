@@ -1,0 +1,10 @@
+//! Fig. 30: 18 MHz band with 7 networks.
+//!
+//! Pass `--quick` (or set `NOMC_QUICK`) for a fast low-fidelity run.
+
+fn main() {
+    let cfg = nomc_experiments::ExpConfig::from_env();
+    for report in nomc_experiments::experiments::fig30::run(&cfg) {
+        println!("{report}");
+    }
+}

@@ -1,0 +1,10 @@
+//! Table I: fairness across the six DCN networks.
+//!
+//! Pass `--quick` (or set `NOMC_QUICK`) for a fast low-fidelity run.
+
+fn main() {
+    let cfg = nomc_experiments::ExpConfig::from_env();
+    for report in nomc_experiments::experiments::table1::run(&cfg) {
+        println!("{report}");
+    }
+}

@@ -1,0 +1,167 @@
+//! Figs. 25-27 — the three general network configurations (§VI-B-4),
+//! each compared across three designs:
+//!
+//! * **ZigBee** — 4 channels @ 5 MHz, fixed −77 dBm threshold,
+//! * **w/o DCN** — 6 channels @ 3 MHz, fixed threshold (non-orthogonal
+//!   channels alone),
+//! * **with DCN** — 6 channels @ 3 MHz, DCN everywhere.
+//!
+//! Per-node powers are random in [−22, 0] dBm, per the paper. Paper
+//! triples (pkt/s): Case I 983/1326/1521, Case II 980/1382/1526,
+//! Case III 983/1282/1361.
+
+use crate::experiments::common;
+use crate::report::{f1, pct, Report};
+use crate::runner;
+use crate::ExpConfig;
+use nomc_sim::{NetworkBehavior, Scenario};
+use nomc_topology::spectrum::ChannelPlan;
+use nomc_topology::{paper, Deployment};
+
+/// Which §VI-B-4 topology case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Case {
+    /// All networks in one interfering region (Fig. 22).
+    DenseRegion,
+    /// Networks separated into per-room clusters (Fig. 23).
+    Clustered,
+    /// Random topology over a large region (Fig. 24).
+    Random,
+}
+
+impl Case {
+    /// Paper figure id.
+    pub fn fig_id(self) -> &'static str {
+        match self {
+            Case::DenseRegion => "fig25",
+            Case::Clustered => "fig26",
+            Case::Random => "fig27",
+        }
+    }
+
+    /// Short name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Case::DenseRegion => "Case I (one interfering region)",
+            Case::Clustered => "Case II (separated clusters)",
+            Case::Random => "Case III (random topology)",
+        }
+    }
+
+    /// Paper triple (ZigBee, w/o DCN, with DCN).
+    pub fn paper_triple(self) -> (f64, f64, f64) {
+        match self {
+            Case::DenseRegion => (983.0, 1326.0, 1521.0),
+            Case::Clustered => (980.0, 1382.0, 1526.0),
+            Case::Random => (983.0, 1282.0, 1361.0),
+        }
+    }
+
+    fn deployment(self, plan: &ChannelPlan, seed: u64) -> Deployment {
+        let mut rng = common::topology_rng(seed);
+        let powers = (-22.0, 0.0);
+        match self {
+            Case::DenseRegion => paper::case1_deployment(&mut rng, plan, 2, powers),
+            Case::Clustered => paper::case2_deployment(&mut rng, plan, 2, powers),
+            Case::Random => paper::case3_deployment(&mut rng, plan, 2, powers),
+        }
+    }
+}
+
+/// The three designs compared in each case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Design {
+    /// 4 channels @ 5 MHz, fixed threshold.
+    Zigbee,
+    /// 6 channels @ 3 MHz, fixed threshold.
+    NonOrthogonalFixed,
+    /// 6 channels @ 3 MHz, DCN.
+    Dcn,
+}
+
+/// Builds the scenario for one (case, design, seed).
+pub fn scenario(case: Case, design: Design, seed: u64) -> Scenario {
+    let plan = match design {
+        Design::Zigbee => common::plan_15mhz_zigbee(),
+        _ => common::plan_15mhz_dcn(),
+    };
+    let mut b = Scenario::builder(case.deployment(&plan, seed));
+    if design == Design::Dcn {
+        b.behavior_all(NetworkBehavior::dcn_default());
+    }
+    b.seed(seed);
+    b.build().expect("valid case scenario")
+}
+
+/// Mean total throughput of one (case, design).
+pub fn throughput(cfg: &ExpConfig, case: Case, design: Design) -> f64 {
+    let results = runner::run_seeds(cfg, |seed| scenario(case, design, seed));
+    common::mean_total_throughput(&results)
+}
+
+/// Runs one case's comparison.
+pub fn run_case(cfg: &ExpConfig, case: Case) -> Report {
+    let zigbee = throughput(cfg, case, Design::Zigbee);
+    let fixed = throughput(cfg, case, Design::NonOrthogonalFixed);
+    let dcn = throughput(cfg, case, Design::Dcn);
+    let (pz, pf, pd) = case.paper_triple();
+    let mut report = Report::new(
+        case.fig_id(),
+        &format!("{} — ZigBee vs w/o DCN vs with DCN", case.name()),
+        &["design", "measured (pkt/s)", "paper (pkt/s)"],
+    );
+    report.row(["ZigBee (4ch@5MHz)".to_string(), f1(zigbee), f1(pz)]);
+    report.row(["w/o DCN (6ch@3MHz)".to_string(), f1(fixed), f1(pf)]);
+    report.row(["with DCN (6ch@3MHz)".to_string(), f1(dcn), f1(pd)]);
+    report.note(format!(
+        "DCN vs ZigBee: {} (paper {}); DCN vs w/o DCN (the relaxing gain): {} (paper {})",
+        pct(dcn / zigbee - 1.0),
+        pct(pd / pz - 1.0),
+        pct(dcn / fixed - 1.0),
+        pct(pd / pf - 1.0)
+    ));
+    report
+}
+
+/// Runs all three cases.
+pub fn run(cfg: &ExpConfig) -> Vec<Report> {
+    vec![
+        run_case(cfg, Case::DenseRegion),
+        run_case(cfg, Case::Clustered),
+        run_case(cfg, Case::Random),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dcn_beats_zigbee_in_every_case() {
+        let cfg = ExpConfig::quick();
+        for case in [Case::DenseRegion, Case::Clustered, Case::Random] {
+            let z = throughput(&cfg, case, Design::Zigbee);
+            let d = throughput(&cfg, case, Design::Dcn);
+            assert!(
+                d > 1.15 * z,
+                "{}: DCN {d} vs ZigBee {z}",
+                case.name()
+            );
+        }
+    }
+
+    #[test]
+    fn relaxing_gain_largest_in_dense_case() {
+        let cfg = ExpConfig::quick();
+        let gain = |case| {
+            throughput(&cfg, case, Design::Dcn)
+                / throughput(&cfg, case, Design::NonOrthogonalFixed)
+        };
+        let dense = gain(Case::DenseRegion);
+        let random = gain(Case::Random);
+        assert!(
+            dense > random - 0.02,
+            "dense gain {dense} should exceed random-topology gain {random}"
+        );
+    }
+}

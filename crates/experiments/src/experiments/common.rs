@@ -1,0 +1,199 @@
+//! Shared scenario builders for the experiment modules.
+
+use nomc_sim::rng::Xoshiro256StarStar;
+use nomc_sim::{NetworkBehavior, Scenario, SimResult, ThresholdMode};
+use nomc_topology::spectrum::{ChannelPlan, FitPolicy};
+use nomc_topology::{paper, Deployment};
+use nomc_units::{Dbm, Megahertz, SimDuration};
+use rand::SeedableRng;
+
+/// Start of the paper's §VI-B band: 2458 MHz.
+pub fn band_start() -> Megahertz {
+    Megahertz::new(2458.0)
+}
+
+/// The paper's §VI-B DCN plan: 6 channels at CFD = 3 MHz over 15 MHz.
+pub fn plan_15mhz_dcn() -> ChannelPlan {
+    ChannelPlan::fit(
+        band_start(),
+        Megahertz::new(15.0),
+        Megahertz::new(3.0),
+        FitPolicy::InclusiveEnds,
+    )
+    .expect("valid plan")
+}
+
+/// The paper's §VI-B ZigBee baseline: 4 channels at CFD = 5 MHz.
+pub fn plan_15mhz_zigbee() -> ChannelPlan {
+    ChannelPlan::fit(
+        band_start(),
+        Megahertz::new(15.0),
+        Megahertz::new(5.0),
+        FitPolicy::InclusiveEnds,
+    )
+    .expect("valid plan")
+}
+
+/// The §VII-B wide-band plan: 7 channels at CFD = 3 MHz over 18 MHz.
+pub fn plan_18mhz() -> ChannelPlan {
+    ChannelPlan::fit(
+        band_start(),
+        Megahertz::new(18.0),
+        Megahertz::new(3.0),
+        FitPolicy::InclusiveEnds,
+    )
+    .expect("valid plan")
+}
+
+/// Topology RNG derived from a run seed — topology and event randomness
+/// stay decoupled so "same topology, new noise" comparisons are possible.
+pub fn topology_rng(seed: u64) -> Xoshiro256StarStar {
+    Xoshiro256StarStar::seed_from_u64(seed.wrapping_mul(0x9E37_79B9) ^ 0xD0C5)
+}
+
+/// §VI-A deployment: `count` networks at `cfd` in the dense shared
+/// region, fixed 0 dBm, 2 links per network.
+pub fn vi_a_deployment(cfd: f64, count: usize, seed: u64) -> Deployment {
+    let plan = ChannelPlan::with_count(band_start(), Megahertz::new(cfd), count);
+    paper::vi_a_deployment(&mut topology_rng(seed), &plan, 2, Dbm::new(0.0))
+}
+
+/// A §VI-A scenario with DCN enabled on the networks in `dcn_on`.
+pub fn vi_a_scenario(cfd: f64, count: usize, dcn_on: &[usize], seed: u64) -> Scenario {
+    let mut b = Scenario::builder(vi_a_deployment(cfd, count, seed));
+    for &i in dcn_on {
+        b.behavior(i, NetworkBehavior::dcn_default());
+    }
+    b.seed(seed);
+    b.build().expect("valid §VI-A scenario")
+}
+
+/// The §VI-B controlled six-network deployment (line, 4.5 m spacing,
+/// 0 dBm) used for Fig. 19-21 power/fairness studies and Table I.
+pub fn band15_line_deployment() -> Deployment {
+    paper::line_deployment(&plan_15mhz_dcn(), Dbm::new(0.0))
+}
+
+/// Scenario over [`band15_line_deployment`] with DCN on every network.
+pub fn band15_line_dcn(seed: u64) -> Scenario {
+    let mut b = Scenario::builder(band15_line_deployment());
+    b.behavior_all(NetworkBehavior::dcn_default()).seed(seed);
+    b.build().expect("valid §VI-B scenario")
+}
+
+/// A Fig. 5 scenario (single link + 4 neighbour-channel interferers at
+/// CFD ±3/±6 MHz) with the link's CCA threshold fixed to `threshold` and
+/// the link transmitting at `link_power`.
+///
+/// Returns the scenario and the link's network index.
+pub fn fig5_scenario(threshold: Dbm, link_power: Dbm, seed: u64) -> (Scenario, usize) {
+    let (deployment, link_idx) = paper::fig5_deployment(
+        Megahertz::new(2464.0),
+        Megahertz::new(3.0),
+        link_power,
+        Dbm::new(0.0),
+    );
+    let mut b = Scenario::builder(deployment);
+    b.behavior(
+        link_idx,
+        NetworkBehavior {
+            threshold: ThresholdMode::Fixed(threshold),
+            ..NetworkBehavior::zigbee_default()
+        },
+    )
+    .seed(seed);
+    (b.build().expect("valid Fig. 5 scenario"), link_idx)
+}
+
+/// Same as [`fig5_scenario`] but with three extra co-channel links
+/// (the paper's Fig. 8 configuration).
+pub fn fig8_scenario(threshold: Dbm, link_power: Dbm, seed: u64) -> (Scenario, usize) {
+    let (deployment, link_idx) = paper::fig8_deployment(
+        Megahertz::new(2464.0),
+        Megahertz::new(3.0),
+        link_power,
+        Dbm::new(0.0),
+    );
+    let mut b = Scenario::builder(deployment);
+    b.behavior(
+        link_idx,
+        NetworkBehavior {
+            threshold: ThresholdMode::Fixed(threshold),
+            ..NetworkBehavior::zigbee_default()
+        },
+    )
+    .seed(seed);
+    (b.build().expect("valid Fig. 8 scenario"), link_idx)
+}
+
+/// The CCA-threshold sweep grid used by Figs. 6-10 and 28 (dBm).
+pub fn cca_sweep() -> Vec<f64> {
+    vec![
+        -120.0, -110.0, -100.0, -95.0, -90.0, -85.0, -80.0, -77.0, -74.0, -70.0, -65.0, -60.0,
+        -55.0, -50.0, -45.0, -40.0, -30.0, -20.0,
+    ]
+}
+
+/// Mean throughput of network `index` over several results.
+pub fn mean_network_throughput(results: &[SimResult], index: usize) -> f64 {
+    results
+        .iter()
+        .map(|r| r.network_throughput(index))
+        .sum::<f64>()
+        / results.len() as f64
+}
+
+/// Mean total throughput over several results.
+pub fn mean_total_throughput(results: &[SimResult]) -> f64 {
+    results.iter().map(SimResult::total_throughput).sum::<f64>() / results.len() as f64
+}
+
+/// Attacker pacing: one frame per airtime + 300 µs — "1 packet each
+/// 3 ms"-style full channel occupancy for the default frame.
+pub fn attacker_interval(frame: nomc_radio::frame::FrameSpec) -> SimDuration {
+    frame.airtime() + SimDuration::from_micros(300)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_have_paper_counts() {
+        assert_eq!(plan_15mhz_dcn().channels().len(), 6);
+        assert_eq!(plan_15mhz_zigbee().channels().len(), 4);
+        assert_eq!(plan_18mhz().channels().len(), 7);
+    }
+
+    #[test]
+    fn via_scenario_wires_dcn() {
+        let sc = vi_a_scenario(3.0, 5, &[2], 1);
+        assert!(matches!(sc.behaviors[2].threshold, ThresholdMode::Dcn(_)));
+        assert!(matches!(sc.behaviors[0].threshold, ThresholdMode::Fixed(_)));
+        assert_eq!(sc.deployment.networks.len(), 5);
+    }
+
+    #[test]
+    fn via_topology_is_seed_stable() {
+        assert_eq!(vi_a_deployment(3.0, 5, 7), vi_a_deployment(3.0, 5, 7));
+        assert_ne!(vi_a_deployment(3.0, 5, 7), vi_a_deployment(3.0, 5, 8));
+    }
+
+    #[test]
+    fn fig5_scenario_shape() {
+        let (sc, idx) = fig5_scenario(Dbm::new(-77.0), Dbm::new(0.0), 1);
+        assert_eq!(sc.deployment.networks.len(), 5);
+        assert_eq!(sc.deployment.networks[idx].links.len(), 1);
+        let (sc8, idx8) = fig8_scenario(Dbm::new(-77.0), Dbm::new(0.0), 1);
+        assert_eq!(sc8.deployment.networks[idx8].links.len(), 4);
+    }
+
+    #[test]
+    fn sweep_covers_paper_range() {
+        let sweep = cca_sweep();
+        assert_eq!(*sweep.first().unwrap(), -120.0);
+        assert_eq!(*sweep.last().unwrap(), -20.0);
+        assert!(sweep.contains(&-77.0));
+        assert!(sweep.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,414 @@
+//! Beyond the paper: energy accounting, the analytic channel planner,
+//! and online recovery-demand detection (§VII-A future work).
+
+use crate::experiments::{common, fig19};
+use crate::report::{f1, pct, Report};
+use crate::runner;
+use crate::ExpConfig;
+use nomc_phy::planning::CprrModel;
+use nomc_recovery::{AdaptiveRecovery, FrameOutcome};
+use nomc_sim::metrics::TxOutcome;
+use nomc_sim::{energy, SimResult};
+use nomc_units::{Db, Dbm, Megahertz};
+
+/// Radio energy per delivered packet: ZigBee design vs DCN design.
+///
+/// On CC2420-class radios TX draws *less* current than RX, so the
+/// figure of merit is energy per *delivered* packet: DCN delivers more
+/// packets from the same always-on radios.
+pub fn energy_comparison(cfg: &ExpConfig) -> Report {
+    let mut report = Report::new(
+        "ext_energy",
+        "Radio energy per delivered packet: ZigBee vs DCN design (15 MHz band)",
+        &[
+            "design",
+            "delivered (pkt/s)",
+            "radio energy (mJ/s/node)",
+            "energy per delivered pkt (mJ)",
+        ],
+    );
+    let frame = nomc_radio::frame::FrameSpec::default_data_frame();
+    let mut add = |name: &str, results: &[SimResult]| {
+        let n = results.len() as f64;
+        let mut delivered = 0.0; // pkt/s, averaged over seeds
+        let mut energy_rate = 0.0; // mJ/s summed over senders, averaged
+        let mut senders_per_run = 0.0;
+        for r in results {
+            delivered += r.total_throughput() / n;
+            senders_per_run += r.mac_stats.len() as f64 / n;
+            for (stats, &power) in r.mac_stats.iter().zip(&r.tx_powers) {
+                let e = energy::transmitter_energy(stats, frame.airtime(), power, r.measured);
+                energy_rate += e.total_mj / r.measured.as_secs_f64() / n;
+            }
+        }
+        report.row([
+            name.to_string(),
+            f1(delivered),
+            f1(energy_rate / senders_per_run.max(1.0)),
+            format!("{:.3}", energy_rate / delivered),
+        ]);
+    };
+    add("ZigBee (4ch@5MHz)", &runner::run_seeds(cfg, fig19::zigbee_scenario));
+    add("DCN (6ch@3MHz)", &runner::run_seeds(cfg, fig19::dcn_scenario));
+    report.note(
+        "with always-on CSMA receivers, per-node radio power is nearly constant \
+         (RX-dominated), so DCN's extra deliveries directly cut the energy cost \
+         per delivered packet",
+    );
+    report
+}
+
+/// Validates the analytic CPRR planner against the simulated Fig. 4.
+pub fn planner_validation(cfg: &ExpConfig) -> Report {
+    let mut report = Report::new(
+        "ext_planner",
+        "Analytic CPRR model vs simulated Fig. 4",
+        &["CFD (MHz)", "analytic CPRR", "simulated CPRR"],
+    );
+    // Fig. 4's geometry puts the interferer ≈ 9 dB above the signal.
+    let model = CprrModel {
+        power_delta: Db::new(-9.1),
+        ..CprrModel::calibrated_default()
+    };
+    for cfd in [1.0, 2.0, 3.0, 4.0, 5.0] {
+        let analytic = model.predicted_cprr(Megahertz::new(cfd));
+        let (simulated, _) = crate::experiments::fig04::cprr_at(cfg, cfd);
+        report.row([f1(cfd), pct(analytic), pct(simulated)]);
+    }
+    if let Some(cfd) = model.min_cfd_for_cprr(0.95) {
+        report.note(format!(
+            "the planner's smallest CFD for ≥95 % CPRR is {cfd} — recovering the \
+             paper's 3 MHz design choice without running a testbed"
+        ));
+    }
+    report
+}
+
+/// §VII-A future work: online recovery-demand detection on the severe-
+/// interference link.
+pub fn adaptive_recovery(cfg: &ExpConfig) -> Report {
+    let mut report = Report::new(
+        "ext_adaptive_recovery",
+        "Online recovery-demand detection (severe-interference link)",
+        &[
+            "link power (dBm)",
+            "CRC-failure rate",
+            "frames with recovery active",
+            "decision flips",
+        ],
+    );
+    for power in [-22.0, -6.0] {
+        let results = runner::run_seeds(cfg, |seed| {
+            let (mut sc, _) = common::fig5_scenario(Dbm::new(-20.0), Dbm::new(power), seed);
+            sc.record_timeline = true;
+            sc
+        });
+        let link_idx = common::fig5_scenario(Dbm::new(-20.0), Dbm::new(power), 0).1;
+        let n = results.len() as f64;
+        let mut fail_rate = 0.0;
+        let mut active_fraction = 0.0;
+        let mut flips = 0.0;
+        for r in &results {
+            // Feed the link's frame outcomes, in order, to the detector.
+            let link_global = r
+                .links
+                .iter()
+                .position(|l| l.network == link_idx)
+                .expect("link present");
+            let mut detector = AdaptiveRecovery::practical_default();
+            let mut active = 0u64;
+            let mut total = 0u64;
+            let mut failures = 0u64;
+            for rec in r.timeline.iter().filter(|t| t.link == link_global) {
+                let outcome = match rec.outcome {
+                    TxOutcome::CrcFailed => FrameOutcome::CrcFailed,
+                    _ => FrameOutcome::Ok,
+                };
+                if outcome == FrameOutcome::CrcFailed {
+                    failures += 1;
+                }
+                if detector.observe(outcome) {
+                    active += 1;
+                }
+                total += 1;
+            }
+            fail_rate += failures as f64 / total.max(1) as f64;
+            active_fraction += active as f64 / total.max(1) as f64;
+            flips += detector.switch_count() as f64;
+        }
+        report.row([
+            f1(power),
+            pct(fail_rate / n),
+            pct(active_fraction / n),
+            f1(flips / n),
+        ]);
+    }
+    report.note(
+        "the detector keeps recovery on for the damaged −22 dBm link and (near-)\
+         off for the healthy −6 dBm one, with stable decisions — the \"online \
+         dynamic recovery scheme\" the paper sketches as future work",
+    );
+    report
+}
+
+/// Channel-assignment study: three co-located *pairs* of networks in
+/// separate clusters. The naive plan-order assignment hands adjacent
+/// channels to co-located networks; the optimizer pushes each hot pair
+/// to a large CFD.
+pub fn assignment_study(cfg: &ExpConfig) -> Report {
+    use nomc_phy::{AcrCurve, LogDistance};
+    use nomc_sim::Scenario;
+    use nomc_topology::assignment::{apply_assignment, optimize_assignment};
+    use nomc_topology::placement::{sample_link, Region};
+    use nomc_topology::{Deployment, LinkSpec, NetworkSpec, Point};
+
+    fn clustered_pairs(seed: u64) -> Deployment {
+        let plan = common::plan_15mhz_dcn();
+        let mut rng = common::topology_rng(seed);
+        let cluster_centers = [
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(5.0, 9.0),
+        ];
+        let networks = plan
+            .channels()
+            .iter()
+            .enumerate()
+            .map(|(i, &freq)| {
+                let c = cluster_centers[i / 2];
+                let region = Region::new(c.offset(-1.5, -1.5), 3.0, 3.0);
+                let links = (0..2)
+                    .map(|_| {
+                        let (tx, rx) = sample_link(&mut rng, &region, 2.0);
+                        LinkSpec::new(tx, rx, Dbm::new(0.0))
+                    })
+                    .collect();
+                NetworkSpec::new(freq, links)
+            })
+            .collect();
+        Deployment::new(networks)
+    }
+
+    fn scenario(optimized: bool, seed: u64) -> Scenario {
+        let mut deployment = clustered_pairs(seed);
+        if optimized {
+            let assignment = optimize_assignment(
+                &deployment.networks,
+                &common::plan_15mhz_dcn(),
+                &LogDistance::indoor_2_4ghz(),
+                &AcrCurve::cc2420_calibrated(),
+            );
+            apply_assignment(&mut deployment.networks, &assignment);
+        }
+        let mut b = Scenario::builder(deployment);
+        b.behavior_all(nomc_sim::NetworkBehavior::dcn_default()).seed(seed);
+        b.build().expect("valid assignment scenario")
+    }
+
+    let mut report = Report::new(
+        "ext_assignment",
+        "Interference-aware channel assignment (3 clusters × 2 co-located networks)",
+        &["assignment", "overall throughput (pkt/s)", "overall PRR"],
+    );
+    for (name, optimized) in [("plan order (naive)", false), ("optimized", true)] {
+        let results = runner::run_seeds(cfg, |seed| scenario(optimized, seed));
+        let tput = common::mean_total_throughput(&results);
+        let prr = results
+            .iter()
+            .map(|r| r.total_prr().unwrap_or(0.0))
+            .sum::<f64>()
+            / results.len() as f64;
+        report.row([name.to_string(), f1(tput), pct(prr)]);
+    }
+    report.note(
+        "the optimizer separates each co-located pair by ≥ 9 MHz instead of          the naive 3 MHz, trading spectral adjacency against physical          adjacency — the deployment-time decision the paper leaves to the          operator",
+    );
+    report
+}
+
+/// Convergecast study: three 3-hop chains delivering to a sink, under
+/// three channel policies — the data-collection workload the paper's
+/// introduction motivates, with TMCP-style per-chain partitioning (the
+/// related work's approach) as the orthogonal baseline.
+pub fn convergecast_study(cfg: &ExpConfig) -> Report {
+    use nomc_sim::{Scenario, TrafficModel};
+    use nomc_topology::tree::{build, Chain, ChannelPolicy};
+    use nomc_topology::Point;
+
+    fn chains() -> Vec<nomc_topology::tree::Chain> {
+        (0..6)
+            .map(|i| {
+                let angle = i as f64 * std::f64::consts::TAU / 6.0;
+                Chain::straight(
+                    Point::new(6.0 * angle.cos(), 6.0 * angle.sin()),
+                    Point::ORIGIN,
+                    3,
+                    Dbm::new(0.0),
+                )
+            })
+            .collect()
+    }
+
+    fn scenario(
+        policy: ChannelPolicy,
+        channels: Vec<Megahertz>,
+        dcn: bool,
+        seed: u64,
+    ) -> (Scenario, Vec<usize>) {
+        let cc = build(&chains(), &channels, policy);
+        let mut b = Scenario::builder(cc.deployment.clone());
+        if dcn {
+            b.behavior_all(nomc_sim::NetworkBehavior::dcn_default());
+        }
+        for &(link, from) in &cc.forwards {
+            b.link_traffic(link, TrafficModel::Forward { from_link: from });
+        }
+        b.seed(seed);
+        (b.build().expect("valid convergecast"), cc.sink_links)
+    }
+
+    fn sink_rate(
+        cfg: &ExpConfig,
+        policy: ChannelPolicy,
+        channels: Vec<Megahertz>,
+        dcn: bool,
+    ) -> f64 {
+        let sinks = scenario(policy, channels.clone(), dcn, 0).1;
+        let results =
+            runner::run_seeds(cfg, |seed| scenario(policy, channels.clone(), dcn, seed).0);
+        results
+            .iter()
+            .map(|r| {
+                sinks
+                    .iter()
+                    .map(|&l| r.links[l].throughput(r.measured))
+                    .sum::<f64>()
+            })
+            .sum::<f64>()
+            / results.len() as f64
+    }
+
+    let mut report = Report::new(
+        "ext_convergecast",
+        "Convergecast to a sink (6 chains × 3 hops, 15 MHz band): channel policies",
+        &["policy", "sink deliveries (pkt/s)"],
+    );
+    let single = sink_rate(
+        cfg,
+        ChannelPolicy::SingleChannel,
+        vec![Megahertz::new(2458.0)],
+        false,
+    );
+    // TMCP-style: only 4 ZigBee-grid channels fit the band, so six
+    // chains must share (cycling assignment).
+    let tmcp = sink_rate(
+        cfg,
+        ChannelPolicy::PerChain,
+        common::plan_15mhz_zigbee().channels().to_vec(),
+        false,
+    );
+    // Non-orthogonal: 6 channels at 3 MHz — every chain gets its own —
+    // with DCN handling the inter-channel leakage.
+    let dcn = sink_rate(
+        cfg,
+        ChannelPolicy::PerChain,
+        common::plan_15mhz_dcn().channels().to_vec(),
+        true,
+    );
+    report.row(["single channel".to_string(), f1(single)]);
+    report.row([
+        "per-chain, 4 ch @ 5 MHz (TMCP-style; chains share)".to_string(),
+        f1(tmcp),
+    ]);
+    report.row([
+        "per-chain, 6 ch @ 3 MHz + DCN (one each)".to_string(),
+        f1(dcn),
+    ]);
+    report.note(
+        "channel scarcity is TMCP's own complaint: with only 4 orthogonal-ish \
+         channels, two chain pairs must share and collide; the non-orthogonal \
+         plan gives every chain a private channel and DCN absorbs the leakage \
+         — the paper's §I argument, replayed on its motivating workload",
+    );
+    report
+}
+
+/// Runs all extension studies.
+pub fn run(cfg: &ExpConfig) -> Vec<Report> {
+    vec![
+        energy_comparison(cfg),
+        planner_validation(cfg),
+        adaptive_recovery(cfg),
+        assignment_study(cfg),
+        convergecast_study(cfg),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dcn_wins_on_energy_per_packet() {
+        let cfg = ExpConfig::quick();
+        let report = energy_comparison(&cfg);
+        let zig: f64 = report.rows[0][3].parse().unwrap();
+        let dcn: f64 = report.rows[1][3].parse().unwrap();
+        assert!(dcn < zig, "DCN {dcn} mJ/pkt should beat ZigBee {zig}");
+    }
+
+    #[test]
+    fn analytic_model_tracks_simulation() {
+        let cfg = ExpConfig::quick();
+        let report = planner_validation(&cfg);
+        for row in &report.rows {
+            let parse = |s: &str| s.trim_end_matches('%').parse::<f64>().unwrap() / 100.0;
+            let analytic = parse(&row[1]);
+            let simulated = parse(&row[2]);
+            assert!(
+                (analytic - simulated).abs() < 0.25,
+                "CFD {}: analytic {analytic} vs simulated {simulated}",
+                row[0]
+            );
+        }
+    }
+
+    #[test]
+    fn nonorthogonal_convergecast_wins_under_channel_scarcity() {
+        let cfg = ExpConfig::quick();
+        let report = convergecast_study(&cfg);
+        let single: f64 = report.rows[0][1].parse().unwrap();
+        let tmcp: f64 = report.rows[1][1].parse().unwrap();
+        let dcn: f64 = report.rows[2][1].parse().unwrap();
+        assert!(tmcp > 1.2 * single, "TMCP {tmcp} should beat single {single}");
+        assert!(
+            dcn > 1.1 * tmcp,
+            "6-channel DCN {dcn} should beat 4-channel TMCP {tmcp}"
+        );
+    }
+
+    #[test]
+    fn optimized_assignment_does_not_lose() {
+        let cfg = ExpConfig::quick();
+        let report = assignment_study(&cfg);
+        let naive: f64 = report.rows[0][1].parse().unwrap();
+        let optimized: f64 = report.rows[1][1].parse().unwrap();
+        assert!(
+            optimized > 0.97 * naive,
+            "optimized {optimized} vs naive {naive}"
+        );
+    }
+
+    #[test]
+    fn detector_separates_damaged_from_healthy() {
+        let cfg = ExpConfig::quick();
+        let report = adaptive_recovery(&cfg);
+        let parse = |s: &str| s.trim_end_matches('%').parse::<f64>().unwrap();
+        let damaged_active = parse(&report.rows[0][2]);
+        let healthy_active = parse(&report.rows[1][2]);
+        assert!(
+            damaged_active > healthy_active + 20.0,
+            "damaged {damaged_active}% vs healthy {healthy_active}%"
+        );
+    }
+}

@@ -1,0 +1,115 @@
+//! Fig. 1 — aggregate throughput on a 12 MHz band vs. channel
+//! centre-frequency distance, with the default ZigBee MAC (fixed
+//! −77 dBm CCA threshold).
+//!
+//! Paper observation: orthogonal CFD = 9 MHz wastes the band (one
+//! channel); the ZigBee default 5 MHz is conservative; 3 MHz maximizes
+//! aggregate throughput; 2 MHz is worse again because inter-channel
+//! interference bites.
+
+use crate::experiments::common;
+use crate::report::{bar, f1, Report};
+use crate::runner;
+use crate::ExpConfig;
+
+/// The swept CFDs and channel counts for the 12 MHz band. The paper's
+/// §III-A text gives 1 ch @ 9 MHz and 2 ch @ 5 MHz; the remaining counts
+/// are reverse-engineered from Fig. 1's stacked bars (the CFD 3 MHz bar
+/// stacks five networks, the CFD 2 MHz bar six — the legend tops out at
+/// N5).
+pub const CFDS: [(f64, usize); 5] = [(9.0, 1), (5.0, 2), (4.0, 3), (3.0, 5), (2.0, 6)];
+
+/// Paper Fig. 1 aggregate throughputs, read off the figure (pkts/s).
+pub const PAPER_TOTALS: [f64; 5] = [250.0, 500.0, 750.0, 1350.0, 1150.0];
+
+/// One Fig. 1 sweep point: `count` networks spaced `cfd` apart on the
+/// §III line geometry (separate 4-mote networks, default ZigBee MAC).
+pub fn scenario(cfd: f64, count: usize, seed: u64) -> nomc_sim::Scenario {
+    let plan = nomc_topology::spectrum::ChannelPlan::with_count(
+        common::band_start(),
+        nomc_units::Megahertz::new(cfd),
+        count,
+    );
+    let deployment = nomc_topology::paper::line_deployment(&plan, nomc_units::Dbm::new(0.0));
+    let mut b = nomc_sim::Scenario::builder(deployment);
+    b.seed(seed);
+    b.build().expect("valid Fig. 1 scenario")
+}
+
+/// Runs the experiment.
+pub fn run(cfg: &ExpConfig) -> Vec<Report> {
+    let mut report = Report::new(
+        "fig01",
+        "Aggregate throughput vs CFD on a 12 MHz band (default ZigBee MAC)",
+        &[
+            "CFD (MHz)",
+            "channels",
+            "measured total (pkt/s)",
+            "per-channel (pkt/s)",
+            "paper total",
+            "",
+        ],
+    );
+    let mut totals = Vec::new();
+    for (i, &(cfd, count)) in CFDS.iter().enumerate() {
+        let results = runner::run_seeds(cfg, |seed| scenario(cfd, count, seed));
+        let total = common::mean_total_throughput(&results);
+        totals.push(total);
+        report.row([
+            f1(cfd),
+            count.to_string(),
+            f1(total),
+            f1(total / count as f64),
+            f1(PAPER_TOTALS[i]),
+            bar(total, 1500.0, 30),
+        ]);
+    }
+    let best = CFDS[argmax(&totals)].0;
+    report.note(format!(
+        "measured optimum at CFD = {best} MHz (paper: 3 MHz); orthogonal 9 MHz \
+         and ZigBee-default 5 MHz leave most of the band idle"
+    ));
+    report.note(
+        "channel counts follow the paper's §III text for 9/5/4 MHz and its \
+         Fig. 1 bar stacks for 3/2 MHz (see CFDS); absolute packets/s depend \
+         on the simulated stack overheads — compare shapes",
+    );
+    vec![report]
+}
+
+fn argmax(v: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &x) in v.iter().enumerate() {
+        if x > v[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_paper() {
+        let cfg = ExpConfig::quick();
+        let report = &run(&cfg)[0];
+        assert_eq!(report.rows.len(), 5);
+        let totals: Vec<f64> = report
+            .rows
+            .iter()
+            .map(|r| r[2].parse::<f64>().unwrap())
+            .collect();
+        // CFD 3 beats orthogonal 9 MHz and the ZigBee default 5 MHz, and
+        // CFD 2 does not beat CFD 3 (the paper's trade-off).
+        let by_cfd: std::collections::HashMap<&str, f64> = report
+            .rows
+            .iter()
+            .map(|r| (r[0].as_str(), r[2].parse().unwrap()))
+            .collect();
+        assert!(by_cfd["3.0"] > by_cfd["9.0"] * 2.0, "{totals:?}");
+        assert!(by_cfd["3.0"] > by_cfd["5.0"], "{totals:?}");
+        assert!(by_cfd["3.0"] > by_cfd["2.0"], "{totals:?}");
+    }
+}

@@ -1,0 +1,105 @@
+//! Figs. 14-15 — applying DCN *only* to the middle-frequency network N0
+//! of the five-network §VI-A deployment, at CFD = 2 and 3 MHz.
+//!
+//! Paper: N0 improves ≈ 27 % at both CFDs (reaching ≈ 250 pkt/s at
+//! CFD 3 — near the orthogonal bound), while the other four networks
+//! lose ≈ 5 % to the extra inter-channel interference N0 now generates.
+
+use crate::experiments::common;
+use crate::report::{f1, pct, Report};
+use crate::runner;
+use crate::ExpConfig;
+
+/// Index of N0 (middle frequency) in the 5-network §VI-A deployment.
+pub const N0: usize = 2;
+
+/// Measured outcome of one CFD arm.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Arm {
+    /// N0 throughput without DCN anywhere.
+    pub n0_without: f64,
+    /// N0 throughput with DCN on N0 only.
+    pub n0_with: f64,
+    /// Sum of the other networks without DCN anywhere.
+    pub others_without: f64,
+    /// Sum of the other networks with DCN on N0 only.
+    pub others_with: f64,
+}
+
+/// Runs one CFD arm.
+pub fn arm(cfg: &ExpConfig, cfd: f64) -> Arm {
+    let base = runner::run_seeds(cfg, |seed| common::vi_a_scenario(cfd, 5, &[], seed));
+    let dcn = runner::run_seeds(cfg, |seed| common::vi_a_scenario(cfd, 5, &[N0], seed));
+    let n0_without = common::mean_network_throughput(&base, N0);
+    let n0_with = common::mean_network_throughput(&dcn, N0);
+    Arm {
+        n0_without,
+        n0_with,
+        others_without: common::mean_total_throughput(&base) - n0_without,
+        others_with: common::mean_total_throughput(&dcn) - n0_with,
+    }
+}
+
+/// Runs the experiment (returns the Fig. 14 and Fig. 15 reports).
+pub fn run(cfg: &ExpConfig) -> Vec<Report> {
+    let arms: Vec<(f64, Arm)> = [2.0, 3.0].iter().map(|&c| (c, arm(cfg, c))).collect();
+    let mut fig14 = Report::new(
+        "fig14",
+        "Throughput of N0 with DCN applied only on N0",
+        &["CFD (MHz)", "w/o DCN", "with DCN", "gain", "paper gain"],
+    );
+    let mut fig15 = Report::new(
+        "fig15",
+        "Throughput of the other four networks (DCN only on N0)",
+        &["CFD (MHz)", "w/o DCN", "with DCN", "change", "paper change"],
+    );
+    for &(cfd, a) in &arms {
+        fig14.row([
+            f1(cfd),
+            f1(a.n0_without),
+            f1(a.n0_with),
+            pct(a.n0_with / a.n0_without - 1.0),
+            "≈ +27%".to_string(),
+        ]);
+        fig15.row([
+            f1(cfd),
+            f1(a.others_without),
+            f1(a.others_with),
+            pct(a.others_with / a.others_without - 1.0),
+            "≈ −5%".to_string(),
+        ]);
+    }
+    fig14.note(
+        "the dense shared-region §VI-A geometry suppresses the fixed-threshold \
+         baseline more than the paper's testbed did, so the measured N0 gain \
+         exceeds the paper's 27 % — the direction and the who-wins ordering hold",
+    );
+    fig15.note(
+        "N0's extra transmissions cost its neighbours a few percent, as in the \
+         paper's Fig. 15",
+    );
+    vec![fig14, fig15]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dcn_on_n0_helps_n0_and_dings_others() {
+        let cfg = ExpConfig::quick();
+        let a = arm(&cfg, 3.0);
+        assert!(
+            a.n0_with > 1.1 * a.n0_without,
+            "N0 gain too small: {} -> {}",
+            a.n0_without,
+            a.n0_with
+        );
+        assert!(
+            a.others_with < 1.02 * a.others_without,
+            "others should not improve: {} -> {}",
+            a.others_without,
+            a.others_with
+        );
+    }
+}

@@ -1,0 +1,136 @@
+//! Figs. 16-18 — DCN on *all* five §VI-A networks, CFD = 2 and 3 MHz.
+//!
+//! Fig. 16 (CFD 2) and Fig. 17 (CFD 3) show per-network throughput with
+//! and without the scheme: every network improves, the middle networks
+//! most. Fig. 18 aggregates: CFD 3 + DCN is the best configuration and
+//! clearly beats CFD 2 + DCN (paper: ≈ 1300 pkt/s ≈ 1.37×).
+
+use crate::experiments::common;
+use crate::report::{f1, pct, Report};
+use crate::runner;
+use crate::ExpConfig;
+use nomc_topology::paper::paper_labels;
+
+/// Per-network with/without throughputs for one CFD.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CfdOutcome {
+    /// CFD in MHz.
+    pub cfd: f64,
+    /// Per-network throughput without DCN (deployment order).
+    pub without: Vec<f64>,
+    /// Per-network throughput with DCN on all networks.
+    pub with: Vec<f64>,
+}
+
+impl CfdOutcome {
+    /// Aggregate throughput without DCN.
+    pub fn total_without(&self) -> f64 {
+        self.without.iter().sum()
+    }
+
+    /// Aggregate throughput with DCN.
+    pub fn total_with(&self) -> f64 {
+        self.with.iter().sum()
+    }
+}
+
+/// Runs one CFD arm with and without DCN on all 5 networks.
+pub fn outcome(cfg: &ExpConfig, cfd: f64) -> CfdOutcome {
+    let base = runner::run_seeds(cfg, |seed| common::vi_a_scenario(cfd, 5, &[], seed));
+    let all: Vec<usize> = (0..5).collect();
+    let dcn = runner::run_seeds(cfg, |seed| common::vi_a_scenario(cfd, 5, &all, seed));
+    CfdOutcome {
+        cfd,
+        without: (0..5)
+            .map(|i| common::mean_network_throughput(&base, i))
+            .collect(),
+        with: (0..5)
+            .map(|i| common::mean_network_throughput(&dcn, i))
+            .collect(),
+    }
+}
+
+/// Runs the experiment (Fig. 16, Fig. 17, Fig. 18 reports).
+pub fn run(cfg: &ExpConfig) -> Vec<Report> {
+    let o2 = outcome(cfg, 2.0);
+    let o3 = outcome(cfg, 3.0);
+    let labels = paper_labels(5);
+    let mut reports = Vec::new();
+    for o in [&o2, &o3] {
+        let id = if o.cfd == 2.0 { "fig16" } else { "fig17" };
+        let mut r = Report::new(
+            id,
+            &format!(
+                "Per-network throughput, DCN on all networks (CFD = {} MHz)",
+                o.cfd
+            ),
+            &["network", "w/o DCN", "with DCN", "gain"],
+        );
+        for (i, label) in labels.iter().enumerate() {
+            r.row([
+                label.clone(),
+                f1(o.without[i]),
+                f1(o.with[i]),
+                pct(o.with[i] / o.without[i] - 1.0),
+            ]);
+        }
+        r.note(
+            "paper: every network improves when all run DCN; middle-frequency \
+             networks (more neighbour-channel interference) gain most",
+        );
+        reports.push(r);
+    }
+    let mut fig18 = Report::new(
+        "fig18",
+        "Overall throughput vs CFD (DCN on all networks)",
+        &["CFD (MHz)", "w/o DCN", "with DCN", "DCN gain"],
+    );
+    for o in [&o2, &o3] {
+        fig18.row([
+            f1(o.cfd),
+            f1(o.total_without()),
+            f1(o.total_with()),
+            pct(o.total_with() / o.total_without() - 1.0),
+        ]);
+    }
+    fig18.note(format!(
+        "CFD 3 + DCN / CFD 2 + DCN = {:.2}× (paper: 1.37×) — CFD 3 is selected \
+         for the non-orthogonal design",
+        o3.total_with() / o2.total_with()
+    ));
+    reports.push(fig18);
+    reports
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dcn_improves_every_network_at_cfd3() {
+        let cfg = ExpConfig::quick();
+        let o = outcome(&cfg, 3.0);
+        for i in 0..5 {
+            assert!(
+                o.with[i] > 0.95 * o.without[i],
+                "network {i} regressed: {} -> {}",
+                o.without[i],
+                o.with[i]
+            );
+        }
+        assert!(o.total_with() > 1.1 * o.total_without());
+    }
+
+    #[test]
+    fn cfd3_beats_cfd2_with_dcn() {
+        let cfg = ExpConfig::quick();
+        let o2 = outcome(&cfg, 2.0);
+        let o3 = outcome(&cfg, 3.0);
+        assert!(
+            o3.total_with() > 1.1 * o2.total_with(),
+            "CFD3 {} vs CFD2 {}",
+            o3.total_with(),
+            o2.total_with()
+        );
+    }
+}

@@ -1,0 +1,111 @@
+//! Figs. 20-21 — impact of one network's transmission power under DCN.
+//!
+//! N0 (the middle-frequency network of the §VI-B six-network line) sweeps
+//! its power from −33 to −0.6 dBm while the others stay at −0.6 dBm.
+//! Fig. 20: N0's throughput rises in two phases (SINR-limited below
+//! ≈ −15 dBm, CCA-relaxation-limited above). Fig. 21: the other networks
+//! are essentially unaffected — CFD 3 MHz tolerates the strong co-channel
+//! power.
+
+use crate::experiments::common;
+use crate::report::{f1, Report};
+use crate::runner;
+use crate::ExpConfig;
+use nomc_sim::{NetworkBehavior, Scenario};
+use nomc_topology::paper;
+use nomc_units::{Dbm, Megahertz};
+
+/// N0's swept powers (dBm), as in the paper.
+pub const POWERS: [f64; 5] = [-33.0, -15.0, -6.0, -3.0, -0.6];
+
+/// Index of N0 in the 6-network plan (middle frequency).
+pub fn n0_index() -> usize {
+    common::plan_15mhz_dcn().middle_index()
+}
+
+/// Scenario with N0 at `power` and the other five networks at −0.6 dBm,
+/// DCN everywhere.
+pub fn scenario(power: f64, seed: u64) -> Scenario {
+    let plan = common::plan_15mhz_dcn();
+    let mut deployment = paper::line_deployment(&plan, Dbm::new(-0.6));
+    let n0 = plan.middle_index();
+    for link in &mut deployment.networks[n0].links {
+        link.tx_power = Dbm::new(power);
+    }
+    debug_assert_eq!(
+        deployment.networks[n0].frequency,
+        Megahertz::new(2464.0)
+    );
+    let mut b = Scenario::builder(deployment);
+    b.behavior_all(NetworkBehavior::dcn_default()).seed(seed);
+    b.build().expect("valid Fig. 20 scenario")
+}
+
+/// Runs the experiment (Fig. 20 and Fig. 21 reports).
+pub fn run(cfg: &ExpConfig) -> Vec<Report> {
+    let n0 = n0_index();
+    let mut fig20 = Report::new(
+        "fig20",
+        "Throughput of N0 vs its transmission power (others at −0.6 dBm, DCN)",
+        &["N0 power (dBm)", "N0 throughput (pkt/s)"],
+    );
+    let mut fig21 = Report::new(
+        "fig21",
+        "Throughput of the other networks vs N0's transmission power",
+        &["N0 power (dBm)", "others total (pkt/s)"],
+    );
+    for &p in &POWERS {
+        let results = runner::run_seeds(cfg, |seed| scenario(p, seed));
+        let n0_tput = common::mean_network_throughput(&results, n0);
+        let others = common::mean_total_throughput(&results) - n0_tput;
+        fig20.row([f1(p), f1(n0_tput)]);
+        fig21.row([f1(p), f1(others)]);
+    }
+    fig20.note(
+        "paper: below ≈ −15 dBm throughput is PRR-limited (better SINR with more \
+         power); above it, PRR is already ~100 % and extra power only lets DCN \
+         set a higher threshold (Eq. 4), buying more concurrency",
+    );
+    fig21.note(
+        "paper: N0's high co-channel power does not trouble the neighbouring \
+         channels — CFD 3 MHz tolerates it",
+    );
+    vec![fig20, fig21]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn n0_throughput_rises_with_power() {
+        let cfg = ExpConfig::quick();
+        let n0 = n0_index();
+        let lo = common::mean_network_throughput(
+            &runner::run_seeds(&cfg, |s| scenario(-33.0, s)),
+            n0,
+        );
+        let hi = common::mean_network_throughput(
+            &runner::run_seeds(&cfg, |s| scenario(-0.6, s)),
+            n0,
+        );
+        assert!(hi > 1.5 * lo, "lo {lo} hi {hi}");
+    }
+
+    #[test]
+    fn others_unaffected_by_n0_power() {
+        let cfg = ExpConfig::quick();
+        let n0 = n0_index();
+        let at = |p: f64| {
+            let r = runner::run_seeds(&cfg, |s| scenario(p, s));
+            common::mean_total_throughput(&r) - common::mean_network_throughput(&r, n0)
+        };
+        let weak = at(-33.0);
+        let strong = at(-0.6);
+        let ratio = strong / weak;
+        assert!(
+            (0.9..=1.1).contains(&ratio),
+            "others changed too much: {weak} -> {strong}"
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! One module per paper table/figure, plus ablations.
+//!
+//! Every module exposes `run(cfg: &ExpConfig) -> Vec<Report>`; modules
+//! that regenerate several related figures from the same runs (e.g.
+//! Figs. 6-7, Figs. 16-18) return several reports.
+
+pub mod ablations;
+pub mod cases;
+pub mod common;
+pub mod extensions;
+pub mod fig01;
+pub mod fig02;
+pub mod fig03;
+pub mod fig04;
+pub mod fig06;
+pub mod fig08;
+pub mod fig09;
+pub mod fig12;
+pub mod fig14;
+pub mod fig16;
+pub mod fig19;
+pub mod fig20;
+pub mod fig28;
+pub mod fig30;
+pub mod table1;
+
+use crate::report::Report;
+use crate::ExpConfig;
+
+/// Everything, in paper order — the `all_experiments` binary and the
+/// EXPERIMENTS.md generator iterate this.
+pub fn all(cfg: &ExpConfig) -> Vec<Report> {
+    let mut out = Vec::new();
+    out.extend(fig01::run(cfg));
+    out.extend(fig02::run(cfg));
+    out.extend(fig03::run(cfg));
+    out.extend(fig04::run(cfg));
+    out.extend(fig06::run(cfg));
+    out.extend(fig08::run(cfg));
+    out.extend(fig09::run(cfg));
+    out.extend(fig12::run(cfg));
+    out.extend(fig14::run(cfg));
+    out.extend(fig16::run(cfg));
+    out.extend(fig19::run(cfg));
+    out.extend(fig20::run(cfg));
+    out.extend(table1::run(cfg));
+    out.extend(cases::run(cfg));
+    out.extend(fig28::run(cfg));
+    out.extend(fig30::run(cfg));
+    out.extend(extensions::run(cfg));
+    out.extend(ablations::run(cfg));
+    out
+}

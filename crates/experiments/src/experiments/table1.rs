@@ -1,0 +1,89 @@
+//! Table I — fairness of the DCN design: per-network throughput of the
+//! six §VI-B networks (CFD 3 MHz, DCN everywhere).
+//!
+//! Paper row: N0 259.3, N1 260.8, N2 261.9, N3 272.5, N4 272.9,
+//! N5 273.4 pkt/s — ≈ 4 % spread, the middle-frequency networks
+//! slightly lower because they face inter-channel interference from
+//! both sides.
+
+use crate::experiments::common;
+use crate::report::{f1, pct, Report};
+use crate::runner;
+use crate::ExpConfig;
+use nomc_topology::paper::paper_labels;
+
+/// Paper Table I values, by paper label N0..N5.
+pub const PAPER: [f64; 6] = [259.3, 260.8, 261.9, 272.5, 272.9, 273.4];
+
+/// Per-network throughput by *paper label order* (N0 first).
+pub fn by_label(cfg: &ExpConfig) -> Vec<(String, f64)> {
+    let results = runner::run_seeds(cfg, common::band15_line_dcn);
+    let labels = paper_labels(6);
+    let mut rows: Vec<(String, f64)> = (0..6)
+        .map(|i| {
+            (
+                labels[i].clone(),
+                common::mean_network_throughput(&results, i),
+            )
+        })
+        .collect();
+    rows.sort_by_key(|(l, _)| l.clone());
+    rows
+}
+
+/// Max/min spread of a throughput vector.
+pub fn spread(values: &[f64]) -> f64 {
+    let max = values.iter().cloned().fold(f64::MIN, f64::max);
+    let min = values.iter().cloned().fold(f64::MAX, f64::min);
+    max / min - 1.0
+}
+
+/// Runs the experiment.
+pub fn run(cfg: &ExpConfig) -> Vec<Report> {
+    let rows = by_label(cfg);
+    let mut report = Report::new(
+        "table1",
+        "Fairness: per-network throughput (6 networks, CFD 3 MHz, DCN)",
+        &["network", "measured (pkt/s)", "paper (pkt/s)"],
+    );
+    for (i, (label, tput)) in rows.iter().enumerate() {
+        report.row([label.clone(), f1(*tput), f1(PAPER[i])]);
+    }
+    let values: Vec<f64> = rows.iter().map(|r| r.1).collect();
+    report.note(format!(
+        "measured spread {} (paper ≈ 4 %): DCN keeps the networks close even \
+         though middle and edge channels face different interference",
+        pct(spread(&values))
+    ));
+    vec![report]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fairness_spread_is_small() {
+        let cfg = ExpConfig::quick();
+        let rows = by_label(&cfg);
+        let values: Vec<f64> = rows.iter().map(|r| r.1).collect();
+        assert_eq!(values.len(), 6);
+        assert!(
+            spread(&values) < 0.15,
+            "unfair spread {} over {values:?}",
+            spread(&values)
+        );
+        // All networks near the saturated per-network rate.
+        for v in &values {
+            assert!(*v > 180.0, "network too slow: {v}");
+        }
+    }
+
+    #[test]
+    fn labels_are_paper_order() {
+        let cfg = ExpConfig::quick();
+        let rows = by_label(&cfg);
+        let labels: Vec<&str> = rows.iter().map(|r| r.0.as_str()).collect();
+        assert_eq!(labels, ["N0", "N1", "N2", "N3", "N4", "N5"]);
+    }
+}

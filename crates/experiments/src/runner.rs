@@ -1,0 +1,170 @@
+//! Multi-seed, multi-point execution utilities.
+//!
+//! Every sweep point (a scenario at one parameter value and one seed) is
+//! an independent deterministic simulation, so the harness parallelizes
+//! across points with scoped threads while each simulation itself stays
+//! single-threaded and reproducible.
+
+use crate::ExpConfig;
+use nomc_sim::{engine, Scenario, SimResult};
+
+/// Mean and (population) standard deviation of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Stat {
+    /// Sample mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+}
+
+impl Stat {
+    /// Computes mean/std of `values`.
+    ///
+    /// Returns the zero stat for an empty slice.
+    pub fn of(values: &[f64]) -> Stat {
+        if values.is_empty() {
+            return Stat::default();
+        }
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+        Stat {
+            mean,
+            std: var.sqrt(),
+        }
+    }
+
+    /// Half-width of the ~95 % confidence interval of the mean
+    /// (`t · s / √n` with a small-sample Student-t table). Zero for
+    /// fewer than two samples.
+    pub fn ci95_half_width(&self, n: usize) -> f64 {
+        if n < 2 {
+            return 0.0;
+        }
+        // Two-sided 95 % t-quantiles for n-1 degrees of freedom.
+        const T: [f64; 10] = [
+            12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+        ];
+        let t = T.get(n - 2).copied().unwrap_or(1.96);
+        // `std` here is the population σ estimate; convert to the sample
+        // (n-1) estimator for the CI.
+        let sample_std = self.std * ((n as f64) / (n as f64 - 1.0)).sqrt();
+        t * sample_std / (n as f64).sqrt()
+    }
+}
+
+/// Runs `make_scenario(seed)` for every seed of `cfg`, in parallel, and
+/// returns the results in seed order.
+///
+/// The closure builds the scenario (including any seed-dependent
+/// topology); duration/warmup from `cfg` are applied on top.
+pub fn run_seeds<F>(cfg: &ExpConfig, make_scenario: F) -> Vec<SimResult>
+where
+    F: Fn(u64) -> Scenario + Sync,
+{
+    let scenarios: Vec<Scenario> = cfg
+        .seeds
+        .iter()
+        .map(|&s| {
+            let mut sc = make_scenario(s);
+            sc.duration = cfg.duration;
+            sc.warmup = cfg.warmup;
+            sc.seed = s;
+            sc
+        })
+        .collect();
+    run_parallel(&scenarios)
+}
+
+/// Runs a batch of scenarios in parallel (scoped threads, one per
+/// scenario up to the CPU count), preserving order.
+pub fn run_parallel(scenarios: &[Scenario]) -> Vec<SimResult> {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let mut out: Vec<Option<SimResult>> = vec![None; scenarios.len()];
+    crossbeam::thread::scope(|scope| {
+        let chunk = scenarios.len().div_ceil(threads).max(1);
+        for (slot_chunk, sc_chunk) in out.chunks_mut(chunk).zip(scenarios.chunks(chunk)) {
+            scope.spawn(move |_| {
+                for (slot, sc) in slot_chunk.iter_mut().zip(sc_chunk) {
+                    *slot = Some(engine::run(sc));
+                }
+            });
+        }
+    })
+    .expect("simulation worker panicked");
+    out.into_iter().map(|r| r.expect("all slots filled")).collect()
+}
+
+/// Convenience: runs the seeds and reduces each result to a scalar,
+/// returning its [`Stat`].
+pub fn stat_over_seeds<F, G>(cfg: &ExpConfig, make_scenario: F, metric: G) -> Stat
+where
+    F: Fn(u64) -> Scenario + Sync,
+    G: Fn(&SimResult) -> f64,
+{
+    let results = run_seeds(cfg, make_scenario);
+    let values: Vec<f64> = results.iter().map(metric).collect();
+    Stat::of(&values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nomc_topology::{paper, spectrum::ChannelPlan};
+    use nomc_units::{Dbm, Megahertz};
+
+    fn scenario(seed: u64) -> Scenario {
+        let plan = ChannelPlan::with_count(Megahertz::new(2460.0), Megahertz::new(5.0), 1);
+        let mut b = Scenario::builder(paper::line_deployment(&plan, Dbm::new(0.0)));
+        b.seed(seed);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn stat_of_values() {
+        let s = Stat::of(&[1.0, 2.0, 3.0]);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert!((s.std - (2.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(Stat::of(&[]), Stat::default());
+    }
+
+    #[test]
+    fn ci95_behaviour() {
+        let s = Stat::of(&[10.0, 12.0, 14.0]);
+        let ci = s.ci95_half_width(3);
+        // t(2 df) = 4.303, sample std = 2 → 4.303·2/√3 ≈ 4.97.
+        assert!((ci - 4.969).abs() < 0.01, "{ci}");
+        assert_eq!(s.ci95_half_width(1), 0.0);
+        // More samples shrink the interval.
+        let s10 = Stat::of(&[10.0, 12.0, 14.0, 10.0, 12.0, 14.0, 10.0, 12.0, 14.0, 12.0]);
+        assert!(s10.ci95_half_width(10) < ci);
+    }
+
+    #[test]
+    fn run_seeds_is_deterministic_and_ordered() {
+        let cfg = ExpConfig {
+            duration: nomc_units::SimDuration::from_secs(2),
+            warmup: nomc_units::SimDuration::from_secs(1),
+            seeds: vec![1, 2, 3],
+        };
+        let a = run_seeds(&cfg, scenario);
+        let b = run_seeds(&cfg, scenario);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+        // Different seeds really produce different runs.
+        assert_ne!(a[0], a[1]);
+    }
+
+    #[test]
+    fn stat_over_seeds_reduces() {
+        let cfg = ExpConfig {
+            duration: nomc_units::SimDuration::from_secs(2),
+            warmup: nomc_units::SimDuration::from_secs(1),
+            seeds: vec![1, 2],
+        };
+        let s = stat_over_seeds(&cfg, scenario, SimResult::total_throughput);
+        assert!(s.mean > 100.0, "mean {}", s.mean);
+    }
+}

@@ -1,0 +1,44 @@
+//! # nomc-mac
+//!
+//! The unslotted IEEE 802.15.4 CSMA/CA MAC, modelled as a pure state
+//! machine ([`engine::MacEngine`]) so it can be unit-tested without a
+//! simulator: the host feeds it events (backoff timer expired, CCA
+//! result, transmission finished) and receives commands (arm a timer,
+//! perform CCA, begin transmitting).
+//!
+//! The piece the paper modifies — *what threshold CCA compares against* —
+//! is abstracted as [`threshold::CcaThresholdProvider`]. The default
+//! ZigBee behaviour is [`threshold::FixedThreshold`] at −77 dBm; the DCN
+//! CCA-Adjustor in `nomc-core` is another implementation.
+//!
+//! # Examples
+//!
+//! Drive one successful transmission attempt by hand:
+//!
+//! ```
+//! use nomc_mac::engine::{MacCommand, MacEngine, MacEvent};
+//! use nomc_mac::params::CsmaParams;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let mut mac = MacEngine::new(CsmaParams::ieee802154_default());
+//! let cmd = mac.handle(MacEvent::PacketReady, &mut rng);
+//! assert!(matches!(cmd, MacCommand::SetBackoffTimer(_)));
+//! let cmd = mac.handle(MacEvent::BackoffExpired, &mut rng);
+//! assert_eq!(cmd, MacCommand::PerformCca);
+//! let cmd = mac.handle(MacEvent::CcaResult { clear: true }, &mut rng);
+//! assert_eq!(cmd, MacCommand::BeginTransmit { forced: false });
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod params;
+pub mod stats;
+pub mod threshold;
+
+pub use engine::{MacCommand, MacEngine, MacEvent};
+pub use params::{CcaFailurePolicy, CsmaParams};
+pub use stats::MacStats;
+pub use threshold::{CcaThresholdProvider, FixedThreshold};

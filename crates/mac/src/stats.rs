@@ -1,0 +1,118 @@
+//! Per-transmitter MAC statistics.
+
+use nomc_units::SimDuration;
+
+/// Counters a node's MAC accumulates over a run; the experiment harness
+/// aggregates these into the paper's throughput/PRR metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MacStats {
+    /// Frames handed to the MAC by the traffic source.
+    pub enqueued: u64,
+    /// Frames whose transmission actually started.
+    pub transmitted: u64,
+    /// Transmissions forced out by the transmit-anyway failure policy.
+    pub forced_transmissions: u64,
+    /// Frames dropped after channel-access failure (drop policy).
+    pub access_failures: u64,
+    /// Individual CCA operations that came back busy.
+    pub cca_busy: u64,
+    /// Individual CCA operations that came back clear.
+    pub cca_clear: u64,
+    /// Retransmission attempts after missing ACKs (acknowledged mode).
+    pub retransmissions: u64,
+    /// Frames abandoned after `macMaxFrameRetries` (acknowledged mode).
+    pub abandoned: u64,
+}
+
+impl MacStats {
+    /// A zeroed counter set.
+    pub fn new() -> Self {
+        MacStats::default()
+    }
+
+    /// Fraction of CCA operations that found the channel busy, or `None`
+    /// if no CCA ever ran.
+    pub fn cca_busy_ratio(&self) -> Option<f64> {
+        let total = self.cca_busy + self.cca_clear;
+        if total == 0 {
+            None
+        } else {
+            Some(self.cca_busy as f64 / total as f64)
+        }
+    }
+
+    /// Transmissions per second over a run of `elapsed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `elapsed` is zero.
+    pub fn tx_rate(&self, elapsed: SimDuration) -> f64 {
+        assert!(!elapsed.is_zero(), "elapsed time must be positive");
+        self.transmitted as f64 / elapsed.as_secs_f64()
+    }
+
+    /// Merges another node's counters into this one (for per-network
+    /// aggregation).
+    pub fn merge(&mut self, other: &MacStats) {
+        self.enqueued += other.enqueued;
+        self.transmitted += other.transmitted;
+        self.forced_transmissions += other.forced_transmissions;
+        self.access_failures += other.access_failures;
+        self.cca_busy += other.cca_busy;
+        self.cca_clear += other.cca_clear;
+        self.retransmissions += other.retransmissions;
+        self.abandoned += other.abandoned;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn busy_ratio() {
+        let mut s = MacStats::new();
+        assert_eq!(s.cca_busy_ratio(), None);
+        s.cca_busy = 3;
+        s.cca_clear = 1;
+        assert_eq!(s.cca_busy_ratio(), Some(0.75));
+    }
+
+    #[test]
+    fn tx_rate() {
+        let s = MacStats {
+            transmitted: 500,
+            ..MacStats::default()
+        };
+        assert!((s.tx_rate(SimDuration::from_secs(2)) - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "elapsed")]
+    fn tx_rate_rejects_zero_time() {
+        let _ = MacStats::default().tx_rate(SimDuration::ZERO);
+    }
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = MacStats {
+            enqueued: 1,
+            transmitted: 2,
+            forced_transmissions: 3,
+            access_failures: 4,
+            cca_busy: 5,
+            cca_clear: 6,
+            retransmissions: 7,
+            abandoned: 8,
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.enqueued, 2);
+        assert_eq!(a.transmitted, 4);
+        assert_eq!(a.forced_transmissions, 6);
+        assert_eq!(a.access_failures, 8);
+        assert_eq!(a.cca_busy, 10);
+        assert_eq!(a.cca_clear, 12);
+        assert_eq!(a.retransmissions, 14);
+        assert_eq!(a.abandoned, 16);
+    }
+}

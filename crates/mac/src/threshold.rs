@@ -1,0 +1,105 @@
+//! CCA-threshold provision — the extension point the paper's DCN plugs
+//! into.
+//!
+//! CSMA's clear-channel assessment compares sensed in-channel power with
+//! a threshold. The default ZigBee design fixes it at −77 dBm
+//! ([`FixedThreshold`]); DCN (in `nomc-core`) adjusts it from observed
+//! interference. The MAC calls [`CcaThresholdProvider::threshold`] at
+//! each CCA, and the node runtime forwards the two information sources
+//! the paper identifies (§V-B) to the provider:
+//!
+//! 1. the RSSI of each received co-channel packet, and
+//! 2. periodic in-channel power sensing (initializing phase only).
+
+use nomc_units::{Dbm, SimTime};
+
+/// A source of the current CCA threshold, updated from observed
+/// interference.
+pub trait CcaThresholdProvider: Send {
+    /// The threshold to compare sensed power against right now.
+    fn threshold(&self, now: SimTime) -> Dbm;
+
+    /// Called when a co-channel packet addressed to *anyone* is overheard
+    /// (the radio buffers it regardless), with its RSSI-register reading.
+    fn on_cochannel_packet(&mut self, rssi: Dbm, now: SimTime);
+
+    /// Called with an in-channel sensed-power reading (the initializing
+    /// phase's millisecond sampling). Implementations that no longer need
+    /// power sensing should return `false` from
+    /// [`CcaThresholdProvider::wants_power_sensing`] to save the host the
+    /// sampling cost, mirroring the paper's CPU-overhead argument.
+    fn on_power_sense(&mut self, power: Dbm, now: SimTime);
+
+    /// Whether the provider still wants in-channel power sensing samples.
+    fn wants_power_sensing(&self, now: SimTime) -> bool;
+
+    /// Periodic housekeeping hook, called by the host before each CCA and
+    /// on a coarse timer. Time-based rules (like DCN's Case-II update
+    /// after `T_U` seconds of silence) live here; the default is a no-op.
+    fn on_tick(&mut self, now: SimTime) {
+        let _ = now;
+    }
+}
+
+/// The default ZigBee design: a constant threshold, ignoring all
+/// observations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FixedThreshold(Dbm);
+
+impl FixedThreshold {
+    /// A fixed threshold at the given level.
+    pub fn new(level: Dbm) -> Self {
+        FixedThreshold(level)
+    }
+
+    /// The ZigBee default of −77 dBm.
+    pub fn zigbee_default() -> Self {
+        FixedThreshold(Dbm::new(-77.0))
+    }
+
+    /// The configured level.
+    pub fn level(&self) -> Dbm {
+        self.0
+    }
+}
+
+impl Default for FixedThreshold {
+    fn default() -> Self {
+        FixedThreshold::zigbee_default()
+    }
+}
+
+impl CcaThresholdProvider for FixedThreshold {
+    fn threshold(&self, _now: SimTime) -> Dbm {
+        self.0
+    }
+
+    fn on_cochannel_packet(&mut self, _rssi: Dbm, _now: SimTime) {}
+
+    fn on_power_sense(&mut self, _power: Dbm, _now: SimTime) {}
+
+    fn wants_power_sensing(&self, _now: SimTime) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_threshold_is_constant() {
+        let mut t = FixedThreshold::zigbee_default();
+        assert_eq!(t.threshold(SimTime::ZERO), Dbm::new(-77.0));
+        t.on_cochannel_packet(Dbm::new(-30.0), SimTime::from_secs(1));
+        t.on_power_sense(Dbm::new(-50.0), SimTime::from_secs(2));
+        assert_eq!(t.threshold(SimTime::from_secs(3)), Dbm::new(-77.0));
+        assert!(!t.wants_power_sensing(SimTime::ZERO));
+    }
+
+    #[test]
+    fn usable_as_trait_object() {
+        let t: Box<dyn CcaThresholdProvider> = Box::new(FixedThreshold::new(Dbm::new(-60.0)));
+        assert_eq!(t.threshold(SimTime::ZERO), Dbm::new(-60.0));
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests of the CSMA/CA state machine: for *any* sequence
+//! of channel conditions, the engine follows the protocol's structure.
+
+use nomc_mac::{CcaFailurePolicy, CsmaParams, MacCommand, MacEngine, MacEvent};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Drives one full packet attempt with the given per-CCA outcomes,
+/// returning the commands issued.
+fn drive(params: CsmaParams, cca_outcomes: &[bool], seed: u64) -> Vec<MacCommand> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut mac = MacEngine::new(params);
+    let mut commands = vec![mac.handle(MacEvent::PacketReady, &mut rng)];
+    let mut cca_iter = cca_outcomes.iter().copied().chain(std::iter::repeat(true));
+    loop {
+        match *commands.last().expect("non-empty") {
+            MacCommand::SetBackoffTimer(_) => {
+                commands.push(mac.handle(MacEvent::BackoffExpired, &mut rng));
+            }
+            MacCommand::PerformCca => {
+                let clear = cca_iter.next().expect("infinite");
+                commands.push(mac.handle(MacEvent::CcaResult { clear }, &mut rng));
+            }
+            MacCommand::BeginTransmit { .. } => {
+                commands.push(mac.handle(MacEvent::TxDone, &mut rng));
+            }
+            MacCommand::CompletePacket
+            | MacCommand::DeclareFailure
+            | MacCommand::AbandonPacket => return commands,
+            MacCommand::WaitForAck(_) => {
+                // These property tests drive unacknowledged parameter
+                // sets; an ACK wait would mean the params changed.
+                unreachable!("unacknowledged runs never wait for ACKs")
+            }
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn every_attempt_terminates_with_bounded_ccas(
+        outcomes in prop::collection::vec(any::<bool>(), 0..20),
+        seed in 0u64..1000,
+        policy in prop_oneof![
+            Just(CcaFailurePolicy::TransmitAnyway),
+            Just(CcaFailurePolicy::DropPacket)
+        ],
+    ) {
+        let params = CsmaParams { on_failure: policy, ..CsmaParams::ieee802154_default() };
+        let commands = drive(params, &outcomes, seed);
+        // CCA count never exceeds macMaxCSMABackoffs + 1.
+        let ccas = commands.iter().filter(|c| **c == MacCommand::PerformCca).count();
+        prop_assert!(ccas <= usize::from(params.max_csma_backoffs) + 1, "{} CCAs", ccas);
+        // The attempt ends in exactly one terminal command.
+        let terminal = commands.last().expect("non-empty");
+        prop_assert!(matches!(
+            terminal,
+            MacCommand::CompletePacket | MacCommand::DeclareFailure
+        ));
+        // DeclareFailure only under the drop policy.
+        if *terminal == MacCommand::DeclareFailure {
+            prop_assert_eq!(policy, CcaFailurePolicy::DropPacket);
+        }
+    }
+
+    #[test]
+    fn clear_cca_always_transmits(seed in 0u64..1000) {
+        let commands = drive(CsmaParams::ieee802154_default(), &[true], seed);
+        let has_tx = commands.contains(&MacCommand::BeginTransmit { forced: false });
+        prop_assert!(has_tx);
+        prop_assert_eq!(*commands.last().unwrap(), MacCommand::CompletePacket);
+    }
+
+    #[test]
+    fn forced_transmissions_only_after_exhaustion(
+        busy_count in 0usize..10,
+        seed in 0u64..1000,
+    ) {
+        let params = CsmaParams::ieee802154_default();
+        let outcomes = vec![false; busy_count];
+        let commands = drive(params, &outcomes, seed);
+        let forced = commands
+            .iter()
+            .any(|c| matches!(c, MacCommand::BeginTransmit { forced: true }));
+        let exhausted = busy_count > usize::from(params.max_csma_backoffs);
+        prop_assert_eq!(forced, exhausted, "busy_count={}", busy_count);
+    }
+
+    #[test]
+    fn backoff_durations_respect_be_cap(
+        outcomes in prop::collection::vec(Just(false), 0..8),
+        seed in 0u64..1000,
+    ) {
+        let params = CsmaParams {
+            max_csma_backoffs: 8,
+            on_failure: CcaFailurePolicy::DropPacket,
+            ..CsmaParams::ieee802154_default()
+        };
+        let commands = drive(params, &outcomes, seed);
+        for c in &commands {
+            if let MacCommand::SetBackoffTimer(d) = c {
+                let units = d.as_nanos() / params.unit_backoff.as_nanos();
+                prop_assert!(units < (1 << params.max_be), "backoff {} units", units);
+            }
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! Sampling concrete bit errors for a frame segment.
+//!
+//! Given a segment of `n` bits experiencing a constant BER `p`, the number
+//! of bit errors is Binomial(n, p). Frames are ~1000 bits and simulations
+//! push millions of segments, so we avoid per-bit Bernoulli draws:
+//!
+//! * tiny `n·p` → Poisson-style inversion on the binomial pmf,
+//! * large `n·p` → Gaussian approximation with continuity correction.
+//!
+//! Error *positions* (needed by the packet-recovery experiments,
+//! Figs. 28-29) are sampled uniformly without replacement only when the
+//! caller asks for them.
+
+use rand::Rng;
+
+/// Samples the number of bit errors in a segment of `n` bits with
+/// bit-error rate `p`.
+///
+/// # Panics
+///
+/// Panics if `p` is not in `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let errs = nomc_phy::biterror::sample_bit_errors(&mut rng, 1000, 0.0);
+/// assert_eq!(errs, 0);
+/// ```
+pub fn sample_bit_errors<R: Rng + ?Sized>(rng: &mut R, n: u32, p: f64) -> u32 {
+    assert!((0.0..=1.0).contains(&p), "BER out of range: {p}");
+    if n == 0 || p == 0.0 {
+        return 0;
+    }
+    if p == 1.0 {
+        return n;
+    }
+    let mean = f64::from(n) * p;
+    if mean < 30.0 {
+        binomial_inversion(rng, n, p)
+    } else {
+        binomial_gaussian(rng, n, p)
+    }
+}
+
+/// Samples `k` distinct bit positions in `[0, n)`, ascending.
+///
+/// Used to place the errors of a corrupted segment for recovery analysis.
+/// For the small `k` regime this is rejection sampling into a sorted vec;
+/// if `k` exceeds `n/2` we sample the complement instead.
+///
+/// # Panics
+///
+/// Panics if `k > n`.
+pub fn sample_error_positions<R: Rng + ?Sized>(rng: &mut R, n: u32, k: u32) -> Vec<u32> {
+    assert!(k <= n, "cannot place {k} errors in {n} bits");
+    if k == 0 {
+        return Vec::new();
+    }
+    if k == n {
+        return (0..n).collect();
+    }
+    if k <= n / 2 {
+        distinct_uniform(rng, n, k)
+    } else {
+        // Sample the complement and invert.
+        let excluded = distinct_uniform(rng, n, n - k);
+        let mut out = Vec::with_capacity(k as usize);
+        let mut ex = excluded.iter().copied().peekable();
+        for i in 0..n {
+            if ex.peek() == Some(&i) {
+                ex.next();
+            } else {
+                out.push(i);
+            }
+        }
+        out
+    }
+}
+
+/// `k` distinct values in `[0, n)`, ascending, `k ≤ n/2 + 1`.
+fn distinct_uniform<R: Rng + ?Sized>(rng: &mut R, n: u32, k: u32) -> Vec<u32> {
+    let mut out: Vec<u32> = Vec::with_capacity(k as usize);
+    while out.len() < k as usize {
+        let v = rng.gen_range(0..n);
+        if let Err(pos) = out.binary_search(&v) {
+            out.insert(pos, v);
+        }
+    }
+    out
+}
+
+/// Binomial sampling by pmf inversion (exact; efficient for small mean).
+fn binomial_inversion<R: Rng + ?Sized>(rng: &mut R, n: u32, p: f64) -> u32 {
+    // Work with q = min(p, 1-p) and mirror at the end for stability.
+    let mirrored = p > 0.5;
+    let q = if mirrored { 1.0 - p } else { p };
+    let u: f64 = rng.gen();
+    let ratio = q / (1.0 - q);
+    // pmf(0) = (1-q)^n computed in log-domain.
+    let mut pmf = (f64::from(n) * (1.0 - q).ln()).exp();
+    let mut cdf = pmf;
+    let mut k: u32 = 0;
+    while cdf < u && k < n {
+        k += 1;
+        pmf *= ratio * f64::from(n - k + 1) / f64::from(k);
+        cdf += pmf;
+        if pmf < 1e-300 {
+            break;
+        }
+    }
+    if mirrored {
+        n - k
+    } else {
+        k
+    }
+}
+
+/// Binomial sampling by Gaussian approximation (large mean).
+fn binomial_gaussian<R: Rng + ?Sized>(rng: &mut R, n: u32, p: f64) -> u32 {
+    let mean = f64::from(n) * p;
+    let sd = (f64::from(n) * p * (1.0 - p)).sqrt();
+    let z = crate::shadowing::standard_normal(rng);
+    (mean + sd * z + 0.5).clamp(0.0, f64::from(n)) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn extremes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(sample_bit_errors(&mut rng, 0, 0.3), 0);
+        assert_eq!(sample_bit_errors(&mut rng, 100, 0.0), 0);
+        assert_eq!(sample_bit_errors(&mut rng, 100, 1.0), 100);
+    }
+
+    #[test]
+    fn small_mean_distribution() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let (n, p, trials) = (856u32, 2e-4, 100_000u32);
+        let total: u64 = (0..trials)
+            .map(|_| u64::from(sample_bit_errors(&mut rng, n, p)))
+            .sum();
+        let mean = total as f64 / f64::from(trials);
+        let expected = f64::from(n) * p;
+        assert!(
+            (mean - expected).abs() < 0.02 * expected.max(0.05),
+            "mean {mean} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn large_mean_distribution() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let (n, p, trials) = (856u32, 0.25, 20_000u32);
+        let samples: Vec<f64> = (0..trials)
+            .map(|_| f64::from(sample_bit_errors(&mut rng, n, p)))
+            .collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let expected = f64::from(n) * p;
+        assert!((mean - expected).abs() < 1.5, "mean {mean} vs {expected}");
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
+            / samples.len() as f64;
+        let exp_var = f64::from(n) * p * (1.0 - p);
+        assert!((var - exp_var).abs() < 0.1 * exp_var, "var {var} vs {exp_var}");
+    }
+
+    #[test]
+    fn mirrored_high_p() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let (n, p) = (100u32, 0.97);
+        let trials = 20_000;
+        let mean: f64 = (0..trials)
+            .map(|_| f64::from(sample_bit_errors(&mut rng, n, p)))
+            .sum::<f64>()
+            / f64::from(trials);
+        assert!((mean - 97.0).abs() < 0.3, "mean {mean}");
+    }
+
+    #[test]
+    fn result_never_exceeds_n() {
+        let mut rng = StdRng::seed_from_u64(19);
+        for _ in 0..10_000 {
+            let k = sample_bit_errors(&mut rng, 50, 0.9);
+            assert!(k <= 50);
+        }
+    }
+
+    #[test]
+    fn positions_distinct_sorted_in_range() {
+        let mut rng = StdRng::seed_from_u64(23);
+        for &k in &[0u32, 1, 10, 400, 799, 800] {
+            let pos = sample_error_positions(&mut rng, 800, k);
+            assert_eq!(pos.len(), k as usize);
+            assert!(pos.windows(2).all(|w| w[0] < w[1]), "not strictly sorted");
+            assert!(pos.iter().all(|&p| p < 800));
+        }
+    }
+
+    #[test]
+    fn positions_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(29);
+        let mut counts = [0u32; 10];
+        for _ in 0..2000 {
+            for p in sample_error_positions(&mut rng, 1000, 5) {
+                counts[(p / 100) as usize] += 1;
+            }
+        }
+        let total: u32 = counts.iter().sum();
+        for &c in &counts {
+            let frac = f64::from(c) / f64::from(total);
+            assert!((frac - 0.1).abs() < 0.02, "bucket fraction {frac}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "errors")]
+    fn too_many_positions_rejected() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let _ = sample_error_positions(&mut rng, 10, 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "BER")]
+    fn bad_ber_rejected() {
+        let mut rng = StdRng::seed_from_u64(37);
+        let _ = sample_bit_errors(&mut rng, 10, 1.5);
+    }
+}

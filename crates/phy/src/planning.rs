@@ -1,0 +1,160 @@
+//! Analytic non-orthogonal channel planning.
+//!
+//! The paper answers "how close can channels be?" empirically (Fig. 4).
+//! This module answers it analytically from the same primitives: the
+//! predicted collided-packet receive rate at a given CFD is the frame
+//! success probability at `SINR = ACR(cfd) + Δ` averaged over the
+//! shadowing distribution (`Δ` = signal-minus-interference power at the
+//! receiver before channel filtering). Deployment tools can then pick
+//! the smallest CFD that still meets a CPRR target, instead of
+//! hard-coding the paper's 3 MHz.
+
+use crate::ber::BerModel;
+use crate::coupling::AcrCurve;
+use nomc_units::{Db, Megahertz};
+
+/// Inputs for a CPRR prediction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CprrModel {
+    /// Receiver channel-filter rejection curve.
+    pub acr: AcrCurve,
+    /// Demodulator characteristic.
+    pub ber: BerModel,
+    /// Frame size in PSDU bits.
+    pub frame_bits: u32,
+    /// Mean received signal power minus mean received interferer power
+    /// (before filtering), in dB. Zero for equal powers at equal range.
+    pub power_delta: Db,
+    /// Per-path shadowing σ (dB); signal and interference fade
+    /// independently, so the SINR spread is `√2 · σ`.
+    pub sigma_db: f64,
+}
+
+impl CprrModel {
+    /// The reproduction's calibrated defaults with an equal-power
+    /// collision and the standard frame.
+    pub fn calibrated_default() -> Self {
+        CprrModel {
+            acr: AcrCurve::cc2420_calibrated(),
+            ber: BerModel::Oqpsk802154,
+            frame_bits: 408,
+            power_delta: Db::ZERO,
+            sigma_db: 4.0,
+        }
+    }
+
+    /// Predicted CPRR at the given CFD: `E_X[ P_success(ACR(cfd) + Δ + X) ]`
+    /// with `X ~ N(0, √2·σ)`, integrated numerically over ±5 σ.
+    pub fn predicted_cprr(&self, cfd: Megahertz) -> f64 {
+        let mean = self.acr.rejection(cfd).value() + self.power_delta.value();
+        let sigma = self.sigma_db * std::f64::consts::SQRT_2;
+        if sigma == 0.0 {
+            return self
+                .ber
+                .frame_success_probability(Db::new(mean), self.frame_bits);
+        }
+        // Trapezoidal integration of the Gaussian-weighted success curve.
+        let steps = 200;
+        let half_width = 5.0 * sigma;
+        let dx = 2.0 * half_width / steps as f64;
+        let mut acc = 0.0;
+        let mut weight = 0.0;
+        for i in 0..=steps {
+            let x = -half_width + i as f64 * dx;
+            let w = (-0.5 * (x / sigma).powi(2)).exp();
+            let edge = if i == 0 || i == steps { 0.5 } else { 1.0 };
+            acc += edge
+                * w
+                * self
+                    .ber
+                    .frame_success_probability(Db::new(mean + x), self.frame_bits);
+            weight += edge * w;
+        }
+        acc / weight
+    }
+
+    /// The smallest CFD (0.1 MHz granularity) whose predicted CPRR meets
+    /// `target`, or `None` if even the curve's saturation CFD misses it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is not in `(0, 1]`.
+    pub fn min_cfd_for_cprr(&self, target: f64) -> Option<Megahertz> {
+        assert!(target > 0.0 && target <= 1.0, "target must be in (0,1]");
+        let max_tenths = (self.acr.saturation_cfd().value() * 10.0).ceil() as u32;
+        for tenths in 0..=max_tenths {
+            let cfd = Megahertz::new(f64::from(tenths) / 10.0);
+            if self.predicted_cprr(cfd) >= target {
+                return Some(cfd);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicted_cprr_is_monotone_in_cfd() {
+        let m = CprrModel::calibrated_default();
+        let mut prev = 0.0;
+        for tenths in 0..=60 {
+            let c = m.predicted_cprr(Megahertz::new(tenths as f64 / 10.0));
+            assert!(c >= prev - 1e-9, "not monotone at {tenths}");
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn matches_paper_bands_under_fig4_geometry() {
+        // Fig. 4's geometry has the interferer ≈ 9 dB hotter than the
+        // signal (4 m link vs 2 m attacker distance).
+        let m = CprrModel {
+            power_delta: Db::new(-9.1),
+            ..CprrModel::calibrated_default()
+        };
+        let at = |cfd: f64| m.predicted_cprr(Megahertz::new(cfd));
+        assert!(at(1.0) < 0.3, "1 MHz: {}", at(1.0));
+        assert!((0.5..0.9).contains(&at(2.0)), "2 MHz: {}", at(2.0));
+        assert!(at(3.0) > 0.9, "3 MHz: {}", at(3.0));
+        assert!(at(4.0) > 0.99, "4 MHz: {}", at(4.0));
+    }
+
+    #[test]
+    fn min_cfd_recovers_the_papers_choice() {
+        let m = CprrModel {
+            power_delta: Db::new(-9.1),
+            ..CprrModel::calibrated_default()
+        };
+        let cfd = m.min_cfd_for_cprr(0.95).expect("achievable");
+        assert!(
+            (2.5..=3.5).contains(&cfd.value()),
+            "97%-CPRR CFD should be ≈ 3 MHz, got {cfd}"
+        );
+    }
+
+    #[test]
+    fn unreachable_target_returns_none() {
+        // With a brutal 40 dB power deficit no CFD under the saturation
+        // rejection reaches 99.9 %.
+        let m = CprrModel {
+            power_delta: Db::new(-55.0),
+            ..CprrModel::calibrated_default()
+        };
+        assert_eq!(m.min_cfd_for_cprr(0.999), None);
+    }
+
+    #[test]
+    fn sigma_zero_is_a_step() {
+        let m = CprrModel {
+            sigma_db: 0.0,
+            power_delta: Db::new(-9.1),
+            ..CprrModel::calibrated_default()
+        };
+        let lo = m.predicted_cprr(Megahertz::new(1.0));
+        let hi = m.predicted_cprr(Megahertz::new(3.0));
+        assert!(lo < 0.01 && hi > 0.99, "step expected: {lo} / {hi}");
+    }
+}

@@ -1,0 +1,127 @@
+//! Per-packet log-normal shadowing.
+//!
+//! Real testbed links fluctuate packet-to-packet (multipath fading,
+//! people moving, crystal drift). We model this as a zero-mean Gaussian
+//! term in the dB domain, sampled independently per (transmitter,
+//! receiver, packet) path. This spread is what turns the razor-sharp
+//! O-QPSK BER cliff into the paper's smooth measured CPRR-vs-CFD curve
+//! (Fig. 4): without it, collisions would flip from 0 % to 100 % received
+//! within ~2 dB of geometry change.
+
+use nomc_units::Db;
+use rand::Rng;
+
+/// A log-normal shadowing model: zero-mean Gaussian in dB with standard
+/// deviation `sigma`.
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Copy, PartialEq)]
+pub struct Shadowing {
+    sigma_db: f64,
+}
+
+impl Shadowing {
+    /// Creates a shadowing model with the given standard deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma_db` is negative or not finite.
+    pub fn new(sigma_db: f64) -> Self {
+        assert!(
+            sigma_db.is_finite() && sigma_db >= 0.0,
+            "shadowing sigma must be finite and non-negative, got {sigma_db}"
+        );
+        Shadowing { sigma_db }
+    }
+
+    /// No shadowing (deterministic propagation); useful in unit tests and
+    /// the `ablation_shadowing` bench.
+    pub fn disabled() -> Self {
+        Shadowing::new(0.0)
+    }
+
+    /// The calibrated default: σ = 4 dB (indoor 2.4 GHz, matches the
+    /// paper's Fig. 4 transition widths).
+    pub fn indoor_default() -> Self {
+        Shadowing::new(4.0)
+    }
+
+    /// The standard deviation in dB.
+    pub fn sigma_db(&self) -> f64 {
+        self.sigma_db
+    }
+
+    /// Draws one shadowing term.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Db {
+        if self.sigma_db == 0.0 {
+            return Db::ZERO;
+        }
+        Db::new(self.sigma_db * standard_normal(rng))
+    }
+}
+
+impl Default for Shadowing {
+    fn default() -> Self {
+        Shadowing::indoor_default()
+    }
+}
+
+/// Samples a standard normal deviate via the Box-Muller transform.
+///
+/// `rand` (without `rand_distr`) has no normal distribution; Box-Muller is
+/// exact, branch-light and more than fast enough for per-packet use.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Guard u1 away from 0 so ln() stays finite.
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn disabled_is_exact_zero() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let s = Shadowing::disabled();
+        for _ in 0..100 {
+            assert_eq!(s.sample(&mut rng), Db::ZERO);
+        }
+    }
+
+    #[test]
+    fn sample_moments_match() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let s = Shadowing::new(4.0);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| s.sample(&mut rng).value()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var.sqrt() - 4.0).abs() < 0.05, "sigma {}", var.sqrt());
+    }
+
+    #[test]
+    fn standard_normal_tail_mass() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 100_000;
+        let beyond_2sigma = (0..n)
+            .filter(|_| standard_normal(&mut rng).abs() > 2.0)
+            .count() as f64
+            / n as f64;
+        // P(|Z| > 2) ≈ 4.55 %.
+        assert!((beyond_2sigma - 0.0455).abs() < 0.01, "{beyond_2sigma}");
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma")]
+    fn negative_sigma_rejected() {
+        let _ = Shadowing::new(-1.0);
+    }
+
+    #[test]
+    fn default_is_indoor() {
+        assert_eq!(Shadowing::default().sigma_db(), 4.0);
+    }
+}

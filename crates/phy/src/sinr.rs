@@ -1,0 +1,86 @@
+//! Signal-to-interference-plus-noise computation.
+
+use nomc_units::{Db, Dbm, MilliWatts};
+
+/// Computes the SINR of a signal against a set of interferers and noise.
+///
+/// Interference powers must already be coupled into the receiver's channel
+/// (i.e. attenuated by the [ACR curve](crate::coupling::AcrCurve)); this
+/// function just performs the linear-domain sum.
+///
+/// # Examples
+///
+/// ```
+/// use nomc_phy::sinr;
+/// use nomc_units::{Dbm, MilliWatts};
+///
+/// // −60 dBm signal, −70 dBm single interferer, −98 dBm noise → ≈ 9.99 dB.
+/// let s = sinr(
+///     Dbm::new(-60.0),
+///     [Dbm::new(-70.0).to_milliwatts()],
+///     Dbm::new(-98.0).to_milliwatts(),
+/// );
+/// assert!((s.value() - 9.99).abs() < 0.05);
+/// ```
+pub fn sinr<I>(signal: Dbm, interference: I, noise: MilliWatts) -> Db
+where
+    I: IntoIterator<Item = MilliWatts>,
+{
+    let denom: MilliWatts = interference.into_iter().sum::<MilliWatts>() + noise;
+    sinr_linear(signal.to_milliwatts(), denom)
+}
+
+/// SINR from pre-summed linear powers.
+///
+/// A zero denominator (physically impossible since noise is always
+/// positive, but reachable with a synthetic `MilliWatts::ZERO`) yields a
+/// very large but finite SINR.
+pub fn sinr_linear(signal: MilliWatts, interference_plus_noise: MilliWatts) -> Db {
+    if interference_plus_noise.value() <= 0.0 {
+        return Db::new(300.0);
+    }
+    Db::from_linear(signal / interference_plus_noise)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_interference_gives_snr() {
+        let s = sinr(Dbm::new(-60.0), [], Dbm::new(-90.0).to_milliwatts());
+        assert!((s.value() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn equal_interferer_dominates_noise() {
+        let s = sinr(
+            Dbm::new(-60.0),
+            [Dbm::new(-60.0).to_milliwatts()],
+            Dbm::new(-120.0).to_milliwatts(),
+        );
+        assert!(s.value().abs() < 0.01, "equal powers → ≈ 0 dB, got {s}");
+    }
+
+    #[test]
+    fn interferers_accumulate() {
+        let one = sinr(
+            Dbm::new(-60.0),
+            [Dbm::new(-70.0).to_milliwatts()],
+            MilliWatts::ZERO,
+        );
+        let two = sinr(
+            Dbm::new(-60.0),
+            [Dbm::new(-70.0).to_milliwatts(), Dbm::new(-70.0).to_milliwatts()],
+            MilliWatts::ZERO,
+        );
+        assert!(((one - two).value() - 3.01).abs() < 0.01);
+    }
+
+    #[test]
+    fn zero_denominator_is_finite() {
+        let s = sinr_linear(MilliWatts::new(1.0), MilliWatts::ZERO);
+        assert!(s.value().is_finite());
+        assert!(s.value() >= 100.0);
+    }
+}

@@ -1,0 +1,83 @@
+//! Property-based tests of the PHY models' structural guarantees.
+
+use nomc_phy::coupling::AcrCurve;
+use nomc_phy::planning::CprrModel;
+use nomc_phy::{biterror, BerModel};
+use nomc_units::{Db, Megahertz};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #[test]
+    fn ber_monotone_nonincreasing(a in -20.0f64..30.0, b in -20.0f64..30.0) {
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        for model in [BerModel::Oqpsk802154, BerModel::Dsss80211b] {
+            prop_assert!(
+                model.bit_error_rate(Db::new(hi)) <= model.bit_error_rate(Db::new(lo)) + 1e-15
+            );
+        }
+    }
+
+    #[test]
+    fn frame_success_monotone_in_length(
+        sinr in -5.0f64..10.0,
+        short in 8u32..400,
+        extra in 1u32..400,
+    ) {
+        let m = BerModel::Oqpsk802154;
+        let p_short = m.frame_success_probability(Db::new(sinr), short);
+        let p_long = m.frame_success_probability(Db::new(sinr), short + extra);
+        prop_assert!(p_long <= p_short + 1e-12, "longer frames cannot be safer");
+    }
+
+    #[test]
+    fn binomial_sampler_in_range(n in 0u32..2000, p in 0.0f64..=1.0, seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let k = biterror::sample_bit_errors(&mut rng, n, p);
+        prop_assert!(k <= n);
+    }
+
+    #[test]
+    fn error_positions_valid(n in 1u32..2000, seed in 0u64..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let k = n / 3;
+        let pos = biterror::sample_error_positions(&mut rng, n, k);
+        prop_assert_eq!(pos.len(), k as usize);
+        prop_assert!(pos.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(pos.iter().all(|&p| p < n));
+    }
+
+    #[test]
+    fn acr_interpolation_stays_within_endpoints(cfd in 0.0f64..12.0) {
+        let acr = AcrCurve::cc2420_calibrated();
+        let r = acr.rejection(Megahertz::new(cfd)).value();
+        prop_assert!((0.0..=50.0).contains(&r));
+    }
+
+    #[test]
+    fn predicted_cprr_monotone_in_power_delta(
+        cfd in 1.0f64..5.0,
+        d1 in -20.0f64..10.0,
+        d2 in -20.0f64..10.0,
+    ) {
+        // More relative signal power can never hurt CPRR.
+        let (lo, hi) = if d1 < d2 { (d1, d2) } else { (d2, d1) };
+        let at = |delta: f64| CprrModel {
+            power_delta: Db::new(delta),
+            ..CprrModel::calibrated_default()
+        }
+        .predicted_cprr(Megahertz::new(cfd));
+        prop_assert!(at(hi) >= at(lo) - 1e-9);
+    }
+
+    #[test]
+    fn predicted_cprr_is_a_probability(cfd in 0.0f64..10.0, delta in -30.0f64..10.0) {
+        let model = CprrModel {
+            power_delta: Db::new(delta),
+            ..CprrModel::calibrated_default()
+        };
+        let c = model.predicted_cprr(Megahertz::new(cfd));
+        prop_assert!((0.0..=1.0).contains(&c));
+    }
+}

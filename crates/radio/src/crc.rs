@@ -1,0 +1,116 @@
+//! CRC-16/ITU-T (a.k.a. CRC-16/KERMIT-family, polynomial 0x1021), the FCS
+//! of IEEE 802.15.4 MAC frames.
+//!
+//! 802.15.4 specifies the ITU-T CRC-16 with generator
+//! `x^16 + x^12 + x^5 + 1`, zero initial value, LSB-first processing and
+//! no final XOR. The packet-recovery experiments (Figs. 28-29) depend on
+//! real checksums: a corrupted frame passes or fails FCS exactly as a
+//! mote's would.
+
+/// Computes the IEEE 802.15.4 FCS over `data`.
+///
+/// # Examples
+///
+/// ```
+/// use nomc_radio::crc::crc16_itut;
+/// // Appending the (little-endian) FCS makes the total check come out 0.
+/// let mut frame = b"hello 802.15.4".to_vec();
+/// let fcs = crc16_itut(&frame);
+/// frame.extend_from_slice(&fcs.to_le_bytes());
+/// assert!(nomc_radio::crc::verify_fcs(&frame));
+/// ```
+pub fn crc16_itut(data: &[u8]) -> u16 {
+    let mut crc: u16 = 0x0000;
+    for &byte in data {
+        crc ^= u16::from(byte);
+        for _ in 0..8 {
+            if crc & 0x0001 != 0 {
+                crc = (crc >> 1) ^ 0x8408; // 0x1021 bit-reversed
+            } else {
+                crc >>= 1;
+            }
+        }
+    }
+    crc
+}
+
+/// Verifies a frame whose last two bytes are the little-endian FCS over
+/// the preceding bytes.
+///
+/// Returns `false` for frames shorter than the FCS itself.
+pub fn verify_fcs(frame_with_fcs: &[u8]) -> bool {
+    if frame_with_fcs.len() < 2 {
+        return false;
+    }
+    let (body, fcs) = frame_with_fcs.split_at(frame_with_fcs.len() - 2);
+    crc16_itut(body) == u16::from_le_bytes([fcs[0], fcs[1]])
+}
+
+/// Appends the FCS to `body`, producing a complete MPDU image.
+pub fn append_fcs(body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(body.len() + 2);
+    out.extend_from_slice(body);
+    out.extend_from_slice(&crc16_itut(body).to_le_bytes());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vector_123456789() {
+        // CRC-16/KERMIT check value for "123456789" is 0x2189.
+        assert_eq!(crc16_itut(b"123456789"), 0x2189);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(crc16_itut(&[]), 0x0000);
+    }
+
+    #[test]
+    fn verify_round_trip() {
+        for body in [&b""[..], b"a", b"some longer payload 0123456789"] {
+            assert!(verify_fcs(&append_fcs(body)));
+        }
+    }
+
+    #[test]
+    fn single_bit_flip_detected() {
+        let frame = append_fcs(b"payload under test");
+        for byte in 0..frame.len() {
+            for bit in 0..8 {
+                let mut corrupted = frame.clone();
+                corrupted[byte] ^= 1 << bit;
+                assert!(!verify_fcs(&corrupted), "missed flip at {byte}:{bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn short_frames_fail() {
+        assert!(!verify_fcs(&[]));
+        assert!(!verify_fcs(&[0x12]));
+    }
+
+    #[test]
+    fn two_bit_flips_usually_detected() {
+        // CRC-16 detects all 2-bit errors within its burst guarantees; do a
+        // spot check over a few hundred pairs.
+        let frame = append_fcs(b"0123456789abcdef");
+        let bits = frame.len() * 8;
+        let mut missed = 0;
+        for i in (0..bits).step_by(7) {
+            for j in ((i + 1)..bits).step_by(11) {
+                let mut c = frame.clone();
+                c[i / 8] ^= 1 << (i % 8);
+                c[j / 8] ^= 1 << (j % 8);
+                if verify_fcs(&c) {
+                    missed += 1;
+                }
+            }
+        }
+        assert_eq!(missed, 0);
+    }
+}

@@ -1,0 +1,112 @@
+//! RSSI register semantics.
+//!
+//! The CC2420's `RSSI.RSSI_VAL` is an 8-bit signed register holding the
+//! average received power over the last 8 symbol periods (128 µs), in
+//! 1 dB steps, with a usable range of roughly −100 dBm to 0 dBm. DCN
+//! reads this register in two ways (per the paper's §V-B): the RSSI byte
+//! appended to received co-channel packets, and explicit in-channel power
+//! sensing during the initializing phase.
+
+use nomc_units::{Dbm, SimDuration};
+
+/// Models the quantization and clamping a real RSSI register applies to
+/// the "true" channel power the simulator computes.
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Copy, PartialEq)]
+pub struct RssiRegister {
+    floor: Dbm,
+    ceiling: Dbm,
+    step_db: f64,
+    averaging_window: SimDuration,
+}
+
+impl RssiRegister {
+    /// The CC2420 profile: [−100, 0] dBm, 1 dB steps, 128 µs averaging.
+    pub fn cc2420() -> Self {
+        RssiRegister {
+            floor: Dbm::new(-100.0),
+            ceiling: Dbm::new(0.0),
+            step_db: 1.0,
+            averaging_window: SimDuration::from_micros(128),
+        }
+    }
+
+    /// An ideal register: no clamping, no quantization. Useful to isolate
+    /// register effects in ablation runs.
+    pub fn ideal() -> Self {
+        RssiRegister {
+            floor: Dbm::new(-200.0),
+            ceiling: Dbm::new(100.0),
+            step_db: 0.0,
+            averaging_window: SimDuration::from_micros(128),
+        }
+    }
+
+    /// What the register reads when the true average power is `actual`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use nomc_radio::rssi::RssiRegister;
+    /// use nomc_units::Dbm;
+    /// let r = RssiRegister::cc2420();
+    /// assert_eq!(r.read(Dbm::new(-76.4)), Dbm::new(-76.0));
+    /// assert_eq!(r.read(Dbm::new(-130.0)), Dbm::new(-100.0));
+    /// ```
+    pub fn read(&self, actual: Dbm) -> Dbm {
+        let clamped = actual.clamp(self.floor, self.ceiling);
+        if self.step_db > 0.0 {
+            Dbm::new((clamped.value() / self.step_db).round() * self.step_db)
+        } else {
+            clamped
+        }
+    }
+
+    /// The lowest value the register can report.
+    pub fn floor(&self) -> Dbm {
+        self.floor
+    }
+
+    /// The averaging window (8 symbols on CC2420).
+    pub fn averaging_window(&self) -> SimDuration {
+        self.averaging_window
+    }
+}
+
+impl Default for RssiRegister {
+    fn default() -> Self {
+        RssiRegister::cc2420()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clamps_to_range() {
+        let r = RssiRegister::cc2420();
+        assert_eq!(r.read(Dbm::new(-150.0)), Dbm::new(-100.0));
+        assert_eq!(r.read(Dbm::new(20.0)), Dbm::new(0.0));
+    }
+
+    #[test]
+    fn quantizes_to_one_db() {
+        let r = RssiRegister::cc2420();
+        assert_eq!(r.read(Dbm::new(-77.49)), Dbm::new(-77.0));
+        assert_eq!(r.read(Dbm::new(-77.51)), Dbm::new(-78.0));
+    }
+
+    #[test]
+    fn ideal_register_is_transparent() {
+        let r = RssiRegister::ideal();
+        assert_eq!(r.read(Dbm::new(-123.456)), Dbm::new(-123.456));
+    }
+
+    #[test]
+    fn window_is_8_symbols() {
+        assert_eq!(
+            RssiRegister::cc2420().averaging_window(),
+            SimDuration::from_micros(128)
+        );
+    }
+}

@@ -1,0 +1,166 @@
+//! The event queue.
+//!
+//! A binary heap keyed by `(time, sequence)`; the monotone sequence number
+//! makes same-instant ordering deterministic (insertion order), which is
+//! essential for reproducible runs.
+
+use nomc_units::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Identifies a node in the running simulation.
+pub type NodeId = usize;
+
+/// Identifies one transmission.
+pub type TxId = u64;
+
+/// Everything that can happen in the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// The node's traffic source delivers the next frame to the MAC.
+    PacketReady(NodeId),
+    /// The node's CSMA backoff timer expired.
+    BackoffExpired(NodeId),
+    /// The node's CCA measurement window closed.
+    CcaDone(NodeId),
+    /// The node's radio finished RX→TX turnaround and begins emitting.
+    TxStart(NodeId),
+    /// Transmission `1` from node `0` left the air.
+    TxEnd(NodeId, TxId),
+    /// The receiver finished correlating the preamble/SFD of `1`.
+    SyncDone(NodeId, TxId),
+    /// DCN initializing-phase in-channel power sample.
+    PowerSense(NodeId),
+    /// Coarse periodic hook for time-based threshold rules (DCN Case II).
+    ProviderTick(NodeId),
+    /// Acknowledged mode: node `0` starts emitting the ACK for data
+    /// transmission `1` (after RX→TX turnaround).
+    AckStart(NodeId, TxId),
+    /// Acknowledged mode: the sender's `macAckWaitDuration` for data
+    /// transmission `1` expired.
+    AckTimeout(NodeId, TxId),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Scheduled {
+    time: SimTime,
+    seq: u64,
+    event: Event,
+}
+
+// Reverse ordering: BinaryHeap is a max-heap, we want earliest first.
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic future-event list.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    pub fn schedule(&mut self, at: SimTime, event: Event) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled {
+            time: at,
+            seq,
+            event,
+        });
+    }
+
+    /// Pops the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, Event)> {
+        self.heap.pop().map(|s| (s.time, s.event))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(3), Event::PacketReady(0));
+        q.schedule(SimTime::from_millis(1), Event::PacketReady(1));
+        q.schedule(SimTime::from_millis(2), Event::PacketReady(2));
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(
+            order,
+            vec![
+                Event::PacketReady(1),
+                Event::PacketReady(2),
+                Event::PacketReady(0)
+            ]
+        );
+    }
+
+    #[test]
+    fn same_instant_is_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(5);
+        for i in 0..10 {
+            q.schedule(t, Event::PacketReady(i));
+        }
+        for i in 0..10 {
+            let (_, e) = q.pop().unwrap();
+            assert_eq!(e, Event::PacketReady(i));
+        }
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(SimTime::ZERO, Event::ProviderTick(0));
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn interleaved_scheduling_stays_deterministic() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(10), Event::CcaDone(0));
+        q.schedule(SimTime::from_micros(10), Event::TxStart(1));
+        let (_, first) = q.pop().unwrap();
+        // New event at the same time goes after already-queued ones.
+        q.schedule(SimTime::from_micros(10), Event::BackoffExpired(2));
+        let (_, second) = q.pop().unwrap();
+        let (_, third) = q.pop().unwrap();
+        assert_eq!(first, Event::CcaDone(0));
+        assert_eq!(second, Event::TxStart(1));
+        assert_eq!(third, Event::BackoffExpired(2));
+    }
+}

@@ -1,0 +1,498 @@
+//! The shared wireless medium.
+//!
+//! Tracks every transmission (active ones plus a short history so that
+//! receptions ending now can still see interferers that ended mid-frame),
+//! and answers the two questions the rest of the simulator asks:
+//!
+//! 1. *What power does node X sense on channel f right now?* (CCA, RSSI
+//!    power sensing) — co-channel and inter-channel components reported
+//!    separately so the oracle-classifier extension can use them.
+//! 2. *What interference did reception R experience, segment by segment?*
+//!    — used at frame end to turn SINR history into sampled bit errors.
+
+use crate::events::{NodeId, TxId};
+use nomc_phy::coupling::AcrCurve;
+use nomc_phy::BerModel;
+use nomc_units::{Dbm, Megahertz, MilliWatts, SimDuration, SimTime};
+use rand::Rng;
+
+/// One on-air (or recently ended) transmission.
+#[derive(Debug, Clone)]
+pub struct Transmission {
+    /// Unique id.
+    pub id: TxId,
+    /// Transmitting node.
+    pub tx_node: NodeId,
+    /// Global link index the frame belongs to.
+    pub link: usize,
+    /// Channel centre frequency.
+    pub frequency: Megahertz,
+    /// First symbol on air.
+    pub start: SimTime,
+    /// Start of the PSDU (after preamble/SFD/length header).
+    pub mpdu_start: SimTime,
+    /// Last symbol on air.
+    pub end: SimTime,
+    /// Sequence number within the link.
+    pub seq: u32,
+    /// Whether the MAC forced this frame out after CCA exhaustion.
+    pub forced: bool,
+    /// Received power at every node, shadowing already applied
+    /// (indexed by `NodeId`). *Not* yet attenuated by channel filters —
+    /// that depends on each observer's channel.
+    pub rx_power: Vec<Dbm>,
+}
+
+impl Transmission {
+    /// Whether the transmission is on air at `t`.
+    pub fn is_active_at(&self, t: SimTime) -> bool {
+        self.start <= t && t < self.end
+    }
+
+    /// Overlap of this transmission with `[from, to]`, if any.
+    pub fn overlap(&self, from: SimTime, to: SimTime) -> Option<(SimTime, SimTime)> {
+        let s = self.start.max(from);
+        let e = self.end.min(to);
+        if s < e {
+            Some((s, e))
+        } else {
+            None
+        }
+    }
+}
+
+/// A constant-interference stretch of a reception.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    /// Length of the stretch.
+    pub duration: SimDuration,
+    /// Total coupled interference power (noise *not* included).
+    pub interference: MilliWatts,
+}
+
+/// The medium: transmission registry plus the propagation constants
+/// needed to couple powers across channels.
+#[derive(Debug)]
+pub struct Medium {
+    acr: AcrCurve,
+    noise: MilliWatts,
+    transmissions: Vec<Transmission>,
+    /// How long ended transmissions are retained for late segment queries.
+    retention: SimDuration,
+}
+
+impl Medium {
+    /// Creates a medium with the given rejection curve and noise floor.
+    pub fn new(acr: AcrCurve, noise: MilliWatts) -> Self {
+        Medium {
+            acr,
+            noise,
+            transmissions: Vec::new(),
+            // Longest frame is ≈ 4.3 ms; keep 4× that.
+            retention: SimDuration::from_millis(20),
+        }
+    }
+
+    /// The noise floor in linear power.
+    pub fn noise(&self) -> MilliWatts {
+        self.noise
+    }
+
+    /// The rejection curve.
+    pub fn acr(&self) -> &AcrCurve {
+        &self.acr
+    }
+
+    /// Registers a transmission starting now and prunes stale history.
+    pub fn add(&mut self, tx: Transmission) {
+        let now = tx.start;
+        self.transmissions
+            .retain(|t| now.saturating_since(t.end) <= self.retention);
+        self.transmissions.push(tx);
+    }
+
+    /// Looks up a transmission by id (active or recent).
+    pub fn get(&self, id: TxId) -> Option<&Transmission> {
+        self.transmissions.iter().find(|t| t.id == id)
+    }
+
+    /// Number of tracked (active + recent) transmissions.
+    pub fn tracked(&self) -> usize {
+        self.transmissions.len()
+    }
+
+    /// Instantaneous sensed power at `observer` tuned to `freq`, split
+    /// into (co-channel, inter-channel) components, *excluding* the
+    /// observer's own emissions and *excluding* noise.
+    ///
+    /// "Co-channel" means CFD < 0.5 MHz (same grid point).
+    pub fn sensed_components(
+        &self,
+        observer: NodeId,
+        freq: Megahertz,
+        now: SimTime,
+    ) -> (MilliWatts, MilliWatts) {
+        let mut co = MilliWatts::ZERO;
+        let mut inter = MilliWatts::ZERO;
+        for t in &self.transmissions {
+            if t.tx_node == observer || !t.is_active_at(now) {
+                continue;
+            }
+            let cfd = t.frequency.distance_to(freq);
+            let coupled = t.rx_power[observer].to_milliwatts()
+                * self.acr.leakage_factor(cfd);
+            if cfd.value() < 0.5 {
+                co += coupled;
+            } else {
+                inter += coupled;
+            }
+        }
+        (co, inter)
+    }
+
+    /// Total sensed power (co + inter + noise) at `observer` on `freq` —
+    /// what an RSSI register measures.
+    pub fn sensed_total(&self, observer: NodeId, freq: Megahertz, now: SimTime) -> MilliWatts {
+        let (co, inter) = self.sensed_components(observer, freq, now);
+        co + inter + self.noise
+    }
+
+    /// Piecewise-constant interference experienced by `observer` (tuned
+    /// to `freq`) during `[from, to]`, excluding transmission `subject`
+    /// and the observer's own emissions. Noise is *not* included.
+    ///
+    /// Returns segments in chronological order covering exactly
+    /// `[from, to]`.
+    pub fn interference_segments(
+        &self,
+        subject: TxId,
+        observer: NodeId,
+        freq: Megahertz,
+        from: SimTime,
+        to: SimTime,
+    ) -> Vec<Segment> {
+        debug_assert!(from <= to);
+        // Collect overlapping interferers with their coupled powers.
+        let mut interferers: Vec<(SimTime, SimTime, MilliWatts)> = Vec::new();
+        for t in &self.transmissions {
+            if t.id == subject || t.tx_node == observer {
+                continue;
+            }
+            if let Some((s, e)) = t.overlap(from, to) {
+                let coupled = t.rx_power[observer].to_milliwatts()
+                    * self.acr.leakage_factor(t.frequency.distance_to(freq));
+                interferers.push((s, e, coupled));
+            }
+        }
+        // Build segment boundaries.
+        let mut bounds: Vec<SimTime> = Vec::with_capacity(interferers.len() * 2 + 2);
+        bounds.push(from);
+        bounds.push(to);
+        for &(s, e, _) in &interferers {
+            bounds.push(s);
+            bounds.push(e);
+        }
+        bounds.sort();
+        bounds.dedup();
+        let mut segments = Vec::with_capacity(bounds.len() - 1);
+        for w in bounds.windows(2) {
+            let (s, e) = (w[0], w[1]);
+            if s == e {
+                continue;
+            }
+            let mut power = MilliWatts::ZERO;
+            for &(is, ie, p) in &interferers {
+                if is <= s && e <= ie {
+                    power += p;
+                }
+            }
+            segments.push(Segment {
+                duration: e - s,
+                interference: power,
+            });
+        }
+        if segments.is_empty() {
+            segments.push(Segment {
+                duration: to - from,
+                interference: MilliWatts::ZERO,
+            });
+        }
+        segments
+    }
+
+    /// Whether any *other* transmission overlapped `[from, to]` with a
+    /// coupled power above `floor` at the observer — the "collided"
+    /// predicate for the paper's CPRR metric.
+    pub fn was_collided(
+        &self,
+        subject: TxId,
+        observer: NodeId,
+        freq: Megahertz,
+        from: SimTime,
+        to: SimTime,
+        floor: Dbm,
+    ) -> bool {
+        self.transmissions.iter().any(|t| {
+            t.id != subject
+                && t.tx_node != observer
+                && t.overlap(from, to).is_some()
+                && {
+                    let coupled = t.rx_power[observer].to_milliwatts()
+                        * self.acr.leakage_factor(t.frequency.distance_to(freq));
+                    coupled.to_dbm() > floor
+                }
+        })
+    }
+}
+
+/// One bit at 250 kb/s: 4 µs.
+pub const BIT_DURATION: SimDuration = SimDuration::from_micros(4);
+
+/// Samples bit errors over `segments` for a signal of `signal` dBm,
+/// returning `(error_bits, total_bits)`.
+///
+/// Bits are allotted to segments proportionally to duration; the total is
+/// the true bit count of the window (durations rounded per segment, which
+/// is exact when segment boundaries fall on bit boundaries and off by at
+/// most one bit otherwise).
+pub fn sample_segment_errors<R: Rng + ?Sized>(
+    rng: &mut R,
+    segments: &[Segment],
+    signal: Dbm,
+    noise: MilliWatts,
+    model: BerModel,
+) -> (u32, u32) {
+    let signal_mw = signal.to_milliwatts();
+    let mut errors = 0u32;
+    let mut bits = 0u32;
+    for seg in segments {
+        let n = (seg.duration.as_nanos() / BIT_DURATION.as_nanos()) as u32;
+        if n == 0 {
+            continue;
+        }
+        let sinr = nomc_phy::sinr::sinr_linear(signal_mw, seg.interference + noise);
+        let ber = model.bit_error_rate(sinr);
+        errors += nomc_phy::biterror::sample_bit_errors(rng, n, ber);
+        bits += n;
+    }
+    (errors, bits)
+}
+
+/// Computes the probability that a sync header (preamble + SFD, 40 bits)
+/// decodes, given its segments.
+pub fn sync_success_probability(
+    segments: &[Segment],
+    signal: Dbm,
+    noise: MilliWatts,
+    model: BerModel,
+) -> f64 {
+    let signal_mw = signal.to_milliwatts();
+    let mut p = 1.0;
+    for seg in segments {
+        let n = (seg.duration.as_nanos() / BIT_DURATION.as_nanos()) as u32;
+        if n == 0 {
+            continue;
+        }
+        let sinr = nomc_phy::sinr::sinr_linear(signal_mw, seg.interference + noise);
+        p *= model.frame_success_probability(sinr, n);
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn mk_tx(id: TxId, node: NodeId, freq: f64, start_us: u64, end_us: u64, p: f64) -> Transmission {
+        Transmission {
+            id,
+            tx_node: node,
+            link: node,
+            frequency: Megahertz::new(freq),
+            start: SimTime::from_micros(start_us),
+            mpdu_start: SimTime::from_micros(start_us + 192),
+            end: SimTime::from_micros(end_us),
+            seq: 0,
+            forced: false,
+            rx_power: vec![Dbm::new(p); 4],
+        }
+    }
+
+    fn medium() -> Medium {
+        Medium::new(AcrCurve::cc2420_calibrated(), Dbm::new(-98.0).to_milliwatts())
+    }
+
+    #[test]
+    fn sensed_components_split_by_channel() {
+        let mut m = medium();
+        m.add(mk_tx(1, 0, 2460.0, 0, 3000, -60.0)); // co-channel for 2460 observer
+        m.add(mk_tx(2, 1, 2463.0, 0, 3000, -60.0)); // +3 MHz
+        let now = SimTime::from_micros(1000);
+        let (co, inter) = m.sensed_components(3, Megahertz::new(2460.0), now);
+        assert!((co.to_dbm().value() - (-60.0)).abs() < 0.01);
+        // 20 dB rejection at 3 MHz.
+        assert!((inter.to_dbm().value() - (-80.0)).abs() < 0.01);
+    }
+
+    #[test]
+    fn own_transmissions_excluded() {
+        let mut m = medium();
+        m.add(mk_tx(1, 0, 2460.0, 0, 3000, -50.0));
+        let (co, inter) = m.sensed_components(0, Megahertz::new(2460.0), SimTime::from_micros(1));
+        assert_eq!(co, MilliWatts::ZERO);
+        assert_eq!(inter, MilliWatts::ZERO);
+    }
+
+    #[test]
+    fn inactive_transmissions_not_sensed() {
+        let mut m = medium();
+        m.add(mk_tx(1, 0, 2460.0, 0, 100, -50.0));
+        let total = m.sensed_total(1, Megahertz::new(2460.0), SimTime::from_micros(200));
+        assert!((total.to_dbm().value() - (-98.0)).abs() < 0.1, "only noise");
+    }
+
+    #[test]
+    fn segments_partition_the_window() {
+        let mut m = medium();
+        // Subject: [0, 3000]; interferer A: [500, 1200]; B: [1000, 4000].
+        m.add(mk_tx(1, 0, 2460.0, 0, 3000, -60.0));
+        m.add(mk_tx(2, 1, 2460.0, 500, 1200, -70.0));
+        m.add(mk_tx(3, 2, 2460.0, 1000, 4000, -70.0));
+        let segs = m.interference_segments(
+            1,
+            3,
+            Megahertz::new(2460.0),
+            SimTime::ZERO,
+            SimTime::from_micros(3000),
+        );
+        let total: SimDuration = segs.iter().map(|s| s.duration).sum();
+        assert_eq!(total, SimDuration::from_micros(3000));
+        // Expect 5 segments: [0,500) quiet, [500,1000) A, [1000,1200) A+B,
+        // [1200,3000) B.
+        assert_eq!(segs.len(), 4);
+        assert_eq!(segs[0].interference, MilliWatts::ZERO);
+        assert!(segs[2].interference > segs[1].interference);
+        assert!((segs[2].interference.to_dbm().value() - (-66.99)).abs() < 0.05);
+    }
+
+    #[test]
+    fn quiet_window_single_segment() {
+        let mut m = medium();
+        m.add(mk_tx(1, 0, 2460.0, 0, 3000, -60.0));
+        let segs = m.interference_segments(
+            1,
+            1,
+            Megahertz::new(2460.0),
+            SimTime::ZERO,
+            SimTime::from_micros(3000),
+        );
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].interference, MilliWatts::ZERO);
+    }
+
+    #[test]
+    fn ended_interferers_still_visible_for_late_queries() {
+        let mut m = medium();
+        m.add(mk_tx(1, 0, 2460.0, 0, 500, -70.0)); // ends early
+        m.add(mk_tx(2, 1, 2460.0, 100, 3000, -60.0)); // subject
+        let segs = m.interference_segments(
+            2,
+            2,
+            Megahertz::new(2460.0),
+            SimTime::from_micros(100),
+            SimTime::from_micros(3000),
+        );
+        assert!(segs[0].interference > MilliWatts::ZERO, "early overlap seen");
+    }
+
+    #[test]
+    fn history_pruned_after_retention() {
+        let mut m = medium();
+        m.add(mk_tx(1, 0, 2460.0, 0, 100, -70.0));
+        assert_eq!(m.tracked(), 1);
+        m.add(mk_tx(2, 1, 2460.0, 50_000, 53_000, -70.0));
+        assert_eq!(m.tracked(), 1, "stale entry pruned on add");
+        assert!(m.get(1).is_none());
+        assert!(m.get(2).is_some());
+    }
+
+    #[test]
+    fn collided_predicate() {
+        let mut m = medium();
+        m.add(mk_tx(1, 0, 2460.0, 0, 3000, -60.0));
+        m.add(mk_tx(2, 1, 2463.0, 1000, 2000, -60.0));
+        let f = Megahertz::new(2460.0);
+        let floor = Dbm::new(-100.0);
+        assert!(m.was_collided(1, 3, f, SimTime::ZERO, SimTime::from_micros(3000), floor));
+        // Adjacent-channel overlaps count too (coupled power −80 dBm).
+        assert!(m.was_collided(
+            2,
+            3,
+            Megahertz::new(2463.0),
+            SimTime::from_micros(1500),
+            SimTime::from_micros(1800),
+            floor
+        ));
+        // No overlap in the queried window → not collided.
+        assert!(!m.was_collided(
+            1,
+            3,
+            f,
+            SimTime::from_micros(3500),
+            SimTime::from_micros(4000),
+            floor
+        ));
+    }
+
+    #[test]
+    fn segment_error_sampling_scales_with_sinr() {
+        let mut rng = crate::rng::Xoshiro256StarStar::seed_from_u64(3);
+        let noise = Dbm::new(-98.0).to_milliwatts();
+        let quiet = [Segment {
+            duration: SimDuration::from_micros(2976),
+            interference: MilliWatts::ZERO,
+        }];
+        let (errs, bits) =
+            sample_segment_errors(&mut rng, &quiet, Dbm::new(-60.0), noise, BerModel::Oqpsk802154);
+        assert_eq!(bits, 744);
+        assert_eq!(errs, 0, "38 dB SNR is error-free");
+
+        let jammed = [Segment {
+            duration: SimDuration::from_micros(2976),
+            interference: Dbm::new(-57.0).to_milliwatts(),
+        }];
+        let (errs, _) =
+            sample_segment_errors(&mut rng, &jammed, Dbm::new(-60.0), noise, BerModel::Oqpsk802154);
+        assert!(errs >= 1, "-3 dB SINR must corrupt the frame, got {errs}");
+        let destroyed = [Segment {
+            duration: SimDuration::from_micros(2976),
+            interference: Dbm::new(-50.0).to_milliwatts(),
+        }];
+        let (errs, _) = sample_segment_errors(
+            &mut rng,
+            &destroyed,
+            Dbm::new(-60.0),
+            noise,
+            BerModel::Oqpsk802154,
+        );
+        assert!(errs > 100, "-10 dB SINR must corrupt heavily, got {errs}");
+    }
+
+    #[test]
+    fn sync_probability_extremes() {
+        let noise = Dbm::new(-98.0).to_milliwatts();
+        let quiet = [Segment {
+            duration: SimDuration::from_micros(160),
+            interference: MilliWatts::ZERO,
+        }];
+        let p = sync_success_probability(&quiet, Dbm::new(-60.0), noise, BerModel::Oqpsk802154);
+        assert!(p > 0.9999);
+        let jammed = [Segment {
+            duration: SimDuration::from_micros(160),
+            interference: Dbm::new(-50.0).to_milliwatts(),
+        }];
+        let p = sync_success_probability(&jammed, Dbm::new(-60.0), noise, BerModel::Oqpsk802154);
+        assert!(p < 0.05, "got {p}");
+    }
+}

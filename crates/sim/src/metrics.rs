@@ -1,0 +1,280 @@
+//! Run results: per-link counters, per-network aggregates, and the
+//! paper's derived metrics (throughput, PRR, CPRR).
+
+use nomc_mac::MacStats;
+use nomc_units::{Dbm, Megahertz, SimDuration, SimTime};
+
+/// The bit-error profile of one corrupted frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ErrorRecord {
+    /// Number of erroneous bits.
+    pub error_bits: u32,
+    /// Total PSDU bits.
+    pub total_bits: u32,
+    /// Error positions (bit indices in the PSDU), when recording was
+    /// enabled.
+    pub positions: Option<Vec<u32>>,
+}
+
+impl ErrorRecord {
+    /// Fraction of bits in error, in `[0, 1]`.
+    pub fn error_fraction(&self) -> f64 {
+        if self.total_bits == 0 {
+            0.0
+        } else {
+            f64::from(self.error_bits) / f64::from(self.total_bits)
+        }
+    }
+}
+
+/// How a measured transmission ended at its intended receiver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxOutcome {
+    /// Decoded successfully.
+    Received,
+    /// Synced, but the FCS failed.
+    CrcFailed,
+    /// The preamble never decoded (receiver idle but SINR too low, or
+    /// signal below sensitivity).
+    SyncMissed,
+    /// The intended receiver was busy (receiving another frame or
+    /// transmitting).
+    ReceiverBusy,
+}
+
+/// One entry of the optional Fig. 3-style timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimelineRecord {
+    /// Global link index.
+    pub link: usize,
+    /// First symbol on air.
+    pub start: SimTime,
+    /// Last symbol on air.
+    pub end: SimTime,
+    /// Outcome at the intended receiver.
+    pub outcome: TxOutcome,
+    /// Whether another transmission overlapped it (collision).
+    pub collided: bool,
+}
+
+/// Counters for one link, measured over the post-warmup window.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LinkMetrics {
+    /// Owning network (deployment order).
+    pub network: usize,
+    /// Index within the network.
+    pub link_in_network: usize,
+    /// Frames transmitted.
+    pub sent: u64,
+    /// Of those, forced out after CCA exhaustion.
+    pub forced_sent: u64,
+    /// Frames decoded by the intended receiver.
+    pub received: u64,
+    /// Frames whose preamble the intended receiver missed.
+    pub sync_missed: u64,
+    /// Frames that found the intended receiver busy.
+    pub receiver_busy: u64,
+    /// Frames that synced but failed the FCS.
+    pub crc_failed: u64,
+    /// Frames that overlapped another transmission.
+    pub collided: u64,
+    /// Collided frames nevertheless decoded.
+    pub collided_received: u64,
+    /// Retransmission attempts (acknowledged mode; included in `sent`).
+    pub retransmissions: u64,
+    /// Frames abandoned after exhausting retries (acknowledged mode).
+    pub abandoned: u64,
+    /// Duplicate deliveries suppressed at the receiver (ACK lost).
+    pub duplicates: u64,
+    /// Bit-error profiles of CRC-failed frames.
+    pub error_records: Vec<ErrorRecord>,
+}
+
+impl LinkMetrics {
+    /// Packet receive rate: received / sent (`None` when nothing sent).
+    pub fn prr(&self) -> Option<f64> {
+        if self.sent == 0 {
+            None
+        } else {
+            Some(self.received as f64 / self.sent as f64)
+        }
+    }
+
+    /// Collided-packet receive rate (the paper's CPRR).
+    pub fn cprr(&self) -> Option<f64> {
+        if self.collided == 0 {
+            None
+        } else {
+            Some(self.collided_received as f64 / self.collided as f64)
+        }
+    }
+
+    /// Received packets per second.
+    pub fn throughput(&self, measured: SimDuration) -> f64 {
+        self.received as f64 / measured.as_secs_f64()
+    }
+
+    /// Sent packets per second.
+    pub fn send_rate(&self, measured: SimDuration) -> f64 {
+        self.sent as f64 / measured.as_secs_f64()
+    }
+}
+
+/// Aggregate over one network's links.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkMetrics {
+    /// Deployment index.
+    pub index: usize,
+    /// Channel frequency.
+    pub frequency: Megahertz,
+    /// Summed counters.
+    pub totals: LinkMetrics,
+}
+
+impl NetworkMetrics {
+    /// Received packets per second across the network.
+    pub fn throughput(&self, measured: SimDuration) -> f64 {
+        self.totals.throughput(measured)
+    }
+}
+
+/// The complete result of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimResult {
+    /// Length of the measured window (duration − warmup).
+    pub measured: SimDuration,
+    /// Per-link counters, in deployment order (network-major).
+    pub links: Vec<LinkMetrics>,
+    /// Channel frequency per network.
+    pub network_frequencies: Vec<Megahertz>,
+    /// MAC counters per transmitter node (one per link).
+    pub mac_stats: Vec<MacStats>,
+    /// Transmit power per transmitter node (one per link), for energy
+    /// accounting.
+    pub tx_powers: Vec<Dbm>,
+    /// Final CCA threshold per transmitter node (after clamping).
+    pub final_thresholds: Vec<Dbm>,
+    /// Optional transmission timeline.
+    pub timeline: Vec<TimelineRecord>,
+    /// Optional structured event trace.
+    pub trace: Vec<crate::trace::TraceRecord>,
+}
+
+impl SimResult {
+    /// Aggregates links into per-network metrics, in deployment order.
+    pub fn networks(&self) -> Vec<NetworkMetrics> {
+        let mut out: Vec<NetworkMetrics> = self
+            .network_frequencies
+            .iter()
+            .enumerate()
+            .map(|(i, &frequency)| NetworkMetrics {
+                index: i,
+                frequency,
+                totals: LinkMetrics {
+                    network: i,
+                    ..LinkMetrics::default()
+                },
+            })
+            .collect();
+        for l in &self.links {
+            let t = &mut out[l.network].totals;
+            t.sent += l.sent;
+            t.forced_sent += l.forced_sent;
+            t.received += l.received;
+            t.sync_missed += l.sync_missed;
+            t.receiver_busy += l.receiver_busy;
+            t.crc_failed += l.crc_failed;
+            t.collided += l.collided;
+            t.collided_received += l.collided_received;
+            t.retransmissions += l.retransmissions;
+            t.abandoned += l.abandoned;
+            t.duplicates += l.duplicates;
+            t.error_records.extend(l.error_records.iter().cloned());
+        }
+        out
+    }
+
+    /// Throughput of network `i` in packets/s.
+    pub fn network_throughput(&self, i: usize) -> f64 {
+        self.networks()[i].throughput(self.measured)
+    }
+
+    /// Overall (all-network) throughput in packets/s.
+    pub fn total_throughput(&self) -> f64 {
+        self.links.iter().map(|l| l.received).sum::<u64>() as f64 / self.measured.as_secs_f64()
+    }
+
+    /// Overall PRR across all links.
+    pub fn total_prr(&self) -> Option<f64> {
+        let sent: u64 = self.links.iter().map(|l| l.sent).sum();
+        let received: u64 = self.links.iter().map(|l| l.received).sum();
+        if sent == 0 {
+            None
+        } else {
+            Some(received as f64 / sent as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link(network: usize, sent: u64, received: u64) -> LinkMetrics {
+        LinkMetrics {
+            network,
+            sent,
+            received,
+            ..LinkMetrics::default()
+        }
+    }
+
+    #[test]
+    fn prr_and_throughput() {
+        let l = link(0, 200, 150);
+        assert_eq!(l.prr(), Some(0.75));
+        assert!((l.throughput(SimDuration::from_secs(10)) - 15.0).abs() < 1e-9);
+        assert_eq!(link(0, 0, 0).prr(), None);
+    }
+
+    #[test]
+    fn cprr() {
+        let l = LinkMetrics {
+            collided: 100,
+            collided_received: 97,
+            ..LinkMetrics::default()
+        };
+        assert_eq!(l.cprr(), Some(0.97));
+        assert_eq!(LinkMetrics::default().cprr(), None);
+    }
+
+    #[test]
+    fn error_fraction() {
+        let r = ErrorRecord {
+            error_bits: 80,
+            total_bits: 800,
+            positions: None,
+        };
+        assert!((r.error_fraction() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn network_aggregation() {
+        let result = SimResult {
+            measured: SimDuration::from_secs(10),
+            links: vec![link(0, 100, 90), link(0, 100, 80), link(1, 100, 70)],
+            network_frequencies: vec![Megahertz::new(2458.0), Megahertz::new(2461.0)],
+            mac_stats: vec![],
+            tx_powers: vec![],
+            final_thresholds: vec![],
+            timeline: vec![],
+            trace: vec![],
+        };
+        let nets = result.networks();
+        assert_eq!(nets.len(), 2);
+        assert_eq!(nets[0].totals.received, 170);
+        assert!((result.network_throughput(0) - 17.0).abs() < 1e-9);
+        assert!((result.total_throughput() - 24.0).abs() < 1e-9);
+        assert_eq!(result.total_prr(), Some(0.8));
+    }
+}

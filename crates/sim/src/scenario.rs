@@ -1,0 +1,432 @@
+//! Scenario configuration: a deployment plus behaviour, propagation and
+//! run parameters.
+
+use nomc_core::DcnConfig;
+use nomc_mac::CsmaParams;
+use nomc_phy::{AcrCurve, FreeSpace, LogDistance, NoiseFloor, PathLoss, Shadowing};
+use nomc_radio::{frame::FrameSpec, RadioConfig};
+use nomc_topology::Deployment;
+use nomc_units::{Db, Dbm, Meters, SimDuration};
+
+/// Concrete path-loss model choices (enum so scenarios stay `Clone`).
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, PartialEq)]
+pub enum PathLossModel {
+    /// Friis free-space loss.
+    FreeSpace(FreeSpace),
+    /// Log-distance loss.
+    LogDistance(LogDistance),
+}
+
+impl PathLossModel {
+    /// Mean attenuation at `distance`.
+    pub fn loss(&self, distance: Meters) -> Db {
+        match self {
+            PathLossModel::FreeSpace(m) => m.loss(distance),
+            PathLossModel::LogDistance(m) => m.loss(distance),
+        }
+    }
+}
+
+/// The propagation environment.
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, PartialEq)]
+pub struct Propagation {
+    /// Large-scale path loss.
+    pub path_loss: PathLossModel,
+    /// Per-packet log-normal shadowing.
+    pub shadowing: Shadowing,
+    /// Receiver noise floor.
+    pub noise: NoiseFloor,
+    /// Adjacent-channel rejection curve.
+    pub acr: AcrCurve,
+}
+
+impl Propagation {
+    /// The calibrated testbed-like environment (see DESIGN.md §2).
+    pub fn testbed_default() -> Self {
+        Propagation {
+            path_loss: PathLossModel::LogDistance(LogDistance::indoor_2_4ghz()),
+            shadowing: Shadowing::indoor_default(),
+            noise: NoiseFloor::cc2420_default(),
+            acr: AcrCurve::cc2420_calibrated(),
+        }
+    }
+}
+
+impl Default for Propagation {
+    fn default() -> Self {
+        Propagation::testbed_default()
+    }
+}
+
+/// How a network's CCA threshold is driven.
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, PartialEq)]
+pub enum ThresholdMode {
+    /// Fixed threshold (the ZigBee default design when set to −77 dBm).
+    Fixed(Dbm),
+    /// The paper's DCN CCA-Adjustor.
+    Dcn(DcnConfig),
+    /// §VII-C extension: DCN threshold plus a perfect co-channel/
+    /// inter-channel classifier at CCA time.
+    DcnOracle(DcnConfig),
+    /// Fixed threshold with the perfect classifier (ablation).
+    FixedOracle(Dbm),
+}
+
+impl ThresholdMode {
+    /// The ZigBee factory default: fixed −77 dBm.
+    pub fn zigbee_default() -> Self {
+        ThresholdMode::Fixed(Dbm::new(-77.0))
+    }
+
+    /// Whether CCA uses the oracle decomposition.
+    pub fn is_oracle(&self) -> bool {
+        matches!(
+            self,
+            ThresholdMode::DcnOracle(_) | ThresholdMode::FixedOracle(_)
+        )
+    }
+}
+
+/// Traffic offered to a link's transmitter.
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrafficModel {
+    /// Always another frame queued (the paper's saturated sources).
+    Saturated,
+    /// One frame every fixed interval (the §III-B attacker pacing).
+    Interval(SimDuration),
+    /// Store-and-forward: send one frame per frame delivered on another
+    /// link (multi-hop convergecast). `from_link` is a *global* link
+    /// index (deployment order, network-major).
+    Forward {
+        /// The upstream link whose deliveries feed this transmitter.
+        from_link: usize,
+    },
+}
+
+/// Behaviour of one network's nodes.
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, PartialEq)]
+pub struct NetworkBehavior {
+    /// CCA threshold source for the network's transmitters.
+    pub threshold: ThresholdMode,
+    /// CSMA/CA parameters.
+    pub mac: CsmaParams,
+    /// Offered traffic per link.
+    pub traffic: TrafficModel,
+}
+
+impl NetworkBehavior {
+    /// The default ZigBee design: fixed −77 dBm, standard CSMA, saturated.
+    pub fn zigbee_default() -> Self {
+        NetworkBehavior {
+            threshold: ThresholdMode::zigbee_default(),
+            mac: CsmaParams::ieee802154_default(),
+            traffic: TrafficModel::Saturated,
+        }
+    }
+
+    /// The paper's DCN design with default parameters.
+    pub fn dcn_default() -> Self {
+        NetworkBehavior {
+            threshold: ThresholdMode::Dcn(DcnConfig::paper_default()),
+            ..NetworkBehavior::zigbee_default()
+        }
+    }
+
+    /// The §III-B attacker: carrier sense off, fixed-interval pacing.
+    pub fn attacker(interval: SimDuration) -> Self {
+        NetworkBehavior {
+            threshold: ThresholdMode::zigbee_default(),
+            mac: CsmaParams::carrier_sense_disabled(),
+            traffic: TrafficModel::Interval(interval),
+        }
+    }
+}
+
+impl Default for NetworkBehavior {
+    fn default() -> Self {
+        NetworkBehavior::zigbee_default()
+    }
+}
+
+/// A complete, runnable scenario.
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Node positions, channels and powers.
+    pub deployment: Deployment,
+    /// Propagation environment.
+    pub propagation: Propagation,
+    /// Radio hardware profile.
+    pub radio: RadioConfig,
+    /// Frame geometry.
+    pub frame: FrameSpec,
+    /// Per-network behaviour (same length/order as
+    /// `deployment.networks`).
+    pub behaviors: Vec<NetworkBehavior>,
+    /// Per-link traffic overrides: `(global link index, model)`. Lets a
+    /// multi-hop chain mix source and forwarding links inside one
+    /// network.
+    #[serde(default)]
+    pub link_traffic: Vec<(usize, TrafficModel)>,
+    /// Total simulated time.
+    pub duration: SimDuration,
+    /// Initial span excluded from metrics (lets DCN initialize and
+    /// queues reach steady state).
+    pub warmup: SimDuration,
+    /// RNG seed; equal seeds reproduce runs exactly.
+    pub seed: u64,
+    /// Record bit-error positions of CRC-failed frames (needed by the
+    /// packet-recovery experiments; costs memory).
+    pub record_error_positions: bool,
+    /// Record a per-transmission timeline (Fig. 3 style).
+    pub record_timeline: bool,
+    /// Record a full structured event trace (see [`crate::trace`]);
+    /// sizeable — one record per CCA and per frame.
+    #[serde(default)]
+    pub record_trace: bool,
+    /// Coupled-power floor above which an overlapping transmission counts
+    /// as a "collision" for CPRR purposes.
+    pub collision_floor: Dbm,
+}
+
+impl Scenario {
+    /// Starts building a scenario over `deployment`.
+    pub fn builder(deployment: Deployment) -> ScenarioBuilder {
+        ScenarioBuilder::new(deployment)
+    }
+}
+
+/// Builder for [`Scenario`].
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    deployment: Deployment,
+    propagation: Propagation,
+    radio: RadioConfig,
+    frame: FrameSpec,
+    behaviors: Vec<NetworkBehavior>,
+    link_traffic: Vec<(usize, TrafficModel)>,
+    duration: SimDuration,
+    warmup: SimDuration,
+    seed: u64,
+    record_error_positions: bool,
+    record_timeline: bool,
+    record_trace: bool,
+    collision_floor: Dbm,
+}
+
+impl ScenarioBuilder {
+    /// Creates a builder with calibrated defaults: ZigBee behaviour on
+    /// every network, 20 s duration, 3 s warmup, seed 1.
+    pub fn new(deployment: Deployment) -> Self {
+        let n = deployment.networks.len();
+        ScenarioBuilder {
+            deployment,
+            propagation: Propagation::testbed_default(),
+            radio: RadioConfig::cc2420(),
+            frame: FrameSpec::default_data_frame(),
+            behaviors: vec![NetworkBehavior::zigbee_default(); n],
+            link_traffic: Vec::new(),
+            duration: SimDuration::from_secs(20),
+            warmup: SimDuration::from_secs(3),
+            seed: 1,
+            record_error_positions: false,
+            record_timeline: false,
+            record_trace: false,
+            collision_floor: Dbm::new(-100.0),
+        }
+    }
+
+    /// Sets the behaviour of every network.
+    pub fn behavior_all(&mut self, behavior: NetworkBehavior) -> &mut Self {
+        for b in &mut self.behaviors {
+            *b = behavior.clone();
+        }
+        self
+    }
+
+    /// Sets the behaviour of network `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn behavior(&mut self, index: usize, behavior: NetworkBehavior) -> &mut Self {
+        self.behaviors[index] = behavior;
+        self
+    }
+
+    /// Overrides the traffic model of one link (by global link index).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `global_link` is out of range.
+    pub fn link_traffic(&mut self, global_link: usize, traffic: TrafficModel) -> &mut Self {
+        assert!(
+            global_link < self.deployment.link_count(),
+            "link {global_link} out of range"
+        );
+        self.link_traffic.push((global_link, traffic));
+        self
+    }
+
+    /// Sets the propagation environment.
+    pub fn propagation(&mut self, p: Propagation) -> &mut Self {
+        self.propagation = p;
+        self
+    }
+
+    /// Sets the radio profile.
+    pub fn radio(&mut self, r: RadioConfig) -> &mut Self {
+        self.radio = r;
+        self
+    }
+
+    /// Sets the frame geometry.
+    pub fn frame(&mut self, f: FrameSpec) -> &mut Self {
+        self.frame = f;
+        self
+    }
+
+    /// Sets total simulated time.
+    pub fn duration(&mut self, d: SimDuration) -> &mut Self {
+        self.duration = d;
+        self
+    }
+
+    /// Sets the measurement warmup.
+    pub fn warmup(&mut self, w: SimDuration) -> &mut Self {
+        self.warmup = w;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(&mut self, s: u64) -> &mut Self {
+        self.seed = s;
+        self
+    }
+
+    /// Enables bit-error position recording.
+    pub fn record_error_positions(&mut self, on: bool) -> &mut Self {
+        self.record_error_positions = on;
+        self
+    }
+
+    /// Enables the transmission timeline.
+    pub fn record_timeline(&mut self, on: bool) -> &mut Self {
+        self.record_timeline = on;
+        self
+    }
+
+    /// Enables the structured event trace.
+    pub fn record_trace(&mut self, on: bool) -> &mut Self {
+        self.record_trace = on;
+        self
+    }
+
+    /// Finalizes the scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the deployment is invalid, the warmup is not
+    /// shorter than the duration, or a MAC parameter set is inconsistent.
+    pub fn build(&self) -> Result<Scenario, String> {
+        self.deployment.validate()?;
+        if self.warmup >= self.duration {
+            return Err(format!(
+                "warmup ({}) must be shorter than duration ({})",
+                self.warmup, self.duration
+            ));
+        }
+        for (i, b) in self.behaviors.iter().enumerate() {
+            b.mac.validate().map_err(|e| format!("network {i}: {e}"))?;
+            if let ThresholdMode::Dcn(cfg) | ThresholdMode::DcnOracle(cfg) = &b.threshold {
+                cfg.validate().map_err(|e| format!("network {i}: {e}"))?;
+            }
+        }
+        let links = self.deployment.link_count();
+        for &(link, traffic) in &self.link_traffic {
+            if link >= links {
+                return Err(format!("traffic override for unknown link {link}"));
+            }
+            if let TrafficModel::Forward { from_link } = traffic {
+                if from_link >= links {
+                    return Err(format!(
+                        "link {link} forwards from unknown link {from_link}"
+                    ));
+                }
+                if from_link == link {
+                    return Err(format!("link {link} cannot forward from itself"));
+                }
+            }
+        }
+        Ok(Scenario {
+            deployment: self.deployment.clone(),
+            propagation: self.propagation.clone(),
+            radio: self.radio.clone(),
+            frame: self.frame,
+            behaviors: self.behaviors.clone(),
+            link_traffic: self.link_traffic.clone(),
+            duration: self.duration,
+            warmup: self.warmup,
+            seed: self.seed,
+            record_error_positions: self.record_error_positions,
+            record_timeline: self.record_timeline,
+            record_trace: self.record_trace,
+            collision_floor: self.collision_floor,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nomc_topology::paper;
+    use nomc_topology::spectrum::ChannelPlan;
+    use nomc_units::Megahertz;
+
+    fn deployment() -> Deployment {
+        let plan = ChannelPlan::with_count(Megahertz::new(2458.0), Megahertz::new(3.0), 3);
+        paper::line_deployment(&plan, Dbm::new(0.0))
+    }
+
+    #[test]
+    fn builder_defaults_build() {
+        let s = Scenario::builder(deployment()).build().unwrap();
+        assert_eq!(s.behaviors.len(), 3);
+        assert_eq!(s.duration, SimDuration::from_secs(20));
+        assert!(matches!(s.behaviors[0].threshold, ThresholdMode::Fixed(_)));
+    }
+
+    #[test]
+    fn behavior_overrides() {
+        let mut b = Scenario::builder(deployment());
+        b.behavior_all(NetworkBehavior::dcn_default());
+        b.behavior(1, NetworkBehavior::attacker(SimDuration::from_millis(3)));
+        let s = b.build().unwrap();
+        assert!(matches!(s.behaviors[0].threshold, ThresholdMode::Dcn(_)));
+        assert!(matches!(s.behaviors[1].traffic, TrafficModel::Interval(_)));
+        assert!(!s.behaviors[1].mac.carrier_sense);
+    }
+
+    #[test]
+    fn warmup_must_be_shorter_than_duration() {
+        let mut b = Scenario::builder(deployment());
+        b.duration(SimDuration::from_secs(2)).warmup(SimDuration::from_secs(2));
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn invalid_mac_rejected() {
+        let mut b = Scenario::builder(deployment());
+        let mut bad = NetworkBehavior::zigbee_default();
+        bad.mac.min_be = 7;
+        b.behavior(2, bad);
+        let err = b.build().unwrap_err();
+        assert!(err.contains("network 2"), "{err}");
+    }
+
+    #[test]
+    fn oracle_detection() {
+        assert!(ThresholdMode::FixedOracle(Dbm::new(-77.0)).is_oracle());
+        assert!(ThresholdMode::DcnOracle(DcnConfig::default()).is_oracle());
+        assert!(!ThresholdMode::zigbee_default().is_oracle());
+    }
+}

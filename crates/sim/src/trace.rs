@@ -1,0 +1,118 @@
+//! Structured event traces.
+//!
+//! When [`crate::Scenario::record_trace`] is set, the engine appends one
+//! [`TraceRecord`] per radio-level event. Traces serialize to JSON lines
+//! (`nomc run --trace out.jsonl`), which is how a stuck calibration or a
+//! surprising DCN decision gets debugged: the trace shows exactly which
+//! CCA read what power against what threshold, and how every frame
+//! fared.
+
+use crate::events::{NodeId, TxId};
+use nomc_units::SimTime;
+use serde::Serialize;
+
+/// One trace entry.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TraceRecord {
+    /// When it happened.
+    pub at: SimTime,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+/// The traced event kinds.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum TraceKind {
+    /// A CCA measurement completed.
+    Cca {
+        /// Sensing node.
+        node: NodeId,
+        /// RSSI-register reading (dBm).
+        sensed_dbm: f64,
+        /// Threshold compared against (dBm, post-clamp).
+        threshold_dbm: f64,
+        /// The verdict.
+        clear: bool,
+    },
+    /// A frame's first symbol left the antenna.
+    TxStart {
+        /// Transmitting node.
+        node: NodeId,
+        /// Transmission id.
+        tx: TxId,
+        /// Frame sequence number.
+        seq: u32,
+        /// Whether the transmit-anyway policy forced it.
+        forced: bool,
+    },
+    /// A frame finished at its intended receiver.
+    Outcome {
+        /// The transmission.
+        tx: TxId,
+        /// The receiver.
+        receiver: NodeId,
+        /// `"received" | "crc_failed" | "sync_missed" | "receiver_busy"`.
+        outcome: &'static str,
+    },
+    /// An Imm-ACK was decoded by the original sender.
+    AckDelivered {
+        /// The acknowledged data transmission.
+        tx: TxId,
+        /// The sender that received the ACK.
+        sender: NodeId,
+    },
+    /// A sender's `macAckWaitDuration` expired without the ACK.
+    AckTimedOut {
+        /// The unacknowledged data transmission.
+        tx: TxId,
+        /// The waiting sender.
+        sender: NodeId,
+    },
+}
+
+/// Renders records as JSON lines.
+pub fn to_jsonl(records: &[TraceRecord]) -> String {
+    let mut out = String::new();
+    for r in records {
+        out.push_str(&serde_json::to_string(r).expect("trace serializes"));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_one_line_per_record() {
+        let records = vec![
+            TraceRecord {
+                at: SimTime::from_micros(128),
+                kind: TraceKind::Cca {
+                    node: 0,
+                    sensed_dbm: -80.0,
+                    threshold_dbm: -77.0,
+                    clear: true,
+                },
+            },
+            TraceRecord {
+                at: SimTime::from_micros(320),
+                kind: TraceKind::TxStart {
+                    node: 0,
+                    tx: 1,
+                    seq: 1,
+                    forced: false,
+                },
+            },
+        ];
+        let text = to_jsonl(&records);
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains("\"Cca\""));
+        assert!(text.contains("\"TxStart\""));
+        // Each line is valid JSON.
+        for line in text.lines() {
+            let _: serde_json::Value = serde_json::from_str(line).expect("valid json");
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! # nomc-topology
+//!
+//! Where the nodes are and which frequencies they use: 2-D [`geometry`],
+//! random [`placement`] generators (dense region / clusters / uniform),
+//! non-orthogonal [`spectrum`] planning (channel centres on a CFD grid
+//! inside a band), and — most importantly — the [`paper`] module, which
+//! encodes every named testbed configuration of the ICDCS 2010 paper
+//! (Fig. 5, Fig. 13, Cases I/II/III of Figs. 22-24, and the 15/18 MHz
+//! band layouts of §VI-B) as reproducible [`Deployment`] values.
+//!
+//! [`assignment`] adds the deployment-tool step the paper leaves to the
+//! operator: choosing *which* network gets *which* non-orthogonal
+//! channel, by minimizing predicted coupled interference.
+//!
+//! A [`Deployment`] is pure data: networks, each with a centre frequency
+//! and a set of transmitter→receiver links with positions and powers.
+//! The simulator (`nomc-sim`) turns a deployment plus behavioural options
+//! into a runnable scenario.
+//!
+//! # Examples
+//!
+//! ```
+//! use nomc_topology::spectrum::{ChannelPlan, FitPolicy};
+//! use nomc_units::Megahertz;
+//!
+//! // The paper's §VI-B band: 2458-2473 MHz, CFD = 3 MHz → 6 channels.
+//! let plan = ChannelPlan::fit(
+//!     Megahertz::new(2458.0),
+//!     Megahertz::new(15.0),
+//!     Megahertz::new(3.0),
+//!     FitPolicy::InclusiveEnds,
+//! ).unwrap();
+//! assert_eq!(plan.channels().len(), 6);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod assignment;
+pub mod deployment;
+pub mod geometry;
+pub mod paper;
+pub mod placement;
+pub mod spectrum;
+pub mod tree;
+
+pub use deployment::{Deployment, LinkSpec, NetworkSpec};
+pub use geometry::Point;
+pub use spectrum::{ChannelPlan, FitPolicy};

@@ -1,0 +1,164 @@
+//! Random placement generators for the paper's Case I/II/III topologies.
+
+use crate::geometry::Point;
+use nomc_units::Dbm;
+use rand::Rng;
+
+/// A rectangular region `[x0, x0+w] × [y0, y0+h]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Region {
+    /// Lower-left corner.
+    pub origin: Point,
+    /// Width (m).
+    pub width: f64,
+    /// Height (m).
+    pub height: f64,
+}
+
+impl Region {
+    /// Creates a region.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive dimensions.
+    pub fn new(origin: Point, width: f64, height: f64) -> Self {
+        assert!(width > 0.0 && height > 0.0, "region must have positive area");
+        Region {
+            origin,
+            width,
+            height,
+        }
+    }
+
+    /// A `size × size` square centred at the origin.
+    pub fn centered_square(size: f64) -> Self {
+        Region::new(Point::new(-size / 2.0, -size / 2.0), size, size)
+    }
+
+    /// Uniformly samples a point inside the region.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Point {
+        Point::new(
+            self.origin.x + rng.gen::<f64>() * self.width,
+            self.origin.y + rng.gen::<f64>() * self.height,
+        )
+    }
+
+    /// Whether the region contains `p` (inclusive).
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.origin.x
+            && p.x <= self.origin.x + self.width
+            && p.y >= self.origin.y
+            && p.y <= self.origin.y + self.height
+    }
+
+    /// The region's centre point.
+    pub fn center(&self) -> Point {
+        Point::new(
+            self.origin.x + self.width / 2.0,
+            self.origin.y + self.height / 2.0,
+        )
+    }
+}
+
+/// Samples a transmitter/receiver pair uniformly in `region` with link
+/// length at most `max_link` (re-draws the receiver until it is within
+/// range — the paper's testbed links are all short).
+pub fn sample_link<R: Rng + ?Sized>(rng: &mut R, region: &Region, max_link: f64) -> (Point, Point) {
+    let tx = region.sample(rng);
+    loop {
+        // Draw the receiver in a disc around the transmitter, clipped to
+        // the region.
+        let angle = rng.gen::<f64>() * std::f64::consts::TAU;
+        let dist = 0.5 + rng.gen::<f64>() * (max_link - 0.5).max(0.1);
+        let rx = tx.offset(dist * angle.cos(), dist * angle.sin());
+        if region.contains(rx) {
+            return (tx, rx);
+        }
+    }
+}
+
+/// Samples a random per-node transmit power uniformly in
+/// `[min_dbm, max_dbm]` — the paper's "[-22 dBm, 0 dBm] at random" for
+/// the general network configurations (§VI-B-4).
+pub fn sample_power<R: Rng + ?Sized>(rng: &mut R, min_dbm: f64, max_dbm: f64) -> Dbm {
+    assert!(min_dbm <= max_dbm, "inverted power range");
+    Dbm::new(min_dbm + rng.gen::<f64>() * (max_dbm - min_dbm))
+}
+
+/// Cluster centres for Case II: `count` clusters on a grid with `pitch`
+/// metres spacing, rows of `per_row`.
+pub fn grid_cluster_centers(count: usize, per_row: usize, pitch: f64) -> Vec<Point> {
+    assert!(per_row > 0, "per_row must be positive");
+    (0..count)
+        .map(|i| {
+            let row = i / per_row;
+            let col = i % per_row;
+            Point::new(col as f64 * pitch, row as f64 * pitch)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_stay_inside() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let r = Region::centered_square(6.0);
+        for _ in 0..1000 {
+            assert!(r.contains(r.sample(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn link_respects_max_length() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let r = Region::centered_square(20.0);
+        for _ in 0..500 {
+            let (tx, rx) = sample_link(&mut rng, &r, 3.0);
+            assert!(tx.distance_to(rx).value() <= 3.0 + 1e-9);
+            assert!(r.contains(tx) && r.contains(rx));
+        }
+    }
+
+    #[test]
+    fn power_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..500 {
+            let p = sample_power(&mut rng, -22.0, 0.0);
+            assert!((-22.0..=0.0).contains(&p.value()));
+        }
+    }
+
+    #[test]
+    fn power_covers_range() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let ps: Vec<f64> = (0..2000).map(|_| sample_power(&mut rng, -22.0, 0.0).value()).collect();
+        assert!(ps.iter().cloned().fold(f64::MAX, f64::min) < -20.0);
+        assert!(ps.iter().cloned().fold(f64::MIN, f64::max) > -2.0);
+    }
+
+    #[test]
+    fn grid_centers() {
+        let c = grid_cluster_centers(6, 3, 8.0);
+        assert_eq!(c.len(), 6);
+        assert_eq!(c[0], Point::new(0.0, 0.0));
+        assert_eq!(c[2], Point::new(16.0, 0.0));
+        assert_eq!(c[3], Point::new(0.0, 8.0));
+        assert_eq!(c[5], Point::new(16.0, 8.0));
+    }
+
+    #[test]
+    fn region_center() {
+        assert_eq!(Region::centered_square(6.0).center(), Point::new(0.0, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive area")]
+    fn degenerate_region_rejected() {
+        let _ = Region::new(Point::ORIGIN, 0.0, 1.0);
+    }
+}

@@ -1,0 +1,225 @@
+//! Non-orthogonal channel planning.
+//!
+//! Given a spectrum band and a centre-frequency distance (CFD), a
+//! [`ChannelPlan`] places channel centres on the CFD grid. The paper uses
+//! two counting conventions (it is not fully consistent between §III and
+//! §VI), so both are implemented:
+//!
+//! * [`FitPolicy::Exclusive`]: `floor(width / cfd)` channels starting at
+//!   the band edge — reproduces §III's counts (12 MHz: 1 ch @ 9 MHz,
+//!   2 @ 5, 3 @ 4, 4 @ 3, 6 @ 2);
+//! * [`FitPolicy::InclusiveEnds`]: centres at both band edges,
+//!   `floor(span / cfd) + 1` channels — reproduces §VI-B's counts
+//!   (2458-2473 MHz: 6 ch @ 3 MHz, 4 @ 5 MHz; 18 MHz: 7 ch @ 3 MHz).
+
+use nomc_units::Megahertz;
+
+/// How to count channels inside a band (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FitPolicy {
+    /// `floor(width / cfd)` channels.
+    Exclusive,
+    /// `floor(width / cfd) + 1` channels, centres at both edges.
+    InclusiveEnds,
+}
+
+/// A set of channel centres spaced `cfd` apart inside a band.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelPlan {
+    start: Megahertz,
+    cfd: Megahertz,
+    channels: Vec<Megahertz>,
+}
+
+impl ChannelPlan {
+    /// Plans channels in the band `[start, start + width]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError`] if `cfd` or `width` is non-positive, or the
+    /// policy yields zero channels.
+    pub fn fit(
+        start: Megahertz,
+        width: Megahertz,
+        cfd: Megahertz,
+        policy: FitPolicy,
+    ) -> Result<Self, PlanError> {
+        if cfd.value() <= 0.0 {
+            return Err(PlanError::NonPositiveCfd(cfd));
+        }
+        if width.value() <= 0.0 {
+            return Err(PlanError::NonPositiveWidth(width));
+        }
+        let ratio = width.value() / cfd.value();
+        // Guard the floor against 3.9999999 artefacts.
+        let n = match policy {
+            FitPolicy::Exclusive => (ratio + 1e-9).floor() as usize,
+            FitPolicy::InclusiveEnds => (ratio + 1e-9).floor() as usize + 1,
+        };
+        if n == 0 {
+            return Err(PlanError::NoChannelsFit { width, cfd });
+        }
+        Ok(ChannelPlan::with_count(start, cfd, n))
+    }
+
+    /// Plans exactly `count` channels starting at `start`, spaced `cfd`.
+    ///
+    /// Used for the paper's §VI-A experiments, which fix five networks
+    /// and vary only the CFD.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero or `cfd` non-positive.
+    pub fn with_count(start: Megahertz, cfd: Megahertz, count: usize) -> Self {
+        assert!(count > 0, "a channel plan needs at least one channel");
+        assert!(cfd.value() > 0.0, "CFD must be positive");
+        let channels = (0..count)
+            .map(|i| Megahertz::new(start.value() + cfd.value() * i as f64))
+            .collect();
+        ChannelPlan {
+            start,
+            cfd,
+            channels,
+        }
+    }
+
+    /// The channel centre frequencies, ascending.
+    pub fn channels(&self) -> &[Megahertz] {
+        &self.channels
+    }
+
+    /// The CFD between neighbouring channels.
+    pub fn cfd(&self) -> Megahertz {
+        self.cfd
+    }
+
+    /// The lowest channel centre.
+    pub fn start(&self) -> Megahertz {
+        self.start
+    }
+
+    /// Index of the channel closest to the middle of the plan — the
+    /// paper's `N0` ("median frequency") network.
+    ///
+    /// For an even count this is the lower-middle index, matching a
+    /// 6-network plan where N0 is the 3rd channel.
+    pub fn middle_index(&self) -> usize {
+        (self.channels.len() - 1) / 2
+    }
+
+    /// Total spanned width (first to last centre).
+    pub fn span(&self) -> Megahertz {
+        Megahertz::new(self.cfd.value() * (self.channels.len() - 1) as f64)
+    }
+}
+
+/// Errors planning a channel set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PlanError {
+    /// CFD was zero or negative.
+    NonPositiveCfd(Megahertz),
+    /// Band width was zero or negative.
+    NonPositiveWidth(Megahertz),
+    /// No channel fits the band under the chosen policy.
+    NoChannelsFit {
+        /// The requested band width.
+        width: Megahertz,
+        /// The requested CFD.
+        cfd: Megahertz,
+    },
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::NonPositiveCfd(c) => write!(f, "CFD must be positive, got {c}"),
+            PlanError::NonPositiveWidth(w) => write!(f, "band width must be positive, got {w}"),
+            PlanError::NoChannelsFit { width, cfd } => {
+                write!(f, "no channels fit: width {width}, CFD {cfd}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mhz(v: f64) -> Megahertz {
+        Megahertz::new(v)
+    }
+
+    #[test]
+    fn exclusive_matches_section3_counts() {
+        // Paper §III-A: 12 MHz band.
+        for (cfd, expect) in [(9.0, 1), (5.0, 2), (4.0, 3), (3.0, 4), (2.0, 6)] {
+            let plan =
+                ChannelPlan::fit(mhz(2460.0), mhz(12.0), mhz(cfd), FitPolicy::Exclusive)
+                    .unwrap();
+            assert_eq!(plan.channels().len(), expect, "CFD {cfd}");
+        }
+    }
+
+    #[test]
+    fn inclusive_matches_section6_counts() {
+        // §VI-B: 2458-2473 (15 MHz): 6 channels @ 3 MHz, 4 @ 5 MHz.
+        let dcn = ChannelPlan::fit(mhz(2458.0), mhz(15.0), mhz(3.0), FitPolicy::InclusiveEnds)
+            .unwrap();
+        assert_eq!(dcn.channels().len(), 6);
+        assert_eq!(*dcn.channels().last().unwrap(), mhz(2473.0));
+        let zigbee =
+            ChannelPlan::fit(mhz(2458.0), mhz(15.0), mhz(5.0), FitPolicy::InclusiveEnds)
+                .unwrap();
+        assert_eq!(zigbee.channels().len(), 4);
+        // §VII-B: 18 MHz supports 7 channels at CFD 3.
+        let wide = ChannelPlan::fit(mhz(2455.0), mhz(18.0), mhz(3.0), FitPolicy::InclusiveEnds)
+            .unwrap();
+        assert_eq!(wide.channels().len(), 7);
+    }
+
+    #[test]
+    fn channels_are_on_grid() {
+        let plan = ChannelPlan::with_count(mhz(2458.0), mhz(3.0), 6);
+        let freqs: Vec<f64> = plan.channels().iter().map(|c| c.value()).collect();
+        assert_eq!(freqs, vec![2458.0, 2461.0, 2464.0, 2467.0, 2470.0, 2473.0]);
+        assert_eq!(plan.span(), mhz(15.0));
+    }
+
+    #[test]
+    fn middle_index() {
+        assert_eq!(ChannelPlan::with_count(mhz(0.0), mhz(3.0), 5).middle_index(), 2);
+        assert_eq!(ChannelPlan::with_count(mhz(0.0), mhz(3.0), 6).middle_index(), 2);
+        assert_eq!(ChannelPlan::with_count(mhz(0.0), mhz(3.0), 7).middle_index(), 3);
+        assert_eq!(ChannelPlan::with_count(mhz(0.0), mhz(3.0), 1).middle_index(), 0);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(matches!(
+            ChannelPlan::fit(mhz(0.0), mhz(10.0), mhz(0.0), FitPolicy::Exclusive),
+            Err(PlanError::NonPositiveCfd(_))
+        ));
+        assert!(matches!(
+            ChannelPlan::fit(mhz(0.0), mhz(-1.0), mhz(3.0), FitPolicy::Exclusive),
+            Err(PlanError::NonPositiveWidth(_))
+        ));
+        assert!(matches!(
+            ChannelPlan::fit(mhz(0.0), mhz(2.0), mhz(3.0), FitPolicy::Exclusive),
+            Err(PlanError::NoChannelsFit { .. })
+        ));
+        // InclusiveEnds always fits at least one channel for positive width.
+        assert!(
+            ChannelPlan::fit(mhz(0.0), mhz(2.0), mhz(3.0), FitPolicy::InclusiveEnds).is_ok()
+        );
+    }
+
+    #[test]
+    fn float_cfd_floor_guard() {
+        // 12 / 0.75 = 16 exactly-ish; must not lose one to float error.
+        let plan =
+            ChannelPlan::fit(mhz(0.0), mhz(12.0), mhz(0.75), FitPolicy::Exclusive).unwrap();
+        assert_eq!(plan.channels().len(), 16);
+    }
+}

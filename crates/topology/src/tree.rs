@@ -1,0 +1,260 @@
+//! Convergecast (data-collection) topologies — the workload class the
+//! paper's introduction motivates and the setting of TMCP (Wu et al.,
+//! the related work's orthogonal-channel comparator): sensor data flows
+//! over multi-hop chains toward a sink.
+//!
+//! A chain is a sequence of links `leaf → relay → … → sink`; the
+//! simulator's `Forward` traffic model makes each inner hop retransmit
+//! one frame per upstream delivery. Channel policy is the caller's
+//! choice: one shared channel, one channel per chain (TMCP-style), or
+//! one channel per hop.
+
+use crate::deployment::{Deployment, LinkSpec, NetworkSpec};
+use crate::geometry::Point;
+use nomc_units::{Dbm, Megahertz};
+
+/// One multi-hop chain: the ordered hop links, leaf first, plus the
+/// global policy hooks the simulator needs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Chain {
+    /// Hop links in order: `links[0]` is the leaf (source) hop,
+    /// `links.last()` delivers to the sink.
+    pub links: Vec<LinkSpec>,
+}
+
+impl Chain {
+    /// Builds a straight chain from `leaf` toward `sink` with equally
+    /// spaced relays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hops` is zero.
+    pub fn straight(leaf: Point, sink: Point, hops: usize, tx_power: Dbm) -> Chain {
+        assert!(hops > 0, "a chain needs at least one hop");
+        let points: Vec<Point> = (0..=hops)
+            .map(|i| {
+                let t = i as f64 / hops as f64;
+                Point::new(
+                    leaf.x + (sink.x - leaf.x) * t,
+                    leaf.y + (sink.y - leaf.y) * t,
+                )
+            })
+            .collect();
+        Chain {
+            links: points
+                .windows(2)
+                .map(|w| LinkSpec::new(w[0], w[1], tx_power))
+                .collect(),
+        }
+    }
+
+    /// Number of hops.
+    pub fn hops(&self) -> usize {
+        self.links.len()
+    }
+}
+
+/// How chains map onto channels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChannelPolicy {
+    /// All hops of all chains share one channel (classic single-channel
+    /// collection).
+    SingleChannel,
+    /// One channel per chain, shared by its hops (TMCP-style tree
+    /// partitioning).
+    PerChain,
+    /// One channel per hop position, cycling through the plan (pipeline
+    /// parallelism along each chain).
+    PerHop,
+}
+
+/// A built convergecast deployment plus the per-link wiring the
+/// simulator needs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Convergecast {
+    /// The deployment (networks grouped by assigned channel).
+    pub deployment: Deployment,
+    /// `(global link index, upstream global link index)` pairs: each
+    /// listed link forwards the deliveries of its upstream link.
+    pub forwards: Vec<(usize, usize)>,
+    /// Global link indices of the leaf (source) hops.
+    pub sources: Vec<usize>,
+    /// Global link indices of the final (sink-delivering) hops.
+    pub sink_links: Vec<usize>,
+}
+
+/// Assembles chains into a deployment under a channel policy.
+///
+/// `channels` must provide at least as many frequencies as the policy
+/// needs (1, `chains.len()`, or `max hops`, respectively); extra
+/// channels are ignored.
+///
+/// # Panics
+///
+/// Panics if `chains` is empty, any chain is empty, or `channels` is too
+/// short for the policy.
+pub fn build(chains: &[Chain], channels: &[Megahertz], policy: ChannelPolicy) -> Convergecast {
+    assert!(!chains.is_empty(), "need at least one chain");
+    let max_hops = chains.iter().map(Chain::hops).max().expect("non-empty");
+    let needed = match policy {
+        ChannelPolicy::SingleChannel => 1,
+        ChannelPolicy::PerChain => chains.len(),
+        ChannelPolicy::PerHop => max_hops.min(channels.len()).max(1),
+    };
+    assert!(
+        channels.len() >= needed.min(channels.len()).max(1),
+        "channel list too short"
+    );
+    // Group links by their assigned frequency.
+    let mut groups: Vec<(Megahertz, Vec<LinkSpec>)> = Vec::new();
+    let mut placements: Vec<(usize, usize, usize)> = Vec::new(); // (chain, hop, group slot)
+    for (ci, chain) in chains.iter().enumerate() {
+        for (hi, link) in chain.links.iter().enumerate() {
+            let freq = match policy {
+                ChannelPolicy::SingleChannel => channels[0],
+                ChannelPolicy::PerChain => channels[ci % channels.len()],
+                ChannelPolicy::PerHop => channels[hi % channels.len()],
+            };
+            let group = match groups.iter().position(|(f, _)| *f == freq) {
+                Some(g) => g,
+                None => {
+                    groups.push((freq, Vec::new()));
+                    groups.len() - 1
+                }
+            };
+            groups[group].1.push(*link);
+            placements.push((ci, hi, groups[group].1.len() - 1));
+        }
+    }
+    // Global link index = position within the deployment, network-major.
+    let mut offsets = Vec::with_capacity(groups.len());
+    let mut acc = 0;
+    for (_, links) in &groups {
+        offsets.push(acc);
+        acc += links.len();
+    }
+    let global_of = |chain: usize, hop: usize| -> usize {
+        let mut idx = 0;
+        for (pi, &(ci, hi, slot)) in placements.iter().enumerate() {
+            let _ = pi;
+            if ci == chain && hi == hop {
+                // Recover which group this placement went to.
+                let freq = match policy {
+                    ChannelPolicy::SingleChannel => channels[0],
+                    ChannelPolicy::PerChain => channels[ci % channels.len()],
+                    ChannelPolicy::PerHop => channels[hi % channels.len()],
+                };
+                let g = groups.iter().position(|(f, _)| *f == freq).expect("group");
+                idx = offsets[g] + slot;
+            }
+        }
+        idx
+    };
+    let mut forwards = Vec::new();
+    let mut sources = Vec::new();
+    let mut sink_links = Vec::new();
+    for (ci, chain) in chains.iter().enumerate() {
+        sources.push(global_of(ci, 0));
+        sink_links.push(global_of(ci, chain.hops() - 1));
+        for hi in 1..chain.hops() {
+            forwards.push((global_of(ci, hi), global_of(ci, hi - 1)));
+        }
+    }
+    let networks = groups
+        .into_iter()
+        .map(|(freq, links)| NetworkSpec::new(freq, links))
+        .collect();
+    Convergecast {
+        deployment: Deployment::new(networks),
+        forwards,
+        sources,
+        sink_links,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mhz(v: f64) -> Megahertz {
+        Megahertz::new(v)
+    }
+
+    fn three_chains() -> Vec<Chain> {
+        (0..3)
+            .map(|i| {
+                let angle = i as f64 * std::f64::consts::TAU / 3.0;
+                Chain::straight(
+                    Point::new(6.0 * angle.cos(), 6.0 * angle.sin()),
+                    Point::ORIGIN,
+                    3,
+                    Dbm::new(0.0),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn straight_chain_geometry() {
+        let c = Chain::straight(Point::new(6.0, 0.0), Point::ORIGIN, 3, Dbm::new(0.0));
+        assert_eq!(c.hops(), 3);
+        for l in &c.links {
+            assert!((l.distance().value() - 2.0).abs() < 1e-9);
+        }
+        assert_eq!(c.links[2].rx, Point::ORIGIN);
+    }
+
+    #[test]
+    fn single_channel_builds_one_network() {
+        let cc = build(&three_chains(), &[mhz(2458.0)], ChannelPolicy::SingleChannel);
+        assert_eq!(cc.deployment.networks.len(), 1);
+        assert_eq!(cc.deployment.link_count(), 9);
+        assert_eq!(cc.forwards.len(), 6);
+        assert_eq!(cc.sources.len(), 3);
+        assert!(cc.deployment.validate().is_ok());
+    }
+
+    #[test]
+    fn per_chain_builds_one_network_per_chain() {
+        let channels = [mhz(2458.0), mhz(2463.0), mhz(2468.0)];
+        let cc = build(&three_chains(), &channels, ChannelPolicy::PerChain);
+        assert_eq!(cc.deployment.networks.len(), 3);
+        for n in &cc.deployment.networks {
+            assert_eq!(n.links.len(), 3);
+        }
+        assert!(cc.deployment.validate().is_ok());
+    }
+
+    #[test]
+    fn per_hop_cycles_channels() {
+        let channels = [mhz(2458.0), mhz(2461.0), mhz(2464.0)];
+        let cc = build(&three_chains(), &channels, ChannelPolicy::PerHop);
+        assert_eq!(cc.deployment.networks.len(), 3);
+        // Each network holds one hop position of each chain.
+        for n in &cc.deployment.networks {
+            assert_eq!(n.links.len(), 3);
+        }
+    }
+
+    #[test]
+    fn forward_wiring_points_upstream() {
+        let cc = build(&three_chains(), &[mhz(2458.0)], ChannelPolicy::SingleChannel);
+        // Every forwarding link's upstream is a distinct earlier hop; the
+        // sources are never forwarders.
+        for &(link, from) in &cc.forwards {
+            assert_ne!(link, from);
+            assert!(!cc.sources.contains(&link));
+        }
+        // Chains are disjoint paths: each forwarder appears once.
+        let mut fw: Vec<usize> = cc.forwards.iter().map(|&(l, _)| l).collect();
+        fw.sort_unstable();
+        fw.dedup();
+        assert_eq!(fw.len(), cc.forwards.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one chain")]
+    fn empty_chains_rejected() {
+        let _ = build(&[], &[mhz(2458.0)], ChannelPolicy::SingleChannel);
+    }
+}

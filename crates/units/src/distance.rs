@@ -1,0 +1,114 @@
+//! Physical distances.
+
+use std::fmt;
+use std::ops::{Add, Mul, Sub};
+
+/// A distance in metres.
+///
+/// Propagation models take link distances in metres; placement generators
+/// produce coordinates whose pairwise distances are `Meters`.
+///
+/// # Examples
+///
+/// ```
+/// use nomc_units::Meters;
+/// let d = Meters::new(2.0) + Meters::new(1.5);
+/// assert_eq!(d, Meters::new(3.5));
+/// ```
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Meters(f64);
+
+impl Meters {
+    /// Creates a distance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is negative or NaN.
+    #[inline]
+    pub fn new(value: f64) -> Self {
+        assert!(
+            value.is_finite() && value >= 0.0,
+            "distance must be finite and non-negative, got {value}"
+        );
+        Meters(value)
+    }
+
+    /// Returns the raw metre value.
+    #[inline]
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Component-wise maximum; useful to impose a propagation model's
+    /// minimum valid distance.
+    #[inline]
+    pub fn max(self, other: Meters) -> Meters {
+        Meters(self.0.max(other.0))
+    }
+
+    /// Component-wise minimum.
+    #[inline]
+    pub fn min(self, other: Meters) -> Meters {
+        Meters(self.0.min(other.0))
+    }
+}
+
+impl Add for Meters {
+    type Output = Meters;
+    #[inline]
+    fn add(self, rhs: Meters) -> Meters {
+        Meters(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Meters {
+    type Output = Meters;
+    /// Saturates at zero.
+    #[inline]
+    fn sub(self, rhs: Meters) -> Meters {
+        Meters((self.0 - rhs.0).max(0.0))
+    }
+}
+
+impl Mul<f64> for Meters {
+    type Output = Meters;
+    #[inline]
+    fn mul(self, rhs: f64) -> Meters {
+        Meters::new(self.0 * rhs)
+    }
+}
+
+impl fmt::Display for Meters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} m", self.0)
+    }
+}
+
+impl From<f64> for Meters {
+    fn from(v: f64) -> Self {
+        Meters::new(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(Meters::new(1.0) + Meters::new(2.0), Meters::new(3.0));
+        assert_eq!(Meters::new(1.0) - Meters::new(2.0), Meters::new(0.0));
+        assert_eq!(Meters::new(2.0) * 1.5, Meters::new(3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_rejected() {
+        let _ = Meters::new(-1.0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Meters::new(2.0).to_string(), "2.00 m");
+    }
+}

@@ -1,0 +1,123 @@
+//! Channel centre frequencies.
+
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// A radio frequency in megahertz.
+///
+/// 802.15.4 channel planning in the paper works entirely in integer-ish
+/// MHz steps inside the 2.4 GHz ISM band (e.g. channels at 2458, 2461, …
+/// 2473 MHz for the 15 MHz band with CFD = 3 MHz), but we keep `f64` so
+/// sub-MHz plans remain expressible.
+///
+/// # Examples
+///
+/// ```
+/// use nomc_units::Megahertz;
+/// let a = Megahertz::new(2458.0);
+/// let b = Megahertz::new(2461.0);
+/// assert_eq!(b.distance_to(a), Megahertz::new(3.0));
+/// ```
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Megahertz(f64);
+
+impl Megahertz {
+    /// Creates a frequency from a raw MHz value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN.
+    #[inline]
+    pub fn new(value: f64) -> Self {
+        assert!(!value.is_nan(), "frequency must not be NaN");
+        Megahertz(value)
+    }
+
+    /// Returns the raw MHz value.
+    #[inline]
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Absolute centre-frequency distance (CFD) to another frequency.
+    #[inline]
+    pub fn distance_to(self, other: Megahertz) -> Megahertz {
+        Megahertz((self.0 - other.0).abs())
+    }
+
+    /// Component-wise minimum.
+    #[inline]
+    pub fn min(self, other: Megahertz) -> Megahertz {
+        Megahertz(self.0.min(other.0))
+    }
+
+    /// Component-wise maximum.
+    #[inline]
+    pub fn max(self, other: Megahertz) -> Megahertz {
+        Megahertz(self.0.max(other.0))
+    }
+}
+
+impl Add for Megahertz {
+    type Output = Megahertz;
+    #[inline]
+    fn add(self, rhs: Megahertz) -> Megahertz {
+        Megahertz(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Megahertz {
+    type Output = Megahertz;
+    #[inline]
+    fn sub(self, rhs: Megahertz) -> Megahertz {
+        Megahertz(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for Megahertz {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} MHz", self.0)
+    }
+}
+
+impl From<f64> for Megahertz {
+    fn from(v: f64) -> Self {
+        Megahertz::new(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_symmetric_and_nonnegative() {
+        let a = Megahertz::new(2460.0);
+        let b = Megahertz::new(2457.0);
+        assert_eq!(a.distance_to(b), b.distance_to(a));
+        assert_eq!(a.distance_to(b), Megahertz::new(3.0));
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(
+            Megahertz::new(2458.0) + Megahertz::new(5.0),
+            Megahertz::new(2463.0)
+        );
+        assert_eq!(
+            Megahertz::new(2463.0) - Megahertz::new(2458.0),
+            Megahertz::new(5.0)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        let _ = Megahertz::new(f64::NAN);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Megahertz::new(2461.0).to_string(), "2461 MHz");
+    }
+}

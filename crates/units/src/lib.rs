@@ -1,0 +1,41 @@
+//! # nomc-units
+//!
+//! Newtype physical quantities for the `nomc` (non-orthogonal multi-channel
+//! sensor network) workspace.
+//!
+//! Radio-network simulation mixes several scalar domains that are all
+//! "just floats" at runtime but catastrophically wrong to confuse:
+//! logarithmic power ([`Dbm`]), linear power ([`MilliWatts`]), power ratios
+//! ([`Db`]), frequencies ([`Megahertz`]), distances ([`Meters`]) and
+//! simulated time ([`SimTime`], [`SimDuration`]). This crate gives each a
+//! dedicated newtype with only the arithmetic that is physically meaningful
+//! (e.g. `Dbm + Db = Dbm`, `Dbm - Dbm = Db`, but `Dbm + Dbm` does not
+//! compile — summing transmitter powers must go through [`MilliWatts`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use nomc_units::{Dbm, Db, MilliWatts};
+//!
+//! let tx = Dbm::new(0.0);              // 0 dBm = 1 mW
+//! let path_loss = Db::new(40.0);       // 40 dB attenuation
+//! let rx = tx - path_loss;             // -40 dBm
+//! assert!((rx.to_milliwatts().value() - 1e-4).abs() < 1e-12);
+//!
+//! // Two equal interferers add +3 dB in the linear domain:
+//! let sum = (rx.to_milliwatts() + rx.to_milliwatts()).to_dbm();
+//! assert!((sum.value() - (-37.0)).abs() < 0.02);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod distance;
+mod frequency;
+mod power;
+mod time;
+
+pub use distance::Meters;
+pub use frequency::Megahertz;
+pub use power::{Db, Dbm, MilliWatts};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,412 @@
+//! Logarithmic and linear power quantities.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// Received/transmitted signal power on the logarithmic dBm scale.
+///
+/// `x` dBm corresponds to `10^(x/10)` milliwatts. The type is a thin
+/// wrapper over `f64` and is `Copy`.
+///
+/// Only physically meaningful arithmetic is provided:
+///
+/// * `Dbm ± Db -> Dbm` (apply a gain/attenuation),
+/// * `Dbm - Dbm -> Db` (the ratio between two powers).
+///
+/// Summing incoherent powers must be done in the linear domain via
+/// [`MilliWatts`].
+///
+/// # Examples
+///
+/// ```
+/// use nomc_units::{Dbm, Db};
+/// let sig = Dbm::new(-60.0);
+/// let noise = Dbm::new(-95.0);
+/// let snr: Db = sig - noise;
+/// assert_eq!(snr, Db::new(35.0));
+/// ```
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Dbm(f64);
+
+/// A dimensionless power ratio in decibels.
+///
+/// Used for gains, attenuations, rejection factors and SINR values.
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Db(f64);
+
+/// Linear power in milliwatts.
+///
+/// This is the domain in which incoherent interference powers add, so it
+/// implements `Add`, `Sub` and `Sum`.
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct MilliWatts(f64);
+
+impl Dbm {
+    /// The smallest value we ever need to represent; used as a stand-in for
+    /// "no signal at all" when a finite floor is required.
+    pub const MIN: Dbm = Dbm(-200.0);
+
+    /// Creates a power level from a raw dBm value.
+    #[inline]
+    pub const fn new(value: f64) -> Self {
+        Dbm(value)
+    }
+
+    /// Returns the raw dBm value.
+    #[inline]
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Converts to the linear milliwatt domain.
+    #[inline]
+    pub fn to_milliwatts(self) -> MilliWatts {
+        MilliWatts(10f64.powf(self.0 / 10.0))
+    }
+
+    /// Component-wise minimum.
+    #[inline]
+    pub fn min(self, other: Dbm) -> Dbm {
+        Dbm(self.0.min(other.0))
+    }
+
+    /// Component-wise maximum.
+    #[inline]
+    pub fn max(self, other: Dbm) -> Dbm {
+        Dbm(self.0.max(other.0))
+    }
+
+    /// Clamps the value into `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    #[inline]
+    pub fn clamp(self, lo: Dbm, hi: Dbm) -> Dbm {
+        assert!(lo.0 <= hi.0, "invalid clamp range: {lo} > {hi}");
+        Dbm(self.0.clamp(lo.0, hi.0))
+    }
+
+    /// `true` if the value is finite (not NaN / infinite).
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+}
+
+impl Db {
+    /// A zero gain/attenuation.
+    pub const ZERO: Db = Db(0.0);
+
+    /// Creates a ratio from a raw dB value.
+    #[inline]
+    pub const fn new(value: f64) -> Self {
+        Db(value)
+    }
+
+    /// Returns the raw dB value.
+    #[inline]
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Converts the ratio to a linear factor (`10^(dB/10)`).
+    #[inline]
+    pub fn to_linear(self) -> f64 {
+        10f64.powf(self.0 / 10.0)
+    }
+
+    /// Creates a ratio from a linear factor.
+    ///
+    /// Non-positive factors map to a very large attenuation rather than
+    /// `-inf`, so downstream arithmetic stays finite.
+    #[inline]
+    pub fn from_linear(factor: f64) -> Self {
+        if factor <= 0.0 {
+            Db(-300.0)
+        } else {
+            Db(10.0 * factor.log10())
+        }
+    }
+
+    /// Component-wise minimum.
+    #[inline]
+    pub fn min(self, other: Db) -> Db {
+        Db(self.0.min(other.0))
+    }
+
+    /// Component-wise maximum.
+    #[inline]
+    pub fn max(self, other: Db) -> Db {
+        Db(self.0.max(other.0))
+    }
+}
+
+impl MilliWatts {
+    /// Zero power.
+    pub const ZERO: MilliWatts = MilliWatts(0.0);
+
+    /// Creates a linear power from a raw milliwatt value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is negative or NaN; linear power is non-negative
+    /// by construction.
+    #[inline]
+    pub fn new(value: f64) -> Self {
+        assert!(value >= 0.0, "negative linear power: {value}");
+        MilliWatts(value)
+    }
+
+    /// Returns the raw milliwatt value.
+    #[inline]
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Converts to the logarithmic dBm domain.
+    ///
+    /// Zero power maps to [`Dbm::MIN`] instead of `-inf`.
+    #[inline]
+    pub fn to_dbm(self) -> Dbm {
+        if self.0 <= 0.0 {
+            Dbm::MIN
+        } else {
+            Dbm(10.0 * self.0.log10()).max(Dbm::MIN)
+        }
+    }
+}
+
+impl Add<Db> for Dbm {
+    type Output = Dbm;
+    #[inline]
+    fn add(self, rhs: Db) -> Dbm {
+        Dbm(self.0 + rhs.0)
+    }
+}
+
+impl Sub<Db> for Dbm {
+    type Output = Dbm;
+    #[inline]
+    fn sub(self, rhs: Db) -> Dbm {
+        Dbm(self.0 - rhs.0)
+    }
+}
+
+impl Sub for Dbm {
+    type Output = Db;
+    #[inline]
+    fn sub(self, rhs: Dbm) -> Db {
+        Db(self.0 - rhs.0)
+    }
+}
+
+impl Add for Db {
+    type Output = Db;
+    #[inline]
+    fn add(self, rhs: Db) -> Db {
+        Db(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Db {
+    #[inline]
+    fn add_assign(&mut self, rhs: Db) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Db {
+    type Output = Db;
+    #[inline]
+    fn sub(self, rhs: Db) -> Db {
+        Db(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Db {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Db) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Neg for Db {
+    type Output = Db;
+    #[inline]
+    fn neg(self) -> Db {
+        Db(-self.0)
+    }
+}
+
+impl Add for MilliWatts {
+    type Output = MilliWatts;
+    #[inline]
+    fn add(self, rhs: MilliWatts) -> MilliWatts {
+        MilliWatts(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for MilliWatts {
+    #[inline]
+    fn add_assign(&mut self, rhs: MilliWatts) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for MilliWatts {
+    type Output = MilliWatts;
+    /// Saturating at zero: interference bookkeeping may remove a component
+    /// whose floating-point contribution slightly exceeds the remainder.
+    #[inline]
+    fn sub(self, rhs: MilliWatts) -> MilliWatts {
+        MilliWatts((self.0 - rhs.0).max(0.0))
+    }
+}
+
+impl Mul<f64> for MilliWatts {
+    type Output = MilliWatts;
+    #[inline]
+    fn mul(self, rhs: f64) -> MilliWatts {
+        assert!(rhs >= 0.0, "negative power scale: {rhs}");
+        MilliWatts(self.0 * rhs)
+    }
+}
+
+impl Div<MilliWatts> for MilliWatts {
+    type Output = f64;
+    #[inline]
+    fn div(self, rhs: MilliWatts) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Sum for MilliWatts {
+    fn sum<I: Iterator<Item = MilliWatts>>(iter: I) -> MilliWatts {
+        iter.fold(MilliWatts::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Dbm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} dBm", self.0)
+    }
+}
+
+impl fmt::Display for Db {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} dB", self.0)
+    }
+}
+
+impl fmt::Display for MilliWatts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6} mW", self.0)
+    }
+}
+
+impl From<f64> for Dbm {
+    fn from(v: f64) -> Self {
+        Dbm::new(v)
+    }
+}
+
+impl From<f64> for Db {
+    fn from(v: f64) -> Self {
+        Db::new(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn dbm_to_milliwatts_round_trip() {
+        for v in [-95.0, -77.0, -33.0, 0.0, 4.0] {
+            let mw = Dbm::new(v).to_milliwatts();
+            assert!(close(mw.to_dbm().value(), v), "round trip failed for {v}");
+        }
+    }
+
+    #[test]
+    fn zero_dbm_is_one_milliwatt() {
+        assert!(close(Dbm::new(0.0).to_milliwatts().value(), 1.0));
+    }
+
+    #[test]
+    fn dbm_difference_is_ratio() {
+        let snr = Dbm::new(-60.0) - Dbm::new(-90.0);
+        assert_eq!(snr, Db::new(30.0));
+    }
+
+    #[test]
+    fn attenuation_applies() {
+        let rx = Dbm::new(0.0) - Db::new(25.0);
+        assert_eq!(rx, Dbm::new(-25.0));
+    }
+
+    #[test]
+    fn doubling_power_adds_three_db() {
+        let one = Dbm::new(-50.0).to_milliwatts();
+        let sum = one + one;
+        assert!((sum.to_dbm().value() - (-46.9897)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn zero_milliwatts_maps_to_floor() {
+        assert_eq!(MilliWatts::ZERO.to_dbm(), Dbm::MIN);
+    }
+
+    #[test]
+    fn milliwatt_subtraction_saturates() {
+        let a = MilliWatts::new(1.0);
+        let b = MilliWatts::new(2.0);
+        assert_eq!(a - b, MilliWatts::ZERO);
+    }
+
+    #[test]
+    fn db_linear_round_trip() {
+        for v in [-40.0, -3.0, 0.0, 3.0, 20.0] {
+            assert!(close(Db::from_linear(Db::new(v).to_linear()).value(), v));
+        }
+    }
+
+    #[test]
+    fn db_from_nonpositive_linear_is_finite() {
+        assert!(Db::from_linear(0.0).value().is_finite());
+        assert!(Db::from_linear(-1.0).value().is_finite());
+    }
+
+    #[test]
+    fn clamp_works() {
+        let lo = Dbm::new(-95.0);
+        let hi = Dbm::new(0.0);
+        assert_eq!(Dbm::new(-120.0).clamp(lo, hi), lo);
+        assert_eq!(Dbm::new(5.0).clamp(lo, hi), hi);
+        assert_eq!(Dbm::new(-77.0).clamp(lo, hi), Dbm::new(-77.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid clamp range")]
+    fn clamp_rejects_inverted_range() {
+        let _ = Dbm::new(0.0).clamp(Dbm::new(0.0), Dbm::new(-1.0));
+    }
+
+    #[test]
+    fn milliwatts_sum() {
+        let total: MilliWatts = [0.5, 0.25, 0.25].iter().map(|&v| MilliWatts::new(v)).sum();
+        assert!(close(total.value(), 1.0));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Dbm::new(-77.0).to_string(), "-77.00 dBm");
+        assert_eq!(Db::new(3.5).to_string(), "3.50 dB");
+    }
+}

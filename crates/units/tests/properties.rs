@@ -1,0 +1,64 @@
+//! Property-based tests for the units crate.
+
+use nomc_units::{Db, Dbm, Meters, MilliWatts, SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn dbm_mw_round_trip(v in -150.0f64..30.0) {
+        let back = Dbm::new(v).to_milliwatts().to_dbm().value();
+        prop_assert!((back - v).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dbm_ordering_preserved_in_linear(a in -150.0f64..30.0, b in -150.0f64..30.0) {
+        let (da, db) = (Dbm::new(a), Dbm::new(b));
+        prop_assert_eq!(da < db, da.to_milliwatts() < db.to_milliwatts());
+    }
+
+    #[test]
+    fn ratio_then_apply_is_identity(a in -150.0f64..30.0, b in -150.0f64..30.0) {
+        let (da, db) = (Dbm::new(a), Dbm::new(b));
+        let r: Db = da - db;
+        let back = db + r;
+        prop_assert!((back.value() - a).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linear_sum_at_least_max(a in -120.0f64..10.0, b in -120.0f64..10.0) {
+        let sum = (Dbm::new(a).to_milliwatts() + Dbm::new(b).to_milliwatts()).to_dbm();
+        prop_assert!(sum.value() >= a.max(b) - 1e-9);
+        // and at most 3.02 dB above the max
+        prop_assert!(sum.value() <= a.max(b) + 3.02);
+    }
+
+    #[test]
+    fn time_add_sub_inverse(t in 0u64..u64::MAX / 4, d in 0u64..u64::MAX / 4) {
+        let t0 = SimTime::from_nanos(t);
+        let dur = SimDuration::from_nanos(d);
+        prop_assert_eq!((t0 + dur) - t0, dur);
+        prop_assert_eq!((t0 + dur) - dur, t0);
+    }
+
+    #[test]
+    fn duration_sum_is_associative(a in 0u64..1u64 << 40, b in 0u64..1u64 << 40, c in 0u64..1u64 << 40) {
+        let (a, b, c) = (
+            SimDuration::from_nanos(a),
+            SimDuration::from_nanos(b),
+            SimDuration::from_nanos(c),
+        );
+        prop_assert_eq!((a + b) + c, a + (b + c));
+    }
+
+    #[test]
+    fn meters_triangleish(a in 0.0f64..1e6, b in 0.0f64..1e6) {
+        let s = Meters::new(a) + Meters::new(b);
+        prop_assert!(s.value() >= a.max(b));
+    }
+
+    #[test]
+    fn milliwatts_never_negative(a in 0.0f64..1e3, b in 0.0f64..1e3) {
+        let diff = MilliWatts::new(a) - MilliWatts::new(b);
+        prop_assert!(diff.value() >= 0.0);
+    }
+}

@@ -1,0 +1,58 @@
+//! Reproduces the paper's §III-B collision study interactively: how does
+//! the collided-packet receive rate (CPRR) depend on the channel
+//! distance and the transmit power?
+//!
+//! Run with: `cargo run --release --example attacker_study [-- <power_dbm>]`
+
+use nomc_sim::{engine, NetworkBehavior, Scenario, TrafficModel};
+use nomc_topology::paper;
+use nomc_units::{Dbm, Megahertz, SimDuration};
+
+fn cprr(cfd: f64, power: f64, seed: u64) -> (f64, f64) {
+    let (deployment, normal_idx, attacker_idx) =
+        paper::fig4_deployment(Megahertz::new(2460.0), Megahertz::new(cfd), Dbm::new(power));
+    let frame = nomc_radio::frame::FrameSpec::default_data_frame();
+    let mut b = Scenario::builder(deployment);
+    b.behavior(
+        normal_idx,
+        NetworkBehavior {
+            traffic: TrafficModel::Interval(SimDuration::from_millis(9)),
+            ..NetworkBehavior::attacker(SimDuration::from_millis(9))
+        },
+    )
+    .behavior(
+        attacker_idx,
+        NetworkBehavior::attacker(frame.airtime() + SimDuration::from_micros(300)),
+    )
+    .duration(SimDuration::from_secs(12))
+    .warmup(SimDuration::from_secs(2))
+    .seed(seed);
+    let result = engine::run(&b.build().expect("valid scenario"));
+    (
+        result.links[0].cprr().unwrap_or(0.0),
+        result.links[1].cprr().unwrap_or(0.0),
+    )
+}
+
+fn main() {
+    let power: f64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(0.0);
+    println!("CPRR vs CFD at {power} dBm (both links):\n");
+    println!("  CFD    normal sender    attacker");
+    for cfd in [1.0, 2.0, 3.0, 4.0, 5.0] {
+        let (normal, attacker) = cprr(cfd, power, 11);
+        println!(
+            "  {cfd} MHz   {:5.1}%  {}      {:5.1}%",
+            normal * 100.0,
+            "#".repeat((normal * 20.0).round() as usize),
+            attacker * 100.0,
+        );
+    }
+    println!(
+        "\nInterpretation: at CFD ≥ 3-4 MHz two transmissions that fully \
+         overlap in time are BOTH decodable — non-orthogonal channels can \
+         carry concurrent traffic, which is what DCN exploits."
+    );
+}

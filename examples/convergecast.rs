@@ -1,0 +1,68 @@
+//! Multi-hop data collection (the paper's motivating workload): six
+//! 3-hop chains deliver sensor data to a sink under three channel
+//! policies — one channel, TMCP-style orthogonal sharing, and the
+//! non-orthogonal DCN design.
+//!
+//! Run with: `cargo run --release --example convergecast`
+
+use nomc_sim::{engine, NetworkBehavior, Scenario, TrafficModel};
+use nomc_topology::spectrum::{ChannelPlan, FitPolicy};
+use nomc_topology::tree::{build, Chain, ChannelPolicy};
+use nomc_topology::Point;
+use nomc_units::{Dbm, Megahertz, SimDuration};
+
+fn chains() -> Vec<Chain> {
+    (0..6)
+        .map(|i| {
+            let angle = i as f64 * std::f64::consts::TAU / 6.0;
+            Chain::straight(
+                Point::new(6.0 * angle.cos(), 6.0 * angle.sin()),
+                Point::ORIGIN,
+                3,
+                Dbm::new(0.0),
+            )
+        })
+        .collect()
+}
+
+fn sink_rate(channels: Vec<Megahertz>, policy: ChannelPolicy, dcn: bool) -> f64 {
+    let cc = build(&chains(), &channels, policy);
+    let mut b = Scenario::builder(cc.deployment.clone());
+    if dcn {
+        b.behavior_all(NetworkBehavior::dcn_default());
+    }
+    for &(link, from) in &cc.forwards {
+        b.link_traffic(link, TrafficModel::Forward { from_link: from });
+    }
+    b.duration(SimDuration::from_secs(12))
+        .warmup(SimDuration::from_secs(3))
+        .seed(11);
+    let result = engine::run(&b.build().expect("valid convergecast"));
+    cc.sink_links
+        .iter()
+        .map(|&l| result.links[l].throughput(result.measured))
+        .sum()
+}
+
+fn main() {
+    let start = Megahertz::new(2458.0);
+    let width = Megahertz::new(15.0);
+    let zigbee =
+        ChannelPlan::fit(start, width, Megahertz::new(5.0), FitPolicy::InclusiveEnds)
+            .expect("plan fits");
+    let dcn = ChannelPlan::fit(start, width, Megahertz::new(3.0), FitPolicy::InclusiveEnds)
+        .expect("plan fits");
+
+    println!("Six 3-hop chains converging on a sink, 15 MHz band:\n");
+    let single = sink_rate(vec![start], ChannelPolicy::SingleChannel, false);
+    println!("  one shared channel:                 {single:7.1} pkt/s at the sink");
+    let tmcp = sink_rate(zigbee.channels().to_vec(), ChannelPolicy::PerChain, false);
+    println!("  4 orthogonal-ish channels (TMCP):   {tmcp:7.1} pkt/s (chains must share)");
+    let non_orth = sink_rate(dcn.channels().to_vec(), ChannelPolicy::PerChain, true);
+    println!("  6 non-orthogonal channels + DCN:    {non_orth:7.1} pkt/s (one per chain)");
+    println!(
+        "\n  non-orthogonal vs TMCP-style: {:+.1}% — channel scarcity, not\n  \
+         orthogonality, is what limits collection throughput.",
+        (non_orth / tmcp - 1.0) * 100.0
+    );
+}

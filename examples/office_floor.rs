@@ -1,0 +1,87 @@
+//! Office-floor scenario (the workload the paper's introduction
+//! motivates): six sensor networks, one per office room, must share a
+//! 15 MHz slice of the 2.4 GHz band. Compare three designs:
+//!
+//! 1. the default ZigBee plan — only 4 channels fit at CFD 5 MHz, so two
+//!    rooms must double up on channels;
+//! 2. a non-orthogonal plan — 6 channels at CFD 3 MHz, fixed threshold;
+//! 3. the same plan with DCN.
+//!
+//! Run with: `cargo run --release --example office_floor`
+
+use nomc_sim::rng::Xoshiro256StarStar;
+use nomc_sim::{engine, NetworkBehavior, Scenario, SimResult};
+use nomc_topology::placement::{grid_cluster_centers, sample_link, Region};
+use nomc_topology::spectrum::{ChannelPlan, FitPolicy};
+use nomc_topology::{Deployment, LinkSpec, NetworkSpec};
+use nomc_units::{Dbm, Megahertz, SimDuration};
+use rand::SeedableRng;
+
+/// Six rooms on a 5 m grid; each room gets a channel from `freqs`
+/// (cycling when there are fewer channels than rooms).
+fn office_deployment(freqs: &[Megahertz], seed: u64) -> Deployment {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+    let rooms = grid_cluster_centers(6, 3, 5.0);
+    let mut networks: Vec<NetworkSpec> = Vec::new();
+    for (room_idx, center) in rooms.into_iter().enumerate() {
+        let freq = freqs[room_idx % freqs.len()];
+        let region = Region::new(center.offset(-1.5, -1.5), 3.0, 3.0);
+        let links: Vec<LinkSpec> = (0..2)
+            .map(|_| {
+                let (tx, rx) = sample_link(&mut rng, &region, 2.5);
+                LinkSpec::new(tx, rx, Dbm::new(0.0))
+            })
+            .collect();
+        // Rooms that share a frequency form one logical network.
+        if let Some(existing) = networks.iter_mut().find(|n| n.frequency == freq) {
+            existing.links.extend(links);
+        } else {
+            networks.push(NetworkSpec::new(freq, links));
+        }
+    }
+    Deployment::new(networks)
+}
+
+fn run(freqs: &[Megahertz], dcn: bool, seed: u64) -> SimResult {
+    let mut b = Scenario::builder(office_deployment(freqs, seed));
+    if dcn {
+        b.behavior_all(NetworkBehavior::dcn_default());
+    }
+    b.duration(SimDuration::from_secs(10))
+        .warmup(SimDuration::from_secs(2))
+        .seed(seed);
+    engine::run(&b.build().expect("valid office scenario"))
+}
+
+fn main() {
+    let start = Megahertz::new(2458.0);
+    let width = Megahertz::new(15.0);
+    let zigbee_plan =
+        ChannelPlan::fit(start, width, Megahertz::new(5.0), FitPolicy::InclusiveEnds)
+            .expect("plan fits");
+    let dcn_plan =
+        ChannelPlan::fit(start, width, Megahertz::new(3.0), FitPolicy::InclusiveEnds)
+            .expect("plan fits");
+
+    println!("Six office rooms sharing 2458-2473 MHz (10 simulated seconds):\n");
+    let zig = run(zigbee_plan.channels(), false, 7);
+    println!(
+        "  ZigBee, 4 channels (two rooms share):   {:7.1} pkt/s",
+        zig.total_throughput()
+    );
+    let fixed = run(dcn_plan.channels(), false, 7);
+    println!(
+        "  6 non-orthogonal channels, fixed CCA:   {:7.1} pkt/s",
+        fixed.total_throughput()
+    );
+    let dcn = run(dcn_plan.channels(), true, 7);
+    println!(
+        "  6 non-orthogonal channels + DCN:        {:7.1} pkt/s",
+        dcn.total_throughput()
+    );
+    println!(
+        "\n  DCN vs ZigBee: {:+.1}%   (channel scarcity is the real enemy: \
+         every room gets its own channel only in the non-orthogonal plans)",
+        (dcn.total_throughput() / zig.total_throughput() - 1.0) * 100.0
+    );
+}

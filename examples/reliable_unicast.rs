@@ -1,0 +1,63 @@
+//! Reliable (acknowledged) unicast over non-orthogonal channels: does
+//! DCN's concurrency gain survive the ACK/retry machinery of ZigBee
+//! reliable transfers?
+//!
+//! Run with: `cargo run --release --example reliable_unicast`
+
+use nomc_mac::CsmaParams;
+use nomc_sim::rng::Xoshiro256StarStar;
+use nomc_sim::{engine, NetworkBehavior, Scenario, SimResult};
+use nomc_topology::paper;
+use nomc_topology::spectrum::ChannelPlan;
+use nomc_units::{Dbm, Megahertz, SimDuration};
+use rand::SeedableRng;
+
+fn run(dcn: bool, acked: bool, seed: u64) -> SimResult {
+    let plan = ChannelPlan::with_count(Megahertz::new(2458.0), Megahertz::new(3.0), 5);
+    let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+    let deployment = paper::vi_a_deployment(&mut rng, &plan, 2, Dbm::new(0.0));
+    let mut b = Scenario::builder(deployment);
+    let mut behavior = if dcn {
+        NetworkBehavior::dcn_default()
+    } else {
+        NetworkBehavior::zigbee_default()
+    };
+    if acked {
+        behavior.mac = CsmaParams {
+            acknowledged: true,
+            ..behavior.mac
+        };
+    }
+    b.behavior_all(behavior)
+        .duration(SimDuration::from_secs(12))
+        .warmup(SimDuration::from_secs(3))
+        .seed(seed);
+    engine::run(&b.build().expect("valid scenario"))
+}
+
+fn describe(name: &str, result: &SimResult) {
+    let retrans: u64 = result.links.iter().map(|l| l.retransmissions).sum();
+    let abandoned: u64 = result.links.iter().map(|l| l.abandoned).sum();
+    let dups: u64 = result.links.iter().map(|l| l.duplicates).sum();
+    println!(
+        "  {name:<22} {:7.1} pkt/s delivered   retries {:>4}   abandoned {:>3}   dup {:>3}",
+        result.total_throughput(),
+        retrans,
+        abandoned,
+        dups
+    );
+}
+
+fn main() {
+    println!("Five dense networks at CFD 3 MHz, 12 simulated seconds:\n");
+    println!("unacknowledged (the paper's saturated streams):");
+    describe("fixed −77 dBm:", &run(false, false, 5));
+    describe("DCN:", &run(true, false, 5));
+    println!("\nacknowledged (ZigBee reliable unicast, macMaxFrameRetries = 3):");
+    describe("fixed −77 dBm + ACK:", &run(false, true, 5));
+    describe("DCN + ACK:", &run(true, true, 5));
+    println!(
+        "\nACKs cost airtime (one Imm-ACK per frame) but DCN's concurrency gain\n\
+         carries over; duplicates appear only when an ACK itself is lost."
+    );
+}

@@ -1,0 +1,74 @@
+//! Integration tests asserting the paper's headline claims end-to-end
+//! through the experiment harness (quick fidelity).
+
+use nomc_experiments::experiments::{cases, fig04, fig16, fig19, table1};
+use nomc_experiments::ExpConfig;
+
+fn cfg() -> ExpConfig {
+    ExpConfig::quick()
+}
+
+#[test]
+fn claim_cprr_feasibility_bands() {
+    // §III-B: inter-channel collisions are tolerable at CFD ≥ 3 MHz.
+    let (c3, _) = fig04::cprr_at(&cfg(), 3.0);
+    let (c1, _) = fig04::cprr_at(&cfg(), 1.0);
+    assert!(c3 > 0.9, "CFD 3 CPRR {c3}");
+    assert!(c1 < 0.35, "CFD 1 CPRR {c1}");
+}
+
+#[test]
+fn claim_dcn_improves_all_networks_and_cfd3_wins() {
+    // §VI-A: with DCN everywhere, every network improves; CFD 3 beats 2.
+    let o3 = fig16::outcome(&cfg(), 3.0);
+    assert!(o3.total_with() > o3.total_without());
+    let o2 = fig16::outcome(&cfg(), 2.0);
+    assert!(o3.total_with() > o2.total_with());
+}
+
+#[test]
+fn claim_headline_gain_over_zigbee() {
+    // §VI-B: the DCN design beats the default ZigBee design by tens of
+    // percent (paper: 38.4-55.7 % across configurations, 58 % in Fig 19).
+    let o = fig19::outcome(&cfg());
+    let gain = o.overall_gain();
+    assert!(
+        (0.2..=1.2).contains(&gain),
+        "headline gain {gain} outside plausible band"
+    );
+}
+
+#[test]
+fn claim_fairness() {
+    // §VI-B-3 / Table I: throughput spread across DCN networks is small.
+    let rows = table1::by_label(&cfg());
+    let values: Vec<f64> = rows.iter().map(|r| r.1).collect();
+    assert!(table1::spread(&values) < 0.2, "spread {}", table1::spread(&values));
+}
+
+#[test]
+fn claim_case_ordering() {
+    // §VI-B-4: DCN's relaxing gain is largest when networks share one
+    // interfering region and smallest for random topology.
+    let c = cfg();
+    let gain = |case| {
+        cases::throughput(&c, case, cases::Design::Dcn)
+            / cases::throughput(&c, case, cases::Design::NonOrthogonalFixed)
+    };
+    let dense = gain(cases::Case::DenseRegion);
+    let random = gain(cases::Case::Random);
+    assert!(
+        dense + 0.02 >= random,
+        "dense relax gain {dense} should be ≥ random {random}"
+    );
+    // And all cases beat ZigBee soundly.
+    for case in [
+        cases::Case::DenseRegion,
+        cases::Case::Clustered,
+        cases::Case::Random,
+    ] {
+        let z = cases::throughput(&c, case, cases::Design::Zigbee);
+        let d = cases::throughput(&c, case, cases::Design::Dcn);
+        assert!(d > 1.1 * z, "{case:?}: {d} vs {z}");
+    }
+}
