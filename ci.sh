@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# The full CI gate, runnable locally. The workspace is hermetic — every
+# dependency is an in-tree path crate — so all steps run offline.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --workspace --release --offline
+
+echo "==> cargo test"
+cargo test --workspace -q --offline
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> dependency audit: only in-tree nomc-* crates allowed"
+external=$(cargo tree --workspace --offline --prefix none \
+  | sed 's/ (\*)$//' | awk '{print $1}' | sort -u | grep -v '^nomc-' || true)
+if [ -n "$external" ]; then
+  echo "unexpected external dependencies:" >&2
+  echo "$external" >&2
+  exit 1
+fi
+
+echo "CI OK"

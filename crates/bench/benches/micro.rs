@@ -1,14 +1,15 @@
 //! Hot-path micro-benchmarks: the inner loops every simulated packet
 //! exercises.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use nomc_bench::harness::Criterion;
+use nomc_bench::{criterion_group, criterion_main};
 use nomc_phy::coupling::AcrCurve;
 use nomc_phy::{biterror, BerModel};
+use nomc_rngcore::{RngCore, SeedableRng};
 use nomc_sim::events::{Event, EventQueue};
 use nomc_sim::medium::{self, Medium, Segment, Transmission};
 use nomc_sim::rng::Xoshiro256StarStar;
 use nomc_units::{Db, Dbm, Megahertz, MilliWatts, SimDuration, SimTime};
-use rand::{RngCore, SeedableRng};
 use std::hint::black_box;
 
 fn bench_ber(c: &mut Criterion) {
@@ -22,9 +23,7 @@ fn bench_ber(c: &mut Criterion) {
     });
     g.bench_function("frame_success_prob", |b| {
         b.iter(|| {
-            black_box(
-                BerModel::Oqpsk802154.frame_success_probability(Db::new(black_box(1.0)), 408),
-            )
+            black_box(BerModel::Oqpsk802154.frame_success_probability(Db::new(black_box(1.0)), 408))
         })
     });
     g.bench_function("acr_rejection_lookup", |b| {
@@ -76,11 +75,7 @@ fn bench_medium(c: &mut Criterion) {
     let m = make_medium(12);
     g.bench_function("sensed_components_12tx", |b| {
         b.iter(|| {
-            black_box(m.sensed_components(
-                23,
-                Megahertz::new(2464.0),
-                SimTime::from_micros(600),
-            ))
+            black_box(m.sensed_components(23, Megahertz::new(2464.0), SimTime::from_micros(600)))
         })
     });
     g.bench_function("interference_segments_12tx", |b| {
@@ -125,7 +120,10 @@ fn bench_queue_and_rng(c: &mut Criterion) {
         b.iter(|| {
             let mut q = EventQueue::new();
             for i in 0..64u64 {
-                q.schedule(SimTime::from_micros(i * 7 % 50), Event::PacketReady(i as usize));
+                q.schedule(
+                    SimTime::from_micros(i * 7 % 50),
+                    Event::PacketReady(i as usize),
+                );
             }
             while let Some(e) = q.pop() {
                 black_box(e);
@@ -141,5 +139,11 @@ fn bench_queue_and_rng(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(micro, bench_ber, bench_biterror, bench_medium, bench_queue_and_rng);
+criterion_group!(
+    micro,
+    bench_ber,
+    bench_biterror,
+    bench_medium,
+    bench_queue_and_rng
+);
 criterion_main!(micro);

@@ -5,8 +5,9 @@
 //! catch simulator performance regressions); the scientific values come
 //! from `cargo run -p nomc-experiments --bin all_experiments`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use nomc_bench::harness::Criterion;
 use nomc_bench::run_shrunk;
+use nomc_bench::{criterion_group, criterion_main};
 use nomc_experiments::experiments::{cases, common, fig01, fig03, fig19, fig20, fig28};
 use nomc_sim::{NetworkBehavior, Scenario};
 use nomc_topology::paper;
@@ -70,7 +71,12 @@ fn bench_fig14_17(c: &mut Criterion) {
     });
     g.bench_function("cfd3_dcn_all", |b| {
         b.iter(|| {
-            black_box(run_shrunk(common::vi_a_scenario(3.0, 5, &[0, 1, 2, 3, 4], 1)))
+            black_box(run_shrunk(common::vi_a_scenario(
+                3.0,
+                5,
+                &[0, 1, 2, 3, 4],
+                1,
+            )))
         })
     });
     g.finish();
@@ -136,8 +142,7 @@ fn bench_fig30(c: &mut Criterion) {
     g.bench_function("seven_networks_dcn", |b| {
         b.iter(|| {
             let plan = common::plan_18mhz();
-            let mut builder =
-                Scenario::builder(paper::line_deployment(&plan, Dbm::new(0.0)));
+            let mut builder = Scenario::builder(paper::line_deployment(&plan, Dbm::new(0.0)));
             builder.behavior_all(NetworkBehavior::dcn_default()).seed(1);
             black_box(run_shrunk(builder.build().expect("valid")))
         })

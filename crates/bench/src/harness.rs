@@ -1,0 +1,268 @@
+//! Minimal wall-clock benchmark harness with a Criterion-shaped API.
+//!
+//! The workspace builds with zero external dependencies, so the benches
+//! in `benches/` drive this harness instead of Criterion. It keeps the
+//! familiar surface — [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`], [`Bencher::iter`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — and measures with
+//! `std::time::Instant`.
+//!
+//! Each finished group appends to an in-memory report; the main macro
+//! writes one `BENCH_<group>.json` file per group into the current
+//! directory with mean/min/max nanoseconds per iteration, so results
+//! stay machine-readable across runs.
+//!
+//! Passing `--test` (what `cargo test --benches` does) runs every
+//! closure exactly once as a smoke test and writes no files.
+
+use nomc_json::{Json, ToJson};
+use std::time::Instant;
+
+/// Target wall-clock time for one measured sample.
+const SAMPLE_TARGET_NANOS: u128 = 2_000_000;
+
+/// One measured benchmark function.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Function id within the group.
+    pub name: String,
+    /// Mean nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Fastest sample (ns/iter).
+    pub min_ns: f64,
+    /// Slowest sample (ns/iter).
+    pub max_ns: f64,
+    /// Number of samples taken.
+    pub samples: usize,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+}
+
+impl ToJson for BenchResult {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("name", self.name.to_json()),
+            ("mean_ns", self.mean_ns.to_json()),
+            ("min_ns", self.min_ns.to_json()),
+            ("max_ns", self.max_ns.to_json()),
+            ("samples", self.samples.to_json()),
+            ("iters_per_sample", self.iters_per_sample.to_json()),
+        ])
+    }
+}
+
+/// The harness entry point, passed to every registered bench function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    /// Smoke-test mode: run each closure once, record nothing.
+    test_mode: bool,
+    /// Reports of all finished groups, in registration order.
+    finished: Vec<(String, Vec<BenchResult>)>,
+}
+
+impl Criterion {
+    /// Creates a harness; `test_mode` short-circuits measurement.
+    pub fn new(test_mode: bool) -> Self {
+        Criterion {
+            test_mode,
+            finished: Vec::new(),
+        }
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            sample_size: 20,
+            results: Vec::new(),
+        }
+    }
+
+    /// Writes one `BENCH_<group>.json` per finished group.
+    pub fn write_reports(&self) {
+        for (group, results) in &self.finished {
+            let report = Json::object([
+                ("group", group.to_json()),
+                ("benches", results.as_slice().to_json()),
+            ]);
+            let path = format!("BENCH_{group}.json");
+            match std::fs::write(&path, report.dump_pretty()) {
+                Ok(()) => eprintln!("wrote {path}"),
+                Err(e) => eprintln!("cannot write {path}: {e}"),
+            }
+        }
+    }
+}
+
+/// A named set of benchmark functions sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    results: Vec<BenchResult>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each function takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Measures one function.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.into();
+        let mut b = Bencher {
+            test_mode: self.parent.test_mode,
+            sample_size: self.sample_size,
+            measured: None,
+        };
+        f(&mut b);
+        if let Some(mut r) = b.measured {
+            eprintln!(
+                "{}/{name}: {:.0} ns/iter (min {:.0}, max {:.0}, {} samples)",
+                self.name, r.mean_ns, r.min_ns, r.max_ns, r.samples
+            );
+            r.name = name;
+            self.results.push(r);
+        }
+        self
+    }
+
+    /// Finalizes the group, recording its results on the harness.
+    pub fn finish(self) {
+        self.parent.finished.push((self.name, self.results));
+    }
+}
+
+/// Times a closure passed to [`Bencher::iter`].
+pub struct Bencher {
+    test_mode: bool,
+    sample_size: usize,
+    measured: Option<BenchResult>,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records wall-clock statistics.
+    ///
+    /// Calibrates iterations-per-sample so a sample lasts roughly
+    /// [`SAMPLE_TARGET_NANOS`], then takes `sample_size` samples.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        if self.test_mode {
+            std::hint::black_box(routine());
+            return;
+        }
+        // Calibration: one untimed warmup doubles as the cost estimate.
+        let start = Instant::now();
+        std::hint::black_box(routine());
+        let once = start.elapsed().as_nanos().max(1);
+        let iters = ((SAMPLE_TARGET_NANOS / once).clamp(1, 1_000_000)) as u64;
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            samples_ns.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+        let min = samples_ns.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples_ns.iter().copied().fold(0.0f64, f64::max);
+        self.measured = Some(BenchResult {
+            name: String::new(),
+            mean_ns: mean,
+            min_ns: min,
+            max_ns: max,
+            samples: samples_ns.len(),
+            iters_per_sample: iters,
+        });
+    }
+}
+
+/// Registers bench functions under a group runner, Criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($func:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::harness::Criterion) {
+            $( $func(c); )+
+        }
+    };
+}
+
+/// Generates `main` for a bench binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let test_mode = std::env::args().any(|a| a == "--test");
+            let mut c = $crate::harness::Criterion::new(test_mode);
+            $( $group(&mut c); )+
+            if !test_mode {
+                c.write_reports();
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_groups() {
+        let mut c = Criterion::new(false);
+        {
+            let mut g = c.benchmark_group("demo");
+            g.sample_size(3);
+            let mut n = 0u64;
+            g.bench_function("count", |b| {
+                b.iter(|| {
+                    n += 1;
+                    n
+                })
+            });
+            g.finish();
+        }
+        assert_eq!(c.finished.len(), 1);
+        let (name, results) = &c.finished[0];
+        assert_eq!(name, "demo");
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].samples, 3);
+        assert!(results[0].mean_ns > 0.0);
+        assert!(results[0].min_ns <= results[0].mean_ns);
+        assert!(results[0].mean_ns <= results[0].max_ns);
+    }
+
+    #[test]
+    fn test_mode_runs_once_and_records_nothing() {
+        let mut c = Criterion::new(true);
+        let mut calls = 0u32;
+        {
+            let mut g = c.benchmark_group("smoke");
+            g.bench_function("noop", |b| b.iter(|| calls += 1));
+            g.finish();
+        }
+        assert_eq!(calls, 1);
+        assert!(c.finished[0].1.is_empty());
+    }
+
+    #[test]
+    fn result_serializes() {
+        let r = BenchResult {
+            name: "x".into(),
+            mean_ns: 12.5,
+            min_ns: 10.0,
+            max_ns: 15.0,
+            samples: 5,
+            iters_per_sample: 100,
+        };
+        let j = r.to_json();
+        assert_eq!(j["name"], "x");
+        assert_eq!(j["samples"], 5u64);
+    }
+}

@@ -10,16 +10,20 @@
 //!   sampling, SINR segmentation, CRC, event queue, PRNG).
 //!
 //! This library exposes the shared reduced-duration scenario helpers so
-//! both bench files stay small.
+//! both bench files stay small, plus [`harness`] — the in-tree
+//! wall-clock replacement for Criterion that keeps the workspace free of
+//! external dependencies.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod harness;
 
 use nomc_sim::{Scenario, SimResult};
 use nomc_units::SimDuration;
 
 /// Shrinks a scenario to benchmark duration (1.5 s simulated, 0.5 s
-/// warmup) so a Criterion sample stays in the tens of milliseconds.
+/// warmup) so a benchmark sample stays in the tens of milliseconds.
 pub fn shrink(mut scenario: Scenario) -> Scenario {
     scenario.duration = SimDuration::from_millis(1500);
     scenario.warmup = SimDuration::from_millis(500);

@@ -3,8 +3,8 @@
 use nomc_phy::planning::CprrModel;
 use nomc_phy::{LogDistance, PathLoss};
 use nomc_sim::{engine, NetworkBehavior, Scenario};
-use nomc_topology::spectrum::{ChannelPlan, FitPolicy};
 use nomc_topology::paper;
+use nomc_topology::spectrum::{ChannelPlan, FitPolicy};
 use nomc_units::{Db, Dbm, Megahertz};
 
 /// Help text.
@@ -30,8 +30,7 @@ pub fn generate(args: &[String]) -> Result<(), String> {
         .first()
         .ok_or("generate needs a template name (line|dense|fig5|attacker)")?;
     let scenario = template_scenario(template)?;
-    let json = serde_json::to_string_pretty(&scenario)
-        .map_err(|e| format!("serialization failed: {e}"))?;
+    let json = nomc_json::to_string_pretty(&scenario);
     match args.get(1) {
         Some(path) => {
             std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
@@ -58,7 +57,7 @@ fn template_scenario(template: &str) -> Result<Scenario, String> {
             b.build()
         }
         "dense" => {
-            use rand::SeedableRng;
+            use nomc_rngcore::SeedableRng;
             let mut rng = nomc_sim::rng::Xoshiro256StarStar::seed_from_u64(1);
             let deployment = paper::vi_a_deployment(&mut rng, &plan, 2, Dbm::new(0.0));
             let mut b = Scenario::builder(deployment);
@@ -75,17 +74,24 @@ fn template_scenario(template: &str) -> Result<Scenario, String> {
             Scenario::builder(deployment).build()
         }
         "attacker" => {
-            let (deployment, n, a) = paper::fig4_deployment(
-                Megahertz::new(2460.0),
-                Megahertz::new(3.0),
-                Dbm::new(0.0),
-            );
+            let (deployment, n, a) =
+                paper::fig4_deployment(Megahertz::new(2460.0), Megahertz::new(3.0), Dbm::new(0.0));
             let mut b = Scenario::builder(deployment);
-            b.behavior(n, NetworkBehavior::attacker(nomc_units::SimDuration::from_millis(9)))
-                .behavior(a, NetworkBehavior::attacker(nomc_units::SimDuration::from_micros(2200)));
+            b.behavior(
+                n,
+                NetworkBehavior::attacker(nomc_units::SimDuration::from_millis(9)),
+            )
+            .behavior(
+                a,
+                NetworkBehavior::attacker(nomc_units::SimDuration::from_micros(2200)),
+            );
             b.build()
         }
-        other => return Err(format!("unknown template `{other}` (line|dense|fig5|attacker)")),
+        other => {
+            return Err(format!(
+                "unknown template `{other}` (line|dense|fig5|attacker)"
+            ))
+        }
     }
     .map_err(|e| format!("template invalid: {e}"))
 }
@@ -135,24 +141,30 @@ pub fn run(args: &[String]) -> Result<(), String> {
         println!("  sender {i}: {t}");
     }
     if let Some(out) = flag_value(args, "--json") {
-        let summary = serde_json::json!({
-            "total_throughput": result.total_throughput(),
-            "total_prr": result.total_prr(),
-            "networks": result
-                .networks()
-                .iter()
-                .map(|n| {
-                    serde_json::json!({
-                        "index": n.index,
-                        "frequency_mhz": n.frequency.value(),
-                        "throughput": n.throughput(result.measured),
-                        "sent": n.totals.sent,
-                        "received": n.totals.received,
-                    })
-                })
-                .collect::<Vec<_>>(),
-        });
-        std::fs::write(&out, serde_json::to_string_pretty(&summary).expect("serializable"))
+        use nomc_json::{Json, ToJson};
+        let summary = Json::object([
+            ("total_throughput", result.total_throughput().to_json()),
+            ("total_prr", result.total_prr().to_json()),
+            (
+                "networks",
+                Json::Arr(
+                    result
+                        .networks()
+                        .iter()
+                        .map(|n| {
+                            Json::object([
+                                ("index", n.index.to_json()),
+                                ("frequency_mhz", n.frequency.value().to_json()),
+                                ("throughput", n.throughput(result.measured).to_json()),
+                                ("sent", n.totals.sent.to_json()),
+                                ("received", n.totals.received.to_json()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]);
+        std::fs::write(&out, summary.dump_pretty())
             .map_err(|e| format!("cannot write {out}: {e}"))?;
         eprintln!("wrote {out}");
     }
@@ -197,8 +209,7 @@ pub fn inspect(args: &[String]) -> Result<(), String> {
                     .acr
                     .rejection(other.frequency.distance_to(net.frequency));
                 for l2 in &other.links {
-                    let coupled =
-                        l2.tx_power - pl.loss(l2.tx.distance_to(link.rx)) - rejection;
+                    let coupled = l2.tx_power - pl.loss(l2.tx.distance_to(link.rx)) - rejection;
                     if worst.map(|(_, w)| coupled > w).unwrap_or(true) {
                         worst = Some((oi, coupled));
                     }
@@ -243,10 +254,7 @@ pub fn plan(args: &[String]) -> Result<(), String> {
         );
     }
     match model.min_cfd_for_cprr(target) {
-        Some(cfd) => println!(
-            "\nsmallest CFD with CPRR ≥ {:.0}%: {cfd}",
-            target * 100.0
-        ),
+        Some(cfd) => println!("\nsmallest CFD with CPRR ≥ {:.0}%: {cfd}", target * 100.0),
         None => println!(
             "\nno CFD under the curve's saturation point reaches {:.0}%",
             target * 100.0
@@ -276,11 +284,7 @@ pub fn assign(args: &[String]) -> Result<(), String> {
     if !cfd.is_finite() || cfd <= 0.0 {
         return Err("assignment needs at least two networks on distinct channels".into());
     }
-    let plan = ChannelPlan::with_count(
-        Megahertz::new(freqs[0]),
-        Megahertz::new(cfd),
-        freqs.len(),
-    );
+    let plan = ChannelPlan::with_count(Megahertz::new(freqs[0]), Megahertz::new(cfd), freqs.len());
     let assignment = optimize_assignment(
         &scenario.deployment.networks,
         &plan,
@@ -298,8 +302,7 @@ pub fn assign(args: &[String]) -> Result<(), String> {
     }
     apply_assignment(&mut scenario.deployment.networks, &assignment);
     if let Some(out) = args.get(1) {
-        let json = serde_json::to_string_pretty(&scenario)
-            .map_err(|e| format!("serialization failed: {e}"))?;
+        let json = nomc_json::to_string_pretty(&scenario);
         std::fs::write(out, json).map_err(|e| format!("cannot write {out}: {e}"))?;
         eprintln!("wrote {out}");
     }
@@ -307,10 +310,9 @@ pub fn assign(args: &[String]) -> Result<(), String> {
 }
 
 fn load_scenario(path: &str) -> Result<Scenario, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let scenario: Scenario =
-        serde_json::from_str(&text).map_err(|e| format!("invalid scenario JSON: {e}"))?;
+        nomc_json::from_str(&text).map_err(|e| format!("invalid scenario JSON: {e}"))?;
     scenario
         .deployment
         .validate()
@@ -346,10 +348,10 @@ mod tests {
     fn templates_build_and_serialize() {
         for t in ["line", "dense", "fig5", "attacker"] {
             let sc = template_scenario(t).unwrap_or_else(|e| panic!("{t}: {e}"));
-            // Exact round-trip: serde_json's `float_roundtrip` feature
-            // guarantees bit-faithful f64 decoding.
-            let json = serde_json::to_string(&sc).expect("serializes");
-            let back: Scenario = serde_json::from_str(&json).expect("deserializes");
+            // Exact round-trip: the in-tree codec emits shortest
+            // representations that decode bit-faithfully.
+            let json = nomc_json::to_string(&sc);
+            let back: Scenario = nomc_json::from_str(&json).expect("deserializes");
             assert_eq!(back, sc, "template {t} did not round-trip");
         }
         assert!(template_scenario("nope").is_err());
@@ -361,7 +363,7 @@ mod tests {
         let dir = std::env::temp_dir().join("nomc-cli-test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("scenario.json");
-        std::fs::write(&path, serde_json::to_string(&sc).unwrap()).unwrap();
+        std::fs::write(&path, nomc_json::to_string(&sc)).unwrap();
         let loaded = load_scenario(path.to_str().unwrap()).unwrap();
         assert_eq!(loaded, sc);
     }
@@ -372,7 +374,10 @@ mod tests {
             .iter()
             .map(|s| s.to_string())
             .collect();
-        assert_eq!(parse_flag::<f64>(&args, "--target-cprr").unwrap(), Some(0.9));
+        assert_eq!(
+            parse_flag::<f64>(&args, "--target-cprr").unwrap(),
+            Some(0.9)
+        );
         assert_eq!(parse_flag::<f64>(&args, "--sigma").unwrap(), Some(2.0));
         assert_eq!(parse_flag::<f64>(&args, "--missing").unwrap(), None);
         assert!(parse_flag::<f64>(&["--sigma".into(), "x".into()], "--sigma").is_err());
@@ -390,7 +395,7 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let input = dir.join("in.json");
         let output = dir.join("out.json");
-        std::fs::write(&input, serde_json::to_string(&sc).unwrap()).unwrap();
+        std::fs::write(&input, nomc_json::to_string(&sc)).unwrap();
         assign(&[
             input.to_str().unwrap().to_string(),
             output.to_str().unwrap().to_string(),

@@ -307,7 +307,11 @@ mod tests {
         // T_U with no Case-I update, Eq. 4 raises to the window minimum.
         d.on_cochannel_packet(Dbm::new(-55.0), t(3000));
         d.on_cochannel_packet(Dbm::new(-52.0), t(3500));
-        assert_eq!(d.threshold(t(3500)), Dbm::new(-90.0), "not yet: window young");
+        assert_eq!(
+            d.threshold(t(3500)),
+            Dbm::new(-90.0),
+            "not yet: window young"
+        );
         d.on_tick(t(4100)); // > T_U since last_case1 (t=1000)
         assert_eq!(d.threshold(t(4100)), Dbm::new(-55.0));
         assert_eq!(d.stats().case2_updates, 1);

@@ -7,7 +7,7 @@ use nomc_units::{Db, SimDuration};
 /// Defaults match the paper's implementation (§V-C): `T_I` = 1 s,
 /// millisecond power sensing during initialization, `T_U` = 3 s, and no
 /// extra safety margin.
-#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DcnConfig {
     /// Length of the initializing phase.
     pub t_init: SimDuration,
@@ -20,6 +20,13 @@ pub struct DcnConfig {
     /// trade concurrency for co-channel safety.
     pub safety_margin: Db,
 }
+
+nomc_json::json_struct!(DcnConfig {
+    t_init: SimDuration,
+    power_sense_interval: SimDuration,
+    t_update: SimDuration,
+    safety_margin: Db,
+});
 
 impl DcnConfig {
     /// The paper's configuration.

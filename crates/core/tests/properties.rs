@@ -8,8 +8,9 @@
 
 use nomc_core::{CcaAdjustor, DcnConfig, DcnPhase};
 use nomc_mac::CcaThresholdProvider;
+use nomc_rngcore::check::{forall, one_of, range, vec_of, zip2, G};
+use nomc_rngcore::{check, check_eq};
 use nomc_units::{Dbm, SimDuration, SimTime};
-use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 enum Step {
@@ -19,81 +20,93 @@ enum Step {
     Tick { gap_ms: u64 },
 }
 
-fn arb_steps() -> impl Strategy<Value = Vec<Step>> {
-    prop::collection::vec(
-        prop_oneof![
-            (0u64..2500, -90i32..-40).prop_map(|(gap_ms, rssi_dbm)| Step::Packet {
-                gap_ms,
-                rssi_dbm
-            }),
-            (0u64..2500).prop_map(|gap_ms| Step::Tick { gap_ms }),
-        ],
+fn arb_steps() -> G<Vec<Step>> {
+    vec_of(
+        one_of(vec![
+            zip2(range(0u64..2500), range(-90i32..-40))
+                .map(|(gap_ms, rssi_dbm)| Step::Packet { gap_ms, rssi_dbm }),
+            range(0u64..2500).map(|gap_ms| Step::Tick { gap_ms }),
+        ]),
         1..60,
     )
 }
 
-proptest! {
-    #[test]
-    fn threshold_never_exceeds_live_window_minimum(steps in arb_steps()) {
-        let cfg = DcnConfig::paper_default();
-        let mut dcn = CcaAdjustor::new(cfg, Dbm::new(-77.0));
-        let mut now = SimTime::ZERO;
-        // Complete initialization with one power sample so the run starts
-        // from a deterministic threshold.
-        dcn.on_power_sense(Dbm::new(-80.0), now);
-        now += SimDuration::from_millis(1100);
-        dcn.on_tick(now);
-        prop_assert_eq!(dcn.phase(), DcnPhase::Updating);
+#[test]
+fn threshold_never_exceeds_live_window_minimum() {
+    forall(
+        "threshold_never_exceeds_live_window_minimum",
+        64,
+        &arb_steps(),
+        |steps| {
+            let cfg = DcnConfig::paper_default();
+            let mut dcn = CcaAdjustor::new(cfg, Dbm::new(-77.0));
+            let mut now = SimTime::ZERO;
+            // Complete initialization with one power sample so the run
+            // starts from a deterministic threshold.
+            dcn.on_power_sense(Dbm::new(-80.0), now);
+            now += SimDuration::from_millis(1100);
+            dcn.on_tick(now);
+            check_eq!(dcn.phase(), DcnPhase::Updating);
 
-        let mut window: Vec<(SimTime, f64)> = Vec::new();
-        for step in steps {
-            match step {
-                Step::Packet { gap_ms, rssi_dbm } => {
+            let mut window: Vec<(SimTime, f64)> = Vec::new();
+            for step in steps {
+                match *step {
+                    Step::Packet { gap_ms, rssi_dbm } => {
+                        now += SimDuration::from_millis(gap_ms);
+                        let rssi = f64::from(rssi_dbm);
+                        dcn.on_cochannel_packet(Dbm::new(rssi), now);
+                        window.push((now, rssi));
+                    }
+                    Step::Tick { gap_ms } => {
+                        now += SimDuration::from_millis(gap_ms);
+                        dcn.on_tick(now);
+                    }
+                }
+                window.retain(|&(t, _)| now.saturating_since(t) <= cfg.t_update);
+                if let Some(min) = window
+                    .iter()
+                    .map(|&(_, r)| r)
+                    .min_by(|a, b| a.partial_cmp(b).expect("finite"))
+                {
+                    let threshold = dcn.threshold(now).value();
+                    check!(
+                        threshold <= min + 1e-9,
+                        "threshold {threshold} above live window minimum {min}"
+                    );
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn threshold_is_bounded_by_observations() {
+    forall(
+        "threshold_is_bounded_by_observations",
+        64,
+        &arb_steps(),
+        |steps| {
+            // The threshold never rises above the strongest RSSI ever seen
+            // (there is nothing to justify a higher setting) and never
+            // sinks below the weakest (Case I stops there).
+            let mut dcn = CcaAdjustor::new(DcnConfig::paper_default(), Dbm::new(-77.0));
+            let mut now = SimTime::from_millis(1100);
+            dcn.on_tick(now);
+            let (mut lo, mut hi) = (-77.0f64, -77.0f64);
+            for step in steps {
+                if let Step::Packet { gap_ms, rssi_dbm } = *step {
                     now += SimDuration::from_millis(gap_ms);
                     let rssi = f64::from(rssi_dbm);
                     dcn.on_cochannel_packet(Dbm::new(rssi), now);
-                    window.push((now, rssi));
+                    lo = lo.min(rssi);
+                    hi = hi.max(rssi);
+                    let t = dcn.threshold(now).value();
+                    check!(t >= lo - 1e-9, "threshold {t} below floor {lo}");
+                    check!(t <= hi + 1e-9, "threshold {t} above ceiling {hi}");
                 }
-                Step::Tick { gap_ms } => {
-                    now += SimDuration::from_millis(gap_ms);
-                    dcn.on_tick(now);
-                }
             }
-            window.retain(|&(t, _)| now.saturating_since(t) <= cfg.t_update);
-            if let Some(min) = window
-                .iter()
-                .map(|&(_, r)| r)
-                .min_by(|a, b| a.partial_cmp(b).expect("finite"))
-            {
-                let threshold = dcn.threshold(now).value();
-                prop_assert!(
-                    threshold <= min + 1e-9,
-                    "threshold {threshold} above live window minimum {min}"
-                );
-            }
-        }
-    }
-
-    #[test]
-    fn threshold_is_bounded_by_observations(steps in arb_steps()) {
-        // The threshold never rises above the strongest RSSI ever seen
-        // (there is nothing to justify a higher setting) and never sinks
-        // below the weakest (Case I stops there).
-        let mut dcn = CcaAdjustor::new(DcnConfig::paper_default(), Dbm::new(-77.0));
-        let mut now = SimTime::from_millis(1100);
-        dcn.on_tick(now);
-        let (mut lo, mut hi) = (-77.0f64, -77.0f64);
-        for step in steps {
-            if let Step::Packet { gap_ms, rssi_dbm } = step {
-                now += SimDuration::from_millis(gap_ms);
-                let rssi = f64::from(rssi_dbm);
-                dcn.on_cochannel_packet(Dbm::new(rssi), now);
-                lo = lo.min(rssi);
-                hi = hi.max(rssi);
-                let t = dcn.threshold(now).value();
-                prop_assert!(t >= lo - 1e-9, "threshold {t} below floor {lo}");
-                prop_assert!(t <= hi + 1e-9, "threshold {t} above ceiling {hi}");
-            }
-        }
-    }
+            Ok(())
+        },
+    );
 }

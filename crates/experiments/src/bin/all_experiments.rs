@@ -22,7 +22,7 @@ fn main() {
         eprintln!("wrote {path}");
     }
     if let Some(path) = flag_value(&args, "--json") {
-        let json: Vec<String> = reports.iter().map(|r| r.to_json()).collect();
+        let json: Vec<String> = reports.iter().map(|r| r.to_json_string()).collect();
         let mut f = std::fs::File::create(&path).expect("create json file");
         writeln!(f, "[{}]", json.join(",\n")).expect("write json");
         eprintln!("wrote {path}");

@@ -73,7 +73,10 @@ fn main() -> std::process::ExitCode {
 
     // 3. Fig. 6: relaxing the threshold meaningfully raises the link.
     let sweep = fig06::sweep(&cfg, Dbm::new(0.0));
-    let default = sweep.iter().find(|p| p.threshold == -77.0).expect("-77 in sweep");
+    let default = sweep
+        .iter()
+        .find(|p| p.threshold == -77.0)
+        .expect("-77 in sweep");
     let relaxed = sweep.last().expect("non-empty sweep");
     checks.push(check(
         "CCA relaxation gain ≥ 30 % at ~100 % PRR",
@@ -96,7 +99,11 @@ fn main() -> std::process::ExitCode {
 
     // Report.
     let mut ok = true;
-    println!("calibration self-check ({} seeds × {:.0}s):\n", cfg.seeds.len(), cfg.duration.as_secs_f64());
+    println!(
+        "calibration self-check ({} seeds × {:.0}s):\n",
+        cfg.seeds.len(),
+        cfg.duration.as_secs_f64()
+    );
     for c in &checks {
         println!(
             "  [{}] {:<45} {}",

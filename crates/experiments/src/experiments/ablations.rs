@@ -153,12 +153,14 @@ pub fn failure_policy(cfg: &ExpConfig) -> Report {
         &["policy", "link sent (pkt/s)"],
     );
     for (name, policy) in [
-        ("transmit-anyway", nomc_mac::CcaFailurePolicy::TransmitAnyway),
+        (
+            "transmit-anyway",
+            nomc_mac::CcaFailurePolicy::TransmitAnyway,
+        ),
         ("drop-packet", nomc_mac::CcaFailurePolicy::DropPacket),
     ] {
         let results = runner::run_seeds(cfg, |seed| {
-            let (mut sc, link_idx) =
-                common::fig5_scenario(Dbm::new(-150.0), Dbm::new(0.0), seed);
+            let (mut sc, link_idx) = common::fig5_scenario(Dbm::new(-150.0), Dbm::new(0.0), seed);
             // Unclamp the register so −150 dBm really is below noise.
             sc.radio.cca_threshold_range = (Dbm::new(-150.0), Dbm::new(0.0));
             sc.radio.rssi = nomc_radio::rssi::RssiRegister::ideal();
@@ -236,7 +238,9 @@ pub fn oracle(cfg: &ExpConfig) -> Report {
     );
     type Arm = (&'static str, fn(u64) -> Scenario);
     let arms: [Arm; 3] = [
-        ("fixed −77 dBm", |seed| common::vi_a_scenario(3.0, 5, &[], seed)),
+        ("fixed −77 dBm", |seed| {
+            common::vi_a_scenario(3.0, 5, &[], seed)
+        }),
         ("DCN", |seed| {
             common::vi_a_scenario(3.0, 5, &[0, 1, 2, 3, 4], seed)
         }),
@@ -250,7 +254,10 @@ pub fn oracle(cfg: &ExpConfig) -> Report {
     ];
     for (name, build) in arms {
         let results = runner::run_seeds(cfg, build);
-        report.row([name.to_string(), f1(common::mean_total_throughput(&results))]);
+        report.row([
+            name.to_string(),
+            f1(common::mean_total_throughput(&results)),
+        ]);
     }
     report.note(
         "the oracle ignores inter-channel energy entirely at CCA time, \

@@ -142,11 +142,7 @@ mod tests {
         for case in [Case::DenseRegion, Case::Clustered, Case::Random] {
             let z = throughput(&cfg, case, Design::Zigbee);
             let d = throughput(&cfg, case, Design::Dcn);
-            assert!(
-                d > 1.15 * z,
-                "{}: DCN {d} vs ZigBee {z}",
-                case.name()
-            );
+            assert!(d > 1.15 * z, "{}: DCN {d} vs ZigBee {z}", case.name());
         }
     }
 
@@ -154,8 +150,7 @@ mod tests {
     fn relaxing_gain_largest_in_dense_case() {
         let cfg = ExpConfig::quick();
         let gain = |case| {
-            throughput(&cfg, case, Design::Dcn)
-                / throughput(&cfg, case, Design::NonOrthogonalFixed)
+            throughput(&cfg, case, Design::Dcn) / throughput(&cfg, case, Design::NonOrthogonalFixed)
         };
         let dense = gain(Case::DenseRegion);
         let random = gain(Case::Random);

@@ -1,11 +1,11 @@
 //! Shared scenario builders for the experiment modules.
 
+use nomc_rngcore::SeedableRng;
 use nomc_sim::rng::Xoshiro256StarStar;
 use nomc_sim::{NetworkBehavior, Scenario, SimResult, ThresholdMode};
 use nomc_topology::spectrum::{ChannelPlan, FitPolicy};
 use nomc_topology::{paper, Deployment};
 use nomc_units::{Dbm, Megahertz, SimDuration};
-use rand::SeedableRng;
 
 /// Start of the paper's §VI-B band: 2458 MHz.
 pub fn band_start() -> Megahertz {

@@ -48,8 +48,14 @@ pub fn energy_comparison(cfg: &ExpConfig) -> Report {
             format!("{:.3}", energy_rate / delivered),
         ]);
     };
-    add("ZigBee (4ch@5MHz)", &runner::run_seeds(cfg, fig19::zigbee_scenario));
-    add("DCN (6ch@3MHz)", &runner::run_seeds(cfg, fig19::dcn_scenario));
+    add(
+        "ZigBee (4ch@5MHz)",
+        &runner::run_seeds(cfg, fig19::zigbee_scenario),
+    );
+    add(
+        "DCN (6ch@3MHz)",
+        &runner::run_seeds(cfg, fig19::dcn_scenario),
+    );
     report.note(
         "with always-on CSMA receivers, per-node radio power is nearly constant \
          (RX-dominated), so DCN's extra deliveries directly cut the energy cost \
@@ -201,7 +207,8 @@ pub fn assignment_study(cfg: &ExpConfig) -> Report {
             apply_assignment(&mut deployment.networks, &assignment);
         }
         let mut b = Scenario::builder(deployment);
-        b.behavior_all(nomc_sim::NetworkBehavior::dcn_default()).seed(seed);
+        b.behavior_all(nomc_sim::NetworkBehavior::dcn_default())
+            .seed(seed);
         b.build().expect("valid assignment scenario")
     }
 
@@ -380,7 +387,10 @@ mod tests {
         let single: f64 = report.rows[0][1].parse().unwrap();
         let tmcp: f64 = report.rows[1][1].parse().unwrap();
         let dcn: f64 = report.rows[2][1].parse().unwrap();
-        assert!(tmcp > 1.2 * single, "TMCP {tmcp} should beat single {single}");
+        assert!(
+            tmcp > 1.2 * single,
+            "TMCP {tmcp} should beat single {single}"
+        );
         assert!(
             dcn > 1.1 * tmcp,
             "6-channel DCN {dcn} should beat 4-channel TMCP {tmcp}"

@@ -61,10 +61,11 @@ fn scenario(phy: Phy, separation_mhz: f64, seed: u64) -> Scenario {
     let mut b = Scenario::builder(deployment(separation_mhz));
     b.behavior_all(NetworkBehavior::zigbee_default()).seed(seed);
     if phy == Phy::Dot11bLike {
-        b.radio(RadioConfig::dot11b_like()).propagation(Propagation {
-            acr: AcrCurve::dot11b_like(),
-            ..Propagation::testbed_default()
-        });
+        b.radio(RadioConfig::dot11b_like())
+            .propagation(Propagation {
+                acr: AcrCurve::dot11b_like(),
+                ..Propagation::testbed_default()
+            });
     }
     b.build().expect("valid Fig. 2 scenario")
 }
@@ -83,13 +84,7 @@ pub fn run(cfg: &ExpConfig) -> Vec<Report> {
     let mut report = Report::new(
         "fig02",
         "Uniqueness of 802.15.4: normalized throughput vs channel separation",
-        &[
-            "separation (channels)",
-            "802.11b-like",
-            "",
-            "802.15.4",
-            "",
-        ],
+        &["separation (channels)", "802.11b-like", "", "802.15.4", ""],
     );
     // Baselines: an undisturbed link for each PHY.
     let base_wifi = link_throughput(cfg, Phy::Dot11bLike, 60.0);

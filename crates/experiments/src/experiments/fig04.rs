@@ -84,6 +84,9 @@ mod tests {
     fn attacker_tracks_at_or_above_normal() {
         let cfg = ExpConfig::quick();
         let (normal, attacker) = cprr_at(&cfg, 2.0);
-        assert!(attacker > normal - 0.1, "attacker {attacker} vs normal {normal}");
+        assert!(
+            attacker > normal - 0.1,
+            "attacker {attacker} vs normal {normal}"
+        );
     }
 }

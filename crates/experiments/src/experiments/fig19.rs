@@ -65,8 +65,12 @@ pub fn outcome(cfg: &ExpConfig) -> Fig19Outcome {
     let z = runner::run_seeds(cfg, zigbee_scenario);
     let d = runner::run_seeds(cfg, dcn_scenario);
     Fig19Outcome {
-        zigbee: (0..4).map(|i| common::mean_network_throughput(&z, i)).collect(),
-        dcn: (0..6).map(|i| common::mean_network_throughput(&d, i)).collect(),
+        zigbee: (0..4)
+            .map(|i| common::mean_network_throughput(&z, i))
+            .collect(),
+        dcn: (0..6)
+            .map(|i| common::mean_network_throughput(&d, i))
+            .collect(),
     }
 }
 
@@ -118,10 +122,7 @@ mod tests {
         let cfg = ExpConfig::quick();
         let o = outcome(&cfg);
         let gain = o.overall_gain();
-        assert!(
-            gain > 0.25,
-            "overall gain {gain} too small (paper ≈ 0.58)"
-        );
+        assert!(gain > 0.25, "overall gain {gain} too small (paper ≈ 0.58)");
         assert_eq!(o.zigbee.len(), 4);
         assert_eq!(o.dcn.len(), 6);
     }

@@ -32,10 +32,7 @@ pub fn scenario(power: f64, seed: u64) -> Scenario {
     for link in &mut deployment.networks[n0].links {
         link.tx_power = Dbm::new(power);
     }
-    debug_assert_eq!(
-        deployment.networks[n0].frequency,
-        Megahertz::new(2464.0)
-    );
+    debug_assert_eq!(deployment.networks[n0].frequency, Megahertz::new(2464.0));
     let mut b = Scenario::builder(deployment);
     b.behavior_all(NetworkBehavior::dcn_default()).seed(seed);
     b.build().expect("valid Fig. 20 scenario")
@@ -81,14 +78,10 @@ mod tests {
     fn n0_throughput_rises_with_power() {
         let cfg = ExpConfig::quick();
         let n0 = n0_index();
-        let lo = common::mean_network_throughput(
-            &runner::run_seeds(&cfg, |s| scenario(-33.0, s)),
-            n0,
-        );
-        let hi = common::mean_network_throughput(
-            &runner::run_seeds(&cfg, |s| scenario(-0.6, s)),
-            n0,
-        );
+        let lo =
+            common::mean_network_throughput(&runner::run_seeds(&cfg, |s| scenario(-33.0, s)), n0);
+        let hi =
+            common::mean_network_throughput(&runner::run_seeds(&cfg, |s| scenario(-0.6, s)), n0);
         assert!(hi > 1.5 * lo, "lo {lo} hi {hi}");
     }
 

@@ -21,8 +21,7 @@ pub const LINK_POWER_DBM: f64 = -22.0;
 
 /// Builds the severe-interference scenario at one threshold.
 pub fn scenario(threshold: f64, seed: u64) -> Scenario {
-    let (mut sc, _) =
-        common::fig5_scenario(Dbm::new(threshold), Dbm::new(LINK_POWER_DBM), seed);
+    let (mut sc, _) = common::fig5_scenario(Dbm::new(threshold), Dbm::new(LINK_POWER_DBM), seed);
     sc.record_error_positions = true;
     sc
 }
@@ -65,8 +64,7 @@ pub fn sweep(cfg: &ExpConfig) -> (Vec<RecoveryPoint>, Vec<ErrorRecord>) {
                     rescued += 1;
                 }
             }
-            recoverable += link.throughput(r.measured)
-                + rescued as f64 / r.measured.as_secs_f64();
+            recoverable += link.throughput(r.measured) + rescued as f64 / r.measured.as_secs_f64();
             records.extend(link.error_records.iter().cloned());
         }
         points.push(RecoveryPoint {
@@ -89,7 +87,12 @@ pub fn run(cfg: &ExpConfig) -> Vec<Report> {
         &["CCA thr (dBm)", "sent/s", "received/s", "recoverable/s"],
     );
     for p in &points {
-        fig28.row([f1(p.threshold), f1(p.sent), f1(p.received), f1(p.recoverable)]);
+        fig28.row([
+            f1(p.threshold),
+            f1(p.sent),
+            f1(p.received),
+            f1(p.recoverable),
+        ]);
     }
     let relaxed = points.last().expect("non-empty");
     fig28.note(format!(
@@ -149,8 +152,7 @@ mod tests {
     fn most_failures_have_few_error_bits() {
         let cfg = ExpConfig::quick();
         let (_, records) = sweep(&cfg);
-        let fractions: Vec<f64> =
-            records.iter().map(ErrorRecord::error_fraction).collect();
+        let fractions: Vec<f64> = records.iter().map(ErrorRecord::error_fraction).collect();
         let at10 = fraction_at_or_below(&fractions, 0.1).unwrap_or(0.0);
         assert!(
             at10 > 0.6,

@@ -28,8 +28,12 @@ pub fn outcome(cfg: &ExpConfig) -> (Vec<f64>, Vec<f64>) {
     let base = runner::run_seeds(cfg, |s| scenario(false, s));
     let dcn = runner::run_seeds(cfg, |s| scenario(true, s));
     (
-        (0..7).map(|i| common::mean_network_throughput(&base, i)).collect(),
-        (0..7).map(|i| common::mean_network_throughput(&dcn, i)).collect(),
+        (0..7)
+            .map(|i| common::mean_network_throughput(&base, i))
+            .collect(),
+        (0..7)
+            .map(|i| common::mean_network_throughput(&dcn, i))
+            .collect(),
     )
 }
 
@@ -74,8 +78,7 @@ mod tests {
         assert!(t1 > 1.03 * t0, "no overall gain: {t0} -> {t1}");
         // The middle network's gain beats the average edge gain.
         let mid_gain = with[3] / without[3] - 1.0;
-        let edge_gain =
-            0.5 * (with[0] / without[0] + with[6] / without[6]) - 1.0;
+        let edge_gain = 0.5 * (with[0] / without[0] + with[6] / without[6]) - 1.0;
         assert!(
             mid_gain > edge_gain - 0.03,
             "middle {mid_gain} vs edge {edge_gain}"

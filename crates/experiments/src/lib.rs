@@ -67,8 +67,8 @@ impl ExpConfig {
     /// Picks [`ExpConfig::quick`] when `--quick` appears in the process
     /// arguments or `NOMC_QUICK` is set, else [`ExpConfig::full`].
     pub fn from_env() -> Self {
-        let quick = std::env::args().any(|a| a == "--quick")
-            || std::env::var_os("NOMC_QUICK").is_some();
+        let quick =
+            std::env::args().any(|a| a == "--quick") || std::env::var_os("NOMC_QUICK").is_some();
         if quick {
             ExpConfig::quick()
         } else {

@@ -1,10 +1,9 @@
 //! Experiment reports: tables, ASCII charts, markdown and JSON output.
 
-use serde::Serialize;
 use std::fmt;
 
 /// A rendered experiment result.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Report {
     /// Experiment id (`fig04`, `table1`, …).
     pub id: String,
@@ -17,6 +16,14 @@ pub struct Report {
     /// Paper-vs-measured commentary and caveats.
     pub notes: Vec<String>,
 }
+
+nomc_json::json_struct!(Report {
+    id: String,
+    title: String,
+    columns: Vec<String>,
+    rows: Vec<Vec<String>>,
+    notes: Vec<String>,
+});
 
 impl Report {
     /// Starts a report.
@@ -87,8 +94,8 @@ impl Report {
     }
 
     /// Serializes to pretty JSON.
-    pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("report serializes")
+    pub fn to_json_string(&self) -> String {
+        nomc_json::ToJson::to_json(self).dump_pretty()
     }
 }
 
@@ -142,7 +149,9 @@ pub fn bar(value: f64, max: f64, width: usize) -> String {
     if max <= 0.0 || !value.is_finite() {
         return String::new();
     }
-    let n = ((value / max) * width as f64).round().clamp(0.0, width as f64) as usize;
+    let n = ((value / max) * width as f64)
+        .round()
+        .clamp(0.0, width as f64) as usize;
     "#".repeat(n)
 }
 
@@ -175,8 +184,8 @@ mod tests {
 
     #[test]
     fn json_round_trips_enough() {
-        let j = sample().to_json();
-        let v: serde_json::Value = serde_json::from_str(&j).unwrap();
+        let j = sample().to_json_string();
+        let v: nomc_json::Json = j.parse().unwrap();
         assert_eq!(v["id"], "fig00");
         assert_eq!(v["rows"][1][0], "10");
     }

@@ -83,18 +83,19 @@ pub fn run_parallel(scenarios: &[Scenario]) -> Vec<SimResult> {
         .map(|n| n.get())
         .unwrap_or(4);
     let mut out: Vec<Option<SimResult>> = vec![None; scenarios.len()];
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let chunk = scenarios.len().div_ceil(threads).max(1);
         for (slot_chunk, sc_chunk) in out.chunks_mut(chunk).zip(scenarios.chunks(chunk)) {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (slot, sc) in slot_chunk.iter_mut().zip(sc_chunk) {
                     *slot = Some(engine::run(sc));
                 }
             });
         }
-    })
-    .expect("simulation worker panicked");
-    out.into_iter().map(|r| r.expect("all slots filled")).collect()
+    });
+    out.into_iter()
+        .map(|r| r.expect("all slots filled"))
+        .collect()
 }
 
 /// Convenience: runs the seeds and reduces each result to a scalar,

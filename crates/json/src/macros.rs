@@ -1,0 +1,178 @@
+//! Boilerplate generators for the two most common data shapes: plain
+//! structs with named fields (optionally defaulted, mirroring
+//! `#[serde(default)]`) and transparent newtypes.
+//!
+//! Enums are implemented by hand in their defining crates; external
+//! tagging has too many shapes (unit / newtype / struct variants) to be
+//! worth a macro here.
+
+/// Implements [`ToJson`](crate::ToJson) and [`FromJson`](crate::FromJson)
+/// for a struct with named fields.
+///
+/// Append `= expr` to a field to make it optional on input with that
+/// default (the equivalent of `#[serde(default)]`); all fields always
+/// serialize.
+///
+/// # Examples
+///
+/// ```
+/// struct Window {
+///     lo: f64,
+///     hi: f64,
+///     label: String,
+/// }
+///
+/// nomc_json::json_struct!(Window {
+///     lo: f64,
+///     hi: f64,
+///     label: String = String::new(),
+/// });
+///
+/// let w: Window = nomc_json::from_str(r#"{"lo": 0.5, "hi": 2.0}"#).unwrap();
+/// assert_eq!(w.hi, 2.0);
+/// assert_eq!(w.label, "");
+/// assert_eq!(nomc_json::to_string(&w), r#"{"lo":0.5,"hi":2.0,"label":""}"#);
+/// ```
+#[macro_export]
+macro_rules! json_struct {
+    ($ty:ident { $($field:ident : $fty:ty $(= $default:expr)?),+ $(,)? }) => {
+        impl $crate::ToJson for $ty {
+            fn to_json(&self) -> $crate::Json {
+                $crate::Json::object([
+                    $((stringify!($field), $crate::ToJson::to_json(&self.$field))),+
+                ])
+            }
+        }
+
+        impl $crate::FromJson for $ty {
+            fn from_json(value: &$crate::Json) -> Result<Self, $crate::Error> {
+                let obj = value.as_object().ok_or_else(|| $crate::Error::new(
+                    concat!("expected object for ", stringify!($ty)),
+                ))?;
+                Ok($ty {
+                    $($field: match obj.get(stringify!($field)) {
+                        Some(field_value) => {
+                            <$fty as $crate::FromJson>::from_json(field_value).map_err(|e| {
+                                $crate::Error::new(format!(
+                                    concat!(stringify!($ty), ".", stringify!($field), ": {}"),
+                                    e
+                                ))
+                            })?
+                        }
+                        None => $crate::json_field_default!($ty, $field $(, $default)?),
+                    }),+
+                })
+            }
+        }
+    };
+}
+
+/// Expands to a field's default, or to an early `Err` return when the
+/// field has none. Internal helper for [`json_struct!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_field_default {
+    ($ty:ident, $field:ident) => {
+        return Err($crate::Error::new(concat!(
+            "missing field `",
+            stringify!($field),
+            "` in ",
+            stringify!($ty),
+        )))
+    };
+    ($ty:ident, $field:ident, $default:expr) => {
+        $default
+    };
+}
+
+/// Implements [`ToJson`](crate::ToJson) and [`FromJson`](crate::FromJson)
+/// for a single-field tuple struct, serializing transparently as the
+/// inner value (serde's newtype-struct behavior).
+///
+/// # Examples
+///
+/// ```
+/// #[derive(PartialEq, Debug)]
+/// struct Celsius(f64);
+///
+/// nomc_json::json_newtype!(Celsius: f64);
+///
+/// assert_eq!(nomc_json::to_string(&Celsius(21.5)), "21.5");
+/// let t: Celsius = nomc_json::from_str("21.5").unwrap();
+/// assert_eq!(t, Celsius(21.5));
+/// ```
+#[macro_export]
+macro_rules! json_newtype {
+    ($ty:ident : $inner:ty) => {
+        impl $crate::ToJson for $ty {
+            fn to_json(&self) -> $crate::Json {
+                $crate::ToJson::to_json(&self.0)
+            }
+        }
+
+        impl $crate::FromJson for $ty {
+            fn from_json(value: &$crate::Json) -> Result<Self, $crate::Error> {
+                Ok($ty(<$inner as $crate::FromJson>::from_json(value)
+                    .map_err(|e| {
+                        $crate::Error::new(format!(concat!(stringify!($ty), ": {}"), e))
+                    })?))
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate as nomc_json;
+    use crate::{from_str, to_string};
+
+    #[derive(Debug, PartialEq)]
+    struct Inner(u32);
+    nomc_json::json_newtype!(Inner: u32);
+
+    #[derive(Debug, PartialEq)]
+    struct Outer {
+        a: Inner,
+        b: Vec<f64>,
+        c: bool,
+    }
+    nomc_json::json_struct!(Outer {
+        a: Inner,
+        b: Vec<f64>,
+        c: bool = true,
+    });
+
+    #[test]
+    fn struct_round_trip_and_defaults() {
+        let v = Outer {
+            a: Inner(3),
+            b: vec![1.5, -2.0],
+            c: false,
+        };
+        let text = to_string(&v);
+        assert_eq!(text, r#"{"a":3,"b":[1.5,-2.0],"c":false}"#);
+        assert_eq!(from_str::<Outer>(&text).unwrap(), v);
+
+        let defaulted: Outer = from_str(r#"{"a": 9, "b": []}"#).unwrap();
+        assert_eq!(
+            defaulted,
+            Outer {
+                a: Inner(9),
+                b: vec![],
+                c: true
+            }
+        );
+    }
+
+    #[test]
+    fn missing_required_field_is_an_error() {
+        let err = from_str::<Outer>(r#"{"b": []}"#).unwrap_err();
+        assert!(err.to_string().contains("missing field `a`"), "{err}");
+    }
+
+    #[test]
+    fn field_errors_carry_a_path() {
+        let err = from_str::<Outer>(r#"{"a": 3, "b": ["x"]}"#).unwrap_err();
+        assert!(err.to_string().contains("Outer.b"), "{err}");
+    }
+}

@@ -1,0 +1,366 @@
+//! Recursive-descent JSON parser (RFC 8259 grammar, UTF-8 input).
+//!
+//! Number classification mirrors serde_json with `float_roundtrip`:
+//! tokens with a fraction or exponent become `F64` via Rust's
+//! correctly-rounded `str::parse::<f64>`; bare integers become `U64`
+//! (or `I64` when negative), overflowing ones fall back to `F64`.
+
+use crate::{Error, Json, Map, Number};
+
+/// Nesting depth cap — protects against stack overflow on adversarial
+/// input while being far deeper than any scenario file.
+const MAX_DEPTH: usize = 128;
+
+pub fn parse(text: &str) -> Result<Json, Error> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after JSON value"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> Error {
+        Error::new(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: Json) -> Result<Json, Error> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("invalid literal, expected `{lit}`")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, Error> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("recursion depth exceeded"));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, Error> {
+        self.expect(b'{')?;
+        let mut map = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Copy the unescaped run in one go.
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("invalid UTF-8 in string"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    self.escape(&mut out)?;
+                }
+                Some(_) => return Err(self.err("unescaped control character in string")),
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn escape(&mut self, out: &mut String) -> Result<(), Error> {
+        let c = self.peek().ok_or_else(|| self.err("truncated escape"))?;
+        self.pos += 1;
+        match c {
+            b'"' => out.push('"'),
+            b'\\' => out.push('\\'),
+            b'/' => out.push('/'),
+            b'b' => out.push('\u{0008}'),
+            b'f' => out.push('\u{000C}'),
+            b'n' => out.push('\n'),
+            b'r' => out.push('\r'),
+            b't' => out.push('\t'),
+            b'u' => {
+                let hi = self.hex4()?;
+                let ch = if (0xD800..0xDC00).contains(&hi) {
+                    // High surrogate: must be followed by `\uXXXX` low half.
+                    if self.peek() != Some(b'\\') || self.bytes.get(self.pos + 1) != Some(&b'u') {
+                        return Err(self.err("unpaired surrogate"));
+                    }
+                    self.pos += 2;
+                    let lo = self.hex4()?;
+                    if !(0xDC00..0xE000).contains(&lo) {
+                        return Err(self.err("invalid low surrogate"));
+                    }
+                    let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                    char::from_u32(code).ok_or_else(|| self.err("invalid surrogate pair"))?
+                } else {
+                    char::from_u32(hi).ok_or_else(|| self.err("unpaired surrogate"))?
+                };
+                out.push(ch);
+            }
+            _ => return Err(self.err("invalid escape character")),
+        }
+        Ok(())
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let c = self
+                .peek()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
+            let d = (c as char)
+                .to_digit(16)
+                .ok_or_else(|| self.err("invalid hex digit in \\u escape"))?;
+            v = v * 16 + d;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, Error> {
+        let start = self.pos;
+        let negative = self.peek() == Some(b'-');
+        if negative {
+            self.pos += 1;
+        }
+        // Integer part: `0` or a non-zero digit followed by digits.
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.err("invalid number")),
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("expected digit after decimal point"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("expected digit in exponent"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        // The token is ASCII by construction.
+        let token = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        let number = if is_float {
+            Number::F64(token.parse().map_err(|_| self.err("invalid float"))?)
+        } else if negative {
+            match token.parse::<i64>() {
+                Ok(v) => Number::I64(v),
+                Err(_) => Number::F64(token.parse().map_err(|_| self.err("invalid number"))?),
+            }
+        } else {
+            match token.parse::<u64>() {
+                Ok(v) => Number::U64(v),
+                Err(_) => Number::F64(token.parse().map_err(|_| self.err("invalid number"))?),
+            }
+        };
+        Ok(Json::Num(number))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse("null").unwrap(), Json::Null);
+        assert_eq!(parse("true").unwrap(), Json::Bool(true));
+        assert_eq!(parse(" false ").unwrap(), Json::Bool(false));
+        assert_eq!(parse("42").unwrap(), 42u64);
+        assert_eq!(parse("-7").unwrap(), -7i64);
+        assert_eq!(parse("2.5").unwrap(), 2.5f64);
+        assert_eq!(parse("\"hi\"").unwrap(), "hi");
+    }
+
+    #[test]
+    fn number_classification() {
+        // Integral-looking tokens stay integers; 2^53+1 survives exactly.
+        let v = parse("9007199254740993").unwrap();
+        assert_eq!(v.as_u64(), Some(9007199254740993));
+        // Seeds up to u64::MAX survive exactly.
+        assert_eq!(
+            parse("18446744073709551615").unwrap().as_u64(),
+            Some(u64::MAX)
+        );
+        // A fraction or exponent forces float.
+        assert_eq!(parse("1.0").unwrap(), 1.0f64);
+        assert_eq!(parse("1e2").unwrap(), 100.0f64);
+        // Integer overflow past u64 falls back to float.
+        assert!(matches!(
+            parse("99999999999999999999999999").unwrap(),
+            Json::Num(Number::F64(_))
+        ));
+    }
+
+    #[test]
+    fn parses_structures() {
+        let v = parse(r#"{"a": [1, 2, {"b": null}], "c": "d"}"#).unwrap();
+        assert_eq!(v["a"][2]["b"], Json::Null);
+        assert_eq!(v["c"], "d");
+        assert_eq!(v["a"].as_array().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn preserves_key_order() {
+        let v = parse(r#"{"z": 1, "a": 2, "m": 3}"#).unwrap();
+        let keys: Vec<&str> = v.as_object().unwrap().keys().collect();
+        assert_eq!(keys, ["z", "a", "m"]);
+    }
+
+    #[test]
+    fn string_escapes() {
+        let v = parse(r#""a\"b\\c\/d\n\t\u0041\u00e9""#).unwrap();
+        assert_eq!(v, "a\"b\\c/d\n\tA\u{e9}");
+        // Surrogate pair: U+1F600.
+        assert_eq!(parse(r#""\ud83d\ude00""#).unwrap(), "\u{1F600}");
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "",
+            "tru",
+            "01",
+            "1.",
+            ".5",
+            "+1",
+            "1e",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "[1 2]",
+            "\"abc",
+            "\"\\x\"",
+            "\"\\ud800\"",
+            "1 2",
+            "{a: 1}",
+            "nan",
+            "Infinity",
+        ] {
+            assert!(parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn depth_limit_enforced() {
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        assert!(parse(&deep).is_err());
+        let ok = "[".repeat(100) + &"]".repeat(100);
+        assert!(parse(&ok).is_ok());
+    }
+}

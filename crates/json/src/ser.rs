@@ -1,0 +1,227 @@
+//! JSON writers: compact and two-space-indented pretty form.
+//!
+//! The float strategy is the load-bearing part: `f64` values print via
+//! Rust's shortest-round-trip formatter (`{}` in a moderate magnitude
+//! window, `{:e}` outside it to avoid hundred-digit expansions), with a
+//! `.0` suffix appended to integral values so the token re-parses as a
+//! float. serialize → parse → serialize is therefore a fixpoint and the
+//! recovered `f64` is bit-identical (including `-0.0` and subnormals).
+
+use crate::{Json, Number};
+
+pub fn to_string_compact(value: &Json) -> String {
+    let mut out = String::new();
+    write_value(&mut out, value, None, 0);
+    out
+}
+
+pub fn to_string_pretty(value: &Json) -> String {
+    let mut out = String::new();
+    write_value(&mut out, value, Some("  "), 0);
+    out
+}
+
+fn write_value(out: &mut String, value: &Json, indent: Option<&str>, level: usize) {
+    match value {
+        Json::Null => out.push_str("null"),
+        Json::Bool(true) => out.push_str("true"),
+        Json::Bool(false) => out.push_str("false"),
+        Json::Num(n) => write_number(out, *n),
+        Json::Str(s) => write_string(out, s),
+        Json::Arr(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_value(out, item, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push(']');
+        }
+        Json::Obj(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, item)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_string(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<&str>, level: usize) {
+    if let Some(unit) = indent {
+        out.push('\n');
+        for _ in 0..level {
+            out.push_str(unit);
+        }
+    }
+}
+
+fn write_number(out: &mut String, n: Number) {
+    match n {
+        Number::I64(v) => out.push_str(&v.to_string()),
+        Number::U64(v) => out.push_str(&v.to_string()),
+        Number::F64(v) => write_f64(out, v),
+    }
+}
+
+/// Magnitude window where plain decimal notation stays short; outside
+/// it, exponent notation avoids 300-digit expansions.
+const PLAIN_LO: f64 = 1e-5;
+const PLAIN_HI: f64 = 1e17;
+
+fn write_f64(out: &mut String, v: f64) {
+    if !v.is_finite() {
+        // serde_json emits null for non-finite floats.
+        out.push_str("null");
+        return;
+    }
+    let magnitude = v.abs();
+    let start = out.len();
+    if magnitude == 0.0 || (PLAIN_LO..PLAIN_HI).contains(&magnitude) {
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str(&format!("{v:e}"));
+    }
+    // An integral token like `42` would re-parse as an integer; force
+    // the float lexical class.
+    if !out[start..].contains(['.', 'e', 'E']) {
+        out.push_str(".0");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\u{0008}' => out.push_str("\\b"),
+            '\u{000C}' => out.push_str("\\f"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Json, Map};
+
+    fn roundtrip(v: &Json) -> Json {
+        Json::parse(&v.dump()).unwrap()
+    }
+
+    #[test]
+    fn compact_layout() {
+        let v = Json::object([
+            ("a", Json::array([Json::Num(Number::U64(1)), Json::Null])),
+            ("b", Json::Str("x".into())),
+        ]);
+        assert_eq!(v.dump(), r#"{"a":[1,null],"b":"x"}"#);
+    }
+
+    #[test]
+    fn pretty_layout() {
+        let v = Json::object([
+            ("a", Json::array([Json::Num(Number::U64(1))])),
+            ("e", Json::Obj(Map::new())),
+        ]);
+        assert_eq!(
+            v.dump_pretty(),
+            "{\n  \"a\": [\n    1\n  ],\n  \"e\": {}\n}"
+        );
+    }
+
+    #[test]
+    fn floats_get_float_lexical_class() {
+        assert_eq!(Json::Num(Number::F64(1.0)).dump(), "1.0");
+        assert_eq!(Json::Num(Number::F64(-0.0)).dump(), "-0.0");
+        assert_eq!(Json::Num(Number::F64(0.1)).dump(), "0.1");
+        assert_eq!(Json::Num(Number::U64(1)).dump(), "1");
+    }
+
+    #[test]
+    fn extreme_floats_round_trip_bit_exactly() {
+        for v in [
+            0.0,
+            -0.0,
+            1.0,
+            -1.5,
+            f64::MAX,
+            f64::MIN,
+            f64::MIN_POSITIVE,
+            5e-324, // smallest subnormal
+            1e300,
+            -2.225073858507201e-308, // largest subnormal
+            std::f64::consts::PI,
+            1.7976931348623155e308,
+        ] {
+            let json = Json::Num(Number::F64(v));
+            let text = json.dump();
+            assert!(text.len() < 40, "verbose float encoding: {text}");
+            let back = roundtrip(&json);
+            let Json::Num(Number::F64(r)) = back else {
+                panic!("float did not re-parse as float: {text}");
+            };
+            assert_eq!(r.to_bits(), v.to_bits(), "lossy round trip via {text}");
+        }
+    }
+
+    #[test]
+    fn serialize_parse_serialize_is_fixpoint() {
+        let v = Json::object([
+            ("f", Json::Num(Number::F64(0.30000000000000004))),
+            ("neg", Json::Num(Number::F64(-0.0))),
+            ("seed", Json::Num(Number::U64(u64::MAX))),
+            ("tiny", Json::Num(Number::F64(5e-324))),
+            ("s", Json::Str("line\n\"quoted\"\u{1F600}".into())),
+        ]);
+        let once = v.dump();
+        let twice = roundtrip(&v).dump();
+        assert_eq!(once, twice);
+        let pretty_once = v.dump_pretty();
+        let pretty_twice = Json::parse(&pretty_once).unwrap().dump_pretty();
+        assert_eq!(pretty_once, pretty_twice);
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let s = "控制\u{0001}\t\"\\/end";
+        let v = Json::Str(s.into());
+        assert_eq!(roundtrip(&v).as_str(), Some(s));
+    }
+
+    #[test]
+    fn nonfinite_serializes_as_null() {
+        assert_eq!(Json::Num(Number::F64(f64::NAN)).dump(), "null");
+        assert_eq!(Json::Num(Number::F64(f64::INFINITY)).dump(), "null");
+    }
+}

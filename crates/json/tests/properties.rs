@@ -1,0 +1,158 @@
+//! Property tests for the JSON codec, driven by the in-tree check
+//! harness: every `f64` must survive serialize → parse bit-exactly and
+//! every serialized tree must be a serialize/parse fixpoint.
+
+use nomc_json::{Json, Number};
+use nomc_rngcore::check::{boolean, forall, just, one_of, range, range_incl, vec_of, zip2, G};
+use nomc_rngcore::{check, check_eq, Rng};
+
+/// Random f64 covering the nasty regions: uniform reals, raw bit
+/// patterns (subnormals, extreme exponents), and known edge cases.
+fn any_f64() -> G<f64> {
+    one_of(vec![
+        range(-1e9..1e9),
+        range(-1.0..1.0),
+        // Arbitrary bit patterns, masked down to finite values.
+        G::new(|rng| {
+            let bits: u64 = rng.gen();
+            let v = f64::from_bits(bits);
+            if v.is_finite() {
+                v
+            } else {
+                f64::from_bits(bits & 0x000F_FFFF_FFFF_FFFF) // subnormal
+            }
+        }),
+        one_of(
+            [
+                0.0,
+                -0.0,
+                f64::MAX,
+                f64::MIN,
+                f64::MIN_POSITIVE,
+                5e-324,
+                -5e-324,
+                1e300,
+                1e-300,
+                0.1,
+                0.30000000000000004,
+            ]
+            .into_iter()
+            .map(just)
+            .collect(),
+        ),
+    ])
+}
+
+/// Strings with escapes, unicode and control characters mixed in.
+fn any_string() -> G<String> {
+    vec_of(
+        one_of(vec![
+            range(0x20u32..0x7F).map(|c| char::from_u32(c).unwrap()),
+            one_of(
+                [
+                    '"',
+                    '\\',
+                    '/',
+                    '\n',
+                    '\t',
+                    '\r',
+                    '\u{0001}',
+                    '\u{e9}',
+                    '\u{1F600}',
+                    '控',
+                ]
+                .into_iter()
+                .map(just)
+                .collect(),
+            ),
+        ]),
+        0..12,
+    )
+    .map(|chars| chars.into_iter().collect())
+}
+
+/// Scalar JSON values across every number representation.
+fn scalar() -> G<Json> {
+    one_of(vec![
+        just(Json::Null),
+        boolean().map(Json::Bool),
+        any_f64().map(|v| Json::Num(Number::F64(v))),
+        range_incl(0..=u64::MAX).map(|v| Json::Num(Number::U64(v))),
+        range(i64::MIN..0).map(|v| Json::Num(Number::I64(v))),
+        any_string().map(Json::Str),
+    ])
+}
+
+/// Random JSON trees, two levels deep.
+fn any_json() -> G<Json> {
+    one_of(vec![
+        scalar(),
+        vec_of(scalar(), 0..5).map(Json::Arr),
+        vec_of(zip2(any_string(), scalar()), 0..5).map(Json::object),
+        vec_of(
+            one_of(vec![
+                scalar(),
+                vec_of(scalar(), 0..4).map(Json::Arr),
+                vec_of(zip2(any_string(), scalar()), 0..4).map(Json::object),
+            ]),
+            0..4,
+        )
+        .map(Json::Arr),
+    ])
+}
+
+#[test]
+fn f64_round_trips_bit_exactly() {
+    forall("f64_bit_exact", 512, &any_f64(), |&v| {
+        let text = Json::Num(Number::F64(v)).dump();
+        let back = Json::parse(&text).map_err(|e| format!("parse {text:?}: {e}"))?;
+        let Json::Num(Number::F64(r)) = back else {
+            return Err(format!("{text:?} did not re-parse as float"));
+        };
+        check!(
+            r.to_bits() == v.to_bits(),
+            "{v:?} -> {text:?} -> {r:?} (bits {:#x} vs {:#x})",
+            v.to_bits(),
+            r.to_bits()
+        );
+        Ok(())
+    });
+}
+
+#[test]
+fn u64_integers_round_trip_exactly() {
+    forall("u64_exact", 256, &range_incl(0..=u64::MAX), |&v| {
+        let text = Json::Num(Number::U64(v)).dump();
+        let back = Json::parse(&text).map_err(|e| e.to_string())?;
+        check_eq!(back.as_u64(), Some(v));
+        Ok(())
+    });
+}
+
+#[test]
+fn serialize_parse_serialize_is_fixpoint() {
+    forall("json_fixpoint", 256, &any_json(), |v| {
+        let once = v.dump();
+        let reparsed = Json::parse(&once).map_err(|e| format!("parse {once:?}: {e}"))?;
+        let twice = reparsed.dump();
+        check_eq!(once, twice);
+        // Pretty form must be a fixpoint too.
+        let pretty = v.dump_pretty();
+        let pretty_again = Json::parse(&pretty)
+            .map_err(|e| format!("parse pretty {pretty:?}: {e}"))?
+            .dump_pretty();
+        check_eq!(pretty, pretty_again);
+        Ok(())
+    });
+}
+
+#[test]
+fn parse_preserves_tree_equality() {
+    forall("json_value_equality", 256, &any_json(), |v| {
+        let back = Json::parse(&v.dump()).map_err(|e| e.to_string())?;
+        // NaN never appears (the generator masks to finite values), so
+        // equality must hold.
+        check!(back == *v, "tree changed: {v:?} vs {back:?}");
+        Ok(())
+    });
+}

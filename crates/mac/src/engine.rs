@@ -7,8 +7,8 @@
 //! sequence.
 
 use crate::params::{CcaFailurePolicy, CsmaParams};
+use nomc_rngcore::Rng;
 use nomc_units::SimDuration;
-use rand::Rng;
 
 /// Events the host feeds into the MAC.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -218,8 +218,8 @@ impl MacEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use nomc_rngcore::rngs::StdRng;
+    use nomc_rngcore::SeedableRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(0xC0FFEE)
@@ -233,12 +233,18 @@ mod tests {
         let c = mac.handle(MacEvent::PacketReady, &mut rng);
         assert!(matches!(c, MacCommand::SetBackoffTimer(_)));
         assert!(!mac.is_idle());
-        assert_eq!(mac.handle(MacEvent::BackoffExpired, &mut rng), MacCommand::PerformCca);
+        assert_eq!(
+            mac.handle(MacEvent::BackoffExpired, &mut rng),
+            MacCommand::PerformCca
+        );
         assert_eq!(
             mac.handle(MacEvent::CcaResult { clear: true }, &mut rng),
             MacCommand::BeginTransmit { forced: false }
         );
-        assert_eq!(mac.handle(MacEvent::TxDone, &mut rng), MacCommand::CompletePacket);
+        assert_eq!(
+            mac.handle(MacEvent::TxDone, &mut rng),
+            MacCommand::CompletePacket
+        );
         assert!(mac.is_idle());
     }
 
@@ -252,7 +258,10 @@ mod tests {
         for expected_nb in 1..=params.max_csma_backoffs {
             mac.handle(MacEvent::BackoffExpired, &mut rng);
             let c = mac.handle(MacEvent::CcaResult { clear: false }, &mut rng);
-            assert!(matches!(c, MacCommand::SetBackoffTimer(_)), "nb={expected_nb}");
+            assert!(
+                matches!(c, MacCommand::SetBackoffTimer(_)),
+                "nb={expected_nb}"
+            );
             assert_eq!(mac.busy_cca_count(), expected_nb);
         }
     }
@@ -300,7 +309,10 @@ mod tests {
             mac.handle(MacEvent::PacketReady, &mut rng),
             MacCommand::BeginTransmit { forced: false }
         );
-        assert_eq!(mac.handle(MacEvent::TxDone, &mut rng), MacCommand::CompletePacket);
+        assert_eq!(
+            mac.handle(MacEvent::TxDone, &mut rng),
+            MacCommand::CompletePacket
+        );
     }
 
     #[test]

@@ -18,9 +18,9 @@
 //! ```
 //! use nomc_mac::engine::{MacCommand, MacEngine, MacEvent};
 //! use nomc_mac::params::CsmaParams;
-//! use rand::SeedableRng;
+//! use nomc_rngcore::SeedableRng;
 //!
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let mut rng = nomc_rngcore::rngs::StdRng::seed_from_u64(1);
 //! let mut mac = MacEngine::new(CsmaParams::ieee802154_default());
 //! let cmd = mac.handle(MacEvent::PacketReady, &mut rng);
 //! assert!(matches!(cmd, MacCommand::SetBackoffTimer(_)));

@@ -12,7 +12,7 @@ use nomc_units::SimDuration;
 /// permanently busy) matches stacks that force the transmission out after
 /// exhausting backoffs, so that is the default here; `DropPacket` models
 /// a strictly standard-compliant stack and is used in ablations.
-#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum CcaFailurePolicy {
     /// Transmit the frame anyway after the final busy CCA.
     #[default]
@@ -23,7 +23,7 @@ pub enum CcaFailurePolicy {
 
 /// Parameters of the unslotted CSMA/CA algorithm plus the stack-level
 /// knobs the paper's experiments exercise.
-#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CsmaParams {
     /// `macMinBE`: initial backoff exponent (standard default 3).
     pub min_be: u8,
@@ -49,13 +49,10 @@ pub struct CsmaParams {
     /// Acknowledged transfers: request a MAC ACK for every data frame and
     /// retransmit on timeout. The paper's saturated streams are
     /// unacknowledged (the default); this models ZigBee reliable unicast.
-    #[serde(default)]
     pub acknowledged: bool,
     /// `macMaxFrameRetries`: retransmissions after a missing ACK.
-    #[serde(default = "default_max_frame_retries")]
     pub max_frame_retries: u8,
     /// `macAckWaitDuration`: 54 symbols = 864 µs.
-    #[serde(default = "default_ack_wait")]
     pub ack_wait: SimDuration,
 }
 
@@ -66,6 +63,45 @@ fn default_max_frame_retries() -> u8 {
 fn default_ack_wait() -> SimDuration {
     SimDuration::from_micros(864)
 }
+
+impl nomc_json::ToJson for CcaFailurePolicy {
+    fn to_json(&self) -> nomc_json::Json {
+        nomc_json::Json::Str(
+            match self {
+                CcaFailurePolicy::TransmitAnyway => "TransmitAnyway",
+                CcaFailurePolicy::DropPacket => "DropPacket",
+            }
+            .to_owned(),
+        )
+    }
+}
+
+impl nomc_json::FromJson for CcaFailurePolicy {
+    fn from_json(value: &nomc_json::Json) -> Result<Self, nomc_json::Error> {
+        match value.as_str() {
+            Some("TransmitAnyway") => Ok(CcaFailurePolicy::TransmitAnyway),
+            Some("DropPacket") => Ok(CcaFailurePolicy::DropPacket),
+            _ => Err(nomc_json::Error::new(format!(
+                "unknown CcaFailurePolicy variant: {value}"
+            ))),
+        }
+    }
+}
+
+nomc_json::json_struct!(CsmaParams {
+    min_be: u8,
+    max_be: u8,
+    max_csma_backoffs: u8,
+    unit_backoff: SimDuration,
+    cca_duration: SimDuration,
+    turnaround: SimDuration,
+    post_tx_processing: SimDuration,
+    carrier_sense: bool,
+    on_failure: CcaFailurePolicy,
+    acknowledged: bool = false,
+    max_frame_retries: u8 = default_max_frame_retries(),
+    ack_wait: SimDuration = default_ack_wait(),
+});
 
 impl CsmaParams {
     /// Standard-default unslotted CSMA/CA with the reproduction's

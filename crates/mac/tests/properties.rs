@@ -2,9 +2,8 @@
 //! of channel conditions, the engine follows the protocol's structure.
 
 use nomc_mac::{CcaFailurePolicy, CsmaParams, MacCommand, MacEngine, MacEvent};
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use nomc_rngcore::check::{boolean, forall, just, one_of, range, vec_of, zip2, zip3};
+use nomc_rngcore::{check, check_eq, rngs::StdRng, SeedableRng};
 
 /// Drives one full packet attempt with the given per-CCA outcomes,
 /// returning the commands issued.
@@ -25,9 +24,9 @@ fn drive(params: CsmaParams, cca_outcomes: &[bool], seed: u64) -> Vec<MacCommand
             MacCommand::BeginTransmit { .. } => {
                 commands.push(mac.handle(MacEvent::TxDone, &mut rng));
             }
-            MacCommand::CompletePacket
-            | MacCommand::DeclareFailure
-            | MacCommand::AbandonPacket => return commands,
+            MacCommand::CompletePacket | MacCommand::DeclareFailure | MacCommand::AbandonPacket => {
+                return commands
+            }
             MacCommand::WaitForAck(_) => {
                 // These property tests drive unacknowledged parameter
                 // sets; an ACK wait would mean the params changed.
@@ -37,72 +36,111 @@ fn drive(params: CsmaParams, cca_outcomes: &[bool], seed: u64) -> Vec<MacCommand
     }
 }
 
-proptest! {
-    #[test]
-    fn every_attempt_terminates_with_bounded_ccas(
-        outcomes in prop::collection::vec(any::<bool>(), 0..20),
-        seed in 0u64..1000,
-        policy in prop_oneof![
-            Just(CcaFailurePolicy::TransmitAnyway),
-            Just(CcaFailurePolicy::DropPacket)
-        ],
-    ) {
-        let params = CsmaParams { on_failure: policy, ..CsmaParams::ieee802154_default() };
-        let commands = drive(params, &outcomes, seed);
-        // CCA count never exceeds macMaxCSMABackoffs + 1.
-        let ccas = commands.iter().filter(|c| **c == MacCommand::PerformCca).count();
-        prop_assert!(ccas <= usize::from(params.max_csma_backoffs) + 1, "{} CCAs", ccas);
-        // The attempt ends in exactly one terminal command.
-        let terminal = commands.last().expect("non-empty");
-        prop_assert!(matches!(
-            terminal,
-            MacCommand::CompletePacket | MacCommand::DeclareFailure
-        ));
-        // DeclareFailure only under the drop policy.
-        if *terminal == MacCommand::DeclareFailure {
-            prop_assert_eq!(policy, CcaFailurePolicy::DropPacket);
-        }
-    }
-
-    #[test]
-    fn clear_cca_always_transmits(seed in 0u64..1000) {
-        let commands = drive(CsmaParams::ieee802154_default(), &[true], seed);
-        let has_tx = commands.contains(&MacCommand::BeginTransmit { forced: false });
-        prop_assert!(has_tx);
-        prop_assert_eq!(*commands.last().unwrap(), MacCommand::CompletePacket);
-    }
-
-    #[test]
-    fn forced_transmissions_only_after_exhaustion(
-        busy_count in 0usize..10,
-        seed in 0u64..1000,
-    ) {
-        let params = CsmaParams::ieee802154_default();
-        let outcomes = vec![false; busy_count];
-        let commands = drive(params, &outcomes, seed);
-        let forced = commands
-            .iter()
-            .any(|c| matches!(c, MacCommand::BeginTransmit { forced: true }));
-        let exhausted = busy_count > usize::from(params.max_csma_backoffs);
-        prop_assert_eq!(forced, exhausted, "busy_count={}", busy_count);
-    }
-
-    #[test]
-    fn backoff_durations_respect_be_cap(
-        outcomes in prop::collection::vec(Just(false), 0..8),
-        seed in 0u64..1000,
-    ) {
-        let params = CsmaParams {
-            max_csma_backoffs: 8,
-            on_failure: CcaFailurePolicy::DropPacket,
-            ..CsmaParams::ieee802154_default()
-        };
-        let commands = drive(params, &outcomes, seed);
-        for c in &commands {
-            if let MacCommand::SetBackoffTimer(d) = c {
-                let units = d.as_nanos() / params.unit_backoff.as_nanos();
-                prop_assert!(units < (1 << params.max_be), "backoff {} units", units);
+#[test]
+fn every_attempt_terminates_with_bounded_ccas() {
+    let g = zip3(
+        vec_of(boolean(), 0..20),
+        range(0u64..1000),
+        one_of(vec![
+            just(CcaFailurePolicy::TransmitAnyway),
+            just(CcaFailurePolicy::DropPacket),
+        ]),
+    );
+    forall(
+        "every_attempt_terminates_with_bounded_ccas",
+        64,
+        &g,
+        |(outcomes, seed, policy)| {
+            let params = CsmaParams {
+                on_failure: *policy,
+                ..CsmaParams::ieee802154_default()
+            };
+            let commands = drive(params, outcomes, *seed);
+            // CCA count never exceeds macMaxCSMABackoffs + 1.
+            let ccas = commands
+                .iter()
+                .filter(|c| **c == MacCommand::PerformCca)
+                .count();
+            check!(
+                ccas <= usize::from(params.max_csma_backoffs) + 1,
+                "{ccas} CCAs"
+            );
+            // The attempt ends in exactly one terminal command.
+            let terminal = commands.last().expect("non-empty");
+            check!(
+                matches!(
+                    terminal,
+                    MacCommand::CompletePacket | MacCommand::DeclareFailure
+                ),
+                "unexpected terminal command {terminal:?}"
+            );
+            // DeclareFailure only under the drop policy.
+            if *terminal == MacCommand::DeclareFailure {
+                check_eq!(*policy, CcaFailurePolicy::DropPacket);
             }
-        }
-    }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn clear_cca_always_transmits() {
+    forall(
+        "clear_cca_always_transmits",
+        64,
+        &range(0u64..1000),
+        |&seed| {
+            let commands = drive(CsmaParams::ieee802154_default(), &[true], seed);
+            let has_tx = commands.contains(&MacCommand::BeginTransmit { forced: false });
+            check!(has_tx, "no unforced transmit in {commands:?}");
+            check_eq!(*commands.last().unwrap(), MacCommand::CompletePacket);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn forced_transmissions_only_after_exhaustion() {
+    let g = zip2(range(0usize..10), range(0u64..1000));
+    forall(
+        "forced_transmissions_only_after_exhaustion",
+        64,
+        &g,
+        |&(busy_count, seed)| {
+            let params = CsmaParams::ieee802154_default();
+            let outcomes = vec![false; busy_count];
+            let commands = drive(params, &outcomes, seed);
+            let forced = commands
+                .iter()
+                .any(|c| matches!(c, MacCommand::BeginTransmit { forced: true }));
+            let exhausted = busy_count > usize::from(params.max_csma_backoffs);
+            check_eq!(forced, exhausted);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn backoff_durations_respect_be_cap() {
+    let g = zip2(vec_of(just(false), 0..8), range(0u64..1000));
+    forall(
+        "backoff_durations_respect_be_cap",
+        64,
+        &g,
+        |(outcomes, seed)| {
+            let params = CsmaParams {
+                max_csma_backoffs: 8,
+                on_failure: CcaFailurePolicy::DropPacket,
+                ..CsmaParams::ieee802154_default()
+            };
+            let commands = drive(params, outcomes, *seed);
+            for c in &commands {
+                if let MacCommand::SetBackoffTimer(d) = c {
+                    let units = d.as_nanos() / params.unit_backoff.as_nanos();
+                    check!(units < (1 << params.max_be), "backoff {units} units");
+                }
+            }
+            Ok(())
+        },
+    );
 }

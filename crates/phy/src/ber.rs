@@ -16,13 +16,37 @@
 use nomc_units::Db;
 
 /// A demodulator's SINR → BER characteristic.
-#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum BerModel {
     /// IEEE 802.15.4 2.4 GHz O-QPSK with DSSS (250 kb/s).
     #[default]
     Oqpsk802154,
     /// 802.11b-like DBPSK (1 Mb/s), for the Fig. 2 uniqueness comparison.
     Dsss80211b,
+}
+
+impl nomc_json::ToJson for BerModel {
+    fn to_json(&self) -> nomc_json::Json {
+        nomc_json::Json::Str(
+            match self {
+                BerModel::Oqpsk802154 => "Oqpsk802154",
+                BerModel::Dsss80211b => "Dsss80211b",
+            }
+            .to_owned(),
+        )
+    }
+}
+
+impl nomc_json::FromJson for BerModel {
+    fn from_json(value: &nomc_json::Json) -> Result<Self, nomc_json::Error> {
+        match value.as_str() {
+            Some("Oqpsk802154") => Ok(BerModel::Oqpsk802154),
+            Some("Dsss80211b") => Ok(BerModel::Dsss80211b),
+            _ => Err(nomc_json::Error::new(format!(
+                "unknown BerModel variant: {value}"
+            ))),
+        }
+    }
 }
 
 impl BerModel {
@@ -93,8 +117,8 @@ impl BerModel {
 /// the regime of interest (BER ≥ 1e-16).
 fn oqpsk_dsss_ber(snr_linear: f64) -> f64 {
     const BINOM_16: [f64; 17] = [
-        1.0, 16.0, 120.0, 560.0, 1820.0, 4368.0, 8008.0, 11440.0, 12870.0, 11440.0, 8008.0,
-        4368.0, 1820.0, 560.0, 120.0, 16.0, 1.0,
+        1.0, 16.0, 120.0, 560.0, 1820.0, 4368.0, 8008.0, 11440.0, 12870.0, 11440.0, 8008.0, 4368.0,
+        1820.0, 560.0, 120.0, 16.0, 1.0,
     ];
     let mut sum = 0.0;
     for k in 2..=16u32 {

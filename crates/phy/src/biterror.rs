@@ -11,7 +11,7 @@
 //! Figs. 28-29) are sampled uniformly without replacement only when the
 //! caller asks for them.
 
-use rand::Rng;
+use nomc_rngcore::Rng;
 
 /// Samples the number of bit errors in a segment of `n` bits with
 /// bit-error rate `p`.
@@ -23,8 +23,8 @@ use rand::Rng;
 /// # Examples
 ///
 /// ```
-/// use rand::SeedableRng;
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// use nomc_rngcore::SeedableRng;
+/// let mut rng = nomc_rngcore::rngs::StdRng::seed_from_u64(1);
 /// let errs = nomc_phy::biterror::sample_bit_errors(&mut rng, 1000, 0.0);
 /// assert_eq!(errs, 0);
 /// ```
@@ -128,8 +128,7 @@ fn binomial_gaussian<R: Rng + ?Sized>(rng: &mut R, n: u32, p: f64) -> u32 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use nomc_rngcore::{rngs::StdRng, SeedableRng};
 
     #[test]
     fn extremes() {
@@ -164,10 +163,12 @@ mod tests {
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
         let expected = f64::from(n) * p;
         assert!((mean - expected).abs() < 1.5, "mean {mean} vs {expected}");
-        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
-            / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / samples.len() as f64;
         let exp_var = f64::from(n) * p * (1.0 - p);
-        assert!((var - exp_var).abs() < 0.1 * exp_var, "var {var} vs {exp_var}");
+        assert!(
+            (var - exp_var).abs() < 0.1 * exp_var,
+            "var {var} vs {exp_var}"
+        );
     }
 
     #[test]

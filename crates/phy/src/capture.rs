@@ -15,7 +15,7 @@ use nomc_units::{Db, Dbm, Megahertz};
 /// Decides whether a receiver tuned to one channel will attempt to sync
 /// to (i.e. be *captured by*) a transmission on a possibly different
 /// channel.
-#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum CaptureModel {
     /// IEEE 802.15.4 behaviour: sync only to co-channel transmissions
     /// (CFD below `co_channel_tolerance`, defaulting to effectively 0).
@@ -33,6 +33,50 @@ pub enum CaptureModel {
         /// receiver's correlator.
         decode_band: Megahertz,
     },
+}
+
+impl nomc_json::ToJson for CaptureModel {
+    fn to_json(&self) -> nomc_json::Json {
+        use nomc_json::Json;
+        match self {
+            CaptureModel::Ieee802154 {
+                co_channel_tolerance,
+            } => Json::object([(
+                "Ieee802154",
+                Json::object([("co_channel_tolerance", co_channel_tolerance.to_json())]),
+            )]),
+            CaptureModel::Dot11bLike { decode_band } => Json::object([(
+                "Dot11bLike",
+                Json::object([("decode_band", decode_band.to_json())]),
+            )]),
+        }
+    }
+}
+
+impl nomc_json::FromJson for CaptureModel {
+    fn from_json(value: &nomc_json::Json) -> Result<Self, nomc_json::Error> {
+        use nomc_json::{Error, FromJson};
+        let obj = value
+            .as_object()
+            .filter(|m| m.len() == 1)
+            .ok_or_else(|| Error::new("CaptureModel: expected single-variant object"))?;
+        let (variant, body) = obj.iter().next().unwrap();
+        match variant {
+            "Ieee802154" => Ok(CaptureModel::Ieee802154 {
+                co_channel_tolerance: FromJson::from_json(
+                    body.get("co_channel_tolerance")
+                        .ok_or_else(|| Error::new("Ieee802154: missing co_channel_tolerance"))?,
+                )?,
+            }),
+            "Dot11bLike" => Ok(CaptureModel::Dot11bLike {
+                decode_band: FromJson::from_json(
+                    body.get("decode_band")
+                        .ok_or_else(|| Error::new("Dot11bLike: missing decode_band"))?,
+                )?,
+            }),
+            other => Err(Error::new(format!("unknown CaptureModel variant: {other}"))),
+        }
+    }
 }
 
 impl CaptureModel {
@@ -117,7 +161,11 @@ mod tests {
 
     #[test]
     fn midframe_capture_only_for_dot11b() {
-        assert!(CaptureModel::ieee802154().mid_frame_capture_margin().is_none());
-        assert!(CaptureModel::dot11b_like().mid_frame_capture_margin().is_some());
+        assert!(CaptureModel::ieee802154()
+            .mid_frame_capture_margin()
+            .is_none());
+        assert!(CaptureModel::dot11b_like()
+            .mid_frame_capture_margin()
+            .is_some());
     }
 }

@@ -34,11 +34,15 @@ use nomc_units::{Db, Megahertz};
 ///     acr.rejection(Megahertz::new(25.0))
 /// );
 /// ```
-#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AcrCurve {
     /// `(cfd_mhz, rejection_db)` pairs, strictly increasing in CFD.
     points: Vec<(f64, f64)>,
 }
+
+nomc_json::json_struct!(AcrCurve {
+    points: Vec<(f64, f64)>,
+});
 
 impl AcrCurve {
     /// The default curve, calibrated against the paper's Fig. 4 with the
@@ -112,7 +116,10 @@ impl AcrCurve {
                 return Err(AcrCurveError::DecreasingRejection(c1));
             }
         }
-        if points.iter().any(|&(c, r)| !c.is_finite() || !r.is_finite() || r < 0.0) {
+        if points
+            .iter()
+            .any(|&(c, r)| !c.is_finite() || !r.is_finite() || r < 0.0)
+        {
             return Err(AcrCurveError::InvalidValue);
         }
         Ok(AcrCurve { points })
@@ -189,7 +196,10 @@ impl std::fmt::Display for AcrCurveError {
                 write!(f, "ACR curve must start at CFD 0, got {c}")
             }
             AcrCurveError::NonIncreasingCfd(a, b) => {
-                write!(f, "ACR curve CFDs must be strictly increasing ({a} then {b})")
+                write!(
+                    f,
+                    "ACR curve CFDs must be strictly increasing ({a} then {b})"
+                )
             }
             AcrCurveError::DecreasingRejection(c) => {
                 write!(f, "ACR rejection decreases at CFD {c}")
@@ -247,7 +257,10 @@ mod tests {
     fn leakage_factor_matches_rejection() {
         let acr = AcrCurve::cc2420_calibrated();
         let f = acr.leakage_factor(Megahertz::new(3.0));
-        assert!((f - 0.01).abs() < 1e-9, "20 dB rejection = 1% leakage, got {f}");
+        assert!(
+            (f - 0.01).abs() < 1e-9,
+            "20 dB rejection = 1% leakage, got {f}"
+        );
     }
 
     #[test]

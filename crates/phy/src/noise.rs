@@ -9,10 +9,12 @@ use nomc_units::{Dbm, MilliWatts};
 /// thermal, and a CC2420-class noise figure of ≈ 13 dB puts the default
 /// floor at −98 dBm — consistent with the −95 dBm datasheet sensitivity
 /// (the O-QPSK demodulator needs only ≈ 2-3 dB of SNR).
-#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NoiseFloor {
     level: Dbm,
 }
+
+nomc_json::json_struct!(NoiseFloor { level: Dbm });
 
 impl NoiseFloor {
     /// Creates a noise floor at the given level.
@@ -33,7 +35,9 @@ impl NoiseFloor {
     /// Panics if `bandwidth_hz` is not positive.
     pub fn from_bandwidth(bandwidth_hz: f64, noise_figure_db: f64) -> Self {
         assert!(bandwidth_hz > 0.0, "bandwidth must be positive");
-        NoiseFloor::new(Dbm::new(-174.0 + 10.0 * bandwidth_hz.log10() + noise_figure_db))
+        NoiseFloor::new(Dbm::new(
+            -174.0 + 10.0 * bandwidth_hz.log10() + noise_figure_db,
+        ))
     }
 
     /// The floor in dBm.

@@ -26,13 +26,18 @@ pub trait PathLoss: Send + Sync {
 ///
 /// `L(d) = 20 log10(d) + 20 log10(f) + 32.44` with `d` in km and `f` in
 /// MHz; at 2.44 GHz the 1 m reference loss is ≈ 40.2 dB.
-#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FreeSpace {
     /// Carrier frequency in MHz.
     freq_mhz: f64,
     /// Minimum modelled distance (defaults to 0.1 m).
     min_distance: Meters,
 }
+
+nomc_json::json_struct!(FreeSpace {
+    freq_mhz: f64,
+    min_distance: Meters,
+});
 
 impl FreeSpace {
     /// Free-space loss at carrier `freq_mhz` MHz.
@@ -65,12 +70,18 @@ impl PathLoss for FreeSpace {
 ///
 /// `L0` is the loss at reference distance `d0`; `n` is the path-loss
 /// exponent (2 in free space, 2.5-4 indoors).
-#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LogDistance {
     reference_loss: Db,
     reference_distance: Meters,
     exponent: f64,
 }
+
+nomc_json::json_struct!(LogDistance {
+    reference_loss: Db,
+    reference_distance: Meters,
+    exponent: f64,
+});
 
 impl LogDistance {
     /// Creates a log-distance model.

@@ -8,15 +8,17 @@
 //! (Fig. 4): without it, collisions would flip from 0 % to 100 % received
 //! within ~2 dB of geometry change.
 
+use nomc_rngcore::Rng;
 use nomc_units::Db;
-use rand::Rng;
 
 /// A log-normal shadowing model: zero-mean Gaussian in dB with standard
 /// deviation `sigma`.
-#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Shadowing {
     sigma_db: f64,
 }
+
+nomc_json::json_struct!(Shadowing { sigma_db: f64 });
 
 impl Shadowing {
     /// Creates a shadowing model with the given standard deviation.
@@ -66,20 +68,14 @@ impl Default for Shadowing {
 
 /// Samples a standard normal deviate via the Box-Muller transform.
 ///
-/// `rand` (without `rand_distr`) has no normal distribution; Box-Muller is
-/// exact, branch-light and more than fast enough for per-packet use.
-pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
-    // Guard u1 away from 0 so ln() stays finite.
-    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-    let u2: f64 = rng.gen::<f64>();
-    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
-}
+/// Re-exported from [`nomc_rngcore::dist`], which hosts the single
+/// Box-Muller implementation used across the workspace.
+pub use nomc_rngcore::dist::standard_normal;
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use nomc_rngcore::{rngs::StdRng, SeedableRng};
 
     #[test]
     fn disabled_is_exact_zero() {

@@ -71,7 +71,10 @@ mod tests {
         );
         let two = sinr(
             Dbm::new(-60.0),
-            [Dbm::new(-70.0).to_milliwatts(), Dbm::new(-70.0).to_milliwatts()],
+            [
+                Dbm::new(-70.0).to_milliwatts(),
+                Dbm::new(-70.0).to_milliwatts(),
+            ],
             MilliWatts::ZERO,
         );
         assert!(((one - two).value() - 3.01).abs() < 0.01);

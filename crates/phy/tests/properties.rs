@@ -3,81 +3,128 @@
 use nomc_phy::coupling::AcrCurve;
 use nomc_phy::planning::CprrModel;
 use nomc_phy::{biterror, BerModel};
+use nomc_rngcore::check::{forall, range, range_incl, zip2, zip3};
+use nomc_rngcore::{check, check_eq, rngs::StdRng, SeedableRng};
 use nomc_units::{Db, Megahertz};
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
-proptest! {
-    #[test]
-    fn ber_monotone_nonincreasing(a in -20.0f64..30.0, b in -20.0f64..30.0) {
+#[test]
+fn ber_monotone_nonincreasing() {
+    let g = zip2(range(-20.0f64..30.0), range(-20.0f64..30.0));
+    forall("ber_monotone_nonincreasing", 64, &g, |&(a, b)| {
         let (lo, hi) = if a < b { (a, b) } else { (b, a) };
         for model in [BerModel::Oqpsk802154, BerModel::Dsss80211b] {
-            prop_assert!(
-                model.bit_error_rate(Db::new(hi)) <= model.bit_error_rate(Db::new(lo)) + 1e-15
+            check!(
+                model.bit_error_rate(Db::new(hi)) <= model.bit_error_rate(Db::new(lo)) + 1e-15,
+                "{model:?} not monotone between {lo} and {hi}"
             );
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn frame_success_monotone_in_length(
-        sinr in -5.0f64..10.0,
-        short in 8u32..400,
-        extra in 1u32..400,
-    ) {
-        let m = BerModel::Oqpsk802154;
-        let p_short = m.frame_success_probability(Db::new(sinr), short);
-        let p_long = m.frame_success_probability(Db::new(sinr), short + extra);
-        prop_assert!(p_long <= p_short + 1e-12, "longer frames cannot be safer");
-    }
+#[test]
+fn frame_success_monotone_in_length() {
+    let g = zip3(range(-5.0f64..10.0), range(8u32..400), range(1u32..400));
+    forall(
+        "frame_success_monotone_in_length",
+        64,
+        &g,
+        |&(sinr, short, extra)| {
+            let m = BerModel::Oqpsk802154;
+            let p_short = m.frame_success_probability(Db::new(sinr), short);
+            let p_long = m.frame_success_probability(Db::new(sinr), short + extra);
+            check!(p_long <= p_short + 1e-12, "longer frames cannot be safer");
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn binomial_sampler_in_range(n in 0u32..2000, p in 0.0f64..=1.0, seed in 0u64..500) {
+#[test]
+fn binomial_sampler_in_range() {
+    let g = zip3(
+        range(0u32..2000),
+        range_incl(0.0f64..=1.0),
+        range(0u64..500),
+    );
+    forall("binomial_sampler_in_range", 64, &g, |&(n, p, seed)| {
         let mut rng = StdRng::seed_from_u64(seed);
         let k = biterror::sample_bit_errors(&mut rng, n, p);
-        prop_assert!(k <= n);
-    }
+        check!(k <= n, "{k} errors out of {n} bits");
+        Ok(())
+    });
+}
 
-    #[test]
-    fn error_positions_valid(n in 1u32..2000, seed in 0u64..200) {
+#[test]
+fn error_positions_valid() {
+    let g = zip2(range(1u32..2000), range(0u64..200));
+    forall("error_positions_valid", 64, &g, |&(n, seed)| {
         let mut rng = StdRng::seed_from_u64(seed);
         let k = n / 3;
         let pos = biterror::sample_error_positions(&mut rng, n, k);
-        prop_assert_eq!(pos.len(), k as usize);
-        prop_assert!(pos.windows(2).all(|w| w[0] < w[1]));
-        prop_assert!(pos.iter().all(|&p| p < n));
-    }
+        check_eq!(pos.len(), k as usize);
+        check!(pos.windows(2).all(|w| w[0] < w[1]), "positions not sorted");
+        check!(pos.iter().all(|&p| p < n), "position out of range");
+        Ok(())
+    });
+}
 
-    #[test]
-    fn acr_interpolation_stays_within_endpoints(cfd in 0.0f64..12.0) {
-        let acr = AcrCurve::cc2420_calibrated();
-        let r = acr.rejection(Megahertz::new(cfd)).value();
-        prop_assert!((0.0..=50.0).contains(&r));
-    }
+#[test]
+fn acr_interpolation_stays_within_endpoints() {
+    forall(
+        "acr_interpolation_stays_within_endpoints",
+        64,
+        &range(0.0f64..12.0),
+        |&cfd| {
+            let acr = AcrCurve::cc2420_calibrated();
+            let r = acr.rejection(Megahertz::new(cfd)).value();
+            check!((0.0..=50.0).contains(&r), "rejection {r} at cfd {cfd}");
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn predicted_cprr_monotone_in_power_delta(
-        cfd in 1.0f64..5.0,
-        d1 in -20.0f64..10.0,
-        d2 in -20.0f64..10.0,
-    ) {
-        // More relative signal power can never hurt CPRR.
-        let (lo, hi) = if d1 < d2 { (d1, d2) } else { (d2, d1) };
-        let at = |delta: f64| CprrModel {
-            power_delta: Db::new(delta),
-            ..CprrModel::calibrated_default()
-        }
-        .predicted_cprr(Megahertz::new(cfd));
-        prop_assert!(at(hi) >= at(lo) - 1e-9);
-    }
+#[test]
+fn predicted_cprr_monotone_in_power_delta() {
+    let g = zip3(
+        range(1.0f64..5.0),
+        range(-20.0f64..10.0),
+        range(-20.0f64..10.0),
+    );
+    forall(
+        "predicted_cprr_monotone_in_power_delta",
+        64,
+        &g,
+        |&(cfd, d1, d2)| {
+            // More relative signal power can never hurt CPRR.
+            let (lo, hi) = if d1 < d2 { (d1, d2) } else { (d2, d1) };
+            let at = |delta: f64| {
+                CprrModel {
+                    power_delta: Db::new(delta),
+                    ..CprrModel::calibrated_default()
+                }
+                .predicted_cprr(Megahertz::new(cfd))
+            };
+            check!(at(hi) >= at(lo) - 1e-9, "cprr not monotone at cfd {cfd}");
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn predicted_cprr_is_a_probability(cfd in 0.0f64..10.0, delta in -30.0f64..10.0) {
-        let model = CprrModel {
-            power_delta: Db::new(delta),
-            ..CprrModel::calibrated_default()
-        };
-        let c = model.predicted_cprr(Megahertz::new(cfd));
-        prop_assert!((0.0..=1.0).contains(&c));
-    }
+#[test]
+fn predicted_cprr_is_a_probability() {
+    let g = zip2(range(0.0f64..10.0), range(-30.0f64..10.0));
+    forall(
+        "predicted_cprr_is_a_probability",
+        64,
+        &g,
+        |&(cfd, delta)| {
+            let model = CprrModel {
+                power_delta: Db::new(delta),
+                ..CprrModel::calibrated_default()
+            };
+            let c = model.predicted_cprr(Megahertz::new(cfd));
+            check!((0.0..=1.0).contains(&c), "cprr {c} out of [0,1]");
+            Ok(())
+        },
+    );
 }

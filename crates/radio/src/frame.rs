@@ -20,7 +20,7 @@ use crate::timing;
 /// assert_eq!(spec.ppdu_bytes(), 57);
 /// assert_eq!(spec.psdu_bits(), 51 * 8);
 /// ```
-#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FrameSpec {
     /// MAC header bytes (FCF + seq + addressing). 9 bytes models the
     /// short-address data frames TinyOS sends.
@@ -34,6 +34,11 @@ pub const FCS_BYTES: u32 = 2;
 
 /// The maximum MPDU the standard allows (`aMaxPHYPacketSize`).
 pub const MAX_MPDU_BYTES: u32 = 127;
+
+nomc_json::json_struct!(FrameSpec {
+    mac_header_bytes: u32,
+    payload_bytes: u32,
+});
 
 impl FrameSpec {
     /// Creates a frame spec.
@@ -92,8 +97,7 @@ impl FrameSpec {
     /// pattern derived from both, so two frames never share bytes by
     /// accident and recovery experiments can verify reassembly.
     pub fn build_mpdu(self, src: u32, seq: u32) -> Vec<u8> {
-        let mut body =
-            Vec::with_capacity((self.mac_header_bytes + self.payload_bytes) as usize);
+        let mut body = Vec::with_capacity((self.mac_header_bytes + self.payload_bytes) as usize);
         body.push(0x41); // FCF low: data frame, intra-PAN
         body.push(0x88); // FCF high: short addressing
         body.push(seq as u8);

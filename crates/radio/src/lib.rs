@@ -38,7 +38,7 @@ use nomc_units::{Db, Dbm};
 
 /// The static configuration of one radio, bundling the hardware-ish
 /// parameters the simulator and MAC need.
-#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RadioConfig {
     /// Minimum co-channel received power for frame sync (−95 dBm on CC2420).
     pub sensitivity: Dbm,
@@ -59,6 +59,16 @@ pub struct RadioConfig {
     /// failures (recoverable, §VII-A) rather than missed preambles.
     pub sync_margin: Db,
 }
+
+nomc_json::json_struct!(RadioConfig {
+    sensitivity: Dbm,
+    default_cca_threshold: Dbm,
+    ber_model: BerModel,
+    capture_model: CaptureModel,
+    rssi: rssi::RssiRegister,
+    cca_threshold_range: (Dbm, Dbm),
+    sync_margin: Db,
+});
 
 impl RadioConfig {
     /// The CC2420 profile used throughout the reproduction.

@@ -144,7 +144,9 @@ mod tests {
     #[test]
     fn paper_power_values_accepted() {
         // The paper sweeps these exact values.
-        for p in [-33.0, -22.0, -15.0, -11.0, -8.0, -6.0, -5.0, -3.0, -2.0, -0.6, 0.0] {
+        for p in [
+            -33.0, -22.0, -15.0, -11.0, -8.0, -6.0, -5.0, -3.0, -2.0, -0.6, 0.0,
+        ] {
             let _ = TxPower::new(Dbm::new(p));
         }
     }

@@ -11,13 +11,20 @@ use nomc_units::{Dbm, SimDuration};
 
 /// Models the quantization and clamping a real RSSI register applies to
 /// the "true" channel power the simulator computes.
-#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RssiRegister {
     floor: Dbm,
     ceiling: Dbm,
     step_db: f64,
     averaging_window: SimDuration,
 }
+
+nomc_json::json_struct!(RssiRegister {
+    floor: Dbm,
+    ceiling: Dbm,
+    step_db: f64,
+    averaging_window: SimDuration,
+});
 
 impl RssiRegister {
     /// The CC2420 profile: [−100, 0] dBm, 1 dB steps, 128 µs averaging.

@@ -1,0 +1,53 @@
+//! Non-uniform distributions used by the simulator.
+
+use crate::Rng;
+
+/// Samples a standard normal deviate via the Box-Muller transform.
+///
+/// The in-tree replacement for `rand_distr::StandardNormal`: exact,
+/// branch-light and more than fast enough for per-packet shadowing
+/// draws.
+///
+/// # Examples
+///
+/// ```
+/// use nomc_rngcore::{dist::standard_normal, SeedableRng, rngs::StdRng};
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let z = standard_normal(&mut rng);
+/// assert!(z.is_finite());
+/// ```
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Guard u1 away from 0 so ln() stays finite.
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn moments_match_standard_normal() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn tail_mass_is_plausible() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 100_000;
+        let beyond_2sigma = (0..n)
+            .filter(|_| standard_normal(&mut rng).abs() > 2.0)
+            .count() as f64
+            / n as f64;
+        // P(|Z| > 2) ≈ 4.55 %.
+        assert!((beyond_2sigma - 0.0455).abs() < 0.01, "{beyond_2sigma}");
+    }
+}

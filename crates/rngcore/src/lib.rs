@@ -1,0 +1,239 @@
+//! # nomc-rngcore
+//!
+//! In-tree deterministic random numbers: the trait surface the workspace
+//! previously consumed from the `rand` crate, reimplemented so the
+//! simulator builds hermetically (no crates-io access) and produces
+//! bit-identical streams on every machine and toolchain.
+//!
+//! The pieces:
+//!
+//! * [`RngCore`] / [`SeedableRng`] — the generator contract.
+//! * [`Rng`] — the ergonomic extension (`gen`, `gen_range`, `gen_bool`),
+//!   blanket-implemented for every [`RngCore`].
+//! * [`Xoshiro256StarStar`] — the workspace's one true generator
+//!   (public-domain algorithm by Blackman & Vigna, seeded via
+//!   splitmix64), re-exported as [`rngs::StdRng`] so call sites read
+//!   like the `rand` API they replaced.
+//! * [`dist`] — the distributions the simulator actually uses
+//!   (standard normal via Box-Muller).
+//! * [`check`] — a minimal property-test harness (generate / shrink /
+//!   rerun) replacing `proptest`.
+//!
+//! # Examples
+//!
+//! ```
+//! use nomc_rngcore::{Rng, SeedableRng, rngs::StdRng};
+//!
+//! let mut a = StdRng::seed_from_u64(7);
+//! let mut b = StdRng::seed_from_u64(7);
+//! let xs: Vec<u32> = (0..4).map(|_| a.gen()).collect();
+//! let ys: Vec<u32> = (0..4).map(|_| b.gen()).collect();
+//! assert_eq!(xs, ys);
+//! let die = a.gen_range(1..=6u32);
+//! assert!((1..=6).contains(&die));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod check;
+pub mod dist;
+mod uniform;
+mod xoshiro;
+
+pub use uniform::{SampleRange, SampleUniform};
+pub use xoshiro::{splitmix64, Xoshiro256StarStar};
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    /// The workspace's standard deterministic generator.
+    ///
+    /// Unlike `rand`'s ChaCha-based `StdRng`, this is xoshiro256** — the
+    /// same generator the simulator engine uses — so *every* random
+    /// draw in the repository flows through one audited, portable core.
+    pub type StdRng = crate::Xoshiro256StarStar;
+}
+
+/// The raw generator contract: a source of uniform 64-bit words.
+pub trait RngCore {
+    /// Returns the next 64 uniform bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 uniform bits (upper half of [`next_u64`]
+    /// by default — xoshiro's upper bits are its strongest).
+    ///
+    /// [`next_u64`]: RngCore::next_u64
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with uniform bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator that can be constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// The raw seed type.
+    type Seed;
+
+    /// Creates a generator from a full-width seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a 64-bit seed (expanded internally so
+    /// small seeds still yield well-mixed state).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// A value samplable uniformly from all of its domain (`rng.gen()`).
+pub trait StandardSample: Sized {
+    /// Draws one value.
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardSample for bool {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        (rng.next_u64() >> 63) == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl StandardSample for $t {
+            fn standard<R: RngCore + ?Sized>(rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ergonomic sampling methods, blanket-implemented for every
+/// [`RngCore`] — the drop-in replacement for `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Draws a value uniformly from the type's whole domain
+    /// (`[0, 1)` for floats).
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::standard(self)
+    }
+
+    /// Draws a value uniformly from `range` (`a..b` or `a..=b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty (or, for floats, not finite).
+    fn gen_range<T, Rg>(&mut self, range: Rg) -> T
+    where
+        T: SampleUniform,
+        Rg: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability must be in [0, 1], got {p}"
+        );
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gen_f64_is_in_unit_interval() {
+        let mut rng = rngs::StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn gen_bool_matches_probability() {
+        let mut rng = rngs::StdRng::seed_from_u64(2);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| rng.gen_bool(0.3)).count() as f64;
+        assert!((hits / n as f64 - 0.3).abs() < 0.01);
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn gen_bool_rejects_bad_p() {
+        let mut rng = rngs::StdRng::seed_from_u64(3);
+        let _ = rng.gen_bool(1.5);
+    }
+
+    #[test]
+    fn unsized_rng_receiver_works() {
+        fn draw(rng: &mut (impl Rng + ?Sized)) -> u64 {
+            rng.gen_range(0..100u64)
+        }
+        let mut rng = rngs::StdRng::seed_from_u64(4);
+        assert!(draw(&mut rng) < 100);
+    }
+
+    #[test]
+    fn mut_ref_forwards() {
+        let mut rng = rngs::StdRng::seed_from_u64(5);
+        let mut copy = rng.clone();
+        let via_ref = {
+            let r = &mut rng;
+            fn take<R: RngCore>(mut r: R) -> u64 {
+                r.next_u64()
+            }
+            take(r)
+        };
+        assert_eq!(via_ref, copy.next_u64());
+    }
+}

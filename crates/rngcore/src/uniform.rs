@@ -1,0 +1,250 @@
+//! Uniform sampling over ranges, unbiased for integers (Lemire's
+//! multiply-shift rejection method) and precision-preserving for floats.
+
+use crate::RngCore;
+use std::ops::{Range, RangeInclusive};
+
+/// Draws a uniform value in `[0, n)` without modulo bias.
+///
+/// Lemire's method: one 64×64→128 multiply, with a cheap rejection loop
+/// entered only for the tiny biased fraction of the word space.
+fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, n: u64) -> u64 {
+    debug_assert!(n > 0);
+    let mut m = u128::from(rng.next_u64()) * u128::from(n);
+    if (m as u64) < n {
+        let threshold = n.wrapping_neg() % n;
+        while (m as u64) < threshold {
+            m = u128::from(rng.next_u64()) * u128::from(n);
+        }
+    }
+    (m >> 64) as u64
+}
+
+/// A type uniformly samplable from a sub-range of its domain.
+pub trait SampleUniform: PartialOrd + Copy {
+    /// Draws uniformly from `[low, high)` (`inclusive = false`) or
+    /// `[low, high]` (`inclusive = true`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty range.
+    fn sample_range<R: RngCore + ?Sized>(
+        rng: &mut R,
+        low: Self,
+        high: Self,
+        inclusive: bool,
+    ) -> Self;
+
+    /// Shrink candidates between `low` and `value`, ordered most-reduced
+    /// first. Used by [`crate::check`] to minimize counterexamples while
+    /// staying inside the generator's range.
+    fn shrink_toward(low: Self, value: Self) -> Vec<Self>;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+                inclusive: bool,
+            ) -> Self {
+                let offset = if inclusive {
+                    assert!(low <= high, "empty range {low}..={high}");
+                    let span = (high.wrapping_sub(low) as u64).wrapping_add(1);
+                    if span == 0 {
+                        // The range covers the whole 64-bit domain.
+                        rng.next_u64()
+                    } else {
+                        uniform_below(rng, span)
+                    }
+                } else {
+                    assert!(low < high, "empty range {low}..{high}");
+                    uniform_below(rng, high.wrapping_sub(low) as u64)
+                };
+                low.wrapping_add(offset as $t)
+            }
+
+            fn shrink_toward(low: Self, value: Self) -> Vec<Self> {
+                if value == low {
+                    return Vec::new();
+                }
+                // Bisect toward `low`: propose value - d/2, value - d/4, ...
+                // down to value - 1, plus `low` itself, so greedy re-running
+                // converges on the boundary of the failing region.
+                let mut out = vec![low];
+                let mut step = value.wrapping_sub(low) as u64 / 2;
+                while step > 0 {
+                    let cand = low.wrapping_add((value.wrapping_sub(low) as u64 - step) as $t);
+                    if cand != low && cand != value && !out.contains(&cand) {
+                        out.push(cand);
+                    }
+                    step /= 2;
+                }
+                out
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore + ?Sized>(
+        rng: &mut R,
+        low: Self,
+        high: Self,
+        inclusive: bool,
+    ) -> Self {
+        assert!(
+            low.is_finite() && high.is_finite(),
+            "float range bounds must be finite ({low}..{high})"
+        );
+        if inclusive {
+            assert!(low <= high, "empty range {low}..={high}");
+            let unit = (rng.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) - 1) as f64);
+            (low + (high - low) * unit).clamp(low, high)
+        } else {
+            assert!(low < high, "empty range {low}..{high}");
+            let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            let v = low + (high - low) * unit;
+            // Guard against `low + span * u` rounding up to `high`.
+            if v < high {
+                v.max(low)
+            } else {
+                high.next_down().max(low)
+            }
+        }
+    }
+
+    fn shrink_toward(low: Self, value: Self) -> Vec<Self> {
+        if value == low || !value.is_finite() {
+            return Vec::new();
+        }
+        let span = value - low;
+        let mut out = vec![low];
+        let mut frac = 0.5;
+        for _ in 0..16 {
+            let cand = value - span * frac;
+            if cand.is_finite() && cand != low && cand != value && !out.contains(&cand) {
+                out.push(cand);
+            }
+            frac /= 2.0;
+        }
+        out
+    }
+}
+
+/// A range form accepted by [`crate::Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (low, high) = self.into_inner();
+        T::sample_range(rng, low, high, true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Rng, SeedableRng, Xoshiro256StarStar};
+
+    #[test]
+    fn integer_ranges_stay_in_bounds() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(10..20u32);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(-5..=5i32);
+            assert!((-5..=5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn integer_range_is_roughly_uniform() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(2);
+        let n = 60_000;
+        let mut buckets = [0u32; 6];
+        for _ in 0..n {
+            buckets[rng.gen_range(0..6usize)] += 1;
+        }
+        for &b in &buckets {
+            let frac = f64::from(b) / f64::from(n);
+            assert!((frac - 1.0 / 6.0).abs() < 0.01, "{frac}");
+        }
+    }
+
+    #[test]
+    fn inclusive_range_reaches_both_ends() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(3);
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..1000 {
+            match rng.gen_range(0..=3u8) {
+                0 => lo_seen = true,
+                3 => hi_seen = true,
+                _ => {}
+            }
+        }
+        assert!(lo_seen && hi_seen);
+    }
+
+    #[test]
+    fn full_u64_domain_supported() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(4);
+        // Must not hang or panic on the degenerate full-width span.
+        let _ = rng.gen_range(0..=u64::MAX);
+        let _ = rng.gen_range(i64::MIN..=i64::MAX);
+    }
+
+    #[test]
+    fn float_half_open_excludes_high() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(5);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-1.0f64..1.0);
+            assert!((-1.0..1.0).contains(&v), "{v}");
+        }
+        // A denormal-to-one range stays strictly positive (shadowing's
+        // Box-Muller guard depends on this).
+        for _ in 0..1000 {
+            let v = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            assert!(v > 0.0 && v < 1.0);
+        }
+    }
+
+    #[test]
+    fn float_inclusive_stays_in_bounds() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(6);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(2.0f64..=3.0);
+            assert!((2.0..=3.0).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_rejected() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(7);
+        let _ = rng.gen_range(5..5u32);
+    }
+
+    #[test]
+    fn shrink_candidates_respect_low() {
+        use crate::SampleUniform;
+        assert_eq!(u32::shrink_toward(3, 3), Vec::<u32>::new());
+        let c = u32::shrink_toward(0, 100);
+        assert!(c.contains(&0) && c.contains(&50));
+        let f = f64::shrink_toward(-10.0, 10.0);
+        assert!(f.contains(&-10.0) && f.contains(&0.0));
+    }
+}

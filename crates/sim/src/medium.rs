@@ -13,8 +13,8 @@
 use crate::events::{NodeId, TxId};
 use nomc_phy::coupling::AcrCurve;
 use nomc_phy::BerModel;
+use nomc_rngcore::Rng;
 use nomc_units::{Dbm, Megahertz, MilliWatts, SimDuration, SimTime};
-use rand::Rng;
 
 /// One on-air (or recently ended) transmission.
 #[derive(Debug, Clone)]
@@ -139,8 +139,7 @@ impl Medium {
                 continue;
             }
             let cfd = t.frequency.distance_to(freq);
-            let coupled = t.rx_power[observer].to_milliwatts()
-                * self.acr.leakage_factor(cfd);
+            let coupled = t.rx_power[observer].to_milliwatts() * self.acr.leakage_factor(cfd);
             if cfd.value() < 0.5 {
                 co += coupled;
             } else {
@@ -233,14 +232,11 @@ impl Medium {
         floor: Dbm,
     ) -> bool {
         self.transmissions.iter().any(|t| {
-            t.id != subject
-                && t.tx_node != observer
-                && t.overlap(from, to).is_some()
-                && {
-                    let coupled = t.rx_power[observer].to_milliwatts()
-                        * self.acr.leakage_factor(t.frequency.distance_to(freq));
-                    coupled.to_dbm() > floor
-                }
+            t.id != subject && t.tx_node != observer && t.overlap(from, to).is_some() && {
+                let coupled = t.rx_power[observer].to_milliwatts()
+                    * self.acr.leakage_factor(t.frequency.distance_to(freq));
+                coupled.to_dbm() > floor
+            }
         })
     }
 }
@@ -302,9 +298,16 @@ pub fn sync_success_probability(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use nomc_rngcore::SeedableRng;
 
-    fn mk_tx(id: TxId, node: NodeId, freq: f64, start_us: u64, end_us: u64, p: f64) -> Transmission {
+    fn mk_tx(
+        id: TxId,
+        node: NodeId,
+        freq: f64,
+        start_us: u64,
+        end_us: u64,
+        p: f64,
+    ) -> Transmission {
         Transmission {
             id,
             tx_node: node,
@@ -320,7 +323,10 @@ mod tests {
     }
 
     fn medium() -> Medium {
-        Medium::new(AcrCurve::cc2420_calibrated(), Dbm::new(-98.0).to_milliwatts())
+        Medium::new(
+            AcrCurve::cc2420_calibrated(),
+            Dbm::new(-98.0).to_milliwatts(),
+        )
     }
 
     #[test]
@@ -403,7 +409,10 @@ mod tests {
             SimTime::from_micros(100),
             SimTime::from_micros(3000),
         );
-        assert!(segs[0].interference > MilliWatts::ZERO, "early overlap seen");
+        assert!(
+            segs[0].interference > MilliWatts::ZERO,
+            "early overlap seen"
+        );
     }
 
     #[test]
@@ -453,8 +462,13 @@ mod tests {
             duration: SimDuration::from_micros(2976),
             interference: MilliWatts::ZERO,
         }];
-        let (errs, bits) =
-            sample_segment_errors(&mut rng, &quiet, Dbm::new(-60.0), noise, BerModel::Oqpsk802154);
+        let (errs, bits) = sample_segment_errors(
+            &mut rng,
+            &quiet,
+            Dbm::new(-60.0),
+            noise,
+            BerModel::Oqpsk802154,
+        );
         assert_eq!(bits, 744);
         assert_eq!(errs, 0, "38 dB SNR is error-free");
 
@@ -462,8 +476,13 @@ mod tests {
             duration: SimDuration::from_micros(2976),
             interference: Dbm::new(-57.0).to_milliwatts(),
         }];
-        let (errs, _) =
-            sample_segment_errors(&mut rng, &jammed, Dbm::new(-60.0), noise, BerModel::Oqpsk802154);
+        let (errs, _) = sample_segment_errors(
+            &mut rng,
+            &jammed,
+            Dbm::new(-60.0),
+            noise,
+            BerModel::Oqpsk802154,
+        );
         assert!(errs >= 1, "-3 dB SINR must corrupt the frame, got {errs}");
         let destroyed = [Segment {
             duration: SimDuration::from_micros(2976),

@@ -1,194 +1,21 @@
 //! Deterministic, platform-independent random numbers.
 //!
-//! Experiments must reproduce bit-identically across machines and `rand`
-//! versions, so the simulator uses its own xoshiro256** core (public
-//! domain algorithm by Blackman & Vigna) seeded via splitmix64, exposed
-//! through `rand_core::RngCore` so all of `rand`'s distributions work on
-//! top of it.
+//! The xoshiro256** generator now lives in [`nomc_rngcore`] (it is the
+//! workspace's only generator); this module re-exports it under its
+//! historical path so simulator callers and scenario tooling keep
+//! working unchanged.
+//!
+//! # Examples
+//!
+//! ```
+//! use nomc_sim::rng::Xoshiro256StarStar;
+//! use nomc_rngcore::{Rng, SeedableRng};
+//!
+//! let mut a = Xoshiro256StarStar::seed_from_u64(7);
+//! let mut b = Xoshiro256StarStar::seed_from_u64(7);
+//! let xs: Vec<u32> = (0..4).map(|_| a.gen()).collect();
+//! let ys: Vec<u32> = (0..4).map(|_| b.gen()).collect();
+//! assert_eq!(xs, ys);
+//! ```
 
-use rand::{Error, RngCore, SeedableRng};
-
-/// xoshiro256** PRNG.
-///
-/// # Examples
-///
-/// ```
-/// use nomc_sim::rng::Xoshiro256StarStar;
-/// use rand::{Rng, SeedableRng};
-///
-/// let mut a = Xoshiro256StarStar::seed_from_u64(7);
-/// let mut b = Xoshiro256StarStar::seed_from_u64(7);
-/// let xs: Vec<u32> = (0..4).map(|_| a.gen()).collect();
-/// let ys: Vec<u32> = (0..4).map(|_| b.gen()).collect();
-/// assert_eq!(xs, ys);
-/// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Xoshiro256StarStar {
-    s: [u64; 4],
-}
-
-impl Xoshiro256StarStar {
-    /// Creates a generator from a raw 256-bit state.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the state is all zeros (a fixed point of the generator).
-    pub fn from_state(s: [u64; 4]) -> Self {
-        assert!(s.iter().any(|&w| w != 0), "xoshiro state must be non-zero");
-        Xoshiro256StarStar { s }
-    }
-
-    /// Derives an independent stream for a sub-component (e.g. one node),
-    /// so adding a node does not perturb the draws of the others.
-    pub fn fork(&self, stream: u64) -> Self {
-        // Mix the current state with the stream id through splitmix64.
-        let mut seed = self.s[0] ^ self.s[2].rotate_left(17) ^ stream.wrapping_mul(0x9E37);
-        let mut s = [0u64; 4];
-        for w in &mut s {
-            seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
-            *w = splitmix64(seed.wrapping_add(stream));
-        }
-        if s.iter().all(|&w| w == 0) {
-            s[0] = 1;
-        }
-        Xoshiro256StarStar { s }
-    }
-
-    #[inline]
-    fn next(&mut self) -> u64 {
-        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
-        let t = self.s[1] << 17;
-        self.s[2] ^= self.s[0];
-        self.s[3] ^= self.s[1];
-        self.s[1] ^= self.s[2];
-        self.s[0] ^= self.s[3];
-        self.s[2] ^= t;
-        self.s[3] = self.s[3].rotate_left(45);
-        result
-    }
-}
-
-fn splitmix64(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
-impl RngCore for Xoshiro256StarStar {
-    #[inline]
-    fn next_u32(&mut self) -> u32 {
-        (self.next() >> 32) as u32
-    }
-
-    #[inline]
-    fn next_u64(&mut self) -> u64 {
-        self.next()
-    }
-
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        let mut chunks = dest.chunks_exact_mut(8);
-        for chunk in &mut chunks {
-            chunk.copy_from_slice(&self.next().to_le_bytes());
-        }
-        let rem = chunks.into_remainder();
-        if !rem.is_empty() {
-            let bytes = self.next().to_le_bytes();
-            rem.copy_from_slice(&bytes[..rem.len()]);
-        }
-    }
-
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
-        self.fill_bytes(dest);
-        Ok(())
-    }
-}
-
-impl SeedableRng for Xoshiro256StarStar {
-    type Seed = [u8; 32];
-
-    fn from_seed(seed: [u8; 32]) -> Self {
-        let mut s = [0u64; 4];
-        for (i, w) in s.iter_mut().enumerate() {
-            let mut bytes = [0u8; 8];
-            bytes.copy_from_slice(&seed[i * 8..(i + 1) * 8]);
-            *w = u64::from_le_bytes(bytes);
-        }
-        if s.iter().all(|&w| w == 0) {
-            s[0] = 0x9E37_79B9_7F4A_7C15;
-        }
-        Xoshiro256StarStar { s }
-    }
-
-    fn seed_from_u64(state: u64) -> Self {
-        let mut s = [0u64; 4];
-        let mut z = state;
-        for w in &mut s {
-            *w = splitmix64(z);
-            z = *w;
-        }
-        Xoshiro256StarStar::from_state(s)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use rand::Rng;
-
-    #[test]
-    fn reference_sequence_is_stable() {
-        // Pin the exact output so cross-version regressions are caught.
-        let mut rng = Xoshiro256StarStar::seed_from_u64(0);
-        let seq: Vec<u64> = (0..4).map(|_| rng.next_u64()).collect();
-        let mut rng2 = Xoshiro256StarStar::seed_from_u64(0);
-        let seq2: Vec<u64> = (0..4).map(|_| rng2.next_u64()).collect();
-        assert_eq!(seq, seq2);
-        assert!(seq.windows(2).all(|w| w[0] != w[1]), "degenerate output");
-    }
-
-    #[test]
-    fn different_seeds_differ() {
-        let mut a = Xoshiro256StarStar::seed_from_u64(1);
-        let mut b = Xoshiro256StarStar::seed_from_u64(2);
-        assert_ne!(a.next_u64(), b.next_u64());
-    }
-
-    #[test]
-    fn forks_are_independent_of_sibling_count() {
-        let root = Xoshiro256StarStar::seed_from_u64(99);
-        let mut f3a = root.fork(3);
-        let mut f3b = root.fork(3);
-        assert_eq!(f3a.next_u64(), f3b.next_u64());
-        let mut f4 = root.fork(4);
-        assert_ne!(root.fork(3).next_u64(), f4.next_u64());
-    }
-
-    #[test]
-    fn uniform_range_looks_uniform() {
-        let mut rng = Xoshiro256StarStar::seed_from_u64(5);
-        let n = 60_000;
-        let mut buckets = [0u32; 6];
-        for _ in 0..n {
-            buckets[rng.gen_range(0..6usize)] += 1;
-        }
-        for &b in &buckets {
-            let frac = f64::from(b) / n as f64;
-            assert!((frac - 1.0 / 6.0).abs() < 0.01, "{frac}");
-        }
-    }
-
-    #[test]
-    fn fill_bytes_covers_partial_chunks() {
-        let mut rng = Xoshiro256StarStar::seed_from_u64(8);
-        let mut buf = [0u8; 13];
-        rng.fill_bytes(&mut buf);
-        assert!(buf.iter().any(|&b| b != 0));
-    }
-
-    #[test]
-    #[should_panic(expected = "non-zero")]
-    fn zero_state_rejected() {
-        let _ = Xoshiro256StarStar::from_state([0; 4]);
-    }
-}
+pub use nomc_rngcore::{splitmix64, Xoshiro256StarStar};

@@ -9,12 +9,38 @@ use nomc_topology::Deployment;
 use nomc_units::{Db, Dbm, Meters, SimDuration};
 
 /// Concrete path-loss model choices (enum so scenarios stay `Clone`).
-#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum PathLossModel {
     /// Friis free-space loss.
     FreeSpace(FreeSpace),
     /// Log-distance loss.
     LogDistance(LogDistance),
+}
+
+impl nomc_json::ToJson for PathLossModel {
+    fn to_json(&self) -> nomc_json::Json {
+        let (tag, inner) = match self {
+            PathLossModel::FreeSpace(m) => ("FreeSpace", m.to_json()),
+            PathLossModel::LogDistance(m) => ("LogDistance", m.to_json()),
+        };
+        nomc_json::Json::object([(tag, inner)])
+    }
+}
+
+impl nomc_json::FromJson for PathLossModel {
+    fn from_json(v: &nomc_json::Json) -> Result<Self, nomc_json::Error> {
+        use nomc_json::FromJson;
+        let obj = v
+            .as_object()
+            .ok_or_else(|| nomc_json::Error::new("PathLossModel: expected object"))?;
+        match obj.iter().next() {
+            Some(("FreeSpace", inner)) => Ok(PathLossModel::FreeSpace(FromJson::from_json(inner)?)),
+            Some(("LogDistance", inner)) => {
+                Ok(PathLossModel::LogDistance(FromJson::from_json(inner)?))
+            }
+            _ => Err(nomc_json::Error::new("PathLossModel: unknown variant")),
+        }
+    }
 }
 
 impl PathLossModel {
@@ -28,7 +54,7 @@ impl PathLossModel {
 }
 
 /// The propagation environment.
-#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Propagation {
     /// Large-scale path loss.
     pub path_loss: PathLossModel,
@@ -39,6 +65,13 @@ pub struct Propagation {
     /// Adjacent-channel rejection curve.
     pub acr: AcrCurve,
 }
+
+nomc_json::json_struct!(Propagation {
+    path_loss: PathLossModel,
+    shadowing: Shadowing,
+    noise: NoiseFloor,
+    acr: AcrCurve,
+});
 
 impl Propagation {
     /// The calibrated testbed-like environment (see DESIGN.md §2).
@@ -59,7 +92,7 @@ impl Default for Propagation {
 }
 
 /// How a network's CCA threshold is driven.
-#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ThresholdMode {
     /// Fixed threshold (the ZigBee default design when set to −77 dBm).
     Fixed(Dbm),
@@ -70,6 +103,36 @@ pub enum ThresholdMode {
     DcnOracle(DcnConfig),
     /// Fixed threshold with the perfect classifier (ablation).
     FixedOracle(Dbm),
+}
+
+impl nomc_json::ToJson for ThresholdMode {
+    fn to_json(&self) -> nomc_json::Json {
+        let (tag, inner) = match self {
+            ThresholdMode::Fixed(t) => ("Fixed", t.to_json()),
+            ThresholdMode::Dcn(c) => ("Dcn", c.to_json()),
+            ThresholdMode::DcnOracle(c) => ("DcnOracle", c.to_json()),
+            ThresholdMode::FixedOracle(t) => ("FixedOracle", t.to_json()),
+        };
+        nomc_json::Json::object([(tag, inner)])
+    }
+}
+
+impl nomc_json::FromJson for ThresholdMode {
+    fn from_json(v: &nomc_json::Json) -> Result<Self, nomc_json::Error> {
+        use nomc_json::FromJson;
+        let obj = v
+            .as_object()
+            .ok_or_else(|| nomc_json::Error::new("ThresholdMode: expected object"))?;
+        match obj.iter().next() {
+            Some(("Fixed", inner)) => Ok(ThresholdMode::Fixed(FromJson::from_json(inner)?)),
+            Some(("Dcn", inner)) => Ok(ThresholdMode::Dcn(FromJson::from_json(inner)?)),
+            Some(("DcnOracle", inner)) => Ok(ThresholdMode::DcnOracle(FromJson::from_json(inner)?)),
+            Some(("FixedOracle", inner)) => {
+                Ok(ThresholdMode::FixedOracle(FromJson::from_json(inner)?))
+            }
+            _ => Err(nomc_json::Error::new("ThresholdMode: unknown variant")),
+        }
+    }
 }
 
 impl ThresholdMode {
@@ -88,7 +151,7 @@ impl ThresholdMode {
 }
 
 /// Traffic offered to a link's transmitter.
-#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TrafficModel {
     /// Always another frame queued (the paper's saturated sources).
     Saturated,
@@ -103,8 +166,51 @@ pub enum TrafficModel {
     },
 }
 
+impl nomc_json::ToJson for TrafficModel {
+    fn to_json(&self) -> nomc_json::Json {
+        use nomc_json::Json;
+        match self {
+            TrafficModel::Saturated => Json::Str("Saturated".to_string()),
+            TrafficModel::Interval(d) => Json::object([("Interval", d.to_json())]),
+            TrafficModel::Forward { from_link } => Json::object([(
+                "Forward",
+                Json::object([("from_link", from_link.to_json())]),
+            )]),
+        }
+    }
+}
+
+impl nomc_json::FromJson for TrafficModel {
+    fn from_json(v: &nomc_json::Json) -> Result<Self, nomc_json::Error> {
+        use nomc_json::FromJson;
+        if let Some(s) = v.as_str() {
+            return match s {
+                "Saturated" => Ok(TrafficModel::Saturated),
+                other => Err(nomc_json::Error::new(format!(
+                    "TrafficModel: unknown variant {other:?}"
+                ))),
+            };
+        }
+        let obj = v
+            .as_object()
+            .ok_or_else(|| nomc_json::Error::new("TrafficModel: expected string or object"))?;
+        match obj.iter().next() {
+            Some(("Interval", inner)) => Ok(TrafficModel::Interval(FromJson::from_json(inner)?)),
+            Some(("Forward", inner)) => {
+                let from_link = inner.get("from_link").ok_or_else(|| {
+                    nomc_json::Error::new("TrafficModel::Forward: missing from_link")
+                })?;
+                Ok(TrafficModel::Forward {
+                    from_link: FromJson::from_json(from_link)?,
+                })
+            }
+            _ => Err(nomc_json::Error::new("TrafficModel: unknown variant")),
+        }
+    }
+}
+
 /// Behaviour of one network's nodes.
-#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NetworkBehavior {
     /// CCA threshold source for the network's transmitters.
     pub threshold: ThresholdMode,
@@ -113,6 +219,12 @@ pub struct NetworkBehavior {
     /// Offered traffic per link.
     pub traffic: TrafficModel,
 }
+
+nomc_json::json_struct!(NetworkBehavior {
+    threshold: ThresholdMode,
+    mac: CsmaParams,
+    traffic: TrafficModel,
+});
 
 impl NetworkBehavior {
     /// The default ZigBee design: fixed −77 dBm, standard CSMA, saturated.
@@ -149,7 +261,7 @@ impl Default for NetworkBehavior {
 }
 
 /// A complete, runnable scenario.
-#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
     /// Node positions, channels and powers.
     pub deployment: Deployment,
@@ -165,7 +277,6 @@ pub struct Scenario {
     /// Per-link traffic overrides: `(global link index, model)`. Lets a
     /// multi-hop chain mix source and forwarding links inside one
     /// network.
-    #[serde(default)]
     pub link_traffic: Vec<(usize, TrafficModel)>,
     /// Total simulated time.
     pub duration: SimDuration,
@@ -181,12 +292,27 @@ pub struct Scenario {
     pub record_timeline: bool,
     /// Record a full structured event trace (see [`crate::trace`]);
     /// sizeable — one record per CCA and per frame.
-    #[serde(default)]
     pub record_trace: bool,
     /// Coupled-power floor above which an overlapping transmission counts
     /// as a "collision" for CPRR purposes.
     pub collision_floor: Dbm,
 }
+
+nomc_json::json_struct!(Scenario {
+    deployment: Deployment,
+    propagation: Propagation,
+    radio: RadioConfig,
+    frame: FrameSpec,
+    behaviors: Vec<NetworkBehavior>,
+    link_traffic: Vec<(usize, TrafficModel)> = Vec::new(),
+    duration: SimDuration,
+    warmup: SimDuration,
+    seed: u64,
+    record_error_positions: bool,
+    record_timeline: bool,
+    record_trace: bool = false,
+    collision_floor: Dbm,
+});
 
 impl Scenario {
     /// Starts building a scenario over `deployment`.
@@ -409,7 +535,8 @@ mod tests {
     #[test]
     fn warmup_must_be_shorter_than_duration() {
         let mut b = Scenario::builder(deployment());
-        b.duration(SimDuration::from_secs(2)).warmup(SimDuration::from_secs(2));
+        b.duration(SimDuration::from_secs(2))
+            .warmup(SimDuration::from_secs(2));
         assert!(b.build().is_err());
     }
 

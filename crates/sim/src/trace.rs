@@ -8,11 +8,11 @@
 //! fared.
 
 use crate::events::{NodeId, TxId};
+use nomc_json::{Json, ToJson};
 use nomc_units::SimTime;
-use serde::Serialize;
 
 /// One trace entry.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceRecord {
     /// When it happened.
     pub at: SimTime,
@@ -21,7 +21,7 @@ pub struct TraceRecord {
 }
 
 /// The traced event kinds.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum TraceKind {
     /// A CCA measurement completed.
     Cca {
@@ -70,11 +70,72 @@ pub enum TraceKind {
     },
 }
 
+impl ToJson for TraceRecord {
+    fn to_json(&self) -> Json {
+        Json::object([("at", self.at.to_json()), ("kind", self.kind.to_json())])
+    }
+}
+
+impl ToJson for TraceKind {
+    fn to_json(&self) -> Json {
+        match self {
+            TraceKind::Cca {
+                node,
+                sensed_dbm,
+                threshold_dbm,
+                clear,
+            } => Json::object([(
+                "Cca",
+                Json::object([
+                    ("node", node.to_json()),
+                    ("sensed_dbm", sensed_dbm.to_json()),
+                    ("threshold_dbm", threshold_dbm.to_json()),
+                    ("clear", clear.to_json()),
+                ]),
+            )]),
+            TraceKind::TxStart {
+                node,
+                tx,
+                seq,
+                forced,
+            } => Json::object([(
+                "TxStart",
+                Json::object([
+                    ("node", node.to_json()),
+                    ("tx", tx.to_json()),
+                    ("seq", seq.to_json()),
+                    ("forced", forced.to_json()),
+                ]),
+            )]),
+            TraceKind::Outcome {
+                tx,
+                receiver,
+                outcome,
+            } => Json::object([(
+                "Outcome",
+                Json::object([
+                    ("tx", tx.to_json()),
+                    ("receiver", receiver.to_json()),
+                    ("outcome", outcome.to_json()),
+                ]),
+            )]),
+            TraceKind::AckDelivered { tx, sender } => Json::object([(
+                "AckDelivered",
+                Json::object([("tx", tx.to_json()), ("sender", sender.to_json())]),
+            )]),
+            TraceKind::AckTimedOut { tx, sender } => Json::object([(
+                "AckTimedOut",
+                Json::object([("tx", tx.to_json()), ("sender", sender.to_json())]),
+            )]),
+        }
+    }
+}
+
 /// Renders records as JSON lines.
 pub fn to_jsonl(records: &[TraceRecord]) -> String {
     let mut out = String::new();
     for r in records {
-        out.push_str(&serde_json::to_string(r).expect("trace serializes"));
+        out.push_str(&r.to_json().dump());
         out.push('\n');
     }
     out
@@ -112,7 +173,7 @@ mod tests {
         assert!(text.contains("\"TxStart\""));
         // Each line is valid JSON.
         for line in text.lines() {
-            let _: serde_json::Value = serde_json::from_str(line).expect("valid json");
+            let _: Json = line.parse().expect("valid json");
         }
     }
 }

@@ -38,11 +38,7 @@ pub fn pair_pressure(a: &NetworkSpec, b: &NetworkSpec, path_loss: &LogDistance) 
 
 /// Total assignment cost: Σ over network pairs of
 /// `pressure(i, j) × leakage(|f_i − f_j|)`.
-pub fn assignment_cost(
-    pressures: &[Vec<f64>],
-    frequencies: &[Megahertz],
-    acr: &AcrCurve,
-) -> f64 {
+pub fn assignment_cost(pressures: &[Vec<f64>], frequencies: &[Megahertz], acr: &AcrCurve) -> f64 {
     let n = frequencies.len();
     let mut cost = 0.0;
     for i in 0..n {
@@ -111,8 +107,7 @@ pub fn optimize_assignment(
     // and hand out channels from the outside of the plan inward, so the
     // hottest networks land at the band edges (largest mutual CFD).
     let mut order: Vec<usize> = (0..n).collect();
-    let total_pressure =
-        |i: usize| -> f64 { pressures[i].iter().sum() };
+    let total_pressure = |i: usize| -> f64 { pressures[i].iter().sum() };
     order.sort_by(|&a, &b| {
         total_pressure(b)
             .partial_cmp(&total_pressure(a))
@@ -211,7 +206,11 @@ mod tests {
         let pl = LogDistance::indoor_2_4ghz();
         let acr = AcrCurve::cc2420_calibrated();
         // Three networks: two clustered, one far.
-        let nets = vec![net_at(0.0, 2458.0), net_at(3.0, 2461.0), net_at(30.0, 2464.0)];
+        let nets = vec![
+            net_at(0.0, 2458.0),
+            net_at(3.0, 2461.0),
+            net_at(30.0, 2464.0),
+        ];
         let a = optimize_assignment(&nets, &plan(3), &pl, &acr);
         assert!(a.cost <= a.identity_cost + 1e-18);
     }
@@ -223,7 +222,11 @@ mod tests {
         // Networks 0 and 1 are adjacent; 2 is far away. The optimizer
         // should separate 0 and 1 by more spectrum than the identity
         // (adjacent channels) would.
-        let nets = vec![net_at(0.0, 2458.0), net_at(3.5, 2461.0), net_at(40.0, 2464.0)];
+        let nets = vec![
+            net_at(0.0, 2458.0),
+            net_at(3.5, 2461.0),
+            net_at(40.0, 2464.0),
+        ];
         let a = optimize_assignment(&nets, &plan(3), &pl, &acr);
         let cfd01 = a.frequencies[0].distance_to(a.frequencies[1]);
         assert!(
@@ -236,8 +239,9 @@ mod tests {
     fn assignment_is_a_permutation() {
         let pl = LogDistance::indoor_2_4ghz();
         let acr = AcrCurve::cc2420_calibrated();
-        let nets: Vec<NetworkSpec> =
-            (0..6).map(|i| net_at(i as f64 * 2.5, 2458.0 + i as f64 * 3.0)).collect();
+        let nets: Vec<NetworkSpec> = (0..6)
+            .map(|i| net_at(i as f64 * 2.5, 2458.0 + i as f64 * 3.0))
+            .collect();
         let a = optimize_assignment(&nets, &plan(6), &pl, &acr);
         let mut freqs: Vec<f64> = a.frequencies.iter().map(|f| f.value()).collect();
         freqs.sort_by(|x, y| x.partial_cmp(y).expect("finite"));

@@ -4,7 +4,7 @@ use crate::geometry::Point;
 use nomc_units::{Dbm, Megahertz};
 
 /// One unidirectional transmitter → receiver link.
-#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinkSpec {
     /// Transmitter position.
     pub tx: Point,
@@ -13,6 +13,12 @@ pub struct LinkSpec {
     /// Transmitter output power.
     pub tx_power: Dbm,
 }
+
+nomc_json::json_struct!(LinkSpec {
+    tx: Point,
+    rx: Point,
+    tx_power: Dbm,
+});
 
 impl LinkSpec {
     /// Creates a link.
@@ -28,13 +34,18 @@ impl LinkSpec {
 
 /// One network: a set of links sharing a channel. The paper's networks
 /// are 4 MicaZ nodes = 2 links.
-#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NetworkSpec {
     /// Channel centre frequency.
     pub frequency: Megahertz,
     /// The network's links.
     pub links: Vec<LinkSpec>,
 }
+
+nomc_json::json_struct!(NetworkSpec {
+    frequency: Megahertz,
+    links: Vec<LinkSpec>,
+});
 
 impl NetworkSpec {
     /// Creates a network on `frequency` with the given links.
@@ -56,11 +67,15 @@ impl NetworkSpec {
 
 /// A complete deployment: several networks on (possibly non-orthogonal)
 /// channels.
-#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Deployment {
     /// All networks, typically ordered by channel frequency.
     pub networks: Vec<NetworkSpec>,
 }
+
+nomc_json::json_struct!(Deployment {
+    networks: Vec<NetworkSpec>,
+});
 
 impl Deployment {
     /// Creates a deployment from networks.
@@ -109,8 +124,7 @@ impl Deployment {
         }
         for i in 0..self.networks.len() {
             for j in (i + 1)..self.networks.len() {
-                if (self.networks[i].frequency.value() - self.networks[j].frequency.value())
-                    .abs()
+                if (self.networks[i].frequency.value() - self.networks[j].frequency.value()).abs()
                     < f64::EPSILON
                 {
                     return Err(format!(
@@ -154,7 +168,10 @@ mod tests {
             sample_network(2461.0),
         ]);
         assert_eq!(d.min_cfd(), Some(Megahertz::new(3.0)));
-        assert_eq!(Deployment::new(vec![sample_network(2458.0)]).min_cfd(), None);
+        assert_eq!(
+            Deployment::new(vec![sample_network(2458.0)]).min_cfd(),
+            None
+        );
     }
 
     #[test]

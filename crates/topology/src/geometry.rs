@@ -14,13 +14,15 @@ use std::ops::{Add, Sub};
 /// let b = Point::new(3.0, 4.0);
 /// assert_eq!(a.distance_to(b).value(), 5.0);
 /// ```
-#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Point {
     /// X coordinate (m).
     pub x: f64,
     /// Y coordinate (m).
     pub y: f64,
 }
+
+nomc_json::json_struct!(Point { x: f64, y: f64 });
 
 impl Point {
     /// The origin.

@@ -11,8 +11,8 @@ use crate::deployment::{Deployment, LinkSpec, NetworkSpec};
 use crate::geometry::Point;
 use crate::placement::{grid_cluster_centers, sample_link, sample_power, Region};
 use crate::spectrum::ChannelPlan;
+use nomc_rngcore::Rng;
 use nomc_units::{Dbm, Megahertz};
-use rand::Rng;
 
 /// Link length of a "standard" testbed network (m).
 pub const STANDARD_LINK_M: f64 = 2.0;
@@ -29,8 +29,16 @@ pub fn standard_network(center: Point, frequency: Megahertz, tx_power: Dbm) -> N
     NetworkSpec::new(
         frequency,
         vec![
-            LinkSpec::new(center.offset(-half, 0.0), center.offset(half, 0.0), tx_power),
-            LinkSpec::new(center.offset(0.0, half), center.offset(0.0, -half), tx_power),
+            LinkSpec::new(
+                center.offset(-half, 0.0),
+                center.offset(half, 0.0),
+                tx_power,
+            ),
+            LinkSpec::new(
+                center.offset(0.0, half),
+                center.offset(0.0, -half),
+                tx_power,
+            ),
         ],
     )
 }
@@ -304,8 +312,8 @@ pub fn paper_labels(count: usize) -> Vec<String> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use nomc_rngcore::rngs::StdRng;
+    use nomc_rngcore::SeedableRng;
 
     fn plan6() -> ChannelPlan {
         ChannelPlan::with_count(Megahertz::new(2458.0), Megahertz::new(3.0), 6)
@@ -330,7 +338,10 @@ mod tests {
         let c1 = d.networks[1].centroid();
         assert!((c0.distance_to(c1).value() - LINE_SPACING_M).abs() < 1e-9);
         // Ordered by frequency.
-        assert!(d.networks.windows(2).all(|w| w[0].frequency < w[1].frequency));
+        assert!(d
+            .networks
+            .windows(2)
+            .all(|w| w[0].frequency < w[1].frequency));
     }
 
     #[test]
@@ -381,7 +392,9 @@ mod tests {
         assert!((attacker.tx.distance_to(normal.rx).value() - 2.01).abs() < 0.05);
         assert!((normal.tx.distance_to(attacker.rx).value() - 2.0).abs() < 1e-9);
         assert_eq!(
-            d.networks[a_idx].frequency.distance_to(d.networks[n_idx].frequency),
+            d.networks[a_idx]
+                .frequency
+                .distance_to(d.networks[n_idx].frequency),
             Megahertz::new(3.0)
         );
     }

@@ -1,8 +1,8 @@
 //! Random placement generators for the paper's Case I/II/III topologies.
 
 use crate::geometry::Point;
+use nomc_rngcore::Rng;
 use nomc_units::Dbm;
-use rand::Rng;
 
 /// A rectangular region `[x0, x0+w] × [y0, y0+h]`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -22,7 +22,10 @@ impl Region {
     ///
     /// Panics on non-positive dimensions.
     pub fn new(origin: Point, width: f64, height: f64) -> Self {
-        assert!(width > 0.0 && height > 0.0, "region must have positive area");
+        assert!(
+            width > 0.0 && height > 0.0,
+            "region must have positive area"
+        );
         Region {
             origin,
             width,
@@ -101,8 +104,8 @@ pub fn grid_cluster_centers(count: usize, per_row: usize, pitch: f64) -> Vec<Poi
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use nomc_rngcore::rngs::StdRng;
+    use nomc_rngcore::SeedableRng;
 
     #[test]
     fn samples_stay_inside() {
@@ -136,7 +139,9 @@ mod tests {
     #[test]
     fn power_covers_range() {
         let mut rng = StdRng::seed_from_u64(8);
-        let ps: Vec<f64> = (0..2000).map(|_| sample_power(&mut rng, -22.0, 0.0).value()).collect();
+        let ps: Vec<f64> = (0..2000)
+            .map(|_| sample_power(&mut rng, -22.0, 0.0).value())
+            .collect();
         assert!(ps.iter().cloned().fold(f64::MAX, f64::min) < -20.0);
         assert!(ps.iter().cloned().fold(f64::MIN, f64::max) > -2.0);
     }

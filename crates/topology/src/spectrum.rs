@@ -156,8 +156,7 @@ mod tests {
         // Paper §III-A: 12 MHz band.
         for (cfd, expect) in [(9.0, 1), (5.0, 2), (4.0, 3), (3.0, 4), (2.0, 6)] {
             let plan =
-                ChannelPlan::fit(mhz(2460.0), mhz(12.0), mhz(cfd), FitPolicy::Exclusive)
-                    .unwrap();
+                ChannelPlan::fit(mhz(2460.0), mhz(12.0), mhz(cfd), FitPolicy::Exclusive).unwrap();
             assert_eq!(plan.channels().len(), expect, "CFD {cfd}");
         }
     }
@@ -165,17 +164,16 @@ mod tests {
     #[test]
     fn inclusive_matches_section6_counts() {
         // §VI-B: 2458-2473 (15 MHz): 6 channels @ 3 MHz, 4 @ 5 MHz.
-        let dcn = ChannelPlan::fit(mhz(2458.0), mhz(15.0), mhz(3.0), FitPolicy::InclusiveEnds)
-            .unwrap();
+        let dcn =
+            ChannelPlan::fit(mhz(2458.0), mhz(15.0), mhz(3.0), FitPolicy::InclusiveEnds).unwrap();
         assert_eq!(dcn.channels().len(), 6);
         assert_eq!(*dcn.channels().last().unwrap(), mhz(2473.0));
         let zigbee =
-            ChannelPlan::fit(mhz(2458.0), mhz(15.0), mhz(5.0), FitPolicy::InclusiveEnds)
-                .unwrap();
+            ChannelPlan::fit(mhz(2458.0), mhz(15.0), mhz(5.0), FitPolicy::InclusiveEnds).unwrap();
         assert_eq!(zigbee.channels().len(), 4);
         // §VII-B: 18 MHz supports 7 channels at CFD 3.
-        let wide = ChannelPlan::fit(mhz(2455.0), mhz(18.0), mhz(3.0), FitPolicy::InclusiveEnds)
-            .unwrap();
+        let wide =
+            ChannelPlan::fit(mhz(2455.0), mhz(18.0), mhz(3.0), FitPolicy::InclusiveEnds).unwrap();
         assert_eq!(wide.channels().len(), 7);
     }
 
@@ -189,10 +187,22 @@ mod tests {
 
     #[test]
     fn middle_index() {
-        assert_eq!(ChannelPlan::with_count(mhz(0.0), mhz(3.0), 5).middle_index(), 2);
-        assert_eq!(ChannelPlan::with_count(mhz(0.0), mhz(3.0), 6).middle_index(), 2);
-        assert_eq!(ChannelPlan::with_count(mhz(0.0), mhz(3.0), 7).middle_index(), 3);
-        assert_eq!(ChannelPlan::with_count(mhz(0.0), mhz(3.0), 1).middle_index(), 0);
+        assert_eq!(
+            ChannelPlan::with_count(mhz(0.0), mhz(3.0), 5).middle_index(),
+            2
+        );
+        assert_eq!(
+            ChannelPlan::with_count(mhz(0.0), mhz(3.0), 6).middle_index(),
+            2
+        );
+        assert_eq!(
+            ChannelPlan::with_count(mhz(0.0), mhz(3.0), 7).middle_index(),
+            3
+        );
+        assert_eq!(
+            ChannelPlan::with_count(mhz(0.0), mhz(3.0), 1).middle_index(),
+            0
+        );
     }
 
     #[test]
@@ -210,16 +220,13 @@ mod tests {
             Err(PlanError::NoChannelsFit { .. })
         ));
         // InclusiveEnds always fits at least one channel for positive width.
-        assert!(
-            ChannelPlan::fit(mhz(0.0), mhz(2.0), mhz(3.0), FitPolicy::InclusiveEnds).is_ok()
-        );
+        assert!(ChannelPlan::fit(mhz(0.0), mhz(2.0), mhz(3.0), FitPolicy::InclusiveEnds).is_ok());
     }
 
     #[test]
     fn float_cfd_floor_guard() {
         // 12 / 0.75 = 16 exactly-ish; must not lose one to float error.
-        let plan =
-            ChannelPlan::fit(mhz(0.0), mhz(12.0), mhz(0.75), FitPolicy::Exclusive).unwrap();
+        let plan = ChannelPlan::fit(mhz(0.0), mhz(12.0), mhz(0.75), FitPolicy::Exclusive).unwrap();
         assert_eq!(plan.channels().len(), 16);
     }
 }

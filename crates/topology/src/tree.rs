@@ -206,7 +206,11 @@ mod tests {
 
     #[test]
     fn single_channel_builds_one_network() {
-        let cc = build(&three_chains(), &[mhz(2458.0)], ChannelPolicy::SingleChannel);
+        let cc = build(
+            &three_chains(),
+            &[mhz(2458.0)],
+            ChannelPolicy::SingleChannel,
+        );
         assert_eq!(cc.deployment.networks.len(), 1);
         assert_eq!(cc.deployment.link_count(), 9);
         assert_eq!(cc.forwards.len(), 6);
@@ -238,7 +242,11 @@ mod tests {
 
     #[test]
     fn forward_wiring_points_upstream() {
-        let cc = build(&three_chains(), &[mhz(2458.0)], ChannelPolicy::SingleChannel);
+        let cc = build(
+            &three_chains(),
+            &[mhz(2458.0)],
+            ChannelPolicy::SingleChannel,
+        );
         // Every forwarding link's upstream is a distinct earlier hop; the
         // sources are never forwarders.
         for &(link, from) in &cc.forwards {

@@ -1,110 +1,134 @@
 //! Property-based tests for channel planning and paper labelling.
 
+use nomc_rngcore::check::{forall, range, zip3};
+use nomc_rngcore::{check, check_eq};
 use nomc_topology::paper::paper_labels;
 use nomc_topology::spectrum::{ChannelPlan, FitPolicy};
 use nomc_units::Megahertz;
-use proptest::prelude::*;
 
-proptest! {
-    #[test]
-    fn plans_are_on_grid_and_inside_band(
-        start in 2400.0f64..2480.0,
-        width in 1.0f64..30.0,
-        cfd in 0.5f64..10.0,
-    ) {
-        for policy in [FitPolicy::Exclusive, FitPolicy::InclusiveEnds] {
-            let Ok(plan) = ChannelPlan::fit(
-                Megahertz::new(start),
-                Megahertz::new(width),
-                Megahertz::new(cfd),
-                policy,
-            ) else {
-                // Only the exclusive policy may fail, and only when no
-                // channel fits.
-                prop_assert!(policy == FitPolicy::Exclusive && width < cfd);
-                continue;
-            };
-            let channels = plan.channels();
-            prop_assert!(!channels.is_empty());
-            for (i, c) in channels.iter().enumerate() {
-                let expected = start + cfd * i as f64;
-                prop_assert!((c.value() - expected).abs() < 1e-9);
-                prop_assert!(c.value() <= start + width + 1e-6);
-            }
-            // Inclusive fits at least as many channels as exclusive.
-            if policy == FitPolicy::InclusiveEnds {
-                if let Ok(ex) = ChannelPlan::fit(
+#[test]
+fn plans_are_on_grid_and_inside_band() {
+    let g = zip3(
+        range(2400.0f64..2480.0),
+        range(1.0f64..30.0),
+        range(0.5f64..10.0),
+    );
+    forall(
+        "plans_are_on_grid_and_inside_band",
+        64,
+        &g,
+        |&(start, width, cfd)| {
+            for policy in [FitPolicy::Exclusive, FitPolicy::InclusiveEnds] {
+                let Ok(plan) = ChannelPlan::fit(
                     Megahertz::new(start),
                     Megahertz::new(width),
                     Megahertz::new(cfd),
-                    FitPolicy::Exclusive,
-                ) {
-                    prop_assert!(channels.len() >= ex.channels().len());
+                    policy,
+                ) else {
+                    // Only the exclusive policy may fail, and only when no
+                    // channel fits.
+                    check!(policy == FitPolicy::Exclusive && width < cfd);
+                    continue;
+                };
+                let channels = plan.channels();
+                check!(!channels.is_empty());
+                for (i, c) in channels.iter().enumerate() {
+                    let expected = start + cfd * i as f64;
+                    check!((c.value() - expected).abs() < 1e-9);
+                    check!(c.value() <= start + width + 1e-6);
+                }
+                // Inclusive fits at least as many channels as exclusive.
+                if policy == FitPolicy::InclusiveEnds {
+                    if let Ok(ex) = ChannelPlan::fit(
+                        Megahertz::new(start),
+                        Megahertz::new(width),
+                        Megahertz::new(cfd),
+                        FitPolicy::Exclusive,
+                    ) {
+                        check!(channels.len() >= ex.channels().len());
+                    }
                 }
             }
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn middle_index_is_central(count in 1usize..20) {
-        let plan = ChannelPlan::with_count(
-            Megahertz::new(2458.0),
-            Megahertz::new(3.0),
-            count,
-        );
-        let mid = plan.middle_index();
-        prop_assert!(mid < count);
-        // No index is farther than one position more central.
-        let center = (count - 1) as f64 / 2.0;
-        for i in 0..count {
-            prop_assert!(
-                (mid as f64 - center).abs() <= (i as f64 - center).abs() + 1e-9,
-                "index {i} more central than middle {mid} of {count}"
-            );
-        }
-    }
+#[test]
+fn middle_index_is_central() {
+    forall(
+        "middle_index_is_central",
+        64,
+        &range(1usize..20),
+        |&count| {
+            let plan = ChannelPlan::with_count(Megahertz::new(2458.0), Megahertz::new(3.0), count);
+            let mid = plan.middle_index();
+            check!(mid < count);
+            // No index is farther than one position more central.
+            let center = (count - 1) as f64 / 2.0;
+            for i in 0..count {
+                check!(
+                    (mid as f64 - center).abs() <= (i as f64 - center).abs() + 1e-9,
+                    "index {i} more central than middle {mid} of {count}"
+                );
+            }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn paper_labels_are_a_permutation(count in 1usize..20) {
-        let labels = paper_labels(count);
-        prop_assert_eq!(labels.len(), count);
-        let mut seen: Vec<usize> = labels
-            .iter()
-            .map(|l| l.trim_start_matches('N').parse::<usize>().expect("N<k>"))
-            .collect();
-        seen.sort_unstable();
-        let expect: Vec<usize> = (0..count).collect();
-        prop_assert_eq!(seen, expect);
-        // N0 is the plan's middle channel.
-        let plan = ChannelPlan::with_count(
-            Megahertz::new(2458.0),
-            Megahertz::new(3.0),
-            count,
-        );
-        prop_assert_eq!(labels[plan.middle_index()].as_str(), "N0");
-    }
+#[test]
+fn paper_labels_are_a_permutation() {
+    forall(
+        "paper_labels_are_a_permutation",
+        64,
+        &range(1usize..20),
+        |&count| {
+            let labels = paper_labels(count);
+            check_eq!(labels.len(), count);
+            let mut seen: Vec<usize> = labels
+                .iter()
+                .map(|l| l.trim_start_matches('N').parse::<usize>().expect("N<k>"))
+                .collect();
+            seen.sort_unstable();
+            let expect: Vec<usize> = (0..count).collect();
+            check_eq!(seen, expect);
+            // N0 is the plan's middle channel.
+            let plan = ChannelPlan::with_count(Megahertz::new(2458.0), Megahertz::new(3.0), count);
+            check_eq!(labels[plan.middle_index()].as_str(), "N0");
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn labels_grow_toward_the_edges(count in 2usize..20) {
-        // Walking outward from the middle, label ranks never decrease.
-        let labels = paper_labels(count);
-        let rank = |i: usize| {
-            labels[i]
-                .trim_start_matches('N')
-                .parse::<usize>()
-                .expect("rank")
-        };
-        let center = (count - 1) as f64 / 2.0;
-        let mut indices: Vec<usize> = (0..count).collect();
-        indices.sort_by(|&a, &b| {
-            (a as f64 - center)
-                .abs()
-                .partial_cmp(&(b as f64 - center).abs())
-                .expect("finite")
-        });
-        let ranks: Vec<usize> = indices.iter().map(|&i| rank(i)).collect();
-        for w in ranks.windows(2) {
-            prop_assert!(w[0] <= w[1] + 1, "ranks not outward-monotone: {ranks:?}");
-        }
-    }
+#[test]
+fn labels_grow_toward_the_edges() {
+    forall(
+        "labels_grow_toward_the_edges",
+        64,
+        &range(2usize..20),
+        |&count| {
+            // Walking outward from the middle, label ranks never decrease.
+            let labels = paper_labels(count);
+            let rank = |i: usize| {
+                labels[i]
+                    .trim_start_matches('N')
+                    .parse::<usize>()
+                    .expect("rank")
+            };
+            let center = (count - 1) as f64 / 2.0;
+            let mut indices: Vec<usize> = (0..count).collect();
+            indices.sort_by(|&a, &b| {
+                (a as f64 - center)
+                    .abs()
+                    .partial_cmp(&(b as f64 - center).abs())
+                    .expect("finite")
+            });
+            let ranks: Vec<usize> = indices.iter().map(|&i| rank(i)).collect();
+            for w in ranks.windows(2) {
+                check!(w[0] <= w[1] + 1, "ranks not outward-monotone: {ranks:?}");
+            }
+            Ok(())
+        },
+    );
 }

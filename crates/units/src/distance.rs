@@ -15,8 +15,10 @@ use std::ops::{Add, Mul, Sub};
 /// let d = Meters::new(2.0) + Meters::new(1.5);
 /// assert_eq!(d, Meters::new(3.5));
 /// ```
-#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct Meters(f64);
+
+nomc_json::json_newtype!(Meters: f64);
 
 impl Meters {
     /// Creates a distance.

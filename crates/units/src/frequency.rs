@@ -18,8 +18,10 @@ use std::ops::{Add, Sub};
 /// let b = Megahertz::new(2461.0);
 /// assert_eq!(b.distance_to(a), Megahertz::new(3.0));
 /// ```
-#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct Megahertz(f64);
+
+nomc_json::json_newtype!(Megahertz: f64);
 
 impl Megahertz {
     /// Creates a frequency from a raw MHz value.

@@ -26,21 +26,27 @@ use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
 /// let snr: Db = sig - noise;
 /// assert_eq!(snr, Db::new(35.0));
 /// ```
-#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct Dbm(f64);
+
+nomc_json::json_newtype!(Dbm: f64);
 
 /// A dimensionless power ratio in decibels.
 ///
 /// Used for gains, attenuations, rejection factors and SINR values.
-#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct Db(f64);
+
+nomc_json::json_newtype!(Db: f64);
 
 /// Linear power in milliwatts.
 ///
 /// This is the domain in which incoherent interference powers add, so it
 /// implements `Add`, `Sub` and `Sum`.
-#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct MilliWatts(f64);
+
+nomc_json::json_newtype!(MilliWatts: f64);
 
 impl Dbm {
     /// The smallest value we ever need to represent; used as a stand-in for

@@ -18,12 +18,16 @@ use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 /// let t = SimTime::ZERO + SimDuration::from_millis(3);
 /// assert_eq!(t.as_nanos(), 3_000_000);
 /// ```
-#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(u64);
 
+nomc_json::json_newtype!(SimTime: u64);
+
 /// A span of simulated time (nanoseconds).
-#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimDuration(u64);
+
+nomc_json::json_newtype!(SimDuration: u64);
 
 impl SimTime {
     /// The simulation epoch.
@@ -169,7 +173,11 @@ impl Add<SimDuration> for SimTime {
     type Output = SimTime;
     #[inline]
     fn add(self, rhs: SimDuration) -> SimTime {
-        SimTime(self.0.checked_add(rhs.0).expect("simulation clock overflow"))
+        SimTime(
+            self.0
+                .checked_add(rhs.0)
+                .expect("simulation clock overflow"),
+        )
     }
 }
 
@@ -335,9 +343,11 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut v = [SimTime::from_millis(3),
+        let mut v = [
+            SimTime::from_millis(3),
             SimTime::ZERO,
-            SimTime::from_micros(1)];
+            SimTime::from_micros(1),
+        ];
         v.sort();
         assert_eq!(v[0], SimTime::ZERO);
         assert_eq!(v[2], SimTime::from_millis(3));

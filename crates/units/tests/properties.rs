@@ -1,64 +1,98 @@
 //! Property-based tests for the units crate.
 
+use nomc_rngcore::check::{forall, range, zip2, zip3};
+use nomc_rngcore::{check, check_eq};
 use nomc_units::{Db, Dbm, Meters, MilliWatts, SimDuration, SimTime};
-use proptest::prelude::*;
 
-proptest! {
-    #[test]
-    fn dbm_mw_round_trip(v in -150.0f64..30.0) {
+#[test]
+fn dbm_mw_round_trip() {
+    forall("dbm_mw_round_trip", 64, &range(-150.0f64..30.0), |&v| {
         let back = Dbm::new(v).to_milliwatts().to_dbm().value();
-        prop_assert!((back - v).abs() < 1e-6);
-    }
+        check!((back - v).abs() < 1e-6, "{v} -> {back}");
+        Ok(())
+    });
+}
 
-    #[test]
-    fn dbm_ordering_preserved_in_linear(a in -150.0f64..30.0, b in -150.0f64..30.0) {
+#[test]
+fn dbm_ordering_preserved_in_linear() {
+    let g = zip2(range(-150.0f64..30.0), range(-150.0f64..30.0));
+    forall("dbm_ordering_preserved_in_linear", 64, &g, |&(a, b)| {
         let (da, db) = (Dbm::new(a), Dbm::new(b));
-        prop_assert_eq!(da < db, da.to_milliwatts() < db.to_milliwatts());
-    }
+        check_eq!(da < db, da.to_milliwatts() < db.to_milliwatts());
+        Ok(())
+    });
+}
 
-    #[test]
-    fn ratio_then_apply_is_identity(a in -150.0f64..30.0, b in -150.0f64..30.0) {
+#[test]
+fn ratio_then_apply_is_identity() {
+    let g = zip2(range(-150.0f64..30.0), range(-150.0f64..30.0));
+    forall("ratio_then_apply_is_identity", 64, &g, |&(a, b)| {
         let (da, db) = (Dbm::new(a), Dbm::new(b));
         let r: Db = da - db;
         let back = db + r;
-        prop_assert!((back.value() - a).abs() < 1e-9);
-    }
+        check!((back.value() - a).abs() < 1e-9, "{a} vs {}", back.value());
+        Ok(())
+    });
+}
 
-    #[test]
-    fn linear_sum_at_least_max(a in -120.0f64..10.0, b in -120.0f64..10.0) {
+#[test]
+fn linear_sum_at_least_max() {
+    let g = zip2(range(-120.0f64..10.0), range(-120.0f64..10.0));
+    forall("linear_sum_at_least_max", 64, &g, |&(a, b)| {
         let sum = (Dbm::new(a).to_milliwatts() + Dbm::new(b).to_milliwatts()).to_dbm();
-        prop_assert!(sum.value() >= a.max(b) - 1e-9);
+        check!(sum.value() >= a.max(b) - 1e-9, "{a} + {b} -> {sum:?}");
         // and at most 3.02 dB above the max
-        prop_assert!(sum.value() <= a.max(b) + 3.02);
-    }
+        check!(sum.value() <= a.max(b) + 3.02, "{a} + {b} -> {sum:?}");
+        Ok(())
+    });
+}
 
-    #[test]
-    fn time_add_sub_inverse(t in 0u64..u64::MAX / 4, d in 0u64..u64::MAX / 4) {
+#[test]
+fn time_add_sub_inverse() {
+    let g = zip2(range(0u64..u64::MAX / 4), range(0u64..u64::MAX / 4));
+    forall("time_add_sub_inverse", 64, &g, |&(t, d)| {
         let t0 = SimTime::from_nanos(t);
         let dur = SimDuration::from_nanos(d);
-        prop_assert_eq!((t0 + dur) - t0, dur);
-        prop_assert_eq!((t0 + dur) - dur, t0);
-    }
+        check_eq!((t0 + dur) - t0, dur);
+        check_eq!((t0 + dur) - dur, t0);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn duration_sum_is_associative(a in 0u64..1u64 << 40, b in 0u64..1u64 << 40, c in 0u64..1u64 << 40) {
+#[test]
+fn duration_sum_is_associative() {
+    let g = zip3(
+        range(0u64..1u64 << 40),
+        range(0u64..1u64 << 40),
+        range(0u64..1u64 << 40),
+    );
+    forall("duration_sum_is_associative", 64, &g, |&(a, b, c)| {
         let (a, b, c) = (
             SimDuration::from_nanos(a),
             SimDuration::from_nanos(b),
             SimDuration::from_nanos(c),
         );
-        prop_assert_eq!((a + b) + c, a + (b + c));
-    }
+        check_eq!((a + b) + c, a + (b + c));
+        Ok(())
+    });
+}
 
-    #[test]
-    fn meters_triangleish(a in 0.0f64..1e6, b in 0.0f64..1e6) {
+#[test]
+fn meters_triangleish() {
+    let g = zip2(range(0.0f64..1e6), range(0.0f64..1e6));
+    forall("meters_triangleish", 64, &g, |&(a, b)| {
         let s = Meters::new(a) + Meters::new(b);
-        prop_assert!(s.value() >= a.max(b));
-    }
+        check!(s.value() >= a.max(b), "{a} + {b} -> {s:?}");
+        Ok(())
+    });
+}
 
-    #[test]
-    fn milliwatts_never_negative(a in 0.0f64..1e3, b in 0.0f64..1e3) {
+#[test]
+fn milliwatts_never_negative() {
+    let g = zip2(range(0.0f64..1e3), range(0.0f64..1e3));
+    forall("milliwatts_never_negative", 64, &g, |&(a, b)| {
         let diff = MilliWatts::new(a) - MilliWatts::new(b);
-        prop_assert!(diff.value() >= 0.0);
-    }
+        check!(diff.value() >= 0.0, "{a} - {b} -> {diff:?}");
+        Ok(())
+    });
 }

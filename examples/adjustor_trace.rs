@@ -28,7 +28,11 @@ fn main() {
     }
     dcn.on_cochannel_packet(Dbm::new(-51.0), SimTime::from_millis(400));
     dcn.on_cochannel_packet(Dbm::new(-55.0), SimTime::from_millis(800));
-    show(&dcn, SimTime::from_millis(800), "collecting S_i / P_j records");
+    show(
+        &dcn,
+        SimTime::from_millis(800),
+        "collecting S_i / P_j records",
+    );
 
     // T_I elapses: Eq. 2 sets the initial threshold.
     dcn.on_tick(SimTime::from_secs(1));
@@ -37,7 +41,11 @@ fn main() {
 
     // Case I: a weaker co-channel competitor appears → lower immediately.
     dcn.on_cochannel_packet(Dbm::new(-74.0), SimTime::from_millis(1500));
-    show(&dcn, SimTime::from_millis(1500), "Case I: weak competitor heard");
+    show(
+        &dcn,
+        SimTime::from_millis(1500),
+        "Case I: weak competitor heard",
+    );
 
     // The weak competitor disappears; after T_U of silence Case II raises
     // the threshold back to the strongest remaining competitor.

@@ -47,9 +47,8 @@ fn sink_rate(channels: Vec<Megahertz>, policy: ChannelPolicy, dcn: bool) -> f64 
 fn main() {
     let start = Megahertz::new(2458.0);
     let width = Megahertz::new(15.0);
-    let zigbee =
-        ChannelPlan::fit(start, width, Megahertz::new(5.0), FitPolicy::InclusiveEnds)
-            .expect("plan fits");
+    let zigbee = ChannelPlan::fit(start, width, Megahertz::new(5.0), FitPolicy::InclusiveEnds)
+        .expect("plan fits");
     let dcn = ChannelPlan::fit(start, width, Megahertz::new(3.0), FitPolicy::InclusiveEnds)
         .expect("plan fits");
 

@@ -9,13 +9,13 @@
 //!
 //! Run with: `cargo run --release --example office_floor`
 
+use nomc_rngcore::SeedableRng;
 use nomc_sim::rng::Xoshiro256StarStar;
 use nomc_sim::{engine, NetworkBehavior, Scenario, SimResult};
 use nomc_topology::placement::{grid_cluster_centers, sample_link, Region};
 use nomc_topology::spectrum::{ChannelPlan, FitPolicy};
 use nomc_topology::{Deployment, LinkSpec, NetworkSpec};
 use nomc_units::{Dbm, Megahertz, SimDuration};
-use rand::SeedableRng;
 
 /// Six rooms on a 5 m grid; each room gets a channel from `freqs`
 /// (cycling when there are fewer channels than rooms).
@@ -56,12 +56,10 @@ fn run(freqs: &[Megahertz], dcn: bool, seed: u64) -> SimResult {
 fn main() {
     let start = Megahertz::new(2458.0);
     let width = Megahertz::new(15.0);
-    let zigbee_plan =
-        ChannelPlan::fit(start, width, Megahertz::new(5.0), FitPolicy::InclusiveEnds)
-            .expect("plan fits");
-    let dcn_plan =
-        ChannelPlan::fit(start, width, Megahertz::new(3.0), FitPolicy::InclusiveEnds)
-            .expect("plan fits");
+    let zigbee_plan = ChannelPlan::fit(start, width, Megahertz::new(5.0), FitPolicy::InclusiveEnds)
+        .expect("plan fits");
+    let dcn_plan = ChannelPlan::fit(start, width, Megahertz::new(3.0), FitPolicy::InclusiveEnds)
+        .expect("plan fits");
 
     println!("Six office rooms sharing 2458-2473 MHz (10 simulated seconds):\n");
     let zig = run(zigbee_plan.channels(), false, 7);

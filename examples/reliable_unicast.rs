@@ -5,12 +5,12 @@
 //! Run with: `cargo run --release --example reliable_unicast`
 
 use nomc_mac::CsmaParams;
+use nomc_rngcore::SeedableRng;
 use nomc_sim::rng::Xoshiro256StarStar;
 use nomc_sim::{engine, NetworkBehavior, Scenario, SimResult};
 use nomc_topology::paper;
 use nomc_topology::spectrum::ChannelPlan;
 use nomc_units::{Dbm, Megahertz, SimDuration};
-use rand::SeedableRng;
 
 fn run(dcn: bool, acked: bool, seed: u64) -> SimResult {
     let plan = ChannelPlan::with_count(Megahertz::new(2458.0), Megahertz::new(3.0), 5);

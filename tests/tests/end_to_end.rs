@@ -55,11 +55,7 @@ fn metric_invariants_hold() {
         }
         // Per-network totals must add up to the links.
         let total_links: u64 = result.links.iter().map(|l| l.received).sum();
-        let total_networks: u64 = result
-            .networks()
-            .iter()
-            .map(|n| n.totals.received)
-            .sum();
+        let total_networks: u64 = result.networks().iter().map(|n| n.totals.received).sum();
         assert_eq!(total_links, total_networks);
     }
 }
@@ -136,7 +132,10 @@ fn error_positions_flow_into_recovery() {
     .seed(8);
     let result = engine::run(&quick(&mut b));
     let link = &result.links[0];
-    assert!(link.crc_failed > 0, "severe interference must corrupt frames");
+    assert!(
+        link.crc_failed > 0,
+        "severe interference must corrupt frames"
+    );
     let mut analyzed = 0;
     for rec in &link.error_records {
         let positions = rec.positions.as_ref().expect("positions recorded");
@@ -160,7 +159,9 @@ fn cca_failure_policies_differ_when_blocked() {
     let mut behavior = NetworkBehavior::zigbee_default();
     behavior.threshold = ThresholdMode::Fixed(Dbm::new(-150.0));
     behavior.mac.on_failure = nomc_mac::CcaFailurePolicy::DropPacket;
-    b.behavior_all(behavior.clone()).radio(radio.clone()).seed(9);
+    b.behavior_all(behavior.clone())
+        .radio(radio.clone())
+        .seed(9);
     let dropped = engine::run(&quick(&mut b));
     assert_eq!(dropped.total_throughput(), 0.0);
 

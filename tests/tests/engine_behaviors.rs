@@ -74,11 +74,8 @@ fn dot11b_receiver_is_captured_by_foreign_channel() {
                 Dbm::new(0.0),
             )],
         );
-        let attacker = paper::standard_network(
-            Point::new(1.0, 2.5),
-            Megahertz::new(2442.0),
-            Dbm::new(0.0),
-        );
+        let attacker =
+            paper::standard_network(Point::new(1.0, 2.5), Megahertz::new(2442.0), Dbm::new(0.0));
         let mut b = Scenario::builder(Deployment::new(vec![victim, attacker]));
         if dot11b {
             b.radio(RadioConfig::dot11b_like());
@@ -158,7 +155,10 @@ fn warmup_scales_counters_not_rates() {
     let ratio = long_sent as f64 / short_sent as f64;
     assert!((1.8..=2.2).contains(&ratio), "counter ratio {ratio}");
     let rate_ratio = long.total_throughput() / short.total_throughput();
-    assert!((0.93..=1.07).contains(&rate_ratio), "rate ratio {rate_ratio}");
+    assert!(
+        (0.93..=1.07).contains(&rate_ratio),
+        "rate ratio {rate_ratio}"
+    );
 }
 
 /// A DCN network whose peers fall silent: Case II must raise the

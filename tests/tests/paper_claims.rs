@@ -43,7 +43,11 @@ fn claim_fairness() {
     // §VI-B-3 / Table I: throughput spread across DCN networks is small.
     let rows = table1::by_label(&cfg());
     let values: Vec<f64> = rows.iter().map(|r| r.1).collect();
-    assert!(table1::spread(&values) < 0.2, "spread {}", table1::spread(&values));
+    assert!(
+        table1::spread(&values) < 0.2,
+        "spread {}",
+        table1::spread(&values)
+    );
 }
 
 #[test]

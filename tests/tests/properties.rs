@@ -1,119 +1,134 @@
 //! Property-based integration tests: randomized scenarios must simulate
 //! without panics and uphold the metric invariants.
 
+use nomc_rngcore::check::{forall, just, one_of, range, vec_of, zip2, zip3, zip4, G};
+use nomc_rngcore::{check, check_eq};
 use nomc_sim::{engine, NetworkBehavior, Scenario, ThresholdMode, TrafficModel};
 use nomc_topology::spectrum::ChannelPlan;
 use nomc_topology::{Deployment, LinkSpec, NetworkSpec, Point};
 use nomc_units::{Dbm, Megahertz, SimDuration};
-use proptest::prelude::*;
 
 /// A randomized but always-valid deployment.
-fn arb_deployment() -> impl Strategy<Value = Deployment> {
-    (
-        1usize..=4,                 // networks
-        1usize..=3,                 // links per network
-        1.0f64..=5.0,               // cfd
-        prop::collection::vec((-8.0f64..8.0, -8.0f64..8.0, 0.5f64..4.0, -25.0f64..0.0), 12),
+fn arb_deployment() -> G<Deployment> {
+    zip4(
+        range(1usize..5),   // networks
+        range(1usize..4),   // links per network
+        range(1.0f64..5.0), // cfd
+        vec_of(
+            zip4(
+                range(-8.0f64..8.0),
+                range(-8.0f64..8.0),
+                range(0.5f64..4.0),
+                range(-25.0f64..0.0),
+            ),
+            12..13,
+        ),
     )
-        .prop_map(|(nets, links, cfd, coords)| {
-            let plan =
-                ChannelPlan::with_count(Megahertz::new(2458.0), Megahertz::new(cfd), nets);
-            let mut idx = 0;
-            let networks = plan
-                .channels()
-                .iter()
-                .map(|&freq| {
-                    let ls = (0..links)
-                        .map(|_| {
-                            let (x, y, d, p) = coords[idx % coords.len()];
-                            idx += 1;
-                            LinkSpec::new(
-                                Point::new(x, y),
-                                Point::new(x + d, y),
-                                Dbm::new(p),
-                            )
-                        })
-                        .collect();
-                    NetworkSpec::new(freq, ls)
-                })
-                .collect();
-            Deployment::new(networks)
-        })
+    .map(|(nets, links, cfd, coords)| {
+        let plan = ChannelPlan::with_count(Megahertz::new(2458.0), Megahertz::new(cfd), nets);
+        let mut idx = 0;
+        let networks = plan
+            .channels()
+            .iter()
+            .map(|&freq| {
+                let ls = (0..links)
+                    .map(|_| {
+                        let (x, y, d, p) = coords[idx % coords.len()];
+                        idx += 1;
+                        LinkSpec::new(Point::new(x, y), Point::new(x + d, y), Dbm::new(p))
+                    })
+                    .collect();
+                NetworkSpec::new(freq, ls)
+            })
+            .collect();
+        Deployment::new(networks)
+    })
 }
 
-fn arb_behavior() -> impl Strategy<Value = NetworkBehavior> {
-    prop_oneof![
-        Just(NetworkBehavior::zigbee_default()),
-        Just(NetworkBehavior::dcn_default()),
-        Just(NetworkBehavior::attacker(SimDuration::from_millis(4))),
-        (-95.0f64..-40.0).prop_map(|t| NetworkBehavior {
+fn arb_behavior() -> G<NetworkBehavior> {
+    one_of(vec![
+        just(NetworkBehavior::zigbee_default()),
+        just(NetworkBehavior::dcn_default()),
+        just(NetworkBehavior::attacker(SimDuration::from_millis(4))),
+        range(-95.0f64..-40.0).map(|t| NetworkBehavior {
             threshold: ThresholdMode::Fixed(Dbm::new(t)),
             ..NetworkBehavior::zigbee_default()
         }),
-    ]
+    ])
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+#[test]
+fn random_scenarios_simulate_cleanly() {
+    let g = zip3(arb_deployment(), arb_behavior(), range(0u64..1000));
+    forall(
+        "random_scenarios_simulate_cleanly",
+        12,
+        &g,
+        |(deployment, behavior, seed)| {
+            let mut b = Scenario::builder(deployment.clone());
+            b.behavior_all(behavior.clone())
+                .duration(SimDuration::from_secs(2))
+                .warmup(SimDuration::from_millis(500))
+                .seed(*seed);
+            let result = engine::run(&b.build().expect("builder accepts valid deployment"));
+            for link in &result.links {
+                check!(link.received <= link.sent);
+                check!(link.collided_received <= link.collided);
+                check!(
+                    link.received + link.crc_failed + link.sync_missed + link.receiver_busy
+                        <= link.sent
+                );
+            }
+            // Throughput is finite and non-negative.
+            let t = result.total_throughput();
+            check!(t.is_finite() && t >= 0.0);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn random_scenarios_simulate_cleanly(
-        deployment in arb_deployment(),
-        behavior in arb_behavior(),
-        seed in 0u64..1000,
-    ) {
-        let mut b = Scenario::builder(deployment);
-        b.behavior_all(behavior)
-            .duration(SimDuration::from_secs(2))
-            .warmup(SimDuration::from_millis(500))
-            .seed(seed);
-        let result = engine::run(&b.build().expect("builder accepts valid deployment"));
-        for link in &result.links {
-            prop_assert!(link.received <= link.sent);
-            prop_assert!(link.collided_received <= link.collided);
-            prop_assert!(
-                link.received + link.crc_failed + link.sync_missed + link.receiver_busy
-                    <= link.sent
-            );
-        }
-        // Throughput is finite and non-negative.
-        let t = result.total_throughput();
-        prop_assert!(t.is_finite() && t >= 0.0);
-    }
-
-    #[test]
-    fn same_seed_same_result(deployment in arb_deployment(), seed in 0u64..100) {
-        let mut b = Scenario::builder(deployment);
+#[test]
+fn same_seed_same_result() {
+    let g = zip2(arb_deployment(), range(0u64..100));
+    forall("same_seed_same_result", 12, &g, |(deployment, seed)| {
+        let mut b = Scenario::builder(deployment.clone());
         b.duration(SimDuration::from_secs(1))
             .warmup(SimDuration::from_millis(200))
-            .seed(seed);
+            .seed(*seed);
         let sc = b.build().expect("valid");
-        prop_assert_eq!(engine::run(&sc), engine::run(&sc));
-    }
+        check_eq!(engine::run(&sc), engine::run(&sc));
+        Ok(())
+    });
+}
 
-    #[test]
-    fn saturated_traffic_outpaces_slow_interval(
-        deployment in arb_deployment(),
-        seed in 0u64..100,
-    ) {
-        // Saturated sources always enqueue at least as much as a slow
-        // fixed-interval source on the same deployment.
-        let mut b = Scenario::builder(deployment.clone());
-        b.duration(SimDuration::from_secs(2))
+#[test]
+fn saturated_traffic_outpaces_slow_interval() {
+    let g = zip2(arb_deployment(), range(0u64..100));
+    forall(
+        "saturated_traffic_outpaces_slow_interval",
+        12,
+        &g,
+        |(deployment, seed)| {
+            // Saturated sources always enqueue at least as much as a slow
+            // fixed-interval source on the same deployment.
+            let mut b = Scenario::builder(deployment.clone());
+            b.duration(SimDuration::from_secs(2))
+                .warmup(SimDuration::from_millis(500))
+                .seed(*seed);
+            let saturated = engine::run(&b.build().expect("valid"));
+            let mut b = Scenario::builder(deployment.clone());
+            b.behavior_all(NetworkBehavior {
+                traffic: TrafficModel::Interval(SimDuration::from_millis(50)),
+                ..NetworkBehavior::zigbee_default()
+            })
+            .duration(SimDuration::from_secs(2))
             .warmup(SimDuration::from_millis(500))
-            .seed(seed);
-        let saturated = engine::run(&b.build().expect("valid"));
-        let mut b = Scenario::builder(deployment);
-        b.behavior_all(NetworkBehavior {
-            traffic: TrafficModel::Interval(SimDuration::from_millis(50)),
-            ..NetworkBehavior::zigbee_default()
-        })
-        .duration(SimDuration::from_secs(2))
-        .warmup(SimDuration::from_millis(500))
-        .seed(seed);
-        let slow = engine::run(&b.build().expect("valid"));
-        let sat_sent: u64 = saturated.links.iter().map(|l| l.sent).sum();
-        let slow_sent: u64 = slow.links.iter().map(|l| l.sent).sum();
-        prop_assert!(sat_sent >= slow_sent);
-    }
+            .seed(*seed);
+            let slow = engine::run(&b.build().expect("valid"));
+            let sat_sent: u64 = saturated.links.iter().map(|l| l.sent).sum();
+            let slow_sent: u64 = slow.links.iter().map(|l| l.sent).sum();
+            check!(sat_sent >= slow_sent);
+            Ok(())
+        },
+    );
 }

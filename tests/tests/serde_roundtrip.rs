@@ -1,13 +1,13 @@
-//! Serde round-trip tests: every paper configuration survives JSON
+//! JSON round-trip tests: every paper configuration survives JSON
 //! serialization bit-exactly (the `nomc` CLI depends on this), and old
 //! scenario files without the newer optional fields still load.
 
+use nomc_rngcore::SeedableRng;
 use nomc_sim::rng::Xoshiro256StarStar;
 use nomc_sim::{engine, NetworkBehavior, Scenario, TrafficModel};
-use nomc_topology::spectrum::ChannelPlan;
 use nomc_topology::paper;
+use nomc_topology::spectrum::ChannelPlan;
 use nomc_units::{Dbm, Megahertz, SimDuration};
-use rand::SeedableRng;
 
 fn scenarios() -> Vec<Scenario> {
     let plan = ChannelPlan::with_count(Megahertz::new(2458.0), Megahertz::new(3.0), 5);
@@ -52,9 +52,27 @@ fn scenarios() -> Vec<Scenario> {
 #[test]
 fn every_paper_scenario_round_trips_exactly() {
     for (i, sc) in scenarios().into_iter().enumerate() {
-        let json = serde_json::to_string(&sc).expect("serializes");
-        let back: Scenario = serde_json::from_str(&json).expect("deserializes");
+        let json = nomc_json::to_string(&sc);
+        let back: Scenario = nomc_json::from_str(&json).expect("deserializes");
         assert_eq!(back, sc, "scenario {i} did not round-trip");
+    }
+}
+
+#[test]
+fn serialize_parse_serialize_is_fixpoint() {
+    // The CLI writes scenario files with the same codec it reads them
+    // with; serialize -> parse -> serialize must be textually stable.
+    for (i, sc) in scenarios().into_iter().enumerate() {
+        let first = nomc_json::to_string(&sc);
+        let reparsed: Scenario = nomc_json::from_str(&first).expect("parses");
+        assert_eq!(first, nomc_json::to_string(&reparsed), "scenario {i}");
+        let pretty = nomc_json::to_string_pretty(&sc);
+        let reparsed: Scenario = nomc_json::from_str(&pretty).expect("parses");
+        assert_eq!(
+            pretty,
+            nomc_json::to_string_pretty(&reparsed),
+            "scenario {i} (pretty)"
+        );
     }
 }
 
@@ -64,8 +82,8 @@ fn round_tripped_scenario_simulates_identically() {
         sc.duration = SimDuration::from_secs(2);
         sc.warmup = SimDuration::from_millis(500);
         sc.record_trace = false; // keep the comparison light
-        let json = serde_json::to_string(&sc).unwrap();
-        let back: Scenario = serde_json::from_str(&json).unwrap();
+        let json = nomc_json::to_string(&sc);
+        let back: Scenario = nomc_json::from_str(&json).unwrap();
         assert_eq!(engine::run(&sc), engine::run(&back));
     }
 }
@@ -76,7 +94,7 @@ fn legacy_scenario_without_new_fields_loads() {
     // added after the first release (ACK knobs, trace flag, per-link
     // traffic) — an old file must still deserialize with the defaults.
     let sc = &scenarios()[0];
-    let mut v: serde_json::Value = serde_json::to_value(sc).unwrap();
+    let mut v: nomc_json::Json = nomc_json::to_value(sc);
     v.as_object_mut().unwrap().remove("record_trace");
     v.as_object_mut().unwrap().remove("link_traffic");
     for b in v["behaviors"].as_array_mut().unwrap() {
@@ -85,7 +103,7 @@ fn legacy_scenario_without_new_fields_loads() {
         mac.remove("max_frame_retries");
         mac.remove("ack_wait");
     }
-    let back: Scenario = serde_json::from_value(v).expect("legacy file loads");
+    let back: Scenario = nomc_json::from_value(&v).expect("legacy file loads");
     assert!(!back.record_trace);
     assert!(back.link_traffic.is_empty());
     for b in &back.behaviors {
@@ -98,9 +116,9 @@ fn legacy_scenario_without_new_fields_loads() {
 #[test]
 fn reports_serialize_for_regression_tooling() {
     use nomc_experiments::report::Report;
-    let mut r = Report::new("t", "serde smoke", &["a", "b"]);
+    let mut r = Report::new("t", "json smoke", &["a", "b"]);
     r.row(["1", "2"]).note("n");
-    let v: serde_json::Value = serde_json::from_str(&r.to_json()).unwrap();
+    let v: nomc_json::Json = r.to_json_string().parse().unwrap();
     assert_eq!(v["columns"][1], "b");
     assert_eq!(v["notes"][0], "n");
 }
