@@ -24,7 +24,7 @@ pub fn shadowing(cfg: &ExpConfig) -> Report {
         let cprr = |cfd: f64| {
             let results = runner::run_seeds(cfg, |seed| {
                 let mut sc = fig03::scenario(cfd, seed);
-                sc.propagation.shadowing = Shadowing::new(sigma);
+                sc.propagation.shadowing = Shadowing::new(Db::new(sigma));
                 sc
             });
             results

@@ -120,7 +120,7 @@ mod tests {
         let plan = ChannelPlan::with_count(Megahertz::new(2460.0), Megahertz::new(5.0), 1);
         let mut b = Scenario::builder(paper::line_deployment(&plan, Dbm::new(0.0)));
         b.seed(seed);
-        b.build().unwrap()
+        b.build().expect("builder-validated test scenario")
     }
 
     #[test]

@@ -1,0 +1,54 @@
+//! The diagnostic type shared by every rule.
+
+use std::fmt;
+
+/// One finding, anchored to a file and 1-based line.
+///
+/// The `Display` form is the machine-readable format CI consumes:
+/// `file:line: rule-id: message`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// Path relative to the workspace root, `/`-separated.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Stable rule identifier (`determinism`, `unit-safety`, …).
+    pub rule: &'static str,
+    /// Human-readable explanation with the suggested fix.
+    pub message: String,
+}
+
+impl Diagnostic {
+    pub fn new(file: &str, line: usize, rule: &'static str, message: String) -> Self {
+        Diagnostic {
+            file: file.to_string(),
+            line,
+            rule,
+            message,
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_machine_readable() {
+        let d = Diagnostic::new("crates/sim/src/engine.rs", 42, "determinism", "msg".into());
+        assert_eq!(
+            d.to_string(),
+            "crates/sim/src/engine.rs:42: determinism: msg"
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! The `nomc-lint` binary: walks a workspace and prints diagnostics in
+//! the machine-readable `file:line: rule-id: message` format.
+//!
+//! Usage: `nomc-lint [--list-rules] [ROOT]` (ROOT defaults to `.`).
+//! Exit status: 0 clean, 1 diagnostics found, 2 usage/IO error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--list-rules" => {
+                for rule in nomc_lint::rules::ALL {
+                    println!("{rule}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("usage: nomc-lint [--list-rules] [ROOT]");
+                return ExitCode::SUCCESS;
+            }
+            _ if arg.starts_with('-') => {
+                eprintln!("nomc-lint: unknown option `{arg}`");
+                return ExitCode::from(2);
+            }
+            _ if root.is_none() => root = Some(PathBuf::from(arg)),
+            _ => {
+                eprintln!("nomc-lint: at most one ROOT argument is accepted");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = root.unwrap_or_else(|| PathBuf::from("."));
+    let report = match nomc_lint::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("nomc-lint: {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    for d in &report.diagnostics {
+        println!("{d}");
+    }
+    if report.diagnostics.is_empty() {
+        eprintln!("nomc-lint: clean ({} files scanned)", report.files_scanned);
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "nomc-lint: {} diagnostic(s) across {} files",
+            report.diagnostics.len(),
+            report.files_scanned
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,146 @@
+//! Rule `dep-audit`: the workspace is hermetic — every dependency is an
+//! in-tree `nomc-*` path crate, so the whole CI gate runs offline and
+//! results never shift under a registry update. This rule replaces the
+//! old `cargo tree | grep` shell audit in `ci.sh`: it scans every
+//! `Cargo.toml` and flags any dependency that is not a `nomc-*` crate
+//! resolved by `path`/`workspace`. In a path-only workspace the
+//! manifest graph *is* the full dependency graph, so this is equivalent
+//! to the `cargo tree` check while needing no cargo invocation.
+//!
+//! The escape hatch is a TOML comment: `# nomc-lint: allow(dep-audit)`
+//! on the dependency line or the line above.
+
+use crate::diag::Diagnostic;
+use crate::source::comment_allows;
+
+pub const RULE: &str = "dep-audit";
+
+pub fn check(rel_path: &str, content: &str, out: &mut Vec<Diagnostic>) {
+    let mut section = String::new();
+    let mut prev_line_allows = false;
+    for (idx, raw) in content.lines().enumerate() {
+        let (code, comment) = split_toml_comment(raw);
+        let allowed = prev_line_allows || comment_allows(comment, RULE);
+        prev_line_allows = code.trim().is_empty() && comment_allows(comment, RULE);
+        let t = code.trim();
+        if t.starts_with('[') {
+            section = t.trim_matches(['[', ']']).trim().to_string();
+            continue;
+        }
+        if !is_dep_section(&section) || allowed {
+            continue;
+        }
+        let Some((lhs, rhs)) = t.split_once('=') else {
+            continue;
+        };
+        let key = lhs.trim().trim_matches('"');
+        // Dotted keys: `nomc-units.workspace = true`.
+        let (name, dotted) = match key.split_once('.') {
+            Some((n, d)) => (n, Some(d)),
+            None => (key, None),
+        };
+        if name.is_empty() {
+            continue;
+        }
+        let rhs = rhs.trim();
+        let in_tree_shape = rhs.contains("path")
+            || rhs.contains("workspace")
+            || matches!(dotted, Some("path") | Some("workspace"));
+        if !name.starts_with("nomc-") {
+            out.push(Diagnostic::new(
+                rel_path,
+                idx + 1,
+                RULE,
+                format!(
+                    "external dependency `{name}`; the workspace is hermetic — only \
+                     in-tree nomc-* path crates are allowed"
+                ),
+            ));
+        } else if !in_tree_shape {
+            out.push(Diagnostic::new(
+                rel_path,
+                idx + 1,
+                RULE,
+                format!(
+                    "dependency `{name}` is not resolved by path/workspace; registry \
+                     and git sources are forbidden in the hermetic workspace"
+                ),
+            ));
+        }
+    }
+}
+
+fn is_dep_section(section: &str) -> bool {
+    section == "dependencies"
+        || section == "dev-dependencies"
+        || section == "build-dependencies"
+        || section.ends_with(".dependencies")
+        || section.ends_with(".dev-dependencies")
+        || section.ends_with(".build-dependencies")
+}
+
+/// Splits a TOML line into (code, comment) at the first `#` outside a
+/// quoted string.
+fn split_toml_comment(line: &str) -> (&str, &str) {
+    let bytes = line.as_bytes();
+    let mut in_str = false;
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            b'"' => in_str = !in_str,
+            b'#' if !in_str => return (&line[..i], &line[i + 1..]),
+            _ => {}
+        }
+    }
+    (line, "")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(toml: &str) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        check("crates/x/Cargo.toml", toml, &mut out);
+        out
+    }
+
+    #[test]
+    fn registry_and_git_deps_are_flagged() {
+        let toml = "[dependencies]\nserde = \"1.0\"\nrand = { version = \"0.8\" }\ntokio = { git = \"https://example\" }\n";
+        let d = lint(toml);
+        assert_eq!(d.len(), 3);
+        assert!(d[0].message.contains("serde"));
+        assert_eq!(d[0].line, 2);
+    }
+
+    #[test]
+    fn nomc_path_and_workspace_deps_pass() {
+        let toml = "[dependencies]\nnomc-units.workspace = true\nnomc-json = { path = \"../json\" }\n\n[dev-dependencies]\nnomc-rngcore = { workspace = true }\n";
+        assert!(lint(toml).is_empty());
+    }
+
+    #[test]
+    fn nomc_named_registry_dep_is_flagged() {
+        let d = lint("[dependencies]\nnomc-extra = \"1.0\"\n");
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("path/workspace"));
+    }
+
+    #[test]
+    fn non_dep_sections_are_ignored() {
+        let toml = "[package]\nname = \"serde\"\nversion = \"1.0\"\n\n[features]\nrand = []\n";
+        assert!(lint(toml).is_empty());
+    }
+
+    #[test]
+    fn workspace_dependencies_section_is_audited() {
+        let d = lint("[workspace.dependencies]\nserde = { version = \"1\" }\n");
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn allow_comment_suppresses() {
+        let toml = "[dependencies]\n# nomc-lint: allow(dep-audit)\nvendored = { path = \"../vendored\" }\nother = { path = \"../other\" } # nomc-lint: allow(dep-audit)\n";
+        assert!(lint(toml).is_empty());
+    }
+}

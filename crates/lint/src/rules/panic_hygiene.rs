@@ -1,0 +1,149 @@
+//! Rule `panic-hygiene`: the simulator hot path (`crates/sim/src/
+//! engine.rs`, `medium.rs`) executes millions of events per run; a
+//! panic there aborts a whole sweep with no indication of which
+//! invariant broke. Outside `#[cfg(test)]`, the hot path must not use:
+//!
+//! - bare `.unwrap()` — use `.expect("…invariant…")` so the abort names
+//!   the violated assumption, or return an error;
+//! - `panic!` / `unreachable!` / `todo!` / `unimplemented!`;
+//! - slice indexing with a literal index (`xs[0]`) — use `.first()` /
+//!   `.get(…)` with an explicit invariant message.
+//!
+//! Identifier-based indexing (`nodes[id]`) is *not* flagged: the engine
+//! mints every `NodeId`/link index itself, so those are in-bounds by
+//! construction, and a line scanner cannot separate them from map
+//! lookups anyway (see DESIGN.md §8 for the scope rationale).
+
+use crate::diag::Diagnostic;
+use crate::rules::ident_positions;
+use crate::source::SourceFile;
+
+pub const RULE: &str = "panic-hygiene";
+
+const HOT_PATH: &[&str] = &["crates/sim/src/engine.rs", "crates/sim/src/medium.rs"];
+
+const MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+pub fn in_scope(rel_path: &str) -> bool {
+    HOT_PATH.contains(&rel_path)
+}
+
+pub fn check(rel_path: &str, sf: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if !in_scope(rel_path) {
+        return;
+    }
+    for (idx, line) in sf.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let code = &line.code;
+        if code.contains(".unwrap()") {
+            out.push(Diagnostic::new(
+                rel_path,
+                idx + 1,
+                RULE,
+                "bare `.unwrap()` in the sim hot path; use `.expect(\"…invariant…\")` \
+                 or return an error"
+                    .to_string(),
+            ));
+        }
+        for &m in MACROS {
+            if ident_positions(code, m)
+                .iter()
+                .any(|&p| code.as_bytes().get(p + m.len()) == Some(&b'!'))
+            {
+                out.push(Diagnostic::new(
+                    rel_path,
+                    idx + 1,
+                    RULE,
+                    format!("`{m}!` in the sim hot path; handle the case or return an error"),
+                ));
+            }
+        }
+        for literal in literal_indexes(code) {
+            out.push(Diagnostic::new(
+                rel_path,
+                idx + 1,
+                RULE,
+                format!(
+                    "literal slice index `[{literal}]` in the sim hot path can panic; \
+                     use `.first()`/`.get({literal})` with an invariant message"
+                ),
+            ));
+        }
+    }
+}
+
+/// Finds `expr[<integer literal>]` index expressions: a `[` directly
+/// following an identifier/`)`/`]`, whose bracketed content is all
+/// digits (plus `_` separators).
+fn literal_indexes(code: &str) -> Vec<&str> {
+    let bytes = code.as_bytes();
+    let mut out = Vec::new();
+    for i in 1..bytes.len() {
+        if bytes[i] != b'[' {
+            continue;
+        }
+        let prev = bytes[i - 1];
+        if !(crate::rules::is_ident_byte(prev) || prev == b')' || prev == b']') {
+            continue;
+        }
+        let Some(close) = code[i..].find(']') else {
+            continue;
+        };
+        let inner = &code[i + 1..i + close];
+        if !inner.is_empty() && inner.bytes().all(|b| b.is_ascii_digit() || b == b'_') {
+            out.push(inner);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(src: &str) -> Vec<Diagnostic> {
+        let sf = SourceFile::parse(src);
+        let mut out = Vec::new();
+        check("crates/sim/src/engine.rs", &sf, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_unwrap_panic_and_literal_index() {
+        let src = "fn f(xs: &[u64]) -> u64 {\n    let a = xs[0];\n    let b: u64 = s.parse().unwrap();\n    panic!(\"boom\");\n}\n";
+        let d = lint(src);
+        assert_eq!(d.len(), 3);
+        assert_eq!(d[0].line, 2);
+        assert_eq!(d[1].line, 3);
+        assert_eq!(d[2].line, 4);
+    }
+
+    #[test]
+    fn expect_and_ident_index_are_fine() {
+        let src = "fn f(xs: &[u64], i: usize) -> u64 {\n    xs[i] + *xs.first().expect(\"non-empty by construction\")\n}\n";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn array_type_and_literal_array_are_not_indexes() {
+        let src = "fn f() {\n    let a: [u8; 4] = [0, 1, 2, 3];\n    let b = vec![0u8];\n}\n";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn test_modules_are_exempt() {
+        let src =
+            "#[cfg(test)]\nmod tests {\n    fn t() { let x = \"1\".parse::<u64>().unwrap(); }\n}\n";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn only_hot_path_files_are_checked() {
+        let sf = SourceFile::parse("fn f() { panic!(\"x\"); }\n");
+        let mut out = Vec::new();
+        check("crates/sim/src/metrics.rs", &sf, &mut out);
+        assert!(out.is_empty());
+    }
+}

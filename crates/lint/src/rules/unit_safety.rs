@@ -1,0 +1,312 @@
+//! Rule `unit-safety`: public functions in the physical-layer crates
+//! (`phy`, `mac`, `core`, `radio`) must not take raw `f64` parameters
+//! whose names carry a physical unit (`_dbm`, `_mhz`, `_secs`, `rssi`,
+//! …). The workspace has `nomc-units` newtypes (`Dbm`, `Db`,
+//! `Megahertz`, `SimDuration`, `Meters`, …) precisely so that a dBm
+//! value cannot be passed where a dB offset is expected; raw `f64`s at
+//! public API boundaries reopen that hole.
+//!
+//! Dimensionless `f64` parameters (probabilities, exponents, ratios)
+//! are fine — the rule only fires when a `_`-separated segment of the
+//! parameter name is a unit token.
+
+use crate::diag::Diagnostic;
+use crate::rules::{is_ident_at, is_ident_byte};
+use crate::source::SourceFile;
+
+pub const RULE: &str = "unit-safety";
+
+const SCOPES: &[&str] = &[
+    "crates/phy/src/",
+    "crates/mac/src/",
+    "crates/core/src/",
+    "crates/radio/src/",
+];
+
+/// Unit vocabulary, matched against `_`-separated name segments.
+const VOCAB: &[&str] = &[
+    "dbm",
+    "db",
+    "dbi",
+    "mhz",
+    "khz",
+    "ghz",
+    "hz",
+    "rssi",
+    "snr",
+    "sinr",
+    "lqi",
+    "mw",
+    "milliwatts",
+    "watts",
+    "secs",
+    "sec",
+    "ms",
+    "us",
+    "ns",
+    "millis",
+    "micros",
+    "nanos",
+];
+
+pub fn in_scope(rel_path: &str) -> bool {
+    SCOPES.iter().any(|s| rel_path.starts_with(s))
+}
+
+pub fn check(rel_path: &str, sf: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if !in_scope(rel_path) {
+        return;
+    }
+    // Join non-test code lines (test lines become empty) so signatures
+    // spanning lines parse naturally; remember where each line starts.
+    let mut text = String::new();
+    let mut line_of = Vec::new(); // (byte offset of line start, 1-based line)
+    for (idx, line) in sf.lines.iter().enumerate() {
+        line_of.push((text.len(), idx + 1));
+        if !line.in_test {
+            text.push_str(&line.code);
+        }
+        text.push('\n');
+    }
+    let to_line = |offset: usize| -> usize {
+        match line_of.binary_search_by_key(&offset, |&(o, _)| o) {
+            Ok(i) => line_of[i].1,
+            Err(i) => line_of[i - 1].1,
+        }
+    };
+
+    let bytes = text.as_bytes();
+    let mut from = 0;
+    while let Some(rel) = text[from..].find("pub") {
+        let pos = from + rel;
+        from = pos + 3;
+        if !is_ident_at(&text, pos, "pub") {
+            continue;
+        }
+        let Some((fn_name, params)) = parse_pub_fn(&text, bytes, pos + 3) else {
+            continue;
+        };
+        for param in split_top_level(params, ',') {
+            let Some((pat, ty)) = split_once_top_level(param, ':') else {
+                continue;
+            };
+            if ty.trim() != "f64" {
+                continue;
+            }
+            let name = pat
+                .trim()
+                .rsplit(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+                .next()
+                .unwrap_or("")
+                .to_string();
+            if name.is_empty() || name == "_" {
+                continue;
+            }
+            let lower = name.to_ascii_lowercase();
+            if lower.split('_').any(|seg| VOCAB.contains(&seg)) {
+                out.push(Diagnostic::new(
+                    rel_path,
+                    to_line(pos),
+                    RULE,
+                    format!(
+                        "public fn `{fn_name}` takes unit-carrying raw f64 parameter \
+                         `{name}`; use the nomc-units newtype (Dbm, Db, Megahertz, \
+                         SimDuration, Meters, …)"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// From just after a `pub` keyword, parses an optional visibility
+/// restriction + qualifiers + `fn name <generics> ( params )`.
+/// Returns `(name, params)` or `None` if this `pub` is not a function.
+fn parse_pub_fn<'a>(text: &'a str, bytes: &[u8], mut i: usize) -> Option<(&'a str, &'a str)> {
+    i = skip_ws(bytes, i);
+    // pub(crate), pub(in path), …
+    if bytes.get(i) == Some(&b'(') {
+        i = skip_group(bytes, i, b'(', b')')?;
+        i = skip_ws(bytes, i);
+    }
+    // Qualifiers before `fn`.
+    loop {
+        let start = i;
+        while bytes.get(i).is_some_and(|&b| is_ident_byte(b)) {
+            i += 1;
+        }
+        let word = &text[start..i];
+        match word {
+            "fn" => break,
+            "const" | "unsafe" | "async" | "extern" => {
+                i = skip_ws(bytes, i);
+                if bytes.get(i) == Some(&b'"') {
+                    // extern "C"
+                    i += 1;
+                    while bytes.get(i).is_some_and(|&b| b != b'"') {
+                        i += 1;
+                    }
+                    i += 1;
+                    i = skip_ws(bytes, i);
+                }
+            }
+            _ => return None, // pub struct / pub use / pub mod / …
+        }
+        if word == "fn" {
+            break;
+        }
+    }
+    i = skip_ws(bytes, i);
+    let name_start = i;
+    while bytes.get(i).is_some_and(|&b| is_ident_byte(b)) {
+        i += 1;
+    }
+    if i == name_start {
+        return None;
+    }
+    let name = &text[name_start..i];
+    i = skip_ws(bytes, i);
+    // Generics (may contain `Fn(f64) -> f64`; `->` must not close `<`).
+    if bytes.get(i) == Some(&b'<') {
+        let mut depth = 0i32;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'<' => depth += 1,
+                b'>' if i > 0 && bytes[i - 1] == b'-' => {}
+                b'>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        i = skip_ws(bytes, i);
+    }
+    if bytes.get(i) != Some(&b'(') {
+        return None;
+    }
+    let end = skip_group(bytes, i, b'(', b')')?;
+    Some((name, &text[i + 1..end - 1]))
+}
+
+fn skip_ws(bytes: &[u8], mut i: usize) -> usize {
+    while bytes.get(i).is_some_and(|b| b.is_ascii_whitespace()) {
+        i += 1;
+    }
+    i
+}
+
+/// From an opening delimiter at `i`, returns the index just past its
+/// matching closer.
+fn skip_group(bytes: &[u8], mut i: usize, open: u8, close: u8) -> Option<usize> {
+    let mut depth = 0i32;
+    while i < bytes.len() {
+        if bytes[i] == open {
+            depth += 1;
+        } else if bytes[i] == close {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i + 1);
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Splits on `sep` at bracket/angle depth 0 (`->` protects its `>`).
+fn split_top_level(s: &str, sep: char) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut start = 0;
+    let bytes = s.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            b'(' | b'[' | b'<' => depth += 1,
+            b'>' if i > 0 && bytes[i - 1] == b'-' => {}
+            b')' | b']' | b'>' => depth -= 1,
+            _ if b == sep as u8 && depth == 0 => {
+                out.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    out.push(&s[start..]);
+    out
+}
+
+fn split_once_top_level(s: &str, sep: char) -> Option<(&str, &str)> {
+    let parts = split_top_level(s, sep);
+    if parts.len() < 2 {
+        return None;
+    }
+    let first = parts[0];
+    Some((first, &s[first.len() + 1..]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(src: &str) -> Vec<Diagnostic> {
+        let sf = SourceFile::parse(src);
+        let mut out = Vec::new();
+        check("crates/phy/src/fixture.rs", &sf, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_unit_named_f64_params() {
+        let d = lint("pub fn new(freq_mhz: f64) -> Self { Self }\n");
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("freq_mhz"));
+    }
+
+    #[test]
+    fn multiline_signature_reports_fn_line() {
+        let d = lint(
+            "impl X {\n    pub fn set(\n        &mut self,\n        level_dbm: f64,\n    ) {}\n}\n",
+        );
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 2);
+    }
+
+    #[test]
+    fn dimensionless_f64_is_fine() {
+        assert!(lint("pub fn ber(p: f64, exponent: f64, target: f64) -> f64 { p }\n").is_empty());
+    }
+
+    #[test]
+    fn newtype_params_are_fine() {
+        assert!(lint("pub fn set(level: Dbm, freq: Megahertz) {}\n").is_empty());
+    }
+
+    #[test]
+    fn private_fns_are_not_public_api() {
+        assert!(lint("fn helper(sigma_db: f64) {}\n").is_empty());
+    }
+
+    #[test]
+    fn generic_fn_params_still_parse() {
+        let d = lint("pub fn map<F: Fn(f64) -> f64>(gain_db: f64, f: F) -> f64 { f(gain_db) }\n");
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn pub_crate_counts_as_public_api() {
+        assert_eq!(lint("pub(crate) fn tune(freq_mhz: f64) {}\n").len(), 1);
+    }
+
+    #[test]
+    fn out_of_scope_crates_ignored() {
+        let sf = SourceFile::parse("pub fn new(freq_mhz: f64) {}\n");
+        let mut out = Vec::new();
+        check("crates/units/src/frequency.rs", &sf, &mut out);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,329 @@
+//! Rust source scanning: a small lexer that strips comments and blanks
+//! string/char-literal contents so rules can pattern-match on *code*
+//! without tripping over prose, plus `#[cfg(test)]` region masking and
+//! `// nomc-lint: allow(<rule>)` escape-hatch parsing.
+//!
+//! This is deliberately not a full parser: the rules it feeds are
+//! line-oriented token checks, so a faithful per-line "code view" +
+//! "comment view" is all they need. The lexer understands line and
+//! (nested) block comments, regular/byte strings with escapes, raw
+//! strings up to any `#` arity, char literals, and lifetimes.
+
+/// One scanned source line.
+#[derive(Debug, Default)]
+pub struct Line {
+    /// The line with comments removed and string/char contents blanked.
+    pub code: String,
+    /// Concatenated comment text found on the line.
+    pub comment: String,
+    /// True when the line sits inside a `#[cfg(test)]` item.
+    pub in_test: bool,
+}
+
+/// A scanned file: the unit every source rule operates on.
+#[derive(Debug)]
+pub struct SourceFile {
+    pub lines: Vec<Line>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(usize),
+}
+
+impl SourceFile {
+    pub fn parse(content: &str) -> SourceFile {
+        let mut lines = lex(content);
+        mark_test_regions(&mut lines);
+        SourceFile { lines }
+    }
+
+    /// Whether diagnostics of `rule` on 1-based `line` are suppressed by
+    /// an allow directive on that line, or on a pure comment line
+    /// directly above it.
+    pub fn allows(&self, line: usize, rule: &str) -> bool {
+        let get = |idx: Option<usize>| idx.and_then(|i| self.lines.get(i));
+        if get(line.checked_sub(1)).is_some_and(|l| comment_allows(&l.comment, rule)) {
+            return true;
+        }
+        get(line.checked_sub(2))
+            .is_some_and(|l| l.code.trim().is_empty() && comment_allows(&l.comment, rule))
+    }
+}
+
+/// Parses `nomc-lint: allow(a, b, …)` out of comment text.
+pub fn comment_allows(comment: &str, rule: &str) -> bool {
+    let Some(at) = comment.find("nomc-lint:") else {
+        return false;
+    };
+    let rest = &comment[at + "nomc-lint:".len()..];
+    let Some(open) = rest.find("allow(") else {
+        return false;
+    };
+    let rest = &rest[open + "allow(".len()..];
+    let Some(close) = rest.find(')') else {
+        return false;
+    };
+    rest[..close].split(',').any(|r| r.trim() == rule)
+}
+
+fn lex(content: &str) -> Vec<Line> {
+    let chars: Vec<char> = content.chars().collect();
+    let mut lines = Vec::new();
+    let mut cur = Line::default();
+    let mut state = State::Code;
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            lines.push(std::mem::take(&mut cur));
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    state = State::LineComment;
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(1);
+                    i += 2;
+                } else if c == '"' {
+                    cur.code.push('"');
+                    state = State::Str;
+                    i += 1;
+                } else if (c == 'r' || c == 'b') && !prev_is_ident(&chars, i) {
+                    // Possible raw/byte string prefix: r"", r#""#, b"", br"".
+                    let mut j = i + 1;
+                    if c == 'b' && chars.get(j) == Some(&'r') {
+                        j += 1;
+                    }
+                    let mut hashes = 0;
+                    while chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    let raw = j > i + 1 || c == 'r';
+                    if chars.get(j) == Some(&'"') {
+                        for &p in &chars[i..=j] {
+                            cur.code.push(p);
+                        }
+                        state = if raw && (hashes > 0 || chars[j - 1] == 'r' || c == 'r') {
+                            State::RawStr(hashes)
+                        } else {
+                            State::Str
+                        };
+                        i = j + 1;
+                    } else {
+                        cur.code.push(c);
+                        i += 1;
+                    }
+                } else if c == '\'' {
+                    // Char literal vs lifetime.
+                    if next == Some('\\') {
+                        // Escaped char literal: consume to the closing quote.
+                        cur.code.push('\'');
+                        i += 1;
+                        while i < chars.len() && chars[i] != '\n' {
+                            if chars[i] == '\\' {
+                                i += 2;
+                                cur.code.push(' ');
+                            } else if chars[i] == '\'' {
+                                cur.code.push('\'');
+                                i += 1;
+                                break;
+                            } else {
+                                cur.code.push(' ');
+                                i += 1;
+                            }
+                        }
+                    } else if chars.get(i + 2) == Some(&'\'') && next != Some('\'') {
+                        cur.code.push('\'');
+                        cur.code.push(' ');
+                        cur.code.push('\'');
+                        i += 3;
+                    } else {
+                        // A lifetime (`'a`): keep the tick, scan on.
+                        cur.code.push('\'');
+                        i += 1;
+                    }
+                } else {
+                    cur.code.push(c);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                cur.comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                } else if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else {
+                    cur.comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    cur.code.push(' ');
+                    if chars.get(i + 1).is_some_and(|&n| n != '\n') {
+                        cur.code.push(' ');
+                        i += 1;
+                    }
+                    i += 1;
+                } else if c == '"' {
+                    cur.code.push('"');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    cur.code.push(' ');
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' && (0..hashes).all(|k| chars.get(i + 1 + k) == Some(&'#')) {
+                    cur.code.push('"');
+                    for _ in 0..hashes {
+                        cur.code.push('#');
+                    }
+                    state = State::Code;
+                    i += 1 + hashes;
+                } else {
+                    cur.code.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    if !cur.code.is_empty() || !cur.comment.is_empty() {
+        lines.push(cur);
+    }
+    lines
+}
+
+fn prev_is_ident(chars: &[char], i: usize) -> bool {
+    i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_')
+}
+
+/// Marks every line belonging to a `#[cfg(test)]` item (attribute line,
+/// the item header, and the full brace-delimited body).
+fn mark_test_regions(lines: &mut [Line]) {
+    let mut depth: i64 = 0;
+    let mut armed = false;
+    let mut test_at: Option<i64> = None;
+    for line in lines.iter_mut() {
+        if line.code.contains("cfg(test)") {
+            armed = true;
+        }
+        let mut in_test = armed || test_at.is_some();
+        for c in line.code.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    if armed {
+                        test_at = Some(depth);
+                        armed = false;
+                        in_test = true;
+                    }
+                }
+                '}' => {
+                    if test_at == Some(depth) {
+                        test_at = None;
+                    }
+                    depth -= 1;
+                }
+                _ => {}
+            }
+        }
+        line.in_test = in_test;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_are_stripped_from_code() {
+        let sf = SourceFile::parse("let x = 1; // HashMap in prose\n/* SystemTime */ let y = 2;\n");
+        assert!(!sf.lines[0].code.contains("HashMap"));
+        assert!(sf.lines[0].comment.contains("HashMap"));
+        assert!(!sf.lines[1].code.contains("SystemTime"));
+        assert!(sf.lines[1].code.contains("let y = 2;"));
+    }
+
+    #[test]
+    fn string_contents_are_blanked() {
+        let sf = SourceFile::parse("let s = \"HashMap::new()\"; call();\n");
+        assert!(!sf.lines[0].code.contains("HashMap"));
+        assert!(sf.lines[0].code.contains("call();"));
+    }
+
+    #[test]
+    fn raw_strings_and_escapes() {
+        let sf =
+            SourceFile::parse("let s = r#\"panic!(\"x\")\"#; let t = \"a\\\"panic!\";\nf();\n");
+        assert!(!sf.lines[0].code.contains("panic!"));
+        assert_eq!(sf.lines[1].code, "f();");
+    }
+
+    #[test]
+    fn multiline_block_comment_and_string() {
+        let sf = SourceFile::parse("/* unwrap()\n unwrap() */ ok();\nlet s = \"a\nunwrap()\";\n");
+        assert!(!sf.lines[0].code.contains("unwrap"));
+        assert!(!sf.lines[1].code.contains("unwrap"));
+        assert!(sf.lines[1].code.contains("ok();"));
+        assert!(!sf.lines[3].code.contains("unwrap"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let sf = SourceFile::parse("fn f<'a>(x: &'a str) { let c = '\"'; let d = '\\''; g(x) }\n");
+        let code = &sf.lines[0].code;
+        assert!(code.contains("fn f<'a>(x: &'a str)"));
+        assert!(code.contains("g(x)"));
+    }
+
+    #[test]
+    fn cfg_test_regions_are_masked() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn inner() {}\n}\nfn live2() {}\n";
+        let sf = SourceFile::parse(src);
+        let flags: Vec<bool> = sf.lines.iter().map(|l| l.in_test).collect();
+        assert_eq!(flags, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_masked() {
+        let sf = SourceFile::parse("#[cfg(not(test))]\nfn live() {}\n");
+        assert!(sf.lines.iter().all(|l| !l.in_test));
+    }
+
+    #[test]
+    fn allow_directive_same_and_previous_line() {
+        let src = "// nomc-lint: allow(determinism)\nuse std::x;\nuse std::y; // nomc-lint: allow(a, determinism)\nuse std::z;\n";
+        let sf = SourceFile::parse(src);
+        assert!(sf.allows(2, "determinism"));
+        assert!(sf.allows(3, "determinism"));
+        // Line 3's trailing allow covers only line 3 (it has code).
+        assert!(!sf.allows(4, "determinism"));
+        assert!(!sf.allows(2, "unit-safety"));
+    }
+}

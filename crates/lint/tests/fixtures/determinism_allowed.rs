@@ -1,0 +1,31 @@
+//! Clean fixture for the `determinism` rule: the same constructs are
+//! fine in `#[cfg(test)]` code, behind a justified allow, or in prose.
+
+/// A HashMap mentioned in a doc comment never trips the rule.
+pub fn ordered_counts(events: &[u32]) -> Vec<(u32, u32)> {
+    let mut counts: std::collections::BTreeMap<u32, u32> = std::collections::BTreeMap::new();
+    for &e in events {
+        *counts.entry(e).or_insert(0) += 1;
+    }
+    counts.into_iter().collect()
+}
+
+// Lookup-only table whose iteration order is never observed; justified
+// in DESIGN.md §8.
+// nomc-lint: allow(determinism)
+pub use std::collections::HashMap as LookupTable;
+
+pub fn describe() -> &'static str {
+    "uses HashMap and Instant::now only inside string literals"
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet;
+
+    #[test]
+    fn dedup_in_tests_is_fine() {
+        let seen: HashSet<u32> = [1, 2, 2].into_iter().collect();
+        assert_eq!(seen.len(), 2);
+    }
+}

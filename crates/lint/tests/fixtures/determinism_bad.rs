@@ -1,0 +1,21 @@
+//! Seeded-violation fixture for the `determinism` rule (linted as if it
+//! were `crates/sim/src/fixture.rs`). Not compiled — data for the
+//! golden test.
+
+use std::collections::HashMap;
+use std::time::{Instant, SystemTime};
+
+pub fn histogram(events: &[u32]) -> Vec<(u32, u32)> {
+    let mut counts: HashMap<u32, u32> = HashMap::new();
+    for &e in events {
+        *counts.entry(e).or_insert(0) += 1;
+    }
+    let started = Instant::now();
+    let _ = SystemTime::now();
+    let _ = started;
+    counts.into_iter().collect() // iteration order leaks into the result
+}
+
+pub fn jitter() -> f64 {
+    rand::random::<f64>()
+}

@@ -1,0 +1,26 @@
+//! Clean fixture for the `panic-hygiene` rule: invariant-carrying
+//! `expect`, identifier indexing, test-only unwraps, and one justified
+//! allow.
+
+pub fn hot_path(values: &[u64], index: usize) -> u64 {
+    let first = *values
+        .first()
+        .expect("scheduler guarantees a non-empty event batch");
+    // Identifier-based indexing is in-bounds by construction (ids are
+    // minted by the engine) and is not flagged.
+    let at = values[index];
+    // Boundary case audited by hand; justified in DESIGN.md §8.
+    let second = values[1]; // nomc-lint: allow(panic-hygiene)
+    first + at + second
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let parsed: u64 = "7".parse().unwrap();
+        assert_eq!(hot_path(&[parsed, 1, 2], 2), 10);
+    }
+}

@@ -1,0 +1,14 @@
+//! Seeded-violation fixture for the `panic-hygiene` rule (linted as if
+//! it were `crates/sim/src/engine.rs`).
+
+pub fn hot_path(values: &[u64], encoded: &str) -> u64 {
+    let first = values[0];
+    let parsed: u64 = encoded.parse().unwrap();
+    if parsed == 0 {
+        panic!("zero is not a valid frame length");
+    }
+    if first > 1000 {
+        unreachable!();
+    }
+    first + parsed
+}

@@ -1,0 +1,22 @@
+//! Clean fixture for the `unit-safety` rule: newtyped unit parameters,
+//! dimensionless `f64`s, private helpers, and one justified allow.
+
+pub fn set_threshold(threshold: Dbm) -> Dbm {
+    threshold
+}
+
+/// Probabilities, ratios and exponents are dimensionless: raw f64 is right.
+pub fn frame_success_probability(p: f64, exponent: f64, target: f64) -> f64 {
+    p.powf(exponent).min(target)
+}
+
+/// Private functions are not public API surface.
+fn helper(sigma_db: f64) -> f64 {
+    sigma_db
+}
+
+// FFI shim must match the C prototype exactly; justified in DESIGN.md §8.
+// nomc-lint: allow(unit-safety)
+pub fn legacy_register_write(level_dbm: f64) -> u8 {
+    helper(level_dbm) as u8
+}

@@ -1,0 +1,22 @@
+//! Seeded-violation fixture for the `unit-safety` rule (linted as if it
+//! were `crates/phy/src/fixture.rs`).
+
+pub fn set_threshold(threshold_dbm: f64) -> f64 {
+    threshold_dbm
+}
+
+pub struct Radio;
+
+impl Radio {
+    pub fn tune(&mut self, freq_mhz: f64, bandwidth_hz: f64) {
+        let _ = (freq_mhz, bandwidth_hz);
+    }
+
+    pub fn wait_for_carrier(
+        &self,
+        timeout_secs: f64,
+        rssi: f64,
+    ) -> bool {
+        timeout_secs > 0.0 && rssi > -95.0
+    }
+}

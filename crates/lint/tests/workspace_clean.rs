@@ -1,0 +1,28 @@
+//! The real workspace must lint clean: this is the same gate `ci.sh`
+//! runs via `cargo run -p nomc-lint`, wired as a test so `cargo test`
+//! alone catches regressions.
+
+use std::path::PathBuf;
+
+#[test]
+fn the_workspace_lints_clean() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = nomc_lint::lint_workspace(&root).expect("workspace walk failed");
+    assert!(
+        report.diagnostics.is_empty(),
+        "nomc-lint found {} violation(s):\n{}",
+        report.diagnostics.len(),
+        report
+            .diagnostics
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // Sanity: the walk saw the whole workspace, not an empty dir.
+    assert!(
+        report.files_scanned > 100,
+        "only {} files scanned — wrong root?",
+        report.files_scanned
+    );
+}

@@ -1,6 +1,6 @@
 //! Receiver noise floor.
 
-use nomc_units::{Dbm, MilliWatts};
+use nomc_units::{Db, Dbm, Megahertz, MilliWatts};
 
 /// The receiver's noise floor: thermal noise over the channel bandwidth
 /// plus the receiver noise figure.
@@ -27,16 +27,17 @@ impl NoiseFloor {
         NoiseFloor::new(Dbm::new(-98.0))
     }
 
-    /// Computes a floor from bandwidth and noise figure:
-    /// `−174 + 10·log10(bw_hz) + nf_db`.
+    /// Computes a floor from channel bandwidth and receiver noise
+    /// figure: `−174 + 10·log10(bw_hz) + nf_db`.
     ///
     /// # Panics
     ///
-    /// Panics if `bandwidth_hz` is not positive.
-    pub fn from_bandwidth(bandwidth_hz: f64, noise_figure_db: f64) -> Self {
-        assert!(bandwidth_hz > 0.0, "bandwidth must be positive");
+    /// Panics if `bandwidth` is not positive.
+    pub fn from_bandwidth(bandwidth: Megahertz, noise_figure: Db) -> Self {
+        assert!(bandwidth.value() > 0.0, "bandwidth must be positive");
+        let bandwidth_hz = bandwidth.value() * 1e6;
         NoiseFloor::new(Dbm::new(
-            -174.0 + 10.0 * bandwidth_hz.log10() + noise_figure_db,
+            -174.0 + 10.0 * bandwidth_hz.log10() + noise_figure.value(),
         ))
     }
 
@@ -68,7 +69,7 @@ mod tests {
 
     #[test]
     fn bandwidth_formula() {
-        let n = NoiseFloor::from_bandwidth(2e6, 13.0);
+        let n = NoiseFloor::from_bandwidth(Megahertz::new(2.0), Db::new(13.0));
         assert!((n.level().value() - (-98.0)).abs() < 0.1, "{}", n.level());
     }
 
@@ -81,6 +82,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "bandwidth")]
     fn rejects_zero_bandwidth() {
-        let _ = NoiseFloor::from_bandwidth(0.0, 10.0);
+        let _ = NoiseFloor::from_bandwidth(Megahertz::new(0.0), Db::new(10.0));
     }
 }

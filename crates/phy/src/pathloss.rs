@@ -5,7 +5,7 @@
 //! log-distance model with configurable exponent; per-packet randomness is
 //! layered on top by [`crate::shadowing`].
 
-use nomc_units::{Db, Meters};
+use nomc_units::{Db, Megahertz, Meters};
 
 /// A deterministic large-scale path-loss model.
 ///
@@ -40,22 +40,22 @@ nomc_json::json_struct!(FreeSpace {
 });
 
 impl FreeSpace {
-    /// Free-space loss at carrier `freq_mhz` MHz.
+    /// Free-space loss at carrier frequency `freq`.
     ///
     /// # Panics
     ///
-    /// Panics if `freq_mhz` is not strictly positive.
-    pub fn new(freq_mhz: f64) -> Self {
-        assert!(freq_mhz > 0.0, "carrier frequency must be positive");
+    /// Panics if `freq` is not strictly positive.
+    pub fn new(freq: Megahertz) -> Self {
+        assert!(freq.value() > 0.0, "carrier frequency must be positive");
         FreeSpace {
-            freq_mhz,
+            freq_mhz: freq.value(),
             min_distance: Meters::new(0.1),
         }
     }
 
     /// The 2.44 GHz ISM-band instance used throughout the reproduction.
     pub fn ism_2_4ghz() -> Self {
-        FreeSpace::new(2440.0)
+        FreeSpace::new(Megahertz::new(2440.0))
     }
 }
 

@@ -25,8 +25,9 @@ impl Shadowing {
     ///
     /// # Panics
     ///
-    /// Panics if `sigma_db` is negative or not finite.
-    pub fn new(sigma_db: f64) -> Self {
+    /// Panics if `sigma` is negative or not finite.
+    pub fn new(sigma: Db) -> Self {
+        let sigma_db = sigma.value();
         assert!(
             sigma_db.is_finite() && sigma_db >= 0.0,
             "shadowing sigma must be finite and non-negative, got {sigma_db}"
@@ -37,13 +38,13 @@ impl Shadowing {
     /// No shadowing (deterministic propagation); useful in unit tests and
     /// the `ablation_shadowing` bench.
     pub fn disabled() -> Self {
-        Shadowing::new(0.0)
+        Shadowing::new(Db::ZERO)
     }
 
     /// The calibrated default: σ = 4 dB (indoor 2.4 GHz, matches the
     /// paper's Fig. 4 transition widths).
     pub fn indoor_default() -> Self {
-        Shadowing::new(4.0)
+        Shadowing::new(Db::new(4.0))
     }
 
     /// The standard deviation in dB.
@@ -89,7 +90,7 @@ mod tests {
     #[test]
     fn sample_moments_match() {
         let mut rng = StdRng::seed_from_u64(42);
-        let s = Shadowing::new(4.0);
+        let s = Shadowing::new(Db::new(4.0));
         let n = 200_000;
         let samples: Vec<f64> = (0..n).map(|_| s.sample(&mut rng).value()).collect();
         let mean = samples.iter().sum::<f64>() / n as f64;
@@ -113,7 +114,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "sigma")]
     fn negative_sigma_rejected() {
-        let _ = Shadowing::new(-1.0);
+        let _ = Shadowing::new(Db::new(-1.0));
     }
 
     #[test]

@@ -17,7 +17,7 @@ use nomc_mac::{CcaThresholdProvider, FixedThreshold, MacCommand, MacEngine, MacE
 use nomc_radio::timing;
 use nomc_rngcore::{Rng, SeedableRng};
 use nomc_units::{Db, Dbm, Megahertz, SimDuration, SimTime};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Extra simulated time after `duration` during which in-flight frames
 /// may still complete (no new frames start).
@@ -149,15 +149,15 @@ struct Engine<'a> {
     links: Vec<LinkMetrics>,
     /// Intended receiver node of each global link.
     link_rx: Vec<NodeId>,
-    tx_meta: HashMap<TxId, TxMeta>,
+    tx_meta: BTreeMap<TxId, TxMeta>,
     /// Upstream link → its forwarding sender node.
-    forwarders: HashMap<usize, NodeId>,
+    forwarders: BTreeMap<usize, NodeId>,
     timeline: Vec<TimelineRecord>,
     airtime: SimDuration,
     sync_dur: SimDuration,
     mpdu_offset: SimDuration,
     /// In-flight ACK frames: ack tx id → (acked data tx id, its sender).
-    acks: HashMap<TxId, (TxId, NodeId)>,
+    acks: BTreeMap<TxId, (TxId, NodeId)>,
     ack_airtime: SimDuration,
     trace: Vec<TraceRecord>,
 }
@@ -236,7 +236,7 @@ impl<'a> Engine<'a> {
         }
         // Per-link traffic overrides (senders are at even node indices:
         // node 2·link is the sender of global link `link`).
-        let mut forwarders: HashMap<usize, NodeId> = HashMap::new();
+        let mut forwarders: BTreeMap<usize, NodeId> = BTreeMap::new();
         for &(link, traffic) in &sc.link_traffic {
             let sender = link * 2;
             nodes[sender].traffic = traffic;
@@ -273,13 +273,13 @@ impl<'a> Engine<'a> {
             next_tx_id: 1,
             links,
             link_rx,
-            tx_meta: HashMap::new(),
+            tx_meta: BTreeMap::new(),
             forwarders,
             timeline: Vec::new(),
             airtime,
             sync_dur: timing::sync_header_duration(),
             mpdu_offset: timing::BYTE * u64::from(timing::PPDU_HEADER_BYTES),
-            acks: HashMap::new(),
+            acks: BTreeMap::new(),
             // Imm-ACK: 5-byte MPDU behind the 6-byte PPDU header.
             ack_airtime: timing::airtime(11),
             trace: Vec::new(),
@@ -1068,7 +1068,7 @@ mod tests {
         b.duration(SimDuration::from_secs(5))
             .warmup(SimDuration::from_secs(1))
             .seed(seed);
-        b.build().unwrap()
+        b.build().expect("builder-validated test scenario")
     }
 
     #[test]
@@ -1083,7 +1083,9 @@ mod tests {
         );
         // Intra-network CSMA collisions (turnaround window + forced
         // transmissions) cost some frames, but most must get through.
-        let prr = result.total_prr().unwrap();
+        let prr = result
+            .total_prr()
+            .expect("saturated links sent frames in the measured window");
         assert!(prr > 0.75, "PRR {prr}");
     }
 
@@ -1124,7 +1126,7 @@ mod tests {
             .radio(unclamped_radio())
             .duration(SimDuration::from_secs(3))
             .warmup(SimDuration::from_secs(1));
-        let result = run(&b.build().unwrap());
+        let result = run(&b.build().expect("builder-validated test scenario"));
         assert_eq!(result.total_throughput(), 0.0);
         let failures: u64 = result.mac_stats.iter().map(|s| s.access_failures).sum();
         assert!(failures > 0, "drops should be recorded");
@@ -1144,7 +1146,7 @@ mod tests {
             .radio(unclamped_radio())
             .duration(SimDuration::from_secs(5))
             .warmup(SimDuration::from_secs(1));
-        let result = run(&b.build().unwrap());
+        let result = run(&b.build().expect("builder-validated test scenario"));
         let sent_rate: f64 = result
             .links
             .iter()
@@ -1170,7 +1172,7 @@ mod tests {
         b.duration(SimDuration::from_secs(5))
             .warmup(SimDuration::from_secs(1))
             .seed(3);
-        let double = run(&b.build().unwrap()).total_throughput();
+        let double = run(&b.build().expect("builder-validated test scenario")).total_throughput();
         let ratio = double / single;
         assert!((1.8..2.2).contains(&ratio), "ratio {ratio}");
     }
@@ -1184,7 +1186,7 @@ mod tests {
         b.behavior_all(NetworkBehavior::attacker(SimDuration::from_millis(5)))
             .duration(SimDuration::from_secs(5))
             .warmup(SimDuration::from_secs(1));
-        let result = run(&b.build().unwrap());
+        let result = run(&b.build().expect("builder-validated test scenario"));
         let rate = result.links[0].send_rate(result.measured);
         assert!((195.0..205.0).contains(&rate), "interval rate {rate}");
         // Carrier sense disabled: no CCA at all.
@@ -1202,7 +1204,7 @@ mod tests {
         b.behavior_all(NetworkBehavior::dcn_default())
             .duration(SimDuration::from_secs(8))
             .warmup(SimDuration::from_secs(4));
-        let result = run(&b.build().unwrap());
+        let result = run(&b.build().expect("builder-validated test scenario"));
         // On a clean channel DCN should settle near the co-channel peer
         // RSSI (2-2.8 m at 0 dBm ⇒ ≈ −50 ± shadowing), way above −77.
         for &t in &result.final_thresholds {
@@ -1223,7 +1225,7 @@ mod tests {
         b.behavior_all(behavior)
             .duration(SimDuration::from_secs(5))
             .warmup(SimDuration::from_secs(1));
-        let result = run(&b.build().unwrap());
+        let result = run(&b.build().expect("builder-validated test scenario"));
         let link = &result.links[0];
         // Clean channel: essentially no retransmissions, no duplicates,
         // nothing abandoned, and throughput close to the unacked link's
@@ -1263,7 +1265,7 @@ mod tests {
                 .duration(SimDuration::from_secs(6))
                 .warmup(SimDuration::from_secs(1))
                 .seed(seed);
-            run(&b.build().unwrap())
+            run(&b.build().expect("builder-validated test scenario"))
         };
         let acked = build(true, 3);
         let plain = build(false, 3);
@@ -1310,7 +1312,7 @@ mod tests {
             .duration(SimDuration::from_secs(6))
             .warmup(SimDuration::from_secs(1))
             .seed(9);
-        let result = run(&b.build().unwrap());
+        let result = run(&b.build().expect("builder-validated test scenario"));
         let source_delivered = result.links[0].received;
         let forwarded_sent = result.links[1].sent;
         let sink_delivered = result.links[1].received;
@@ -1335,7 +1337,7 @@ mod tests {
             b.duration(SimDuration::from_secs(6))
                 .warmup(SimDuration::from_secs(1))
                 .seed(9);
-            run(&b.build().unwrap()).links[0].received
+            run(&b.build().expect("builder-validated test scenario")).links[0].received
         };
         assert!(
             source_delivered < lone,
@@ -1376,7 +1378,7 @@ mod tests {
         .duration(SimDuration::from_secs(4))
         .warmup(SimDuration::from_secs(1))
         .seed(10);
-        let result = run(&b.build().unwrap());
+        let result = run(&b.build().expect("builder-validated test scenario"));
         assert_eq!(result.links[1].sent, 0, "no credits, no transmissions");
     }
 
@@ -1388,7 +1390,7 @@ mod tests {
         b.duration(SimDuration::from_secs(2))
             .warmup(SimDuration::from_secs(1))
             .record_trace(true);
-        let result = run(&b.build().unwrap());
+        let result = run(&b.build().expect("builder-validated test scenario"));
         assert!(!result.trace.is_empty());
         let has =
             |pred: fn(&crate::trace::TraceKind) -> bool| result.trace.iter().any(|r| pred(&r.kind));
@@ -1407,7 +1409,9 @@ mod tests {
         let mut b = Scenario::builder(paper::line_deployment(&plan, Dbm::new(0.0)));
         b.duration(SimDuration::from_secs(2))
             .warmup(SimDuration::from_secs(1));
-        assert!(run(&b.build().unwrap()).trace.is_empty());
+        assert!(run(&b.build().expect("builder-validated test scenario"))
+            .trace
+            .is_empty());
     }
 
     #[test]
@@ -1418,7 +1422,7 @@ mod tests {
         b.duration(SimDuration::from_secs(3))
             .warmup(SimDuration::from_secs(1))
             .record_timeline(true);
-        let result = run(&b.build().unwrap());
+        let result = run(&b.build().expect("builder-validated test scenario"));
         assert!(!result.timeline.is_empty());
         for r in &result.timeline {
             assert!(r.end > r.start);

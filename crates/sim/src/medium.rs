@@ -194,8 +194,7 @@ impl Medium {
         bounds.sort();
         bounds.dedup();
         let mut segments = Vec::with_capacity(bounds.len() - 1);
-        for w in bounds.windows(2) {
-            let (s, e) = (w[0], w[1]);
+        for (&s, &e) in bounds.iter().zip(bounds.iter().skip(1)) {
             if s == e {
                 continue;
             }
