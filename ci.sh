@@ -10,6 +10,9 @@ cargo build --workspace --release --offline
 echo "==> cargo test"
 cargo test --workspace -q --offline
 
+echo "==> bench smoke (single iteration, no report written)"
+cargo bench -p nomc-bench --bench sim --offline -- --test
+
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 

@@ -1,0 +1,54 @@
+//! Simulation-runtime kernels: the two workloads that dominate real
+//! sweeps.
+//!
+//! * `power_sense_heavy` — six DCN networks on a 3 MHz grid; during the
+//!   1 s initializing phase every sender samples in-channel power every
+//!   1 ms (the paper's T_I rule), so the run is dominated by
+//!   `Medium::sensed_total` queries.
+//! * `saturated_2link` — one network, two saturated links: the plain
+//!   CSMA/CA contention kernel (CCA + decode path).
+//!
+//! `cargo bench -p nomc-bench --bench sim` writes `BENCH_sim.json` with
+//! wall-clock per run and events/sec, the perf-trajectory record ci.sh
+//! smoke-checks.
+
+use nomc_bench::harness::Criterion;
+use nomc_bench::{criterion_group, criterion_main, run_shrunk, shrink};
+use nomc_sim::{engine, NetworkBehavior, Scenario};
+use nomc_topology::paper;
+use nomc_topology::spectrum::ChannelPlan;
+use nomc_units::{Dbm, Megahertz};
+use std::hint::black_box;
+
+/// Six networks on the paper's 15 MHz band at 3 MHz spacing, all DCN.
+fn power_sense_heavy_scenario(seed: u64) -> Scenario {
+    let plan = ChannelPlan::with_count(Megahertz::new(2450.0), Megahertz::new(3.0), 6);
+    let mut b = Scenario::builder(paper::line_deployment(&plan, Dbm::new(0.0)));
+    b.behavior_all(NetworkBehavior::dcn_default()).seed(seed);
+    b.build().expect("valid bench scenario")
+}
+
+/// One network, two saturated links, fixed ZigBee threshold.
+fn saturated_2link_scenario(seed: u64) -> Scenario {
+    let plan = ChannelPlan::with_count(Megahertz::new(2460.0), Megahertz::new(5.0), 1);
+    let mut b = Scenario::builder(paper::line_deployment(&plan, Dbm::new(0.0)));
+    b.seed(seed);
+    b.build().expect("valid bench scenario")
+}
+
+fn bench_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim");
+    g.sample_size(10);
+    for (name, sc) in [
+        ("power_sense_heavy", power_sense_heavy_scenario(1)),
+        ("saturated_2link", saturated_2link_scenario(1)),
+    ] {
+        let events = engine::run(&shrink(sc.clone())).events;
+        g.throughput(events);
+        g.bench_function(name, |b| b.iter(|| black_box(run_shrunk(sc.clone()))));
+    }
+    g.finish();
+}
+
+criterion_group!(sim, bench_sim);
+criterion_main!(sim);

@@ -36,18 +36,36 @@ pub struct BenchResult {
     pub samples: usize,
     /// Iterations per sample.
     pub iters_per_sample: u64,
+    /// Logical elements processed per iteration (e.g. simulation events),
+    /// when the group declared a throughput.
+    pub elements_per_iter: Option<u64>,
+}
+
+impl BenchResult {
+    /// Mean elements per wall-clock second, when a throughput was set.
+    pub fn elements_per_sec(&self) -> Option<f64> {
+        self.elements_per_iter
+            .map(|e| e as f64 / (self.mean_ns * 1e-9))
+    }
 }
 
 impl ToJson for BenchResult {
     fn to_json(&self) -> Json {
-        Json::object([
+        let mut fields = vec![
             ("name", self.name.to_json()),
             ("mean_ns", self.mean_ns.to_json()),
             ("min_ns", self.min_ns.to_json()),
             ("max_ns", self.max_ns.to_json()),
             ("samples", self.samples.to_json()),
             ("iters_per_sample", self.iters_per_sample.to_json()),
-        ])
+        ];
+        if let Some(e) = self.elements_per_iter {
+            fields.push(("elements_per_iter", e.to_json()));
+        }
+        if let Some(eps) = self.elements_per_sec() {
+            fields.push(("elements_per_sec", eps.to_json()));
+        }
+        Json::object(fields)
     }
 }
 
@@ -75,6 +93,7 @@ impl Criterion {
             parent: self,
             name: name.into(),
             sample_size: 20,
+            throughput: None,
             results: Vec::new(),
         }
     }
@@ -100,6 +119,7 @@ pub struct BenchmarkGroup<'a> {
     parent: &'a mut Criterion,
     name: String,
     sample_size: usize,
+    throughput: Option<u64>,
     results: Vec<BenchResult>,
 }
 
@@ -107,6 +127,13 @@ impl BenchmarkGroup<'_> {
     /// Sets how many timed samples each function takes.
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares how many logical elements one iteration of the *next*
+    /// bench functions processes, so reports carry elements/sec.
+    pub fn throughput(&mut self, elements_per_iter: u64) -> &mut Self {
+        self.throughput = Some(elements_per_iter);
         self
     }
 
@@ -123,8 +150,13 @@ impl BenchmarkGroup<'_> {
         };
         f(&mut b);
         if let Some(mut r) = b.measured {
+            r.elements_per_iter = self.throughput;
+            let eps = r
+                .elements_per_sec()
+                .map(|e| format!(", {e:.0} elems/s"))
+                .unwrap_or_default();
             eprintln!(
-                "{}/{name}: {:.0} ns/iter (min {:.0}, max {:.0}, {} samples)",
+                "{}/{name}: {:.0} ns/iter (min {:.0}, max {:.0}, {} samples{eps})",
                 self.name, r.mean_ns, r.min_ns, r.max_ns, r.samples
             );
             r.name = name;
@@ -180,6 +212,7 @@ impl Bencher {
             max_ns: max,
             samples: samples_ns.len(),
             iters_per_sample: iters,
+            elements_per_iter: None,
         });
     }
 }
@@ -260,9 +293,39 @@ mod tests {
             max_ns: 15.0,
             samples: 5,
             iters_per_sample: 100,
+            elements_per_iter: None,
         };
         let j = r.to_json();
         assert_eq!(j["name"], "x");
         assert_eq!(j["samples"], 5u64);
+        assert!(j.get("elements_per_sec").is_none());
+    }
+
+    #[test]
+    fn throughput_reports_elements_per_sec() {
+        let r = BenchResult {
+            name: "x".into(),
+            mean_ns: 1e9, // one second per iteration
+            min_ns: 1e9,
+            max_ns: 1e9,
+            samples: 1,
+            iters_per_sample: 1,
+            elements_per_iter: Some(500),
+        };
+        let eps = r.elements_per_sec().expect("throughput set");
+        assert!((eps - 500.0).abs() < 1e-6);
+        let j = r.to_json();
+        assert_eq!(j["elements_per_iter"], 500u64);
+
+        let mut c = Criterion::new(false);
+        {
+            let mut g = c.benchmark_group("tp");
+            g.sample_size(2).throughput(10);
+            g.bench_function("spin", |b| b.iter(|| std::hint::black_box(3u64 * 7)));
+            g.finish();
+        }
+        let (_, results) = &c.finished[0];
+        assert_eq!(results[0].elements_per_iter, Some(10));
+        assert!(results[0].elements_per_sec().expect("set") > 0.0);
     }
 }

@@ -2,7 +2,7 @@
 
 use nomc_phy::planning::CprrModel;
 use nomc_phy::{LogDistance, PathLoss};
-use nomc_sim::{engine, NetworkBehavior, Scenario};
+use nomc_sim::{engine, JsonlTracer, NetworkBehavior, Scenario, SimObserver};
 use nomc_topology::paper;
 use nomc_topology::spectrum::{ChannelPlan, FitPolicy};
 use nomc_units::{Db, Dbm, Megahertz};
@@ -99,16 +99,27 @@ fn template_scenario(template: &str) -> Result<Scenario, String> {
 /// `nomc run <scenario.json> [--json out.json] [--trace out.jsonl]`.
 pub fn run(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("run needs a scenario file")?;
-    let mut scenario = load_scenario(path)?;
+    let scenario = load_scenario(path)?;
     let trace_path = flag_value(args, "--trace");
-    if trace_path.is_some() {
-        scenario.record_trace = true;
+    // Traces stream to disk through a pluggable observer sink instead of
+    // buffering every record in the result — arbitrarily long runs trace
+    // in constant memory.
+    let mut tracer = trace_path
+        .as_ref()
+        .map(|out| {
+            std::fs::File::create(out)
+                .map(|f| JsonlTracer::new(std::io::BufWriter::new(f)))
+                .map_err(|e| format!("cannot create {out}: {e}"))
+        })
+        .transpose()?;
+    let mut sinks: Vec<&mut dyn SimObserver> = Vec::new();
+    if let Some(t) = tracer.as_mut() {
+        sinks.push(t);
     }
-    let result = engine::run(&scenario);
-    if let Some(out) = &trace_path {
-        std::fs::write(out, nomc_sim::trace::to_jsonl(&result.trace))
-            .map_err(|e| format!("cannot write {out}: {e}"))?;
-        eprintln!("wrote {} trace records to {out}", result.trace.len());
+    let result = engine::run_with(&scenario, &mut sinks);
+    if let (Some(t), Some(out)) = (tracer, &trace_path) {
+        let records = t.finish().map_err(|e| format!("cannot write {out}: {e}"))?;
+        eprintln!("wrote {records} trace records to {out}");
     }
     println!(
         "simulated {:.1}s (measured {:.1}s), seed {}",

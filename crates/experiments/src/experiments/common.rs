@@ -59,12 +59,15 @@ pub fn vi_a_deployment(cfd: f64, count: usize, seed: u64) -> Deployment {
 }
 
 /// A §VI-A scenario with DCN enabled on the networks in `dcn_on`.
+///
+/// The §VI-A sweeps only read aggregate counters, so per-packet
+/// bit-error records are opted out to keep the many-network runs lean.
 pub fn vi_a_scenario(cfd: f64, count: usize, dcn_on: &[usize], seed: u64) -> Scenario {
     let mut b = Scenario::builder(vi_a_deployment(cfd, count, seed));
     for &i in dcn_on {
         b.behavior(i, NetworkBehavior::dcn_default());
     }
-    b.seed(seed);
+    b.seed(seed).record_error_records(false);
     b.build().expect("valid §VI-A scenario")
 }
 
@@ -75,9 +78,14 @@ pub fn band15_line_deployment() -> Deployment {
 }
 
 /// Scenario over [`band15_line_deployment`] with DCN on every network.
+///
+/// As with [`vi_a_scenario`], bit-error records are opted out — the
+/// Fig. 19-21 / Table I studies only use aggregate counters.
 pub fn band15_line_dcn(seed: u64) -> Scenario {
     let mut b = Scenario::builder(band15_line_deployment());
-    b.behavior_all(NetworkBehavior::dcn_default()).seed(seed);
+    b.behavior_all(NetworkBehavior::dcn_default())
+        .seed(seed)
+        .record_error_records(false);
     b.build().expect("valid §VI-B scenario")
 }
 

@@ -13,7 +13,7 @@
 //! |----------------|-----------------------------------------|
 //! | `determinism`  | `sim`/`mac`/`core`/`experiments` src    |
 //! | `unit-safety`  | `phy`/`mac`/`core`/`radio` public `fn`s |
-//! | `panic-hygiene`| `sim/src/engine.rs`, `sim/src/medium.rs`|
+//! | `panic-hygiene`| all non-test `sim/src/**` sources       |
 //! | `dep-audit`    | every `Cargo.toml`                      |
 //!
 //! Diagnostics render as `file:line: rule-id: message`. A finding is

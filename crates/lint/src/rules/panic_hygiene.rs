@@ -1,7 +1,7 @@
-//! Rule `panic-hygiene`: the simulator hot path (`crates/sim/src/
-//! engine.rs`, `medium.rs`) executes millions of events per run; a
-//! panic there aborts a whole sweep with no indication of which
-//! invariant broke. Outside `#[cfg(test)]`, the hot path must not use:
+//! Rule `panic-hygiene`: the simulator (`crates/sim/src/`, including
+//! the `runtime/` event-loop modules) executes millions of events per
+//! run; a panic there aborts a whole sweep with no indication of which
+//! invariant broke. Outside `#[cfg(test)]`, sim sources must not use:
 //!
 //! - bare `.unwrap()` — use `.expect("…invariant…")` so the abort names
 //!   the violated assumption, or return an error;
@@ -20,12 +20,19 @@ use crate::source::SourceFile;
 
 pub const RULE: &str = "panic-hygiene";
 
-const HOT_PATH: &[&str] = &["crates/sim/src/engine.rs", "crates/sim/src/medium.rs"];
+/// Every non-test source under this prefix is in scope — the runtime
+/// decomposition made "the hot path" the whole crate, and a prefix
+/// keeps newly added modules covered automatically.
+const HOT_PATH_PREFIX: &str = "crates/sim/src/";
+
+/// Integration-style test modules inside the sim crate (whole files
+/// that exist only for `#[cfg(test)]`).
+const EXEMPT: &[&str] = &["crates/sim/src/runtime/tests.rs"];
 
 const MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
 
 pub fn in_scope(rel_path: &str) -> bool {
-    HOT_PATH.contains(&rel_path)
+    rel_path.starts_with(HOT_PATH_PREFIX) && !EXEMPT.contains(&rel_path)
 }
 
 pub fn check(rel_path: &str, sf: &SourceFile, out: &mut Vec<Diagnostic>) {
@@ -140,10 +147,26 @@ mod tests {
     }
 
     #[test]
-    fn only_hot_path_files_are_checked() {
-        let sf = SourceFile::parse("fn f() { panic!(\"x\"); }\n");
-        let mut out = Vec::new();
-        check("crates/sim/src/metrics.rs", &sf, &mut out);
-        assert!(out.is_empty());
+    fn all_sim_sources_are_in_scope() {
+        for path in [
+            "crates/sim/src/metrics.rs",
+            "crates/sim/src/runtime/mod.rs",
+            "crates/sim/src/runtime/tx.rs",
+        ] {
+            let sf = SourceFile::parse("fn f() { panic!(\"x\"); }\n");
+            let mut out = Vec::new();
+            check(path, &sf, &mut out);
+            assert_eq!(out.len(), 1, "{path} must be checked");
+        }
+    }
+
+    #[test]
+    fn non_sim_and_exempt_files_are_not_checked() {
+        for path in ["crates/mac/src/lib.rs", "crates/sim/src/runtime/tests.rs"] {
+            let sf = SourceFile::parse("fn f() { panic!(\"x\"); }\n");
+            let mut out = Vec::new();
+            check(path, &sf, &mut out);
+            assert!(out.is_empty(), "{path} must not be checked");
+        }
     }
 }

@@ -116,5 +116,5 @@ fn fixtures_outside_rule_scope_are_clean() {
     // The same violating source is fine in a crate the rule does not
     // govern (e.g. the bench harness legitimately reads wall-clock).
     assert_clean("determinism_bad.rs", "crates/bench/src/fixture.rs");
-    assert_clean("panic_hygiene_bad.rs", "crates/sim/src/metrics.rs");
+    assert_clean("panic_hygiene_bad.rs", "crates/mac/src/lib.rs");
 }

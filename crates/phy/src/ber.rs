@@ -53,6 +53,7 @@ impl BerModel {
     /// Bit-error rate at the given SINR.
     ///
     /// The result is clamped into `[0, 0.5]` (0.5 = guessing).
+    #[inline]
     pub fn bit_error_rate(self, sinr: Db) -> f64 {
         let snr = sinr.to_linear();
         let ber = match self {
@@ -120,6 +121,16 @@ fn oqpsk_dsss_ber(snr_linear: f64) -> f64 {
         1.0, 16.0, 120.0, 560.0, 1820.0, 4368.0, 8008.0, 11440.0, 12870.0, 11440.0, 8008.0, 4368.0,
         1820.0, 560.0, 120.0, 16.0, 1.0,
     ];
+    // Total-underflow shortcut (bit-identical, not an approximation):
+    // the least negative exponent below is k = 2's, −10·SNR. At
+    // SNR ≥ 75 every exponent is ≤ −750, far below ln(2⁻¹⁰⁷⁵) ≈ −745.2
+    // where `exp` rounds to exactly +0.0, so every term is ±0.0 and the
+    // sum is exactly 0.0 — the same value the loop would produce after
+    // fifteen wasted `exp` calls. Receptions at healthy SINR (≥ ~19 dB,
+    // the common case) take this path.
+    if snr_linear >= 75.0 {
+        return 0.0;
+    }
     let mut sum = 0.0;
     for k in 2..=16u32 {
         let sign = if k % 2 == 0 { 1.0 } else { -1.0 };
@@ -133,6 +144,12 @@ fn oqpsk_dsss_ber(snr_linear: f64) -> f64 {
 /// factor of 11/2 folded in to represent the Barker-code DSSS of 802.11b
 /// relative to its 2 MHz noise bandwidth).
 fn dbpsk_ber(snr_linear: f64) -> f64 {
+    // Same total-underflow shortcut as `oqpsk_dsss_ber`: at
+    // SNR ≥ 750/5.5 the exponent is ≤ −750, `exp` is exactly +0.0, and
+    // 0.5·0.0 is the 0.0 the full expression would return.
+    if snr_linear >= 750.0 / 5.5 {
+        return 0.0;
+    }
     0.5 * (-(11.0 / 2.0) * snr_linear).exp()
 }
 
@@ -149,6 +166,42 @@ mod tests {
         let bm2 = m.bit_error_rate(Db::new(-2.0));
         assert!(bm2 > 5e-3 && bm2 < 2e-2, "BER(-2 dB) ≈ 7e-3, got {bm2}");
         assert!(m.bit_error_rate(Db::new(5.0)) < 1e-12);
+    }
+
+    #[test]
+    fn underflow_shortcut_is_bit_identical() {
+        // The full alternating sum with no shortcut; must agree with
+        // `oqpsk_dsss_ber` *exactly* (same bits) on both sides of the
+        // SNR ≥ 75 early-out.
+        fn full(snr_linear: f64) -> f64 {
+            const BINOM_16: [f64; 17] = [
+                1.0, 16.0, 120.0, 560.0, 1820.0, 4368.0, 8008.0, 11440.0, 12870.0, 11440.0, 8008.0,
+                4368.0, 1820.0, 560.0, 120.0, 16.0, 1.0,
+            ];
+            let mut sum = 0.0;
+            for k in 2..=16u32 {
+                let sign = if k % 2 == 0 { 1.0 } else { -1.0 };
+                let exponent = 20.0 * snr_linear * (1.0 / f64::from(k) - 1.0);
+                sum += sign * BINOM_16[k as usize] * exponent.exp();
+            }
+            (8.0 / 15.0) * (1.0 / 16.0) * sum
+        }
+        for i in 0..600 {
+            let snr = 0.25 * f64::from(i); // 0 .. 150, straddles 75
+            let got = oqpsk_dsss_ber(snr);
+            let want = full(snr);
+            assert_eq!(
+                got.to_bits(),
+                want.to_bits(),
+                "shortcut diverged at linear SNR {snr}: {got:e} vs {want:e}"
+            );
+        }
+        assert_eq!(dbpsk_ber(750.0 / 5.5).to_bits(), 0.0f64.to_bits());
+        let below: f64 = 750.0 / 5.5 - 0.01;
+        assert_eq!(
+            dbpsk_ber(below).to_bits(),
+            (0.5 * (-(11.0 / 2.0) * below).exp()).to_bits()
+        );
     }
 
     #[test]

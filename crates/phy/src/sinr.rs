@@ -35,6 +35,7 @@ where
 /// A zero denominator (physically impossible since noise is always
 /// positive, but reachable with a synthetic `MilliWatts::ZERO`) yields a
 /// very large but finite SINR.
+#[inline]
 pub fn sinr_linear(signal: MilliWatts, interference_plus_noise: MilliWatts) -> Db {
     if interference_plus_noise.value() <= 0.0 {
         return Db::new(300.0);

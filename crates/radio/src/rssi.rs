@@ -59,6 +59,7 @@ impl RssiRegister {
     /// assert_eq!(r.read(Dbm::new(-76.4)), Dbm::new(-76.0));
     /// assert_eq!(r.read(Dbm::new(-130.0)), Dbm::new(-100.0));
     /// ```
+    #[inline]
     pub fn read(&self, actual: Dbm) -> Dbm {
         let clamped = actual.clamp(self.floor, self.ceiling);
         if self.step_db > 0.0 {

@@ -1,30 +1,51 @@
-//! The discrete-event simulation engine.
+//! The simulation entry points.
 //!
 //! [`run`] executes a [`Scenario`] to completion and returns a
-//! [`SimResult`]. The engine owns the event queue, the medium, and one
-//! runtime record per node; it is single-threaded and fully deterministic
-//! for a given scenario + seed (parallelism belongs at the sweep level —
-//! each parameter point is an independent run).
+//! [`SimResult`]; [`run_with`] does the same while streaming typed
+//! notifications to caller-supplied
+//! [`SimObserver`](crate::runtime::observer::SimObserver) sinks.
+//!
+//! The machinery behind these lives in [`crate::runtime`]: the event
+//! loop ([`runtime`](crate::runtime) dispatch), per-node state and MAC
+//! handling, the data-frame and ACK life cycles, power sensing, and the
+//! observer fan-out. The engine is single-threaded and fully
+//! deterministic for a given scenario + seed (parallelism belongs at
+//! the sweep level — each parameter point is an independent run), and
+//! observers are write-only: attaching any combination of them cannot
+//! change the simulated outcome.
+//!
+//! # Examples
+//!
+//! Count every frame that went on air with a custom observer:
+//!
+//! ```
+//! use nomc_sim::runtime::observer::{SimObserver, TxStartInfo};
+//! use nomc_sim::{engine, Scenario};
+//! use nomc_topology::{paper, spectrum::ChannelPlan};
+//! use nomc_units::{Dbm, Megahertz, SimDuration};
+//!
+//! #[derive(Default)]
+//! struct FrameCounter(u64);
+//! impl SimObserver for FrameCounter {
+//!     fn on_tx_start(&mut self, _info: &TxStartInfo) {
+//!         self.0 += 1;
+//!     }
+//! }
+//!
+//! let plan = ChannelPlan::with_count(Megahertz::new(2460.0), Megahertz::new(5.0), 1);
+//! let mut builder = Scenario::builder(paper::line_deployment(&plan, Dbm::new(0.0)));
+//! builder.duration(SimDuration::from_secs(1)).warmup(SimDuration::from_millis(250));
+//! let scenario = builder.build()?;
+//! let mut counter = FrameCounter::default();
+//! let result = engine::run_with(&scenario, &mut [&mut counter]);
+//! assert!(counter.0 >= result.links.iter().map(|l| l.sent).sum::<u64>());
+//! # Ok::<(), String>(())
+//! ```
 
-use crate::events::{Event, EventQueue, NodeId, TxId};
-use crate::medium::{self, Medium, Transmission};
-use crate::metrics::{ErrorRecord, LinkMetrics, SimResult, TimelineRecord, TxOutcome};
-use crate::rng::Xoshiro256StarStar;
-use crate::scenario::{Scenario, ThresholdMode, TrafficModel};
-use crate::trace::{TraceKind, TraceRecord};
-use nomc_core::CcaAdjustor;
-use nomc_mac::{CcaThresholdProvider, FixedThreshold, MacCommand, MacEngine, MacEvent, MacStats};
-use nomc_radio::timing;
-use nomc_rngcore::{Rng, SeedableRng};
-use nomc_units::{Db, Dbm, Megahertz, SimDuration, SimTime};
-use std::collections::BTreeMap;
-
-/// Extra simulated time after `duration` during which in-flight frames
-/// may still complete (no new frames start).
-const DRAIN: SimDuration = SimDuration::from_millis(20);
-
-/// Period of the provider housekeeping tick.
-const TICK_PERIOD: SimDuration = SimDuration::from_millis(250);
+use crate::metrics::SimResult;
+use crate::runtime::observer::SimObserver;
+use crate::runtime::Engine;
+use crate::scenario::Scenario;
 
 /// Runs `scenario` to completion.
 ///
@@ -34,1399 +55,21 @@ const TICK_PERIOD: SimDuration = SimDuration::from_millis(250);
 /// [`Scenario`]'s builder should have rejected (a bug, not an input
 /// condition).
 pub fn run(scenario: &Scenario) -> SimResult {
-    Engine::new(scenario).run()
+    run_with(scenario, &mut [])
 }
 
-/// CCA-threshold provider dispatch (kept as an enum so nodes stay
-/// `Clone`-free but simple).
-#[derive(Debug)]
-enum Provider {
-    Fixed(FixedThreshold),
-    Dcn(CcaAdjustor),
-}
-
-impl Provider {
-    fn threshold(&self, now: SimTime) -> Dbm {
-        match self {
-            Provider::Fixed(p) => p.threshold(now),
-            Provider::Dcn(p) => p.threshold(now),
-        }
-    }
-
-    fn on_cochannel_packet(&mut self, rssi: Dbm, now: SimTime) {
-        match self {
-            Provider::Fixed(p) => p.on_cochannel_packet(rssi, now),
-            Provider::Dcn(p) => p.on_cochannel_packet(rssi, now),
-        }
-    }
-
-    fn on_power_sense(&mut self, power: Dbm, now: SimTime) {
-        match self {
-            Provider::Fixed(p) => p.on_power_sense(power, now),
-            Provider::Dcn(p) => p.on_power_sense(power, now),
-        }
-    }
-
-    fn wants_power_sensing(&self, now: SimTime) -> bool {
-        match self {
-            Provider::Fixed(p) => p.wants_power_sensing(now),
-            Provider::Dcn(p) => p.wants_power_sensing(now),
-        }
-    }
-
-    fn on_tick(&mut self, now: SimTime) {
-        match self {
-            Provider::Fixed(p) => p.on_tick(now),
-            Provider::Dcn(p) => p.on_tick(now),
-        }
-    }
-}
-
-/// An in-progress reception at one node.
-#[derive(Debug, Clone, Copy)]
-struct RxAttempt {
-    tx_id: TxId,
-    synced: bool,
-}
-
-/// Engine-side metadata for an in-flight transmission.
-#[derive(Debug)]
-struct TxMeta {
-    measured: bool,
-    link: usize,
-    intended_rx: NodeId,
-    /// The intended receiver could not even attempt sync (busy/TX).
-    intended_busy: bool,
-    /// Outcome recorded during decode (None until TxEnd processing).
-    outcome: Option<TxOutcome>,
-}
-
-/// Per-node runtime state.
-#[derive(Debug)]
-struct Node {
-    /// Global link index (for senders and receivers alike).
-    link: usize,
-    is_sender: bool,
-    freq: Megahertz,
-    tx_power: Dbm,
-    mac: Option<MacEngine>,
-    provider: Option<Provider>,
-    oracle: bool,
-    traffic: TrafficModel,
-    stats: MacStats,
-    rx: Option<RxAttempt>,
-    transmitting: bool,
-    next_interval_at: SimTime,
-    /// `forced` flag carried from `BeginTransmit` to `TxStart`.
-    forced_next: bool,
-    seq: u32,
-    /// Whether this node's network uses acknowledged transfers.
-    acknowledged: bool,
-    /// Data transmission we are awaiting an ACK for (senders).
-    awaiting_ack: Option<TxId>,
-    /// Most recent transmission id this node emitted (senders).
-    last_tx: TxId,
-    /// Sequence number of the last frame delivered here (receivers;
-    /// duplicate suppression for lost ACKs).
-    last_rx_seq: Option<u32>,
-    /// Store-and-forward credits: frames delivered upstream and not yet
-    /// forwarded (Forward traffic only).
-    credits: u64,
-    /// Forwarding sender is idle and waiting for a credit.
-    wants_packet: bool,
-}
-
-struct Engine<'a> {
-    sc: &'a Scenario,
-    now: SimTime,
-    queue: EventQueue,
-    medium: Medium,
-    nodes: Vec<Node>,
-    /// Path loss (no shadowing) between node pairs.
-    loss: Vec<Vec<Db>>,
-    rng: Xoshiro256StarStar,
-    next_tx_id: TxId,
-    links: Vec<LinkMetrics>,
-    /// Intended receiver node of each global link.
-    link_rx: Vec<NodeId>,
-    tx_meta: BTreeMap<TxId, TxMeta>,
-    /// Upstream link → its forwarding sender node.
-    forwarders: BTreeMap<usize, NodeId>,
-    timeline: Vec<TimelineRecord>,
-    airtime: SimDuration,
-    sync_dur: SimDuration,
-    mpdu_offset: SimDuration,
-    /// In-flight ACK frames: ack tx id → (acked data tx id, its sender).
-    acks: BTreeMap<TxId, (TxId, NodeId)>,
-    ack_airtime: SimDuration,
-    trace: Vec<TraceRecord>,
-}
-
-impl<'a> Engine<'a> {
-    fn new(sc: &'a Scenario) -> Self {
-        let mut nodes = Vec::new();
-        let mut links = Vec::new();
-        let mut link_rx = Vec::new();
-        let mut positions = Vec::new();
-        for (ni, network) in sc.deployment.networks.iter().enumerate() {
-            let behavior = &sc.behaviors[ni];
-            for (li, link) in network.links.iter().enumerate() {
-                let global = links.len();
-                let provider = match &behavior.threshold {
-                    ThresholdMode::Fixed(level) | ThresholdMode::FixedOracle(level) => {
-                        Provider::Fixed(FixedThreshold::new(*level))
-                    }
-                    ThresholdMode::Dcn(cfg) | ThresholdMode::DcnOracle(cfg) => {
-                        Provider::Dcn(CcaAdjustor::new(*cfg, sc.radio.default_cca_threshold))
-                    }
-                };
-                nodes.push(Node {
-                    link: global,
-                    is_sender: true,
-                    freq: network.frequency,
-                    tx_power: link.tx_power,
-                    mac: Some(MacEngine::new(behavior.mac)),
-                    provider: Some(provider),
-                    oracle: behavior.threshold.is_oracle(),
-                    traffic: behavior.traffic,
-                    stats: MacStats::new(),
-                    rx: None,
-                    transmitting: false,
-                    next_interval_at: SimTime::ZERO,
-                    forced_next: false,
-                    seq: 0,
-                    acknowledged: behavior.mac.acknowledged,
-                    awaiting_ack: None,
-                    last_tx: 0,
-                    last_rx_seq: None,
-                    credits: 0,
-                    wants_packet: false,
-                });
-                positions.push(link.tx);
-                nodes.push(Node {
-                    link: global,
-                    is_sender: false,
-                    freq: network.frequency,
-                    tx_power: link.tx_power,
-                    mac: None,
-                    provider: None,
-                    oracle: false,
-                    traffic: behavior.traffic,
-                    stats: MacStats::new(),
-                    rx: None,
-                    transmitting: false,
-                    next_interval_at: SimTime::ZERO,
-                    forced_next: false,
-                    seq: 0,
-                    acknowledged: behavior.mac.acknowledged,
-                    awaiting_ack: None,
-                    last_tx: 0,
-                    last_rx_seq: None,
-                    credits: 0,
-                    wants_packet: false,
-                });
-                positions.push(link.rx);
-                link_rx.push(nodes.len() - 1);
-                links.push(LinkMetrics {
-                    network: ni,
-                    link_in_network: li,
-                    ..LinkMetrics::default()
-                });
-            }
-        }
-        // Per-link traffic overrides (senders are at even node indices:
-        // node 2·link is the sender of global link `link`).
-        let mut forwarders: BTreeMap<usize, NodeId> = BTreeMap::new();
-        for &(link, traffic) in &sc.link_traffic {
-            let sender = link * 2;
-            nodes[sender].traffic = traffic;
-        }
-        for (i, node) in nodes.iter().enumerate() {
-            if node.is_sender {
-                if let TrafficModel::Forward { from_link } = node.traffic {
-                    forwarders.insert(from_link, i);
-                }
-            }
-        }
-        let n = nodes.len();
-        let mut loss = vec![vec![Db::ZERO; n]; n];
-        for i in 0..n {
-            for j in 0..n {
-                if i != j {
-                    loss[i][j] = sc
-                        .propagation
-                        .path_loss
-                        .loss(positions[i].distance_to(positions[j]));
-                }
-            }
-        }
-        let medium = Medium::new(sc.propagation.acr.clone(), sc.propagation.noise.power());
-        let airtime = timing::airtime(sc.frame.ppdu_bytes());
-        Engine {
-            sc,
-            now: SimTime::ZERO,
-            queue: EventQueue::new(),
-            medium,
-            nodes,
-            loss,
-            rng: Xoshiro256StarStar::seed_from_u64(sc.seed),
-            next_tx_id: 1,
-            links,
-            link_rx,
-            tx_meta: BTreeMap::new(),
-            forwarders,
-            timeline: Vec::new(),
-            airtime,
-            sync_dur: timing::sync_header_duration(),
-            mpdu_offset: timing::BYTE * u64::from(timing::PPDU_HEADER_BYTES),
-            acks: BTreeMap::new(),
-            // Imm-ACK: 5-byte MPDU behind the 6-byte PPDU header.
-            ack_airtime: timing::airtime(11),
-            trace: Vec::new(),
-        }
-    }
-
-    /// Appends a trace record when tracing is enabled.
-    fn trace(&mut self, kind: TraceKind) {
-        if self.sc.record_trace {
-            self.trace.push(TraceRecord { at: self.now, kind });
-        }
-    }
-
-    fn run(mut self) -> SimResult {
-        self.bootstrap();
-        let deadline = SimTime::ZERO + self.sc.duration + DRAIN;
-        while let Some((t, ev)) = self.queue.pop() {
-            if t > deadline {
-                break;
-            }
-            self.now = t;
-            self.dispatch(ev);
-        }
-        self.finalize()
-    }
-
-    fn bootstrap(&mut self) {
-        let sender_ids: Vec<NodeId> = (0..self.nodes.len())
-            .filter(|&i| self.nodes[i].is_sender)
-            .collect();
-        for id in sender_ids {
-            // Small random start jitter desynchronizes the saturated
-            // sources, like staggered mote boot times.
-            let jitter = SimDuration::from_micros(self.rng.gen_range(0..5000));
-            let start = SimTime::ZERO + jitter;
-            self.nodes[id].next_interval_at = start;
-            if matches!(self.nodes[id].traffic, TrafficModel::Forward { .. }) {
-                // Forwarders wake when their first credit arrives.
-                self.nodes[id].wants_packet = true;
-            } else {
-                self.queue.schedule(start, Event::PacketReady(id));
-            }
-            self.queue.schedule(start, Event::ProviderTick(id));
-            if self.provider_wants_sensing(id, start) {
-                self.queue.schedule(start, Event::PowerSense(id));
-            }
-        }
-    }
-
-    fn provider_wants_sensing(&self, id: NodeId, now: SimTime) -> bool {
-        self.nodes[id]
-            .provider
-            .as_ref()
-            .is_some_and(|p| p.wants_power_sensing(now))
-    }
-
-    fn dispatch(&mut self, ev: Event) {
-        match ev {
-            Event::PacketReady(n) => self.on_packet_ready(n),
-            Event::BackoffExpired(n) => self.feed_mac(n, MacEvent::BackoffExpired),
-            Event::CcaDone(n) => self.on_cca_done(n),
-            Event::TxStart(n) => self.on_tx_start(n),
-            Event::TxEnd(n, id) => self.on_tx_end(n, id),
-            Event::SyncDone(n, id) => self.on_sync_done(n, id),
-            Event::PowerSense(n) => self.on_power_sense(n),
-            Event::ProviderTick(n) => self.on_provider_tick(n),
-            Event::AckStart(n, parent) => self.on_ack_start(n, parent),
-            Event::AckTimeout(n, parent) => self.on_ack_timeout(n, parent),
-        }
-    }
-
-    fn on_packet_ready(&mut self, n: NodeId) {
-        if self.now >= SimTime::ZERO + self.sc.duration {
-            return; // no new frames after the run ends
-        }
-        let node = &mut self.nodes[n];
-        node.stats.enqueued += 1;
-        // A new frame gets a new sequence number; retransmissions of the
-        // same frame (ACK mode) keep it.
-        node.seq += 1;
-        debug_assert!(node.mac.as_ref().is_some_and(MacEngine::is_idle));
-        self.feed_mac(n, MacEvent::PacketReady);
-    }
-
-    fn feed_mac(&mut self, n: NodeId, ev: MacEvent) {
-        let node = &mut self.nodes[n];
-        let cmd = node
-            .mac
-            .as_mut()
-            .expect("feed_mac on a receiver node")
-            .handle(ev, &mut self.rng);
-        self.apply_command(n, cmd);
-    }
-
-    fn apply_command(&mut self, n: NodeId, cmd: MacCommand) {
-        match cmd {
-            MacCommand::SetBackoffTimer(d) => {
-                self.queue.schedule(self.now + d, Event::BackoffExpired(n));
-            }
-            MacCommand::PerformCca => {
-                let d = self.nodes[n]
-                    .mac
-                    .as_ref()
-                    .expect("sender")
-                    .params()
-                    .cca_duration;
-                self.queue.schedule(self.now + d, Event::CcaDone(n));
-            }
-            MacCommand::BeginTransmit { forced } => {
-                let turnaround = self.nodes[n]
-                    .mac
-                    .as_ref()
-                    .expect("sender")
-                    .params()
-                    .turnaround;
-                // The radio switches to TX: abort any reception in progress.
-                self.nodes[n].rx = None;
-                self.nodes[n].forced_next = forced;
-                self.queue
-                    .schedule(self.now + turnaround, Event::TxStart(n));
-            }
-            MacCommand::DeclareFailure => {
-                self.nodes[n].stats.access_failures += 1;
-                self.schedule_next_packet(n);
-            }
-            MacCommand::CompletePacket => {
-                self.schedule_next_packet(n);
-            }
-            MacCommand::WaitForAck(d) => {
-                let parent = self.nodes[n].last_tx;
-                self.nodes[n].awaiting_ack = Some(parent);
-                self.queue
-                    .schedule(self.now + d, Event::AckTimeout(n, parent));
-            }
-            MacCommand::AbandonPacket => {
-                let node = &mut self.nodes[n];
-                node.stats.abandoned += 1;
-                let link = node.link;
-                if self.in_measured_window() {
-                    self.links[link].abandoned += 1;
-                }
-                self.schedule_next_packet(n);
-            }
-        }
-    }
-
-    /// Whether `now` falls inside the measurement window.
-    fn in_measured_window(&self) -> bool {
-        let t0 = SimTime::ZERO + self.sc.warmup;
-        let t1 = SimTime::ZERO + self.sc.duration;
-        self.now >= t0 && self.now < t1
-    }
-
-    fn schedule_next_packet(&mut self, n: NodeId) {
-        let node = &mut self.nodes[n];
-        let at = match node.traffic {
-            TrafficModel::Saturated => {
-                self.now
-                    + node
-                        .mac
-                        .as_ref()
-                        .expect("sender")
-                        .params()
-                        .post_tx_processing
-            }
-            TrafficModel::Interval(period) => {
-                // Drift-free pacing; if the service time exceeded the
-                // period, catch up to the next slot after `now`.
-                let mut t = node.next_interval_at + period;
-                while t <= self.now {
-                    t += period;
-                }
-                node.next_interval_at = t;
-                t
-            }
-            TrafficModel::Forward { .. } => {
-                if node.credits > 0 {
-                    node.credits -= 1;
-                    let delay = node
-                        .mac
-                        .as_ref()
-                        .expect("sender")
-                        .params()
-                        .post_tx_processing;
-                    self.now + delay
-                } else {
-                    node.wants_packet = true;
-                    return;
-                }
-            }
-        };
-        if at < SimTime::ZERO + self.sc.duration {
-            self.queue.schedule(at, Event::PacketReady(n));
-        }
-    }
-
-    fn on_cca_done(&mut self, n: NodeId) {
-        // Let time-based threshold rules run before the read.
-        if let Some(p) = self.nodes[n].provider.as_mut() {
-            p.on_tick(self.now);
-        }
-        let node = &self.nodes[n];
-        let (co, inter) = self.medium.sensed_components(n, node.freq, self.now);
-        let noise = self.medium.noise();
-        let sensed = if node.oracle {
-            // §VII-C oracle: only the co-channel component counts.
-            co + noise
-        } else {
-            co + inter + noise
-        };
-        let reading = self.sc.radio.rssi.read(sensed.to_dbm());
-        let threshold = self.sc.radio.clamp_cca_threshold(
-            node.provider
-                .as_ref()
-                .expect("sender has provider")
-                .threshold(self.now),
-        );
-        let clear = reading < threshold;
-        self.trace(TraceKind::Cca {
-            node: n,
-            sensed_dbm: reading.value(),
-            threshold_dbm: threshold.value(),
-            clear,
-        });
-        let node = &mut self.nodes[n];
-        if clear {
-            node.stats.cca_clear += 1;
-        } else {
-            node.stats.cca_busy += 1;
-        }
-        self.feed_mac(n, MacEvent::CcaResult { clear });
-    }
-
-    fn on_tx_start(&mut self, n: NodeId) {
-        let id = self.next_tx_id;
-        self.next_tx_id += 1;
-        let node_count = self.nodes.len();
-        let (freq, tx_power, link, forced, seq) = {
-            let node = &mut self.nodes[n];
-            node.transmitting = true;
-            node.rx = None;
-            node.last_tx = id;
-            (
-                node.freq,
-                node.tx_power,
-                node.link,
-                node.forced_next,
-                node.seq,
-            )
-        };
-        // Per-observer received powers with fresh per-packet shadowing.
-        let mut rx_power = Vec::with_capacity(node_count);
-        for o in 0..node_count {
-            if o == n {
-                rx_power.push(tx_power);
-            } else {
-                let shadow = self.sc.propagation.shadowing.sample(&mut self.rng);
-                rx_power.push(tx_power - self.loss[n][o] + shadow);
-            }
-        }
-        let start = self.now;
-        let end = start + self.airtime;
-        let mpdu_start = start + self.mpdu_offset;
-        let measured = {
-            let t0 = SimTime::ZERO + self.sc.warmup;
-            let t1 = SimTime::ZERO + self.sc.duration;
-            start >= t0 && start < t1
-        };
-        let intended_rx = self.link_rx[link];
-        // Offer sync to candidate observers.
-        let sync_at = start + self.sync_dur;
-        #[allow(clippy::needless_range_loop)] // index is reused for rx_power + scheduling
-        for o in 0..node_count {
-            if o == n {
-                continue;
-            }
-            let obs = &self.nodes[o];
-            if obs.transmitting || obs.rx.is_some() {
-                continue;
-            }
-            let cfd = freq.distance_to(obs.freq);
-            if !self.sc.radio.capture_model.is_sync_candidate(cfd) {
-                continue;
-            }
-            let coupled = rx_power[o] - self.medium.acr().rejection(cfd);
-            if !self
-                .sc
-                .radio
-                .capture_model
-                .clears_sensitivity(coupled, self.sc.radio.sensitivity)
-            {
-                continue;
-            }
-            self.nodes[o].rx = Some(RxAttempt {
-                tx_id: id,
-                synced: false,
-            });
-            self.queue.schedule(sync_at, Event::SyncDone(o, id));
-        }
-        let intended_busy = {
-            let r = &self.nodes[intended_rx];
-            let locked_to_us = matches!(r.rx, Some(a) if a.tx_id == id);
-            !locked_to_us && (r.transmitting || r.rx.is_some())
-        };
-        self.tx_meta.insert(
-            id,
-            TxMeta {
-                measured,
-                link,
-                intended_rx,
-                intended_busy,
-                outcome: None,
-            },
-        );
-        if measured {
-            self.links[link].sent += 1;
-            if forced {
-                self.links[link].forced_sent += 1;
-            }
-            self.nodes[n].stats.transmitted += 1;
-            if forced {
-                self.nodes[n].stats.forced_transmissions += 1;
-            }
-            let retrying = self.nodes[n]
-                .mac
-                .as_ref()
-                .is_some_and(|m| m.retry_count() > 0);
-            if retrying {
-                self.links[link].retransmissions += 1;
-                self.nodes[n].stats.retransmissions += 1;
-            }
-        }
-        self.medium.add(Transmission {
-            id,
-            tx_node: n,
-            link,
-            frequency: freq,
-            start,
-            mpdu_start,
-            end,
-            seq,
-            forced,
-            rx_power,
-        });
-        self.trace(TraceKind::TxStart {
-            node: n,
-            tx: id,
-            seq,
-            forced,
-        });
-        self.queue.schedule(end, Event::TxEnd(n, id));
-    }
-
-    fn on_sync_done(&mut self, o: NodeId, tx_id: TxId) {
-        let Some(attempt) = self.nodes[o].rx else {
-            return;
-        };
-        if attempt.tx_id != tx_id || attempt.synced || self.nodes[o].transmitting {
-            return;
-        }
-        let Some(t) = self.medium.get(tx_id) else {
-            self.nodes[o].rx = None;
-            return;
-        };
-        let cfd = t.frequency.distance_to(self.nodes[o].freq);
-        // The preamble correlator detects its known sequence several dB
-        // below the payload decoding threshold (sync_margin).
-        let coupled = t.rx_power[o] - self.medium.acr().rejection(cfd) + self.sc.radio.sync_margin;
-        let segments = self.medium.interference_segments(
-            tx_id,
-            o,
-            self.nodes[o].freq,
-            t.start,
-            t.start + self.sync_dur,
-        );
-        let p = medium::sync_success_probability(
-            &segments,
-            coupled,
-            self.medium.noise(),
-            self.sc.radio.ber_model,
-        );
-        if self.rng.gen::<f64>() < p {
-            self.nodes[o].rx = Some(RxAttempt {
-                tx_id,
-                synced: true,
-            });
-        } else {
-            self.nodes[o].rx = None;
-        }
-    }
-
-    fn on_tx_end(&mut self, n: NodeId, tx_id: TxId) {
-        // ACK frames complete differently: the acking receiver goes idle
-        // and the original sender tries to decode the ACK.
-        if let Some((parent, sender)) = self.acks.remove(&tx_id) {
-            self.nodes[n].transmitting = false;
-            self.try_deliver_ack(tx_id, parent, sender);
-            return;
-        }
-        // 1. The transmitter returns to idle and paces its next frame.
-        self.nodes[n].transmitting = false;
-        self.feed_mac(n, MacEvent::TxDone);
-
-        // 2. Locked receivers decode.
-        let receivers: Vec<NodeId> = (0..self.nodes.len())
-            .filter(|&o| {
-                self.nodes[o]
-                    .rx
-                    .is_some_and(|r| r.tx_id == tx_id && r.synced)
-            })
-            .collect();
-        for o in receivers {
-            self.decode(o, tx_id);
-            self.nodes[o].rx = None;
-        }
-
-        // 3. Collision bookkeeping + timeline for the intended receiver.
-        let Some(meta) = self.tx_meta.remove(&tx_id) else {
-            return;
-        };
-        let Some(t) = self.medium.get(tx_id) else {
-            return;
-        };
-        let (start, end) = (t.start, t.end);
-        let intended_freq = self.nodes[meta.intended_rx].freq;
-        let collided = self.medium.was_collided(
-            tx_id,
-            meta.intended_rx,
-            intended_freq,
-            start,
-            end,
-            self.sc.collision_floor,
-        );
-        let outcome = meta.outcome.unwrap_or(if meta.intended_busy {
-            TxOutcome::ReceiverBusy
-        } else {
-            TxOutcome::SyncMissed
-        });
-        if meta.measured {
-            let lm = &mut self.links[meta.link];
-            match outcome {
-                TxOutcome::Received => {}
-                TxOutcome::CrcFailed => {}
-                TxOutcome::SyncMissed => lm.sync_missed += 1,
-                TxOutcome::ReceiverBusy => lm.receiver_busy += 1,
-            }
-            if collided {
-                lm.collided += 1;
-                if outcome == TxOutcome::Received {
-                    lm.collided_received += 1;
-                }
-            }
-            if self.sc.record_timeline {
-                self.timeline.push(TimelineRecord {
-                    link: meta.link,
-                    start,
-                    end,
-                    outcome,
-                    collided,
-                });
-            }
-            let outcome_str = match outcome {
-                TxOutcome::Received => "received",
-                TxOutcome::CrcFailed => "crc_failed",
-                TxOutcome::SyncMissed => "sync_missed",
-                TxOutcome::ReceiverBusy => "receiver_busy",
-            };
-            self.trace(TraceKind::Outcome {
-                tx: tx_id,
-                receiver: meta.intended_rx,
-                outcome: outcome_str,
-            });
-        }
-    }
-
-    /// Decodes transmission `tx_id` at node `o` (which stayed locked to
-    /// it until the end).
-    fn decode(&mut self, o: NodeId, tx_id: TxId) {
-        let Some(t) = self.medium.get(tx_id) else {
-            return;
-        };
-        let obs_freq = self.nodes[o].freq;
-        let cfd = t.frequency.distance_to(obs_freq);
-        // Foreign-channel captures (802.11b-like mode only) waste the
-        // receiver's time but never yield a usable frame.
-        if cfd.value() >= 0.5 {
-            return;
-        }
-        let signal = t.rx_power[o];
-        let (link, measured, intended_rx) = match self.tx_meta.get(&tx_id) {
-            Some(m) => (m.link, m.measured, m.intended_rx),
-            None => (t.link, false, usize::MAX),
-        };
-        let segments = self
-            .medium
-            .interference_segments(tx_id, o, obs_freq, t.mpdu_start, t.end);
-        let (errors, bits) = medium::sample_segment_errors(
-            &mut self.rng,
-            &segments,
-            signal,
-            self.medium.noise(),
-            self.sc.radio.ber_model,
-        );
-        let decoded = if errors == 0 {
-            true
-        } else if self.sc.record_error_positions {
-            // Full-fidelity path: flip sampled bit positions in the real
-            // MPDU image and run the real FCS check (a corrupted frame
-            // passes CRC only with probability ≈ 2⁻¹⁶).
-            let tx_node_seq = t.seq;
-            let src = t.tx_node as u32;
-            let mut mpdu = self.sc.frame.build_mpdu(src, tx_node_seq);
-            let positions =
-                nomc_phy::biterror::sample_error_positions(&mut self.rng, bits, errors.min(bits));
-            for &p in &positions {
-                let byte = (p / 8) as usize;
-                if byte < mpdu.len() {
-                    mpdu[byte] ^= 1 << (p % 8);
-                }
-            }
-            let ok = nomc_radio::crc::verify_fcs(&mpdu);
-            if !ok && o == intended_rx && measured {
-                self.links[link].error_records.push(ErrorRecord {
-                    error_bits: errors.min(bits),
-                    total_bits: bits,
-                    positions: Some(positions),
-                });
-            }
-            ok
-        } else {
-            if o == intended_rx && measured {
-                self.links[link].error_records.push(ErrorRecord {
-                    error_bits: errors.min(bits),
-                    total_bits: bits,
-                    positions: None,
-                });
-            }
-            false
-        };
-        if o == intended_rx {
-            if let Some(m) = self.tx_meta.get_mut(&tx_id) {
-                m.outcome = Some(if decoded {
-                    TxOutcome::Received
-                } else {
-                    TxOutcome::CrcFailed
-                });
-            }
-            let duplicate = decoded && self.nodes[o].last_rx_seq == Some(t.seq);
-            if decoded {
-                let seq = t.seq;
-                self.nodes[o].last_rx_seq = Some(seq);
-            }
-            if measured {
-                if decoded && duplicate {
-                    self.links[link].duplicates += 1;
-                } else if decoded {
-                    self.links[link].received += 1;
-                } else {
-                    self.links[link].crc_failed += 1;
-                }
-            }
-            if decoded && !duplicate {
-                if let Some(&f) = self.forwarders.get(&link) {
-                    let delay = self.nodes[f]
-                        .mac
-                        .as_ref()
-                        .expect("forwarder is a sender")
-                        .params()
-                        .post_tx_processing;
-                    self.nodes[f].credits += 1;
-                    if self.nodes[f].wants_packet {
-                        self.nodes[f].wants_packet = false;
-                        self.nodes[f].credits -= 1;
-                        let at = self.now + delay;
-                        if at < SimTime::ZERO + self.sc.duration {
-                            self.queue.schedule(at, Event::PacketReady(f));
-                        }
-                    }
-                }
-            }
-            // Acknowledged transfers: the receiver turns around and emits
-            // an Imm-ACK (also for duplicates — their ACK was lost).
-            if decoded && self.nodes[o].acknowledged {
-                let turnaround = timing::TURNAROUND;
-                self.nodes[o].transmitting = true;
-                self.nodes[o].rx = None;
-                self.queue
-                    .schedule(self.now + turnaround, Event::AckStart(o, tx_id));
-            }
-        }
-        if decoded {
-            // Any successfully decoded co-channel frame feeds the
-            // observer's CCA-threshold provider with its RSSI (the
-            // paper's free information source).
-            let rssi = self.sc.radio.rssi.read(signal);
-            let now = self.now;
-            if let Some(p) = self.nodes[o].provider.as_mut() {
-                p.on_cochannel_packet(rssi, now);
-            }
-        }
-    }
-
-    /// The acking receiver starts emitting the Imm-ACK for `parent`.
-    fn on_ack_start(&mut self, o: NodeId, parent: TxId) {
-        let Some(parent_tx) = self.medium.get(parent) else {
-            self.nodes[o].transmitting = false;
-            return;
-        };
-        let sender = parent_tx.tx_node;
-        let seq = parent_tx.seq;
-        let id = self.next_tx_id;
-        self.next_tx_id += 1;
-        let (freq, tx_power, link) = {
-            let node = &self.nodes[o];
-            (node.freq, node.tx_power, node.link)
-        };
-        let node_count = self.nodes.len();
-        let mut rx_power = Vec::with_capacity(node_count);
-        for other in 0..node_count {
-            if other == o {
-                rx_power.push(tx_power);
-            } else {
-                let shadow = self.sc.propagation.shadowing.sample(&mut self.rng);
-                rx_power.push(tx_power - self.loss[o][other] + shadow);
-            }
-        }
-        let start = self.now;
-        let end = start + self.ack_airtime;
-        self.medium.add(Transmission {
-            id,
-            tx_node: o,
-            link,
-            frequency: freq,
-            start,
-            mpdu_start: start + self.mpdu_offset,
-            end,
-            seq,
-            forced: false,
-            rx_power,
-        });
-        self.acks.insert(id, (parent, sender));
-        self.queue.schedule(end, Event::TxEnd(o, id));
-    }
-
-    /// At ACK airtime end: does the original sender decode it?
-    fn try_deliver_ack(&mut self, ack_id: TxId, parent: TxId, sender: NodeId) {
-        if self.nodes[sender].awaiting_ack != Some(parent) || self.nodes[sender].transmitting {
-            return;
-        }
-        let Some(ack) = self.medium.get(ack_id) else {
-            return;
-        };
-        // Co-channel, so no filter rejection; the preamble correlator's
-        // margin applies as for any sync.
-        let signal = ack.rx_power[sender];
-        let freq = self.nodes[sender].freq;
-        let sync_segments = self.medium.interference_segments(
-            ack_id,
-            sender,
-            freq,
-            ack.start,
-            ack.start + self.sync_dur,
-        );
-        let p_sync = medium::sync_success_probability(
-            &sync_segments,
-            signal + self.sc.radio.sync_margin,
-            self.medium.noise(),
-            self.sc.radio.ber_model,
-        );
-        let data_segments =
-            self.medium
-                .interference_segments(ack_id, sender, freq, ack.mpdu_start, ack.end);
-        let (errors, _) = medium::sample_segment_errors(
-            &mut self.rng,
-            &data_segments,
-            signal,
-            self.medium.noise(),
-            self.sc.radio.ber_model,
-        );
-        let decoded = errors == 0 && self.rng.gen::<f64>() < p_sync;
-        if decoded {
-            self.nodes[sender].awaiting_ack = None;
-            self.trace(TraceKind::AckDelivered { tx: parent, sender });
-            self.feed_mac(sender, MacEvent::AckResult { acked: true });
-        }
-    }
-
-    /// `macAckWaitDuration` expired without the ACK arriving.
-    fn on_ack_timeout(&mut self, n: NodeId, parent: TxId) {
-        if self.nodes[n].awaiting_ack == Some(parent) {
-            self.nodes[n].awaiting_ack = None;
-            self.trace(TraceKind::AckTimedOut {
-                tx: parent,
-                sender: n,
-            });
-            self.feed_mac(n, MacEvent::AckResult { acked: false });
-        }
-    }
-
-    fn on_power_sense(&mut self, n: NodeId) {
-        let node = &self.nodes[n];
-        let wants = node
-            .provider
-            .as_ref()
-            .is_some_and(|p| p.wants_power_sensing(self.now));
-        if !wants {
-            return;
-        }
-        if !node.transmitting {
-            let total = self.medium.sensed_total(n, node.freq, self.now);
-            let reading = self.sc.radio.rssi.read(total.to_dbm());
-            let now = self.now;
-            if let Some(p) = self.nodes[n].provider.as_mut() {
-                p.on_power_sense(reading, now);
-            }
-        }
-        let interval = match &self.nodes[n].provider {
-            Some(Provider::Dcn(adj)) => adj.config().power_sense_interval,
-            _ => SimDuration::from_millis(1),
-        };
-        let at = self.now + interval;
-        if at < SimTime::ZERO + self.sc.duration {
-            self.queue.schedule(at, Event::PowerSense(n));
-        }
-    }
-
-    fn on_provider_tick(&mut self, n: NodeId) {
-        let now = self.now;
-        if let Some(p) = self.nodes[n].provider.as_mut() {
-            p.on_tick(now);
-        }
-        let at = now + TICK_PERIOD;
-        if at < SimTime::ZERO + self.sc.duration {
-            self.queue.schedule(at, Event::ProviderTick(n));
-        }
-    }
-
-    fn finalize(self) -> SimResult {
-        let end = SimTime::ZERO + self.sc.duration;
-        let mut mac_stats = Vec::new();
-        let mut final_thresholds = Vec::new();
-        let mut tx_powers = Vec::new();
-        for node in &self.nodes {
-            if node.is_sender {
-                mac_stats.push(node.stats);
-                tx_powers.push(node.tx_power);
-                let t = node
-                    .provider
-                    .as_ref()
-                    .map(|p| self.sc.radio.clamp_cca_threshold(p.threshold(end)))
-                    .unwrap_or(self.sc.radio.default_cca_threshold);
-                final_thresholds.push(t);
-            }
-        }
-        SimResult {
-            measured: self.sc.duration - self.sc.warmup,
-            links: self.links,
-            network_frequencies: self
-                .sc
-                .deployment
-                .networks
-                .iter()
-                .map(|n| n.frequency)
-                .collect(),
-            mac_stats,
-            tx_powers,
-            final_thresholds,
-            timeline: self.timeline,
-            trace: self.trace,
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::scenario::{NetworkBehavior, Scenario};
-    use nomc_topology::paper;
-    use nomc_topology::spectrum::ChannelPlan;
-    use nomc_units::Megahertz;
-
-    fn single_network_scenario(seed: u64) -> Scenario {
-        let plan = ChannelPlan::with_count(Megahertz::new(2460.0), Megahertz::new(5.0), 1);
-        let deployment = paper::line_deployment(&plan, Dbm::new(0.0));
-        let mut b = Scenario::builder(deployment);
-        b.duration(SimDuration::from_secs(5))
-            .warmup(SimDuration::from_secs(1))
-            .seed(seed);
-        b.build().expect("builder-validated test scenario")
-    }
-
-    #[test]
-    fn single_network_saturates_plausibly() {
-        let result = run(&single_network_scenario(1));
-        let tput = result.total_throughput();
-        // Two saturated 2 m links on a clean channel: the paper's
-        // networks sit in the 230-300 pkt/s range.
-        assert!(
-            (180.0..320.0).contains(&tput),
-            "implausible saturated throughput {tput}"
-        );
-        // Intra-network CSMA collisions (turnaround window + forced
-        // transmissions) cost some frames, but most must get through.
-        let prr = result
-            .total_prr()
-            .expect("saturated links sent frames in the measured window");
-        assert!(prr > 0.75, "PRR {prr}");
-    }
-
-    #[test]
-    fn identical_seeds_reproduce_exactly() {
-        let a = run(&single_network_scenario(7));
-        let b = run(&single_network_scenario(7));
-        assert_eq!(a, b);
-    }
-
-    #[test]
-    fn different_seeds_differ() {
-        let a = run(&single_network_scenario(7));
-        let b = run(&single_network_scenario(8));
-        assert_ne!(a, b);
-    }
-
-    /// A radio whose CCA-threshold register is not range-limited, so
-    /// tests can pin the threshold below the noise floor.
-    fn unclamped_radio() -> nomc_radio::RadioConfig {
-        let mut r = nomc_radio::RadioConfig::cc2420();
-        r.cca_threshold_range = (Dbm::new(-150.0), Dbm::new(0.0));
-        r.rssi = nomc_radio::rssi::RssiRegister::ideal();
-        r
-    }
-
-    #[test]
-    fn blocked_channel_with_drop_policy_sends_nothing() {
-        // Threshold below the noise floor reading + DropPacket ⇒ every CCA
-        // busy ⇒ all frames dropped.
-        let plan = ChannelPlan::with_count(Megahertz::new(2460.0), Megahertz::new(5.0), 1);
-        let deployment = paper::line_deployment(&plan, Dbm::new(0.0));
-        let mut b = Scenario::builder(deployment);
-        let mut behavior = NetworkBehavior::zigbee_default();
-        behavior.threshold = ThresholdMode::Fixed(Dbm::new(-150.0));
-        behavior.mac.on_failure = nomc_mac::CcaFailurePolicy::DropPacket;
-        b.behavior_all(behavior)
-            .radio(unclamped_radio())
-            .duration(SimDuration::from_secs(3))
-            .warmup(SimDuration::from_secs(1));
-        let result = run(&b.build().expect("builder-validated test scenario"));
-        assert_eq!(result.total_throughput(), 0.0);
-        let failures: u64 = result.mac_stats.iter().map(|s| s.access_failures).sum();
-        assert!(failures > 0, "drops should be recorded");
-    }
-
-    #[test]
-    fn transmit_anyway_keeps_a_floor_rate() {
-        // Same blocked channel, but the default transmit-anyway policy
-        // forces frames out at the backoff-exhaustion rate (~40-60/s per
-        // link) — the paper's Fig. 6 left plateau.
-        let plan = ChannelPlan::with_count(Megahertz::new(2460.0), Megahertz::new(5.0), 1);
-        let deployment = paper::line_deployment(&plan, Dbm::new(0.0));
-        let mut b = Scenario::builder(deployment);
-        let mut behavior = NetworkBehavior::zigbee_default();
-        behavior.threshold = ThresholdMode::Fixed(Dbm::new(-150.0));
-        b.behavior_all(behavior)
-            .radio(unclamped_radio())
-            .duration(SimDuration::from_secs(5))
-            .warmup(SimDuration::from_secs(1));
-        let result = run(&b.build().expect("builder-validated test scenario"));
-        let sent_rate: f64 = result
-            .links
-            .iter()
-            .map(|l| l.send_rate(result.measured))
-            .sum();
-        assert!(
-            (40.0..160.0).contains(&sent_rate),
-            "forced floor rate {sent_rate}"
-        );
-        let forced: u64 = result.links.iter().map(|l| l.forced_sent).sum();
-        let sent: u64 = result.links.iter().map(|l| l.sent).sum();
-        assert_eq!(forced, sent, "every frame was forced");
-    }
-
-    #[test]
-    fn orthogonal_networks_do_not_interact() {
-        // Two networks 9 MHz apart and 4.5 m apart: throughput should be
-        // ≈ 2× a single network's.
-        let single = run(&single_network_scenario(3)).total_throughput();
-        let plan = ChannelPlan::with_count(Megahertz::new(2455.0), Megahertz::new(9.0), 2);
-        let deployment = paper::line_deployment(&plan, Dbm::new(0.0));
-        let mut b = Scenario::builder(deployment);
-        b.duration(SimDuration::from_secs(5))
-            .warmup(SimDuration::from_secs(1))
-            .seed(3);
-        let double = run(&b.build().expect("builder-validated test scenario")).total_throughput();
-        let ratio = double / single;
-        assert!((1.8..2.2).contains(&ratio), "ratio {ratio}");
-    }
-
-    #[test]
-    fn attacker_interval_pacing() {
-        let plan = ChannelPlan::with_count(Megahertz::new(2460.0), Megahertz::new(3.0), 1);
-        let mut deployment = paper::line_deployment(&plan, Dbm::new(0.0));
-        deployment.networks[0].links.truncate(1);
-        let mut b = Scenario::builder(deployment);
-        b.behavior_all(NetworkBehavior::attacker(SimDuration::from_millis(5)))
-            .duration(SimDuration::from_secs(5))
-            .warmup(SimDuration::from_secs(1));
-        let result = run(&b.build().expect("builder-validated test scenario"));
-        let rate = result.links[0].send_rate(result.measured);
-        assert!((195.0..205.0).contains(&rate), "interval rate {rate}");
-        // Carrier sense disabled: no CCA at all.
-        assert_eq!(
-            result.mac_stats[0].cca_busy + result.mac_stats[0].cca_clear,
-            0
-        );
-    }
-
-    #[test]
-    fn dcn_network_initializes_and_relaxes() {
-        let plan = ChannelPlan::with_count(Megahertz::new(2460.0), Megahertz::new(5.0), 1);
-        let deployment = paper::line_deployment(&plan, Dbm::new(0.0));
-        let mut b = Scenario::builder(deployment);
-        b.behavior_all(NetworkBehavior::dcn_default())
-            .duration(SimDuration::from_secs(8))
-            .warmup(SimDuration::from_secs(4));
-        let result = run(&b.build().expect("builder-validated test scenario"));
-        // On a clean channel DCN should settle near the co-channel peer
-        // RSSI (2-2.8 m at 0 dBm ⇒ ≈ −50 ± shadowing), way above −77.
-        for &t in &result.final_thresholds {
-            assert!(t > Dbm::new(-70.0), "DCN threshold failed to relax: {t}");
-        }
-        // And throughput must not collapse relative to the fixed design.
-        assert!(result.total_throughput() > 150.0);
-    }
-
-    #[test]
-    fn acknowledged_clean_link_delivers_everything() {
-        let plan = ChannelPlan::with_count(Megahertz::new(2460.0), Megahertz::new(5.0), 1);
-        let mut deployment = paper::line_deployment(&plan, Dbm::new(0.0));
-        deployment.networks[0].links.truncate(1);
-        let mut b = Scenario::builder(deployment);
-        let mut behavior = NetworkBehavior::zigbee_default();
-        behavior.mac = nomc_mac::CsmaParams::acknowledged_default();
-        b.behavior_all(behavior)
-            .duration(SimDuration::from_secs(5))
-            .warmup(SimDuration::from_secs(1));
-        let result = run(&b.build().expect("builder-validated test scenario"));
-        let link = &result.links[0];
-        // Clean channel: essentially no retransmissions, no duplicates,
-        // nothing abandoned, and throughput close to the unacked link's
-        // minus the ACK overhead.
-        assert!(link.received > 100, "received {}", link.received);
-        assert_eq!(link.abandoned, 0);
-        assert!(
-            link.retransmissions < link.received / 20,
-            "retransmissions {}",
-            link.retransmissions
-        );
-        assert!(link.duplicates <= link.retransmissions);
-    }
-
-    #[test]
-    fn acknowledged_link_retransmits_under_interference() {
-        // A −12 dBm link against a 0 dBm adjacent-channel attacker: CRC
-        // failures force retransmissions, and retransmissions recover
-        // deliveries that the unacknowledged link loses.
-        let build = |acked: bool, seed: u64| {
-            let (mut deployment, n, a) = {
-                let (d, n, a) = paper::fig4_deployment(
-                    Megahertz::new(2460.0),
-                    Megahertz::new(2.0),
-                    Dbm::new(0.0),
-                );
-                (d, n, a)
-            };
-            deployment.networks[n].links[0].tx_power = Dbm::new(-12.0);
-            let mut b = Scenario::builder(deployment);
-            let mut normal = NetworkBehavior::zigbee_default();
-            if acked {
-                normal.mac = nomc_mac::CsmaParams::acknowledged_default();
-            }
-            b.behavior(n, normal)
-                .behavior(a, NetworkBehavior::attacker(SimDuration::from_micros(2200)))
-                .duration(SimDuration::from_secs(6))
-                .warmup(SimDuration::from_secs(1))
-                .seed(seed);
-            run(&b.build().expect("builder-validated test scenario"))
-        };
-        let acked = build(true, 3);
-        let plain = build(false, 3);
-        let acked_link = &acked.links[0];
-        let plain_link = &plain.links[0];
-        assert!(
-            acked_link.retransmissions > 0,
-            "interference should force retries"
-        );
-        // Unique-delivery rate of the acked link should beat the plain
-        // link's PRR (retries mask losses).
-        let acked_ratio = acked_link.received as f64 / acked.mac_stats[0].enqueued.max(1) as f64;
-        let plain_prr = plain_link.prr().unwrap_or(0.0);
-        assert!(
-            acked_ratio > plain_prr,
-            "acked delivery ratio {acked_ratio} vs plain PRR {plain_prr}"
-        );
-    }
-
-    #[test]
-    fn forwarding_chain_relays_deliveries() {
-        // Two-hop chain: link 0 (saturated source) delivers to a relay
-        // position; link 1 forwards each delivery onward on another
-        // channel.
-        use nomc_topology::{Deployment, LinkSpec, NetworkSpec, Point};
-        let hop0 = NetworkSpec::new(
-            Megahertz::new(2458.0),
-            vec![LinkSpec::new(
-                Point::new(0.0, 0.0),
-                Point::new(2.0, 0.0),
-                Dbm::new(0.0),
-            )],
-        );
-        let hop1 = NetworkSpec::new(
-            Megahertz::new(2461.0), // 3 MHz away: non-orthogonal
-            vec![LinkSpec::new(
-                Point::new(2.0, 0.1), // colocated with hop0's receiver
-                Point::new(4.0, 0.0),
-                Dbm::new(0.0),
-            )],
-        );
-        let mut b = Scenario::builder(Deployment::new(vec![hop0, hop1]));
-        b.link_traffic(1, TrafficModel::Forward { from_link: 0 })
-            .duration(SimDuration::from_secs(6))
-            .warmup(SimDuration::from_secs(1))
-            .seed(9);
-        let result = run(&b.build().expect("builder-validated test scenario"));
-        let source_delivered = result.links[0].received;
-        let forwarded_sent = result.links[1].sent;
-        let sink_delivered = result.links[1].received;
-        assert!(source_delivered > 100, "source {source_delivered}");
-        // The relay forwards (almost) one frame per delivery — boundary
-        // effects allow a small mismatch.
-        assert!(
-            (forwarded_sent as f64) > 0.8 * source_delivered as f64
-                && (forwarded_sent as f64) < 1.1 * source_delivered as f64,
-            "source {source_delivered} vs forwarded {forwarded_sent}"
-        );
-        assert!(sink_delivered > 0);
-        // With hops only 3 MHz apart, the relay's own transmissions leak
-        // into its colocated receiver (ACR 20 dB at ~1 m), costing hop 0
-        // some deliveries relative to a lone link — the non-orthogonal
-        // relaying trade-off.
-        let lone = {
-            let plan = ChannelPlan::with_count(Megahertz::new(2458.0), Megahertz::new(5.0), 1);
-            let mut d = paper::line_deployment(&plan, Dbm::new(0.0));
-            d.networks[0].links.truncate(1);
-            let mut b = Scenario::builder(d);
-            b.duration(SimDuration::from_secs(6))
-                .warmup(SimDuration::from_secs(1))
-                .seed(9);
-            run(&b.build().expect("builder-validated test scenario")).links[0].received
-        };
-        assert!(
-            source_delivered < lone,
-            "relay contention should cost something: {source_delivered} vs {lone}"
-        );
-    }
-
-    #[test]
-    fn forwarder_without_credits_stays_silent() {
-        use nomc_topology::{Deployment, LinkSpec, NetworkSpec, Point};
-        // A forwarding link whose upstream never delivers (no source).
-        let upstream = NetworkSpec::new(
-            Megahertz::new(2458.0),
-            vec![LinkSpec::new(
-                Point::new(0.0, 0.0),
-                Point::new(2.0, 0.0),
-                Dbm::new(0.0),
-            )],
-        );
-        let downstream = NetworkSpec::new(
-            Megahertz::new(2467.0),
-            vec![LinkSpec::new(
-                Point::new(2.0, 0.0),
-                Point::new(4.0, 0.0),
-                Dbm::new(0.0),
-            )],
-        );
-        let mut b = Scenario::builder(Deployment::new(vec![upstream, downstream]));
-        // Upstream paced absurdly slowly: ~0 deliveries in the window.
-        b.behavior(
-            0,
-            NetworkBehavior {
-                traffic: TrafficModel::Interval(SimDuration::from_secs(30)),
-                ..NetworkBehavior::zigbee_default()
-            },
-        )
-        .link_traffic(1, TrafficModel::Forward { from_link: 0 })
-        .duration(SimDuration::from_secs(4))
-        .warmup(SimDuration::from_secs(1))
-        .seed(10);
-        let result = run(&b.build().expect("builder-validated test scenario"));
-        assert_eq!(result.links[1].sent, 0, "no credits, no transmissions");
-    }
-
-    #[test]
-    fn trace_recording() {
-        let plan = ChannelPlan::with_count(Megahertz::new(2460.0), Megahertz::new(5.0), 1);
-        let deployment = paper::line_deployment(&plan, Dbm::new(0.0));
-        let mut b = Scenario::builder(deployment);
-        b.duration(SimDuration::from_secs(2))
-            .warmup(SimDuration::from_secs(1))
-            .record_trace(true);
-        let result = run(&b.build().expect("builder-validated test scenario"));
-        assert!(!result.trace.is_empty());
-        let has =
-            |pred: fn(&crate::trace::TraceKind) -> bool| result.trace.iter().any(|r| pred(&r.kind));
-        assert!(has(|k| matches!(k, crate::trace::TraceKind::Cca { .. })));
-        assert!(has(|k| matches!(
-            k,
-            crate::trace::TraceKind::TxStart { .. }
-        )));
-        assert!(has(|k| matches!(
-            k,
-            crate::trace::TraceKind::Outcome { .. }
-        )));
-        // Chronological order.
-        assert!(result.trace.windows(2).all(|w| w[0].at <= w[1].at));
-        // And disabled by default.
-        let mut b = Scenario::builder(paper::line_deployment(&plan, Dbm::new(0.0)));
-        b.duration(SimDuration::from_secs(2))
-            .warmup(SimDuration::from_secs(1));
-        assert!(run(&b.build().expect("builder-validated test scenario"))
-            .trace
-            .is_empty());
-    }
-
-    #[test]
-    fn timeline_recording() {
-        let plan = ChannelPlan::with_count(Megahertz::new(2460.0), Megahertz::new(5.0), 1);
-        let deployment = paper::line_deployment(&plan, Dbm::new(0.0));
-        let mut b = Scenario::builder(deployment);
-        b.duration(SimDuration::from_secs(3))
-            .warmup(SimDuration::from_secs(1))
-            .record_timeline(true);
-        let result = run(&b.build().expect("builder-validated test scenario"));
-        assert!(!result.timeline.is_empty());
-        for r in &result.timeline {
-            assert!(r.end > r.start);
-            assert!(r.link < 2);
-        }
-    }
+/// Runs `scenario` to completion, fanning typed notifications out to
+/// `observers` as the simulation progresses.
+///
+/// Observers are write-only sinks: the returned [`SimResult`] is
+/// bit-identical to what [`run`] produces for the same scenario. The
+/// built-in sinks in [`crate::runtime::sinks`] (JSONL streaming tracer,
+/// energy meter, …) plug in here, as can any caller-defined
+/// [`SimObserver`].
+///
+/// # Panics
+///
+/// Panics under the same (builder-rejected) conditions as [`run`].
+pub fn run_with(scenario: &Scenario, observers: &mut [&mut dyn SimObserver]) -> SimResult {
+    Engine::new(scenario, observers).run()
 }

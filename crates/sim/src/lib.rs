@@ -9,8 +9,10 @@
 //! * [`medium`] — the shared RF medium: per-observer coupled powers,
 //!   segment-wise SINR histories, collision predicates,
 //! * [`scenario`] — deployment + behaviour + propagation configuration,
-//! * [`engine`] — the event loop wiring MAC engines, DCN adjustors,
-//!   traffic sources and the medium together,
+//! * [`engine`] — the [`engine::run`]/[`engine::run_with`] entry points,
+//! * [`runtime`] — the layered event loop behind them (dispatch, node
+//!   state, frame/ACK life cycles, power sensing) plus the pluggable
+//!   [`runtime::observer::SimObserver`] sink layer,
 //! * [`metrics`] — per-link/network counters and the paper's derived
 //!   metrics (throughput, PRR, CPRR),
 //! * [`energy`] — CC2420 radio-energy accounting per transmitter,
@@ -43,9 +45,14 @@ pub mod events;
 pub mod medium;
 pub mod metrics;
 pub mod rng;
+pub mod runtime;
 pub mod scenario;
 pub mod trace;
 
-pub use engine::run;
+pub use engine::{run, run_with};
 pub use metrics::{LinkMetrics, NetworkMetrics, SimResult};
+pub use runtime::observer::{
+    PowerSample, SimObserver, ThresholdSample, TxOutcomeInfo, TxStartInfo,
+};
+pub use runtime::sinks::{EnergyMeter, JsonlTracer, TimelineRecorder, TraceRecorder};
 pub use scenario::{NetworkBehavior, Scenario, ScenarioBuilder, ThresholdMode, TrafficModel};

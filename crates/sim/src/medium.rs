@@ -9,12 +9,67 @@
 //!    separately so the oracle-classifier extension can use them.
 //! 2. *What interference did reception R experience, segment by segment?*
 //!    — used at frame end to turn SINR history into sampled bit errors.
+//!
+//! # Registry layout and invariants
+//!
+//! The registry is a **monotonic-id slab** plus a **per-channel index**:
+//!
+//! - `slab` is a [`VecDeque`] of transmissions in id order. The engine
+//!   mints [`TxId`]s consecutively and registers every one, so ids in
+//!   the slab are *contiguous*: [`Medium::get`] is O(1) arithmetic
+//!   (`id - front.id`), not a scan.
+//! - `channels` maps each distinct centre frequency (a channel-grid
+//!   point) to the ids transmitted on it, in id order. Grid points are
+//!   discovered on first use and kept sorted by frequency.
+//! - Start times are non-decreasing in id (events are processed in time
+//!   order), so a query window `[from, to]` narrows each channel's id
+//!   list to `start + max_duration > from && start < to` with a short
+//!   walk back from the tail (`max_duration` is the longest airtime
+//!   seen).
+//! - Pruning is **prefix-only**: `add` pops stale ids from the front of
+//!   the slab (and of each channel list) until the front is younger
+//!   than the retention horizon. A mid-slab entry that outlived its
+//!   retention while an older long frame is still in front is kept, but
+//!   it is unobservable: every query window that could see it is issued
+//!   at a simulated time before the `add` that would have pruned it.
+//!
+//! # Channel cutoff
+//!
+//! Power queries ([`Medium::sensed_components`], [`Medium::sensed_total`],
+//! [`Medium::interference_segments`]) skip channels whose CFD to the
+//! observer frequency exceeds [`AcrCurve::saturation_cfd`]: past the
+//! curve's support the rejection is at its ~50 dB floor and the leaked
+//! power (≈1e-5 of an already-weak signal) is physically negligible, so
+//! such channels are treated as fully orthogonal. [`Medium::was_collided`]
+//! intentionally does *not* apply the cutoff — the paper's collision
+//! predicate compares against an explicit power floor, which a strong
+//! far-channel emitter can still cross.
+//!
+//! # Summation order
+//!
+//! `interference_segments` sorts candidates back into id order, so its
+//! floating-point sums are bit-identical to a flat id-ordered scan.
+//! `sensed_components` accumulates channel-major (channels in ascending
+//! frequency order, ids ascending within a channel) to keep the hot
+//! path allocation-free; within any single channel the order is still
+//! id order. The per-channel leakage factor is computed once per
+//! channel per query instead of once per transmission.
+//!
+//! # Caching (values unchanged, work moved)
+//!
+//! Two pure caches keep `powf`/`log10` out of the query loops without
+//! perturbing a single bit of output: per-node received powers are
+//! converted to linear milliwatts once at [`Medium::add`] (instead of
+//! per query), and leakage factors are memoized by CFD — node and
+//! channel frequencies live on a small grid, so only a handful of
+//! distinct CFDs ever occur.
 
 use crate::events::{NodeId, TxId};
 use nomc_phy::coupling::AcrCurve;
 use nomc_phy::BerModel;
 use nomc_rngcore::Rng;
 use nomc_units::{Dbm, Megahertz, MilliWatts, SimDuration, SimTime};
+use std::collections::VecDeque;
 
 /// One on-air (or recently ended) transmission.
 #[derive(Debug, Clone)]
@@ -45,11 +100,13 @@ pub struct Transmission {
 
 impl Transmission {
     /// Whether the transmission is on air at `t`.
+    #[inline]
     pub fn is_active_at(&self, t: SimTime) -> bool {
         self.start <= t && t < self.end
     }
 
     /// Overlap of this transmission with `[from, to]`, if any.
+    #[inline]
     pub fn overlap(&self, from: SimTime, to: SimTime) -> Option<(SimTime, SimTime)> {
         let s = self.start.max(from);
         let e = self.end.min(to);
@@ -70,27 +127,101 @@ pub struct Segment {
     pub interference: MilliWatts,
 }
 
+/// One channel-index entry: enough of a transmission (id, raw-ns time
+/// window, transmitter) to run the window/activity/overlap predicates
+/// without touching the slab. Only actual contributors are fetched.
+#[derive(Debug, Clone, Copy)]
+struct ChanEntry {
+    id: TxId,
+    start_ns: u64,
+    end_ns: u64,
+    tx_node: NodeId,
+}
+
+/// The ids transmitted on one channel-grid point, in id order. A plain
+/// `Vec` beats a ring buffer here: the list stays short (one retention
+/// horizon of frames), so the occasional front-drain memmove is cheaper
+/// than paying non-contiguous indexing on every binary-search probe.
+#[derive(Debug)]
+struct Channel {
+    freq: Megahertz,
+    ids: Vec<ChanEntry>,
+}
+
+/// A slab entry: the transmission plus its per-node received power
+/// converted to linear once at registration ([`Dbm::to_milliwatts`] is
+/// a `powf`; every power query over the transmission's lifetime reuses
+/// the converted value, bit-identical to converting on the fly).
+#[derive(Debug)]
+struct Entry {
+    tx: Transmission,
+    rx_mw: Vec<MilliWatts>,
+}
+
 /// The medium: transmission registry plus the propagation constants
 /// needed to couple powers across channels.
 #[derive(Debug)]
 pub struct Medium {
     acr: AcrCurve,
     noise: MilliWatts,
-    transmissions: Vec<Transmission>,
+    /// Id-ordered (and id-contiguous) transmission slab.
+    slab: VecDeque<Entry>,
+    /// Per-grid-point id lists, sorted by frequency.
+    channels: Vec<Channel>,
+    /// Longest airtime registered so far; bounds query windows.
+    max_duration: SimDuration,
+    /// CFD beyond which a channel is treated as fully orthogonal.
+    cutoff_mhz: f64,
     /// How long ended transmissions are retained for late segment queries.
     retention: SimDuration,
+    /// Memoized [`AcrCurve::leakage_factor`] keyed by CFD bits: node and
+    /// channel frequencies come from a small grid, so the handful of
+    /// distinct CFDs each pay the interpolation + `powf` exactly once.
+    leak_cache: std::cell::RefCell<Vec<(u64, f64)>>,
+    /// Reused working buffers for [`Medium::interference_segments`]
+    /// (cleared on entry; the returned segment list is still freshly
+    /// allocated because it is handed to the caller).
+    scratch: std::cell::RefCell<SegScratch>,
+}
+
+/// Working storage for [`Medium::interference_segments`]: the interferer
+/// candidates and the segment boundaries. Kept on the medium so the two
+/// intermediate allocations are paid once per run, not once per decode.
+#[derive(Debug, Default)]
+struct SegScratch {
+    interferers: Vec<(TxId, SimTime, SimTime, MilliWatts)>,
+    bounds: Vec<SimTime>,
 }
 
 impl Medium {
     /// Creates a medium with the given rejection curve and noise floor.
     pub fn new(acr: AcrCurve, noise: MilliWatts) -> Self {
+        let cutoff_mhz = acr.saturation_cfd().value();
         Medium {
             acr,
             noise,
-            transmissions: Vec::new(),
+            slab: VecDeque::new(),
+            channels: Vec::new(),
+            max_duration: SimDuration::ZERO,
+            cutoff_mhz,
             // Longest frame is ≈ 4.3 ms; keep 4× that.
             retention: SimDuration::from_millis(20),
+            leak_cache: std::cell::RefCell::new(Vec::new()),
+            scratch: std::cell::RefCell::new(SegScratch::default()),
         }
+    }
+
+    /// Cached [`AcrCurve::leakage_factor`] (see the `leak_cache` field).
+    #[inline]
+    fn leakage(&self, cfd: Megahertz) -> f64 {
+        let bits = cfd.value().to_bits();
+        let mut cache = self.leak_cache.borrow_mut();
+        if let Some(&(_, f)) = cache.iter().find(|&&(b, _)| b == bits) {
+            return f;
+        }
+        let f = self.acr.leakage_factor(cfd);
+        cache.push((bits, f));
+        f
     }
 
     /// The noise floor in linear power.
@@ -104,28 +235,103 @@ impl Medium {
     }
 
     /// Registers a transmission starting now and prunes stale history.
+    ///
+    /// Ids must be minted consecutively (each registered id is the
+    /// predecessor's plus one); the engine's mint guarantees this, and
+    /// [`Medium::get`] relies on it for O(1) lookup.
     pub fn add(&mut self, tx: Transmission) {
+        debug_assert!(
+            self.slab.back().is_none_or(|b| tx.id == b.tx.id + 1),
+            "transmission ids must be consecutive (got {} after {:?})",
+            tx.id,
+            self.slab.back().map(|b| b.tx.id),
+        );
         let now = tx.start;
-        self.transmissions
-            .retain(|t| now.saturating_since(t.end) <= self.retention);
-        self.transmissions.push(tx);
+        while self
+            .slab
+            .front()
+            .is_some_and(|e| now.saturating_since(e.tx.end) > self.retention)
+        {
+            self.slab.pop_front();
+        }
+        let base = self.slab.front().map(|e| e.tx.id).unwrap_or(tx.id);
+        for ch in &mut self.channels {
+            let stale = ch.ids.partition_point(|e| e.id < base);
+            ch.ids.drain(..stale);
+        }
+        self.max_duration = self.max_duration.max(tx.end.saturating_since(tx.start));
+        let key = ChanEntry {
+            id: tx.id,
+            start_ns: tx.start.as_nanos(),
+            end_ns: tx.end.as_nanos(),
+            tx_node: tx.tx_node,
+        };
+        match self
+            .channels
+            .binary_search_by(|c| c.freq.value().total_cmp(&tx.frequency.value()))
+        {
+            Ok(i) => self.channels[i].ids.push(key),
+            Err(i) => self.channels.insert(
+                i,
+                Channel {
+                    freq: tx.frequency,
+                    ids: vec![key],
+                },
+            ),
+        }
+        let rx_mw = tx.rx_power.iter().map(|p| p.to_milliwatts()).collect();
+        self.slab.push_back(Entry { tx, rx_mw });
     }
 
-    /// Looks up a transmission by id (active or recent).
+    /// Looks up a slab entry by id in O(1) (id arithmetic off the front).
+    #[inline]
+    fn entry(&self, id: TxId) -> Option<&Entry> {
+        let base = self.slab.front()?.tx.id;
+        let idx = usize::try_from(id.checked_sub(base)?).ok()?;
+        self.slab.get(idx).filter(|e| e.tx.id == id)
+    }
+
+    /// Looks up a transmission by id (active or recent) in O(1).
     pub fn get(&self, id: TxId) -> Option<&Transmission> {
-        self.transmissions.iter().find(|t| t.id == id)
+        self.entry(id).map(|e| &e.tx)
     }
 
     /// Number of tracked (active + recent) transmissions.
     pub fn tracked(&self) -> usize {
-        self.transmissions.len()
+        self.slab.len()
+    }
+
+    /// Index range of `ch.ids` that can overlap `[from_ns, to_ns)`:
+    /// entries with `start < to` and `start + max_duration > from`.
+    /// Both predicates are monotone in id because starts are.
+    ///
+    /// Query windows end at (or a retention horizon behind) the current
+    /// simulated time, i.e. near the tail of the start-ordered list, so
+    /// this walks back from the end: the walk visits only the entries
+    /// the caller is about to scan anyway, which on these short lists
+    /// beats two binary searches. The indices are exactly the
+    /// partition points of the two predicates.
+    #[inline]
+    fn window(&self, ch: &Channel, from_ns: u64, to_ns: u64) -> (usize, usize) {
+        let max_ns = self.max_duration.as_nanos();
+        let mut hi = ch.ids.len();
+        while hi > 0 && ch.ids[hi - 1].start_ns >= to_ns {
+            hi -= 1;
+        }
+        let mut lo = hi;
+        while lo > 0 && ch.ids[lo - 1].start_ns.saturating_add(max_ns) > from_ns {
+            lo -= 1;
+        }
+        (lo, hi)
     }
 
     /// Instantaneous sensed power at `observer` tuned to `freq`, split
     /// into (co-channel, inter-channel) components, *excluding* the
     /// observer's own emissions and *excluding* noise.
     ///
-    /// "Co-channel" means CFD < 0.5 MHz (same grid point).
+    /// "Co-channel" means CFD < 0.5 MHz (same grid point). Channels
+    /// beyond the ACR curve's support contribute nothing (see the
+    /// module notes on the channel cutoff and summation order).
     pub fn sensed_components(
         &self,
         observer: NodeId,
@@ -134,16 +340,29 @@ impl Medium {
     ) -> (MilliWatts, MilliWatts) {
         let mut co = MilliWatts::ZERO;
         let mut inter = MilliWatts::ZERO;
-        for t in &self.transmissions {
-            if t.tx_node == observer || !t.is_active_at(now) {
+        let now_ns = now.as_nanos();
+        for ch in &self.channels {
+            let cfd = ch.freq.distance_to(freq);
+            if cfd.value() > self.cutoff_mhz {
                 continue;
             }
-            let cfd = t.frequency.distance_to(freq);
-            let coupled = t.rx_power[observer].to_milliwatts() * self.acr.leakage_factor(cfd);
-            if cfd.value() < 0.5 {
-                co += coupled;
-            } else {
-                inter += coupled;
+            let (lo, hi) = self.window(ch, now_ns, now_ns.saturating_add(1));
+            if lo == hi {
+                continue;
+            }
+            let mut leak: Option<f64> = None;
+            for ce in &ch.ids[lo..hi] {
+                if ce.tx_node == observer || !(ce.start_ns <= now_ns && now_ns < ce.end_ns) {
+                    continue;
+                }
+                let Some(e) = self.entry(ce.id) else { continue };
+                let factor = *leak.get_or_insert_with(|| self.leakage(cfd));
+                let coupled = e.rx_mw[observer] * factor;
+                if cfd.value() < 0.5 {
+                    co += coupled;
+                } else {
+                    inter += coupled;
+                }
             }
         }
         (co, inter)
@@ -159,6 +378,7 @@ impl Medium {
     /// Piecewise-constant interference experienced by `observer` (tuned
     /// to `freq`) during `[from, to]`, excluding transmission `subject`
     /// and the observer's own emissions. Noise is *not* included.
+    /// Channels beyond the ACR curve's support contribute nothing.
     ///
     /// Returns segments in chronological order covering exactly
     /// `[from, to]`.
@@ -171,35 +391,59 @@ impl Medium {
         to: SimTime,
     ) -> Vec<Segment> {
         debug_assert!(from <= to);
-        // Collect overlapping interferers with their coupled powers.
-        let mut interferers: Vec<(SimTime, SimTime, MilliWatts)> = Vec::new();
-        for t in &self.transmissions {
-            if t.id == subject || t.tx_node == observer {
+        let (from_ns, to_ns) = (from.as_nanos(), to.as_nanos());
+        let mut scratch = self.scratch.borrow_mut();
+        let SegScratch {
+            interferers,
+            bounds,
+        } = &mut *scratch;
+        // Collect overlapping interferers with their coupled powers,
+        // then restore id order so the per-segment floating-point sums
+        // match a flat id-ordered scan bit for bit.
+        interferers.clear();
+        for ch in &self.channels {
+            let cfd = ch.freq.distance_to(freq);
+            if cfd.value() > self.cutoff_mhz {
                 continue;
             }
-            if let Some((s, e)) = t.overlap(from, to) {
-                let coupled = t.rx_power[observer].to_milliwatts()
-                    * self.acr.leakage_factor(t.frequency.distance_to(freq));
-                interferers.push((s, e, coupled));
+            let (lo, hi) = self.window(ch, from_ns, to_ns);
+            let mut leak: Option<f64> = None;
+            for ce in &ch.ids[lo..hi] {
+                if ce.id == subject
+                    || ce.tx_node == observer
+                    || ce.start_ns.max(from_ns) >= ce.end_ns.min(to_ns)
+                {
+                    continue;
+                }
+                let Some(entry) = self.entry(ce.id) else {
+                    continue;
+                };
+                let Some((s, e)) = entry.tx.overlap(from, to) else {
+                    continue;
+                };
+                let factor = *leak.get_or_insert_with(|| self.leakage(cfd));
+                let coupled = entry.rx_mw[observer] * factor;
+                interferers.push((ce.id, s, e, coupled));
             }
         }
+        interferers.sort_unstable_by_key(|&(id, ..)| id);
         // Build segment boundaries.
-        let mut bounds: Vec<SimTime> = Vec::with_capacity(interferers.len() * 2 + 2);
+        bounds.clear();
         bounds.push(from);
         bounds.push(to);
-        for &(s, e, _) in &interferers {
+        for &(_, s, e, _) in interferers.iter() {
             bounds.push(s);
             bounds.push(e);
         }
         bounds.sort();
         bounds.dedup();
-        let mut segments = Vec::with_capacity(bounds.len() - 1);
+        let mut segments = Vec::with_capacity(bounds.len().saturating_sub(1));
         for (&s, &e) in bounds.iter().zip(bounds.iter().skip(1)) {
             if s == e {
                 continue;
             }
             let mut power = MilliWatts::ZERO;
-            for &(is, ie, p) in &interferers {
+            for &(_, is, ie, p) in interferers.iter() {
                 if is <= s && e <= ie {
                     power += p;
                 }
@@ -221,6 +465,10 @@ impl Medium {
     /// Whether any *other* transmission overlapped `[from, to]` with a
     /// coupled power above `floor` at the observer — the "collided"
     /// predicate for the paper's CPRR metric.
+    ///
+    /// Unlike the power queries this scans every channel: the explicit
+    /// `floor` comparison can be crossed even by a fully-rejected
+    /// far-channel emitter at close range.
     pub fn was_collided(
         &self,
         subject: TxId,
@@ -230,10 +478,17 @@ impl Medium {
         to: SimTime,
         floor: Dbm,
     ) -> bool {
-        self.transmissions.iter().any(|t| {
+        let max_ns = self.max_duration.as_nanos();
+        let lo = self
+            .slab
+            .partition_point(|e| e.tx.start.as_nanos().saturating_add(max_ns) <= from.as_nanos());
+        let hi = self
+            .slab
+            .partition_point(|e| e.tx.start.as_nanos() < to.as_nanos());
+        self.slab.range(lo..hi.max(lo)).any(|e| {
+            let t = &e.tx;
             t.id != subject && t.tx_node != observer && t.overlap(from, to).is_some() && {
-                let coupled = t.rx_power[observer].to_milliwatts()
-                    * self.acr.leakage_factor(t.frequency.distance_to(freq));
+                let coupled = e.rx_mw[observer] * self.leakage(t.frequency.distance_to(freq));
                 coupled.to_dbm() > floor
             }
         })
@@ -358,6 +613,49 @@ mod tests {
     }
 
     #[test]
+    fn beyond_support_channels_are_orthogonal() {
+        let mut m = medium();
+        let sat = m.acr().saturation_cfd().value();
+        // One emitter just past the curve's support, one exactly at it.
+        m.add(mk_tx(1, 0, 2460.0 + sat + 1.0, 0, 3000, -30.0));
+        m.add(mk_tx(2, 1, 2460.0 + sat, 0, 3000, -30.0));
+        let now = SimTime::from_micros(1000);
+        let (co, inter) = m.sensed_components(3, Megahertz::new(2460.0), now);
+        assert_eq!(co, MilliWatts::ZERO);
+        assert!(
+            inter > MilliWatts::ZERO,
+            "the at-saturation channel still leaks"
+        );
+        let expected =
+            Dbm::new(-30.0).to_milliwatts().value() * m.acr().leakage_factor(Megahertz::new(sat));
+        assert!(
+            (inter.value() - expected).abs() <= expected * 1e-12,
+            "only the at-saturation emitter contributes"
+        );
+        // Segments likewise ignore the beyond-support emitter: only the
+        // at-saturation one leaks into the 2460 MHz observer's window.
+        let segs = m.interference_segments(
+            99,
+            3,
+            Megahertz::new(2460.0),
+            SimTime::ZERO,
+            SimTime::from_micros(3000),
+        );
+        assert_eq!(segs.len(), 1);
+        assert!((segs[0].interference.value() - expected).abs() <= expected * 1e-12);
+        // ... but the collision predicate still sees it: −30 dBm with
+        // ~50 dB rejection is −80 dBm, above a −100 dBm floor.
+        assert!(m.was_collided(
+            2,
+            3,
+            Megahertz::new(2460.0),
+            SimTime::ZERO,
+            SimTime::from_micros(3000),
+            Dbm::new(-100.0)
+        ));
+    }
+
+    #[test]
     fn segments_partition_the_window() {
         let mut m = medium();
         // Subject: [0, 3000]; interferer A: [500, 1200]; B: [1000, 4000].
@@ -423,6 +721,38 @@ mod tests {
         assert_eq!(m.tracked(), 1, "stale entry pruned on add");
         assert!(m.get(1).is_none());
         assert!(m.get(2).is_some());
+    }
+
+    #[test]
+    fn get_survives_pruning_and_misses_cleanly() {
+        let mut m = medium();
+        for id in 1..=5 {
+            m.add(mk_tx(id, 0, 2460.0, id * 100, id * 100 + 50, -70.0));
+        }
+        assert!(m.get(0).is_none(), "below the slab");
+        assert!(m.get(6).is_none(), "beyond the slab");
+        assert_eq!(m.get(3).map(|t| t.id), Some(3));
+        // Push the front past retention; survivors stay addressable.
+        m.add(mk_tx(6, 1, 2463.0, 50_000, 53_000, -70.0));
+        assert!(m.get(1).is_none());
+        assert_eq!(m.get(6).map(|t| t.seq), Some(0));
+    }
+
+    #[test]
+    fn stale_mid_slab_entries_invisible_to_queries() {
+        let mut m = medium();
+        // A long frame holds the slab front while a short one goes stale
+        // behind it (prefix pruning keeps both).
+        m.add(mk_tx(1, 0, 2460.0, 0, 40_000, -60.0)); // long
+        m.add(mk_tx(2, 1, 2460.0, 100, 200, -50.0)); // short, stale soon
+        m.add(mk_tx(3, 2, 2460.0, 39_000, 42_000, -70.0));
+        assert_eq!(m.tracked(), 3, "prefix pruning keeps the stale entry");
+        let total = m.sensed_total(3, Megahertz::new(2460.0), SimTime::from_micros(39_500));
+        // Only tx 1 (−60) and tx 3 (−70) are active; tx 2 ended long ago.
+        let expected = Dbm::new(-60.0).to_milliwatts()
+            + Dbm::new(-70.0).to_milliwatts()
+            + Dbm::new(-98.0).to_milliwatts();
+        assert!((total.value() - expected.value()).abs() <= expected.value() * 1e-12);
     }
 
     #[test]

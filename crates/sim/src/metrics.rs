@@ -158,6 +158,9 @@ pub struct SimResult {
     pub timeline: Vec<TimelineRecord>,
     /// Optional structured event trace.
     pub trace: Vec<crate::trace::TraceRecord>,
+    /// Total events the engine dispatched (all kinds, whole run
+    /// including warmup and drain) — the denominator of events/sec.
+    pub events: u64,
 }
 
 impl SimResult {
@@ -269,6 +272,7 @@ mod tests {
             final_thresholds: vec![],
             timeline: vec![],
             trace: vec![],
+            events: 0,
         };
         let nets = result.networks();
         assert_eq!(nets.len(), 2);

@@ -1,0 +1,69 @@
+//! Bootstrap, the main event loop, and event routing.
+//!
+//! [`Engine::run`] drains the future-event list in `(time, seq)` order
+//! until the post-run drain deadline; every popped event is offered to
+//! the observers (before handling, so sinks see the pristine event) and
+//! routed to its handler in the sibling modules.
+
+use super::{Engine, DRAIN};
+use crate::events::{Event, NodeId};
+use crate::metrics::SimResult;
+use crate::scenario::TrafficModel;
+use nomc_mac::MacEvent;
+use nomc_rngcore::Rng;
+use nomc_units::{SimDuration, SimTime};
+
+impl Engine<'_, '_, '_> {
+    pub(crate) fn run(mut self) -> SimResult {
+        self.bootstrap();
+        let deadline = SimTime::ZERO + self.sc.duration + DRAIN;
+        while let Some((t, ev)) = self.queue.pop() {
+            if t > deadline {
+                break;
+            }
+            self.now = t;
+            self.events += 1;
+            self.obs.event(t, &ev);
+            self.dispatch(ev);
+        }
+        self.finalize()
+    }
+
+    fn bootstrap(&mut self) {
+        let sender_ids: Vec<NodeId> = (0..self.nodes.len())
+            .filter(|&i| self.nodes[i].is_sender)
+            .collect();
+        for id in sender_ids {
+            // Small random start jitter desynchronizes the saturated
+            // sources, like staggered mote boot times.
+            let jitter = SimDuration::from_micros(self.rng.gen_range(0..5000));
+            let start = SimTime::ZERO + jitter;
+            self.nodes[id].next_interval_at = start;
+            if matches!(self.nodes[id].traffic, TrafficModel::Forward { .. }) {
+                // Forwarders wake when their first credit arrives.
+                self.nodes[id].wants_packet = true;
+            } else {
+                self.queue.schedule(start, Event::PacketReady(id));
+            }
+            self.queue.schedule(start, Event::ProviderTick(id));
+            if self.provider_wants_sensing(id, start) {
+                self.queue.schedule(start, Event::PowerSense(id));
+            }
+        }
+    }
+
+    fn dispatch(&mut self, ev: Event) {
+        match ev {
+            Event::PacketReady(n) => self.on_packet_ready(n),
+            Event::BackoffExpired(n) => self.feed_mac(n, MacEvent::BackoffExpired),
+            Event::CcaDone(n) => self.on_cca_done(n),
+            Event::TxStart(n) => self.on_tx_start(n),
+            Event::TxEnd(n, id) => self.on_tx_end(n, id),
+            Event::SyncDone(n, id) => self.on_sync_done(n, id),
+            Event::PowerSense(n) => self.on_power_sense(n),
+            Event::ProviderTick(n) => self.on_provider_tick(n),
+            Event::AckStart(n, parent) => self.on_ack_start(n, parent),
+            Event::AckTimeout(n, parent) => self.on_ack_timeout(n, parent),
+        }
+    }
+}

@@ -1,0 +1,403 @@
+//! The data-frame life cycle: TxStart, sync acquisition, decode, TxEnd.
+//!
+//! A frame's engine-side record is [`TxMeta`]: decode results are
+//! staged there (outcome, duplicate flag, bit-error record) and emitted
+//! as one [`TxOutcomeInfo`] notification when the frame leaves the air,
+//! so observers see a single authoritative per-frame outcome.
+
+use super::node::RxAttempt;
+use super::observer::{TxOutcomeInfo, TxStartInfo};
+use super::Engine;
+use crate::events::{Event, NodeId, TxId};
+use crate::medium::{self, Transmission};
+use crate::metrics::{ErrorRecord, TxOutcome};
+use crate::trace::TraceKind;
+use nomc_mac::MacEvent;
+use nomc_radio::timing;
+use nomc_rngcore::Rng;
+use nomc_units::SimTime;
+
+/// Engine-side metadata for an in-flight transmission.
+#[derive(Debug)]
+pub(crate) struct TxMeta {
+    pub(crate) measured: bool,
+    pub(crate) link: usize,
+    pub(crate) intended_rx: NodeId,
+    /// The intended receiver could not even attempt sync (busy/TX).
+    pub(crate) intended_busy: bool,
+    /// Outcome recorded during decode (None until TxEnd processing).
+    pub(crate) outcome: Option<TxOutcome>,
+    /// A successful decode was a duplicate delivery (its predecessor's
+    /// ACK was lost); staged during decode.
+    pub(crate) duplicate: bool,
+    /// Bit-error profile of a failed decode at the intended receiver;
+    /// staged during decode.
+    pub(crate) error_record: Option<ErrorRecord>,
+}
+
+impl Engine<'_, '_, '_> {
+    pub(crate) fn on_tx_start(&mut self, n: NodeId) {
+        let id = self.next_tx_id;
+        self.next_tx_id += 1;
+        let node_count = self.nodes.len();
+        let (freq, tx_power, link, forced, seq) = {
+            let node = &mut self.nodes[n];
+            node.transmitting = true;
+            node.rx = None;
+            node.last_tx = id;
+            (
+                node.freq,
+                node.tx_power,
+                node.link,
+                node.forced_next,
+                node.seq,
+            )
+        };
+        // Per-observer received powers with fresh per-packet shadowing.
+        let mut rx_power = Vec::with_capacity(node_count);
+        for o in 0..node_count {
+            if o == n {
+                rx_power.push(tx_power);
+            } else {
+                let shadow = self.sc.propagation.shadowing.sample(&mut self.rng);
+                rx_power.push(tx_power - self.loss[n][o] + shadow);
+            }
+        }
+        let start = self.now;
+        let end = start + self.airtime;
+        let mpdu_start = start + self.mpdu_offset;
+        let measured = {
+            let t0 = SimTime::ZERO + self.sc.warmup;
+            let t1 = SimTime::ZERO + self.sc.duration;
+            start >= t0 && start < t1
+        };
+        let intended_rx = self.link_rx[link];
+        // Offer sync to candidate observers.
+        let sync_at = start + self.sync_dur;
+        #[allow(clippy::needless_range_loop)] // index is reused for rx_power + scheduling
+        for o in 0..node_count {
+            if o == n {
+                continue;
+            }
+            let obs = &self.nodes[o];
+            if obs.transmitting || obs.rx.is_some() {
+                continue;
+            }
+            let cfd = freq.distance_to(obs.freq);
+            if !self.sc.radio.capture_model.is_sync_candidate(cfd) {
+                continue;
+            }
+            let coupled = rx_power[o] - self.medium.acr().rejection(cfd);
+            if !self
+                .sc
+                .radio
+                .capture_model
+                .clears_sensitivity(coupled, self.sc.radio.sensitivity)
+            {
+                continue;
+            }
+            self.nodes[o].rx = Some(RxAttempt {
+                tx_id: id,
+                synced: false,
+            });
+            self.queue.schedule(sync_at, Event::SyncDone(o, id));
+        }
+        let intended_busy = {
+            let r = &self.nodes[intended_rx];
+            let locked_to_us = matches!(r.rx, Some(a) if a.tx_id == id);
+            !locked_to_us && (r.transmitting || r.rx.is_some())
+        };
+        self.tx_meta.insert(
+            id,
+            TxMeta {
+                measured,
+                link,
+                intended_rx,
+                intended_busy,
+                outcome: None,
+                duplicate: false,
+                error_record: None,
+            },
+        );
+        let retrying = self.nodes[n]
+            .mac
+            .as_ref()
+            .is_some_and(|m| m.retry_count() > 0);
+        if measured {
+            self.nodes[n].stats.transmitted += 1;
+            if forced {
+                self.nodes[n].stats.forced_transmissions += 1;
+            }
+            if retrying {
+                self.nodes[n].stats.retransmissions += 1;
+            }
+        }
+        self.obs.tx_start(&TxStartInfo {
+            tx: id,
+            node: n,
+            link,
+            seq,
+            forced,
+            retry: retrying,
+            measured,
+            at: start,
+            end,
+        });
+        self.medium.add(Transmission {
+            id,
+            tx_node: n,
+            link,
+            frequency: freq,
+            start,
+            mpdu_start,
+            end,
+            seq,
+            forced,
+            rx_power,
+        });
+        self.obs.trace_kind(
+            self.now,
+            TraceKind::TxStart {
+                node: n,
+                tx: id,
+                seq,
+                forced,
+            },
+        );
+        self.queue.schedule(end, Event::TxEnd(n, id));
+    }
+
+    pub(crate) fn on_sync_done(&mut self, o: NodeId, tx_id: TxId) {
+        let Some(attempt) = self.nodes[o].rx else {
+            return;
+        };
+        if attempt.tx_id != tx_id || attempt.synced || self.nodes[o].transmitting {
+            return;
+        }
+        let Some(t) = self.medium.get(tx_id) else {
+            self.nodes[o].rx = None;
+            return;
+        };
+        let cfd = t.frequency.distance_to(self.nodes[o].freq);
+        // The preamble correlator detects its known sequence several dB
+        // below the payload decoding threshold (sync_margin).
+        let coupled = t.rx_power[o] - self.medium.acr().rejection(cfd) + self.sc.radio.sync_margin;
+        let segments = self.medium.interference_segments(
+            tx_id,
+            o,
+            self.nodes[o].freq,
+            t.start,
+            t.start + self.sync_dur,
+        );
+        let p = medium::sync_success_probability(
+            &segments,
+            coupled,
+            self.medium.noise(),
+            self.sc.radio.ber_model,
+        );
+        if self.rng.gen::<f64>() < p {
+            self.nodes[o].rx = Some(RxAttempt {
+                tx_id,
+                synced: true,
+            });
+        } else {
+            self.nodes[o].rx = None;
+        }
+    }
+
+    pub(crate) fn on_tx_end(&mut self, n: NodeId, tx_id: TxId) {
+        // ACK frames complete differently: the acking receiver goes idle
+        // and the original sender tries to decode the ACK.
+        if let Some((parent, sender)) = self.acks.remove(&tx_id) {
+            self.nodes[n].transmitting = false;
+            self.try_deliver_ack(tx_id, parent, sender);
+            return;
+        }
+        // 1. The transmitter returns to idle and paces its next frame.
+        self.nodes[n].transmitting = false;
+        self.feed_mac(n, MacEvent::TxDone);
+
+        // 2. Locked receivers decode.
+        let receivers: Vec<NodeId> = (0..self.nodes.len())
+            .filter(|&o| {
+                self.nodes[o]
+                    .rx
+                    .is_some_and(|r| r.tx_id == tx_id && r.synced)
+            })
+            .collect();
+        for o in receivers {
+            self.decode(o, tx_id);
+            self.nodes[o].rx = None;
+        }
+
+        // 3. The frame's single authoritative outcome notification.
+        let Some(meta) = self.tx_meta.remove(&tx_id) else {
+            return;
+        };
+        let Some(t) = self.medium.get(tx_id) else {
+            return;
+        };
+        let (start, end) = (t.start, t.end);
+        let intended_freq = self.nodes[meta.intended_rx].freq;
+        let collided = self.medium.was_collided(
+            tx_id,
+            meta.intended_rx,
+            intended_freq,
+            start,
+            end,
+            self.sc.collision_floor,
+        );
+        let outcome = meta.outcome.unwrap_or(if meta.intended_busy {
+            TxOutcome::ReceiverBusy
+        } else {
+            TxOutcome::SyncMissed
+        });
+        self.obs.tx_outcome(&TxOutcomeInfo {
+            tx: tx_id,
+            link: meta.link,
+            receiver: meta.intended_rx,
+            outcome,
+            collided,
+            duplicate: meta.duplicate,
+            measured: meta.measured,
+            start,
+            end,
+            error_record: meta.error_record,
+        });
+        if meta.measured {
+            let outcome_str = match outcome {
+                TxOutcome::Received => "received",
+                TxOutcome::CrcFailed => "crc_failed",
+                TxOutcome::SyncMissed => "sync_missed",
+                TxOutcome::ReceiverBusy => "receiver_busy",
+            };
+            self.obs.trace_kind(
+                self.now,
+                TraceKind::Outcome {
+                    tx: tx_id,
+                    receiver: meta.intended_rx,
+                    outcome: outcome_str,
+                },
+            );
+        }
+    }
+
+    /// Decodes transmission `tx_id` at node `o` (which stayed locked to
+    /// it until the end).
+    fn decode(&mut self, o: NodeId, tx_id: TxId) {
+        let Some(t) = self.medium.get(tx_id) else {
+            return;
+        };
+        let obs_freq = self.nodes[o].freq;
+        let cfd = t.frequency.distance_to(obs_freq);
+        // Foreign-channel captures (802.11b-like mode only) waste the
+        // receiver's time but never yield a usable frame.
+        if cfd.value() >= 0.5 {
+            return;
+        }
+        let signal = t.rx_power[o];
+        let (measured, intended_rx) = match self.tx_meta.get(&tx_id) {
+            Some(m) => (m.measured, m.intended_rx),
+            None => (false, usize::MAX),
+        };
+        let segments = self
+            .medium
+            .interference_segments(tx_id, o, obs_freq, t.mpdu_start, t.end);
+        let (errors, bits) = medium::sample_segment_errors(
+            &mut self.rng,
+            &segments,
+            signal,
+            self.medium.noise(),
+            self.sc.radio.ber_model,
+        );
+        let mut new_record = None;
+        let decoded = if errors == 0 {
+            true
+        } else if self.sc.record_error_positions {
+            // Full-fidelity path: flip sampled bit positions in the real
+            // MPDU image and run the real FCS check (a corrupted frame
+            // passes CRC only with probability ≈ 2⁻¹⁶).
+            let tx_node_seq = t.seq;
+            let src = t.tx_node as u32;
+            let mut mpdu = self.sc.frame.build_mpdu(src, tx_node_seq);
+            let positions =
+                nomc_phy::biterror::sample_error_positions(&mut self.rng, bits, errors.min(bits));
+            for &p in &positions {
+                let byte = (p / 8) as usize;
+                if byte < mpdu.len() {
+                    mpdu[byte] ^= 1 << (p % 8);
+                }
+            }
+            let ok = nomc_radio::crc::verify_fcs(&mpdu);
+            if !ok && o == intended_rx && measured {
+                new_record = Some(ErrorRecord {
+                    error_bits: errors.min(bits),
+                    total_bits: bits,
+                    positions: Some(positions),
+                });
+            }
+            ok
+        } else {
+            if o == intended_rx && measured {
+                new_record = Some(ErrorRecord {
+                    error_bits: errors.min(bits),
+                    total_bits: bits,
+                    positions: None,
+                });
+            }
+            false
+        };
+        if o == intended_rx {
+            let duplicate = decoded && self.nodes[o].last_rx_seq == Some(t.seq);
+            if let Some(m) = self.tx_meta.get_mut(&tx_id) {
+                m.outcome = Some(if decoded {
+                    TxOutcome::Received
+                } else {
+                    TxOutcome::CrcFailed
+                });
+                m.duplicate = duplicate;
+                m.error_record = new_record;
+            }
+            if decoded {
+                let seq = t.seq;
+                self.nodes[o].last_rx_seq = Some(seq);
+            }
+            if decoded && !duplicate {
+                let link = self.nodes[o].link;
+                if let Some(&f) = self.forwarders.get(&link) {
+                    let delay = self.nodes[f]
+                        .mac
+                        .as_ref()
+                        .expect("forwarder is a sender")
+                        .params()
+                        .post_tx_processing;
+                    self.nodes[f].credits += 1;
+                    if self.nodes[f].wants_packet {
+                        self.nodes[f].wants_packet = false;
+                        self.nodes[f].credits -= 1;
+                        let at = self.now + delay;
+                        if at < SimTime::ZERO + self.sc.duration {
+                            self.queue.schedule(at, Event::PacketReady(f));
+                        }
+                    }
+                }
+            }
+            // Acknowledged transfers: the receiver turns around and emits
+            // an Imm-ACK (also for duplicates — their ACK was lost).
+            if decoded && self.nodes[o].acknowledged {
+                let turnaround = timing::TURNAROUND;
+                self.nodes[o].transmitting = true;
+                self.nodes[o].rx = None;
+                self.queue
+                    .schedule(self.now + turnaround, Event::AckStart(o, tx_id));
+            }
+        }
+        if decoded {
+            // Any successfully decoded co-channel frame feeds the
+            // observer's CCA-threshold provider with its RSSI (the
+            // paper's free information source).
+            let rssi = self.sc.radio.rssi.read(signal);
+            self.provider_mutate(o, |p, now| p.on_cochannel_packet(rssi, now));
+        }
+    }
+}

@@ -293,6 +293,12 @@ pub struct Scenario {
     /// Record a full structured event trace (see [`crate::trace`]);
     /// sizeable — one record per CCA and per frame.
     pub record_trace: bool,
+    /// Collect per-link [`crate::metrics::ErrorRecord`]s for CRC-failed
+    /// frames (on by default). Experiments that never inspect bit-error
+    /// profiles can switch this off to keep long sweeps lean; it only
+    /// gates collection, never the underlying sampling, so results are
+    /// otherwise identical.
+    pub record_error_records: bool,
     /// Coupled-power floor above which an overlapping transmission counts
     /// as a "collision" for CPRR purposes.
     pub collision_floor: Dbm,
@@ -311,6 +317,7 @@ nomc_json::json_struct!(Scenario {
     record_error_positions: bool,
     record_timeline: bool,
     record_trace: bool = false,
+    record_error_records: bool = true,
     collision_floor: Dbm,
 });
 
@@ -336,6 +343,7 @@ pub struct ScenarioBuilder {
     record_error_positions: bool,
     record_timeline: bool,
     record_trace: bool,
+    record_error_records: bool,
     collision_floor: Dbm,
 }
 
@@ -357,6 +365,7 @@ impl ScenarioBuilder {
             record_error_positions: false,
             record_timeline: false,
             record_trace: false,
+            record_error_records: true,
             collision_floor: Dbm::new(-100.0),
         }
     }
@@ -447,6 +456,13 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Enables or disables collection of per-link bit-error records
+    /// (on by default).
+    pub fn record_error_records(&mut self, on: bool) -> &mut Self {
+        self.record_error_records = on;
+        self
+    }
+
     /// Finalizes the scenario.
     ///
     /// # Errors
@@ -496,6 +512,7 @@ impl ScenarioBuilder {
             record_error_positions: self.record_error_positions,
             record_timeline: self.record_timeline,
             record_trace: self.record_trace,
+            record_error_records: self.record_error_records,
             collision_floor: self.collision_floor,
         })
     }

@@ -1,0 +1,297 @@
+//! Property tests pinning the indexed [`Medium`] to a naive full-scan
+//! reference.
+//!
+//! The medium keeps a per-channel id index over a monotonic-id slab so
+//! power queries touch only plausibly-overlapping transmissions. These
+//! properties assert the optimization is *invisible*: over randomized
+//! transmission sets — including channels beyond the ACR saturation
+//! cutoff and entries old enough to be pruned — every query returns
+//! results **bit-identical** to a flat scan of the same registry in the
+//! documented summation orders (channel-major for
+//! [`Medium::sensed_components`], id order for
+//! [`Medium::interference_segments`]).
+
+use nomc_rngcore::check::{forall, range, vec_of, zip2, zip3, zip4, G};
+use nomc_rngcore::{check, check_eq};
+use nomc_sim::events::{NodeId, TxId};
+use nomc_sim::medium::{Medium, Segment, Transmission};
+use nomc_units::{Dbm, Megahertz, MilliWatts, SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// Observers / transmitters share this many node ids.
+const NODES: usize = 6;
+
+/// Mirrors the medium's retention horizon (see `Medium::new`): the
+/// reference registry must prune the same prefix the medium prunes, or
+/// the two would diverge on ancient history instead of on indexing bugs.
+const RETENTION: SimDuration = SimDuration::from_millis(20);
+
+/// The channel grid: 8 points at 3 MHz spacing. Distances from one end
+/// to the other (21 MHz) comfortably exceed the CC2420 curve's 9 MHz
+/// saturation CFD, so beyond-cutoff channels occur in every dense case.
+fn grid(k: usize) -> Megahertz {
+    Megahertz::new(2450.0 + 3.0 * k as f64)
+}
+
+/// One randomized transmission: (grid point, start µs, duration µs,
+/// strongest received power dBm).
+type Spec = (usize, u64, u64, f64);
+
+fn arb_specs() -> G<Vec<Spec>> {
+    vec_of(
+        zip4(
+            range(0usize..8),
+            range(0u64..30_000),
+            range(200u64..4_300),
+            range(-90.0f64..-30.0),
+        ),
+        1..40,
+    )
+}
+
+/// Builds the indexed medium and the flat reference registry from the
+/// same specs. Specs are sorted by start (the engine registers in event
+/// order) and ids minted consecutively from 1; the reference applies
+/// the same prefix-only pruning `Medium::add` applies.
+fn build(specs: &[Spec]) -> (Medium, VecDeque<Transmission>) {
+    let mut sorted = specs.to_vec();
+    sorted.sort_by_key(|&(_, start, ..)| start);
+    let mut medium = Medium::new(
+        nomc_phy::coupling::AcrCurve::cc2420_calibrated(),
+        Dbm::new(-98.0).to_milliwatts(),
+    );
+    let mut flat: VecDeque<Transmission> = VecDeque::new();
+    for (i, &(k, start_us, dur_us, power)) in sorted.iter().enumerate() {
+        let start = SimTime::from_micros(start_us);
+        let tx = Transmission {
+            id: (i + 1) as TxId,
+            tx_node: i % NODES,
+            link: i % NODES,
+            frequency: grid(k),
+            start,
+            mpdu_start: SimTime::from_micros(start_us + 192),
+            end: SimTime::from_micros(start_us + dur_us),
+            seq: 0,
+            forced: false,
+            rx_power: (0..NODES).map(|n| Dbm::new(power - n as f64)).collect(),
+        };
+        while flat
+            .front()
+            .is_some_and(|t| start.saturating_since(t.end) > RETENTION)
+        {
+            flat.pop_front();
+        }
+        flat.push_back(tx.clone());
+        medium.add(tx);
+    }
+    (medium, flat)
+}
+
+/// Flat-scan reference for [`Medium::sensed_components`]: channel-major
+/// (distinct frequencies ascending, ids ascending within a channel),
+/// one leakage factor per channel, saturation cutoff applied.
+fn naive_sensed(
+    medium: &Medium,
+    flat: &VecDeque<Transmission>,
+    observer: NodeId,
+    freq: Megahertz,
+    now: SimTime,
+) -> (MilliWatts, MilliWatts) {
+    let cutoff = medium.acr().saturation_cfd().value();
+    let mut freqs: Vec<f64> = flat.iter().map(|t| t.frequency.value()).collect();
+    freqs.sort_by(f64::total_cmp);
+    freqs.dedup();
+    let mut co = MilliWatts::ZERO;
+    let mut inter = MilliWatts::ZERO;
+    for f in freqs {
+        let cfd = Megahertz::new(f).distance_to(freq);
+        if cfd.value() > cutoff {
+            continue;
+        }
+        let factor = medium.acr().leakage_factor(cfd);
+        for t in flat {
+            if t.frequency.value() != f || t.tx_node == observer || !t.is_active_at(now) {
+                continue;
+            }
+            let coupled = t.rx_power[observer].to_milliwatts() * factor;
+            if cfd.value() < 0.5 {
+                co += coupled;
+            } else {
+                inter += coupled;
+            }
+        }
+    }
+    (co, inter)
+}
+
+/// Flat-scan reference for [`Medium::interference_segments`]: id-order
+/// candidate collection with the saturation cutoff, then the same
+/// boundary construction.
+fn naive_segments(
+    medium: &Medium,
+    flat: &VecDeque<Transmission>,
+    subject: TxId,
+    observer: NodeId,
+    freq: Megahertz,
+    from: SimTime,
+    to: SimTime,
+) -> Vec<Segment> {
+    let cutoff = medium.acr().saturation_cfd().value();
+    let mut interferers: Vec<(SimTime, SimTime, MilliWatts)> = Vec::new();
+    for t in flat {
+        let cfd = t.frequency.distance_to(freq);
+        if cfd.value() > cutoff || t.id == subject || t.tx_node == observer {
+            continue;
+        }
+        if let Some((s, e)) = t.overlap(from, to) {
+            let coupled = t.rx_power[observer].to_milliwatts() * medium.acr().leakage_factor(cfd);
+            interferers.push((s, e, coupled));
+        }
+    }
+    let mut bounds: Vec<SimTime> = vec![from, to];
+    for &(s, e, _) in &interferers {
+        bounds.push(s);
+        bounds.push(e);
+    }
+    bounds.sort();
+    bounds.dedup();
+    let mut segments = Vec::new();
+    for (&s, &e) in bounds.iter().zip(bounds.iter().skip(1)) {
+        if s == e {
+            continue;
+        }
+        let mut power = MilliWatts::ZERO;
+        for &(is, ie, p) in &interferers {
+            if is <= s && e <= ie {
+                power += p;
+            }
+        }
+        segments.push(Segment {
+            duration: e - s,
+            interference: power,
+        });
+    }
+    if segments.is_empty() {
+        segments.push(Segment {
+            duration: to - from,
+            interference: MilliWatts::ZERO,
+        });
+    }
+    segments
+}
+
+#[test]
+fn sensed_components_match_full_scan() {
+    let g = zip3(
+        arb_specs(),
+        zip2(range(0usize..NODES), range(0usize..8)),
+        range(0u64..36_000),
+    );
+    forall(
+        "sensed_components_match_full_scan",
+        96,
+        &g,
+        |(specs, (observer, obs_k), now_us)| {
+            let (medium, flat) = build(specs);
+            let freq = grid(*obs_k);
+            let now = SimTime::from_micros(*now_us);
+            let (co, inter) = medium.sensed_components(*observer, freq, now);
+            let (nco, ninter) = naive_sensed(&medium, &flat, *observer, freq, now);
+            check_eq!(co, nco);
+            check_eq!(inter, ninter);
+            check_eq!(
+                medium.sensed_total(*observer, freq, now),
+                nco + ninter + medium.noise()
+            );
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn interference_segments_match_full_scan() {
+    let g = zip4(
+        arb_specs(),
+        zip2(range(0usize..NODES), range(0usize..8)),
+        range(0u64..45), // subject id (may or may not exist / be pruned)
+        zip2(range(0u64..36_000), range(1u64..6_000)),
+    );
+    forall(
+        "interference_segments_match_full_scan",
+        96,
+        &g,
+        |(specs, (observer, obs_k), subject, (from_us, len_us))| {
+            let (medium, flat) = build(specs);
+            let freq = grid(*obs_k);
+            let (from, to) = (
+                SimTime::from_micros(*from_us),
+                SimTime::from_micros(*from_us + *len_us),
+            );
+            let got = medium.interference_segments(*subject, *observer, freq, from, to);
+            let want = naive_segments(&medium, &flat, *subject, *observer, freq, from, to);
+            check_eq!(got, want);
+            let covered: SimDuration = got.iter().map(|s| s.duration).sum();
+            check_eq!(covered, to - from);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn collision_predicate_matches_full_scan() {
+    let g = zip4(
+        arb_specs(),
+        zip2(range(0usize..NODES), range(0usize..8)),
+        zip2(range(0u64..45), range(-110.0f64..-40.0)),
+        zip2(range(0u64..36_000), range(1u64..6_000)),
+    );
+    forall(
+        "collision_predicate_matches_full_scan",
+        96,
+        &g,
+        |(specs, (observer, obs_k), (subject, floor), (from_us, len_us))| {
+            let (medium, flat) = build(specs);
+            let freq = grid(*obs_k);
+            let (from, to) = (
+                SimTime::from_micros(*from_us),
+                SimTime::from_micros(*from_us + *len_us),
+            );
+            let floor = Dbm::new(*floor);
+            // was_collided deliberately has *no* channel cutoff.
+            let want = flat.iter().any(|t| {
+                t.id != *subject
+                    && t.tx_node != *observer
+                    && t.overlap(from, to).is_some()
+                    && (t.rx_power[*observer].to_milliwatts()
+                        * medium.acr().leakage_factor(t.frequency.distance_to(freq)))
+                    .to_dbm()
+                        > floor
+            });
+            check_eq!(
+                medium.was_collided(*subject, *observer, freq, from, to, floor),
+                want
+            );
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn get_matches_linear_find() {
+    forall("get_matches_linear_find", 64, &arb_specs(), |specs| {
+        let (medium, flat) = build(specs);
+        check_eq!(medium.tracked(), flat.len());
+        for id in 0..(specs.len() as TxId + 2) {
+            let got = medium.get(id).map(|t| (t.id, t.start, t.end));
+            let want = flat
+                .iter()
+                .find(|t| t.id == id)
+                .map(|t| (t.id, t.start, t.end));
+            check_eq!(got, want);
+            if let Some(t) = medium.get(id) {
+                check!(t.id == id, "get({id}) returned id {}", t.id);
+            }
+        }
+        Ok(())
+    });
+}
