@@ -10,8 +10,37 @@ cargo build --workspace --release --offline
 echo "==> cargo test"
 cargo test --workspace -q --offline
 
+echo "==> fault injection: golden trace, runner isolation, recovery acceptance"
+cargo test -p nomc-integration-tests --test trace_golden_faults -q --offline
+cargo test -p nomc-experiments --lib -q --offline runner::
+cargo test -p nomc-experiments --lib -q --offline kill_reboot
+
+echo "==> ext_fault_recovery smoke (quick sweep must recover at every duty)"
+cargo run -p nomc-experiments --release --offline --bin fault_recovery -- --quick
+
 echo "==> bench smoke (single iteration, no report written)"
 cargo bench -p nomc-bench --bench sim --offline -- --test
+
+echo "==> bench baseline guard (fault layer must not tax fault-free runs)"
+# The committed BENCH_sim.json is the perf-trajectory record; the
+# fault-free kernel must stay inside its historical budget even with
+# the fault layer compiled in (empty plans are bit-identical runs).
+awk '
+  /"name":/    { name = $2; gsub(/[",]/, "", name) }
+  /"mean_ns":/ {
+    mean = $2; gsub(/,/, "", mean)
+    if (name == "power_sense_heavy") {
+      found = 1
+      if (mean + 0 > 12000000) {
+        printf "power_sense_heavy regressed: %.0f ns > 12 ms budget\n", mean
+        exit 1
+      }
+    }
+  }
+  END {
+    if (!found) { print "power_sense_heavy missing from BENCH_sim.json"; exit 1 }
+  }
+' crates/bench/BENCH_sim.json
 
 echo "==> cargo fmt --check"
 cargo fmt --all --check

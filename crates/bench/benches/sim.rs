@@ -7,6 +7,11 @@
 //!   `Medium::sensed_total` queries.
 //! * `saturated_2link` — one network, two saturated links: the plain
 //!   CSMA/CA contention kernel (CCA + decode path).
+//! * `fault_heavy` — the `power_sense_heavy` workload under a dense
+//!   fault plan (staggered crash/reboot cycles, pulsed jammers, RSSI
+//!   drifts, stuck-CCA windows), pinning the overhead of the fault
+//!   layer itself; the fault-free kernels above double as the
+//!   no-regression guard for runs with an empty plan.
 //!
 //! `cargo bench -p nomc-bench --bench sim` writes `BENCH_sim.json` with
 //! wall-clock per run and events/sec, the perf-trajectory record ci.sh
@@ -14,10 +19,13 @@
 
 use nomc_bench::harness::Criterion;
 use nomc_bench::{criterion_group, criterion_main, run_shrunk, shrink};
-use nomc_sim::{engine, NetworkBehavior, Scenario};
+use nomc_sim::{
+    engine, CrashFault, DriftFault, FaultPlan, JammerFault, NetworkBehavior, Scenario,
+    StuckCcaFault,
+};
 use nomc_topology::paper;
 use nomc_topology::spectrum::ChannelPlan;
-use nomc_units::{Dbm, Megahertz};
+use nomc_units::{Db, Dbm, Megahertz, SimDuration, SimTime};
 use std::hint::black_box;
 
 /// Six networks on the paper's 15 MHz band at 3 MHz spacing, all DCN.
@@ -36,12 +44,76 @@ fn saturated_2link_scenario(seed: u64) -> Scenario {
     b.build().expect("valid bench scenario")
 }
 
+/// `power_sense_heavy` plus a dense fault plan: every fault type fires
+/// inside the shrunken 1.5 s bench window (senders sit at even global
+/// indices — 24 nodes across the six two-link networks).
+fn fault_heavy_scenario(seed: u64) -> Scenario {
+    let at = |ms: u64| SimTime::ZERO + SimDuration::from_millis(ms);
+    let mut sc = power_sense_heavy_scenario(seed);
+    sc.faults = FaultPlan {
+        crashes: vec![
+            CrashFault {
+                node: 0,
+                at: at(600),
+                down_for: SimDuration::from_millis(200),
+            },
+            CrashFault {
+                node: 8,
+                at: at(900),
+                down_for: SimDuration::from_millis(200),
+            },
+        ],
+        jammers: vec![
+            JammerFault {
+                frequency: Megahertz::new(2450.0),
+                power: Dbm::new(-70.0),
+                at: at(700),
+                duration: SimDuration::from_millis(300),
+            },
+            JammerFault {
+                frequency: Megahertz::new(2459.0),
+                power: Dbm::new(-72.0),
+                at: at(1000),
+                duration: SimDuration::from_millis(200),
+            },
+        ],
+        drifts: vec![
+            DriftFault {
+                node: 4,
+                at: at(500),
+                ramp: SimDuration::from_millis(300),
+                peak: Db::new(2.0),
+            },
+            DriftFault {
+                node: 12,
+                at: at(800),
+                ramp: SimDuration::ZERO,
+                peak: Db::new(-3.0),
+            },
+        ],
+        stuck_cca: vec![
+            StuckCcaFault {
+                node: 16,
+                at: at(650),
+                duration: SimDuration::from_millis(250),
+            },
+            StuckCcaFault {
+                node: 20,
+                at: at(1100),
+                duration: SimDuration::from_millis(150),
+            },
+        ],
+    };
+    sc
+}
+
 fn bench_sim(c: &mut Criterion) {
     let mut g = c.benchmark_group("sim");
     g.sample_size(10);
     for (name, sc) in [
         ("power_sense_heavy", power_sense_heavy_scenario(1)),
         ("saturated_2link", saturated_2link_scenario(1)),
+        ("fault_heavy", fault_heavy_scenario(1)),
     ] {
         let events = engine::run(&shrink(sc.clone())).events;
         g.throughput(events);

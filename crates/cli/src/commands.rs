@@ -2,7 +2,7 @@
 
 use nomc_phy::planning::CprrModel;
 use nomc_phy::{LogDistance, PathLoss};
-use nomc_sim::{engine, JsonlTracer, NetworkBehavior, Scenario, SimObserver};
+use nomc_sim::{engine, FaultPlan, JsonlTracer, NetworkBehavior, Scenario, SimObserver};
 use nomc_topology::paper;
 use nomc_topology::spectrum::{ChannelPlan, FitPolicy};
 use nomc_units::{Db, Dbm, Megahertz};
@@ -14,8 +14,9 @@ nomc — non-orthogonal multi-channel 802.15.4 simulator (DCN, ICDCS 2010)
 USAGE:
   nomc generate <template> [out.json]    write an example scenario file
                                          templates: line | dense | fig5 | attacker
-  nomc run <scenario.json> [--json out] [--trace out.jsonl]
-                                         simulate a scenario file
+  nomc run <scenario.json> [--json out] [--trace out.jsonl] [--faults plan.json]
+                                         simulate a scenario file, optionally
+                                         injecting a deterministic fault plan
   nomc inspect <scenario.json>           print the link/interference budget
   nomc plan [--target-cprr F] [--delta DB] [--sigma DB] [--frame-bits N]
                                          smallest CFD meeting a CPRR target
@@ -96,10 +97,27 @@ fn template_scenario(template: &str) -> Result<Scenario, String> {
     .map_err(|e| format!("template invalid: {e}"))
 }
 
-/// `nomc run <scenario.json> [--json out.json] [--trace out.jsonl]`.
+/// `nomc run <scenario.json> [--json out.json] [--trace out.jsonl]
+/// [--faults plan.json]`.
 pub fn run(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("run needs a scenario file")?;
-    let scenario = load_scenario(path)?;
+    let mut scenario = load_scenario(path)?;
+    if let Some(plan_path) = flag_value(args, "--faults") {
+        scenario.faults = load_fault_plan(&plan_path)?;
+        // Re-validate: the plan references nodes by deployment index, so
+        // it can only be checked against the scenario it is merged into.
+        scenario
+            .validate()
+            .map_err(|e| format!("invalid fault plan: {e}"))?;
+        let n = &scenario.faults;
+        eprintln!(
+            "injecting faults: {} crash(es), {} jammer(s), {} drift(s), {} stuck-CCA",
+            n.crashes.len(),
+            n.jammers.len(),
+            n.drifts.len(),
+            n.stuck_cca.len()
+        );
+    }
     let trace_path = flag_value(args, "--trace");
     // Traces stream to disk through a pluggable observer sink instead of
     // buffering every record in the result — arbitrarily long runs trace
@@ -324,11 +342,18 @@ fn load_scenario(path: &str) -> Result<Scenario, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let scenario: Scenario =
         nomc_json::from_str(&text).map_err(|e| format!("invalid scenario JSON: {e}"))?;
+    // Full semantic validation — every malformed input becomes a typed
+    // ScenarioError surfaced here as exit code + message, never a panic
+    // mid-run.
     scenario
-        .deployment
         .validate()
-        .map_err(|e| format!("invalid deployment: {e}"))?;
+        .map_err(|e| format!("invalid scenario: {e}"))?;
     Ok(scenario)
+}
+
+fn load_fault_plan(path: &str) -> Result<FaultPlan, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    nomc_json::from_str(&text).map_err(|e| format!("invalid fault plan JSON: {e}"))
 }
 
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
@@ -377,6 +402,61 @@ mod tests {
         std::fs::write(&path, nomc_json::to_string(&sc)).unwrap();
         let loaded = load_scenario(path.to_str().unwrap()).unwrap();
         assert_eq!(loaded, sc);
+    }
+
+    #[test]
+    fn run_merges_and_validates_fault_plan() {
+        use nomc_sim::CrashFault;
+        use nomc_units::{SimDuration, SimTime};
+
+        let mut sc = template_scenario("line").unwrap();
+        sc.duration = SimDuration::from_millis(300);
+        sc.warmup = SimDuration::from_millis(50);
+        let dir = std::env::temp_dir().join("nomc-cli-faults");
+        std::fs::create_dir_all(&dir).unwrap();
+        let sc_path = dir.join("scenario.json");
+        std::fs::write(&sc_path, nomc_json::to_string(&sc)).unwrap();
+
+        // A valid plan round-trips through JSON and the run succeeds.
+        let plan = FaultPlan {
+            crashes: vec![CrashFault {
+                node: 0,
+                at: SimTime::ZERO + SimDuration::from_millis(100),
+                down_for: SimDuration::from_millis(50),
+            }],
+            ..FaultPlan::default()
+        };
+        let plan_path = dir.join("plan.json");
+        std::fs::write(&plan_path, nomc_json::to_string(&plan)).unwrap();
+        let reread: FaultPlan =
+            nomc_json::from_str(&std::fs::read_to_string(&plan_path).unwrap()).unwrap();
+        assert_eq!(reread, plan);
+        run(&[
+            sc_path.to_str().unwrap().to_string(),
+            "--faults".into(),
+            plan_path.to_str().unwrap().to_string(),
+        ])
+        .unwrap();
+
+        // A plan naming a node outside the deployment is rejected with a
+        // typed error, not a panic mid-run.
+        let bad = FaultPlan {
+            crashes: vec![CrashFault {
+                node: 999,
+                at: SimTime::ZERO,
+                down_for: SimDuration::ZERO,
+            }],
+            ..FaultPlan::default()
+        };
+        let bad_path = dir.join("bad.json");
+        std::fs::write(&bad_path, nomc_json::to_string(&bad)).unwrap();
+        let err = run(&[
+            sc_path.to_str().unwrap().to_string(),
+            "--faults".into(),
+            bad_path.to_str().unwrap().to_string(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("invalid fault plan"), "{err}");
     }
 
     #[test]

@@ -36,6 +36,14 @@ pub struct CcaAdjustor {
     last_case1: SimTime,
     /// Time of the last Case-II evaluation.
     last_case2: SimTime,
+    /// Time the last co-channel packet was heard (or the phase change
+    /// that reset the staleness clock) — feeds the silence watchdog.
+    last_heard: SimTime,
+    /// The conservative default threshold, restored on re-initialization.
+    default: Dbm,
+    /// Hard bounds every derived threshold is clamped to (the radio's
+    /// representable CCA range). Unbounded for a bare [`CcaAdjustor::new`].
+    clamp: (Dbm, Dbm),
     current: Dbm,
     stats: AdjustorStats,
 }
@@ -51,6 +59,9 @@ pub struct AdjustorStats {
     pub cochannel_observations: u64,
     /// In-channel power-sense samples observed.
     pub power_sense_observations: u64,
+    /// Times the adjustor re-entered the initializing phase (silence
+    /// watchdog firings plus explicit [`CcaAdjustor::reinitialize`] calls).
+    pub reinitializations: u64,
 }
 
 impl CcaAdjustor {
@@ -63,7 +74,25 @@ impl CcaAdjustor {
     ///
     /// Panics if `config` fails [`DcnConfig::validate`].
     pub fn new(config: DcnConfig, conservative_default: Dbm) -> Self {
+        CcaAdjustor::with_clamp(
+            config,
+            conservative_default,
+            (Dbm::new(f64::NEG_INFINITY), Dbm::new(f64::INFINITY)),
+        )
+    }
+
+    /// Like [`CcaAdjustor::new`], but every derived threshold is hard
+    /// clamped to `clamp` (floor, ceiling) — pass the radio's
+    /// representable CCA range so a miscalibrated (drifted) RSSI can
+    /// never wedge the threshold outside what the hardware can hold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails [`DcnConfig::validate`] or the clamp
+    /// range is inverted.
+    pub fn with_clamp(config: DcnConfig, conservative_default: Dbm, clamp: (Dbm, Dbm)) -> Self {
         config.validate().expect("invalid DCN configuration");
+        assert!(clamp.0 <= clamp.1, "inverted CCA clamp range");
         CcaAdjustor {
             config,
             phase: DcnPhase::Initializing,
@@ -73,9 +102,35 @@ impl CcaAdjustor {
             window: VecDeque::new(),
             last_case1: SimTime::ZERO,
             last_case2: SimTime::ZERO,
-            current: conservative_default,
+            last_heard: SimTime::ZERO,
+            default: conservative_default,
+            clamp,
+            current: conservative_default.max(clamp.0).min(clamp.1),
             stats: AdjustorStats::default(),
         }
+    }
+
+    /// Clamps a derived threshold to the representable range.
+    #[inline]
+    fn clamped(&self, t: Dbm) -> Dbm {
+        t.max(self.clamp.0).min(self.clamp.1)
+    }
+
+    /// Re-enters the initializing phase at `now`: threshold back at the
+    /// conservative default, all observation state cleared, a fresh
+    /// `T_I` collection window started. Called by the silence watchdog
+    /// and by the simulator when a node reboots.
+    pub fn reinitialize(&mut self, now: SimTime) {
+        self.phase = DcnPhase::Initializing;
+        self.started = now;
+        self.init_min_rssi = None;
+        self.init_max_power = None;
+        self.window.clear();
+        self.last_case1 = now;
+        self.last_case2 = now;
+        self.last_heard = now;
+        self.current = self.clamped(self.default);
+        self.stats.reinitializations += 1;
     }
 
     /// The current phase.
@@ -106,11 +161,12 @@ impl CcaAdjustor {
             (None, None) => None,
         };
         if let Some(t) = derived {
-            self.current = t - self.config.safety_margin;
+            self.current = self.clamped(t - self.config.safety_margin);
         }
         self.phase = DcnPhase::Updating;
         self.last_case1 = now;
         self.last_case2 = now;
+        self.last_heard = now;
     }
 
     /// Drops window entries older than `T_U`.
@@ -134,7 +190,7 @@ impl CcaAdjustor {
         }
         self.expire_window(now);
         if let Some(min) = self.window.iter().map(|&(_, s)| s).reduce(Dbm::min) {
-            let target = min - self.config.safety_margin;
+            let target = self.clamped(min - self.config.safety_margin);
             if target != self.current {
                 self.current = target;
                 self.stats.case2_updates += 1;
@@ -151,6 +207,7 @@ impl CcaThresholdProvider for CcaAdjustor {
 
     fn on_cochannel_packet(&mut self, rssi: Dbm, now: SimTime) {
         self.stats.cochannel_observations += 1;
+        self.last_heard = now;
         match self.phase {
             DcnPhase::Initializing => {
                 self.init_min_rssi = Some(match self.init_min_rssi {
@@ -165,7 +222,7 @@ impl CcaThresholdProvider for CcaAdjustor {
                 self.window.push_back((now, rssi));
                 self.expire_window(now);
                 // Case I (Eq. 3): immediate lowering.
-                let target = rssi - self.config.safety_margin;
+                let target = self.clamped(rssi - self.config.safety_margin);
                 if target < self.current {
                     self.current = target;
                     self.last_case1 = now;
@@ -202,7 +259,19 @@ impl CcaThresholdProvider for CcaAdjustor {
                     self.initialize_threshold(now);
                 }
             }
-            DcnPhase::Updating => self.maybe_case2(now),
+            DcnPhase::Updating => {
+                // Staleness watchdog: a long co-channel silence means the
+                // threshold may be tuned to competitors that no longer
+                // exist (or to drifted readings) — go conservative and
+                // re-learn the channel instead of staying wedged.
+                if !self.config.watchdog_silence.is_zero()
+                    && now.saturating_since(self.last_heard) >= self.config.watchdog_silence
+                {
+                    self.reinitialize(now);
+                } else {
+                    self.maybe_case2(now);
+                }
+            }
         }
     }
 }
@@ -383,6 +452,93 @@ mod tests {
         // without an explicit tick.
         d.on_cochannel_packet(Dbm::new(-50.0), SimTime::from_millis(1200));
         assert_eq!(d.phase(), DcnPhase::Updating);
+    }
+
+    #[test]
+    fn watchdog_reenters_initializing_after_silence() {
+        let cfg = DcnConfig::hardened(); // 2 s silence window
+        let mut d = CcaAdjustor::new(cfg, Dbm::new(-77.0));
+        d.on_power_sense(Dbm::new(-60.0), t(1));
+        d.on_tick(t(1000));
+        assert_eq!(d.phase(), DcnPhase::Updating);
+        assert_eq!(d.threshold(t(1000)), Dbm::new(-60.0));
+        d.on_cochannel_packet(Dbm::new(-70.0), t(1500)); // case 1 → -70
+                                                         // 1.9 s of silence: not yet.
+        d.on_tick(t(3400));
+        assert_eq!(d.phase(), DcnPhase::Updating);
+        // 2 s of silence: watchdog fires, back to the conservative default.
+        d.on_tick(t(3500));
+        assert_eq!(d.phase(), DcnPhase::Initializing);
+        assert_eq!(d.threshold(t(3500)), Dbm::new(-77.0));
+        assert_eq!(d.stats().reinitializations, 1);
+        assert!(d.wants_power_sensing(t(3500)), "re-init resumes sensing");
+        // The fresh T_I window re-derives from new observations.
+        d.on_power_sense(Dbm::new(-85.0), t(3600));
+        d.on_tick(t(4500));
+        assert_eq!(d.phase(), DcnPhase::Updating);
+        assert_eq!(d.threshold(t(4500)), Dbm::new(-85.0));
+    }
+
+    #[test]
+    fn watchdog_disabled_by_default() {
+        let mut d = dcn();
+        d.on_power_sense(Dbm::new(-60.0), t(1));
+        d.on_tick(t(1000));
+        d.on_tick(t(60_000)); // a minute of silence
+        assert_eq!(d.phase(), DcnPhase::Updating, "paper controller: no dog");
+        assert_eq!(d.stats().reinitializations, 0);
+    }
+
+    #[test]
+    fn watchdog_quiet_while_packets_keep_arriving() {
+        let mut d = CcaAdjustor::new(DcnConfig::hardened(), Dbm::new(-77.0));
+        d.on_tick(t(1000));
+        for i in 1..20u64 {
+            d.on_cochannel_packet(Dbm::new(-55.0), t(1000 + i * 500));
+            d.on_tick(t(1000 + i * 500 + 250));
+        }
+        assert_eq!(d.stats().reinitializations, 0);
+    }
+
+    #[test]
+    fn clamp_bounds_every_derived_threshold() {
+        let range = (Dbm::new(-95.0), Dbm::new(0.0));
+        let mut d = CcaAdjustor::with_clamp(DcnConfig::paper_default(), Dbm::new(-77.0), range);
+        // A wildly drifted reading cannot push the threshold below floor…
+        d.on_power_sense(Dbm::new(-300.0), t(1));
+        d.on_tick(t(1000));
+        assert_eq!(d.threshold(t(1000)), Dbm::new(-95.0));
+        // …and Case I lowering saturates there too.
+        d.on_cochannel_packet(Dbm::new(-250.0), t(1500));
+        assert_eq!(d.threshold(t(1500)), Dbm::new(-95.0));
+        // Case II raising saturates at the ceiling.
+        d.on_cochannel_packet(Dbm::new(40.0), t(4600));
+        d.on_tick(t(4700));
+        assert_eq!(d.threshold(t(4700)), Dbm::new(0.0));
+    }
+
+    #[test]
+    fn unclamped_adjustor_unchanged() {
+        let mut d = dcn();
+        d.on_power_sense(Dbm::new(-300.0), t(1));
+        d.on_tick(t(1000));
+        assert_eq!(d.threshold(t(1000)), Dbm::new(-300.0));
+    }
+
+    #[test]
+    fn reinitialize_resets_observation_state() {
+        let mut d = dcn();
+        d.on_power_sense(Dbm::new(-60.0), t(1));
+        d.on_cochannel_packet(Dbm::new(-50.0), t(500));
+        d.on_tick(t(1000));
+        d.reinitialize(t(5000));
+        assert_eq!(d.phase(), DcnPhase::Initializing);
+        assert_eq!(d.threshold(t(5000)), Dbm::new(-77.0));
+        // Old observations are gone: completing init with nothing new
+        // keeps the default.
+        d.on_tick(t(6100));
+        assert_eq!(d.phase(), DcnPhase::Updating);
+        assert_eq!(d.threshold(t(6100)), Dbm::new(-77.0));
     }
 
     #[test]

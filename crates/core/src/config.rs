@@ -19,6 +19,13 @@ pub struct DcnConfig {
     /// uses none; the `ablation_margin` bench explores small values that
     /// trade concurrency for co-channel safety.
     pub safety_margin: Db,
+    /// Staleness watchdog: when non-zero and no co-channel packet has
+    /// been heard for this long during the updating phase, the adjustor
+    /// re-enters the initializing phase (threshold back at the
+    /// conservative default, fresh `T_I` observation window). `ZERO`
+    /// disables the watchdog — the paper's original controller, and the
+    /// default so existing scenarios are unchanged.
+    pub watchdog_silence: SimDuration,
 }
 
 nomc_json::json_struct!(DcnConfig {
@@ -26,6 +33,7 @@ nomc_json::json_struct!(DcnConfig {
     power_sense_interval: SimDuration,
     t_update: SimDuration,
     safety_margin: Db,
+    watchdog_silence: SimDuration = SimDuration::ZERO,
 });
 
 impl DcnConfig {
@@ -36,6 +44,16 @@ impl DcnConfig {
             power_sense_interval: SimDuration::from_millis(1),
             t_update: SimDuration::from_secs(3),
             safety_margin: Db::ZERO,
+            watchdog_silence: SimDuration::ZERO,
+        }
+    }
+
+    /// The paper's configuration hardened for hostile channels: the
+    /// staleness watchdog armed at `2·T_I` of co-channel silence.
+    pub fn hardened() -> Self {
+        DcnConfig {
+            watchdog_silence: SimDuration::from_secs(2),
+            ..DcnConfig::paper_default()
         }
     }
 
@@ -64,6 +82,12 @@ impl DcnConfig {
         if self.safety_margin.value() < 0.0 {
             return Err("safety margin must be non-negative".into());
         }
+        if !self.watchdog_silence.is_zero() && self.watchdog_silence < self.t_init {
+            return Err(format!(
+                "watchdog silence ({}) must be at least T_I ({}) when enabled",
+                self.watchdog_silence, self.t_init
+            ));
+        }
         Ok(())
     }
 }
@@ -85,7 +109,22 @@ mod tests {
         assert_eq!(c.t_update, SimDuration::from_secs(3));
         assert_eq!(c.power_sense_interval, SimDuration::from_millis(1));
         assert_eq!(c.safety_margin, Db::ZERO);
+        assert_eq!(c.watchdog_silence, SimDuration::ZERO, "watchdog off");
         assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn hardened_arms_the_watchdog() {
+        let c = DcnConfig::hardened();
+        assert_eq!(c.watchdog_silence, SimDuration::from_secs(2));
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn watchdog_shorter_than_t_init_rejected() {
+        let mut c = DcnConfig::paper_default();
+        c.watchdog_silence = SimDuration::from_millis(500);
+        assert!(c.validate().is_err());
     }
 
     #[test]

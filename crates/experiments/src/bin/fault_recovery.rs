@@ -1,0 +1,13 @@
+//! ext_fault_recovery: one DCN sender killed and rebooted under a
+//! pulsed wideband jammer, sweeping the jammer duty cycle against
+//! recovery time (robustness study — beyond the paper).
+//!
+//! Pass `--quick` (or set `NOMC_QUICK`) for a fast low-fidelity run.
+
+fn main() {
+    let cfg = nomc_experiments::ExpConfig::from_env();
+    println!(
+        "{}",
+        nomc_experiments::experiments::extensions::fault_recovery(&cfg)
+    );
+}

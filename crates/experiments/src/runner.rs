@@ -4,6 +4,13 @@
 //! an independent deterministic simulation, so the harness parallelizes
 //! across points with scoped threads while each simulation itself stays
 //! single-threaded and reproducible.
+//!
+//! Batch robustness: [`run_outcomes`] isolates each member behind
+//! `catch_unwind` and a deterministic event budget, so one panicking or
+//! runaway scenario is reported as its own [`RunOutcome`] instead of
+//! taking the whole sweep down. The budget counts simulation events —
+//! never wall-clock time — so a truncated member is exactly as
+//! reproducible as a completed one.
 
 use crate::ExpConfig;
 use nomc_sim::{engine, Scenario, SimResult};
@@ -98,6 +105,96 @@ pub fn run_parallel(scenarios: &[Scenario]) -> Vec<SimResult> {
         .collect()
 }
 
+/// How one member of an isolated batch ([`run_outcomes`]) ended.
+#[derive(Debug, PartialEq)]
+pub enum RunOutcome {
+    /// The simulation drained naturally within the event budget.
+    Ok(SimResult),
+    /// The simulation panicked; the payload is the panic message. The
+    /// panic was confined to this member — the rest of the batch ran.
+    Failed(String),
+    /// The event budget expired before the run drained; the member was
+    /// cut off deterministically (no wall clock involved).
+    TimedOut {
+        /// Events handled before the budget cut in.
+        events: u64,
+    },
+}
+
+impl RunOutcome {
+    /// The completed result, when the member finished normally.
+    pub fn result(&self) -> Option<&SimResult> {
+        match self {
+            RunOutcome::Ok(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// `true` for [`RunOutcome::Ok`].
+    pub fn is_ok(&self) -> bool {
+        matches!(self, RunOutcome::Ok(_))
+    }
+}
+
+/// Runs a batch of scenarios in parallel with per-member isolation:
+/// each member runs under `catch_unwind` and the `max_events` budget,
+/// and the returned outcomes preserve order. Use `u64::MAX` for an
+/// effectively unbounded budget.
+///
+/// Unlike [`run_parallel`], a panicking member cannot abort the batch:
+/// it is reported as [`RunOutcome::Failed`] while every other member
+/// still completes.
+pub fn run_outcomes(scenarios: &[Scenario], max_events: u64) -> Vec<RunOutcome> {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let mut out: Vec<Option<RunOutcome>> = std::iter::repeat_with(|| None)
+        .take(scenarios.len())
+        .collect();
+    std::thread::scope(|scope| {
+        let chunk = scenarios.len().div_ceil(threads).max(1);
+        for (slot_chunk, sc_chunk) in out.chunks_mut(chunk).zip(scenarios.chunks(chunk)) {
+            scope.spawn(move || {
+                for (slot, sc) in slot_chunk.iter_mut().zip(sc_chunk) {
+                    *slot = Some(run_isolated(sc, max_events));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|r| r.expect("every slot filled by its chunk thread"))
+        .collect()
+}
+
+/// One member: budgeted, with the panic boundary right around the
+/// engine call. `AssertUnwindSafe` is sound here because nothing
+/// crosses the boundary on the panic path — the scenario is borrowed
+/// immutably and the engine's state dies with the unwind.
+fn run_isolated(sc: &Scenario, max_events: u64) -> RunOutcome {
+    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        engine::run_bounded(sc, &mut [], max_events)
+    }));
+    match run {
+        Ok(bounded) if bounded.exhausted => RunOutcome::TimedOut {
+            events: bounded.result.events,
+        },
+        Ok(bounded) => RunOutcome::Ok(bounded.result),
+        Err(payload) => RunOutcome::Failed(panic_message(payload.as_ref())),
+    }
+}
+
+/// Best-effort extraction of a panic payload's message (the standard
+/// `panic!`/`expect` payloads are `&str` or `String`).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Convenience: runs the seeds and reduces each result to a scalar,
 /// returning its [`Stat`].
 pub fn stat_over_seeds<F, G>(cfg: &ExpConfig, make_scenario: F, metric: G) -> Stat
@@ -156,6 +253,39 @@ mod tests {
         assert_eq!(a.len(), 3);
         // Different seeds really produce different runs.
         assert_ne!(a[0], a[1]);
+    }
+
+    #[test]
+    fn panicking_member_is_failed_while_batch_completes() {
+        let mut bad = scenario(2);
+        // Corrupt the invariant the builder guarantees (one behavior per
+        // network): engine construction panics on the missing entry.
+        bad.behaviors.pop();
+        let batch = vec![scenario(1), bad, scenario(3)];
+        // Quiet the default panic printer for the intentional panic; the
+        // hook is process-global, so restore it right after.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = run_outcomes(&batch, u64::MAX);
+        std::panic::set_hook(prev);
+        assert_eq!(out.len(), 3);
+        assert!(out[0].is_ok(), "{:?}", out[0]);
+        assert!(matches!(out[1], RunOutcome::Failed(_)), "{:?}", out[1]);
+        assert!(out[2].is_ok(), "{:?}", out[2]);
+        // The survivors are the same results an unbounded run produces.
+        assert_eq!(out[0].result(), Some(&engine::run(&batch[0])));
+    }
+
+    #[test]
+    fn event_budget_times_out_deterministically() {
+        let sc = scenario(7);
+        let full = engine::run(&sc);
+        assert!(full.events > 200, "budget test needs a non-trivial run");
+        let out = run_outcomes(std::slice::from_ref(&sc), 200);
+        assert_eq!(out, vec![RunOutcome::TimedOut { events: 200 }]);
+        // A budget past the natural event count changes nothing.
+        let unbounded = run_outcomes(std::slice::from_ref(&sc), full.events + 1);
+        assert_eq!(unbounded[0].result(), Some(&full));
     }
 
     #[test]

@@ -29,10 +29,17 @@ const HOT_PATH_PREFIX: &str = "crates/sim/src/";
 /// that exist only for `#[cfg(test)]`).
 const EXEMPT: &[&str] = &["crates/sim/src/runtime/tests.rs"];
 
+/// Files outside the sim prefix that are nevertheless hot-path: the
+/// batch runner hosts the `catch_unwind` isolation boundary, so a
+/// stray panic *there* defeats the very mechanism that confines
+/// panics elsewhere.
+const EXTRA: &[&str] = &["crates/experiments/src/runner.rs"];
+
 const MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
 
 pub fn in_scope(rel_path: &str) -> bool {
-    rel_path.starts_with(HOT_PATH_PREFIX) && !EXEMPT.contains(&rel_path)
+    (rel_path.starts_with(HOT_PATH_PREFIX) || EXTRA.contains(&rel_path))
+        && !EXEMPT.contains(&rel_path)
 }
 
 pub fn check(rel_path: &str, sf: &SourceFile, out: &mut Vec<Diagnostic>) {
@@ -152,12 +159,23 @@ mod tests {
             "crates/sim/src/metrics.rs",
             "crates/sim/src/runtime/mod.rs",
             "crates/sim/src/runtime/tx.rs",
+            "crates/sim/src/runtime/faults.rs",
         ] {
             let sf = SourceFile::parse("fn f() { panic!(\"x\"); }\n");
             let mut out = Vec::new();
             check(path, &sf, &mut out);
             assert_eq!(out.len(), 1, "{path} must be checked");
         }
+    }
+
+    #[test]
+    fn experiment_runner_is_in_scope() {
+        // The isolation boundary itself must stay panic-clean; its
+        // `#[cfg(test)]` module is still skipped by the line scanner.
+        let sf = SourceFile::parse("fn f() { panic!(\"x\"); }\n");
+        let mut out = Vec::new();
+        check("crates/experiments/src/runner.rs", &sf, &mut out);
+        assert_eq!(out.len(), 1, "runner.rs must be checked");
     }
 
     #[test]

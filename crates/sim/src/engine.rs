@@ -73,3 +73,37 @@ pub fn run(scenario: &Scenario) -> SimResult {
 pub fn run_with(scenario: &Scenario, observers: &mut [&mut dyn SimObserver]) -> SimResult {
     Engine::new(scenario, observers).run()
 }
+
+/// A [`run_bounded`] outcome: the result plus whether the event budget
+/// cut the run short.
+#[derive(Debug)]
+pub struct BoundedRun {
+    /// The (possibly truncated) simulation result.
+    pub result: SimResult,
+    /// `true` when the run stopped on the event budget instead of
+    /// draining naturally — the result covers only the simulated prefix.
+    pub exhausted: bool,
+}
+
+/// Runs `scenario` with a deterministic event budget: after handling
+/// `max_events` events the run stops and reports exhaustion.
+///
+/// This is the runaway protection for batch runners. It is purely a
+/// function of the event count — no wall clock is consulted — so a
+/// budget-truncated run is exactly as reproducible as a complete one,
+/// and a budget larger than the run's natural event count changes
+/// nothing at all.
+///
+/// # Panics
+///
+/// Panics under the same (builder-rejected) conditions as [`run`].
+pub fn run_bounded(
+    scenario: &Scenario,
+    observers: &mut [&mut dyn SimObserver],
+    max_events: u64,
+) -> BoundedRun {
+    let mut engine = Engine::new(scenario, observers);
+    engine.max_events = max_events;
+    let (result, exhausted) = engine.run_reporting_exhaustion();
+    BoundedRun { result, exhausted }
+}

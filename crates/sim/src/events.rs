@@ -39,6 +39,16 @@ pub enum Event {
     /// Acknowledged mode: the sender's `macAckWaitDuration` for data
     /// transmission `1` expired.
     AckTimeout(NodeId, TxId),
+    /// Fault injection: the node crashes (power loss). While down it
+    /// neither transmits, senses, nor receives.
+    NodeDown(NodeId),
+    /// Fault injection: the node reboots with factory-fresh MAC and
+    /// threshold state.
+    NodeUp(NodeId),
+    /// Fault injection: the node's CCA comparator latches *busy*.
+    CcaStuckStart(NodeId),
+    /// Fault injection: the latched CCA comparator releases.
+    CcaStuckEnd(NodeId),
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -90,7 +100,23 @@ impl EventQueue {
 
     /// Pops the earliest event, if any.
     pub fn pop(&mut self) -> Option<(SimTime, Event)> {
-        self.heap.pop().map(|s| (s.time, s.event))
+        self.pop_entry().map(|(t, _, e)| (t, e))
+    }
+
+    /// Pops the earliest event with its schedule sequence number.
+    ///
+    /// The sequence number is minted at [`EventQueue::schedule`] time,
+    /// so it totally orders *when events were scheduled* — the engine's
+    /// fault layer uses it to discard events a crashed node scheduled
+    /// in its previous life (see `runtime/faults.rs`).
+    pub fn pop_entry(&mut self) -> Option<(SimTime, u64, Event)> {
+        self.heap.pop().map(|s| (s.time, s.seq, s.event))
+    }
+
+    /// The sequence number the *next* scheduled event will receive.
+    /// Every event currently in the queue has a smaller one.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
     }
 
     /// Number of pending events.
@@ -136,6 +162,20 @@ mod tests {
             let (_, e) = q.pop().unwrap();
             assert_eq!(e, Event::PacketReady(i));
         }
+    }
+
+    #[test]
+    fn pop_entry_exposes_schedule_order() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.next_seq(), 0);
+        q.schedule(SimTime::from_millis(2), Event::NodeDown(0));
+        q.schedule(SimTime::from_millis(1), Event::NodeUp(0));
+        assert_eq!(q.next_seq(), 2);
+        // Popped in time order, but seq reflects schedule order.
+        let (_, seq, e) = q.pop_entry().unwrap();
+        assert_eq!((seq, e), (1, Event::NodeUp(0)));
+        let (_, seq, e) = q.pop_entry().unwrap();
+        assert_eq!((seq, e), (0, Event::NodeDown(0)));
     }
 
     #[test]

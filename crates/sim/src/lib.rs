@@ -49,10 +49,15 @@ pub mod runtime;
 pub mod scenario;
 pub mod trace;
 
-pub use engine::{run, run_with};
+pub use engine::{run, run_bounded, run_with, BoundedRun};
 pub use metrics::{LinkMetrics, NetworkMetrics, SimResult};
 pub use runtime::observer::{
     PowerSample, SimObserver, ThresholdSample, TxOutcomeInfo, TxStartInfo,
 };
-pub use runtime::sinks::{EnergyMeter, JsonlTracer, TimelineRecorder, TraceRecorder};
-pub use scenario::{NetworkBehavior, Scenario, ScenarioBuilder, ThresholdMode, TrafficModel};
+pub use runtime::sinks::{
+    EnergyMeter, JsonlTracer, RecoveryMeter, RecoveryReport, TimelineRecorder, TraceRecorder,
+};
+pub use scenario::{
+    CrashFault, DriftFault, FaultPlan, JammerFault, NetworkBehavior, Scenario, ScenarioBuilder,
+    ScenarioError, StuckCcaFault, ThresholdMode, TrafficModel,
+};

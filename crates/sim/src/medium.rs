@@ -28,7 +28,11 @@
 //!   seen).
 //! - Pruning is **prefix-only**: `add` pops stale ids from the front of
 //!   the slab (and of each channel list) until the front is younger
-//!   than the retention horizon. A mid-slab entry that outlived its
+//!   than the retention horizon. The comparison is strict: an entry
+//!   whose age equals the horizon exactly (`now − end == retention`) is
+//!   *retained* and stays visible to the indexed scan — pinned by the
+//!   `prune_boundary_equal_end_stays_visible_to_indexed_scan`
+//!   regression. A mid-slab entry that outlived its
 //!   retention while an older long frame is still in front is kept, but
 //!   it is unobservable: every query window that could see it is issued
 //!   at a simulated time before the `add` that would have pruned it.
@@ -158,6 +162,40 @@ struct Entry {
     rx_mw: Vec<MilliWatts>,
 }
 
+/// Unregistered ambient energy — a fault-injected wideband jammer.
+///
+/// Ambient emitters are not nodes: they mint no [`TxId`], occupy no
+/// slab slot, and couple into every observer at the same flat power.
+/// They live outside the prune cycle (a fault plan holds a handful of
+/// bursts, not a traffic stream) and their contributions are summed
+/// *after* every registered transmission so that a medium with no
+/// ambient energy produces bit-identical floating-point results.
+#[derive(Debug, Clone, Copy)]
+struct AmbientEntry {
+    freq: Megahertz,
+    rx_mw: MilliWatts,
+    start: SimTime,
+    end: SimTime,
+}
+
+impl AmbientEntry {
+    #[inline]
+    fn is_active_at(&self, t: SimTime) -> bool {
+        self.start <= t && t < self.end
+    }
+
+    #[inline]
+    fn overlap(&self, from: SimTime, to: SimTime) -> Option<(SimTime, SimTime)> {
+        let s = self.start.max(from);
+        let e = self.end.min(to);
+        if s < e {
+            Some((s, e))
+        } else {
+            None
+        }
+    }
+}
+
 /// The medium: transmission registry plus the propagation constants
 /// needed to couple powers across channels.
 #[derive(Debug)]
@@ -182,6 +220,8 @@ pub struct Medium {
     /// (cleared on entry; the returned segment list is still freshly
     /// allocated because it is handed to the caller).
     scratch: std::cell::RefCell<SegScratch>,
+    /// Fault-injected jammer bursts (see [`AmbientEntry`]).
+    ambient: Vec<AmbientEntry>,
 }
 
 /// Working storage for [`Medium::interference_segments`]: the interferer
@@ -208,7 +248,31 @@ impl Medium {
             retention: SimDuration::from_millis(20),
             leak_cache: std::cell::RefCell::new(Vec::new()),
             scratch: std::cell::RefCell::new(SegScratch::default()),
+            ambient: Vec::new(),
         }
+    }
+
+    /// Registers an ambient jammer burst: unattributed energy on
+    /// `frequency` coupling into every node at a flat `power` during
+    /// `[start, end)`. Installed once at engine construction from the
+    /// scenario's fault plan; with no bursts every query is bit-identical
+    /// to a jammer-free medium.
+    pub fn add_ambient(&mut self, frequency: Megahertz, power: Dbm, start: SimTime, end: SimTime) {
+        self.ambient.push(AmbientEntry {
+            freq: frequency,
+            rx_mw: power.to_milliwatts(),
+            start,
+            end,
+        });
+    }
+
+    /// Whether any ambient burst is live on a channel within
+    /// `cutoff` MHz of `freq` at `now` (fault-plan introspection for
+    /// recovery metrics; power queries already include ambient energy).
+    pub fn ambient_active(&self, freq: Megahertz, now: SimTime) -> bool {
+        self.ambient
+            .iter()
+            .any(|a| a.is_active_at(now) && a.freq.distance_to(freq).value() <= self.cutoff_mhz)
     }
 
     /// Cached [`AcrCurve::leakage_factor`] (see the `leak_cache` field).
@@ -365,6 +429,23 @@ impl Medium {
                 }
             }
         }
+        // Ambient (jammer) energy last, so the fault-free sum above is
+        // untouched bit for bit.
+        for a in &self.ambient {
+            if !a.is_active_at(now) {
+                continue;
+            }
+            let cfd = a.freq.distance_to(freq);
+            if cfd.value() > self.cutoff_mhz {
+                continue;
+            }
+            let coupled = a.rx_mw * self.leakage(cfd);
+            if cfd.value() < 0.5 {
+                co += coupled;
+            } else {
+                inter += coupled;
+            }
+        }
         (co, inter)
     }
 
@@ -427,6 +508,21 @@ impl Medium {
             }
         }
         interferers.sort_unstable_by_key(|&(id, ..)| id);
+        // Ambient (jammer) energy joins *after* the id-order sort: the
+        // per-segment sums stay `registered ids ascending, then ambient
+        // bursts in plan order`, and with no bursts they are bit-identical
+        // to the fault-free scan. Jammers have no id and belong to no
+        // node, so the subject/observer exclusions do not apply.
+        for a in &self.ambient {
+            if a.freq.distance_to(freq).value() > self.cutoff_mhz {
+                continue;
+            }
+            let Some((s, e)) = a.overlap(from, to) else {
+                continue;
+            };
+            let coupled = a.rx_mw * self.leakage(a.freq.distance_to(freq));
+            interferers.push((TxId::MAX, s, e, coupled));
+        }
         // Build segment boundaries.
         bounds.clear();
         bounds.push(from);
@@ -489,6 +585,11 @@ impl Medium {
             let t = &e.tx;
             t.id != subject && t.tx_node != observer && t.overlap(from, to).is_some() && {
                 let coupled = e.rx_mw[observer] * self.leakage(t.frequency.distance_to(freq));
+                coupled.to_dbm() > floor
+            }
+        }) || self.ambient.iter().any(|a| {
+            a.overlap(from, to).is_some() && {
+                let coupled = a.rx_mw * self.leakage(a.freq.distance_to(freq));
                 coupled.to_dbm() > floor
             }
         })
@@ -753,6 +854,104 @@ mod tests {
             + Dbm::new(-70.0).to_milliwatts()
             + Dbm::new(-98.0).to_milliwatts();
         assert!((total.value() - expected.value()).abs() <= expected.value() * 1e-12);
+    }
+
+    #[test]
+    fn boundary_equal_history_survives_prune_and_stays_indexed() {
+        let mut m = medium();
+        // tx 1 ends at t = 1 ms; the next add lands at t = 21 ms, so
+        // `now − end` equals the 20 ms retention horizon *exactly*.
+        m.add(mk_tx(1, 0, 2460.0, 0, 1000, -60.0));
+        m.add(mk_tx(2, 1, 2460.0, 21_000, 24_000, -70.0));
+        assert_eq!(m.tracked(), 2, "boundary-equal entry must be retained");
+        assert!(m.get(1).is_some());
+        // ... and must still be visible to the indexed segment scan.
+        let segs = m.interference_segments(
+            2,
+            2,
+            Megahertz::new(2460.0),
+            SimTime::ZERO,
+            SimTime::from_micros(1000),
+        );
+        assert!(
+            segs[0].interference > MilliWatts::ZERO,
+            "indexed scan must see the boundary-equal transmission"
+        );
+        // One nanosecond past the horizon it is pruned.
+        let mut m = medium();
+        m.add(mk_tx(1, 0, 2460.0, 0, 1000, -60.0));
+        let mut late = mk_tx(2, 1, 2460.0, 21_000, 24_000, -70.0);
+        late.start += SimDuration::from_nanos(1);
+        m.add(late);
+        assert_eq!(m.tracked(), 1, "past-boundary entry must be pruned");
+        assert!(m.get(1).is_none());
+    }
+
+    #[test]
+    fn ambient_energy_joins_power_queries() {
+        let mut m = medium();
+        m.add_ambient(
+            Megahertz::new(2460.0),
+            Dbm::new(-55.0),
+            SimTime::from_micros(1000),
+            SimTime::from_micros(2000),
+        );
+        let f = Megahertz::new(2460.0);
+        // Active window: co-channel energy at every observer.
+        let (co, inter) = m.sensed_components(0, f, SimTime::from_micros(1500));
+        assert!((co.to_dbm().value() - (-55.0)).abs() < 0.01, "{co:?}");
+        assert_eq!(inter, MilliWatts::ZERO);
+        // End-exclusive: gone at exactly t = end.
+        let (co, _) = m.sensed_components(0, f, SimTime::from_micros(2000));
+        assert_eq!(co, MilliWatts::ZERO);
+        // Cross-channel: leaks with the ACR rejection like any emitter.
+        let (co, inter) =
+            m.sensed_components(0, Megahertz::new(2463.0), SimTime::from_micros(1500));
+        assert_eq!(co, MilliWatts::ZERO);
+        assert!((inter.to_dbm().value() - (-75.0)).abs() < 0.1, "{inter:?}");
+        assert!(m.ambient_active(f, SimTime::from_micros(1500)));
+        assert!(!m.ambient_active(f, SimTime::from_micros(2000)));
+    }
+
+    #[test]
+    fn ambient_energy_joins_segments_and_collision() {
+        let mut m = medium();
+        m.add(mk_tx(1, 0, 2460.0, 0, 3000, -60.0)); // subject
+        m.add_ambient(
+            Megahertz::new(2460.0),
+            Dbm::new(-55.0),
+            SimTime::from_micros(1000),
+            SimTime::from_micros(2000),
+        );
+        let segs = m.interference_segments(
+            1,
+            1,
+            Megahertz::new(2460.0),
+            SimTime::ZERO,
+            SimTime::from_micros(3000),
+        );
+        // [0,1000) quiet, [1000,2000) jammed, [2000,3000) quiet.
+        assert_eq!(segs.len(), 3);
+        assert_eq!(segs[0].interference, MilliWatts::ZERO);
+        assert!((segs[1].interference.to_dbm().value() - (-55.0)).abs() < 0.01);
+        assert_eq!(segs[2].interference, MilliWatts::ZERO);
+        assert!(m.was_collided(
+            1,
+            1,
+            Megahertz::new(2460.0),
+            SimTime::ZERO,
+            SimTime::from_micros(3000),
+            Dbm::new(-100.0)
+        ));
+        // Outside the burst the jammer does not collide.
+        assert!(!m.was_collided(
+            1,
+            1,
+            Megahertz::new(2460.0),
+            SimTime::from_micros(2100),
+            SimTime::from_micros(3000),
+            Dbm::new(-100.0)
+        ));
     }
 
     #[test]

@@ -4,6 +4,12 @@
 //! until the post-run drain deadline; every popped event is offered to
 //! the observers (before handling, so sinks see the pristine event) and
 //! routed to its handler in the sibling modules.
+//!
+//! The loop is also where the fault layer intercepts: events addressed
+//! to a crashed node — or scheduled in a previous life of a since-
+//! rebooted node (see `faults.rs`) — are discarded before observers or
+//! handlers see them, and a deterministic event budget bounds runaway
+//! runs without ever consulting a wall clock.
 
 use super::{Engine, DRAIN};
 use crate::events::{Event, NodeId};
@@ -15,18 +21,37 @@ use nomc_units::{SimDuration, SimTime};
 
 impl Engine<'_, '_, '_> {
     pub(crate) fn run(mut self) -> SimResult {
+        self.run_loop();
+        self.finalize()
+    }
+
+    /// Like [`Engine::run`], but also reports whether the run stopped on
+    /// the event budget instead of draining naturally.
+    pub(crate) fn run_reporting_exhaustion(mut self) -> (SimResult, bool) {
+        self.run_loop();
+        let exhausted = self.exhausted;
+        (self.finalize(), exhausted)
+    }
+
+    fn run_loop(&mut self) {
         self.bootstrap();
         let deadline = SimTime::ZERO + self.sc.duration + DRAIN;
-        while let Some((t, ev)) = self.queue.pop() {
+        while let Some((t, seq, ev)) = self.queue.pop_entry() {
             if t > deadline {
+                break;
+            }
+            if self.events >= self.max_events {
+                self.exhausted = true;
                 break;
             }
             self.now = t;
             self.events += 1;
+            if self.discards(seq, &ev) {
+                continue;
+            }
             self.obs.event(t, &ev);
             self.dispatch(ev);
         }
-        self.finalize()
     }
 
     fn bootstrap(&mut self) {
@@ -50,6 +75,36 @@ impl Engine<'_, '_, '_> {
                 self.queue.schedule(start, Event::PowerSense(id));
             }
         }
+        // Fault expansion comes last so an empty plan leaves the RNG
+        // stream and every fault-free seq number untouched.
+        self.schedule_faults();
+    }
+
+    /// Fault-layer admission control. Node-initiated events die with
+    /// their node: while it is down, and — via the crash watermark —
+    /// when they were scheduled before its last crash. Fault-control
+    /// events and `TxEnd` always go through: the former drive the fault
+    /// state machine itself, the latter closes out airtime the medium
+    /// already committed to (the frame is on the air whether or not its
+    /// sender lived to see it land).
+    fn discards(&self, seq: u64, ev: &Event) -> bool {
+        let n = match ev {
+            Event::NodeDown(_)
+            | Event::NodeUp(_)
+            | Event::CcaStuckStart(_)
+            | Event::CcaStuckEnd(_)
+            | Event::TxEnd(..) => return false,
+            Event::PacketReady(n)
+            | Event::BackoffExpired(n)
+            | Event::CcaDone(n)
+            | Event::TxStart(n)
+            | Event::SyncDone(n, _)
+            | Event::PowerSense(n)
+            | Event::ProviderTick(n)
+            | Event::AckStart(n, _)
+            | Event::AckTimeout(n, _) => *n,
+        };
+        self.nodes[n].down || self.is_stale(n, seq)
     }
 
     fn dispatch(&mut self, ev: Event) {
@@ -64,6 +119,10 @@ impl Engine<'_, '_, '_> {
             Event::ProviderTick(n) => self.on_provider_tick(n),
             Event::AckStart(n, parent) => self.on_ack_start(n, parent),
             Event::AckTimeout(n, parent) => self.on_ack_timeout(n, parent),
+            Event::NodeDown(n) => self.on_node_down(n),
+            Event::NodeUp(n) => self.on_node_up(n),
+            Event::CcaStuckStart(n) => self.on_cca_stuck_start(n),
+            Event::CcaStuckEnd(n) => self.on_cca_stuck_end(n),
         }
     }
 }

@@ -29,6 +29,7 @@ pub mod sinks;
 
 mod ack;
 mod dispatch;
+mod faults;
 mod node;
 mod sense;
 mod tx;
@@ -86,6 +87,12 @@ pub(crate) struct Engine<'a, 'o, 'e> {
     /// Measurement sinks: built-in collectors + external observers.
     pub(crate) obs: ObserverSet<'o, 'e>,
     pub(crate) events: u64,
+    /// Deterministic event budget: the run stops (and reports
+    /// exhaustion) after handling this many events. Wall-clock-free
+    /// runaway protection for batch runners.
+    pub(crate) max_events: u64,
+    /// Whether the run stopped on the event budget rather than draining.
+    pub(crate) exhausted: bool,
 }
 
 impl<'a, 'o, 'e> Engine<'a, 'o, 'e> {
@@ -102,9 +109,9 @@ impl<'a, 'o, 'e> Engine<'a, 'o, 'e> {
                     ThresholdMode::Fixed(level) | ThresholdMode::FixedOracle(level) => {
                         Provider::Fixed(FixedThreshold::new(*level))
                     }
-                    ThresholdMode::Dcn(cfg) | ThresholdMode::DcnOracle(cfg) => {
-                        Provider::Dcn(CcaAdjustor::new(*cfg, sc.radio.default_cca_threshold))
-                    }
+                    ThresholdMode::Dcn(cfg) | ThresholdMode::DcnOracle(cfg) => Provider::Dcn(
+                        Box::new(CcaAdjustor::new(*cfg, sc.radio.default_cca_threshold)),
+                    ),
                 };
                 nodes.push(Node {
                     link: global,
@@ -127,6 +134,10 @@ impl<'a, 'o, 'e> Engine<'a, 'o, 'e> {
                     last_rx_seq: None,
                     credits: 0,
                     wants_packet: false,
+                    down: false,
+                    cca_stuck: false,
+                    drift: None,
+                    stale_before_seq: 0,
                 });
                 positions.push(link.tx);
                 nodes.push(Node {
@@ -150,6 +161,10 @@ impl<'a, 'o, 'e> Engine<'a, 'o, 'e> {
                     last_rx_seq: None,
                     credits: 0,
                     wants_packet: false,
+                    down: false,
+                    cca_stuck: false,
+                    drift: None,
+                    stale_before_seq: 0,
                 });
                 positions.push(link.rx);
                 link_rx.push(nodes.len() - 1);
@@ -186,7 +201,22 @@ impl<'a, 'o, 'e> Engine<'a, 'o, 'e> {
                 }
             }
         }
-        let medium = Medium::new(sc.propagation.acr.clone(), sc.propagation.noise.power());
+        let mut medium = Medium::new(sc.propagation.acr.clone(), sc.propagation.noise.power());
+        // Fault plan, medium side: jammer bursts become ambient energy
+        // windows known from construction (they are part of the
+        // scenario, not reactions to it). An empty plan adds nothing and
+        // every query stays bit-identical to a fault-free medium.
+        for j in &sc.faults.jammers {
+            medium.add_ambient(j.frequency, j.power, j.at, j.at + j.duration);
+        }
+        // Fault plan, node side: RSSI calibration drift is a pure
+        // function of time installed on the node (last drift for a node
+        // wins, matching plan order).
+        for d in &sc.faults.drifts {
+            if let Some(node) = nodes.get_mut(d.node) {
+                node.drift = Some(*d);
+            }
+        }
         let airtime = timing::airtime(sc.frame.ppdu_bytes());
         Engine {
             sc,
@@ -208,6 +238,8 @@ impl<'a, 'o, 'e> Engine<'a, 'o, 'e> {
             ack_airtime: timing::airtime(11),
             obs: ObserverSet::new(sc, links, externals),
             events: 0,
+            max_events: u64::MAX,
+            exhausted: false,
         }
     }
 

@@ -19,7 +19,9 @@ use nomc_units::{Dbm, Megahertz, SimTime};
 #[derive(Debug)]
 pub(crate) enum Provider {
     Fixed(FixedThreshold),
-    Dcn(CcaAdjustor),
+    // Boxed: the adjustor (ring buffers + watchdog state) dwarfs the
+    // fixed variant, and nodes hold one provider for a whole run.
+    Dcn(Box<CcaAdjustor>),
 }
 
 impl Provider {
@@ -55,6 +57,16 @@ impl Provider {
         match self {
             Provider::Fixed(p) => p.on_tick(now),
             Provider::Dcn(p) => p.on_tick(now),
+        }
+    }
+
+    /// Resets the provider to its power-on state (node reboot). Fixed
+    /// thresholds have no learned state; a DCN adjustor re-enters the
+    /// initializing phase with a fresh `T_I` window.
+    pub(crate) fn reinitialize(&mut self, now: SimTime) {
+        match self {
+            Provider::Fixed(_) => {}
+            Provider::Dcn(p) => p.reinitialize(now),
         }
     }
 }
@@ -99,6 +111,18 @@ pub(crate) struct Node {
     pub(crate) credits: u64,
     /// Forwarding sender is idle and waiting for a credit.
     pub(crate) wants_packet: bool,
+    /// Fault state: the node has crashed and not (yet) rebooted.
+    pub(crate) down: bool,
+    /// Fault state: the CCA comparator is latched *busy*.
+    pub(crate) cca_stuck: bool,
+    /// Fault state: RSSI calibration drift installed on this node
+    /// (offset computed as a pure function of time — no queue events,
+    /// no randomness).
+    pub(crate) drift: Option<crate::scenario::DriftFault>,
+    /// Events scheduled before this queue sequence number belong to a
+    /// previous life of the node (before its last crash) and are
+    /// discarded by the dispatcher (see `runtime/faults.rs`).
+    pub(crate) stale_before_seq: u64,
 }
 
 impl Engine<'_, '_, '_> {
@@ -231,14 +255,16 @@ impl Engine<'_, '_, '_> {
         } else {
             co + inter + noise
         };
-        let reading = self.sc.radio.rssi.read(sensed.to_dbm());
+        let reading = self.rssi_read(n, sensed.to_dbm());
         let threshold = self.sc.radio.clamp_cca_threshold(
             node.provider
                 .as_ref()
                 .expect("sender has provider")
                 .threshold(self.now),
         );
-        let clear = reading < threshold;
+        // A latched-busy comparator (stuck-CCA fault) overrides the
+        // comparison; the trace still records the real reading.
+        let clear = reading < threshold && !node.cca_stuck;
         self.obs.trace_kind(
             self.now,
             TraceKind::Cca {

@@ -19,7 +19,7 @@ impl Engine<'_, '_, '_> {
         if !node.transmitting {
             let (freq, link) = (node.freq, node.link);
             let total = self.medium.sensed_total(n, freq, self.now);
-            let reading = self.sc.radio.rssi.read(total.to_dbm());
+            let reading = self.rssi_read(n, total.to_dbm());
             self.provider_mutate(n, |p, now| p.on_power_sense(reading, now));
             self.obs.power_sample(&PowerSample {
                 node: n,

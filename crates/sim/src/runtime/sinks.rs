@@ -14,7 +14,7 @@ use crate::runtime::observer::{
 };
 use crate::scenario::Scenario;
 use crate::trace::{TraceKind, TraceRecord};
-use nomc_units::{Dbm, SimDuration, SimTime};
+use nomc_units::{Db, Dbm, SimDuration, SimTime};
 
 /// Accumulates the per-link [`LinkMetrics`] counters.
 ///
@@ -289,6 +289,141 @@ impl<W: std::io::Write> SimObserver for JsonlTracer<W> {
             self.error = Some(e);
         } else {
             self.records += 1;
+        }
+    }
+}
+
+/// Per-bin recovery metrics around a known fault instant.
+///
+/// Attach to a fault-injected run (see [`crate::scenario::FaultPlan`])
+/// to quantify graceful degradation on one link: goodput is bucketed
+/// into fixed time bins, the pre-fault bins establish a steady-state
+/// baseline, and the post-fault bins yield the dip depth and the time
+/// until goodput returns to (a fraction of) the baseline. Threshold
+/// excursions — how far the link's CCA threshold strays from its
+/// pre-fault value while recovering — ride along via
+/// [`SimObserver::on_threshold_change`].
+///
+/// Like every observer this is a write-only sink: attaching it cannot
+/// perturb the run it measures.
+#[derive(Debug)]
+pub struct RecoveryMeter {
+    link: usize,
+    bin: SimDuration,
+    fault_at: SimTime,
+    warmup: SimDuration,
+    /// Non-duplicate successful deliveries per time bin.
+    bins: Vec<u64>,
+    /// Last effective threshold observed before the fault instant.
+    thr_before: Option<Dbm>,
+    /// Largest |threshold − pre-fault threshold| observed afterwards.
+    excursion: Db,
+}
+
+/// What a [`RecoveryMeter`] measured, see [`RecoveryMeter::report`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryReport {
+    /// Mean deliveries per bin over the pre-fault steady state.
+    pub baseline_per_bin: f64,
+    /// Smallest post-fault bin (the dip floor), in deliveries per bin.
+    pub dip_per_bin: u64,
+    /// Time from the fault instant until the first bin back at ≥ 90% of
+    /// the baseline; `None` when goodput never recovered in-run.
+    pub time_to_recover: Option<SimDuration>,
+    /// Largest post-fault CCA-threshold deviation from the pre-fault
+    /// value (dB; zero when thresholds never moved or were never seen).
+    pub threshold_excursion: Db,
+}
+
+/// Recovery declared at the first post-fault bin reaching this fraction
+/// of the pre-fault baseline.
+const RECOVERY_FRACTION: f64 = 0.9;
+
+impl RecoveryMeter {
+    /// A meter for `link`, bucketing goodput into `bin`-sized bins and
+    /// splitting pre/post at `fault_at`. Bins inside `warmup` are
+    /// excluded from the baseline (the DCN initializing phase is not
+    /// steady state). A zero `bin` is clamped to one nanosecond.
+    pub fn new(link: usize, bin: SimDuration, fault_at: SimTime, warmup: SimDuration) -> Self {
+        RecoveryMeter {
+            link,
+            bin: bin.max(SimDuration::from_nanos(1)),
+            fault_at,
+            warmup,
+            bins: Vec::new(),
+            thr_before: None,
+            excursion: Db::ZERO,
+        }
+    }
+
+    /// Non-duplicate deliveries per bin, from run start.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    fn bin_index(&self, at: SimTime) -> usize {
+        (at.saturating_since(SimTime::ZERO).as_nanos() / self.bin.as_nanos()) as usize
+    }
+
+    /// Summarizes the run recorded so far.
+    pub fn report(&self) -> RecoveryReport {
+        let first_steady = self.bin_index(SimTime::ZERO + self.warmup);
+        let fault_bin = self.bin_index(self.fault_at);
+        let pre: &[u64] = self
+            .bins
+            .get(first_steady..fault_bin.min(self.bins.len()))
+            .unwrap_or(&[]);
+        let baseline = if pre.is_empty() {
+            0.0
+        } else {
+            pre.iter().sum::<u64>() as f64 / pre.len() as f64
+        };
+        let post_start = (fault_bin + 1).min(self.bins.len());
+        let post: &[u64] = self.bins.get(post_start..).unwrap_or(&[]);
+        let dip = post.iter().copied().min().unwrap_or(0);
+        let time_to_recover = post
+            .iter()
+            .position(|&b| b as f64 >= RECOVERY_FRACTION * baseline)
+            .map(|i| {
+                // Recovered by the end of that bin.
+                let bin_end =
+                    SimDuration::from_nanos((post_start + i + 1) as u64 * self.bin.as_nanos());
+                (SimTime::ZERO + bin_end).saturating_since(self.fault_at)
+            });
+        RecoveryReport {
+            baseline_per_bin: baseline,
+            dip_per_bin: dip,
+            time_to_recover,
+            threshold_excursion: self.excursion,
+        }
+    }
+}
+
+impl SimObserver for RecoveryMeter {
+    fn wants_thresholds(&self) -> bool {
+        true
+    }
+
+    fn on_tx_outcome(&mut self, info: &TxOutcomeInfo) {
+        if info.link != self.link || info.outcome != TxOutcome::Received || info.duplicate {
+            return;
+        }
+        let idx = self.bin_index(info.start);
+        if self.bins.len() <= idx {
+            self.bins.resize(idx + 1, 0);
+        }
+        self.bins[idx] += 1;
+    }
+
+    fn on_threshold_change(&mut self, sample: &ThresholdSample) {
+        if sample.link != self.link {
+            return;
+        }
+        if sample.at < self.fault_at {
+            self.thr_before = Some(sample.threshold);
+        } else if let Some(before) = self.thr_before {
+            let dev = sample.threshold - before;
+            self.excursion = self.excursion.max(Db::new(dev.value().abs()));
         }
     }
 }

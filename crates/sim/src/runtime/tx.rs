@@ -213,9 +213,17 @@ impl Engine<'_, '_, '_> {
             self.try_deliver_ack(tx_id, parent, sender);
             return;
         }
-        // 1. The transmitter returns to idle and paces its next frame.
-        self.nodes[n].transmitting = false;
-        self.feed_mac(n, MacEvent::TxDone);
+        // 1. The transmitter returns to idle and paces its next frame —
+        // unless it crashed mid-flight (dead nodes pace nothing) or this
+        // TxEnd belongs to a pre-crash life (`last_tx` resets on reboot,
+        // so a since-rebooted node never mistakes the old frame's end
+        // for its current one).
+        if self.nodes[n].last_tx == tx_id {
+            self.nodes[n].transmitting = false;
+            if !self.nodes[n].down {
+                self.feed_mac(n, MacEvent::TxDone);
+            }
+        }
 
         // 2. Locked receivers decode.
         let receivers: Vec<NodeId> = (0..self.nodes.len())
@@ -396,7 +404,7 @@ impl Engine<'_, '_, '_> {
             // Any successfully decoded co-channel frame feeds the
             // observer's CCA-threshold provider with its RSSI (the
             // paper's free information source).
-            let rssi = self.sc.radio.rssi.read(signal);
+            let rssi = self.rssi_read(o, signal);
             self.provider_mutate(o, |p, now| p.on_cochannel_packet(rssi, now));
         }
     }

@@ -68,6 +68,13 @@ pub enum TraceKind {
         /// The waiting sender.
         sender: NodeId,
     },
+    /// A scheduled fault fired at a node (see `FaultPlan`).
+    Fault {
+        /// The afflicted node.
+        node: NodeId,
+        /// `"down" | "up" | "cca_stuck" | "cca_released"`.
+        fault: &'static str,
+    },
 }
 
 impl ToJson for TraceRecord {
@@ -126,6 +133,10 @@ impl ToJson for TraceKind {
             TraceKind::AckTimedOut { tx, sender } => Json::object([(
                 "AckTimedOut",
                 Json::object([("tx", tx.to_json()), ("sender", sender.to_json())]),
+            )]),
+            TraceKind::Fault { node, fault } => Json::object([(
+                "Fault",
+                Json::object([("node", node.to_json()), ("fault", fault.to_json())]),
             )]),
         }
     }

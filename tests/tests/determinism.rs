@@ -67,6 +67,19 @@ fn fig04_report_renders_identically_across_runs() {
 }
 
 #[test]
+fn fault_recovery_report_renders_identically_across_runs() {
+    // The fault schedule is part of the scenario, so the injected
+    // crash + jammer sweep must be exactly as seed-stable as the
+    // fault-free experiments: two full ext_fault_recovery sweeps
+    // render byte-identical reports (recovery times included).
+    use nomc_experiments::experiments::extensions;
+    let cfg = ExpConfig::quick();
+    let a = extensions::fault_recovery(&cfg);
+    let b = extensions::fault_recovery(&cfg);
+    assert_eq!(a.to_json_string(), b.to_json_string());
+}
+
+#[test]
 fn parallel_runner_preserves_seed_order_determinism() {
     // The scoped-thread runner must return results in seed order with
     // identical contents no matter how the OS schedules the workers.

@@ -276,6 +276,84 @@ fn collision_predicate_matches_full_scan() {
     );
 }
 
+/// Regression: a transmission whose end lands on the *exact* prune
+/// boundary (`now − end == retention`) must be retained and remain
+/// visible to the indexed scan — the prune comparison is strict, so
+/// boundary-equal history is inside the horizon, not past it. A
+/// one-nanosecond-older end is pruned.
+#[test]
+fn prune_boundary_equal_end_stays_visible_to_indexed_scan() {
+    let mk = |id: TxId, node: NodeId, start: SimTime, end: SimTime| Transmission {
+        id,
+        tx_node: node,
+        link: node,
+        frequency: grid(0),
+        start,
+        mpdu_start: start + SimDuration::from_micros(192),
+        end,
+        seq: 0,
+        forced: false,
+        rx_power: (0..NODES).map(|n| Dbm::new(-60.0 - n as f64)).collect(),
+    };
+    let boundary_end = SimTime::from_micros(1_000);
+    let next_start = boundary_end + RETENTION; // now − end == retention exactly
+    let mut medium = Medium::new(
+        nomc_phy::coupling::AcrCurve::cc2420_calibrated(),
+        Dbm::new(-98.0).to_milliwatts(),
+    );
+    medium.add(mk(1, 0, SimTime::ZERO, boundary_end));
+    medium.add(mk(
+        2,
+        1,
+        next_start,
+        next_start + SimDuration::from_micros(3_000),
+    ));
+    assert_eq!(medium.tracked(), 2, "boundary-equal entry must survive");
+    assert!(medium.get(1).is_some());
+    // The per-channel index must agree with the slab: a segment query
+    // over the retained transmission's live window still sees its energy.
+    let segs = medium.interference_segments(2, 2, grid(0), SimTime::ZERO, boundary_end);
+    assert_eq!(segs.len(), 1);
+    assert!(
+        segs[0].interference > MilliWatts::ZERO,
+        "indexed scan must see the boundary-equal transmission"
+    );
+    // ... and matches the naive reference exactly at the boundary.
+    let flat: VecDeque<Transmission> = [
+        mk(1, 0, SimTime::ZERO, boundary_end),
+        mk(
+            2,
+            1,
+            next_start,
+            next_start + SimDuration::from_micros(3_000),
+        ),
+    ]
+    .into_iter()
+    .collect();
+    let want = naive_segments(&medium, &flat, 2, 2, grid(0), SimTime::ZERO, boundary_end);
+    assert_eq!(segs, want);
+
+    // One nanosecond past the horizon the entry is pruned from slab and
+    // index alike.
+    let mut medium = Medium::new(
+        nomc_phy::coupling::AcrCurve::cc2420_calibrated(),
+        Dbm::new(-98.0).to_milliwatts(),
+    );
+    medium.add(mk(1, 0, SimTime::ZERO, boundary_end));
+    let late_start = next_start + SimDuration::from_nanos(1);
+    medium.add(mk(
+        2,
+        1,
+        late_start,
+        late_start + SimDuration::from_micros(3_000),
+    ));
+    assert_eq!(medium.tracked(), 1, "past-boundary entry must be pruned");
+    assert!(medium.get(1).is_none());
+    let segs = medium.interference_segments(2, 2, grid(0), SimTime::ZERO, boundary_end);
+    assert_eq!(segs.len(), 1);
+    assert_eq!(segs[0].interference, MilliWatts::ZERO);
+}
+
 #[test]
 fn get_matches_linear_find() {
     forall("get_matches_linear_find", 64, &arb_specs(), |specs| {

@@ -1,0 +1,157 @@
+//! Golden event-trace regression with faults injected.
+//!
+//! Companion to `trace_golden`: the same two-network DCN scenario, now
+//! carrying a [`FaultPlan`] that exercises every fault type — a
+//! crash/reboot cycle, a transient wideband jammer, an RSSI calibration
+//! drift, and a stuck-CCA window. The fixture in
+//! `tests/fixtures/trace_2net_dcn_faults.jsonl` pins the full faulted
+//! event history byte for byte, so the fault schedule itself is covered
+//! by the same seed-stability guarantee as the fault-free runtime: same
+//! seed + same plan ⇒ byte-identical trace, forever.
+//!
+//! To re-record after an *intentional* behavior change:
+//!
+//! ```text
+//! NOMC_UPDATE_GOLDEN=1 cargo test -p nomc-integration-tests --test trace_golden_faults
+//! ```
+
+use nomc_sim::{
+    engine, trace, CrashFault, DriftFault, FaultPlan, JammerFault, NetworkBehavior, RecoveryMeter,
+    Scenario, SimObserver, StuckCcaFault,
+};
+use nomc_topology::paper;
+use nomc_topology::spectrum::ChannelPlan;
+use nomc_units::{Db, Dbm, Megahertz, SimDuration, SimTime};
+use std::path::PathBuf;
+
+fn at(millis: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_millis(millis)
+}
+
+/// Every fault type at once: node 0 dies at 400 ms and reboots 150 ms
+/// later, a −70 dBm jammer keys up on network 0's channel for 200 ms,
+/// network 1's first sender (node 4) drifts +3 dB over 200 ms, and
+/// node 2's CCA latches busy for 150 ms.
+fn fault_plan() -> FaultPlan {
+    FaultPlan {
+        crashes: vec![CrashFault {
+            node: 0,
+            at: at(400),
+            down_for: SimDuration::from_millis(150),
+        }],
+        jammers: vec![JammerFault {
+            frequency: Megahertz::new(2458.0),
+            power: Dbm::new(-70.0),
+            at: at(300),
+            duration: SimDuration::from_millis(200),
+        }],
+        drifts: vec![DriftFault {
+            node: 4,
+            at: at(500),
+            ramp: SimDuration::from_millis(200),
+            peak: Db::new(3.0),
+        }],
+        stuck_cca: vec![StuckCcaFault {
+            node: 2,
+            at: at(700),
+            duration: SimDuration::from_millis(150),
+        }],
+    }
+}
+
+/// The `trace_golden` scenario (two DCN networks, 3 MHz apart, seed 42)
+/// plus the all-types fault plan.
+fn faulted_scenario() -> Scenario {
+    let plan = ChannelPlan::with_count(Megahertz::new(2458.0), Megahertz::new(3.0), 2);
+    let mut b = Scenario::builder(paper::line_deployment(&plan, Dbm::new(0.0)));
+    b.behavior_all(NetworkBehavior::dcn_default())
+        .duration(SimDuration::from_secs(1))
+        .warmup(SimDuration::from_millis(250))
+        .seed(42)
+        .record_trace(true)
+        .faults(fault_plan());
+    b.build().expect("builder-validated faulted scenario")
+}
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures/trace_2net_dcn_faults.jsonl")
+}
+
+#[test]
+fn faulted_golden_trace_is_byte_identical() {
+    let result = engine::run(&faulted_scenario());
+    assert!(!result.trace.is_empty(), "trace recording must be on");
+    let jsonl = trace::to_jsonl(&result.trace);
+    // The plan really fired: the trace carries the crash, the reboot,
+    // and both edges of the stuck-CCA window.
+    for marker in ["\"down\"", "\"up\"", "\"cca_stuck\"", "\"cca_released\""] {
+        assert!(
+            jsonl.contains(marker),
+            "faulted trace is missing the {marker} fault record"
+        );
+    }
+    let path = fixture_path();
+    if std::env::var_os("NOMC_UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &jsonl).expect("cannot write golden fixture");
+        eprintln!(
+            "re-recorded {} ({} records)",
+            path.display(),
+            result.trace.len()
+        );
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read golden fixture {}: {e}; record it with \
+             NOMC_UPDATE_GOLDEN=1 cargo test --test trace_golden_faults",
+            path.display()
+        )
+    });
+    if golden != jsonl {
+        let diverged = golden
+            .lines()
+            .zip(jsonl.lines())
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| golden.lines().count().min(jsonl.lines().count()));
+        panic!(
+            "faulted event trace diverged from the recorded fixture: \
+             {} golden lines vs {} current, first difference at line {} \
+             (golden: {:?}, current: {:?})",
+            golden.lines().count(),
+            jsonl.lines().count(),
+            diverged + 1,
+            golden.lines().nth(diverged).unwrap_or("<eof>"),
+            jsonl.lines().nth(diverged).unwrap_or("<eof>"),
+        );
+    }
+}
+
+#[test]
+fn faulted_run_is_deterministic_in_process() {
+    // Two fresh runs of the same seed + plan, compared record for
+    // record — catches nondeterminism the on-disk fixture would only
+    // show after the next re-record.
+    let sc = faulted_scenario();
+    let a = engine::run(&sc);
+    let b = engine::run(&sc);
+    assert_eq!(trace::to_jsonl(&a.trace), trace::to_jsonl(&b.trace));
+    assert_eq!(a, b);
+}
+
+#[test]
+fn observers_do_not_perturb_faulted_runs() {
+    // Observer sinks are write-only even while faults fire: attaching a
+    // recovery meter to the faulted run must leave the result
+    // bit-identical to the bare run.
+    let sc = faulted_scenario();
+    let bare = engine::run(&sc);
+    let mut meter = RecoveryMeter::new(0, SimDuration::from_millis(100), at(400), sc.warmup);
+    let mut sinks: Vec<&mut dyn SimObserver> = vec![&mut meter];
+    let observed = engine::run_with(&sc, &mut sinks);
+    assert_eq!(bare, observed);
+    // And the meter saw real traffic around the fault.
+    assert!(
+        meter.bins().iter().sum::<u64>() > 0,
+        "meter counted nothing"
+    );
+}
