@@ -15,6 +15,10 @@ cargo test -p nomc-integration-tests --test trace_golden_faults -q --offline
 cargo test -p nomc-experiments --lib -q --offline runner::
 cargo test -p nomc-experiments --lib -q --offline kill_reboot
 
+echo "==> sweep crash safety: kill-and-resume must be byte-identical"
+cargo test -p nomc-experiments --lib -q --offline sweep::
+cargo test -p nomc-cli --test sweep_crash -q --offline
+
 echo "==> ext_fault_recovery smoke (quick sweep must recover at every duty)"
 cargo run -p nomc-experiments --release --offline --bin fault_recovery -- --quick
 

@@ -17,6 +17,13 @@ USAGE:
   nomc run <scenario.json> [--json out] [--trace out.jsonl] [--faults plan.json]
                                          simulate a scenario file, optionally
                                          injecting a deterministic fault plan
+  nomc sweep <scenario.json> [--journal out.jsonl] [--resume] [--retries N]
+             [--budget EVENTS] [--threads N] [--seeds 1,2,3 | --seed-count N]
+             [--report out.json]         crash-safe multi-seed sweep: every
+                                         concluded member is checkpointed to
+                                         the journal (atomic tmp+rename), and
+                                         --resume skips members the journal
+                                         already records
   nomc inspect <scenario.json>           print the link/interference budget
   nomc plan [--target-cprr F] [--delta DB] [--sigma DB] [--frame-bits N]
                                          smallest CFD meeting a CPRR target
@@ -102,7 +109,7 @@ fn template_scenario(template: &str) -> Result<Scenario, String> {
 pub fn run(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("run needs a scenario file")?;
     let mut scenario = load_scenario(path)?;
-    if let Some(plan_path) = flag_value(args, "--faults") {
+    if let Some(plan_path) = flag_value(args, "--faults")? {
         scenario.faults = load_fault_plan(&plan_path)?;
         // Re-validate: the plan references nodes by deployment index, so
         // it can only be checked against the scenario it is merged into.
@@ -118,7 +125,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
             n.stuck_cca.len()
         );
     }
-    let trace_path = flag_value(args, "--trace");
+    let trace_path = flag_value(args, "--trace")?;
     // Traces stream to disk through a pluggable observer sink instead of
     // buffering every record in the result — arbitrarily long runs trace
     // in constant memory.
@@ -169,7 +176,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
     for (i, t) in result.final_thresholds.iter().enumerate() {
         println!("  sender {i}: {t}");
     }
-    if let Some(out) = flag_value(args, "--json") {
+    if let Some(out) = flag_value(args, "--json")? {
         use nomc_json::{Json, ToJson};
         let summary = Json::object([
             ("total_throughput", result.total_throughput().to_json()),
@@ -198,6 +205,98 @@ pub fn run(args: &[String]) -> Result<(), String> {
         eprintln!("wrote {out}");
     }
     Ok(())
+}
+
+/// `nomc sweep <scenario.json> [--journal out.jsonl] [--resume]
+/// [--retries N] [--budget EVENTS] [--threads N] [--seeds 1,2,3 |
+/// --seed-count N] [--report out.json]`.
+pub fn sweep(args: &[String]) -> Result<(), String> {
+    use nomc_experiments::sweep::{self, SweepConfig};
+
+    let path = args.first().ok_or("sweep needs a scenario file")?;
+    let base = load_scenario(path)?;
+    let seeds = sweep_seeds(args)?;
+    let mut cfg = SweepConfig::default();
+    if let Some(retries) = parse_flag::<u32>(args, "--retries")? {
+        cfg.retries = retries;
+    }
+    if let Some(budget) = parse_flag::<u64>(args, "--budget")? {
+        if budget == 0 {
+            return Err("--budget must be at least 1 event".into());
+        }
+        cfg.base_budget = budget;
+    }
+    if let Some(threads) = parse_flag::<usize>(args, "--threads")? {
+        if threads == 0 {
+            return Err("--threads must be at least 1".into());
+        }
+        cfg.threads = Some(threads);
+    }
+    let journal = flag_value(args, "--journal")?;
+    let resume = args.iter().any(|a| a == "--resume");
+    if resume && journal.is_none() {
+        return Err("--resume needs --journal <path> to resume from".into());
+    }
+
+    let members = sweep::seed_members(&base, &seeds);
+    let report = sweep::run_sweep(
+        &members,
+        &cfg,
+        journal.as_ref().map(std::path::Path::new),
+        resume,
+    )
+    .map_err(|e| e.to_string())?;
+
+    let counts = report.counts();
+    println!(
+        "sweep: {} members — {} ok, {} failed, {} timed out, {} retried",
+        report.members.len(),
+        counts.ok,
+        counts.failed,
+        counts.timed_out,
+        counts.retried
+    );
+    match report.throughput_stat() {
+        Ok(stat) => println!(
+            "total throughput: {:.1} ± {:.1} pkt/s over {} completed members",
+            stat.mean, stat.std, counts.ok
+        ),
+        // Typed refusal, surfaced instead of a misleading statistic.
+        Err(e) => println!("no statistic: {e}"),
+    }
+    if let Some(j) = &journal {
+        eprintln!("journal checkpointed at {j}");
+    }
+    if let Some(out) = flag_value(args, "--report")? {
+        std::fs::write(&out, report.to_json_string())
+            .map_err(|e| format!("cannot write {out}: {e}"))?;
+        eprintln!("wrote {out}");
+    }
+    Ok(())
+}
+
+/// The seed list of a sweep: `--seeds a,b,c` wins, then
+/// `--seed-count N` (seeds `1..=N`), then the default `1..=5`.
+fn sweep_seeds(args: &[String]) -> Result<Vec<u64>, String> {
+    if let Some(list) = flag_value(args, "--seeds")? {
+        let seeds: Vec<u64> = list
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse::<u64>()
+                    .map_err(|e| format!("bad seed {s:?} in --seeds: {e}"))
+            })
+            .collect::<Result<_, _>>()?;
+        if seeds.is_empty() {
+            return Err("--seeds needs at least one seed".into());
+        }
+        return Ok(seeds);
+    }
+    let count = parse_flag::<u64>(args, "--seed-count")?.unwrap_or(5);
+    if count == 0 {
+        return Err("--seed-count must be at least 1".into());
+    }
+    Ok((1..=count).collect())
 }
 
 /// `nomc inspect <scenario.json>`.
@@ -307,13 +406,17 @@ pub fn assign(args: &[String]) -> Result<(), String> {
         .collect();
     freqs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     let cfd = freqs
-        .windows(2)
-        .map(|w| w[1] - w[0])
+        .iter()
+        .zip(freqs.iter().skip(1))
+        .map(|(lo, hi)| hi - lo)
         .fold(f64::MAX, f64::min);
     if !cfd.is_finite() || cfd <= 0.0 {
         return Err("assignment needs at least two networks on distinct channels".into());
     }
-    let plan = ChannelPlan::with_count(Megahertz::new(freqs[0]), Megahertz::new(cfd), freqs.len());
+    let lowest = *freqs
+        .first()
+        .ok_or("assignment needs at least two networks on distinct channels")?;
+    let plan = ChannelPlan::with_count(Megahertz::new(lowest), Megahertz::new(cfd), freqs.len());
     let assignment = optimize_assignment(
         &scenario.deployment.networks,
         &plan,
@@ -356,18 +459,26 @@ fn load_fault_plan(path: &str) -> Result<FaultPlan, String> {
     nomc_json::from_str(&text).map_err(|e| format!("invalid fault plan JSON: {e}"))
 }
 
-fn flag_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
+/// The value following `flag`, `Ok(None)` when the flag is absent, and
+/// an error when the flag is present with no value — a trailing
+/// `--journal` must not silently run without journaling.
+fn flag_value(args: &[String], flag: &str) -> Result<Option<String>, String> {
+    let Some(i) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
+    match args.get(i + 1) {
+        // The next `--flag` is not this flag's value (values such as
+        // `--delta -9.1` keep working: one dash, not two).
+        Some(v) if !v.starts_with("--") => Ok(Some(v.clone())),
+        _ => Err(format!("{flag} needs a value")),
+    }
 }
 
 fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Result<Option<T>, String>
 where
     T::Err: std::fmt::Display,
 {
-    match flag_value(args, flag) {
+    match flag_value(args, flag)? {
         None => Ok(None),
         Some(raw) => raw
             .parse()
@@ -472,6 +583,20 @@ mod tests {
         assert_eq!(parse_flag::<f64>(&args, "--sigma").unwrap(), Some(2.0));
         assert_eq!(parse_flag::<f64>(&args, "--missing").unwrap(), None);
         assert!(parse_flag::<f64>(&["--sigma".into(), "x".into()], "--sigma").is_err());
+    }
+
+    #[test]
+    fn a_flag_without_a_value_is_an_error_not_a_silent_default() {
+        // Trailing flag: nothing follows.
+        assert!(flag_value(&["--journal".into()], "--journal").is_err());
+        // Another flag follows: `--journal --resume` must not take
+        // "--resume" as the journal path.
+        assert!(flag_value(&["--journal".into(), "--resume".into()], "--journal").is_err());
+        // Single-dash values (negative numbers) still parse.
+        assert_eq!(
+            parse_flag::<f64>(&["--delta".into(), "-9.1".into()], "--delta").unwrap(),
+            Some(-9.1)
+        );
     }
 
     #[test]

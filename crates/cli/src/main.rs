@@ -5,6 +5,8 @@
 //! nomc generate <template> [out.json]   write an example scenario file
 //! nomc run <scenario.json> [--json out] [--trace out.jsonl]
 //!                                       simulate a scenario file
+//! nomc sweep <scenario.json> [--journal j.jsonl] [--resume] [...]
+//!                                       crash-safe journaled multi-seed sweep
 //! nomc inspect <scenario.json>          print the link/interference budget
 //! nomc plan [--target-cprr F] [--delta DB] [--sigma DB]
 //!                                       analytic minimum-CFD planner
@@ -20,6 +22,7 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("generate") => commands::generate(&args[1..]),
         Some("run") => commands::run(&args[1..]),
+        Some("sweep") => commands::sweep(&args[1..]),
         Some("inspect") => commands::inspect(&args[1..]),
         Some("plan") => commands::plan(&args[1..]),
         Some("assign") => commands::assign(&args[1..]),

@@ -30,6 +30,7 @@
 pub mod experiments;
 pub mod report;
 pub mod runner;
+pub mod sweep;
 
 use nomc_units::SimDuration;
 

@@ -2,8 +2,10 @@
 //!
 //! Every sweep point (a scenario at one parameter value and one seed) is
 //! an independent deterministic simulation, so the harness parallelizes
-//! across points with scoped threads while each simulation itself stays
-//! single-threaded and reproducible.
+//! across points while each simulation itself stays single-threaded and
+//! reproducible. All batch entry points share one parallel-execution
+//! path: the work-stealing [`crate::sweep::scheduler`], whose
+//! slot-ordered results are bit-identical for any thread count.
 //!
 //! Batch robustness: [`run_outcomes`] isolates each member behind
 //! `catch_unwind` and a deterministic event budget, so one panicking or
@@ -83,26 +85,17 @@ where
     run_parallel(&scenarios)
 }
 
-/// Runs a batch of scenarios in parallel (scoped threads, one per
-/// scenario up to the CPU count), preserving order.
+/// Runs a batch of scenarios in parallel on the work-stealing
+/// scheduler ([`crate::sweep::scheduler`]), preserving order.
+///
+/// Results are slot-ordered, so they are bit-identical for any thread
+/// count; only wall-clock completion order varies.
 pub fn run_parallel(scenarios: &[Scenario]) -> Vec<SimResult> {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4);
-    let mut out: Vec<Option<SimResult>> = vec![None; scenarios.len()];
-    std::thread::scope(|scope| {
-        let chunk = scenarios.len().div_ceil(threads).max(1);
-        for (slot_chunk, sc_chunk) in out.chunks_mut(chunk).zip(scenarios.chunks(chunk)) {
-            scope.spawn(move || {
-                for (slot, sc) in slot_chunk.iter_mut().zip(sc_chunk) {
-                    *slot = Some(engine::run(sc));
-                }
-            });
-        }
-    });
-    out.into_iter()
-        .map(|r| r.expect("all slots filled"))
-        .collect()
+    crate::sweep::scheduler::run_indexed(
+        scenarios.len(),
+        crate::sweep::scheduler::default_threads(),
+        |i| engine::run(&scenarios[i]),
+    )
 }
 
 /// How one member of an isolated batch ([`run_outcomes`]) ended.
@@ -145,32 +138,20 @@ impl RunOutcome {
 /// it is reported as [`RunOutcome::Failed`] while every other member
 /// still completes.
 pub fn run_outcomes(scenarios: &[Scenario], max_events: u64) -> Vec<RunOutcome> {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4);
-    let mut out: Vec<Option<RunOutcome>> = std::iter::repeat_with(|| None)
-        .take(scenarios.len())
-        .collect();
-    std::thread::scope(|scope| {
-        let chunk = scenarios.len().div_ceil(threads).max(1);
-        for (slot_chunk, sc_chunk) in out.chunks_mut(chunk).zip(scenarios.chunks(chunk)) {
-            scope.spawn(move || {
-                for (slot, sc) in slot_chunk.iter_mut().zip(sc_chunk) {
-                    *slot = Some(run_isolated(sc, max_events));
-                }
-            });
-        }
-    });
-    out.into_iter()
-        .map(|r| r.expect("every slot filled by its chunk thread"))
-        .collect()
+    crate::sweep::scheduler::run_indexed(
+        scenarios.len(),
+        crate::sweep::scheduler::default_threads(),
+        |i| run_isolated(&scenarios[i], max_events),
+    )
 }
 
 /// One member: budgeted, with the panic boundary right around the
 /// engine call. `AssertUnwindSafe` is sound here because nothing
 /// crosses the boundary on the panic path — the scenario is borrowed
 /// immutably and the engine's state dies with the unwind.
-fn run_isolated(sc: &Scenario, max_events: u64) -> RunOutcome {
+///
+/// Also the attempt primitive of [`crate::sweep`]'s retry loop.
+pub(crate) fn run_isolated(sc: &Scenario, max_events: u64) -> RunOutcome {
     let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         engine::run_bounded(sc, &mut [], max_events)
     }));

@@ -1,0 +1,126 @@
+//! Content hashing for sweep members and journals.
+//!
+//! A journal entry is only trusted if it provably describes *this*
+//! sweep: the member key is an FNV-1a 64-bit hash over the member's
+//! serialized [`Scenario`] (which embeds the seed), the seed repeated
+//! explicitly, and the base event budget. Editing any of those — a
+//! tweaked deployment, a different seed list, a new budget — changes
+//! the hash, so a stale journal from an earlier version of the sweep is
+//! detected instead of silently replayed.
+
+use nomc_sim::Scenario;
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental FNV-1a 64-bit hasher.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    /// Starts a hash at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv1a(FNV_OFFSET)
+    }
+
+    /// Folds `bytes` into the hash.
+    pub fn write(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    /// Folds a `u64` in (little-endian byte order).
+    pub fn write_u64(&mut self, v: u64) -> &mut Self {
+        self.write(&v.to_le_bytes())
+    }
+
+    /// The accumulated hash.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a::new()
+    }
+}
+
+/// One-shot FNV-1a 64-bit hash of `bytes`.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write(bytes);
+    h.finish()
+}
+
+/// The content key of one sweep member: serialized scenario + seed +
+/// base event budget.
+///
+/// The serialized form is the canonical JSON the in-tree codec emits
+/// (insertion-ordered keys, shortest exact floats), so equal scenarios
+/// always hash equally and any semantic edit changes the hash.
+pub fn member_hash(scenario: &Scenario, base_budget: u64) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write(nomc_json::to_string(scenario).as_bytes());
+    h.write_u64(scenario.seed);
+    h.write_u64(base_budget);
+    h.finish()
+}
+
+/// The key of a whole sweep: member count plus every member hash, in
+/// order. Stored in the journal header so a resumed run refuses a
+/// journal written for a different member set.
+pub fn sweep_hash(member_hashes: &[u64]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_u64(member_hashes.len() as u64);
+    for &m in member_hashes {
+        h.write_u64(m);
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nomc_topology::{paper, spectrum::ChannelPlan};
+    use nomc_units::{Dbm, Megahertz};
+
+    fn scenario(seed: u64) -> Scenario {
+        let plan = ChannelPlan::with_count(Megahertz::new(2460.0), Megahertz::new(5.0), 1);
+        let mut b = Scenario::builder(paper::line_deployment(&plan, Dbm::new(0.0)));
+        b.seed(seed);
+        b.build().expect("valid test scenario")
+    }
+
+    #[test]
+    fn fnv1a_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn member_hash_is_stable_and_content_sensitive() {
+        let a = scenario(1);
+        assert_eq!(member_hash(&a, 1000), member_hash(&a.clone(), 1000));
+        // Seed, budget and scenario edits all change the key.
+        assert_ne!(member_hash(&a, 1000), member_hash(&scenario(2), 1000));
+        assert_ne!(member_hash(&a, 1000), member_hash(&a, 2000));
+        let mut edited = a.clone();
+        edited.duration = nomc_units::SimDuration::from_secs(21);
+        assert_ne!(member_hash(&a, 1000), member_hash(&edited, 1000));
+    }
+
+    #[test]
+    fn sweep_hash_covers_count_and_order() {
+        assert_ne!(sweep_hash(&[1, 2]), sweep_hash(&[2, 1]));
+        assert_ne!(sweep_hash(&[1]), sweep_hash(&[1, 1]));
+        assert_eq!(sweep_hash(&[7, 9]), sweep_hash(&[7, 9]));
+    }
+}

@@ -1,0 +1,422 @@
+//! The sweep journal: a JSONL write-ahead checkpoint of concluded
+//! members.
+//!
+//! Line 1 is a header binding the file to one specific sweep (format
+//! version, sweep-level content hash, member count); every following
+//! line is one concluded [`MemberReport`]. The journal is logically
+//! append-only — members are only ever added, in slot order — but each
+//! checkpoint is written as an atomic whole-file replace: serialize to
+//! `<path>.tmp`, `fsync`, `rename` over the journal, `fsync` the
+//! directory. A reader (including a resumed sweep after SIGKILL)
+//! therefore always sees a complete, self-consistent checkpoint; there
+//! is no torn-write window.
+//!
+//! Reading is defensive in the other direction: the journal lives on
+//! disk where anything can happen to it. A wrong or unparsable header
+//! fails the whole resume with a typed [`SweepError`] (the file cannot
+//! be trusted at all), while a corrupt *member* line quarantines only
+//! that member — it reruns, every other recorded member is still
+//! skipped.
+
+use super::report::MemberReport;
+use super::SweepError;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Journal format version; bump on any incompatible layout change.
+pub const JOURNAL_VERSION: u64 = 1;
+
+/// The header line binding a journal to one sweep.
+#[derive(Debug, Clone, PartialEq)]
+struct Header {
+    /// Format version tag (doubles as the magic key).
+    nomc_sweep_journal: u64,
+    /// [`super::hash::sweep_hash`] over the ordered member hashes.
+    sweep_hash: u64,
+    /// Number of members in the sweep.
+    members: usize,
+}
+
+nomc_json::json_struct!(Header {
+    nomc_sweep_journal: u64,
+    sweep_hash: u64,
+    members: usize,
+});
+
+/// What a journal replay recovered: per-slot concluded reports plus a
+/// typed record of every line that had to be quarantined.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Replay {
+    /// One slot per sweep member; `Some` when the journal holds a
+    /// trustworthy concluded report for it.
+    pub members: Vec<Option<MemberReport>>,
+    /// Every rejected line, as the typed error that rejected it. The
+    /// affected members simply rerun; nothing here is fatal.
+    pub quarantined: Vec<SweepError>,
+}
+
+impl Replay {
+    /// Number of members recovered from the journal.
+    pub fn recovered(&self) -> usize {
+        self.members.iter().filter(|m| m.is_some()).count()
+    }
+}
+
+/// Parses journal `text` against the sweep it claims to checkpoint.
+///
+/// # Errors
+///
+/// [`SweepError::BadHeader`] when line 1 is missing or unparsable,
+/// [`SweepError::StaleJournal`] when the header's sweep hash or member
+/// count disagrees with this sweep (the scenarios, seeds or budget were
+/// edited since the journal was written). Member-line corruption never
+/// errors — it quarantines (see [`Replay::quarantined`]).
+pub fn parse(text: &str, sweep_hash: u64, member_hashes: &[u64]) -> Result<Replay, SweepError> {
+    let mut lines = text.lines().enumerate();
+    let header: Header = match lines.next() {
+        Some((_, first)) => nomc_json::from_str(first).map_err(|e| SweepError::BadHeader {
+            line: 1,
+            reason: e.to_string(),
+        })?,
+        None => {
+            return Err(SweepError::BadHeader {
+                line: 1,
+                reason: "empty journal".to_string(),
+            })
+        }
+    };
+    if header.nomc_sweep_journal != JOURNAL_VERSION {
+        return Err(SweepError::BadHeader {
+            line: 1,
+            reason: format!(
+                "unsupported journal version {} (expected {JOURNAL_VERSION})",
+                header.nomc_sweep_journal
+            ),
+        });
+    }
+    if header.sweep_hash != sweep_hash || header.members != member_hashes.len() {
+        return Err(SweepError::StaleJournal {
+            expected: sweep_hash,
+            found: header.sweep_hash,
+        });
+    }
+    let mut replay = Replay {
+        members: member_hashes.iter().map(|_| None).collect(),
+        quarantined: Vec::new(),
+    };
+    for (idx, raw) in lines {
+        let line = idx + 1; // 1-based, matching editor conventions
+        if raw.trim().is_empty() {
+            continue;
+        }
+        let entry: MemberReport = match nomc_json::from_str(raw) {
+            Ok(e) => e,
+            Err(e) => {
+                replay.quarantined.push(SweepError::CorruptLine {
+                    line,
+                    reason: e.to_string(),
+                });
+                continue;
+            }
+        };
+        let Some(&expected) = member_hashes.get(entry.member) else {
+            replay.quarantined.push(SweepError::CorruptLine {
+                line,
+                reason: format!(
+                    "member {} out of range (sweep has {})",
+                    entry.member,
+                    member_hashes.len()
+                ),
+            });
+            continue;
+        };
+        if entry.hash != expected {
+            replay.quarantined.push(SweepError::HashMismatch {
+                line,
+                member: entry.member,
+                expected,
+                found: entry.hash,
+            });
+            continue;
+        }
+        if entry.attempts.is_empty() {
+            replay.quarantined.push(SweepError::CorruptLine {
+                line,
+                reason: format!("member {} has an empty attempt history", entry.member),
+            });
+            continue;
+        }
+        let slot = replay
+            .members
+            .get_mut(entry.member)
+            .expect("member index verified in range above");
+        if slot.is_some() {
+            replay.quarantined.push(SweepError::DuplicateMember {
+                line,
+                member: entry.member,
+            });
+            continue;
+        }
+        *slot = Some(entry);
+    }
+    Ok(replay)
+}
+
+/// Renders the journal text for the concluded subset of `members`:
+/// header first, then every concluded report in slot order (which is
+/// what makes the file independent of completion — and thus thread —
+/// order).
+pub fn render(sweep_hash: u64, members: &[Option<MemberReport>]) -> String {
+    let header = Header {
+        nomc_sweep_journal: JOURNAL_VERSION,
+        sweep_hash,
+        members: members.len(),
+    };
+    let mut out = nomc_json::to_string(&header);
+    out.push('\n');
+    for entry in members.iter().flatten() {
+        out.push_str(&nomc_json::to_string(entry));
+        out.push('\n');
+    }
+    out
+}
+
+/// Atomically replaces the journal at `path` with the checkpoint for
+/// `members`: tmp-write, `fsync`, `rename`, directory `fsync`.
+///
+/// # Errors
+///
+/// [`SweepError::Io`] on any filesystem failure (the checkpoint is then
+/// not guaranteed durable, but the previous journal is still intact —
+/// rename either happened completely or not at all).
+pub fn persist(
+    path: &Path,
+    sweep_hash: u64,
+    members: &[Option<MemberReport>],
+) -> Result<(), SweepError> {
+    let text = render(sweep_hash, members);
+    let tmp = tmp_path(path);
+    let io_err = |p: &Path, e: std::io::Error| SweepError::Io {
+        path: p.display().to_string(),
+        message: e.to_string(),
+    };
+    let mut file = std::fs::File::create(&tmp).map_err(|e| io_err(&tmp, e))?;
+    file.write_all(text.as_bytes())
+        .map_err(|e| io_err(&tmp, e))?;
+    // Data must be on disk *before* the rename publishes it, or a crash
+    // could leave a journal whose name is newer than its bytes.
+    file.sync_all().map_err(|e| io_err(&tmp, e))?;
+    drop(file);
+    std::fs::rename(&tmp, path).map_err(|e| io_err(path, e))?;
+    // Persist the rename itself: fsync the containing directory.
+    let dir = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => PathBuf::from("."),
+    };
+    std::fs::File::open(&dir)
+        .and_then(|d| d.sync_all())
+        .map_err(|e| io_err(&dir, e))?;
+    Ok(())
+}
+
+/// Reads and parses the journal at `path`; `Ok(None)` when no journal
+/// exists yet (a fresh start, not an error).
+///
+/// # Errors
+///
+/// [`SweepError::Io`] when the file exists but cannot be read, plus
+/// everything [`parse`] can return.
+pub fn load(
+    path: &Path,
+    sweep_hash: u64,
+    member_hashes: &[u64],
+) -> Result<Option<Replay>, SweepError> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => {
+            return Err(SweepError::Io {
+                path: path.display().to_string(),
+                message: e.to_string(),
+            })
+        }
+    };
+    parse(&text, sweep_hash, member_hashes).map(Some)
+}
+
+/// The sibling scratch path used for atomic replacement.
+fn tmp_path(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_owned();
+    os.push(".tmp");
+    PathBuf::from(os)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::report::{AttemptOutcome, AttemptRecord, MemberMetrics};
+    use super::*;
+
+    fn member(i: usize, hash: u64) -> MemberReport {
+        MemberReport {
+            member: i,
+            hash,
+            attempts: vec![AttemptRecord {
+                budget: 1 << 20,
+                outcome: AttemptOutcome::Ok(MemberMetrics {
+                    throughput: 100.0 + i as f64,
+                    prr: Some(0.5),
+                    events: 99,
+                    measured_secs: 15.0,
+                }),
+            }],
+        }
+    }
+
+    fn hashes() -> Vec<u64> {
+        vec![11, 22, 33, 44]
+    }
+
+    fn full_text() -> String {
+        let members: Vec<Option<MemberReport>> = hashes()
+            .iter()
+            .enumerate()
+            .map(|(i, &h)| Some(member(i, h)))
+            .collect();
+        render(777, &members)
+    }
+
+    #[test]
+    fn round_trip_recovers_every_member() {
+        let replay = parse(&full_text(), 777, &hashes()).expect("parses");
+        assert_eq!(replay.recovered(), 4);
+        assert!(replay.quarantined.is_empty());
+        assert_eq!(replay.members[2], Some(member(2, 33)));
+    }
+
+    #[test]
+    fn header_problems_are_fatal_and_typed() {
+        assert!(matches!(
+            parse("", 777, &hashes()),
+            Err(SweepError::BadHeader { line: 1, .. })
+        ));
+        assert!(matches!(
+            parse("not json\n", 777, &hashes()),
+            Err(SweepError::BadHeader { line: 1, .. })
+        ));
+        // A journal for a different sweep (hash mismatch) is stale.
+        assert_eq!(
+            parse(&full_text(), 778, &hashes()),
+            Err(SweepError::StaleJournal {
+                expected: 778,
+                found: 777,
+            })
+        );
+        // So is one for a different member count.
+        let fewer = &hashes()[..3];
+        assert!(matches!(
+            parse(&full_text(), 777, fewer),
+            Err(SweepError::StaleJournal { .. })
+        ));
+        // Future versions are refused, not misread.
+        let versioned =
+            full_text().replacen("\"nomc_sweep_journal\":1", "\"nomc_sweep_journal\":9", 1);
+        assert!(matches!(
+            parse(&versioned, 777, &hashes()),
+            Err(SweepError::BadHeader { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupt_member_line_quarantines_only_that_member() {
+        let mut lines: Vec<String> = full_text().lines().map(str::to_string).collect();
+        lines[2] = "{\"member\": garbage".to_string();
+        let replay = parse(&lines.join("\n"), 777, &hashes()).expect("header is fine");
+        assert_eq!(replay.recovered(), 3);
+        assert!(replay.members[1].is_none(), "corrupt member reruns");
+        assert_eq!(replay.quarantined.len(), 1);
+        assert!(matches!(
+            replay.quarantined[0],
+            SweepError::CorruptLine { line: 3, .. }
+        ));
+    }
+
+    #[test]
+    fn member_hash_mismatch_quarantines() {
+        let mut members: Vec<Option<MemberReport>> = hashes()
+            .iter()
+            .enumerate()
+            .map(|(i, &h)| Some(member(i, h)))
+            .collect();
+        members[3] = Some(member(3, 999)); // stale per-member hash
+        let text = render(777, &members);
+        let replay = parse(&text, 777, &hashes()).expect("parses");
+        assert!(replay.members[3].is_none());
+        assert_eq!(
+            replay.quarantined,
+            vec![SweepError::HashMismatch {
+                line: 5,
+                member: 3,
+                expected: 44,
+                found: 999,
+            }]
+        );
+    }
+
+    #[test]
+    fn duplicates_out_of_range_and_empty_attempts_quarantine() {
+        let mut text = full_text();
+        // Duplicate of member 0 (valid shape, same hash).
+        text.push_str(&nomc_json::to_string(&member(0, 11)));
+        text.push('\n');
+        // Out-of-range member.
+        text.push_str(&nomc_json::to_string(&member(9, 11)));
+        text.push('\n');
+        // Concluded-but-empty attempt history.
+        let hollow = MemberReport {
+            member: 1,
+            hash: 22,
+            attempts: Vec::new(),
+        };
+        text.push_str(&nomc_json::to_string(&hollow));
+        text.push('\n');
+        let replay = parse(&text, 777, &hashes()).expect("parses");
+        assert_eq!(replay.recovered(), 4, "originals all survive");
+        assert_eq!(replay.quarantined.len(), 3);
+        assert!(matches!(
+            replay.quarantined[0],
+            SweepError::DuplicateMember { member: 0, .. }
+        ));
+        assert!(matches!(
+            replay.quarantined[1],
+            SweepError::CorruptLine { .. }
+        ));
+        assert!(matches!(
+            replay.quarantined[2],
+            SweepError::CorruptLine { .. }
+        ));
+    }
+
+    #[test]
+    fn persist_then_load_round_trips_and_replaces_atomically() {
+        let dir = std::env::temp_dir().join("nomc-sweep-journal-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal.jsonl");
+        let mut members: Vec<Option<MemberReport>> = vec![None; 4];
+        members[2] = Some(member(2, 33));
+        persist(&path, 777, &members).expect("persists");
+        let replay = load(&path, 777, &hashes()).expect("loads").expect("exists");
+        assert_eq!(replay.recovered(), 1);
+        // Growing the checkpoint only appends (slot order preserved).
+        members[0] = Some(member(0, 11));
+        persist(&path, 777, &members).expect("persists again");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let entries: Vec<&str> = text.lines().skip(1).collect();
+        assert_eq!(entries.len(), 2);
+        assert!(entries[0].contains("\"member\":0"));
+        assert!(entries[1].contains("\"member\":2"));
+        // No scratch file left behind.
+        assert!(!tmp_path(&path).exists());
+        // Missing journal is a fresh start, not an error.
+        assert_eq!(load(&dir.join("absent.jsonl"), 777, &hashes()), Ok(None));
+    }
+}

@@ -1,0 +1,339 @@
+//! Crash-safe sweep orchestration: journaled checkpoints, deterministic
+//! retries, and a work-stealing scheduler.
+//!
+//! The reproduction's figures come from long multi-seed parameter
+//! sweeps. A sweep member (one scenario at one seed) already survives
+//! its own faults — `catch_unwind` isolation and deterministic event
+//! budgets live in [`crate::runner`] — but this module makes the *batch
+//! itself* survive the process dying:
+//!
+//! * [`journal`] — an append-only JSONL checkpoint, atomically replaced
+//!   (tmp-write + `fsync` + `rename`) after every concluded member, so
+//!   a SIGKILL'd sweep resumes from its last member instead of seed 1;
+//! * [`hash`] — FNV-1a content keys over (serialized scenario, seed,
+//!   event budget) that bind journal entries to exactly the sweep that
+//!   wrote them, detecting stale journals after scenario edits;
+//! * [`scheduler`] — a shared-atomic-index work pool replacing the old
+//!   static `chunks_mut` split, keeping every thread busy through the
+//!   chunk tail while results stay slot-ordered and bit-identical for
+//!   any thread count;
+//! * [`report`] — per-member attempt histories with reducers that
+//!   refuse (typed error, never a panic, never silent narrowing) to
+//!   summarize a sweep where fewer than two members completed.
+//!
+//! Retries are deterministic: a `Failed`/`TimedOut` member is re-run up
+//! to [`SweepConfig::retries`] times with a doubling *event* budget —
+//! never a wall clock — and the full history lands in the report.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use nomc_experiments::sweep::{self, SweepConfig};
+//! # fn base() -> nomc_sim::Scenario { unimplemented!() }
+//!
+//! let members = sweep::seed_members(&base(), &[1, 2, 3, 4, 5]);
+//! let report = sweep::run_sweep(
+//!     &members,
+//!     &SweepConfig::default(),
+//!     Some(std::path::Path::new("sweep.jsonl")),
+//!     true, // resume if the journal already covers some members
+//! )?;
+//! println!("{:?} -> {:?}", report.counts(), report.throughput_stat());
+//! # Ok::<(), nomc_experiments::sweep::SweepError>(())
+//! ```
+
+pub mod hash;
+pub mod journal;
+pub mod report;
+pub mod scheduler;
+
+pub use report::{
+    AttemptOutcome, AttemptRecord, MemberMetrics, MemberReport, OutcomeCounts, SweepReport,
+};
+
+use crate::runner::{run_isolated, RunOutcome};
+use nomc_sim::Scenario;
+use std::path::Path;
+use std::sync::Mutex;
+
+/// Why a sweep (or one of its journal lines) could not be processed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SweepError {
+    /// A filesystem operation failed.
+    Io {
+        /// Path the operation touched.
+        path: String,
+        /// The underlying error text.
+        message: String,
+    },
+    /// The journal's header line is missing or unreadable; the file
+    /// cannot be trusted at all.
+    BadHeader {
+        /// 1-based line number (always 1 today).
+        line: usize,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// The journal was written for a different sweep (edited scenarios,
+    /// seeds, budget or member count).
+    StaleJournal {
+        /// This sweep's hash.
+        expected: u64,
+        /// The hash the journal header carries.
+        found: u64,
+    },
+    /// A member line was unparsable or structurally invalid; only that
+    /// member is quarantined (it reruns).
+    CorruptLine {
+        /// 1-based journal line number.
+        line: usize,
+        /// Parse/validation failure text.
+        reason: String,
+    },
+    /// A member line's content hash does not match the member it names.
+    HashMismatch {
+        /// 1-based journal line number.
+        line: usize,
+        /// The member the line names.
+        member: usize,
+        /// The hash this sweep computes for that member.
+        expected: u64,
+        /// The hash the line carries.
+        found: u64,
+    },
+    /// Two journal lines conclude the same member; the later one is
+    /// quarantined.
+    DuplicateMember {
+        /// 1-based journal line number of the duplicate.
+        line: usize,
+        /// The member both lines name.
+        member: usize,
+    },
+    /// Too few members completed to reduce to a statistic.
+    TooFewSamples {
+        /// Members whose final attempt completed.
+        completed: usize,
+        /// Total members in the sweep.
+        members: usize,
+    },
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepError::Io { path, message } => write!(f, "journal I/O on {path}: {message}"),
+            SweepError::BadHeader { line, reason } => {
+                write!(f, "journal line {line}: bad header: {reason}")
+            }
+            SweepError::StaleJournal { expected, found } => write!(
+                f,
+                "stale journal: sweep hash {found:#018x} does not match this sweep \
+                 ({expected:#018x}); the scenarios, seeds or budget changed since it was written"
+            ),
+            SweepError::CorruptLine { line, reason } => {
+                write!(
+                    f,
+                    "journal line {line}: corrupt entry quarantined: {reason}"
+                )
+            }
+            SweepError::HashMismatch {
+                line,
+                member,
+                expected,
+                found,
+            } => write!(
+                f,
+                "journal line {line}: member {member} hash {found:#018x} does not match \
+                 {expected:#018x}; entry quarantined"
+            ),
+            SweepError::DuplicateMember { line, member } => {
+                write!(
+                    f,
+                    "journal line {line}: duplicate entry for member {member}"
+                )
+            }
+            SweepError::TooFewSamples { completed, members } => write!(
+                f,
+                "only {completed} of {members} members completed; refusing to reduce fewer \
+                 than 2 samples to a statistic"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+/// Tuning knobs of a sweep run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepConfig {
+    /// Extra attempts granted to a `Failed`/`TimedOut` member (0 =
+    /// single attempt).
+    pub retries: u32,
+    /// Event budget of the first attempt; each retry doubles it
+    /// (saturating). Budgets count simulation events, never wall-clock
+    /// time, so truncation is exactly reproducible.
+    pub base_budget: u64,
+    /// Worker threads; `None` uses [`scheduler::default_threads`].
+    pub threads: Option<usize>,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            retries: 1,
+            // Generous runaway protection: far above any experiment in
+            // the tree, small enough to cut an infinite loop short.
+            base_budget: 1_000_000_000,
+            threads: None,
+        }
+    }
+}
+
+/// Builds the member list of a seed sweep: `base` with each seed of
+/// `seeds` substituted in (the common shape of every figure experiment).
+pub fn seed_members(base: &Scenario, seeds: &[u64]) -> Vec<Scenario> {
+    seeds
+        .iter()
+        .map(|&seed| {
+            let mut sc = base.clone();
+            sc.seed = seed;
+            sc
+        })
+        .collect()
+}
+
+/// Runs `members` under the sweep supervisor.
+///
+/// With a `journal` path, every concluded member is checkpointed by an
+/// atomic file replace before the sweep moves on; with `resume`, an
+/// existing journal's trustworthy entries are skipped instead of rerun
+/// (corrupt lines quarantine only themselves; a stale or unreadable
+/// journal is a typed error). The returned report is byte-identically
+/// serializable regardless of thread count and of how many times the
+/// sweep was killed and resumed along the way.
+///
+/// # Errors
+///
+/// [`SweepError::Io`]/[`SweepError::BadHeader`]/[`SweepError::StaleJournal`]
+/// for journal problems that make checkpointing impossible or untrustworthy.
+/// Member failures are *not* errors — they are recorded outcomes in the
+/// report.
+pub fn run_sweep(
+    members: &[Scenario],
+    cfg: &SweepConfig,
+    journal_path: Option<&Path>,
+    resume: bool,
+) -> Result<SweepReport, SweepError> {
+    let member_hashes: Vec<u64> = members
+        .iter()
+        .map(|sc| hash::member_hash(sc, cfg.base_budget))
+        .collect();
+    let sweep_hash = hash::sweep_hash(&member_hashes);
+
+    let mut concluded: Vec<Option<MemberReport>> = members.iter().map(|_| None).collect();
+    if resume {
+        if let Some(path) = journal_path {
+            if let Some(replay) = journal::load(path, sweep_hash, &member_hashes)? {
+                concluded = replay.members;
+            }
+        }
+    }
+    // Establish the checkpoint file up front (fresh runs overwrite any
+    // previous journal; resumes rewrite the recovered subset, which
+    // also sheds quarantined lines).
+    if let Some(path) = journal_path {
+        journal::persist(path, sweep_hash, &concluded)?;
+    }
+
+    let pending: Vec<usize> = (0..members.len())
+        .filter(|&i| concluded.get(i).map(|slot| slot.is_none()).unwrap_or(false))
+        .collect();
+
+    let threads = cfg.threads.unwrap_or_else(scheduler::default_threads);
+    let checkpoint = Mutex::new((concluded, None::<SweepError>));
+    scheduler::run_indexed(pending.len(), threads, |k| {
+        let index = *pending.get(k).expect("k < pending.len() by construction");
+        let scenario = members
+            .get(index)
+            .expect("pending indexes come from 0..members.len()");
+        let member_hash = *member_hashes
+            .get(index)
+            .expect("one hash per member by construction");
+        let report = run_member(scenario, index, member_hash, cfg);
+        // Checkpoint before the member is considered done: insert the
+        // report, then atomically replace the journal. Serialized by
+        // the mutex; only the first persist failure is kept (later
+        // members still run — losing durability does not lose results).
+        let mut state = checkpoint.lock().expect("no panic holds the journal lock");
+        let (slots, first_error) = &mut *state;
+        if let Some(slot) = slots.get_mut(index) {
+            *slot = Some(report);
+        }
+        if let Some(path) = journal_path {
+            if first_error.is_none() {
+                if let Err(e) = journal::persist(path, sweep_hash, slots) {
+                    *first_error = Some(e);
+                }
+            }
+        }
+    });
+
+    let (slots, first_error) = checkpoint
+        .into_inner()
+        .expect("worker scope joined without poisoning");
+    if let Some(e) = first_error {
+        return Err(e);
+    }
+
+    // Every slot is now concluded: resumed members kept their journal
+    // entry, pending members were just run.
+    let report_members: Vec<MemberReport> = slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| {
+            slot.unwrap_or(MemberReport {
+                member: i,
+                hash: member_hashes.get(i).copied().unwrap_or_default(),
+                attempts: Vec::new(),
+            })
+        })
+        .collect();
+
+    Ok(SweepReport {
+        sweep_hash,
+        members: report_members,
+    })
+}
+
+/// Runs one member's attempt loop: first attempt at the base budget,
+/// then — for `Failed`/`TimedOut` outcomes — up to `retries` more with
+/// a doubling event budget, recording every attempt.
+fn run_member(
+    scenario: &Scenario,
+    index: usize,
+    member_hash: u64,
+    cfg: &SweepConfig,
+) -> MemberReport {
+    let mut attempts = Vec::new();
+    let mut budget = cfg.base_budget;
+    for _attempt in 0..=cfg.retries {
+        let (outcome, done) = match run_isolated(scenario, budget) {
+            RunOutcome::Ok(result) => (AttemptOutcome::Ok(MemberMetrics::of(&result)), true),
+            RunOutcome::Failed(message) => (AttemptOutcome::Failed(message), false),
+            RunOutcome::TimedOut { events } => (AttemptOutcome::TimedOut { events }, false),
+        };
+        attempts.push(AttemptRecord { budget, outcome });
+        if done {
+            break;
+        }
+        budget = budget.saturating_mul(2);
+    }
+    MemberReport {
+        member: index,
+        hash: member_hash,
+        attempts,
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,343 @@
+//! Sweep supervisor tests: scheduler determinism across thread counts,
+//! resume semantics, deterministic retries, and `check`-harness
+//! property tests hammering the journal resume path with corruption.
+
+use super::report::{AttemptOutcome, MemberMetrics};
+use super::{hash, journal, run_sweep, seed_members, SweepConfig, SweepError};
+use crate::runner;
+use nomc_rngcore::check::{forall, range, zip2};
+use nomc_sim::{engine, Scenario};
+use nomc_topology::{paper, spectrum::ChannelPlan};
+use nomc_units::{Dbm, Megahertz, SimDuration};
+use std::path::PathBuf;
+
+fn base_scenario() -> Scenario {
+    let plan = ChannelPlan::with_count(Megahertz::new(2460.0), Megahertz::new(5.0), 1);
+    let mut b = Scenario::builder(paper::line_deployment(&plan, Dbm::new(0.0)));
+    b.duration(SimDuration::from_secs(2))
+        .warmup(SimDuration::from_secs(1));
+    b.build().expect("valid test scenario")
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("nomc-sweep-tests");
+    std::fs::create_dir_all(&dir).expect("tempdir creatable");
+    dir.join(name)
+}
+
+fn cfg_with_threads(threads: usize) -> SweepConfig {
+    SweepConfig {
+        threads: Some(threads),
+        ..SweepConfig::default()
+    }
+}
+
+#[test]
+fn fresh_sweep_matches_run_outcomes_bit_identically() {
+    let members = seed_members(&base_scenario(), &[1, 2, 3]);
+    let report = run_sweep(&members, &SweepConfig::default(), None, false).expect("no journal");
+    let outcomes = runner::run_outcomes(&members, u64::MAX);
+    assert_eq!(report.members.len(), 3);
+    for (m, o) in report.members.iter().zip(&outcomes) {
+        let result = o.result().expect("healthy scenarios complete");
+        // Exact f64 equality: the sweep runs the very same engine path.
+        assert_eq!(m.metrics(), Some(&MemberMetrics::of(result)));
+        assert_eq!(m.attempts.len(), 1);
+    }
+    assert_eq!(report.counts().ok, 3);
+}
+
+#[test]
+fn thread_count_does_not_change_journal_or_report() {
+    let members = seed_members(&base_scenario(), &[1, 2, 3, 4, 5, 6]);
+    let mut artifacts = Vec::new();
+    for threads in [1, 2, 8] {
+        let path = temp_path(&format!("threads_{threads}.jsonl"));
+        let report = run_sweep(&members, &cfg_with_threads(threads), Some(&path), false)
+            .expect("sweep runs");
+        let journal_bytes = std::fs::read(&path).expect("journal written");
+        artifacts.push((report.to_json_string(), journal_bytes));
+    }
+    let (first_report, first_journal) = artifacts.first().expect("three runs").clone();
+    for (report, journal_bytes) in &artifacts {
+        assert_eq!(report, &first_report, "reports must be byte-identical");
+        assert_eq!(
+            journal_bytes, &first_journal,
+            "journals must be byte-identical"
+        );
+    }
+}
+
+#[test]
+fn resume_skips_recorded_members_and_report_is_byte_identical() {
+    let members = seed_members(&base_scenario(), &[1, 2, 3, 4]);
+    let cfg = cfg_with_threads(2);
+
+    // The uninterrupted reference run.
+    let full_path = temp_path("resume_full.jsonl");
+    let full = run_sweep(&members, &cfg, Some(&full_path), false).expect("full run");
+
+    // Simulate a crash after two members: keep only members 0 and 2 of
+    // the reference journal (slot order, like a mid-run checkpoint).
+    let crashed_path = temp_path("resume_crashed.jsonl");
+    let text = std::fs::read_to_string(&full_path).expect("journal readable");
+    let kept: Vec<&str> = text
+        .lines()
+        .filter(|l| !l.contains("\"member\":1") && !l.contains("\"member\":3"))
+        .collect();
+    std::fs::write(&crashed_path, kept.join("\n") + "\n").expect("partial journal written");
+
+    let resumed = run_sweep(&members, &cfg, Some(&crashed_path), true).expect("resume");
+    assert_eq!(
+        resumed.to_json_string(),
+        full.to_json_string(),
+        "resumed report must be byte-identical to the uninterrupted one"
+    );
+    assert_eq!(
+        std::fs::read(&crashed_path).expect("resumed journal"),
+        std::fs::read(&full_path).expect("full journal"),
+        "resumed journal must converge to the uninterrupted one"
+    );
+}
+
+#[test]
+fn without_resume_an_existing_journal_is_overwritten() {
+    let members = seed_members(&base_scenario(), &[1, 2]);
+    let path = temp_path("no_resume.jsonl");
+    std::fs::write(&path, "garbage that is not even a header\n").expect("seeded");
+    let report = run_sweep(&members, &cfg_with_threads(1), Some(&path), false).expect("runs");
+    assert_eq!(report.counts().ok, 2);
+    let text = std::fs::read_to_string(&path).expect("journal");
+    assert!(text.starts_with("{\"nomc_sweep_journal\":1"), "{text}");
+}
+
+#[test]
+fn stale_journal_is_a_typed_error_on_resume() {
+    let members = seed_members(&base_scenario(), &[1, 2]);
+    let path = temp_path("stale.jsonl");
+    run_sweep(&members, &cfg_with_threads(1), Some(&path), false).expect("first run");
+    // Edit the sweep (different seed list) and resume against the old
+    // journal: the sweep hash no longer matches.
+    let edited = seed_members(&base_scenario(), &[7, 8]);
+    let err = run_sweep(&edited, &cfg_with_threads(1), Some(&path), true).expect_err("stale");
+    assert!(matches!(err, SweepError::StaleJournal { .. }), "{err:?}");
+}
+
+#[test]
+fn timed_out_member_retries_with_doubled_budget_until_it_completes() {
+    let members = seed_members(&base_scenario(), &[7]);
+    let natural = engine::run(members.first().expect("one member")).events;
+    // Start far below the natural event count; doubling must cross it.
+    let cfg = SweepConfig {
+        retries: 16,
+        base_budget: 100,
+        threads: Some(1),
+    };
+    let report = run_sweep(&members, &cfg, None, false).expect("sweep runs");
+    let member = report.members.first().expect("one member");
+    assert!(member.was_retried());
+    let attempts = &member.attempts;
+    for (i, a) in attempts.iter().enumerate() {
+        assert_eq!(a.budget, 100u64 << i, "budget escalates by doubling");
+        let last = i + 1 == attempts.len();
+        match &a.outcome {
+            AttemptOutcome::TimedOut { events } => {
+                assert!(!last, "final attempt must have completed");
+                assert_eq!(*events, a.budget);
+            }
+            AttemptOutcome::Ok(m) => {
+                assert!(last);
+                assert_eq!(m.events, natural, "completion is the natural run");
+            }
+            AttemptOutcome::Failed(msg) => panic!("unexpected failure: {msg}"),
+        }
+    }
+    let counts = report.counts();
+    assert_eq!((counts.ok, counts.retried), (1, 1));
+}
+
+#[test]
+fn failed_member_is_counted_and_stat_still_refuses_thin_samples() {
+    let mut bad = base_scenario();
+    bad.behaviors.pop(); // deterministic engine panic (builder invariant broken)
+    let members = vec![base_scenario(), bad];
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let report = run_sweep(
+        &members,
+        &SweepConfig {
+            retries: 2,
+            ..cfg_with_threads(1)
+        },
+        None,
+        false,
+    )
+    .expect("sweep survives a panicking member");
+    std::panic::set_hook(prev);
+    let counts = report.counts();
+    assert_eq!((counts.ok, counts.failed, counts.retried), (1, 1, 1));
+    let failed = report.members.get(1).expect("two members");
+    assert_eq!(failed.attempts.len(), 3, "all retries recorded");
+    // Only one member completed: the reducer must refuse, typed.
+    assert_eq!(
+        report.throughput_stat(),
+        Err(SweepError::TooFewSamples {
+            completed: 1,
+            members: 2,
+        })
+    );
+}
+
+/// A small synthetic sweep (no engine runs) for corruption properties.
+fn synthetic_journal() -> (String, u64, Vec<u64>) {
+    let hashes: Vec<u64> = (0..4).map(|i| 0x1000 + i as u64).collect();
+    let sweep = hash::sweep_hash(&hashes);
+    let members: Vec<Option<super::MemberReport>> = hashes
+        .iter()
+        .enumerate()
+        .map(|(i, &h)| {
+            Some(super::MemberReport {
+                member: i,
+                hash: h,
+                attempts: vec![super::AttemptRecord {
+                    budget: 1_000_000,
+                    outcome: AttemptOutcome::Ok(MemberMetrics {
+                        throughput: 100.25 + i as f64,
+                        prr: Some(0.875),
+                        events: 12_345 + i as u64,
+                        measured_secs: 15.0,
+                    }),
+                }],
+            })
+        })
+        .collect();
+    (journal::render(sweep, &members), sweep, hashes)
+}
+
+#[test]
+fn prop_truncated_journals_never_panic_and_recover_a_faithful_prefix() {
+    let (text, sweep, hashes) = synthetic_journal();
+    let pristine = journal::parse(&text, sweep, &hashes).expect("pristine parses");
+    forall("journal_truncation", 200, &range(0..text.len()), |&cut| {
+        let truncated = &text[..cut];
+        match journal::parse(truncated, sweep, &hashes) {
+            // Cut inside the header: the file is untrustworthy and
+            // the error is typed.
+            Err(SweepError::BadHeader { line: 1, .. }) => Ok(()),
+            Err(e) => Err(format!("unexpected error for cut {cut}: {e:?}")),
+            Ok(replay) => {
+                // Every recovered member is bit-faithful to the
+                // original; the torn tail line quarantined alone.
+                for (slot, original) in replay.members.iter().zip(&pristine.members) {
+                    if let Some(m) = slot {
+                        nomc_rngcore::check!(
+                            Some(m) == original.as_ref(),
+                            "member {} changed after truncation at {cut}",
+                            m.member
+                        );
+                    }
+                }
+                nomc_rngcore::check!(
+                    replay.quarantined.len() <= 1,
+                    "truncation can tear at most the last line, got {:?}",
+                    replay.quarantined
+                );
+                Ok(())
+            }
+        }
+    });
+}
+
+#[test]
+fn prop_single_byte_corruption_quarantines_at_most_one_member() {
+    let (text, sweep, hashes) = synthetic_journal();
+    let pristine = journal::parse(&text, sweep, &hashes).expect("pristine parses");
+    // Offsets of each line so we can tell which member a flip hits.
+    let header_end = text.find('\n').expect("header line") + 1;
+    forall(
+        "journal_byte_flip",
+        300,
+        &zip2(range(header_end..text.len()), range(1u8..255)),
+        |&(pos, delta)| {
+            let mut bytes = text.clone().into_bytes();
+            let original_byte = *bytes.get(pos).expect("pos in range");
+            let flipped = original_byte.wrapping_add(delta);
+            // Keep the line structure: newlines separate members, so a
+            // flip to/from '\n' may legitimately affect two lines.
+            if original_byte == b'\n' || flipped == b'\n' {
+                return Ok(());
+            }
+            bytes[pos] = flipped;
+            let Ok(corrupted) = String::from_utf8(bytes) else {
+                // Invalid UTF-8 cannot even be read into the parser;
+                // the supervisor surfaces that as a typed Io error.
+                return Ok(());
+            };
+            let line_of_pos = text[..pos].matches('\n').count(); // 0-based
+            let replay = journal::parse(&corrupted, sweep, &hashes)
+                .map_err(|e| format!("member-line flip must not be fatal: {e:?}"))?;
+            let mut unchanged = 0;
+            for (i, (slot, original)) in replay.members.iter().zip(&pristine.members).enumerate() {
+                let entry_line = i + 1; // member i sits on 0-based line i+1
+                if entry_line != line_of_pos {
+                    nomc_rngcore::check!(
+                        slot == original,
+                        "member {i} (line {entry_line}) changed by a flip on line {line_of_pos}"
+                    );
+                    unchanged += 1;
+                }
+            }
+            nomc_rngcore::check!(
+                unchanged + 1 == replay.members.len(),
+                "exactly one member may be affected"
+            );
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn prop_corrupted_content_hashes_quarantine_that_member_only() {
+    let (_, sweep, hashes) = synthetic_journal();
+    forall(
+        "journal_hash_corruption",
+        200,
+        &zip2(range(0usize..4), range(1u64..u64::MAX)),
+        |&(victim, offset)| {
+            let members: Vec<Option<super::MemberReport>> = hashes
+                .iter()
+                .enumerate()
+                .map(|(i, &h)| {
+                    Some(super::MemberReport {
+                        member: i,
+                        hash: if i == victim {
+                            h.wrapping_add(offset)
+                        } else {
+                            h
+                        },
+                        attempts: vec![super::AttemptRecord {
+                            budget: 1,
+                            outcome: AttemptOutcome::TimedOut { events: 1 },
+                        }],
+                    })
+                })
+                .collect();
+            let text = journal::render(sweep, &members);
+            let replay = journal::parse(&text, sweep, &hashes)
+                .map_err(|e| format!("hash corruption must not be fatal: {e:?}"))?;
+            nomc_rngcore::check!(
+                replay.recovered() == 3,
+                "exactly the victim reruns, got {}",
+                replay.recovered()
+            );
+            nomc_rngcore::check!(
+                replay.members.get(victim).map(Option::is_none) == Some(true),
+                "victim {victim} must be quarantined"
+            );
+            match replay.quarantined.as_slice() {
+                [SweepError::HashMismatch { member, .. }] if *member == victim => Ok(()),
+                other => Err(format!("expected one HashMismatch, got {other:?}")),
+            }
+        },
+    );
+}

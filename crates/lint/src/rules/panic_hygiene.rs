@@ -1,7 +1,12 @@
 //! Rule `panic-hygiene`: the simulator (`crates/sim/src/`, including
 //! the `runtime/` event-loop modules) executes millions of events per
 //! run; a panic there aborts a whole sweep with no indication of which
-//! invariant broke. Outside `#[cfg(test)]`, sim sources must not use:
+//! invariant broke. The sweep supervisor
+//! (`crates/experiments/src/sweep/`) and the CLI command layer are
+//! held to the same bar: they are the crash-recovery and process-exit
+//! machinery, where a panic destroys the typed-error contract the rest
+//! of the stack relies on. Outside `#[cfg(test)]`, in-scope sources
+//! must not use:
 //!
 //! - bare `.unwrap()` — use `.expect("…invariant…")` so the abort names
 //!   the violated assumption, or return an error;
@@ -20,25 +25,36 @@ use crate::source::SourceFile;
 
 pub const RULE: &str = "panic-hygiene";
 
-/// Every non-test source under this prefix is in scope — the runtime
-/// decomposition made "the hot path" the whole crate, and a prefix
-/// keeps newly added modules covered automatically.
-const HOT_PATH_PREFIX: &str = "crates/sim/src/";
+/// Every non-test source under these prefixes is in scope — the
+/// runtime decomposition made "the hot path" the whole sim crate, and
+/// the sweep supervisor is the crash-recovery machinery itself: a
+/// panic while journaling loses exactly the durability the journal
+/// exists to provide. Prefixes keep newly added modules covered
+/// automatically.
+const HOT_PATH_PREFIXES: &[&str] = &["crates/sim/src/", "crates/experiments/src/sweep/"];
 
-/// Integration-style test modules inside the sim crate (whole files
-/// that exist only for `#[cfg(test)]`).
-const EXEMPT: &[&str] = &["crates/sim/src/runtime/tests.rs"];
+/// Integration-style test modules inside in-scope prefixes (whole
+/// files that exist only for `#[cfg(test)]`).
+const EXEMPT: &[&str] = &[
+    "crates/sim/src/runtime/tests.rs",
+    "crates/experiments/src/sweep/tests.rs",
+];
 
-/// Files outside the sim prefix that are nevertheless hot-path: the
-/// batch runner hosts the `catch_unwind` isolation boundary, so a
-/// stray panic *there* defeats the very mechanism that confines
-/// panics elsewhere.
-const EXTRA: &[&str] = &["crates/experiments/src/runner.rs"];
+/// Files outside the hot-path prefixes that are nevertheless covered:
+/// the batch runner hosts the `catch_unwind` isolation boundary (a
+/// stray panic there defeats the mechanism that confines panics
+/// elsewhere), and the CLI command layer is the process entry point —
+/// a panic there turns a reportable usage error into an abort with no
+/// exit-code contract.
+const EXTRA: &[&str] = &[
+    "crates/experiments/src/runner.rs",
+    "crates/cli/src/commands.rs",
+];
 
 const MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
 
 pub fn in_scope(rel_path: &str) -> bool {
-    (rel_path.starts_with(HOT_PATH_PREFIX) || EXTRA.contains(&rel_path))
+    (HOT_PATH_PREFIXES.iter().any(|p| rel_path.starts_with(p)) || EXTRA.contains(&rel_path))
         && !EXEMPT.contains(&rel_path)
 }
 
@@ -169,18 +185,45 @@ mod tests {
     }
 
     #[test]
-    fn experiment_runner_is_in_scope() {
-        // The isolation boundary itself must stay panic-clean; its
-        // `#[cfg(test)]` module is still skipped by the line scanner.
-        let sf = SourceFile::parse("fn f() { panic!(\"x\"); }\n");
-        let mut out = Vec::new();
-        check("crates/experiments/src/runner.rs", &sf, &mut out);
-        assert_eq!(out.len(), 1, "runner.rs must be checked");
+    fn experiment_runner_and_cli_commands_are_in_scope() {
+        // The isolation boundary and the CLI entry layer must stay
+        // panic-clean; their `#[cfg(test)]` modules are still skipped
+        // by the line scanner.
+        for path in [
+            "crates/experiments/src/runner.rs",
+            "crates/cli/src/commands.rs",
+        ] {
+            let sf = SourceFile::parse("fn f() { panic!(\"x\"); }\n");
+            let mut out = Vec::new();
+            check(path, &sf, &mut out);
+            assert_eq!(out.len(), 1, "{path} must be checked");
+        }
+    }
+
+    #[test]
+    fn sweep_modules_are_in_scope() {
+        // The crash-recovery machinery is covered by prefix, so new
+        // sweep modules are picked up automatically.
+        for path in [
+            "crates/experiments/src/sweep/mod.rs",
+            "crates/experiments/src/sweep/journal.rs",
+            "crates/experiments/src/sweep/scheduler.rs",
+            "crates/experiments/src/sweep/some_future_module.rs",
+        ] {
+            let sf = SourceFile::parse("fn f() { panic!(\"x\"); }\n");
+            let mut out = Vec::new();
+            check(path, &sf, &mut out);
+            assert_eq!(out.len(), 1, "{path} must be checked");
+        }
     }
 
     #[test]
     fn non_sim_and_exempt_files_are_not_checked() {
-        for path in ["crates/mac/src/lib.rs", "crates/sim/src/runtime/tests.rs"] {
+        for path in [
+            "crates/mac/src/lib.rs",
+            "crates/sim/src/runtime/tests.rs",
+            "crates/experiments/src/sweep/tests.rs",
+        ] {
             let sf = SourceFile::parse("fn f() { panic!(\"x\"); }\n");
             let mut out = Vec::new();
             check(path, &sf, &mut out);
