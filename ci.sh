@@ -16,7 +16,13 @@ cargo test -p nomc-experiments --lib -q --offline runner::
 cargo test -p nomc-experiments --lib -q --offline kill_reboot
 
 echo "==> sweep crash safety: kill-and-resume must be byte-identical"
-cargo test -p nomc-experiments --lib -q --offline sweep::
+# Thread-count matrix: sweep determinism must hold whether the test
+# binary serializes the suites or races them — any shared mutable state
+# between parameter points shows up as a flake under 2/8.
+for threads in 1 2 8; do
+  echo "    --test-threads $threads"
+  cargo test -p nomc-experiments --lib -q --offline sweep:: -- --test-threads "$threads"
+done
 cargo test -p nomc-cli --test sweep_crash -q --offline
 
 echo "==> ext_fault_recovery smoke (quick sweep must recover at every duty)"
@@ -25,26 +31,15 @@ cargo run -p nomc-experiments --release --offline --bin fault_recovery -- --quic
 echo "==> bench smoke (single iteration, no report written)"
 cargo bench -p nomc-bench --bench sim --offline -- --test
 
-echo "==> bench baseline guard (fault layer must not tax fault-free runs)"
-# The committed BENCH_sim.json is the perf-trajectory record; the
-# fault-free kernel must stay inside its historical budget even with
-# the fault layer compiled in (empty plans are bit-identical runs).
-awk '
-  /"name":/    { name = $2; gsub(/[",]/, "", name) }
-  /"mean_ns":/ {
-    mean = $2; gsub(/,/, "", mean)
-    if (name == "power_sense_heavy") {
-      found = 1
-      if (mean + 0 > 12000000) {
-        printf "power_sense_heavy regressed: %.0f ns > 12 ms budget\n", mean
-        exit 1
-      }
-    }
-  }
-  END {
-    if (!found) { print "power_sense_heavy missing from BENCH_sim.json"; exit 1 }
-  }
-' crates/bench/BENCH_sim.json
+echo "==> bench guard (every committed BENCH_*.json within its committed budget)"
+# The committed BENCH_<group>.json files are the perf-trajectory record;
+# bench_guard checks every bench in every group against the per-bench
+# mean_ns budgets in crates/bench/bench_budgets.json, and fails on
+# unbudgeted or silently-dropped benches too.
+cargo run -p nomc-bench --release --offline --quiet --bin bench_guard
+
+echo "==> cargo doc (no deps, warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline --quiet
 
 echo "==> cargo fmt --check"
 cargo fmt --all --check

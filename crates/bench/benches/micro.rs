@@ -4,9 +4,9 @@
 use nomc_bench::harness::Criterion;
 use nomc_bench::{criterion_group, criterion_main};
 use nomc_phy::coupling::AcrCurve;
-use nomc_phy::{biterror, BerModel};
+use nomc_phy::{biterror, AcrLut, BerLut, BerModel};
 use nomc_rngcore::{RngCore, SeedableRng};
-use nomc_sim::events::{Event, EventQueue};
+use nomc_sim::events::{BucketQueue, Event, EventQueue, HeapQueue};
 use nomc_sim::medium::{self, Medium, Segment, Transmission};
 use nomc_sim::rng::Xoshiro256StarStar;
 use nomc_units::{Db, Dbm, Megahertz, MilliWatts, SimDuration, SimTime};
@@ -29,6 +29,16 @@ fn bench_ber(c: &mut Criterion) {
     g.bench_function("acr_rejection_lookup", |b| {
         let acr = AcrCurve::cc2420_calibrated();
         b.iter(|| black_box(acr.rejection(Megahertz::new(black_box(2.7)))))
+    });
+    // LUT grid hits vs the analytic evaluations above: same bits, a
+    // table read instead of the exp sum / interpolation + powf.
+    g.bench_function("ber_lut_grid_hit", |b| {
+        let lut = BerLut::new(BerModel::Oqpsk802154);
+        b.iter(|| black_box(lut.bit_error_rate(Db::new(black_box(1.0)))))
+    });
+    g.bench_function("acr_lut_grid_hit", |b| {
+        let lut = AcrLut::new(AcrCurve::cc2420_calibrated());
+        b.iter(|| black_box(lut.leakage_factor(Megahertz::new(black_box(3.0)))))
     });
     g.finish();
 }
@@ -114,11 +124,39 @@ fn bench_medium(c: &mut Criterion) {
     g.finish();
 }
 
+/// The engine's queue access pattern in miniature: a rolling horizon of
+/// near-term events (backoffs, CCA windows, airtimes) plus occasional
+/// far-future ones (provider ticks), popped as simulated time advances.
+fn queue_workload<Q: EventQueue>(q: &mut Q) {
+    let mut now = 0u64;
+    for i in 0..512u64 {
+        q.schedule(
+            SimTime::from_nanos(now + (i * 7919) % 4_000_000),
+            Event::PacketReady(i as usize),
+        );
+        if i % 64 == 0 {
+            q.schedule(
+                SimTime::from_nanos(now + 250_000_000),
+                Event::ProviderTick(0),
+            );
+        }
+        if i % 2 == 0 {
+            if let Some((t, e)) = q.pop() {
+                now = t.as_nanos();
+                black_box(e);
+            }
+        }
+    }
+    while let Some(e) = q.pop() {
+        black_box(e);
+    }
+}
+
 fn bench_queue_and_rng(c: &mut Criterion) {
     let mut g = c.benchmark_group("infra");
     g.bench_function("event_queue_push_pop_64", |b| {
         b.iter(|| {
-            let mut q = EventQueue::new();
+            let mut q = BucketQueue::new();
             for i in 0..64u64 {
                 q.schedule(
                     SimTime::from_micros(i * 7 % 50),
@@ -129,6 +167,12 @@ fn bench_queue_and_rng(c: &mut Criterion) {
                 black_box(e);
             }
         })
+    });
+    g.bench_function("heap_queue_mixed_512", |b| {
+        b.iter(|| queue_workload(&mut HeapQueue::new()))
+    });
+    g.bench_function("bucket_queue_mixed_512", |b| {
+        b.iter(|| queue_workload(&mut BucketQueue::new()))
     });
     let mut rng = Xoshiro256StarStar::seed_from_u64(3);
     g.bench_function("xoshiro_next_u64", |b| b.iter(|| black_box(rng.next_u64())));

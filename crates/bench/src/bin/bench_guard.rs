@@ -1,0 +1,220 @@
+//! The bench-regression gate: validates every committed
+//! `BENCH_<group>.json` perf record against the committed per-bench
+//! budgets in `bench_budgets.json`.
+//!
+//! CI runs this instead of eyeballing the perf-trajectory records. The
+//! contract is total, both ways:
+//!
+//! * every bench in every record must have a budget (adding a bench
+//!   without budgeting it fails the gate), and
+//! * every budgeted bench must appear in its record (silently dropping
+//!   a bench fails the gate), and
+//! * every record's `mean_ns` must be within its budget.
+//!
+//! Because the gate reads the *committed* records — the bench smoke
+//! step runs with `--test` and writes nothing — it is deterministic in
+//! CI: it fails exactly when someone commits a regressed record (or
+//! forgets to budget a new bench), never because the CI runner had a
+//! noisy day. Budget headroom over the recorded means absorbs
+//! record-machine noise instead.
+//!
+//! Usage: `bench_guard [bench-dir]` — the directory holding
+//! `bench_budgets.json` and the `BENCH_*.json` records, default
+//! `crates/bench` (so it runs as-is from the workspace root).
+
+use nomc_json::Json;
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// One budget check: recorded mean vs budget.
+struct Row {
+    group: String,
+    name: String,
+    mean_ns: f64,
+    budget_ns: f64,
+}
+
+impl Row {
+    fn passed(&self) -> bool {
+        self.mean_ns <= self.budget_ns
+    }
+
+    /// Fraction of the budget still unused (negative when blown).
+    fn headroom(&self) -> f64 {
+        1.0 - self.mean_ns / self.budget_ns
+    }
+}
+
+fn load_json(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    Json::parse(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+/// Parses `bench_budgets.json` into `group → name → budget_ns`.
+fn load_budgets(path: &str) -> Result<BTreeMap<String, BTreeMap<String, f64>>, String> {
+    let root = load_json(path)?;
+    let budgets = root
+        .get("budgets")
+        .and_then(Json::as_object)
+        .ok_or_else(|| format!("{path}: missing top-level \"budgets\" object"))?;
+    let mut out = BTreeMap::new();
+    for (group, entry) in budgets.iter() {
+        let by_name = entry
+            .as_object()
+            .ok_or_else(|| format!("{path}: budgets.{group} is not an object"))?;
+        let mut m = BTreeMap::new();
+        for (name, v) in by_name.iter() {
+            let ns = v
+                .as_f64()
+                .filter(|ns| ns.is_finite() && *ns > 0.0)
+                .ok_or_else(|| {
+                    format!("{path}: budgets.{group}.{name} is not a positive number")
+                })?;
+            m.insert(name.to_string(), ns);
+        }
+        out.insert(group.to_string(), m);
+    }
+    Ok(out)
+}
+
+/// Parses one `BENCH_<group>.json` record into `name → mean_ns`.
+fn load_record(path: &str) -> Result<BTreeMap<String, f64>, String> {
+    let root = load_json(path)?;
+    let benches = root
+        .get("benches")
+        .and_then(Json::as_array)
+        .ok_or_else(|| format!("{path}: missing \"benches\" array"))?;
+    let mut out = BTreeMap::new();
+    for b in benches {
+        let name = b
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{path}: bench entry without a \"name\""))?;
+        let mean = b
+            .get("mean_ns")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("{path}: bench {name} without a numeric \"mean_ns\""))?;
+        out.insert(name.to_string(), mean);
+    }
+    Ok(out)
+}
+
+/// Group names of every `BENCH_<group>.json` present in `dir`, so a
+/// record file without any budgets section is caught too.
+fn record_groups(dir: &str) -> Result<Vec<String>, String> {
+    let mut groups = Vec::new();
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("cannot list {dir}: {e}"))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("cannot list {dir}: {e}"))?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if let Some(group) = name
+            .strip_prefix("BENCH_")
+            .and_then(|s| s.strip_suffix(".json"))
+        {
+            groups.push(group.to_string());
+        }
+    }
+    groups.sort();
+    Ok(groups)
+}
+
+fn ns_human(ns: f64) -> String {
+    if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn run(dir: &str) -> Result<Vec<String>, String> {
+    let budgets = load_budgets(&format!("{dir}/bench_budgets.json"))?;
+    let mut failures = Vec::new();
+    let mut rows = Vec::new();
+
+    for group in record_groups(dir)? {
+        if !budgets.contains_key(&group) {
+            failures.push(format!(
+                "group {group}: BENCH_{group}.json exists but bench_budgets.json has no \
+                 \"{group}\" section"
+            ));
+        }
+    }
+    for (group, by_name) in &budgets {
+        let path = format!("{dir}/BENCH_{group}.json");
+        let record = load_record(&path)?;
+        for name in record.keys() {
+            if !by_name.contains_key(name) {
+                failures.push(format!(
+                    "{group}/{name}: recorded in BENCH_{group}.json but has no budget — \
+                     add it to bench_budgets.json"
+                ));
+            }
+        }
+        for (name, &budget_ns) in by_name {
+            match record.get(name) {
+                None => failures.push(format!(
+                    "{group}/{name}: budgeted but missing from BENCH_{group}.json — \
+                     bench dropped or renamed?"
+                )),
+                Some(&mean_ns) => rows.push(Row {
+                    group: group.clone(),
+                    name: name.clone(),
+                    mean_ns,
+                    budget_ns,
+                }),
+            }
+        }
+    }
+
+    println!(
+        "{:<10} {:<28} {:>12} {:>12} {:>9}  status",
+        "group", "bench", "mean", "budget", "headroom"
+    );
+    for row in &rows {
+        println!(
+            "{:<10} {:<28} {:>12} {:>12} {:>8.0}%  {}",
+            row.group,
+            row.name,
+            ns_human(row.mean_ns),
+            ns_human(row.budget_ns),
+            row.headroom() * 100.0,
+            if row.passed() { "PASS" } else { "FAIL" }
+        );
+        if !row.passed() {
+            failures.push(format!(
+                "{}/{}: mean {} exceeds budget {}",
+                row.group,
+                row.name,
+                ns_human(row.mean_ns),
+                ns_human(row.budget_ns)
+            ));
+        }
+    }
+    Ok(failures)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let dir = match args.get(1) {
+        Some(d) => d.as_str(),
+        None => "crates/bench",
+    };
+    match run(dir) {
+        Ok(failures) if failures.is_empty() => {
+            println!("bench guard: all budgets respected");
+            ExitCode::SUCCESS
+        }
+        Ok(failures) => {
+            for f in &failures {
+                eprintln!("bench guard FAIL: {f}");
+            }
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("bench guard error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -4,7 +4,8 @@
 //! in `benches/` drive this harness instead of Criterion. It keeps the
 //! familiar surface — [`Criterion::benchmark_group`],
 //! [`BenchmarkGroup::bench_function`], [`Bencher::iter`], and the
-//! [`criterion_group!`]/[`criterion_main!`] macros — and measures with
+//! [`crate::criterion_group!`]/[`crate::criterion_main!`] macros — and
+//! measures with
 //! `std::time::Instant`.
 //!
 //! Each finished group appends to an in-memory report; the main macro
@@ -182,7 +183,7 @@ impl Bencher {
     /// Runs `routine` repeatedly and records wall-clock statistics.
     ///
     /// Calibrates iterations-per-sample so a sample lasts roughly
-    /// [`SAMPLE_TARGET_NANOS`], then takes `sample_size` samples.
+    /// `SAMPLE_TARGET_NANOS` (2 ms), then takes `sample_size` samples.
     pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
         if self.test_mode {
             std::hint::black_box(routine());

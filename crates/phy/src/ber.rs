@@ -80,12 +80,7 @@ impl BerModel {
     /// assert!(m.frame_success_probability(Db::new(-3.0), 800) < 0.01);
     /// ```
     pub fn frame_success_probability(self, sinr: Db, bits: u32) -> f64 {
-        let ber = self.bit_error_rate(sinr);
-        if ber == 0.0 {
-            return 1.0;
-        }
-        // ln-domain for numerical stability with large frames.
-        (f64::from(bits) * (1.0 - ber).ln()).exp()
+        frame_success_from_ber(self.bit_error_rate(sinr), bits)
     }
 
     /// The SINR at which the frame success probability for `bits` bits
@@ -108,6 +103,16 @@ impl BerModel {
         }
         Db::new(0.5 * (lo + hi))
     }
+}
+
+/// `(1 − ber)^bits`, evaluated in the ln domain for numerical stability
+/// with large frames. Shared by [`BerModel::frame_success_probability`]
+/// and [`crate::lut::BerLut`] so the two can never drift apart.
+pub(crate) fn frame_success_from_ber(ber: f64, bits: u32) -> f64 {
+    if ber == 0.0 {
+        return 1.0;
+    }
+    (f64::from(bits) * (1.0 - ber).ln()).exp()
 }
 
 /// IEEE 802.15.4 2.4 GHz O-QPSK DSSS bit-error rate.

@@ -21,6 +21,8 @@
 //!
 //! [`planning`] composes 3-5 analytically, predicting the collided-packet
 //! receive rate at a given channel distance without running a simulation.
+//! [`lut`] provides bit-exact quantized lookup tables for the two hot
+//! kernels in that chain (the BER sum and the ACR leakage factor).
 //!
 //! # Examples
 //!
@@ -43,6 +45,7 @@ pub mod ber;
 pub mod biterror;
 pub mod capture;
 pub mod coupling;
+pub mod lut;
 pub mod noise;
 pub mod pathloss;
 pub mod planning;
@@ -52,6 +55,7 @@ pub mod sinr;
 pub use ber::BerModel;
 pub use capture::CaptureModel;
 pub use coupling::AcrCurve;
+pub use lut::{AcrLut, BerLut};
 pub use noise::NoiseFloor;
 pub use pathloss::{FreeSpace, LogDistance, PathLoss};
 pub use shadowing::Shadowing;

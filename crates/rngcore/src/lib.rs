@@ -16,7 +16,7 @@
 //!   like the `rand` API they replaced.
 //! * [`dist`] — the distributions the simulator actually uses
 //!   (standard normal via Box-Muller).
-//! * [`check`] — a minimal property-test harness (generate / shrink /
+//! * [`mod@check`] — a minimal property-test harness (generate / shrink /
 //!   rerun) replacing `proptest`.
 //!
 //! # Examples

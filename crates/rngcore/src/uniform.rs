@@ -36,7 +36,7 @@ pub trait SampleUniform: PartialOrd + Copy {
     ) -> Self;
 
     /// Shrink candidates between `low` and `value`, ordered most-reduced
-    /// first. Used by [`crate::check`] to minimize counterexamples while
+    /// first. Used by [`mod@crate::check`] to minimize counterexamples while
     /// staying inside the generator's range.
     fn shrink_toward(low: Self, value: Self) -> Vec<Self>;
 }

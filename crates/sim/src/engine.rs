@@ -3,7 +3,7 @@
 //! [`run`] executes a [`Scenario`] to completion and returns a
 //! [`SimResult`]; [`run_with`] does the same while streaming typed
 //! notifications to caller-supplied
-//! [`SimObserver`](crate::runtime::observer::SimObserver) sinks.
+//! [`crate::runtime::observer::SimObserver`] sinks.
 //!
 //! The machinery behind these lives in [`crate::runtime`]: the event
 //! loop ([`runtime`](crate::runtime) dispatch), per-node state and MAC

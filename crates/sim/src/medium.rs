@@ -59,17 +59,38 @@
 //! id order. The per-channel leakage factor is computed once per
 //! channel per query instead of once per transmission.
 //!
+//! # Incremental active sets
+//!
+//! On top of the windowed index, each channel maintains an `active`
+//! list updated by deltas: [`Medium::add`] appends, [`Medium::retire`]
+//! (wired to the engine's TxEnd) removes. The instantaneous power
+//! queries ([`Medium::sensed_components`], [`Medium::sensed_total`])
+//! walk only these live entries instead of re-filtering the windowed
+//! history on every CCA/RSSI sense. Because the active list is always
+//! an id-ordered subsequence of the channel's id list and the activity
+//! predicate still runs per entry, the contributing set and its
+//! summation order — hence every output bit — match the windowed
+//! reference walk, which stays compiled under test (and the
+//! `naive-medium` feature) as `sensed_components_naive` and is pinned
+//! against the incremental path by property tests. Historical queries
+//! (`interference_segments`, `was_collided`) still use the windowed
+//! index: they look back at windows where since-ended transmissions
+//! must remain visible.
+//!
 //! # Caching (values unchanged, work moved)
 //!
 //! Two pure caches keep `powf`/`log10` out of the query loops without
 //! perturbing a single bit of output: per-node received powers are
-//! converted to linear milliwatts once at [`Medium::add`] (instead of
-//! per query), and leakage factors are memoized by CFD — node and
-//! channel frequencies live on a small grid, so only a handful of
-//! distinct CFDs ever occur.
+//! converted to linear milliwatts on first query per (transmission,
+//! observer) pair and memoized, and leakage factors resolve through a
+//! precomputed CFD-grid lookup table ([`AcrLut`]) — node and channel
+//! frequencies live on a small grid, so channel-plan CFDs are table
+//! reads and only off-grid stragglers fall back to a memoized analytic
+//! evaluation. Both caches are bit-exact by construction.
 
 use crate::events::{NodeId, TxId};
 use nomc_phy::coupling::AcrCurve;
+use nomc_phy::lut::AcrLut;
 use nomc_phy::BerModel;
 use nomc_rngcore::Rng;
 use nomc_units::{Dbm, Megahertz, MilliWatts, SimDuration, SimTime};
@@ -146,20 +167,50 @@ struct ChanEntry {
 /// `Vec` beats a ring buffer here: the list stays short (one retention
 /// horizon of frames), so the occasional front-drain memmove is cheaper
 /// than paying non-contiguous indexing on every binary-search probe.
+///
+/// `active` is the incrementally-maintained subset still on air: every
+/// registration appends to it and [`Medium::retire`] (called by the
+/// engine when the frame's TxEnd fires) removes from it, so the
+/// instantaneous power queries walk a handful of live entries instead
+/// of re-filtering the windowed history on every sense. It stays an
+/// id-ordered subsequence of `ids` by construction (appends are in id
+/// order, removals preserve order), which is what keeps the active-path
+/// floating-point sums bit-identical to the windowed walk.
 #[derive(Debug)]
 struct Channel {
     freq: Megahertz,
     ids: Vec<ChanEntry>,
+    active: Vec<ChanEntry>,
 }
 
-/// A slab entry: the transmission plus its per-node received power
-/// converted to linear once at registration ([`Dbm::to_milliwatts`] is
-/// a `powf`; every power query over the transmission's lifetime reuses
-/// the converted value, bit-identical to converting on the fly).
+/// A slab entry: the transmission plus a lazily-filled cache of its
+/// per-node received power in linear milliwatts. [`Dbm::to_milliwatts`]
+/// is a `powf`; converting on first query (NaN = not yet converted)
+/// instead of eagerly for all N nodes at [`Medium::add`] skips the
+/// conversions for observers that never look — most of them once the
+/// initializing phase's RSSI sweeps stop. The conversion is a pure
+/// function of the stored dBm value, so when it happens cannot change a
+/// bit of any result.
 #[derive(Debug)]
 struct Entry {
     tx: Transmission,
-    rx_mw: Vec<MilliWatts>,
+    rx_mw: Vec<std::cell::Cell<f64>>,
+}
+
+impl Entry {
+    /// Received power at `observer` in linear milliwatts (cached powf).
+    #[inline]
+    fn rx_milliwatts(&self, observer: NodeId) -> MilliWatts {
+        let cell = &self.rx_mw[observer];
+        let v = cell.get();
+        if v.is_nan() {
+            let mw = self.tx.rx_power[observer].to_milliwatts();
+            cell.set(mw.value());
+            mw
+        } else {
+            MilliWatts::new(v)
+        }
+    }
 }
 
 /// Unregistered ambient energy — a fault-injected wideband jammer.
@@ -200,7 +251,10 @@ impl AmbientEntry {
 /// needed to couple powers across channels.
 #[derive(Debug)]
 pub struct Medium {
-    acr: AcrCurve,
+    /// The rejection curve with its CFD-grid lookup table (see
+    /// [`AcrLut`]): channel-plan CFDs resolve by table read, anything
+    /// off-grid falls through to `leak_cache`.
+    acr: AcrLut,
     noise: MilliWatts,
     /// Id-ordered (and id-contiguous) transmission slab.
     slab: VecDeque<Entry>,
@@ -212,9 +266,9 @@ pub struct Medium {
     cutoff_mhz: f64,
     /// How long ended transmissions are retained for late segment queries.
     retention: SimDuration,
-    /// Memoized [`AcrCurve::leakage_factor`] keyed by CFD bits: node and
-    /// channel frequencies come from a small grid, so the handful of
-    /// distinct CFDs each pay the interpolation + `powf` exactly once.
+    /// Memoized [`AcrCurve::leakage_factor`] keyed by CFD bits, for the
+    /// rare CFDs that miss the [`AcrLut`] grid (fractional channel
+    /// plans): each pays the interpolation + `powf` exactly once.
     leak_cache: std::cell::RefCell<Vec<(u64, f64)>>,
     /// Reused working buffers for [`Medium::interference_segments`]
     /// (cleared on entry; the returned segment list is still freshly
@@ -238,7 +292,7 @@ impl Medium {
     pub fn new(acr: AcrCurve, noise: MilliWatts) -> Self {
         let cutoff_mhz = acr.saturation_cfd().value();
         Medium {
-            acr,
+            acr: AcrLut::new(acr),
             noise,
             slab: VecDeque::new(),
             channels: Vec::new(),
@@ -275,15 +329,21 @@ impl Medium {
             .any(|a| a.is_active_at(now) && a.freq.distance_to(freq).value() <= self.cutoff_mhz)
     }
 
-    /// Cached [`AcrCurve::leakage_factor`] (see the `leak_cache` field).
+    /// Leakage factor at `cfd`: [`AcrLut`] table read for channel-grid
+    /// CFDs (the steady-state path — one array index, no interpolation,
+    /// no `powf`), `leak_cache` memo for anything off-grid. Both paths
+    /// are bit-identical to [`AcrCurve::leakage_factor`].
     #[inline]
     fn leakage(&self, cfd: Megahertz) -> f64 {
+        if let Some(f) = self.acr.grid_leakage(cfd) {
+            return f;
+        }
         let bits = cfd.value().to_bits();
         let mut cache = self.leak_cache.borrow_mut();
         if let Some(&(_, f)) = cache.iter().find(|&&(b, _)| b == bits) {
             return f;
         }
-        let f = self.acr.leakage_factor(cfd);
+        let f = self.acr.curve().leakage_factor(cfd);
         cache.push((bits, f));
         f
     }
@@ -295,7 +355,7 @@ impl Medium {
 
     /// The rejection curve.
     pub fn acr(&self) -> &AcrCurve {
-        &self.acr
+        self.acr.curve()
     }
 
     /// Registers a transmission starting now and prunes stale history.
@@ -311,17 +371,27 @@ impl Medium {
             self.slab.back().map(|b| b.tx.id),
         );
         let now = tx.start;
+        let mut pruned = false;
         while self
             .slab
             .front()
             .is_some_and(|e| now.saturating_since(e.tx.end) > self.retention)
         {
             self.slab.pop_front();
+            pruned = true;
         }
-        let base = self.slab.front().map(|e| e.tx.id).unwrap_or(tx.id);
-        for ch in &mut self.channels {
-            let stale = ch.ids.partition_point(|e| e.id < base);
-            ch.ids.drain(..stale);
+        // The channel lists only need pruning when the slab front moved:
+        // entries below the new base are unreachable through `entry`
+        // either way (the id arithmetic misses), so deferring the drains
+        // to prune-adds cannot change any query result.
+        if pruned {
+            let base = self.slab.front().map(|e| e.tx.id).unwrap_or(tx.id);
+            for ch in &mut self.channels {
+                let stale = ch.ids.partition_point(|e| e.id < base);
+                ch.ids.drain(..stale);
+                let stale = ch.active.partition_point(|e| e.id < base);
+                ch.active.drain(..stale);
+            }
         }
         self.max_duration = self.max_duration.max(tx.end.saturating_since(tx.start));
         let key = ChanEntry {
@@ -334,17 +404,43 @@ impl Medium {
             .channels
             .binary_search_by(|c| c.freq.value().total_cmp(&tx.frequency.value()))
         {
-            Ok(i) => self.channels[i].ids.push(key),
+            Ok(i) => {
+                self.channels[i].ids.push(key);
+                self.channels[i].active.push(key);
+            }
             Err(i) => self.channels.insert(
                 i,
                 Channel {
                     freq: tx.frequency,
                     ids: vec![key],
+                    active: vec![key],
                 },
             ),
         }
-        let rx_mw = tx.rx_power.iter().map(|p| p.to_milliwatts()).collect();
+        let rx_mw = vec![std::cell::Cell::new(f64::NAN); tx.rx_power.len()];
         self.slab.push_back(Entry { tx, rx_mw });
+    }
+
+    /// Removes transmission `id` from its channel's active set. Called
+    /// by the engine when the frame's TxEnd fires — at which point every
+    /// instantaneous query already excludes it (activity windows are
+    /// end-exclusive), so retiring is pure bookkeeping that keeps the
+    /// active lists short. The entry stays in the slab and the windowed
+    /// `ids` index for late segment/collision queries until the
+    /// retention prune. Unknown or already-retired ids are no-ops.
+    pub fn retire(&mut self, id: TxId) {
+        let Some(tx) = self.get(id) else { return };
+        let freq = tx.frequency.value();
+        let Ok(ci) = self
+            .channels
+            .binary_search_by(|c| c.freq.value().total_cmp(&freq))
+        else {
+            return;
+        };
+        let ch = &mut self.channels[ci];
+        if let Ok(pos) = ch.active.binary_search_by_key(&id, |e| e.id) {
+            ch.active.remove(pos);
+        }
     }
 
     /// Looks up a slab entry by id in O(1) (id arithmetic off the front).
@@ -405,6 +501,72 @@ impl Medium {
         let mut co = MilliWatts::ZERO;
         let mut inter = MilliWatts::ZERO;
         let now_ns = now.as_nanos();
+        // Incremental path: each channel's `active` list holds exactly
+        // the registered-but-not-retired entries, maintained by
+        // add/retire deltas. The activity predicate still runs per entry
+        // (an engine that never calls `retire`, or a query at a past
+        // instant, must see identical results), but the list being a
+        // live id-ordered subsequence of `ids` means the contributing
+        // set — and therefore the summation order — matches
+        // [`Medium::sensed_components_naive`] bit for bit.
+        for ch in &self.channels {
+            if ch.active.is_empty() {
+                continue;
+            }
+            let cfd = ch.freq.distance_to(freq);
+            if cfd.value() > self.cutoff_mhz {
+                continue;
+            }
+            let mut leak: Option<f64> = None;
+            for ce in &ch.active {
+                if ce.tx_node == observer || !(ce.start_ns <= now_ns && now_ns < ce.end_ns) {
+                    continue;
+                }
+                let Some(e) = self.entry(ce.id) else { continue };
+                let factor = *leak.get_or_insert_with(|| self.leakage(cfd));
+                let coupled = e.rx_milliwatts(observer) * factor;
+                if cfd.value() < 0.5 {
+                    co += coupled;
+                } else {
+                    inter += coupled;
+                }
+            }
+        }
+        // Ambient (jammer) energy last, so the fault-free sum above is
+        // untouched bit for bit.
+        for a in &self.ambient {
+            if !a.is_active_at(now) {
+                continue;
+            }
+            let cfd = a.freq.distance_to(freq);
+            if cfd.value() > self.cutoff_mhz {
+                continue;
+            }
+            let coupled = a.rx_mw * self.leakage(cfd);
+            if cfd.value() < 0.5 {
+                co += coupled;
+            } else {
+                inter += coupled;
+            }
+        }
+        (co, inter)
+    }
+
+    /// The pre-incremental reference walk: filters each channel's full
+    /// windowed id list per query instead of consulting the maintained
+    /// active sets. Kept compiled under test (and the `naive-medium`
+    /// feature) as the oracle the property tests pin
+    /// [`Medium::sensed_components`] against, bit for bit.
+    #[cfg(any(test, feature = "naive-medium"))]
+    pub fn sensed_components_naive(
+        &self,
+        observer: NodeId,
+        freq: Megahertz,
+        now: SimTime,
+    ) -> (MilliWatts, MilliWatts) {
+        let mut co = MilliWatts::ZERO;
+        let mut inter = MilliWatts::ZERO;
+        let now_ns = now.as_nanos();
         for ch in &self.channels {
             let cfd = ch.freq.distance_to(freq);
             if cfd.value() > self.cutoff_mhz {
@@ -421,7 +583,7 @@ impl Medium {
                 }
                 let Some(e) = self.entry(ce.id) else { continue };
                 let factor = *leak.get_or_insert_with(|| self.leakage(cfd));
-                let coupled = e.rx_mw[observer] * factor;
+                let coupled = e.rx_milliwatts(observer) * factor;
                 if cfd.value() < 0.5 {
                     co += coupled;
                 } else {
@@ -429,8 +591,6 @@ impl Medium {
                 }
             }
         }
-        // Ambient (jammer) energy last, so the fault-free sum above is
-        // untouched bit for bit.
         for a in &self.ambient {
             if !a.is_active_at(now) {
                 continue;
@@ -471,7 +631,26 @@ impl Medium {
         from: SimTime,
         to: SimTime,
     ) -> Vec<Segment> {
+        let mut segments = Vec::new();
+        self.interference_segments_into(subject, observer, freq, from, to, &mut segments);
+        segments
+    }
+
+    /// [`Medium::interference_segments`] writing into a caller-supplied
+    /// buffer (cleared first). The engine reuses one buffer across every
+    /// sync/decode query so the hot path allocates nothing per frame;
+    /// the segment values are identical to the allocating variant.
+    pub fn interference_segments_into(
+        &self,
+        subject: TxId,
+        observer: NodeId,
+        freq: Megahertz,
+        from: SimTime,
+        to: SimTime,
+        segments: &mut Vec<Segment>,
+    ) {
         debug_assert!(from <= to);
+        segments.clear();
         let (from_ns, to_ns) = (from.as_nanos(), to.as_nanos());
         let mut scratch = self.scratch.borrow_mut();
         let SegScratch {
@@ -503,7 +682,7 @@ impl Medium {
                     continue;
                 };
                 let factor = *leak.get_or_insert_with(|| self.leakage(cfd));
-                let coupled = entry.rx_mw[observer] * factor;
+                let coupled = entry.rx_milliwatts(observer) * factor;
                 interferers.push((ce.id, s, e, coupled));
             }
         }
@@ -533,7 +712,7 @@ impl Medium {
         }
         bounds.sort();
         bounds.dedup();
-        let mut segments = Vec::with_capacity(bounds.len().saturating_sub(1));
+        segments.reserve(bounds.len().saturating_sub(1));
         for (&s, &e) in bounds.iter().zip(bounds.iter().skip(1)) {
             if s == e {
                 continue;
@@ -555,7 +734,6 @@ impl Medium {
                 interference: MilliWatts::ZERO,
             });
         }
-        segments
     }
 
     /// Whether any *other* transmission overlapped `[from, to]` with a
@@ -584,7 +762,8 @@ impl Medium {
         self.slab.range(lo..hi.max(lo)).any(|e| {
             let t = &e.tx;
             t.id != subject && t.tx_node != observer && t.overlap(from, to).is_some() && {
-                let coupled = e.rx_mw[observer] * self.leakage(t.frequency.distance_to(freq));
+                let coupled =
+                    e.rx_milliwatts(observer) * self.leakage(t.frequency.distance_to(freq));
                 coupled.to_dbm() > floor
             }
         }) || self.ambient.iter().any(|a| {
@@ -616,13 +795,30 @@ pub fn sample_segment_errors<R: Rng + ?Sized>(
     let signal_mw = signal.to_milliwatts();
     let mut errors = 0u32;
     let mut bits = 0u32;
+    // Within one window the same interference power recurs (quiet
+    // stretches between the same interferer set); BER is a pure function
+    // of (signal, interference), so a small per-call memo skips the
+    // log/pow/exp chain on repeats without changing a bit.
+    let mut memo = [(0u64, 0.0f64); 8];
+    let mut memo_len = 0usize;
     for seg in segments {
         let n = (seg.duration.as_nanos() / BIT_DURATION.as_nanos()) as u32;
         if n == 0 {
             continue;
         }
-        let sinr = nomc_phy::sinr::sinr_linear(signal_mw, seg.interference + noise);
-        let ber = model.bit_error_rate(sinr);
+        let key = seg.interference.value().to_bits();
+        let ber = match memo[..memo_len].iter().find(|&&(k, _)| k == key) {
+            Some(&(_, b)) => b,
+            None => {
+                let sinr = nomc_phy::sinr::sinr_linear(signal_mw, seg.interference + noise);
+                let b = model.bit_error_rate(sinr);
+                if memo_len < memo.len() {
+                    memo[memo_len] = (key, b);
+                    memo_len += 1;
+                }
+                b
+            }
+        };
         errors += nomc_phy::biterror::sample_bit_errors(rng, n, ber);
         bits += n;
     }
@@ -639,13 +835,33 @@ pub fn sync_success_probability(
 ) -> f64 {
     let signal_mw = signal.to_milliwatts();
     let mut p = 1.0;
+    // Same pure-function memo as in [`sample_segment_errors`], keyed by
+    // (interference, bit count) since the success probability depends on
+    // both.
+    let mut memo = [(0u64, 0u32, 0.0f64); 8];
+    let mut memo_len = 0usize;
     for seg in segments {
         let n = (seg.duration.as_nanos() / BIT_DURATION.as_nanos()) as u32;
         if n == 0 {
             continue;
         }
-        let sinr = nomc_phy::sinr::sinr_linear(signal_mw, seg.interference + noise);
-        p *= model.frame_success_probability(sinr, n);
+        let key = seg.interference.value().to_bits();
+        let ps = match memo[..memo_len]
+            .iter()
+            .find(|&&(k, m, _)| k == key && m == n)
+        {
+            Some(&(.., v)) => v,
+            None => {
+                let sinr = nomc_phy::sinr::sinr_linear(signal_mw, seg.interference + noise);
+                let v = model.frame_success_probability(sinr, n);
+                if memo_len < memo.len() {
+                    memo[memo_len] = (key, n, v);
+                    memo_len += 1;
+                }
+                v
+            }
+        };
+        p *= ps;
     }
     p
 }

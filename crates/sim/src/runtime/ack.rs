@@ -6,7 +6,7 @@
 //! times out and retries.
 
 use super::Engine;
-use crate::events::{Event, NodeId, TxId};
+use crate::events::{Event, EventQueue, NodeId, TxId};
 use crate::medium::{self, Transmission};
 use crate::trace::TraceKind;
 use nomc_mac::MacEvent;
@@ -67,25 +67,31 @@ impl Engine<'_, '_, '_> {
         // margin applies as for any sync.
         let signal = ack.rx_power[sender];
         let freq = self.nodes[sender].freq;
-        let sync_segments = self.medium.interference_segments(
+        self.medium.interference_segments_into(
             ack_id,
             sender,
             freq,
             ack.start,
             ack.start + self.sync_dur,
+            &mut self.seg_buf,
         );
         let p_sync = medium::sync_success_probability(
-            &sync_segments,
+            &self.seg_buf,
             signal + self.sc.radio.sync_margin,
             self.medium.noise(),
             self.sc.radio.ber_model,
         );
-        let data_segments =
-            self.medium
-                .interference_segments(ack_id, sender, freq, ack.mpdu_start, ack.end);
+        self.medium.interference_segments_into(
+            ack_id,
+            sender,
+            freq,
+            ack.mpdu_start,
+            ack.end,
+            &mut self.seg_buf,
+        );
         let (errors, _) = medium::sample_segment_errors(
             &mut self.rng,
-            &data_segments,
+            &self.seg_buf,
             signal,
             self.medium.noise(),
             self.sc.radio.ber_model,

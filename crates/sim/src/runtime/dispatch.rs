@@ -12,7 +12,7 @@
 //! runs without ever consulting a wall clock.
 
 use super::{Engine, DRAIN};
-use crate::events::{Event, NodeId};
+use crate::events::{Event, EventQueue, NodeId};
 use crate::metrics::SimResult;
 use crate::scenario::TrafficModel;
 use nomc_mac::MacEvent;

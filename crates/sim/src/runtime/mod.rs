@@ -13,10 +13,10 @@
 //! * [`sinks`] — built-in observers (metrics, trace, timeline, energy,
 //!   JSONL streaming) and the engine's fan-out.
 //!
-//! [`Engine`] itself lives here: the struct is shared state, the
-//! submodules contribute `impl` blocks. All measurement side effects
-//! (link counters, traces, timelines) flow through the
-//! [`sinks::ObserverSet`]; the event handlers only *emit*
+//! `Engine` itself lives here (crate-private): the struct is shared
+//! state, the submodules contribute `impl` blocks. All measurement side
+//! effects (link counters, traces, timelines) flow through the
+//! `sinks::ObserverSet`; the event handlers only *emit*
 //! notifications, which keeps the simulation core free of bookkeeping
 //! and lets external sinks plug in without touching the loop.
 //!
@@ -37,8 +37,8 @@ mod tx;
 #[cfg(test)]
 mod tests;
 
-use crate::events::{EventQueue, NodeId, TxId};
-use crate::medium::Medium;
+use crate::events::{BucketQueue, NodeId, TxId};
+use crate::medium::{Medium, Segment};
 use crate::metrics::{LinkMetrics, SimResult};
 use crate::rng::Xoshiro256StarStar;
 use crate::scenario::{Scenario, ThresholdMode, TrafficModel};
@@ -66,7 +66,7 @@ pub(crate) const TICK_PERIOD: SimDuration = SimDuration::from_millis(250);
 pub(crate) struct Engine<'a, 'o, 'e> {
     pub(crate) sc: &'a Scenario,
     pub(crate) now: SimTime,
-    pub(crate) queue: EventQueue,
+    pub(crate) queue: BucketQueue,
     pub(crate) medium: Medium,
     pub(crate) nodes: Vec<Node>,
     /// Path loss (no shadowing) between node pairs.
@@ -75,6 +75,16 @@ pub(crate) struct Engine<'a, 'o, 'e> {
     pub(crate) next_tx_id: TxId,
     /// Intended receiver node of each global link.
     pub(crate) link_rx: Vec<NodeId>,
+    /// Per-sender list of nodes whose centre-frequency distance makes
+    /// them potential sync targets (ascending id). Node frequencies are
+    /// fixed for a run, so the capture model's CFD predicate is
+    /// precomputed once instead of being re-evaluated over every node on
+    /// every TxStart; dynamic conditions (busy, power) are still checked
+    /// per frame.
+    pub(crate) sync_candidates: Vec<Vec<NodeId>>,
+    /// Reused buffer for interference-segment queries (sync + decode):
+    /// one allocation per run instead of one per query.
+    pub(crate) seg_buf: Vec<Segment>,
     pub(crate) tx_meta: BTreeMap<TxId, TxMeta>,
     /// Upstream link → its forwarding sender node.
     pub(crate) forwarders: BTreeMap<usize, NodeId>,
@@ -218,16 +228,31 @@ impl<'a, 'o, 'e> Engine<'a, 'o, 'e> {
             }
         }
         let airtime = timing::airtime(sc.frame.ppdu_bytes());
+        let sync_candidates = (0..n)
+            .map(|i| {
+                (0..n)
+                    .filter(|&o| {
+                        o != i
+                            && sc
+                                .radio
+                                .capture_model
+                                .is_sync_candidate(nodes[i].freq.distance_to(nodes[o].freq))
+                    })
+                    .collect()
+            })
+            .collect();
         Engine {
             sc,
             now: SimTime::ZERO,
-            queue: EventQueue::new(),
+            queue: BucketQueue::new(),
             medium,
             nodes,
             loss,
             rng: Xoshiro256StarStar::seed_from_u64(sc.seed),
             next_tx_id: 1,
             link_rx,
+            sync_candidates,
+            seg_buf: Vec::new(),
             tx_meta: BTreeMap::new(),
             forwarders,
             airtime,

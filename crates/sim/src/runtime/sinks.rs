@@ -3,7 +3,8 @@
 //! The engine's own bookkeeping — per-link metrics, the optional trace
 //! and timeline recorders — is implemented with the same observer trait
 //! external sinks use, so "what the engine records" and "what a plugin
-//! can record" are one mechanism. [`ObserverSet`] owns the built-ins
+//! can record" are one mechanism. `ObserverSet` (crate-private) owns
+//! the built-ins
 //! (statically dispatched) and fans every notification out to the
 //! externally supplied `&mut dyn SimObserver` slice.
 

@@ -8,7 +8,7 @@
 use super::node::RxAttempt;
 use super::observer::{TxOutcomeInfo, TxStartInfo};
 use super::Engine;
-use crate::events::{Event, NodeId, TxId};
+use crate::events::{Event, EventQueue, NodeId, TxId};
 use crate::medium::{self, Transmission};
 use crate::metrics::{ErrorRecord, TxOutcome};
 use crate::trace::TraceKind;
@@ -72,21 +72,17 @@ impl Engine<'_, '_, '_> {
             start >= t0 && start < t1
         };
         let intended_rx = self.link_rx[link];
-        // Offer sync to candidate observers.
+        // Offer sync to the precomputed CFD-eligible observers (the
+        // skipped nodes would fail `is_sync_candidate` and do nothing;
+        // see `Engine::sync_candidates`).
         let sync_at = start + self.sync_dur;
-        #[allow(clippy::needless_range_loop)] // index is reused for rx_power + scheduling
-        for o in 0..node_count {
-            if o == n {
-                continue;
-            }
+        for ci in 0..self.sync_candidates[n].len() {
+            let o = self.sync_candidates[n][ci];
             let obs = &self.nodes[o];
             if obs.transmitting || obs.rx.is_some() {
                 continue;
             }
             let cfd = freq.distance_to(obs.freq);
-            if !self.sc.radio.capture_model.is_sync_candidate(cfd) {
-                continue;
-            }
             let coupled = rx_power[o] - self.medium.acr().rejection(cfd);
             if !self
                 .sc
@@ -182,15 +178,16 @@ impl Engine<'_, '_, '_> {
         // The preamble correlator detects its known sequence several dB
         // below the payload decoding threshold (sync_margin).
         let coupled = t.rx_power[o] - self.medium.acr().rejection(cfd) + self.sc.radio.sync_margin;
-        let segments = self.medium.interference_segments(
+        self.medium.interference_segments_into(
             tx_id,
             o,
             self.nodes[o].freq,
             t.start,
             t.start + self.sync_dur,
+            &mut self.seg_buf,
         );
         let p = medium::sync_success_probability(
-            &segments,
+            &self.seg_buf,
             coupled,
             self.medium.noise(),
             self.sc.radio.ber_model,
@@ -206,6 +203,11 @@ impl Engine<'_, '_, '_> {
     }
 
     pub(crate) fn on_tx_end(&mut self, n: NodeId, tx_id: TxId) {
+        // The frame leaves the air: drop it from the medium's active
+        // sets (instantaneous queries at now >= end already exclude it,
+        // so this is pure index maintenance). It stays in the windowed
+        // history for the segment/collision queries below.
+        self.medium.retire(tx_id);
         // ACK frames complete differently: the acking receiver goes idle
         // and the original sender tries to decode the ACK.
         if let Some((parent, sender)) = self.acks.remove(&tx_id) {
@@ -225,17 +227,17 @@ impl Engine<'_, '_, '_> {
             }
         }
 
-        // 2. Locked receivers decode.
-        let receivers: Vec<NodeId> = (0..self.nodes.len())
-            .filter(|&o| {
-                self.nodes[o]
-                    .rx
-                    .is_some_and(|r| r.tx_id == tx_id && r.synced)
-            })
-            .collect();
-        for o in receivers {
-            self.decode(o, tx_id);
-            self.nodes[o].rx = None;
+        // 2. Locked receivers decode (ascending node id; decode never
+        // touches another node's lock, so the in-place scan visits the
+        // same set a pre-collected list would).
+        for o in 0..self.nodes.len() {
+            if self.nodes[o]
+                .rx
+                .is_some_and(|r| r.tx_id == tx_id && r.synced)
+            {
+                self.decode(o, tx_id);
+                self.nodes[o].rx = None;
+            }
         }
 
         // 3. The frame's single authoritative outcome notification.
@@ -308,12 +310,17 @@ impl Engine<'_, '_, '_> {
             Some(m) => (m.measured, m.intended_rx),
             None => (false, usize::MAX),
         };
-        let segments = self
-            .medium
-            .interference_segments(tx_id, o, obs_freq, t.mpdu_start, t.end);
+        self.medium.interference_segments_into(
+            tx_id,
+            o,
+            obs_freq,
+            t.mpdu_start,
+            t.end,
+            &mut self.seg_buf,
+        );
         let (errors, bits) = medium::sample_segment_errors(
             &mut self.rng,
-            &segments,
+            &self.seg_buf,
             signal,
             self.medium.noise(),
             self.sc.radio.ber_model,

@@ -1,0 +1,164 @@
+//! Event-queue edge cases, out-of-crate.
+//!
+//! The unit tests in `nomc-sim::events` pin the basic ordering
+//! contract; these integration tests cover the edges that bit on real
+//! workloads: equal-timestamp FIFO at bucket scale, far-future events
+//! beyond the calendar wheel's horizon (including exact-boundary and
+//! multi-revolution cases, and FIFO survival across overflow
+//! migration), and engine behaviour when the deterministic event budget
+//! of [`nomc_sim::engine::run_bounded`] exhausts before the queue
+//! drains.
+
+use nomc_sim::events::{BucketQueue, Event, EventQueue, HeapQueue};
+use nomc_sim::{engine, Scenario};
+use nomc_topology::{paper, spectrum::ChannelPlan};
+use nomc_units::{Dbm, Megahertz, SimDuration, SimTime};
+
+/// The calendar wheel spans 2048 × 16 µs = 32.768 ms (private constants
+/// of `nomc-sim::events`; mirrored here so these tests exercise both
+/// sides of the horizon on purpose).
+const WHEEL_SPAN_NS: u64 = 16_000 * 2048;
+
+fn both() -> [(&'static str, Box<dyn EventQueue>); 2] {
+    [
+        ("heap", Box::new(HeapQueue::new())),
+        ("bucket", Box::new(BucketQueue::new())),
+    ]
+}
+
+/// Equal-timestamp FIFO at bucket scale: hundreds of same-instant
+/// events — far more than a bucket's typical occupancy — interleaved
+/// with same-bucket-different-instant neighbours, must drain in
+/// schedule order within each instant.
+#[test]
+fn equal_timestamp_fifo_at_scale() {
+    for (name, mut q) in both() {
+        let t = SimTime::from_micros(320); // bucket boundary (20 × 16 µs)
+        let just_before = t - SimDuration::from_nanos(1); // same bucket? no: previous one
+        let same_bucket_later = t + SimDuration::from_micros(3); // within the 16 µs bucket
+        for i in 0..400 {
+            q.schedule(t, Event::PacketReady(i));
+            if i % 7 == 0 {
+                q.schedule(same_bucket_later, Event::CcaDone(i));
+            }
+            if i % 11 == 0 {
+                q.schedule(just_before, Event::TxStart(i));
+            }
+        }
+        // Drain: all `just_before` events first (FIFO among themselves),
+        // then the 400 same-instant events in schedule order, then the
+        // same-bucket stragglers in schedule order.
+        let mut popped = Vec::new();
+        while let Some((time, ev)) = q.pop() {
+            popped.push((time, ev));
+        }
+        let mut expect = Vec::new();
+        for i in 0..400 {
+            if i % 11 == 0 {
+                expect.push((just_before, Event::TxStart(i)));
+            }
+        }
+        for i in 0..400 {
+            expect.push((t, Event::PacketReady(i)));
+        }
+        for i in 0..400 {
+            if i % 7 == 0 {
+                expect.push((same_bucket_later, Event::CcaDone(i)));
+            }
+        }
+        assert_eq!(popped, expect, "{name}: equal-timestamp FIFO violated");
+    }
+}
+
+/// Far-future events past the wheel horizon: exact-boundary offsets,
+/// multiple wheel revolutions, and a same-instant pair split across the
+/// schedule-before/schedule-after-migration divide must all pop in
+/// `(time, seq)` order.
+#[test]
+fn far_future_past_bucket_horizon() {
+    for (name, mut q) in both() {
+        let near = SimTime::from_micros(100);
+        // Exactly on the horizon (first nanosecond that overflows), one
+        // revolution + 1 ns, and several revolutions out.
+        let at_horizon = SimTime::from_nanos(WHEEL_SPAN_NS);
+        let past_one = SimTime::from_nanos(WHEEL_SPAN_NS + 1);
+        let far = SimTime::from_nanos(5 * WHEEL_SPAN_NS + 12_345);
+        q.schedule(far, Event::ProviderTick(0));
+        q.schedule(at_horizon, Event::ProviderTick(1));
+        q.schedule(past_one, Event::ProviderTick(2));
+        q.schedule(near, Event::CcaDone(3));
+        assert_eq!(q.pop(), Some((near, Event::CcaDone(3))));
+        // After the cursor has moved, schedule another event at the SAME
+        // far-future instant: it must pop after the earlier-scheduled
+        // one (FIFO survives overflow migration).
+        q.schedule(far, Event::ProviderTick(4));
+        assert_eq!(q.pop(), Some((at_horizon, Event::ProviderTick(1))));
+        assert_eq!(q.pop(), Some((past_one, Event::ProviderTick(2))));
+        assert_eq!(q.pop(), Some((far, Event::ProviderTick(0))));
+        assert_eq!(q.pop(), Some((far, Event::ProviderTick(4))));
+        assert_eq!(q.pop(), None, "{name}: queue should be drained");
+    }
+}
+
+/// Repeated long idle gaps (every event beyond the horizon of the last)
+/// keep working as the cursor leapfrogs: a pathological-but-legal
+/// schedule for coarse provider ticks.
+#[test]
+fn consecutive_horizon_jumps() {
+    for (name, mut q) in both() {
+        let mut expect = Vec::new();
+        for k in 1..=6u64 {
+            let t = SimTime::from_nanos(k * (WHEEL_SPAN_NS + 7));
+            q.schedule(t, Event::ProviderTick(k as usize));
+            expect.push((t, Event::ProviderTick(k as usize)));
+        }
+        let popped: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(popped, expect, "{name}: horizon leapfrog broke ordering");
+    }
+}
+
+fn tiny_scenario() -> Scenario {
+    let plan = ChannelPlan::with_count(Megahertz::new(2460.0), Megahertz::new(5.0), 1);
+    let mut b = Scenario::builder(paper::line_deployment(&plan, Dbm::new(0.0)));
+    b.duration(SimDuration::from_secs(1))
+        .warmup(SimDuration::from_millis(250))
+        .seed(7);
+    b.build().expect("valid scenario")
+}
+
+/// Exhausting the event budget stops the run cleanly mid-queue: the
+/// engine finalizes without draining, reports exhaustion, and the
+/// truncated prefix stays deterministic (same budget → bit-identical
+/// result).
+#[test]
+fn budget_exhaustion_stops_mid_queue() {
+    let sc = tiny_scenario();
+    let bounded = engine::run_bounded(&sc, &mut [], 500);
+    assert!(bounded.exhausted, "500 events must not finish a 1 s run");
+    let again = engine::run_bounded(&sc, &mut [], 500);
+    assert!(again.exhausted);
+    assert_eq!(
+        bounded.result, again.result,
+        "budget-truncated runs must be reproducible"
+    );
+    // A larger budget strictly extends the prefix: sent counters are
+    // monotone in the budget.
+    let larger = engine::run_bounded(&sc, &mut [], 5_000);
+    let sent = |r: &nomc_sim::SimResult| r.links.iter().map(|l| l.sent).sum::<u64>();
+    assert!(sent(&larger.result) >= sent(&bounded.result));
+}
+
+/// A budget above the natural event count changes nothing: the bounded
+/// run drains the queue normally and its result is bit-identical to the
+/// unbounded entry point's.
+#[test]
+fn oversized_budget_is_identical_to_unbounded() {
+    let sc = tiny_scenario();
+    let unbounded = engine::run(&sc);
+    let bounded = engine::run_bounded(&sc, &mut [], u64::MAX);
+    assert!(!bounded.exhausted, "oversized budget must not trip");
+    assert_eq!(
+        unbounded, bounded.result,
+        "oversized budget perturbed the run"
+    );
+}

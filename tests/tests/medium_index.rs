@@ -354,6 +354,71 @@ fn prune_boundary_equal_end_stays_visible_to_indexed_scan() {
     assert_eq!(segs[0].interference, MilliWatts::ZERO);
 }
 
+/// Pins the incremental active-set sense path to the windowed reference
+/// walk (`sensed_components_naive`, compiled via the `naive-medium`
+/// feature) and to the flat scan, with [`Medium::retire`] driven
+/// exactly the way the engine drives it: every transmission whose end
+/// is at or before the query instant has had its TxEnd fire, in event
+/// (end-time, id) order. Both paths must agree bit for bit.
+#[test]
+fn incremental_sense_matches_naive_after_retire() {
+    let g = zip3(
+        arb_specs(),
+        zip2(range(0usize..NODES), range(0usize..8)),
+        range(0u64..36_000),
+    );
+    forall(
+        "incremental_sense_matches_naive_after_retire",
+        96,
+        &g,
+        |(specs, (observer, obs_k), now_us)| {
+            let (mut medium, flat) = build(specs);
+            let freq = grid(*obs_k);
+            let now = SimTime::from_micros(*now_us);
+            // Before any retire the active sets hold everything; the two
+            // paths must already agree.
+            check_eq!(
+                medium.sensed_components(*observer, freq, now),
+                medium.sensed_components_naive(*observer, freq, now)
+            );
+            // Fire the TxEnds the engine would have fired by `now`.
+            let mut ended: Vec<(SimTime, TxId)> = flat
+                .iter()
+                .filter(|t| t.end <= now)
+                .map(|t| (t.end, t.id))
+                .collect();
+            ended.sort();
+            for &(_, id) in &ended {
+                medium.retire(id);
+            }
+            let (co, inter) = medium.sensed_components(*observer, freq, now);
+            check_eq!(
+                (co, inter),
+                medium.sensed_components_naive(*observer, freq, now)
+            );
+            check_eq!(
+                (co, inter),
+                naive_sensed(&medium, &flat, *observer, freq, now)
+            );
+            // Retiring is idempotent and ignores unknown/pruned ids.
+            for &(_, id) in &ended {
+                medium.retire(id);
+            }
+            medium.retire(0);
+            medium.retire(9_999);
+            check_eq!((co, inter), medium.sensed_components(*observer, freq, now));
+            // The windowed history is untouched by retirement: late
+            // segment and collision queries still see ended frames.
+            let from = SimTime::from_micros(now_us.saturating_sub(5_000));
+            check_eq!(
+                medium.interference_segments(0, *observer, freq, from, now),
+                naive_segments(&medium, &flat, 0, *observer, freq, from, now)
+            );
+            Ok(())
+        },
+    );
+}
+
 #[test]
 fn get_matches_linear_find() {
     forall("get_matches_linear_find", 64, &arb_specs(), |specs| {
