@@ -30,6 +30,7 @@ cargo run -p nomc-experiments --release --offline --bin fault_recovery -- --quic
 
 echo "==> bench smoke (single iteration, no report written)"
 cargo bench -p nomc-bench --bench sim --offline -- --test
+cargo bench -p nomc-bench --bench lint --offline -- --test
 
 echo "==> bench guard (every committed BENCH_*.json within its committed budget)"
 # The committed BENCH_<group>.json files are the perf-trajectory record;
@@ -47,7 +48,16 @@ cargo fmt --all --check
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
-echo "==> nomc-lint: determinism / unit-safety / panic-hygiene / dep-audit"
+echo "==> nomc-lint: all eight rules, zero findings"
 cargo run -p nomc-lint --release --offline --quiet -- .
+
+echo "==> nomc-lint --format json vs committed allow inventory"
+# The committed crates/lint/allows_golden.json is the honest record of
+# every live escape hatch (target: none). A new allow directive — even
+# one that suppresses a real finding — changes the JSON report and
+# fails this diff until it is committed and justified in DESIGN.md §8.
+cargo run -p nomc-lint --release --offline --quiet -- --format json . \
+  | diff -u crates/lint/allows_golden.json - \
+  || { echo "lint inventory drifted from crates/lint/allows_golden.json"; exit 1; }
 
 echo "CI OK"

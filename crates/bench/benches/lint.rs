@@ -1,0 +1,37 @@
+//! Lint-gate benchmark: `nomc-lint` runs on every CI invocation, so a
+//! quadratic blowup in the item parser or a rule is a CI-latency
+//! regression like any other. `lint_self` lints the lint crate's own
+//! sources — fn-heavy, match-heavy, directive-bearing code that
+//! exercises the lexer, tokenizer, item parser and all source rules.
+
+use nomc_bench::harness::Criterion;
+use nomc_bench::{criterion_group, criterion_main};
+use std::hint::black_box;
+
+fn bench_lint(c: &mut Criterion) {
+    let sources: Vec<(String, String)> = ["src/lib.rs", "src/parser.rs", "src/source.rs"]
+        .iter()
+        .map(|rel| {
+            let path = format!("{}/../lint/{rel}", env!("CARGO_MANIFEST_DIR"));
+            let content =
+                std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+            (format!("crates/lint/{rel}"), content)
+        })
+        .collect();
+    let mut g = c.benchmark_group("lint");
+    g.sample_size(20);
+    g.bench_function("lint_self", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for (rel, content) in &sources {
+                let file = nomc_lint::lint_source_full(black_box(rel), black_box(content));
+                n += file.diagnostics.len() + file.allows.len();
+            }
+            black_box(n)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(lint, bench_lint);
+criterion_main!(lint);

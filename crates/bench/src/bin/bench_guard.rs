@@ -23,6 +23,7 @@
 //! `crates/bench` (so it runs as-is from the workspace root).
 
 use nomc_json::Json;
+use nomc_units::Nanos;
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
@@ -30,8 +31,8 @@ use std::process::ExitCode;
 struct Row {
     group: String,
     name: String,
-    mean_ns: f64,
-    budget_ns: f64,
+    mean_ns: Nanos,
+    budget_ns: Nanos,
 }
 
 impl Row {
@@ -41,7 +42,7 @@ impl Row {
 
     /// Fraction of the budget still unused (negative when blown).
     fn headroom(&self) -> f64 {
-        1.0 - self.mean_ns / self.budget_ns
+        1.0 - self.mean_ns.value() / self.budget_ns.value()
     }
 }
 
@@ -161,8 +162,8 @@ fn run(dir: &str) -> Result<Vec<String>, String> {
                 Some(&mean_ns) => rows.push(Row {
                     group: group.clone(),
                     name: name.clone(),
-                    mean_ns,
-                    budget_ns,
+                    mean_ns: Nanos::new(mean_ns),
+                    budget_ns: Nanos::new(budget_ns),
                 }),
             }
         }
@@ -177,8 +178,8 @@ fn run(dir: &str) -> Result<Vec<String>, String> {
             "{:<10} {:<28} {:>12} {:>12} {:>8.0}%  {}",
             row.group,
             row.name,
-            ns_human(row.mean_ns),
-            ns_human(row.budget_ns),
+            ns_human(row.mean_ns.value()),
+            ns_human(row.budget_ns.value()),
             row.headroom() * 100.0,
             if row.passed() { "PASS" } else { "FAIL" }
         );
@@ -187,8 +188,8 @@ fn run(dir: &str) -> Result<Vec<String>, String> {
                 "{}/{}: mean {} exceeds budget {}",
                 row.group,
                 row.name,
-                ns_human(row.mean_ns),
-                ns_human(row.budget_ns)
+                ns_human(row.mean_ns.value()),
+                ns_human(row.budget_ns.value())
             ));
         }
     }

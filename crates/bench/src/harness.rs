@@ -17,6 +17,7 @@
 //! closure exactly once as a smoke test and writes no files.
 
 use nomc_json::{Json, ToJson};
+use nomc_units::Nanos;
 use std::time::Instant;
 
 /// Target wall-clock time for one measured sample.
@@ -28,11 +29,11 @@ pub struct BenchResult {
     /// Function id within the group.
     pub name: String,
     /// Mean nanoseconds per iteration.
-    pub mean_ns: f64,
+    pub mean_ns: Nanos,
     /// Fastest sample (ns/iter).
-    pub min_ns: f64,
+    pub min_ns: Nanos,
     /// Slowest sample (ns/iter).
-    pub max_ns: f64,
+    pub max_ns: Nanos,
     /// Number of samples taken.
     pub samples: usize,
     /// Iterations per sample.
@@ -46,7 +47,7 @@ impl BenchResult {
     /// Mean elements per wall-clock second, when a throughput was set.
     pub fn elements_per_sec(&self) -> Option<f64> {
         self.elements_per_iter
-            .map(|e| e as f64 / (self.mean_ns * 1e-9))
+            .map(|e| e as f64 / (self.mean_ns.value() * 1e-9))
     }
 }
 
@@ -158,7 +159,11 @@ impl BenchmarkGroup<'_> {
                 .unwrap_or_default();
             eprintln!(
                 "{}/{name}: {:.0} ns/iter (min {:.0}, max {:.0}, {} samples{eps})",
-                self.name, r.mean_ns, r.min_ns, r.max_ns, r.samples
+                self.name,
+                r.mean_ns.value(),
+                r.min_ns.value(),
+                r.max_ns.value(),
+                r.samples
             );
             r.name = name;
             self.results.push(r);
@@ -208,9 +213,9 @@ impl Bencher {
         let max = samples_ns.iter().copied().fold(0.0f64, f64::max);
         self.measured = Some(BenchResult {
             name: String::new(),
-            mean_ns: mean,
-            min_ns: min,
-            max_ns: max,
+            mean_ns: Nanos::new(mean),
+            min_ns: Nanos::new(min),
+            max_ns: Nanos::new(max),
             samples: samples_ns.len(),
             iters_per_sample: iters,
             elements_per_iter: None,
@@ -267,7 +272,7 @@ mod tests {
         assert_eq!(name, "demo");
         assert_eq!(results.len(), 1);
         assert_eq!(results[0].samples, 3);
-        assert!(results[0].mean_ns > 0.0);
+        assert!(results[0].mean_ns.value() > 0.0);
         assert!(results[0].min_ns <= results[0].mean_ns);
         assert!(results[0].mean_ns <= results[0].max_ns);
     }
@@ -289,9 +294,9 @@ mod tests {
     fn result_serializes() {
         let r = BenchResult {
             name: "x".into(),
-            mean_ns: 12.5,
-            min_ns: 10.0,
-            max_ns: 15.0,
+            mean_ns: Nanos::new(12.5),
+            min_ns: Nanos::new(10.0),
+            max_ns: Nanos::new(15.0),
             samples: 5,
             iters_per_sample: 100,
             elements_per_iter: None,
@@ -306,9 +311,9 @@ mod tests {
     fn throughput_reports_elements_per_sec() {
         let r = BenchResult {
             name: "x".into(),
-            mean_ns: 1e9, // one second per iteration
-            min_ns: 1e9,
-            max_ns: 1e9,
+            mean_ns: Nanos::new(1e9), // one second per iteration
+            min_ns: Nanos::new(1e9),
+            max_ns: Nanos::new(1e9),
             samples: 1,
             iters_per_sample: 1,
             elements_per_iter: Some(500),

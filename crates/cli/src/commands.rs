@@ -366,7 +366,7 @@ pub fn plan(args: &[String]) -> Result<(), String> {
     }
     let model = CprrModel {
         power_delta: Db::new(delta),
-        sigma_db: sigma,
+        sigma_db: Db::new(sigma),
         frame_bits,
         ..CprrModel::calibrated_default()
     };

@@ -75,7 +75,7 @@ fn main() -> std::process::ExitCode {
     let sweep = fig06::sweep(&cfg, Dbm::new(0.0));
     let default = sweep
         .iter()
-        .find(|p| p.threshold == -77.0)
+        .find(|p| p.threshold.to_bits() == f64::to_bits(-77.0))
         .expect("-77 in sweep");
     let relaxed = sweep.last().expect("non-empty sweep");
     checks.push(check(

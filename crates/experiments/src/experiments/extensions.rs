@@ -443,7 +443,9 @@ pub fn fault_recovery(cfg: &ExpConfig) -> Report {
         let n = cfg.seeds.len() as f64;
         let mut baseline = 0.0;
         let mut dip = 0.0;
-        let mut recover_ms = 0.0;
+        // Exact integer-nanosecond accumulation; converted to ms once
+        // for display (see DESIGN.md §8 on unit-safety fixes).
+        let mut recover_total = nomc_units::SimDuration::ZERO;
         let mut recovered = 0usize;
         let mut excursion = 0.0f64;
         for &seed in &cfg.seeds {
@@ -453,13 +455,13 @@ pub fn fault_recovery(cfg: &ExpConfig) -> Report {
             baseline += r.baseline_per_bin / n;
             dip += r.dip_per_bin as f64 / n;
             if let Some(t) = r.time_to_recover {
-                recover_ms += t.as_secs_f64() * 1e3;
+                recover_total += t;
                 recovered += 1;
             }
             excursion = excursion.max(r.threshold_excursion.value());
         }
         let recover = if recovered == cfg.seeds.len() {
-            f1(recover_ms / recovered.max(1) as f64)
+            f1(recover_total.as_secs_f64() * 1e3 / recovered.max(1) as f64)
         } else {
             format!("unrecovered ({recovered}/{})", cfg.seeds.len())
         };

@@ -39,7 +39,9 @@ fn deployment(separation_mhz: f64) -> Deployment {
             Dbm::new(0.0),
         )],
     );
-    if separation_mhz == 0.0 {
+    // Exactly-zero separation means co-channel; bit-test keeps the
+    // comparison total (see DESIGN.md §8).
+    if separation_mhz.abs().to_bits() == 0 {
         // Co-channel interferer: merge into the same network.
         let mut net = link;
         net.links.push(LinkSpec::new(

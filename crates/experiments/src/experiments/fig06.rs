@@ -82,7 +82,7 @@ pub fn run(cfg: &ExpConfig) -> Vec<Report> {
     }
     let default = points
         .iter()
-        .find(|p| p.threshold == -77.0)
+        .find(|p| p.threshold.to_bits() == f64::to_bits(-77.0))
         .expect("default in sweep");
     let relaxed = points.last().expect("non-empty sweep");
     fig6.note(format!(

@@ -57,7 +57,11 @@ pub fn run(cfg: &ExpConfig) -> Vec<Report> {
     let labels = paper_labels(5);
     let mut reports = Vec::new();
     for o in [&o2, &o3] {
-        let id = if o.cfd == 2.0 { "fig16" } else { "fig17" };
+        let id = if o.cfd.to_bits() == f64::to_bits(2.0) {
+            "fig16"
+        } else {
+            "fig17"
+        };
         let mut r = Report::new(
             id,
             &format!(

@@ -266,7 +266,7 @@ mod tests {
                     throughput: 100.0 + i as f64,
                     prr: Some(0.5),
                     events: 99,
-                    measured_secs: 15.0,
+                    measured_secs: nomc_units::Seconds::new(15.0),
                 }),
             }],
         }

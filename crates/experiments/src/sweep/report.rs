@@ -10,6 +10,7 @@
 
 use super::SweepError;
 use crate::runner::Stat;
+use nomc_units::Seconds;
 
 /// The scalar summary a sweep records per completed member.
 ///
@@ -26,15 +27,15 @@ pub struct MemberMetrics {
     pub prr: Option<f64>,
     /// Events the engine dispatched for this member.
     pub events: u64,
-    /// Measured window length in seconds (duration − warmup).
-    pub measured_secs: f64,
+    /// Measured window length (duration − warmup).
+    pub measured_secs: Seconds,
 }
 
 nomc_json::json_struct!(MemberMetrics {
     throughput: f64,
     prr: Option<f64>,
     events: u64,
-    measured_secs: f64,
+    measured_secs: Seconds,
 });
 
 impl MemberMetrics {
@@ -44,7 +45,7 @@ impl MemberMetrics {
             throughput: result.total_throughput(),
             prr: result.total_prr(),
             events: result.events,
-            measured_secs: result.measured.as_secs_f64(),
+            measured_secs: Seconds::new(result.measured.as_secs_f64()),
         }
     }
 }
@@ -263,7 +264,7 @@ mod tests {
                 throughput,
                 prr: Some(0.9),
                 events: 4242,
-                measured_secs: 15.0,
+                measured_secs: Seconds::new(15.0),
             }),
         });
         MemberReport {

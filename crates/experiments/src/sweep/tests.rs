@@ -205,7 +205,7 @@ fn synthetic_journal() -> (String, u64, Vec<u64>) {
                         throughput: 100.25 + i as f64,
                         prr: Some(0.875),
                         events: 12_345 + i as u64,
-                        measured_secs: 15.0,
+                        measured_secs: nomc_units::Seconds::new(15.0),
                     }),
                 }],
             })

@@ -1,0 +1,1489 @@
+//! The item parser: token stream → items.
+//!
+//! The v1 rules were line-oriented token checks; the flow-aware v2
+//! rules (float-totality, observer-purity, exhaustive-dispatch,
+//! unit-safety over fields and lets) need *structure*: which `f64`
+//! names a function binds, which struct a `SimObserver` impl covers,
+//! whether a `match` over the event enum has a wildcard arm. This
+//! module provides exactly that much structure and no more — an item
+//! grammar (`fn` signatures with params/receivers/return types,
+//! `struct`/`enum` fields and variants, `impl` blocks with trait
+//! names, `trait`/`mod` bodies, `use` trees, plus `let` bindings and
+//! `match` arms inside function bodies) without an expression-level
+//! AST.
+//!
+//! The parser is **total**: it never fails. Unrecognized tokens are
+//! skipped, so macro-heavy or exotic code degrades to "fewer items",
+//! never to a parse error. It operates on the lexed
+//! [`crate::source::SourceFile`] view, so comments, string contents,
+//! and char literals are already blanked — a raw string containing
+//! `fn bomb()` cannot produce a phantom item.
+
+use crate::source::SourceFile;
+use std::fmt::Write as _;
+
+/// One lexical token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token text. Operators that the item grammar must not split
+    /// (`::`, `->`, `=>`, `==`, `!=`, `<=`, `>=`) are single tokens;
+    /// every other punctuation is one character.
+    pub text: String,
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: usize,
+    /// True when the line sits inside a `#[cfg(test)]` region.
+    pub in_test: bool,
+}
+
+/// Lexical class of a [`Token`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Numeric literal (integer or float, with optional suffix).
+    Number,
+    /// A (blanked) string literal.
+    Str,
+    /// A lifetime (`'a`).
+    Lifetime,
+    /// Punctuation / operator.
+    Punct,
+}
+
+impl Token {
+    /// Whether this is the identifier `word`.
+    pub fn is_ident(&self, word: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == word
+    }
+
+    /// Whether this numeric literal has float shape: a fraction, an
+    /// exponent, or an explicit `f32`/`f64` suffix.
+    pub fn is_float_literal(&self) -> bool {
+        if self.kind != TokenKind::Number || self.text.starts_with("0x") {
+            return false;
+        }
+        if self.text.contains('.') || self.text.ends_with("f32") || self.text.ends_with("f64") {
+            return true;
+        }
+        // Exponent form (`1e9`, `2E-3`): `e`/`E` followed by an
+        // optional sign and a digit. Integer suffixes also contain an
+        // `e` (`0usize`, `3u8.pow` receivers) and must not match.
+        let b = self.text.as_bytes();
+        (0..b.len()).any(|i| {
+            b[i].eq_ignore_ascii_case(&b'e') && {
+                let j = if matches!(b.get(i + 1), Some(b'+' | b'-')) {
+                    i + 2
+                } else {
+                    i + 1
+                };
+                matches!(b.get(j), Some(d) if d.is_ascii_digit())
+            }
+        })
+    }
+}
+
+/// Tokenizes the code view of `sf` (comments and string contents are
+/// already blanked by the lexer).
+pub fn tokenize(sf: &SourceFile) -> Vec<Token> {
+    let mut out = Vec::new();
+    for (idx, line) in sf.lines.iter().enumerate() {
+        let bytes = line.code.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            let b = bytes[i];
+            let start = i;
+            if b.is_ascii_whitespace() {
+                i += 1;
+                continue;
+            }
+            let (kind, end) = if b.is_ascii_alphabetic() || b == b'_' {
+                let mut j = i + 1;
+                while j < bytes.len() && is_ident_byte(bytes[j]) {
+                    j += 1;
+                }
+                (TokenKind::Ident, j)
+            } else if b.is_ascii_digit() {
+                (TokenKind::Number, scan_number(bytes, i))
+            } else if b == b'"' {
+                // Strings are blanked; scan to the closing quote on
+                // this line (multi-line strings degrade to one token).
+                let mut j = i + 1;
+                while j < bytes.len() && bytes[j] != b'"' {
+                    j += 1;
+                }
+                (TokenKind::Str, (j + 1).min(bytes.len()))
+            } else if b == b'\'' && i + 1 < bytes.len() && is_ident_byte(bytes[i + 1]) {
+                let mut j = i + 1;
+                while j < bytes.len() && is_ident_byte(bytes[j]) {
+                    j += 1;
+                }
+                (TokenKind::Lifetime, j)
+            } else {
+                (TokenKind::Punct, i + punct_len(bytes, i))
+            };
+            i = end;
+            out.push(Token {
+                text: line.code[start..end].to_string(),
+                kind,
+                line: idx + 1,
+                in_test: line.in_test,
+            });
+        }
+    }
+    out
+}
+
+/// Length of the punctuation token starting at `i` (joins the
+/// operators the item grammar must treat atomically).
+fn punct_len(bytes: &[u8], i: usize) -> usize {
+    let two = |a: u8, b: u8| bytes[i] == a && bytes.get(i + 1) == Some(&b);
+    if two(b':', b':')
+        || two(b'-', b'>')
+        || two(b'=', b'>')
+        || two(b'=', b'=')
+        || two(b'!', b'=')
+        || two(b'<', b'=')
+        || two(b'>', b'=')
+        || two(b'.', b'.')
+    {
+        2
+    } else {
+        1
+    }
+}
+
+fn scan_number(bytes: &[u8], mut i: usize) -> usize {
+    let digits = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+    if bytes[i] == b'0' && matches!(bytes.get(i + 1), Some(b'x' | b'o' | b'b')) {
+        i += 2;
+        while i < bytes.len() && digits(bytes[i]) {
+            i += 1;
+        }
+        return i;
+    }
+    while i < bytes.len() && digits(bytes[i]) {
+        i += 1;
+    }
+    // Fraction: `.` only when followed by a digit (so `1..2`, `xs[0].f()`
+    // and tuple indexing keep their own tokens).
+    if i + 1 < bytes.len() && bytes[i] == b'.' && bytes[i + 1].is_ascii_digit() {
+        i += 1;
+        while i < bytes.len() && digits(bytes[i]) {
+            i += 1;
+        }
+    }
+    // Exponent sign (`1e-9`): the `e` was consumed by the suffix scan.
+    if i < bytes.len()
+        && (bytes[i] == b'+' || bytes[i] == b'-')
+        && bytes[i - 1].eq_ignore_ascii_case(&b'e')
+    {
+        i += 1;
+        while i < bytes.len() && digits(bytes[i]) {
+            i += 1;
+        }
+    }
+    i
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// One function parameter (or receiver).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// The binding name (last identifier of the pattern), empty for
+    /// `_` or purely structural patterns.
+    pub name: String,
+    /// Type tokens, space-joined (`& mut R`, `f64`).
+    pub ty: Vec<String>,
+    /// 1-based source line of the parameter.
+    pub line: usize,
+}
+
+impl Param {
+    /// The type as a display string.
+    pub fn ty_text(&self) -> String {
+        self.ty.join(" ")
+    }
+
+    /// Whether the declared type is exactly `ty`.
+    pub fn ty_is(&self, ty: &str) -> bool {
+        self.ty.len() == 1 && self.ty[0] == ty
+    }
+}
+
+/// A `let` binding inside a function body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LetBinding {
+    /// Binding name (simple `let name` / `let mut name` only;
+    /// destructuring patterns are not recorded).
+    pub name: String,
+    /// Explicit type annotation tokens, if any.
+    pub ty: Option<Vec<String>>,
+    /// Whether the initializer's first value token is a float literal.
+    pub float_init: bool,
+    /// 1-based line of the binding.
+    pub line: usize,
+}
+
+/// One `match` arm.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Arm {
+    /// Pattern tokens (up to `=>`, guard included).
+    pub pattern: Vec<String>,
+    /// 1-based line of the arm's pattern.
+    pub line: usize,
+}
+
+impl Arm {
+    /// Whether the arm is a catch-all: the pattern (before any `if`
+    /// guard) is `_` or a single bare binding identifier.
+    pub fn is_catch_all(&self) -> bool {
+        let head: Vec<&String> = self
+            .pattern
+            .iter()
+            .take_while(|t| t.as_str() != "if")
+            .collect();
+        match head.as_slice() {
+            [t] => {
+                t.as_str() == "_"
+                    || t.bytes().next().is_some_and(|b| b.is_ascii_lowercase())
+                        && t.bytes().all(|b| b.is_ascii_lowercase() || b == b'_')
+            }
+            _ => false,
+        }
+    }
+}
+
+/// A `match` expression found in a function body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatchExpr {
+    /// Scrutinee tokens.
+    pub scrutinee: Vec<String>,
+    /// The arms.
+    pub arms: Vec<Arm>,
+    /// 1-based line of the `match` keyword.
+    pub line: usize,
+}
+
+/// What a function body contributes to flow-aware rules.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Body {
+    /// `let` bindings, in order.
+    pub lets: Vec<LetBinding>,
+    /// `match` expressions, in order (nested ones included).
+    pub matches: Vec<MatchExpr>,
+}
+
+/// A parsed `fn` item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FnItem {
+    /// Function name.
+    pub name: String,
+    /// Visibility tokens (`pub`, `pub ( crate )`), empty for private.
+    pub vis: Vec<String>,
+    /// The receiver (`self` parameter) tokens, if any.
+    pub receiver: Option<Vec<String>>,
+    /// Non-receiver parameters.
+    pub params: Vec<Param>,
+    /// Return type tokens after `->`, if any.
+    pub ret: Option<Vec<String>>,
+    /// Body contributions (`None` for bodiless trait signatures).
+    pub body: Option<Body>,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Whether the item sits inside `#[cfg(test)]`.
+    pub in_test: bool,
+}
+
+/// One named field of a struct or enum struct-variant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Field {
+    /// Field name (empty for tuple fields).
+    pub name: String,
+    /// Type tokens.
+    pub ty: Vec<String>,
+    /// 1-based line.
+    pub line: usize,
+}
+
+impl Field {
+    /// Whether the declared type is exactly `ty`.
+    pub fn ty_is(&self, ty: &str) -> bool {
+        self.ty.len() == 1 && self.ty[0] == ty
+    }
+}
+
+/// A parsed `struct` item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StructItem {
+    /// Type name.
+    pub name: String,
+    /// Fields (named or tuple).
+    pub fields: Vec<Field>,
+    /// 1-based line.
+    pub line: usize,
+    /// Whether the item sits inside `#[cfg(test)]`.
+    pub in_test: bool,
+}
+
+/// One enum variant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Variant {
+    /// Variant name.
+    pub name: String,
+    /// Struct-variant fields (named) or tuple-variant fields (unnamed).
+    pub fields: Vec<Field>,
+    /// 1-based line.
+    pub line: usize,
+}
+
+/// A parsed `enum` item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnumItem {
+    /// Type name.
+    pub name: String,
+    /// The variants.
+    pub variants: Vec<Variant>,
+    /// 1-based line.
+    pub line: usize,
+    /// Whether the item sits inside `#[cfg(test)]`.
+    pub in_test: bool,
+}
+
+/// A parsed `impl` block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImplItem {
+    /// Last path segment of the implemented trait (`SimObserver` for
+    /// `impl nomc_sim::SimObserver for X`), `None` for inherent impls.
+    pub trait_name: Option<String>,
+    /// Self-type tokens (`Engine < 'a >`).
+    pub self_ty: Vec<String>,
+    /// Functions defined in the block.
+    pub fns: Vec<FnItem>,
+    /// 1-based line.
+    pub line: usize,
+    /// Whether the item sits inside `#[cfg(test)]`.
+    pub in_test: bool,
+}
+
+impl ImplItem {
+    /// First identifier of the self type (`Engine` for `Engine<'a>`).
+    pub fn self_ty_name(&self) -> &str {
+        self.self_ty
+            .iter()
+            .find(|t| t.bytes().next().is_some_and(is_ident_byte))
+            .map(String::as_str)
+            .unwrap_or("")
+    }
+}
+
+/// A `use` declaration (tree text, space-joined).
+#[derive(Debug, Clone, PartialEq)]
+pub struct UseItem {
+    /// The tree tokens between `use` and `;`.
+    pub tree: Vec<String>,
+    /// 1-based line.
+    pub line: usize,
+}
+
+/// Everything the item parser extracted from one file.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Items {
+    /// Free functions and functions inside `impl`/`trait`/`mod` blocks
+    /// (flattened; `impls` also holds its own functions).
+    pub fns: Vec<FnItem>,
+    /// Structs.
+    pub structs: Vec<StructItem>,
+    /// Enums.
+    pub enums: Vec<EnumItem>,
+    /// Impl blocks.
+    pub impls: Vec<ImplItem>,
+    /// Use declarations.
+    pub uses: Vec<UseItem>,
+}
+
+/// Parses the items of a scanned file. Total: never fails.
+pub fn parse(sf: &SourceFile) -> Items {
+    let tokens = tokenize(sf);
+    let mut items = Items::default();
+    parse_items(&tokens, 0, tokens.len(), &mut items, false);
+    items
+}
+
+struct Cursor<'a> {
+    toks: &'a [Token],
+    i: usize,
+    end: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<&'a Token> {
+        if self.i < self.end {
+            Some(&self.toks[self.i])
+        } else {
+            None
+        }
+    }
+
+    fn bump(&mut self) -> Option<&'a Token> {
+        let t = self.peek();
+        self.i += 1;
+        t
+    }
+
+    fn at_ident(&self, word: &str) -> bool {
+        self.peek().is_some_and(|t| t.is_ident(word))
+    }
+
+    fn at_punct(&self, p: &str) -> bool {
+        self.peek()
+            .is_some_and(|t| t.kind == TokenKind::Punct && t.text == p)
+    }
+
+    /// Advances past a balanced `open …​ close` group starting at the
+    /// cursor (which must sit on `open`); robust to truncation.
+    fn skip_group(&mut self, open: &str, close: &str) {
+        let mut depth = 0i32;
+        while let Some(t) = self.peek() {
+            if t.kind == TokenKind::Punct && t.text == open {
+                depth += 1;
+            } else if t.kind == TokenKind::Punct && t.text == close {
+                depth -= 1;
+                if depth == 0 {
+                    self.i += 1;
+                    return;
+                }
+            }
+            self.i += 1;
+        }
+    }
+
+    /// Advances past a balanced generics group `< … >` (the combined
+    /// `->`/`=>` tokens can never miscount).
+    fn skip_generics(&mut self) {
+        let mut depth = 0i32;
+        while let Some(t) = self.peek() {
+            if t.kind == TokenKind::Punct {
+                match t.text.as_str() {
+                    "<" => depth += 1,
+                    ">" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            self.i += 1;
+                            return;
+                        }
+                    }
+                    ">=" => {
+                        // `>= ` can only close generics when lexed from
+                        // `>>=`-free code; treat as a single `>`.
+                        depth -= 1;
+                        if depth <= 0 {
+                            self.i += 1;
+                            return;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            self.i += 1;
+        }
+    }
+
+    /// Index of the matching `}` for the `{` at the cursor.
+    fn find_block_end(&self) -> usize {
+        let mut depth = 0i32;
+        let mut j = self.i;
+        while j < self.end {
+            let t = &self.toks[j];
+            if t.kind == TokenKind::Punct {
+                if t.text == "{" {
+                    depth += 1;
+                } else if t.text == "}" {
+                    depth -= 1;
+                    if depth == 0 {
+                        return j;
+                    }
+                }
+            }
+            j += 1;
+        }
+        self.end
+    }
+}
+
+fn parse_items(toks: &[Token], start: usize, end: usize, items: &mut Items, in_impl: bool) {
+    let mut c = Cursor {
+        toks,
+        i: start,
+        end,
+    };
+    while let Some(t) = c.peek() {
+        // Attributes: `#[…]` / `#![…]`.
+        if t.kind == TokenKind::Punct && t.text == "#" {
+            c.i += 1;
+            if c.at_punct("!") {
+                c.i += 1;
+            }
+            if c.at_punct("[") {
+                c.skip_group("[", "]");
+            }
+            continue;
+        }
+        // Visibility.
+        let mut vis = Vec::new();
+        if c.at_ident("pub") {
+            vis.push(c.bump().map(|t| t.text.clone()).unwrap_or_default());
+            if c.at_punct("(") {
+                let from = c.i;
+                c.skip_group("(", ")");
+                for t in &toks[from..c.i] {
+                    vis.push(t.text.clone());
+                }
+            }
+        }
+        // Qualifiers that may precede `fn` (or stand alone: `const X`,
+        // `unsafe impl`, `extern "C" {`).
+        let mut saw_default = false;
+        loop {
+            if c.at_ident("const") {
+                // `const fn` vs `const NAME: …;`.
+                if c.toks.get(c.i + 1).is_some_and(|t| {
+                    t.is_ident("fn") || t.is_ident("unsafe") || t.is_ident("extern")
+                }) {
+                    c.i += 1;
+                    continue;
+                }
+                break;
+            }
+            if c.at_ident("unsafe") || c.at_ident("async") || c.at_ident("default") {
+                saw_default |= c.at_ident("default");
+                c.i += 1;
+                continue;
+            }
+            if c.at_ident("extern") {
+                c.i += 1;
+                if c.peek().is_some_and(|t| t.kind == TokenKind::Str) {
+                    c.i += 1;
+                }
+                continue;
+            }
+            break;
+        }
+        let _ = saw_default;
+        let Some(kw) = c.peek() else { break };
+        match kw.text.as_str() {
+            "fn" if kw.kind == TokenKind::Ident => {
+                if let Some(f) = parse_fn(&mut c, vis) {
+                    items.fns.push(f);
+                }
+            }
+            "struct" if kw.kind == TokenKind::Ident => {
+                if let Some(s) = parse_struct(&mut c) {
+                    items.structs.push(s);
+                }
+            }
+            "enum" if kw.kind == TokenKind::Ident => {
+                if let Some(e) = parse_enum(&mut c) {
+                    items.enums.push(e);
+                }
+            }
+            "impl" if kw.kind == TokenKind::Ident && !in_impl => {
+                parse_impl(&mut c, items);
+            }
+            "trait" if kw.kind == TokenKind::Ident => {
+                parse_trait(&mut c, items);
+            }
+            "mod" if kw.kind == TokenKind::Ident => {
+                c.i += 1;
+                c.bump(); // name
+                if c.at_punct("{") {
+                    let close = c.find_block_end();
+                    parse_items(toks, c.i + 1, close, items, false);
+                    c.i = close + 1;
+                } else if c.at_punct(";") {
+                    c.i += 1;
+                }
+            }
+            "use" if kw.kind == TokenKind::Ident => {
+                let line = kw.line;
+                c.i += 1;
+                let from = c.i;
+                while let Some(t) = c.peek() {
+                    if t.kind == TokenKind::Punct && t.text == ";" {
+                        break;
+                    }
+                    c.i += 1;
+                }
+                items.uses.push(UseItem {
+                    tree: toks[from..c.i].iter().map(|t| t.text.clone()).collect(),
+                    line,
+                });
+                c.i += 1;
+            }
+            _ => {
+                // `const X: … = …;`, `static`, `type`, macro calls,
+                // stray tokens: skip to the next plausible item start,
+                // jumping over any brace block as one unit.
+                if c.at_punct("{") {
+                    let close = c.find_block_end();
+                    c.i = close + 1;
+                } else {
+                    c.i += 1;
+                }
+            }
+        }
+    }
+}
+
+fn parse_fn(c: &mut Cursor<'_>, vis: Vec<String>) -> Option<FnItem> {
+    let kw = c.bump()?; // `fn`
+    let (line, in_test) = (kw.line, kw.in_test);
+    let name = c
+        .bump()
+        .filter(|t| t.kind == TokenKind::Ident)?
+        .text
+        .clone();
+    if c.at_punct("<") {
+        c.skip_generics();
+    }
+    if !c.at_punct("(") {
+        return None;
+    }
+    let params_from = c.i + 1;
+    c.skip_group("(", ")");
+    let params_to = c.i.saturating_sub(1);
+    let (receiver, params) = parse_params(&c.toks[params_from..params_to]);
+    // Return type: tokens after `->` up to `where` / `{` / `;`.
+    let mut ret = None;
+    if c.at_punct("->") {
+        c.i += 1;
+        let from = c.i;
+        let mut depth = 0i32;
+        while let Some(t) = c.peek() {
+            match t.text.as_str() {
+                "<" | "(" | "[" if t.kind == TokenKind::Punct => depth += 1,
+                ">" | ")" | "]" if t.kind == TokenKind::Punct => depth -= 1,
+                "{" | ";" if t.kind == TokenKind::Punct && depth <= 0 => break,
+                "where" if t.kind == TokenKind::Ident && depth <= 0 => break,
+                _ => {}
+            }
+            c.i += 1;
+        }
+        ret = Some(c.toks[from..c.i].iter().map(|t| t.text.clone()).collect());
+    }
+    // Where clause: skip to `{` or `;` at depth 0.
+    let mut depth = 0i32;
+    while let Some(t) = c.peek() {
+        if t.kind == TokenKind::Punct {
+            match t.text.as_str() {
+                "<" | "(" | "[" => depth += 1,
+                ">" | ")" | "]" => depth -= 1,
+                "{" | ";" if depth <= 0 => break,
+                _ => {}
+            }
+        }
+        c.i += 1;
+    }
+    let body = if c.at_punct("{") {
+        let close = c.find_block_end();
+        let body = scan_body(&c.toks[c.i + 1..close]);
+        c.i = close + 1;
+        Some(body)
+    } else {
+        c.i += 1; // `;`
+        None
+    };
+    Some(FnItem {
+        name,
+        vis,
+        receiver,
+        params,
+        ret,
+        body,
+        line,
+        in_test,
+    })
+}
+
+/// Splits a parameter token list into (receiver, params).
+fn parse_params(toks: &[Token]) -> (Option<Vec<String>>, Vec<Param>) {
+    let mut receiver = None;
+    let mut params = Vec::new();
+    for group in split_top_level(toks, ",") {
+        if group.is_empty() {
+            continue;
+        }
+        // Parameter attributes are rare; strip a leading `#[…]`.
+        let group = strip_attr(group);
+        if group.iter().any(|t| t.is_ident("self")) && split_top_level(group, ":").len() == 1 {
+            receiver = Some(group.iter().map(|t| t.text.clone()).collect());
+            continue;
+        }
+        let halves = split_top_level(group, ":");
+        if halves.len() < 2 {
+            continue;
+        }
+        let name = halves[0]
+            .iter()
+            .rev()
+            .find(|t| t.kind == TokenKind::Ident && t.text != "mut" && t.text != "ref")
+            .map(|t| t.text.clone())
+            .unwrap_or_default();
+        let line = group.first().map(|t| t.line).unwrap_or(0);
+        let ty: Vec<String> = halves[1..]
+            .concat()
+            .iter()
+            .map(|t| t.text.clone())
+            .collect();
+        params.push(Param { name, ty, line });
+    }
+    (receiver, params)
+}
+
+fn strip_attr(toks: &[Token]) -> &[Token] {
+    if toks.first().is_some_and(|t| t.text == "#") {
+        let mut depth = 0i32;
+        for (j, t) in toks.iter().enumerate() {
+            if t.kind == TokenKind::Punct {
+                if t.text == "[" {
+                    depth += 1;
+                } else if t.text == "]" {
+                    depth -= 1;
+                    if depth == 0 {
+                        return &toks[j + 1..];
+                    }
+                }
+            }
+        }
+    }
+    toks
+}
+
+/// Splits on `sep` at bracket depth 0 (`->`/`=>` are atomic tokens, so
+/// `Fn(f64) -> f64` never miscounts).
+fn split_top_level<'a>(toks: &'a [Token], sep: &str) -> Vec<&'a [Token]> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut start = 0;
+    for (j, t) in toks.iter().enumerate() {
+        if t.kind == TokenKind::Punct {
+            match t.text.as_str() {
+                "<" | "(" | "[" | "{" => depth += 1,
+                ">" | ")" | "]" | "}" => depth -= 1,
+                s if s == sep && depth == 0 => {
+                    out.push(&toks[start..j]);
+                    start = j + 1;
+                }
+                _ => {}
+            }
+        }
+    }
+    out.push(&toks[start..]);
+    out
+}
+
+fn parse_struct(c: &mut Cursor<'_>) -> Option<StructItem> {
+    let kw = c.bump()?; // `struct`
+    let (line, in_test) = (kw.line, kw.in_test);
+    let name = c
+        .bump()
+        .filter(|t| t.kind == TokenKind::Ident)?
+        .text
+        .clone();
+    if c.at_punct("<") {
+        c.skip_generics();
+    }
+    // Where clause before the body.
+    while c.peek().is_some() && !c.at_punct("{") && !c.at_punct("(") && !c.at_punct(";") {
+        c.i += 1;
+    }
+    let mut fields = Vec::new();
+    if c.at_punct("{") {
+        let close = c.find_block_end();
+        fields = parse_named_fields(&c.toks[c.i + 1..close]);
+        c.i = close + 1;
+    } else if c.at_punct("(") {
+        let from = c.i + 1;
+        c.skip_group("(", ")");
+        for group in split_top_level(&c.toks[from..c.i.saturating_sub(1)], ",") {
+            if group.is_empty() {
+                continue;
+            }
+            let group = strip_attr(group);
+            let ty: Vec<String> = group
+                .iter()
+                .filter(|t| !t.is_ident("pub"))
+                .map(|t| t.text.clone())
+                .collect();
+            let line = group.first().map(|t| t.line).unwrap_or(line);
+            fields.push(Field {
+                name: String::new(),
+                ty,
+                line,
+            });
+        }
+        if c.at_punct(";") {
+            c.i += 1;
+        }
+    } else if c.at_punct(";") {
+        c.i += 1;
+    }
+    Some(StructItem {
+        name,
+        fields,
+        line,
+        in_test,
+    })
+}
+
+fn parse_named_fields(toks: &[Token]) -> Vec<Field> {
+    let mut fields = Vec::new();
+    for group in split_top_level(toks, ",") {
+        let group = strip_attr(group);
+        let halves = split_top_level(group, ":");
+        if halves.len() < 2 || halves[0].is_empty() {
+            continue;
+        }
+        let Some(name_tok) = halves[0]
+            .iter()
+            .rev()
+            .find(|t| t.kind == TokenKind::Ident && t.text != "pub" && t.text != "crate")
+        else {
+            continue;
+        };
+        fields.push(Field {
+            name: name_tok.text.clone(),
+            ty: halves[1..]
+                .concat()
+                .iter()
+                .map(|t| t.text.clone())
+                .collect(),
+            line: name_tok.line,
+        });
+    }
+    fields
+}
+
+fn parse_enum(c: &mut Cursor<'_>) -> Option<EnumItem> {
+    let kw = c.bump()?; // `enum`
+    let (line, in_test) = (kw.line, kw.in_test);
+    let name = c
+        .bump()
+        .filter(|t| t.kind == TokenKind::Ident)?
+        .text
+        .clone();
+    if c.at_punct("<") {
+        c.skip_generics();
+    }
+    while c.peek().is_some() && !c.at_punct("{") && !c.at_punct(";") {
+        c.i += 1;
+    }
+    let mut variants = Vec::new();
+    if c.at_punct("{") {
+        let close = c.find_block_end();
+        for group in split_top_level(&c.toks[c.i + 1..close], ",") {
+            let group = strip_attr(group);
+            let Some(name_tok) = group.iter().find(|t| t.kind == TokenKind::Ident) else {
+                continue;
+            };
+            let rest = &group[1..];
+            let fields = if rest.first().is_some_and(|t| t.text == "{") {
+                parse_named_fields(&rest[1..rest.len().saturating_sub(1)])
+            } else if rest.first().is_some_and(|t| t.text == "(") {
+                split_top_level(&rest[1..rest.len().saturating_sub(1)], ",")
+                    .into_iter()
+                    .filter(|g| !g.is_empty())
+                    .map(|g| Field {
+                        name: String::new(),
+                        ty: g.iter().map(|t| t.text.clone()).collect(),
+                        line: g.first().map(|t| t.line).unwrap_or(name_tok.line),
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            variants.push(Variant {
+                name: name_tok.text.clone(),
+                fields,
+                line: name_tok.line,
+            });
+        }
+        c.i = close + 1;
+    }
+    Some(EnumItem {
+        name,
+        variants,
+        line,
+        in_test,
+    })
+}
+
+fn parse_impl(c: &mut Cursor<'_>, items: &mut Items) {
+    let kw = c.bump().expect("cursor sits on `impl`");
+    let (line, in_test) = (kw.line, kw.in_test);
+    if c.at_punct("<") {
+        c.skip_generics();
+    }
+    // Tokens up to `{` at depth 0, split on `for`.
+    let from = c.i;
+    let mut depth = 0i32;
+    while let Some(t) = c.peek() {
+        if t.kind == TokenKind::Punct {
+            match t.text.as_str() {
+                "<" | "(" | "[" => depth += 1,
+                ">" | ")" | "]" => depth -= 1,
+                "{" if depth <= 0 => break,
+                _ => {}
+            }
+        }
+        c.i += 1;
+    }
+    let head = &c.toks[from..c.i];
+    let where_at = head
+        .iter()
+        .position(|t| t.is_ident("where"))
+        .unwrap_or(head.len());
+    let head = &head[..where_at];
+    let for_at = head.iter().position(|t| t.is_ident("for"));
+    let (trait_name, self_ty) = match for_at {
+        Some(at) => {
+            let trait_name = head[..at]
+                .iter()
+                .rev()
+                .find(|t| t.kind == TokenKind::Ident)
+                .map(|t| t.text.clone());
+            (
+                trait_name,
+                head[at + 1..].iter().map(|t| t.text.clone()).collect(),
+            )
+        }
+        None => (None, head.iter().map(|t| t.text.clone()).collect()),
+    };
+    if !c.at_punct("{") {
+        return;
+    }
+    let close = c.find_block_end();
+    let mut inner = Items::default();
+    parse_items(c.toks, c.i + 1, close, &mut inner, true);
+    c.i = close + 1;
+    items.impls.push(ImplItem {
+        trait_name,
+        self_ty,
+        fns: inner.fns.clone(),
+        line,
+        in_test,
+    });
+    items.fns.append(&mut inner.fns);
+    items.structs.append(&mut inner.structs);
+    items.enums.append(&mut inner.enums);
+    items.uses.append(&mut inner.uses);
+}
+
+fn parse_trait(c: &mut Cursor<'_>, items: &mut Items) {
+    c.bump(); // `trait`
+    c.bump(); // name
+    if c.at_punct("<") {
+        c.skip_generics();
+    }
+    while c.peek().is_some() && !c.at_punct("{") && !c.at_punct(";") {
+        c.i += 1;
+    }
+    if c.at_punct("{") {
+        let close = c.find_block_end();
+        parse_items(c.toks, c.i + 1, close, items, true);
+        c.i = close + 1;
+    } else {
+        c.i += 1;
+    }
+}
+
+/// Scans a function-body token range for `let` bindings and `match`
+/// expressions (recursing into nested blocks naturally — the scan is
+/// linear over every token, with `match` parsed structurally).
+fn scan_body(toks: &[Token]) -> Body {
+    let mut body = Body::default();
+    scan_body_into(toks, &mut body);
+    body
+}
+
+fn scan_body_into(toks: &[Token], body: &mut Body) {
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_ident("let") {
+            i += 1;
+            let mut j = i;
+            while toks
+                .get(j)
+                .is_some_and(|t| t.is_ident("mut") || t.is_ident("ref"))
+            {
+                j += 1;
+            }
+            let Some(name_tok) = toks.get(j).filter(|t| t.kind == TokenKind::Ident) else {
+                continue;
+            };
+            // `let Some(x)` / `let Point { .. }` / `let (a, b)` are
+            // patterns, not simple bindings.
+            if toks
+                .get(j + 1)
+                .is_some_and(|t| matches!(t.text.as_str(), "(" | "{" | "::"))
+            {
+                continue;
+            }
+            let mut ty = None;
+            let mut k = j + 1;
+            if toks.get(k).is_some_and(|t| t.text == ":") {
+                let from = k + 1;
+                let mut depth = 0i32;
+                while let Some(t) = toks.get(k) {
+                    if t.kind == TokenKind::Punct {
+                        match t.text.as_str() {
+                            "<" | "(" | "[" => depth += 1,
+                            ">" | ")" | "]" => depth -= 1,
+                            "=" | ";" if depth <= 0 => break,
+                            _ => {}
+                        }
+                    }
+                    k += 1;
+                }
+                ty = Some(toks[from..k].iter().map(|t| t.text.clone()).collect());
+            }
+            let mut float_init = false;
+            if toks.get(k).is_some_and(|t| t.text == "=") {
+                let mut v = k + 1;
+                if toks.get(v).is_some_and(|t| t.text == "-") {
+                    v += 1;
+                }
+                float_init = toks.get(v).is_some_and(|t| {
+                    t.is_float_literal() && toks.get(v + 1).is_none_or(|n| n.text != ".")
+                });
+            }
+            body.lets.push(LetBinding {
+                name: name_tok.text.clone(),
+                ty,
+                float_init,
+                line: name_tok.line,
+            });
+            i = k;
+        } else if t.is_ident("match") {
+            i = parse_match(toks, i, body);
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Parses `match scrutinee { arms }` starting at the `match` keyword;
+/// returns the index just past the match. Arm values are scanned for
+/// nested `let`/`match` via the caller's linear walk (the value tokens
+/// are re-visited), so only patterns are handled here.
+fn parse_match(toks: &[Token], at: usize, body: &mut Body) -> usize {
+    let line = toks[at].line;
+    let mut i = at + 1;
+    let scrutinee_from = i;
+    let mut depth = 0i32;
+    while let Some(t) = toks.get(i) {
+        if t.kind == TokenKind::Punct {
+            match t.text.as_str() {
+                "<" | "(" | "[" => depth += 1,
+                ">" | ")" | "]" => depth -= 1,
+                "{" if depth <= 0 => break,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    if i >= toks.len() {
+        return toks.len();
+    }
+    let scrutinee: Vec<String> = toks[scrutinee_from..i]
+        .iter()
+        .map(|t| t.text.clone())
+        .collect();
+    // Find the matching `}` of the arm block.
+    let mut close = i;
+    let mut d = 0i32;
+    while let Some(t) = toks.get(close) {
+        if t.kind == TokenKind::Punct {
+            if t.text == "{" {
+                d += 1;
+            } else if t.text == "}" {
+                d -= 1;
+                if d == 0 {
+                    break;
+                }
+            }
+        }
+        close += 1;
+    }
+    let mut arms = Vec::new();
+    let mut j = i + 1;
+    while j < close {
+        // Pattern: tokens up to top-level `=>`.
+        let pat_from = j;
+        let mut depth = 0i32;
+        while j < close {
+            let t = &toks[j];
+            if t.kind == TokenKind::Punct {
+                match t.text.as_str() {
+                    "<" | "(" | "[" | "{" => depth += 1,
+                    ">" | ")" | "]" | "}" => depth -= 1,
+                    "=>" if depth <= 0 => break,
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        if j >= close {
+            break;
+        }
+        let pattern: Vec<String> = toks[pat_from..j].iter().map(|t| t.text.clone()).collect();
+        if !pattern.is_empty() {
+            arms.push(Arm {
+                line: toks[pat_from].line,
+                pattern,
+            });
+        }
+        j += 1; // `=>`
+                // Value: a block, or an expression up to a top-level `,`.
+        if toks.get(j).is_some_and(|t| t.text == "{") {
+            let mut d = 0i32;
+            while j < close {
+                let t = &toks[j];
+                if t.kind == TokenKind::Punct {
+                    if t.text == "{" {
+                        d += 1;
+                    } else if t.text == "}" {
+                        d -= 1;
+                        if d == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                }
+                j += 1;
+            }
+            if toks.get(j).is_some_and(|t| t.text == ",") {
+                j += 1;
+            }
+        } else {
+            let mut depth = 0i32;
+            while j < close {
+                let t = &toks[j];
+                if t.kind == TokenKind::Punct {
+                    match t.text.as_str() {
+                        "<" | "(" | "[" | "{" => depth += 1,
+                        ">" | ")" | "]" | "}" => depth -= 1,
+                        "," if depth <= 0 => {
+                            j += 1;
+                            break;
+                        }
+                        _ => {}
+                    }
+                    if t.is_ident("match") {
+                        // Nested match in a non-block arm value: let the
+                        // structural parser place its arms correctly.
+                    }
+                }
+                j += 1;
+            }
+        }
+    }
+    body.matches.push(MatchExpr {
+        scrutinee,
+        arms,
+        line,
+    });
+    // Re-scan the whole arm region linearly for nested lets/matches.
+    // (Nested matches are double-counted as structure, which is fine:
+    // rules treat `matches` as a set of observations, not a tree.)
+    scan_nested(&toks[i + 1..close], body);
+    if close < toks.len() {
+        close + 1
+    } else {
+        toks.len()
+    }
+}
+
+/// Scans arm bodies for nested `let`s and `match`es without re-adding
+/// the enclosing match.
+fn scan_nested(toks: &[Token], body: &mut Body) {
+    let mut inner = Body::default();
+    scan_body_into(toks, &mut inner);
+    body.lets.append(&mut inner.lets);
+    body.matches.append(&mut inner.matches);
+}
+
+/// Renders the items as a stable, human-diffable dump for golden
+/// tests.
+pub fn dump(items: &Items) -> String {
+    let mut s = String::new();
+    let join = |v: &[String]| v.join(" ");
+    for f in &items.fns {
+        let vis = if f.vis.is_empty() {
+            String::new()
+        } else {
+            format!("{} ", join(&f.vis))
+        };
+        let recv = f
+            .receiver
+            .as_ref()
+            .map(|r| join(r))
+            .unwrap_or_else(|| "-".to_string());
+        let params: Vec<String> = f
+            .params
+            .iter()
+            .map(|p| format!("{}: {}", p.name, p.ty_text()))
+            .collect();
+        let ret = f
+            .ret
+            .as_ref()
+            .map(|r| format!(" -> {}", join(r)))
+            .unwrap_or_default();
+        let _ = writeln!(
+            s,
+            "fn {name} line={line} vis=[{vis}] recv=[{recv}] params=[{params}]{ret}{body}",
+            name = f.name,
+            line = f.line,
+            vis = vis.trim(),
+            recv = recv,
+            params = params.join(", "),
+            ret = ret,
+            body = match &f.body {
+                Some(b) => format!(" lets={} matches={}", b.lets.len(), b.matches.len()),
+                None => " bodiless".to_string(),
+            },
+        );
+        if let Some(b) = &f.body {
+            for l in &b.lets {
+                let _ = writeln!(
+                    s,
+                    "  let {name} line={line} ty=[{ty}] float_init={fi}",
+                    name = l.name,
+                    line = l.line,
+                    ty = l.ty.as_ref().map(|t| join(t)).unwrap_or_default(),
+                    fi = l.float_init,
+                );
+            }
+            for m in &b.matches {
+                let _ = writeln!(
+                    s,
+                    "  match line={line} scrutinee=[{sc}]",
+                    line = m.line,
+                    sc = join(&m.scrutinee),
+                );
+                for a in &m.arms {
+                    let _ = writeln!(
+                        s,
+                        "    arm line={line} catch_all={ca} pattern=[{p}]",
+                        line = a.line,
+                        ca = a.is_catch_all(),
+                        p = join(&a.pattern),
+                    );
+                }
+            }
+        }
+    }
+    for st in &items.structs {
+        let _ = writeln!(s, "struct {} line={}", st.name, st.line);
+        for f in &st.fields {
+            let _ = writeln!(
+                s,
+                "  field {name} line={line} ty=[{ty}]",
+                name = if f.name.is_empty() { "_" } else { &f.name },
+                line = f.line,
+                ty = join(&f.ty),
+            );
+        }
+    }
+    for en in &items.enums {
+        let _ = writeln!(s, "enum {} line={}", en.name, en.line);
+        for v in &en.variants {
+            let _ = writeln!(s, "  variant {} line={}", v.name, v.line);
+            for f in &v.fields {
+                let _ = writeln!(
+                    s,
+                    "    field {name} line={line} ty=[{ty}]",
+                    name = if f.name.is_empty() { "_" } else { &f.name },
+                    line = f.line,
+                    ty = join(&f.ty),
+                );
+            }
+        }
+    }
+    for im in &items.impls {
+        let _ = writeln!(
+            s,
+            "impl {tr}{for_kw}{ty} line={line} fns=[{fns}]",
+            tr = im.trait_name.as_deref().unwrap_or(""),
+            for_kw = if im.trait_name.is_some() { " for " } else { "" },
+            ty = join(&im.self_ty),
+            line = im.line,
+            fns = im
+                .fns
+                .iter()
+                .map(|f| f.name.as_str())
+                .collect::<Vec<_>>()
+                .join(", "),
+        );
+    }
+    for u in &items.uses {
+        let _ = writeln!(s, "use {} line={}", join(&u.tree), u.line);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn items(src: &str) -> Items {
+        parse(&SourceFile::parse(src))
+    }
+
+    #[test]
+    fn fn_signature_with_generics_and_receiver() {
+        let it = items(
+            "impl X {\n    pub fn map<F: Fn(f64) -> f64>(&mut self, gain_db: f64, f: F) -> f64 { f(gain_db) }\n}\n",
+        );
+        assert_eq!(it.impls.len(), 1);
+        let f = &it.fns[0];
+        assert_eq!(f.name, "map");
+        assert_eq!(
+            f.receiver.as_deref(),
+            Some(&["&".to_string(), "mut".into(), "self".into()][..])
+        );
+        assert_eq!(f.params.len(), 2);
+        assert_eq!(f.params[0].name, "gain_db");
+        assert!(f.params[0].ty_is("f64"));
+        assert_eq!(f.ret.as_deref(), Some(&["f64".to_string()][..]));
+    }
+
+    #[test]
+    fn nested_generics_with_double_close() {
+        let it = items("fn f(x: Vec<Vec<u64>>) -> Option<Box<u8>> {}\n");
+        assert_eq!(it.fns.len(), 1);
+        assert_eq!(it.fns[0].params[0].ty_text(), "Vec < Vec < u64 > >");
+    }
+
+    #[test]
+    fn struct_and_enum_fields() {
+        let it = items(
+            "pub struct S { pub a_dbm: f64, b: Vec<u8> }\nenum E { A, B(u8, f64), C { x_mhz: f64 } }\n",
+        );
+        assert_eq!(it.structs[0].fields.len(), 2);
+        assert_eq!(it.structs[0].fields[0].name, "a_dbm");
+        assert!(it.structs[0].fields[0].ty_is("f64"));
+        let e = &it.enums[0];
+        assert_eq!(e.variants.len(), 3);
+        assert_eq!(e.variants[1].fields.len(), 2);
+        assert_eq!(e.variants[2].fields[0].name, "x_mhz");
+    }
+
+    #[test]
+    fn impl_trait_names_resolve_to_last_segment() {
+        let it = items(
+            "impl nomc_sim::runtime::SimObserver for Collector { fn on_event(&mut self) {} }\n",
+        );
+        let im = &it.impls[0];
+        assert_eq!(im.trait_name.as_deref(), Some("SimObserver"));
+        assert_eq!(im.self_ty_name(), "Collector");
+        assert_eq!(im.fns[0].name, "on_event");
+    }
+
+    #[test]
+    fn match_arms_and_catch_all() {
+        let it = items(
+            "fn f(e: Event) {\n    match e {\n        Event::A(n) => g(n),\n        Event::B { x } => { h(x) }\n        _ => {}\n    }\n}\n",
+        );
+        let m = &it.fns[0].body.as_ref().unwrap().matches[0];
+        assert_eq!(m.arms.len(), 3);
+        assert!(!m.arms[0].is_catch_all());
+        assert!(m.arms[2].is_catch_all());
+        // A bare binding is also a catch-all.
+        let it = items("fn f(x: u8) { match x { 0 => a(), other => b(other), } }\n");
+        let m = &it.fns[0].body.as_ref().unwrap().matches[0];
+        assert!(m.arms[1].is_catch_all());
+        // A guarded wildcard is still a catch-all pattern-wise.
+        let it = items("fn f(x: u8) { match x { v if v > 2 => a(), _ => b(), } }\n");
+        let m = &it.fns[0].body.as_ref().unwrap().matches[0];
+        assert!(m.arms[0].is_catch_all());
+    }
+
+    #[test]
+    fn lets_with_types_and_float_inits() {
+        let it = items(
+            "fn f() {\n    let freq_mhz: f64 = x();\n    let mut acc = 0.0;\n    let n = 3;\n    let Some(v) = opt else { return };\n    let b = 2.0f64.to_bits();\n}\n",
+        );
+        let lets = &it.fns[0].body.as_ref().unwrap().lets;
+        assert_eq!(lets.len(), 4);
+        assert_eq!(lets[0].name, "freq_mhz");
+        assert_eq!(lets[0].ty.as_deref(), Some(&["f64".to_string()][..]));
+        assert!(lets[1].float_init);
+        assert!(!lets[2].float_init);
+        // `2.0f64.to_bits()` is a method call on the literal — not a
+        // raw float binding.
+        assert_eq!(lets[3].name, "b");
+        assert!(!lets[3].float_init);
+    }
+
+    #[test]
+    fn integer_suffixes_are_not_float_literals() {
+        let toks = tokenize(&SourceFile::parse(
+            "fn f() { let a = 0usize; let b = 1e9; let c = 2E-3; let d = 7u32; }\n",
+        ));
+        let lit = |t: &str| {
+            toks.iter()
+                .find(|k| k.text == t)
+                .unwrap_or_else(|| panic!("token {t} missing"))
+                .is_float_literal()
+        };
+        assert!(!lit("0usize"));
+        assert!(!lit("7u32"));
+        assert!(lit("1e9"));
+        assert!(lit("2E-3"));
+    }
+
+    #[test]
+    fn raw_strings_cannot_fake_items() {
+        let it = items("fn real() { let s = r#\"fn bomb() { panic!() }\"#; }\n");
+        assert_eq!(it.fns.len(), 1);
+        assert_eq!(it.fns[0].name, "real");
+    }
+
+    #[test]
+    fn where_clauses_and_bodiless_trait_fns() {
+        let it = items(
+            "trait T {\n    fn sig(&self, x_db: f64) -> f64;\n    fn with_default(&self) -> u8 where Self: Sized { 0 }\n}\n",
+        );
+        assert_eq!(it.fns.len(), 2);
+        assert!(it.fns[0].body.is_none());
+        assert!(it.fns[1].body.is_some());
+    }
+
+    #[test]
+    fn cfg_test_items_are_marked() {
+        let it = items("fn live() {}\n#[cfg(test)]\nmod tests {\n    fn inner() {}\n}\n");
+        assert!(!it.fns[0].in_test);
+        assert!(it.fns[1].in_test);
+    }
+
+    #[test]
+    fn tuple_struct_and_unit_struct() {
+        let it = items("pub struct Wrapper(pub f64);\nstruct Marker;\n");
+        assert_eq!(it.structs[0].fields.len(), 1);
+        assert!(it.structs[0].fields[0].ty_is("f64"));
+        assert!(it.structs[1].fields.is_empty());
+    }
+
+    #[test]
+    fn use_trees_are_captured() {
+        let it = items("use std::collections::{BTreeMap, BTreeSet};\n");
+        assert_eq!(it.uses.len(), 1);
+        assert!(it.uses[0].tree.join(" ").contains("BTreeMap"));
+    }
+}

@@ -1,0 +1,35 @@
+//! Rule `dead-allow`: the `// nomc-lint: allow(rule)` escape hatch is
+//! tolerable only while its inventory is honest. A directive that
+//! suppresses *zero* diagnostics is dead weight — usually a leftover
+//! from a fixed violation — and silently widens the hole for the next
+//! edit on that line. The lint pipeline therefore accounts for every
+//! directive: each `(directive, rule)` pair must consume at least one
+//! diagnostic, and unconsumed pairs (including unknown rule names,
+//! which can never consume anything) are reported *as errors under
+//! this rule id*.
+//!
+//! `dead-allow` diagnostics are themselves unsuppressible: they are
+//! produced after allow accounting, so `allow(dead-allow)` never
+//! matches anything — and is thus reported dead, which is the point.
+//!
+//! The detection logic lives in the crate root's pipeline (it needs
+//! the full diagnostic set *before* suppression); this module owns the
+//! rule id and message shapes so they stay next to the other rules.
+
+pub const RULE: &str = "dead-allow";
+
+/// Message for a directive rule that suppressed nothing.
+pub fn dead_message(rule: &str) -> String {
+    format!(
+        "`allow({rule})` suppresses no `{rule}` diagnostic; delete the stale \
+         directive (fixed violations must not leave their escape hatch behind)"
+    )
+}
+
+/// Message for a directive naming a rule id that does not exist.
+pub fn unknown_rule_message(rule: &str) -> String {
+    format!(
+        "`allow({rule})` names an unknown rule; see `nomc-lint --list-rules` \
+         for valid rule ids"
+    )
+}

@@ -11,23 +11,24 @@
 //! on the dependency line or the line above.
 
 use crate::diag::Diagnostic;
-use crate::source::comment_allows;
+use crate::source::{parse_directive, Directive};
 
 pub const RULE: &str = "dep-audit";
 
+/// Raw findings, *before* allow-directive suppression — the pipeline in
+/// the crate root applies [`directives`] so consumption is accounted
+/// (a `# nomc-lint: allow(dep-audit)` that suppresses nothing is a
+/// `dead-allow` error like any other).
 pub fn check(rel_path: &str, content: &str, out: &mut Vec<Diagnostic>) {
     let mut section = String::new();
-    let mut prev_line_allows = false;
     for (idx, raw) in content.lines().enumerate() {
-        let (code, comment) = split_toml_comment(raw);
-        let allowed = prev_line_allows || comment_allows(comment, RULE);
-        prev_line_allows = code.trim().is_empty() && comment_allows(comment, RULE);
+        let (code, _comment) = split_toml_comment(raw);
         let t = code.trim();
         if t.starts_with('[') {
             section = t.trim_matches(['[', ']']).trim().to_string();
             continue;
         }
-        if !is_dep_section(&section) || allowed {
+        if !is_dep_section(&section) {
             continue;
         }
         let Some((lhs, rhs)) = t.split_once('=') else {
@@ -77,6 +78,32 @@ fn is_dep_section(section: &str) -> bool {
         || section.ends_with(".dependencies")
         || section.ends_with(".dev-dependencies")
         || section.ends_with(".build-dependencies")
+}
+
+/// The allow directives of a TOML manifest (`# nomc-lint: allow(…)`
+/// comments), with the same coverage shape as Rust sources: a trailing
+/// directive covers its own line; a pure comment line covers itself
+/// and the next line.
+pub fn directives(content: &str) -> Vec<Directive> {
+    let mut out = Vec::new();
+    for (idx, raw) in content.lines().enumerate() {
+        let (code, comment) = split_toml_comment(raw);
+        let Some(rules) = parse_directive(comment) else {
+            continue;
+        };
+        let at = idx + 1;
+        let covers = if code.trim().is_empty() {
+            vec![at, at + 1]
+        } else {
+            vec![at]
+        };
+        out.push(Directive {
+            line: at,
+            rules,
+            covers,
+        });
+    }
+    out
 }
 
 /// Splits a TOML line into (code, comment) at the first `#` outside a
@@ -139,8 +166,13 @@ mod tests {
     }
 
     #[test]
-    fn allow_comment_suppresses() {
-        let toml = "[dependencies]\n# nomc-lint: allow(dep-audit)\nvendored = { path = \"../vendored\" }\nother = { path = \"../other\" } # nomc-lint: allow(dep-audit)\n";
-        assert!(lint(toml).is_empty());
+    fn toml_directives_are_extracted_with_coverage() {
+        let toml = "[dependencies]\n# nomc-lint: allow(dep-audit)\nserde = \"1.0\"\nrand = \"0.8\" # nomc-lint: allow(dep-audit)\n";
+        let d = directives(toml);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0].covers, vec![2, 3]);
+        assert_eq!(d[1].covers, vec![4]);
+        // Raw findings ignore the directives; the pipeline suppresses.
+        assert_eq!(lint(toml).len(), 2);
     }
 }

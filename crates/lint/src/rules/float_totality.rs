@@ -1,0 +1,307 @@
+//! Rule `float-totality`: `f64` has a *partial* order — `NaN` makes
+//! `==`/`<` lie — and bit-identical reproduction means float decisions
+//! must be total and explicit. In the simulation code paths (`sim`,
+//! `phy`, `mac`, `core`, `experiments`) the rule flags:
+//!
+//! - `.partial_cmp(…)` method calls — use `total_cmp` (total over every
+//!   bit pattern, including `NaN` and `-0.0`) or compare unit newtypes;
+//! - `==`/`!=` comparisons where an operand is visibly `f64`: a float
+//!   literal, or an identifier the item parser proved to be a raw `f64`
+//!   (fn parameter, `let` binding, or same-file struct field).
+//!
+//! The sanctioned replacements are epsilon-free and bit-exact, so
+//! every fix is behavior-preserving on non-NaN inputs (DESIGN.md §8):
+//!
+//! - `x == 0.0`  →  `x.abs().to_bits() == 0` (true for ±0, false for
+//!   NaN — exactly IEEE `==`);
+//! - `x == C` for a nonzero literal `C`  →  `x.to_bits() ==
+//!   f64::to_bits(C)` (identical when `x` is produced by the same
+//!   computation that produced `C`; NaN compares false either way);
+//! - ordering  →  `a.total_cmp(&b)`.
+//!
+//! `fn partial_cmp` *definitions* (`impl PartialOrd`) are not calls and
+//! are not flagged. Operands the parser cannot classify (call results,
+//! parenthesised expressions) are skipped: the rule is deliberately
+//! precise-over-complete, because every hit must be fixed, not allowed.
+
+use crate::diag::Diagnostic;
+use crate::parser::{Items, Token, TokenKind};
+use std::collections::BTreeSet;
+
+pub const RULE: &str = "float-totality";
+
+const SCOPES: &[&str] = &[
+    "crates/sim/src/",
+    "crates/phy/src/",
+    "crates/mac/src/",
+    "crates/core/src/",
+    "crates/experiments/src/",
+];
+
+pub fn in_scope(rel_path: &str) -> bool {
+    SCOPES.iter().any(|s| rel_path.starts_with(s))
+}
+
+pub fn check(rel_path: &str, tokens: &[Token], items: &Items, out: &mut Vec<Diagnostic>) {
+    if !in_scope(rel_path) {
+        return;
+    }
+    // Identifiers the parser proved to be raw `f64`s in this file.
+    let mut bare: BTreeSet<&str> = BTreeSet::new();
+    let mut fields: BTreeSet<&str> = BTreeSet::new();
+    for f in &items.fns {
+        if f.in_test {
+            continue;
+        }
+        for p in &f.params {
+            if p.ty_is("f64") {
+                bare.insert(&p.name);
+            }
+        }
+        if let Some(body) = &f.body {
+            for l in &body.lets {
+                let is_f64 = match &l.ty {
+                    Some(ty) => ty.len() == 1 && ty[0] == "f64",
+                    None => l.float_init,
+                };
+                if is_f64 {
+                    bare.insert(&l.name);
+                }
+            }
+        }
+    }
+    for s in items.structs.iter().filter(|s| !s.in_test) {
+        for field in &s.fields {
+            if field.ty_is("f64") {
+                fields.insert(&field.name);
+            }
+        }
+    }
+    for e in items.enums.iter().filter(|e| !e.in_test) {
+        for v in &e.variants {
+            for field in &v.fields {
+                if field.ty_is("f64") {
+                    fields.insert(&field.name);
+                }
+            }
+        }
+    }
+
+    for (i, t) in tokens.iter().enumerate() {
+        if t.in_test || t.kind != TokenKind::Punct {
+            continue;
+        }
+        // `.partial_cmp(` — a method call, never the `impl PartialOrd`
+        // definition (that is `fn partial_cmp`).
+        if t.text == "."
+            && tokens.get(i + 1).is_some_and(|n| n.is_ident("partial_cmp"))
+            && tokens.get(i + 2).is_some_and(|n| n.text == "(")
+        {
+            out.push(Diagnostic::new(
+                rel_path,
+                tokens[i + 1].line,
+                RULE,
+                "`.partial_cmp()` on floats is a partial order (NaN breaks it); \
+                 use `total_cmp` or compare unit newtypes"
+                    .to_string(),
+            ));
+            continue;
+        }
+        if t.text != "==" && t.text != "!=" {
+            continue;
+        }
+        let left = left_operand_is_f64(tokens, i, &bare, &fields);
+        let right = right_operand_is_f64(tokens, i, &bare, &fields);
+        if left || right {
+            out.push(Diagnostic::new(
+                rel_path,
+                t.line,
+                RULE,
+                format!(
+                    "`{}` on a raw `f64` is exact-bits-sensitive and NaN-partial; \
+                     compare via `to_bits()` (see DESIGN.md §8) or a unit newtype",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+/// Classifies the operand ending just before `tokens[op]`.
+fn left_operand_is_f64(
+    tokens: &[Token],
+    op: usize,
+    bare: &BTreeSet<&str>,
+    fields: &BTreeSet<&str>,
+) -> bool {
+    let Some(k) = op.checked_sub(1) else {
+        return false;
+    };
+    let t = &tokens[k];
+    if t.is_float_literal() {
+        // Not a tuple index (`.0`): the tokenizer only gives float
+        // shape to literals with their own fraction/suffix.
+        return true;
+    }
+    if t.kind != TokenKind::Ident {
+        return false;
+    }
+    let after_dot = k > 0 && tokens[k - 1].text == ".";
+    if after_dot {
+        return fields.contains(t.text.as_str());
+    }
+    // A bare identifier: its own token must start the operand (not a
+    // path segment like `f64::NAN` — `::` before it disqualifies).
+    if k > 0 && tokens[k - 1].text == "::" {
+        return false;
+    }
+    bare.contains(t.text.as_str())
+}
+
+/// Classifies the operand starting just after `tokens[op]`.
+fn right_operand_is_f64(
+    tokens: &[Token],
+    op: usize,
+    bare: &BTreeSet<&str>,
+    fields: &BTreeSet<&str>,
+) -> bool {
+    let mut j = op + 1;
+    if tokens.get(j).is_some_and(|t| t.text == "-") {
+        j += 1;
+    }
+    let Some(t) = tokens.get(j) else {
+        return false;
+    };
+    if t.is_float_literal() {
+        // `2.0f64.to_bits()` is a method call on the literal, not a
+        // float comparison operand.
+        return tokens.get(j + 1).is_none_or(|n| n.text != ".");
+    }
+    if t.kind != TokenKind::Ident {
+        return false;
+    }
+    // Walk the `a.b.c` chain; reject paths (`X::Y`) and calls.
+    let mut last = j;
+    let mut dotted = false;
+    loop {
+        match tokens.get(last + 1).map(|t| t.text.as_str()) {
+            Some("::") => return false,
+            Some("(") => return false,
+            Some(".") => {
+                let Some(n) = tokens.get(last + 2) else {
+                    return false;
+                };
+                if n.kind != TokenKind::Ident {
+                    return false;
+                }
+                dotted = true;
+                last += 2;
+            }
+            _ => break,
+        }
+    }
+    let name = tokens[last].text.as_str();
+    if dotted {
+        fields.contains(name)
+    } else {
+        bare.contains(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser;
+    use crate::source::SourceFile;
+
+    fn lint(src: &str) -> Vec<Diagnostic> {
+        let sf = SourceFile::parse(src);
+        let items = parser::parse(&sf);
+        let tokens = parser::tokenize(&sf);
+        let mut out = Vec::new();
+        check("crates/phy/src/fixture.rs", &tokens, &items, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_partial_cmp_calls() {
+        let d = lint("fn f(a: f64, b: f64) -> Ordering { a.partial_cmp(&b).expect(\"finite\") }\n");
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("total_cmp"));
+    }
+
+    #[test]
+    fn partial_cmp_definitions_are_not_calls() {
+        let src = "impl PartialOrd for S {\n    fn partial_cmp(&self, other: &S) -> Option<Ordering> {\n        Some(self.cmp(other))\n    }\n}\n";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn flags_float_literal_comparisons() {
+        let d = lint("fn f(p: f64) -> bool { p == 0.0 }\n");
+        assert_eq!(d.len(), 1);
+        let d = lint("fn f(t: f64) -> bool { t != -77.0 }\n");
+        assert_eq!(d.len(), 1);
+        let d = lint("fn f(t: f64) -> bool { 1.5e3 == t }\n");
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn flags_known_f64_idents_and_fields() {
+        let d = lint("fn f(sigma: f64, n: u64) -> bool { sigma == sigma }\n");
+        assert_eq!(d.len(), 1);
+        let d = lint(
+            "struct M { cutoff: f64 }\nimpl M {\n    fn f(&self, x: f64) -> bool { x == self.cutoff }\n}\n",
+        );
+        assert_eq!(d.len(), 1);
+        let d = lint("fn f() { let acc = 0.0; if acc == limit() {} }\n");
+        // `limit()` is a call (skipped) but `acc` is a float-literal let.
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn integer_and_unknown_comparisons_pass() {
+        assert!(lint("fn f(a: u64, b: u64) -> bool { a == b && a != 3 }\n").is_empty());
+        assert!(lint("fn f(s: &str) -> bool { s == \"x\" }\n").is_empty());
+    }
+
+    #[test]
+    fn bits_comparisons_are_the_sanctioned_form() {
+        let src = "fn f(p: f64) -> bool {\n    p.abs().to_bits() == 0 && p.to_bits() == f64::to_bits(1.0)\n}\n";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn tuple_index_zero_is_not_a_float_literal() {
+        // `points[0].0 != 0.0` must be flagged for the float literal on
+        // the right, not misread on the left.
+        let d = lint("fn f(points: &[(f64, f64)]) -> bool { points[0].0 != 0.0 }\n");
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn newtype_equality_passes() {
+        let src = "struct M { sigma_db: Db }\nimpl M {\n    fn f(&self) -> bool { self.sigma_db == Db::ZERO }\n}\n";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t(p: f64) -> bool { p == 0.5 }\n}\n";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn scope_covers_sim_phy_mac_core_experiments() {
+        for path in [
+            "crates/sim/src/medium.rs",
+            "crates/phy/src/ber.rs",
+            "crates/mac/src/csma.rs",
+            "crates/core/src/adjustor.rs",
+            "crates/experiments/src/experiments/fig06.rs",
+        ] {
+            assert!(in_scope(path), "{path} must be in scope");
+        }
+        assert!(!in_scope("crates/bench/src/harness.rs"));
+    }
+}

@@ -2,8 +2,12 @@
 //! over workspace-relative paths, and a `check` that appends
 //! [`crate::Diagnostic`]s.
 
+pub mod dead_allow;
 pub mod dep_audit;
 pub mod determinism;
+pub mod exhaustive_dispatch;
+pub mod float_totality;
+pub mod observer_purity;
 pub mod panic_hygiene;
 pub mod unit_safety;
 
@@ -13,6 +17,10 @@ pub const ALL: &[&str] = &[
     unit_safety::RULE,
     panic_hygiene::RULE,
     dep_audit::RULE,
+    float_totality::RULE,
+    observer_purity::RULE,
+    exhaustive_dispatch::RULE,
+    dead_allow::RULE,
 ];
 
 /// True when `code[pos..]` starts with `word` as a whole identifier

@@ -1,0 +1,219 @@
+//! Rule `observer-purity`: the sim runtime's non-perturbation guarantee
+//! — attaching a `SimObserver` sink never changes the event stream —
+//! is only testable if observers cannot mutate anything but themselves
+//! through the `&mut self` the engine hands them. Interior mutability
+//! (`Cell`, `RefCell`, `Mutex`, `RwLock`, raw atomics, lazy cells)
+//! inside an observer would let a `&self` callback smuggle state
+//! writes past that contract, and shared-`&mut` side channels in the
+//! callback signatures would let one sink perturb another. For every
+//! `impl SimObserver for X` the rule therefore checks:
+//!
+//! - `X`'s fields (the struct must be declared in the same file so the
+//!   parser can see them) contain no interior-mutability type;
+//! - every callback receiver is `&self` or `&mut self` — never
+//!   by-value or `self: Box<Self>`;
+//! - no callback takes a `&mut` *non-receiver* parameter: mutation is
+//!   confined to the sink itself.
+
+use crate::diag::Diagnostic;
+use crate::parser::{FnItem, Items};
+
+pub const RULE: &str = "observer-purity";
+
+/// The observer trait whose impls are audited.
+const TRAIT: &str = "SimObserver";
+
+/// Interior-mutability types that would break the purity contract.
+const BANNED_TYPES: &[&str] = &[
+    "Cell",
+    "RefCell",
+    "UnsafeCell",
+    "OnceCell",
+    "LazyCell",
+    "OnceLock",
+    "LazyLock",
+    "Mutex",
+    "RwLock",
+];
+
+pub fn in_scope(rel_path: &str) -> bool {
+    rel_path.starts_with("crates/") && rel_path.contains("/src/")
+}
+
+pub fn check(rel_path: &str, items: &Items, out: &mut Vec<Diagnostic>) {
+    if !in_scope(rel_path) {
+        return;
+    }
+    for im in &items.impls {
+        if im.in_test || im.trait_name.as_deref() != Some(TRAIT) {
+            continue;
+        }
+        let self_name = im.self_ty_name();
+        match items.structs.iter().find(|s| s.name == self_name) {
+            Some(st) => {
+                for field in &st.fields {
+                    if let Some(banned) = field
+                        .ty
+                        .iter()
+                        .find(|t| BANNED_TYPES.contains(&t.as_str()) || t.starts_with("Atomic"))
+                    {
+                        out.push(Diagnostic::new(
+                            rel_path,
+                            field.line,
+                            RULE,
+                            format!(
+                                "`{self_name}` implements `{TRAIT}` but field `{}` \
+                                 contains `{banned}`; interior mutability lets a \
+                                 sink bypass the &mut-self purity contract",
+                                display_name(&field.name),
+                            ),
+                        ));
+                    }
+                }
+            }
+            None => out.push(Diagnostic::new(
+                rel_path,
+                im.line,
+                RULE,
+                format!(
+                    "`impl {TRAIT} for {self_name}` but `{self_name}` is not declared \
+                     in this file; declare the sink next to its impl so its fields \
+                     can be purity-checked"
+                ),
+            )),
+        }
+        for f in &im.fns {
+            check_callback(rel_path, self_name, f, out);
+        }
+    }
+}
+
+fn check_callback(rel_path: &str, self_name: &str, f: &FnItem, out: &mut Vec<Diagnostic>) {
+    match &f.receiver {
+        Some(recv) => {
+            // `&self` / `&mut self` (with optional lifetime) are the
+            // only pure shapes; by-value or `self: Box<Self>` moves the
+            // sink out of the engine's control.
+            if recv.first().map(String::as_str) != Some("&") {
+                out.push(Diagnostic::new(
+                    rel_path,
+                    f.line,
+                    RULE,
+                    format!(
+                        "`{self_name}::{}` takes `{}`; {TRAIT} callbacks must borrow \
+                         the sink (`&self`/`&mut self`)",
+                        f.name,
+                        recv.join(" "),
+                    ),
+                ));
+            }
+        }
+        None => out.push(Diagnostic::new(
+            rel_path,
+            f.line,
+            RULE,
+            format!(
+                "`{self_name}::{}` has no receiver; {TRAIT} callbacks must take \
+                 `&self`/`&mut self`",
+                f.name
+            ),
+        )),
+    }
+    for p in &f.params {
+        if p.ty.first().map(String::as_str) == Some("&")
+            && p.ty.get(1).map(String::as_str) == Some("mut")
+        {
+            out.push(Diagnostic::new(
+                rel_path,
+                p.line,
+                RULE,
+                format!(
+                    "`{self_name}::{}` takes `&mut` parameter `{}`; mutation must be \
+                     confined to the sink itself (payloads are `&`)",
+                    f.name, p.name
+                ),
+            ));
+        }
+    }
+}
+
+fn display_name(name: &str) -> &str {
+    if name.is_empty() {
+        "<tuple field>"
+    } else {
+        name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser;
+    use crate::source::SourceFile;
+
+    fn lint(src: &str) -> Vec<Diagnostic> {
+        let items = parser::parse(&SourceFile::parse(src));
+        let mut out = Vec::new();
+        check("crates/sim/src/runtime/sinks.rs", &items, &mut out);
+        out
+    }
+
+    #[test]
+    fn pure_sink_passes() {
+        let src = "pub struct Metrics { count: u64, window: Vec<f64> }\nimpl SimObserver for Metrics {\n    fn on_event(&mut self, ev: &Event) { self.count += 1; }\n    fn wants_trace(&self) -> bool { false }\n}\n";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn interior_mutability_fields_are_flagged() {
+        let src = "struct Sneaky {\n    hits: Cell<u64>,\n    buf: RefCell<Vec<u8>>,\n    n: AtomicU64,\n}\nimpl SimObserver for Sneaky {\n    fn on_event(&mut self) {}\n}\n";
+        let d = lint(src);
+        assert_eq!(d.len(), 3);
+        assert_eq!(d[0].line, 2);
+        assert!(d[0].message.contains("Cell"));
+        assert!(d[2].message.contains("Atomic"));
+    }
+
+    #[test]
+    fn nested_interior_mutability_is_flagged() {
+        let src = "struct S { state: Arc<Mutex<u64>> }\nimpl SimObserver for S { fn on_event(&mut self) {} }\n";
+        let d = lint(src);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("Mutex"));
+    }
+
+    #[test]
+    fn struct_declared_elsewhere_is_flagged() {
+        let d = lint("impl SimObserver for Remote { fn on_event(&mut self) {} }\n");
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("not declared in this file"));
+    }
+
+    #[test]
+    fn by_value_receiver_is_flagged() {
+        let src = "struct S { n: u64 }\nimpl SimObserver for S {\n    fn on_run_end(self) {}\n}\n";
+        let d = lint(src);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("borrow the sink"));
+    }
+
+    #[test]
+    fn mut_payload_params_are_flagged() {
+        let src = "struct S { n: u64 }\nimpl SimObserver for S {\n    fn on_event(&mut self, ev: &mut Event) {}\n}\n";
+        let d = lint(src);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("&mut"));
+    }
+
+    #[test]
+    fn other_impls_are_not_audited() {
+        let src = "struct S { hits: Cell<u64> }\nimpl OtherTrait for S { fn f(&mut self, x: &mut u8) {} }\nimpl S { fn g(&mut self, x: &mut u8) { *x = 1; } }\n";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn test_impls_are_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    struct T { c: Cell<u64> }\n    impl SimObserver for T { fn on_event(&mut self) {} }\n}\n";
+        assert!(lint(src).is_empty());
+    }
+}

@@ -1,27 +1,29 @@
-//! Rule `unit-safety`: public functions in the physical-layer crates
-//! (`phy`, `mac`, `core`, `radio`) must not take raw `f64` parameters
-//! whose names carry a physical unit (`_dbm`, `_mhz`, `_secs`, `rssi`,
-//! …). The workspace has `nomc-units` newtypes (`Dbm`, `Db`,
-//! `Megahertz`, `SimDuration`, `Meters`, …) precisely so that a dBm
-//! value cannot be passed where a dB offset is expected; raw `f64`s at
-//! public API boundaries reopen that hole.
+//! Rule `unit-safety` (v2): unit-carrying quantities live behind
+//! `nomc-units` newtypes (`Dbm`, `Db`, `Megahertz`, `SimDuration`, …)
+//! precisely so that a dBm value cannot be passed where a dB offset is
+//! expected. A raw `f64` whose *name* carries a physical unit
+//! (`_dbm`, `_mhz`, `rssi`, …) reopens that hole, so across every
+//! non-test crate the rule flags:
 //!
-//! Dimensionless `f64` parameters (probabilities, exponents, ratios)
-//! are fine — the rule only fires when a `_`-separated segment of the
-//! parameter name is a unit token.
+//! - public `fn` parameters of type `f64` with unit-named identifiers
+//!   (the v1 check, now parser-based and workspace-wide);
+//! - `struct`/`enum` fields of type `f64` with unit-named identifiers —
+//!   a raw field leaks through every API that exposes the struct;
+//! - `let` bindings with unit-named identifiers that are explicitly
+//!   `f64`-typed or initialized from a float literal.
+//!
+//! `crates/units/src/` itself is exempt: it is the designated raw-value
+//! boundary — the newtypes must store and accept naked `f64`s
+//! somewhere, and that somewhere is exactly one crate.
+//!
+//! Dimensionless `f64`s (probabilities, exponents, ratios) are fine —
+//! the rule only fires when a `_`-separated segment of the name is a
+//! unit token.
 
 use crate::diag::Diagnostic;
-use crate::rules::{is_ident_at, is_ident_byte};
-use crate::source::SourceFile;
+use crate::parser::Items;
 
 pub const RULE: &str = "unit-safety";
-
-const SCOPES: &[&str] = &[
-    "crates/phy/src/",
-    "crates/mac/src/",
-    "crates/core/src/",
-    "crates/radio/src/",
-];
 
 /// Unit vocabulary, matched against `_`-separated name segments.
 const VOCAB: &[&str] = &[
@@ -49,214 +51,114 @@ const VOCAB: &[&str] = &[
     "nanos",
 ];
 
-pub fn in_scope(rel_path: &str) -> bool {
-    SCOPES.iter().any(|s| rel_path.starts_with(s))
+/// Whether a `_`-separated segment of `name` is a unit token.
+pub fn is_unit_named(name: &str) -> bool {
+    name.split('_').any(|seg| VOCAB.contains(&seg))
 }
 
-pub fn check(rel_path: &str, sf: &SourceFile, out: &mut Vec<Diagnostic>) {
+pub fn in_scope(rel_path: &str) -> bool {
+    rel_path.starts_with("crates/")
+        && rel_path.contains("/src/")
+        && !rel_path.starts_with("crates/units/src/")
+}
+
+pub fn check(rel_path: &str, items: &Items, out: &mut Vec<Diagnostic>) {
     if !in_scope(rel_path) {
         return;
     }
-    // Join non-test code lines (test lines become empty) so signatures
-    // spanning lines parse naturally; remember where each line starts.
-    let mut text = String::new();
-    let mut line_of = Vec::new(); // (byte offset of line start, 1-based line)
-    for (idx, line) in sf.lines.iter().enumerate() {
-        line_of.push((text.len(), idx + 1));
-        if !line.in_test {
-            text.push_str(&line.code);
+    for f in &items.fns {
+        if f.in_test {
+            continue;
         }
-        text.push('\n');
+        if !f.vis.is_empty() {
+            for p in &f.params {
+                if p.ty_is("f64") && is_unit_named(&p.name) {
+                    out.push(Diagnostic::new(
+                        rel_path,
+                        p.line,
+                        RULE,
+                        format!(
+                            "public fn `{}` takes raw `f64` parameter `{}` carrying a \
+                             unit in its name; use the matching nomc-units newtype",
+                            f.name, p.name
+                        ),
+                    ));
+                }
+            }
+        }
+        if let Some(body) = &f.body {
+            for l in &body.lets {
+                let raw_f64 = match &l.ty {
+                    Some(ty) => ty.len() == 1 && ty[0] == "f64",
+                    None => l.float_init,
+                };
+                if raw_f64 && is_unit_named(&l.name) {
+                    out.push(Diagnostic::new(
+                        rel_path,
+                        l.line,
+                        RULE,
+                        format!(
+                            "`let {}` binds a raw `f64` carrying a unit in its name; \
+                             use the matching nomc-units newtype",
+                            l.name
+                        ),
+                    ));
+                }
+            }
+        }
     }
-    let to_line = |offset: usize| -> usize {
-        match line_of.binary_search_by_key(&offset, |&(o, _)| o) {
-            Ok(i) => line_of[i].1,
-            Err(i) => line_of[i - 1].1,
-        }
-    };
-
-    let bytes = text.as_bytes();
-    let mut from = 0;
-    while let Some(rel) = text[from..].find("pub") {
-        let pos = from + rel;
-        from = pos + 3;
-        if !is_ident_at(&text, pos, "pub") {
+    for s in &items.structs {
+        if s.in_test {
             continue;
         }
-        let Some((fn_name, params)) = parse_pub_fn(&text, bytes, pos + 3) else {
-            continue;
-        };
-        for param in split_top_level(params, ',') {
-            let Some((pat, ty)) = split_once_top_level(param, ':') else {
-                continue;
-            };
-            if ty.trim() != "f64" {
-                continue;
-            }
-            let name = pat
-                .trim()
-                .rsplit(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
-                .next()
-                .unwrap_or("")
-                .to_string();
-            if name.is_empty() || name == "_" {
-                continue;
-            }
-            let lower = name.to_ascii_lowercase();
-            if lower.split('_').any(|seg| VOCAB.contains(&seg)) {
+        for field in &s.fields {
+            if field.ty_is("f64") && is_unit_named(&field.name) {
                 out.push(Diagnostic::new(
                     rel_path,
-                    to_line(pos),
+                    field.line,
                     RULE,
                     format!(
-                        "public fn `{fn_name}` takes unit-carrying raw f64 parameter \
-                         `{name}`; use the nomc-units newtype (Dbm, Db, Megahertz, \
-                         SimDuration, Meters, …)"
+                        "field `{}.{}` is a raw `f64` carrying a unit in its name; \
+                         use the matching nomc-units newtype",
+                        s.name, field.name
                     ),
                 ));
             }
         }
     }
-}
-
-/// From just after a `pub` keyword, parses an optional visibility
-/// restriction + qualifiers + `fn name <generics> ( params )`.
-/// Returns `(name, params)` or `None` if this `pub` is not a function.
-fn parse_pub_fn<'a>(text: &'a str, bytes: &[u8], mut i: usize) -> Option<(&'a str, &'a str)> {
-    i = skip_ws(bytes, i);
-    // pub(crate), pub(in path), …
-    if bytes.get(i) == Some(&b'(') {
-        i = skip_group(bytes, i, b'(', b')')?;
-        i = skip_ws(bytes, i);
-    }
-    // Qualifiers before `fn`.
-    loop {
-        let start = i;
-        while bytes.get(i).is_some_and(|&b| is_ident_byte(b)) {
-            i += 1;
+    for e in &items.enums {
+        if e.in_test {
+            continue;
         }
-        let word = &text[start..i];
-        match word {
-            "fn" => break,
-            "const" | "unsafe" | "async" | "extern" => {
-                i = skip_ws(bytes, i);
-                if bytes.get(i) == Some(&b'"') {
-                    // extern "C"
-                    i += 1;
-                    while bytes.get(i).is_some_and(|&b| b != b'"') {
-                        i += 1;
-                    }
-                    i += 1;
-                    i = skip_ws(bytes, i);
+        for v in &e.variants {
+            for field in &v.fields {
+                if field.ty_is("f64") && is_unit_named(&field.name) {
+                    out.push(Diagnostic::new(
+                        rel_path,
+                        field.line,
+                        RULE,
+                        format!(
+                            "field `{}::{}.{}` is a raw `f64` carrying a unit in its \
+                             name; use the matching nomc-units newtype",
+                            e.name, v.name, field.name
+                        ),
+                    ));
                 }
             }
-            _ => return None, // pub struct / pub use / pub mod / …
-        }
-        if word == "fn" {
-            break;
         }
     }
-    i = skip_ws(bytes, i);
-    let name_start = i;
-    while bytes.get(i).is_some_and(|&b| is_ident_byte(b)) {
-        i += 1;
-    }
-    if i == name_start {
-        return None;
-    }
-    let name = &text[name_start..i];
-    i = skip_ws(bytes, i);
-    // Generics (may contain `Fn(f64) -> f64`; `->` must not close `<`).
-    if bytes.get(i) == Some(&b'<') {
-        let mut depth = 0i32;
-        while i < bytes.len() {
-            match bytes[i] {
-                b'<' => depth += 1,
-                b'>' if i > 0 && bytes[i - 1] == b'-' => {}
-                b'>' => {
-                    depth -= 1;
-                    if depth == 0 {
-                        i += 1;
-                        break;
-                    }
-                }
-                _ => {}
-            }
-            i += 1;
-        }
-        i = skip_ws(bytes, i);
-    }
-    if bytes.get(i) != Some(&b'(') {
-        return None;
-    }
-    let end = skip_group(bytes, i, b'(', b')')?;
-    Some((name, &text[i + 1..end - 1]))
-}
-
-fn skip_ws(bytes: &[u8], mut i: usize) -> usize {
-    while bytes.get(i).is_some_and(|b| b.is_ascii_whitespace()) {
-        i += 1;
-    }
-    i
-}
-
-/// From an opening delimiter at `i`, returns the index just past its
-/// matching closer.
-fn skip_group(bytes: &[u8], mut i: usize, open: u8, close: u8) -> Option<usize> {
-    let mut depth = 0i32;
-    while i < bytes.len() {
-        if bytes[i] == open {
-            depth += 1;
-        } else if bytes[i] == close {
-            depth -= 1;
-            if depth == 0 {
-                return Some(i + 1);
-            }
-        }
-        i += 1;
-    }
-    None
-}
-
-/// Splits on `sep` at bracket/angle depth 0 (`->` protects its `>`).
-fn split_top_level(s: &str, sep: char) -> Vec<&str> {
-    let mut out = Vec::new();
-    let mut depth = 0i32;
-    let mut start = 0;
-    let bytes = s.as_bytes();
-    for (i, &b) in bytes.iter().enumerate() {
-        match b {
-            b'(' | b'[' | b'<' => depth += 1,
-            b'>' if i > 0 && bytes[i - 1] == b'-' => {}
-            b')' | b']' | b'>' => depth -= 1,
-            _ if b == sep as u8 && depth == 0 => {
-                out.push(&s[start..i]);
-                start = i + 1;
-            }
-            _ => {}
-        }
-    }
-    out.push(&s[start..]);
-    out
-}
-
-fn split_once_top_level(s: &str, sep: char) -> Option<(&str, &str)> {
-    let parts = split_top_level(s, sep);
-    if parts.len() < 2 {
-        return None;
-    }
-    let first = parts[0];
-    Some((first, &s[first.len() + 1..]))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::parser;
+    use crate::source::SourceFile;
 
     fn lint(src: &str) -> Vec<Diagnostic> {
-        let sf = SourceFile::parse(src);
+        let items = parser::parse(&SourceFile::parse(src));
         let mut out = Vec::new();
-        check("crates/phy/src/fixture.rs", &sf, &mut out);
+        check("crates/phy/src/fixture.rs", &items, &mut out);
         out
     }
 
@@ -268,12 +170,12 @@ mod tests {
     }
 
     #[test]
-    fn multiline_signature_reports_fn_line() {
+    fn multiline_signature_reports_param_line() {
         let d = lint(
             "impl X {\n    pub fn set(\n        &mut self,\n        level_dbm: f64,\n    ) {}\n}\n",
         );
         assert_eq!(d.len(), 1);
-        assert_eq!(d[0].line, 2);
+        assert_eq!(d[0].line, 4);
     }
 
     #[test]
@@ -287,7 +189,7 @@ mod tests {
     }
 
     #[test]
-    fn private_fns_are_not_public_api() {
+    fn private_fn_params_are_not_public_api() {
         assert!(lint("fn helper(sigma_db: f64) {}\n").is_empty());
     }
 
@@ -303,10 +205,64 @@ mod tests {
     }
 
     #[test]
-    fn out_of_scope_crates_ignored() {
-        let sf = SourceFile::parse("pub fn new(freq_mhz: f64) {}\n");
+    fn struct_fields_are_covered() {
+        let d = lint("pub struct Model {\n    pub sigma_db: f64,\n    pub exponent: f64,\n}\n");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 2);
+        assert!(d[0].message.contains("Model.sigma_db"));
+    }
+
+    #[test]
+    fn enum_variant_fields_are_covered() {
+        let d = lint("pub enum E {\n    Cca { sensed_dbm: f64 },\n    Other(u8),\n}\n");
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("E::Cca.sensed_dbm"));
+    }
+
+    #[test]
+    fn newtype_fields_are_fine() {
+        assert!(
+            lint("pub struct Model { pub sigma_db: Db, pub freq_mhz: Megahertz }\n").is_empty()
+        );
+    }
+
+    #[test]
+    fn unit_named_lets_are_covered() {
+        let d = lint(
+            "fn f() {\n    let mut recover_ms = 0.0;\n    let freq_mhz: f64 = next();\n    let total = 0.0;\n    let span_ms = elapsed();\n}\n",
+        );
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0].line, 2);
+        assert_eq!(d[1].line, 3);
+    }
+
+    #[test]
+    fn test_items_are_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    pub fn t(freq_mhz: f64) { let x_db = 1.0; }\n    struct S { a_dbm: f64 }\n}\n";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn units_crate_is_the_raw_value_boundary() {
+        let items = parser::parse(&SourceFile::parse(
+            "pub fn from_secs_f64(secs: f64) -> Self { Self(secs) }\npub struct D { pub secs: f64 }\n",
+        ));
         let mut out = Vec::new();
-        check("crates/units/src/frequency.rs", &sf, &mut out);
+        check("crates/units/src/time.rs", &items, &mut out);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn all_non_test_crates_are_in_scope() {
+        for path in [
+            "crates/sim/src/trace.rs",
+            "crates/experiments/src/sweep/report.rs",
+            "crates/bench/src/harness.rs",
+            "crates/topology/src/placement.rs",
+        ] {
+            assert!(in_scope(path), "{path} must be in scope");
+        }
+        assert!(!in_scope("crates/units/src/power.rs"));
+        assert!(!in_scope("examples/quickstart.rs"));
     }
 }

@@ -53,22 +53,68 @@ impl SourceFile {
         get(line.checked_sub(2))
             .is_some_and(|l| l.code.trim().is_empty() && comment_allows(&l.comment, rule))
     }
+
+    /// Every allow directive in the file, with its 1-based line and the
+    /// 1-based lines it can suppress (its own line, plus the next line
+    /// when the directive is a pure comment line).
+    pub fn directives(&self) -> Vec<Directive> {
+        let mut out = Vec::new();
+        for (idx, line) in self.lines.iter().enumerate() {
+            let Some(rules) = parse_directive(&line.comment) else {
+                continue;
+            };
+            let at = idx + 1;
+            let covers = if line.code.trim().is_empty() {
+                vec![at, at + 1]
+            } else {
+                vec![at]
+            };
+            out.push(Directive {
+                line: at,
+                rules,
+                covers,
+            });
+        }
+        out
+    }
 }
 
-/// Parses `nomc-lint: allow(a, b, …)` out of comment text.
+/// One `// nomc-lint: allow(a, b, …)` escape hatch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Directive {
+    /// 1-based line of the directive comment.
+    pub line: usize,
+    /// The rule tokens inside `allow(…)`, verbatim (possibly unknown).
+    pub rules: Vec<String>,
+    /// The 1-based lines the directive can suppress diagnostics on.
+    pub covers: Vec<usize>,
+}
+
+/// Parses the rule list out of a `nomc-lint: allow(a, b, …)` directive.
+///
+/// The directive must be the *whole* comment (leading whitespace
+/// aside): prose that merely mentions the syntax — rustdoc describing
+/// the escape hatch, say — is not a directive. `//!`/`///` doc comments
+/// can therefore never carry one (their text starts with `!` or `/`).
+pub fn parse_directive(comment: &str) -> Option<Vec<String>> {
+    let rest = comment.trim().strip_prefix("nomc-lint:")?;
+    let rest = rest.trim_start().strip_prefix("allow(")?;
+    let close = rest.find(')')?;
+    let rules: Vec<String> = rest[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if rules.is_empty() {
+        None
+    } else {
+        Some(rules)
+    }
+}
+
+/// Whether comment text is an allow directive naming `rule`.
 pub fn comment_allows(comment: &str, rule: &str) -> bool {
-    let Some(at) = comment.find("nomc-lint:") else {
-        return false;
-    };
-    let rest = &comment[at + "nomc-lint:".len()..];
-    let Some(open) = rest.find("allow(") else {
-        return false;
-    };
-    let rest = &rest[open + "allow(".len()..];
-    let Some(close) = rest.find(')') else {
-        return false;
-    };
-    rest[..close].split(',').any(|r| r.trim() == rule)
+    parse_directive(comment).is_some_and(|rules| rules.iter().any(|r| r == rule))
 }
 
 fn lex(content: &str) -> Vec<Line> {
@@ -325,5 +371,29 @@ mod tests {
         // Line 3's trailing allow covers only line 3 (it has code).
         assert!(!sf.allows(4, "determinism"));
         assert!(!sf.allows(2, "unit-safety"));
+    }
+
+    #[test]
+    fn prose_mentioning_the_syntax_is_not_a_directive() {
+        // Rustdoc that *describes* the escape hatch must not act as one
+        // (nor count as a dead allow).
+        let src = "//! Suppress with `# nomc-lint: allow(dep-audit)` on the line.\n// The nomc-lint: allow(x) syntax is described here.\nuse std::x;\n";
+        let sf = SourceFile::parse(src);
+        assert!(sf.directives().is_empty());
+        assert!(!sf.allows(2, "dep-audit"));
+    }
+
+    #[test]
+    fn directives_record_lines_rules_and_coverage() {
+        let src = "// nomc-lint: allow(determinism)\nuse std::x;\nuse std::y; // nomc-lint: allow(a, unit-safety)\n";
+        let sf = SourceFile::parse(src);
+        let d = sf.directives();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0].line, 1);
+        assert_eq!(d[0].rules, vec!["determinism"]);
+        assert_eq!(d[0].covers, vec![1, 2]);
+        assert_eq!(d[1].line, 3);
+        assert_eq!(d[1].rules, vec!["a", "unit-safety"]);
+        assert_eq!(d[1].covers, vec![3]);
     }
 }

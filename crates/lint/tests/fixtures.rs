@@ -43,10 +43,16 @@ fn assert_matches_golden(fixture: &str, pretend_path: &str, expected: &str) {
         !got.is_empty(),
         "{fixture}: the seeded-violation fixture produced no diagnostics"
     );
+    if std::env::var_os("UPDATE_GOLDENS").is_some() {
+        fs::write(fixture_dir().join(expected), &got)
+            .unwrap_or_else(|e| panic!("write golden {expected}: {e}"));
+        return;
+    }
     assert_eq!(
         got,
         golden(expected),
-        "{fixture}: diagnostics diverged from {expected}"
+        "{fixture}: diagnostics diverged from {expected} \
+         (run with UPDATE_GOLDENS=1 to regenerate)"
     );
 }
 
@@ -112,9 +118,77 @@ fn dep_audit_allowed_is_clean() {
 }
 
 #[test]
+fn float_totality_bad_matches_golden() {
+    assert_matches_golden(
+        "float_totality_bad.rs",
+        "crates/phy/src/fixture.rs",
+        "float_totality_bad.expected",
+    );
+}
+
+#[test]
+fn float_totality_allowed_is_clean() {
+    assert_clean("float_totality_allowed.rs", "crates/phy/src/fixture.rs");
+}
+
+#[test]
+fn observer_purity_bad_matches_golden() {
+    assert_matches_golden(
+        "observer_purity_bad.rs",
+        "crates/sim/src/fixture.rs",
+        "observer_purity_bad.expected",
+    );
+}
+
+#[test]
+fn observer_purity_allowed_is_clean() {
+    assert_clean("observer_purity_allowed.rs", "crates/sim/src/fixture.rs");
+}
+
+#[test]
+fn exhaustive_dispatch_bad_matches_golden() {
+    assert_matches_golden(
+        "exhaustive_dispatch_bad.rs",
+        "crates/sim/src/runtime/dispatch.rs",
+        "exhaustive_dispatch_bad.expected",
+    );
+}
+
+#[test]
+fn exhaustive_dispatch_allowed_is_clean() {
+    assert_clean(
+        "exhaustive_dispatch_allowed.rs",
+        "crates/sim/src/runtime/dispatch.rs",
+    );
+}
+
+#[test]
+fn dead_allow_bad_matches_golden() {
+    assert_matches_golden(
+        "dead_allow_bad.rs",
+        "crates/sim/src/fixture.rs",
+        "dead_allow_bad.expected",
+    );
+}
+
+#[test]
+fn dead_allow_allowed_is_clean_and_inventoried() {
+    assert_clean("dead_allow_allowed.rs", "crates/sim/src/fixture.rs");
+    // The consumed directive must appear in the allow inventory — a
+    // clean lint with a silent escape hatch would defeat the rule.
+    let content = fs::read_to_string(fixture_dir().join("dead_allow_allowed.rs")).unwrap();
+    let file = nomc_lint::lint_source_full("crates/sim/src/fixture.rs", &content);
+    assert_eq!(file.allows.len(), 1);
+    assert_eq!(file.allows[0].rule, "determinism");
+}
+
+#[test]
 fn fixtures_outside_rule_scope_are_clean() {
     // The same violating source is fine in a crate the rule does not
     // govern (e.g. the bench harness legitimately reads wall-clock).
     assert_clean("determinism_bad.rs", "crates/bench/src/fixture.rs");
     assert_clean("panic_hygiene_bad.rs", "crates/mac/src/lib.rs");
+    assert_clean("float_totality_bad.rs", "crates/bench/src/fixture.rs");
+    // Event-match wildcards are only policed in the two dispatch files.
+    assert_clean("exhaustive_dispatch_bad.rs", "crates/sim/src/engine.rs");
 }

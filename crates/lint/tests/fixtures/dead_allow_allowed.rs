@@ -1,0 +1,9 @@
+//! A directive that suppresses a real diagnostic is *consumed* — it
+//! appears in the `--format json` allow inventory, not as a finding
+//! (fixture data — not compiled).
+
+use std::collections::HashMap; // nomc-lint: allow(determinism)
+
+fn lookup(m: &std::collections::BTreeMap<u64, u64>, k: u64) -> Option<u64> {
+    m.get(&k).copied()
+}

@@ -1,0 +1,9 @@
+//! Stale and misspelled allow directives (fixture data — not
+//! compiled). A directive that suppresses nothing is itself an error.
+
+// nomc-lint: allow(determinism)
+fn nothing_nondeterministic_here() {}
+
+fn id(x: u64) -> u64 {
+    x // nomc-lint: allow(no-such-rule)
+}

@@ -1,0 +1,18 @@
+//! Exhaustive event dispatch and non-event wildcards (fixture data —
+//! must lint clean under the pretend dispatch path).
+
+fn dispatch(ev: Event) {
+    match ev {
+        Event::TxStart(t) => tx(t),
+        Event::TxEnd { id } => end(id),
+        Event::NodeDown(n) | Event::NodeUp(n) => fault(n),
+    }
+}
+
+/// Matches that do not touch an event/fault enum keep their wildcards.
+fn bucket(n: u8) -> u8 {
+    match n {
+        0 => 1,
+        _ => 0,
+    }
+}

@@ -1,0 +1,17 @@
+//! Seeded `exhaustive-dispatch` violations (fixture data — not
+//! compiled). Linted under a pretend `sim/src/runtime/dispatch.rs`
+//! path, where event/fault matches must name every variant.
+
+fn dispatch(ev: Event) {
+    match ev {
+        Event::TxStart(t) => tx(t),
+        _ => {}
+    }
+}
+
+fn handle_fault(f: FaultKind) {
+    match f {
+        FaultKind::NodeDown(n) => down(n),
+        other => ignore(other),
+    }
+}

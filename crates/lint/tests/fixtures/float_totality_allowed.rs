@@ -1,0 +1,29 @@
+//! The sanctioned total comparison forms (fixture data — must lint
+//! clean; see DESIGN.md §8 for why each replaces IEEE `==` exactly).
+
+/// Exact endpoint tests via bit patterns.
+pub fn classify(p: f64) -> bool {
+    p.abs().to_bits() == 0 || p.to_bits() == f64::to_bits(1.0)
+}
+
+/// Total ordering over every bit pattern.
+pub fn order(a: f64, b: f64) -> std::cmp::Ordering {
+    a.total_cmp(&b)
+}
+
+pub struct Model {
+    sigma_db: Db,
+}
+
+impl Model {
+    /// Newtype equality is the derived-`PartialEq` form — totality is
+    /// the newtype's concern, not the caller's.
+    fn zero(&self) -> bool {
+        self.sigma_db == Db::ZERO
+    }
+
+    /// Integer comparisons are out of the rule's domain entirely.
+    fn ticks(&self, n: u64) -> bool {
+        n == 0 && n != 3
+    }
+}

@@ -1,0 +1,22 @@
+//! Seeded `float-totality` violations (fixture data — not compiled).
+
+/// Partial-order comparison on floats.
+pub fn order(a: f64, b: f64) -> std::cmp::Ordering {
+    a.partial_cmp(&b).expect("finite")
+}
+
+/// Equality against literals and known-`f64` bindings.
+pub fn classify(p: f64) -> bool {
+    let acc = 0.5;
+    p == 0.0 || acc != 1.0
+}
+
+pub struct Model {
+    cutoff: f64,
+}
+
+impl Model {
+    fn hits(&self, x: f64) -> bool {
+        x == self.cutoff
+    }
+}

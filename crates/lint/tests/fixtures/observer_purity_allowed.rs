@@ -1,0 +1,28 @@
+//! Pure observer sinks and unaudited impls (fixture data — must lint
+//! clean).
+
+pub struct Metrics {
+    count: u64,
+    window: Vec<f64>,
+}
+
+impl SimObserver for Metrics {
+    fn on_event(&mut self, ev: &Event) {
+        self.count += 1;
+    }
+
+    fn wants_trace(&self) -> bool {
+        false
+    }
+}
+
+/// Interior mutability is fine outside the observer contract.
+pub struct Scratch {
+    memo: std::cell::RefCell<Vec<u64>>,
+}
+
+impl Scratch {
+    fn fill(&self, xs: &mut Vec<u64>) {
+        xs.extend(self.memo.borrow().iter());
+    }
+}

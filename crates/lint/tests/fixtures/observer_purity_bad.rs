@@ -1,0 +1,22 @@
+//! Seeded `observer-purity` violations (fixture data — not compiled).
+
+use std::cell::{Cell, RefCell};
+
+pub struct Sneaky {
+    hits: Cell<u64>,
+    log: RefCell<Vec<u64>>,
+    flag: std::sync::atomic::AtomicBool,
+}
+
+impl SimObserver for Sneaky {
+    fn on_event(&mut self, ev: &mut Event) {
+        self.hits.set(self.hits.get() + 1);
+        ev.tag = 1;
+    }
+
+    fn on_run_end(self) {}
+}
+
+impl SimObserver for DeclaredElsewhere {
+    fn on_event(&mut self, _ev: &Event) {}
+}

@@ -1,0 +1,46 @@
+//! Adversarial corpus: nested generics, `>>` closers, where clauses,
+//! lifetimes and receivers (fixture data — not compiled).
+
+pub fn nested(xs: Vec<Vec<u64>>, grid: Option<Box<Vec<Vec<f64>>>>) -> BTreeMap<String, Vec<u8>> {
+    todo()
+}
+
+pub fn bounded<T: Clone + Into<Vec<u8>>, U>(t: T, u: U) -> U
+where
+    U: Default + From<Vec<Vec<T>>>,
+{
+    u
+}
+
+pub struct Curve<'a, T: Copy> {
+    pub points: &'a [(f64, T)],
+    pub labels: Vec<Option<&'a str>>,
+}
+
+impl<'a, T: Copy> Curve<'a, T> {
+    pub fn first(&self) -> Option<(f64, T)> {
+        self.points.first().copied()
+    }
+
+    fn shift<F: Fn(f64) -> f64>(&mut self, delta_db: f64, f: F) -> f64 {
+        f(delta_db)
+    }
+}
+
+pub trait Lut<K, V>
+where
+    K: Ord,
+{
+    fn get(&self, k: &K) -> Option<&V>;
+    fn len_hint(&self) -> usize {
+        0
+    }
+}
+
+pub enum Node<T> {
+    Leaf(T),
+    Branch {
+        children: Vec<Box<Node<T>>>,
+        weight_mw: f64,
+    },
+}

@@ -1,0 +1,48 @@
+//! Adversarial corpus: macro-heavy items — macro_rules bodies, derive
+//! attributes, and macro invocations with `fn`-shaped fragments must
+//! not confuse item recovery (fixture data — not compiled).
+
+macro_rules! make_getter {
+    ($name:ident, $field:ident: $ty:ty) => {
+        pub fn $name(&self) -> $ty {
+            self.$field
+        }
+    };
+}
+
+macro_rules! tricky {
+    () => {
+        "fn not_an_item() {}"
+    };
+    (fn $x:ident) => {
+        stringify!($x)
+    };
+}
+
+#[derive(Debug, Clone, PartialEq)]
+#[repr(transparent)]
+pub struct Wrapped(pub u64);
+
+nomc_json::json_struct!(Config {
+    window: u64,
+    cutoff: f64,
+});
+
+pub fn uses_macros(n: u64) -> String {
+    let v = vec![1u64, 2, 3];
+    let s = format!("{n}:{}", v.len());
+    assert_eq!(tricky!(), "fn not_an_item() {}");
+    s
+}
+
+impl Wrapped {
+    make_getter!(raw, 0: u64);
+
+    pub fn real_after_macro(&self) -> u64 {
+        self.0
+    }
+}
+
+pub fn matches_in_macros(ev: u8) -> u8 {
+    matches!(ev, 0 | 1) as u8
+}

@@ -1,0 +1,21 @@
+//! Adversarial corpus: string and raw-string payloads that *look* like
+//! items must never reach the parser (fixture data — not compiled).
+
+pub fn real_one(gain_db: f64) -> f64 {
+    let s = r#"fn bomb() { panic!("not an item") }"#;
+    let t = "struct Fake { x: f64 } impl Drop for Fake {}";
+    let braces = "}}}}{{{{";
+    let quote_in_raw = r#"she said "fn" twice"#;
+    gain_db + s.len() as f64 + t.len() as f64 + braces.len() as f64 + quote_in_raw.len() as f64
+}
+
+/// A doc comment mentioning `fn fake_from_docs()` is prose, not code.
+// A line comment with struct NotReal { c: Cell<u8> } is prose too.
+pub struct RealStruct {
+    /* block comment: enum Bogus { A, B } */
+    pub field_a: u64,
+}
+
+pub fn real_two() -> &'static str {
+    "match x { _ => unreachable }"
+}

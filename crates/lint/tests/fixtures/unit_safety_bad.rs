@@ -20,3 +20,22 @@ impl Radio {
         timeout_secs > 0.0 && rssi > -95.0
     }
 }
+
+pub struct Link {
+    pub gain_db: f64,
+    pub hops: u32,
+}
+
+pub enum Reading {
+    Cca { sensed_dbm: f64 },
+    Idle,
+}
+
+pub fn accumulate(samples: &[f64]) -> f64 {
+    let mut total_ms = 0.0;
+    let span_secs: f64 = samples.iter().sum();
+    for s in samples {
+        total_ms += s;
+    }
+    total_ms + span_secs
+}

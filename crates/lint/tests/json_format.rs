@@ -1,0 +1,70 @@
+//! Golden-file test for `--format json`: the machine-readable report
+//! shape CI diffs against the committed workspace inventory
+//! (`crates/lint/allows_golden.json`) must never drift silently.
+
+use std::fs;
+use std::path::PathBuf;
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// Builds a report the way the binary does — one file with a surviving
+/// diagnostic, one with a consumed allow — and compares the rendered
+/// JSON byte-for-byte with the committed golden.
+#[test]
+fn json_report_matches_golden() {
+    let mut diagnostics = Vec::new();
+    let mut allows = Vec::new();
+    for (fixture, pretend) in [
+        ("dead_allow_bad.rs", "crates/sim/src/fixture.rs"),
+        ("dead_allow_allowed.rs", "crates/sim/src/allowed.rs"),
+    ] {
+        let content = fs::read_to_string(fixture_dir().join(fixture)).expect("fixture");
+        let file = nomc_lint::lint_source_full(pretend, &content);
+        diagnostics.extend(file.diagnostics);
+        allows.extend(file.allows);
+    }
+    diagnostics.sort();
+    allows.sort();
+    let report = nomc_lint::LintReport {
+        diagnostics,
+        allows,
+        files_scanned: 2,
+    };
+    let got = format!("{}\n", report.to_json().dump_pretty());
+
+    let golden = fixture_dir().join("json_report.expected.json");
+    if std::env::var_os("UPDATE_GOLDENS").is_some() {
+        fs::write(&golden, &got).expect("write golden");
+        return;
+    }
+    let expected = fs::read_to_string(&golden).expect("read json_report.expected.json");
+    assert_eq!(
+        got, expected,
+        "JSON report shape diverged (run with UPDATE_GOLDENS=1 to regenerate)"
+    );
+}
+
+/// The committed workspace inventory must encode the target state:
+/// zero diagnostics, zero allow escapes. CI regenerates the live
+/// report and diffs it against this file byte-for-byte.
+#[test]
+fn committed_workspace_inventory_is_empty() {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("allows_golden.json");
+    let text = fs::read_to_string(&path).expect("read allows_golden.json");
+    let json = nomc_json::Json::parse(&text).expect("allows_golden.json parses");
+    let diags = json
+        .get("diagnostics")
+        .and_then(nomc_json::Json::as_array)
+        .expect("diagnostics array");
+    let allows = json
+        .get("allows")
+        .and_then(nomc_json::Json::as_array)
+        .expect("allows array");
+    assert!(diags.is_empty(), "committed inventory records diagnostics");
+    assert!(
+        allows.is_empty(),
+        "committed inventory records allow escapes"
+    );
+}

@@ -109,7 +109,8 @@ impl BerModel {
 /// with large frames. Shared by [`BerModel::frame_success_probability`]
 /// and [`crate::lut::BerLut`] so the two can never drift apart.
 pub(crate) fn frame_success_from_ber(ber: f64, bits: u32) -> f64 {
-    if ber == 0.0 {
+    // Exact ±0 test via bits; `ber` is total here (see DESIGN.md §8).
+    if ber.abs().to_bits() == 0 {
         return 1.0;
     }
     (f64::from(bits) * (1.0 - ber).ln()).exp()

@@ -30,10 +30,12 @@ use nomc_rngcore::Rng;
 /// ```
 pub fn sample_bit_errors<R: Rng + ?Sized>(rng: &mut R, n: u32, p: f64) -> u32 {
     assert!((0.0..=1.0).contains(&p), "BER out of range: {p}");
-    if n == 0 || p == 0.0 {
+    // Exact endpoint tests via bits (see DESIGN.md §8): `p` is a
+    // validated probability, so only ±0 and exactly 1.0 short-circuit.
+    if n == 0 || p.abs().to_bits() == 0 {
         return 0;
     }
-    if p == 1.0 {
+    if p.to_bits() == f64::to_bits(1.0) {
         return n;
     }
     let mean = f64::from(n) * p;

@@ -104,7 +104,7 @@ impl AcrCurve {
         if points.len() < 2 {
             return Err(AcrCurveError::TooFewPoints(points.len()));
         }
-        if points[0].0 != 0.0 {
+        if points[0].0.abs().to_bits() != 0 {
             return Err(AcrCurveError::MustStartAtZero(points[0].0));
         }
         for w in points.windows(2) {

@@ -28,14 +28,14 @@ pub trait PathLoss: Send + Sync {
 /// MHz; at 2.44 GHz the 1 m reference loss is ≈ 40.2 dB.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FreeSpace {
-    /// Carrier frequency in MHz.
-    freq_mhz: f64,
+    /// Carrier frequency.
+    freq_mhz: Megahertz,
     /// Minimum modelled distance (defaults to 0.1 m).
     min_distance: Meters,
 }
 
 nomc_json::json_struct!(FreeSpace {
-    freq_mhz: f64,
+    freq_mhz: Megahertz,
     min_distance: Meters,
 });
 
@@ -48,7 +48,7 @@ impl FreeSpace {
     pub fn new(freq: Megahertz) -> Self {
         assert!(freq.value() > 0.0, "carrier frequency must be positive");
         FreeSpace {
-            freq_mhz: freq.value(),
+            freq_mhz: freq,
             min_distance: Meters::new(0.1),
         }
     }
@@ -62,7 +62,7 @@ impl FreeSpace {
 impl PathLoss for FreeSpace {
     fn loss(&self, distance: Meters) -> Db {
         let d_km = distance.max(self.min_distance).value() / 1000.0;
-        Db::new(20.0 * d_km.log10() + 20.0 * self.freq_mhz.log10() + 32.44)
+        Db::new(20.0 * d_km.log10() + 20.0 * self.freq_mhz.value().log10() + 32.44)
     }
 }
 

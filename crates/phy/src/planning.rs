@@ -25,9 +25,9 @@ pub struct CprrModel {
     /// Mean received signal power minus mean received interferer power
     /// (before filtering), in dB. Zero for equal powers at equal range.
     pub power_delta: Db,
-    /// Per-path shadowing σ (dB); signal and interference fade
+    /// Per-path shadowing σ; signal and interference fade
     /// independently, so the SINR spread is `√2 · σ`.
-    pub sigma_db: f64,
+    pub sigma_db: Db,
 }
 
 impl CprrModel {
@@ -39,7 +39,7 @@ impl CprrModel {
             ber: BerModel::Oqpsk802154,
             frame_bits: 408,
             power_delta: Db::ZERO,
-            sigma_db: 4.0,
+            sigma_db: Db::new(4.0),
         }
     }
 
@@ -47,8 +47,10 @@ impl CprrModel {
     /// with `X ~ N(0, √2·σ)`, integrated numerically over ±5 σ.
     pub fn predicted_cprr(&self, cfd: Megahertz) -> f64 {
         let mean = self.acr.rejection(cfd).value() + self.power_delta.value();
-        let sigma = self.sigma_db * std::f64::consts::SQRT_2;
-        if sigma == 0.0 {
+        let sigma = self.sigma_db.value() * std::f64::consts::SQRT_2;
+        // σ = +0.0 exactly (a Db is finite by construction here);
+        // bit-test keeps the comparison total.
+        if sigma.abs().to_bits() == 0 {
             return self
                 .ber
                 .frame_success_probability(Db::new(mean), self.frame_bits);
@@ -149,7 +151,7 @@ mod tests {
     #[test]
     fn sigma_zero_is_a_step() {
         let m = CprrModel {
-            sigma_db: 0.0,
+            sigma_db: Db::ZERO,
             power_delta: Db::new(-9.1),
             ..CprrModel::calibrated_default()
         };

@@ -15,10 +15,10 @@ use nomc_units::Db;
 /// deviation `sigma`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Shadowing {
-    sigma_db: f64,
+    sigma_db: Db,
 }
 
-nomc_json::json_struct!(Shadowing { sigma_db: f64 });
+nomc_json::json_struct!(Shadowing { sigma_db: Db });
 
 impl Shadowing {
     /// Creates a shadowing model with the given standard deviation.
@@ -27,12 +27,12 @@ impl Shadowing {
     ///
     /// Panics if `sigma` is negative or not finite.
     pub fn new(sigma: Db) -> Self {
-        let sigma_db = sigma.value();
+        let raw = sigma.value();
         assert!(
-            sigma_db.is_finite() && sigma_db >= 0.0,
-            "shadowing sigma must be finite and non-negative, got {sigma_db}"
+            raw.is_finite() && raw >= 0.0,
+            "shadowing sigma must be finite and non-negative, got {raw}"
         );
-        Shadowing { sigma_db }
+        Shadowing { sigma_db: sigma }
     }
 
     /// No shadowing (deterministic propagation); useful in unit tests and
@@ -49,15 +49,15 @@ impl Shadowing {
 
     /// The standard deviation in dB.
     pub fn sigma_db(&self) -> f64 {
-        self.sigma_db
+        self.sigma_db.value()
     }
 
     /// Draws one shadowing term.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Db {
-        if self.sigma_db == 0.0 {
+        if self.sigma_db == Db::ZERO {
             return Db::ZERO;
         }
-        Db::new(self.sigma_db * standard_normal(rng))
+        Db::new(self.sigma_db.value() * standard_normal(rng))
     }
 }
 

@@ -7,7 +7,7 @@
 //! appended to received co-channel packets, and explicit in-channel power
 //! sensing during the initializing phase.
 
-use nomc_units::{Dbm, SimDuration};
+use nomc_units::{Db, Dbm, SimDuration};
 
 /// Models the quantization and clamping a real RSSI register applies to
 /// the "true" channel power the simulator computes.
@@ -15,14 +15,14 @@ use nomc_units::{Dbm, SimDuration};
 pub struct RssiRegister {
     floor: Dbm,
     ceiling: Dbm,
-    step_db: f64,
+    step_db: Db,
     averaging_window: SimDuration,
 }
 
 nomc_json::json_struct!(RssiRegister {
     floor: Dbm,
     ceiling: Dbm,
-    step_db: f64,
+    step_db: Db,
     averaging_window: SimDuration,
 });
 
@@ -32,7 +32,7 @@ impl RssiRegister {
         RssiRegister {
             floor: Dbm::new(-100.0),
             ceiling: Dbm::new(0.0),
-            step_db: 1.0,
+            step_db: Db::new(1.0),
             averaging_window: SimDuration::from_micros(128),
         }
     }
@@ -43,7 +43,7 @@ impl RssiRegister {
         RssiRegister {
             floor: Dbm::new(-200.0),
             ceiling: Dbm::new(100.0),
-            step_db: 0.0,
+            step_db: Db::ZERO,
             averaging_window: SimDuration::from_micros(128),
         }
     }
@@ -62,8 +62,9 @@ impl RssiRegister {
     #[inline]
     pub fn read(&self, actual: Dbm) -> Dbm {
         let clamped = actual.clamp(self.floor, self.ceiling);
-        if self.step_db > 0.0 {
-            Dbm::new((clamped.value() / self.step_db).round() * self.step_db)
+        let step = self.step_db.value();
+        if step > 0.0 {
+            Dbm::new((clamped.value() / step).round() * step)
         } else {
             clamped
         }

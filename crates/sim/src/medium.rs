@@ -263,7 +263,7 @@ pub struct Medium {
     /// Longest airtime registered so far; bounds query windows.
     max_duration: SimDuration,
     /// CFD beyond which a channel is treated as fully orthogonal.
-    cutoff_mhz: f64,
+    cutoff_mhz: Megahertz,
     /// How long ended transmissions are retained for late segment queries.
     retention: SimDuration,
     /// Memoized [`AcrCurve::leakage_factor`] keyed by CFD bits, for the
@@ -290,7 +290,7 @@ struct SegScratch {
 impl Medium {
     /// Creates a medium with the given rejection curve and noise floor.
     pub fn new(acr: AcrCurve, noise: MilliWatts) -> Self {
-        let cutoff_mhz = acr.saturation_cfd().value();
+        let cutoff_mhz = acr.saturation_cfd();
         Medium {
             acr: AcrLut::new(acr),
             noise,
@@ -326,7 +326,7 @@ impl Medium {
     pub fn ambient_active(&self, freq: Megahertz, now: SimTime) -> bool {
         self.ambient
             .iter()
-            .any(|a| a.is_active_at(now) && a.freq.distance_to(freq).value() <= self.cutoff_mhz)
+            .any(|a| a.is_active_at(now) && a.freq.distance_to(freq) <= self.cutoff_mhz)
     }
 
     /// Leakage factor at `cfd`: [`AcrLut`] table read for channel-grid
@@ -514,7 +514,7 @@ impl Medium {
                 continue;
             }
             let cfd = ch.freq.distance_to(freq);
-            if cfd.value() > self.cutoff_mhz {
+            if cfd > self.cutoff_mhz {
                 continue;
             }
             let mut leak: Option<f64> = None;
@@ -539,7 +539,7 @@ impl Medium {
                 continue;
             }
             let cfd = a.freq.distance_to(freq);
-            if cfd.value() > self.cutoff_mhz {
+            if cfd > self.cutoff_mhz {
                 continue;
             }
             let coupled = a.rx_mw * self.leakage(cfd);
@@ -569,7 +569,7 @@ impl Medium {
         let now_ns = now.as_nanos();
         for ch in &self.channels {
             let cfd = ch.freq.distance_to(freq);
-            if cfd.value() > self.cutoff_mhz {
+            if cfd > self.cutoff_mhz {
                 continue;
             }
             let (lo, hi) = self.window(ch, now_ns, now_ns.saturating_add(1));
@@ -596,7 +596,7 @@ impl Medium {
                 continue;
             }
             let cfd = a.freq.distance_to(freq);
-            if cfd.value() > self.cutoff_mhz {
+            if cfd > self.cutoff_mhz {
                 continue;
             }
             let coupled = a.rx_mw * self.leakage(cfd);
@@ -663,7 +663,7 @@ impl Medium {
         interferers.clear();
         for ch in &self.channels {
             let cfd = ch.freq.distance_to(freq);
-            if cfd.value() > self.cutoff_mhz {
+            if cfd > self.cutoff_mhz {
                 continue;
             }
             let (lo, hi) = self.window(ch, from_ns, to_ns);
@@ -693,7 +693,7 @@ impl Medium {
         // to the fault-free scan. Jammers have no id and belong to no
         // node, so the subject/observer exclusions do not apply.
         for a in &self.ambient {
-            if a.freq.distance_to(freq).value() > self.cutoff_mhz {
+            if a.freq.distance_to(freq) > self.cutoff_mhz {
                 continue;
             }
             let Some((s, e)) = a.overlap(from, to) else {

@@ -269,8 +269,8 @@ impl Engine<'_, '_, '_> {
             self.now,
             TraceKind::Cca {
                 node: n,
-                sensed_dbm: reading.value(),
-                threshold_dbm: threshold.value(),
+                sensed_dbm: reading,
+                threshold_dbm: threshold,
                 clear,
             },
         );

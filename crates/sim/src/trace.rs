@@ -9,7 +9,7 @@
 
 use crate::events::{NodeId, TxId};
 use nomc_json::{Json, ToJson};
-use nomc_units::SimTime;
+use nomc_units::{Dbm, SimTime};
 
 /// One trace entry.
 #[derive(Debug, Clone, PartialEq)]
@@ -27,10 +27,10 @@ pub enum TraceKind {
     Cca {
         /// Sensing node.
         node: NodeId,
-        /// RSSI-register reading (dBm).
-        sensed_dbm: f64,
-        /// Threshold compared against (dBm, post-clamp).
-        threshold_dbm: f64,
+        /// RSSI-register reading.
+        sensed_dbm: Dbm,
+        /// Threshold compared against (post-clamp).
+        threshold_dbm: Dbm,
         /// The verdict.
         clear: bool,
     },
@@ -163,8 +163,8 @@ mod tests {
                 at: SimTime::from_micros(128),
                 kind: TraceKind::Cca {
                     node: 0,
-                    sensed_dbm: -80.0,
-                    threshold_dbm: -77.0,
+                    sensed_dbm: Dbm::new(-80.0),
+                    threshold_dbm: Dbm::new(-77.0),
                     clear: true,
                 },
             },

@@ -206,7 +206,11 @@ pub fn case2_deployment<R: Rng + ?Sized>(
             let links = (0..links_per_network)
                 .map(|_| {
                     let (tx, rx) = sample_link(rng, &region, 2.0);
-                    LinkSpec::new(tx, rx, sample_power(rng, power_range.0, power_range.1))
+                    LinkSpec::new(
+                        tx,
+                        rx,
+                        sample_power(rng, Dbm::new(power_range.0), Dbm::new(power_range.1)),
+                    )
                 })
                 .collect();
             NetworkSpec::new(freq, links)
@@ -273,7 +277,11 @@ fn random_networks<R: Rng + ?Sized>(
             let links = (0..links_per_network)
                 .map(|_| {
                     let (tx, rx) = sample_link(rng, region, max_link);
-                    LinkSpec::new(tx, rx, sample_power(rng, power_range.0, power_range.1))
+                    LinkSpec::new(
+                        tx,
+                        rx,
+                        sample_power(rng, Dbm::new(power_range.0), Dbm::new(power_range.1)),
+                    )
                 })
                 .collect();
             NetworkSpec::new(freq, links)

@@ -83,9 +83,10 @@ pub fn sample_link<R: Rng + ?Sized>(rng: &mut R, region: &Region, max_link: f64)
 /// Samples a random per-node transmit power uniformly in
 /// `[min_dbm, max_dbm]` — the paper's "[-22 dBm, 0 dBm] at random" for
 /// the general network configurations (§VI-B-4).
-pub fn sample_power<R: Rng + ?Sized>(rng: &mut R, min_dbm: f64, max_dbm: f64) -> Dbm {
+pub fn sample_power<R: Rng + ?Sized>(rng: &mut R, min_dbm: Dbm, max_dbm: Dbm) -> Dbm {
     assert!(min_dbm <= max_dbm, "inverted power range");
-    Dbm::new(min_dbm + rng.gen::<f64>() * (max_dbm - min_dbm))
+    let (lo, hi) = (min_dbm.value(), max_dbm.value());
+    Dbm::new(lo + rng.gen::<f64>() * (hi - lo))
 }
 
 /// Cluster centres for Case II: `count` clusters on a grid with `pitch`
@@ -131,7 +132,7 @@ mod tests {
     fn power_range() {
         let mut rng = StdRng::seed_from_u64(7);
         for _ in 0..500 {
-            let p = sample_power(&mut rng, -22.0, 0.0);
+            let p = sample_power(&mut rng, Dbm::new(-22.0), Dbm::new(0.0));
             assert!((-22.0..=0.0).contains(&p.value()));
         }
     }
@@ -140,7 +141,7 @@ mod tests {
     fn power_covers_range() {
         let mut rng = StdRng::seed_from_u64(8);
         let ps: Vec<f64> = (0..2000)
-            .map(|_| sample_power(&mut rng, -22.0, 0.0).value())
+            .map(|_| sample_power(&mut rng, Dbm::new(-22.0), Dbm::new(0.0)).value())
             .collect();
         assert!(ps.iter().cloned().fold(f64::MAX, f64::min) < -20.0);
         assert!(ps.iter().cloned().fold(f64::MIN, f64::max) > -2.0);

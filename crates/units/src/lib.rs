@@ -38,4 +38,4 @@ mod time;
 pub use distance::Meters;
 pub use frequency::Megahertz;
 pub use power::{Db, Dbm, MilliWatts};
-pub use time::{SimDuration, SimTime};
+pub use time::{Nanos, Seconds, SimDuration, SimTime};

@@ -275,6 +275,69 @@ impl Sum for SimDuration {
     }
 }
 
+/// A measured wall- or simulated-time span in fractional seconds.
+///
+/// Unlike [`SimDuration`] (exact integer nanoseconds for event
+/// ordering), `Seconds` is the *reporting* unit: sweep reports and
+/// experiment summaries that already live in the floating domain. The
+/// JSON form is the raw `f64` (via `json_newtype!`), so adopting the
+/// newtype changes no serialized bytes.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Seconds(f64);
+
+nomc_json::json_newtype!(Seconds: f64);
+
+impl Seconds {
+    /// Wraps a raw fractional-seconds value.
+    #[inline]
+    pub const fn new(secs: f64) -> Self {
+        Seconds(secs)
+    }
+
+    /// The raw fractional-seconds value.
+    #[inline]
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Seconds {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.0)
+    }
+}
+
+/// A measured wall-clock duration in fractional nanoseconds.
+///
+/// The bench harness reports `mean_ns`/`min_ns`/`max_ns` as fractional
+/// nanoseconds (a mean over iterations is not integral); the newtype
+/// keeps those from mixing with other raw floats. JSON form is the raw
+/// `f64`, so committed `BENCH_*.json` files are byte-stable.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Nanos(f64);
+
+nomc_json::json_newtype!(Nanos: f64);
+
+impl Nanos {
+    /// Wraps a raw fractional-nanoseconds value.
+    #[inline]
+    pub const fn new(ns: f64) -> Self {
+        Nanos(ns)
+    }
+
+    /// The raw fractional-nanoseconds value.
+    #[inline]
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Nanos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1}ns", self.0)
+    }
+}
+
 impl fmt::Display for SimTime {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "t={:.6}s", self.as_secs_f64())
