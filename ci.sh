@@ -25,6 +25,18 @@ for threads in 1 2 8; do
 done
 cargo test -p nomc-cli --test sweep_crash -q --offline
 
+echo "==> sharded-engine determinism: golden traces byte-identical at every shard count"
+# The golden fixtures pin the serial engine's event history; the sharded
+# engine must reproduce them byte for byte on 1/2/4/8 worker threads
+# (the fixtures' two networks form one interaction component, so this
+# also pins the single-component delegation path).
+for shards in 1 2 4 8; do
+  echo "    --shards $shards"
+  NOMC_SHARDS="$shards" cargo test -p nomc-integration-tests \
+    --test trace_golden --test trace_golden_faults -q --offline
+done
+cargo test -p nomc-integration-tests --test shard_determinism -q --offline
+
 echo "==> ext_fault_recovery smoke (quick sweep must recover at every duty)"
 cargo run -p nomc-experiments --release --offline --bin fault_recovery -- --quick
 

@@ -12,6 +12,15 @@
 //!   drifts, stuck-CCA windows), pinning the overhead of the fault
 //!   layer itself; the fault-free kernels above double as the
 //!   no-regression guard for runs with an empty plan.
+//! * `sharded_power_sense_heavy` / `sharded_serial_baseline` — six
+//!   *independent* networks (25 MHz apart, 60 m apart, shadowing off)
+//!   through the sharded engine on 4 worker threads vs 1; on a
+//!   multi-core machine the ratio is the shard-parallelism speedup, and
+//!   the 1-thread run pins the merge/relay overhead.
+//! * `sharded_saturated` — the deliberately-coupled counterpart: the
+//!   `power_sense_heavy` six-network 3 MHz grid through `run_sharded`,
+//!   which collapses to a single component, so the bench pins the
+//!   partition-planning + delegation overhead on coupled workloads.
 //!
 //! `cargo bench -p nomc-bench --bench sim` writes `BENCH_sim.json` with
 //! wall-clock per run and events/sec, the perf-trajectory record ci.sh
@@ -19,12 +28,14 @@
 
 use nomc_bench::harness::Criterion;
 use nomc_bench::{criterion_group, criterion_main, run_shrunk, shrink};
+use nomc_phy::Shadowing;
+use nomc_sim::scenario::Propagation;
 use nomc_sim::{
     engine, CrashFault, DriftFault, FaultPlan, JammerFault, NetworkBehavior, Scenario,
     StuckCcaFault,
 };
-use nomc_topology::paper;
 use nomc_topology::spectrum::ChannelPlan;
+use nomc_topology::{paper, Deployment, LinkSpec, NetworkSpec, Point};
 use nomc_units::{Db, Dbm, Megahertz, SimDuration, SimTime};
 use std::hint::black_box;
 
@@ -107,6 +118,32 @@ fn fault_heavy_scenario(seed: u64) -> Scenario {
     sc
 }
 
+/// Six fully-independent DCN networks: 25 MHz channel spacing (past the
+/// 9 MHz ACR saturation), 60 m apart, shadowing disabled — the planner
+/// splits them into six shards, so worker threads can run them
+/// concurrently on a multi-core machine.
+fn sharded_independent_scenario(seed: u64) -> Scenario {
+    let specs = (0..6)
+        .map(|i| {
+            let freq = Megahertz::new(2410.0 + 25.0 * i as f64);
+            let x = 60.0 * i as f64;
+            let links = vec![
+                LinkSpec::new(Point::new(x, 0.0), Point::new(x + 2.0, 0.0), Dbm::new(0.0)),
+                LinkSpec::new(Point::new(x, 1.0), Point::new(x + 2.0, 1.0), Dbm::new(0.0)),
+            ];
+            NetworkSpec::new(freq, links)
+        })
+        .collect();
+    let mut b = Scenario::builder(Deployment::new(specs));
+    b.behavior_all(NetworkBehavior::dcn_default())
+        .seed(seed)
+        .propagation(Propagation {
+            shadowing: Shadowing::disabled(),
+            ..Propagation::default()
+        });
+    b.build().expect("valid bench scenario")
+}
+
 fn bench_sim(c: &mut Criterion) {
     let mut g = c.benchmark_group("sim");
     g.sample_size(10);
@@ -118,6 +155,23 @@ fn bench_sim(c: &mut Criterion) {
         let events = engine::run(&shrink(sc.clone())).events;
         g.throughput(events);
         g.bench_function(name, |b| b.iter(|| black_box(run_shrunk(sc.clone()))));
+    }
+    // Sharded-engine kernels: the independent workload at 4 worker
+    // threads vs 1 (the ratio is the shard speedup on a multi-core
+    // machine; at 1 thread it pins the relay/merge overhead), and the
+    // coupled workload, which delegates — pinning plan() + delegation.
+    let independent = sharded_independent_scenario(1);
+    let coupled = power_sense_heavy_scenario(1);
+    for (name, sc, threads) in [
+        ("sharded_power_sense_heavy", &independent, 4),
+        ("sharded_serial_baseline", &independent, 1),
+        ("sharded_saturated", &coupled, 1),
+    ] {
+        let shrunk = shrink(sc.clone());
+        g.throughput(engine::run_sharded(&shrunk, threads).events);
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(engine::run_sharded(&shrunk, threads)))
+        });
     }
     g.finish();
 }

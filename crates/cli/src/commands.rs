@@ -15,10 +15,14 @@ USAGE:
   nomc generate <template> [out.json]    write an example scenario file
                                          templates: line | dense | fig5 | attacker
   nomc run <scenario.json> [--json out] [--trace out.jsonl] [--faults plan.json]
-                                         simulate a scenario file, optionally
-                                         injecting a deterministic fault plan
+           [--shards N]                  simulate a scenario file, optionally
+                                         injecting a deterministic fault plan;
+                                         --shards runs independent network
+                                         components on N worker threads
+                                         (results never depend on N)
   nomc sweep <scenario.json> [--journal out.jsonl] [--resume] [--retries N]
-             [--budget EVENTS] [--threads N] [--seeds 1,2,3 | --seed-count N]
+             [--budget EVENTS] [--threads N] [--shards N]
+             [--seeds 1,2,3 | --seed-count N]
              [--report out.json]         crash-safe multi-seed sweep: every
                                          concluded member is checkpointed to
                                          the journal (atomic tmp+rename), and
@@ -105,7 +109,7 @@ fn template_scenario(template: &str) -> Result<Scenario, String> {
 }
 
 /// `nomc run <scenario.json> [--json out.json] [--trace out.jsonl]
-/// [--faults plan.json]`.
+/// [--faults plan.json] [--shards N]`.
 pub fn run(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("run needs a scenario file")?;
     let mut scenario = load_scenario(path)?;
@@ -141,7 +145,11 @@ pub fn run(args: &[String]) -> Result<(), String> {
     if let Some(t) = tracer.as_mut() {
         sinks.push(t);
     }
-    let result = engine::run_with(&scenario, &mut sinks);
+    let result = match parse_flag::<usize>(args, "--shards")? {
+        Some(0) => return Err("--shards must be at least 1".into()),
+        Some(threads) => engine::run_sharded_with(&scenario, &mut sinks, threads),
+        None => engine::run_with(&scenario, &mut sinks),
+    };
     if let (Some(t), Some(out)) = (tracer, &trace_path) {
         let records = t.finish().map_err(|e| format!("cannot write {out}: {e}"))?;
         eprintln!("wrote {records} trace records to {out}");
@@ -208,8 +216,8 @@ pub fn run(args: &[String]) -> Result<(), String> {
 }
 
 /// `nomc sweep <scenario.json> [--journal out.jsonl] [--resume]
-/// [--retries N] [--budget EVENTS] [--threads N] [--seeds 1,2,3 |
-/// --seed-count N] [--report out.json]`.
+/// [--retries N] [--budget EVENTS] [--threads N] [--shards N]
+/// [--seeds 1,2,3 | --seed-count N] [--report out.json]`.
 pub fn sweep(args: &[String]) -> Result<(), String> {
     use nomc_experiments::sweep::{self, SweepConfig};
 
@@ -231,6 +239,12 @@ pub fn sweep(args: &[String]) -> Result<(), String> {
             return Err("--threads must be at least 1".into());
         }
         cfg.threads = Some(threads);
+    }
+    if let Some(shards) = parse_flag::<usize>(args, "--shards")? {
+        if shards == 0 {
+            return Err("--shards must be at least 1".into());
+        }
+        cfg.shards = Some(shards);
     }
     let journal = flag_value(args, "--journal")?;
     let resume = args.iter().any(|a| a == "--resume");
@@ -568,6 +582,21 @@ mod tests {
         ])
         .unwrap_err();
         assert!(err.contains("invalid fault plan"), "{err}");
+    }
+
+    #[test]
+    fn run_accepts_shards_and_rejects_zero() {
+        let mut sc = template_scenario("line").unwrap();
+        sc.duration = nomc_units::SimDuration::from_millis(300);
+        sc.warmup = nomc_units::SimDuration::from_millis(50);
+        let dir = std::env::temp_dir().join("nomc-cli-shards");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("scenario.json");
+        std::fs::write(&path, nomc_json::to_string(&sc)).unwrap();
+        let base = path.to_str().unwrap().to_string();
+        run(&[base.clone(), "--shards".into(), "2".into()]).unwrap();
+        let err = run(&[base, "--shards".into(), "0".into()]).unwrap_err();
+        assert!(err.contains("--shards"), "{err}");
     }
 
     #[test]

@@ -141,7 +141,7 @@ pub fn run_outcomes(scenarios: &[Scenario], max_events: u64) -> Vec<RunOutcome> 
     crate::sweep::scheduler::run_indexed(
         scenarios.len(),
         crate::sweep::scheduler::default_threads(),
-        |i| run_isolated(&scenarios[i], max_events),
+        |i| run_isolated(&scenarios[i], max_events, None),
     )
 }
 
@@ -150,10 +150,15 @@ pub fn run_outcomes(scenarios: &[Scenario], max_events: u64) -> Vec<RunOutcome> 
 /// crosses the boundary on the panic path — the scenario is borrowed
 /// immutably and the engine's state dies with the unwind.
 ///
+/// With `shards: Some(n)` the member runs through the sharded engine on
+/// `n` worker threads ([`engine::run_sharded_bounded`]); `None` keeps
+/// the legacy serial [`engine::run_bounded`].
+///
 /// Also the attempt primitive of [`crate::sweep`]'s retry loop.
-pub(crate) fn run_isolated(sc: &Scenario, max_events: u64) -> RunOutcome {
-    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        engine::run_bounded(sc, &mut [], max_events)
+pub(crate) fn run_isolated(sc: &Scenario, max_events: u64, shards: Option<usize>) -> RunOutcome {
+    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match shards {
+        Some(threads) => engine::run_sharded_bounded(sc, &mut [], max_events, threads),
+        None => engine::run_bounded(sc, &mut [], max_events),
     }));
     match run {
         Ok(bounded) if bounded.exhausted => RunOutcome::TimedOut {

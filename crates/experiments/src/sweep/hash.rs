@@ -65,10 +65,23 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
 /// (insertion-ordered keys, shortest exact floats), so equal scenarios
 /// always hash equally and any semantic edit changes the hash.
 pub fn member_hash(scenario: &Scenario, base_budget: u64) -> u64 {
+    member_hash_with(scenario, base_budget, false)
+}
+
+/// [`member_hash`] plus the execution mode: a sharded member
+/// (`sharded = true`) folds a marker into the key, because a
+/// multi-component scenario run through the sharded engine follows the
+/// componentized-seed semantics — a journal of serial results must not
+/// satisfy a sharded resume (or vice versa). Serial hashes are
+/// unchanged, so existing journals stay valid.
+pub fn member_hash_with(scenario: &Scenario, base_budget: u64, sharded: bool) -> u64 {
     let mut h = Fnv1a::new();
     h.write(nomc_json::to_string(scenario).as_bytes());
     h.write_u64(scenario.seed);
     h.write_u64(base_budget);
+    if sharded {
+        h.write(b"sharded");
+    }
     h.finish()
 }
 
@@ -115,6 +128,19 @@ mod tests {
         let mut edited = a.clone();
         edited.duration = nomc_units::SimDuration::from_secs(21);
         assert_ne!(member_hash(&a, 1000), member_hash(&edited, 1000));
+    }
+
+    #[test]
+    fn sharded_marker_changes_the_key_without_touching_serial_hashes() {
+        let a = scenario(1);
+        // Serial hashes are exactly the legacy member_hash — existing
+        // journals stay valid.
+        assert_eq!(member_hash(&a, 1000), member_hash_with(&a, 1000, false));
+        // The sharded marker separates the two execution modes.
+        assert_ne!(
+            member_hash_with(&a, 1000, false),
+            member_hash_with(&a, 1000, true)
+        );
     }
 
     #[test]

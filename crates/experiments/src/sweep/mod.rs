@@ -175,6 +175,15 @@ pub struct SweepConfig {
     pub base_budget: u64,
     /// Worker threads; `None` uses [`scheduler::default_threads`].
     pub threads: Option<usize>,
+    /// Per-member sharded execution: `Some(n)` runs every member
+    /// through the sharded engine on `n` worker threads
+    /// (`engine::run_sharded_bounded`). Results are independent of `n`,
+    /// but multi-component members follow the componentized-seed
+    /// semantics rather than the legacy serial stream, so the member
+    /// hash carries a `sharded` marker (see [`hash::member_hash_with`])
+    /// and serial journals are not silently replayed. `None` keeps the
+    /// legacy serial engine.
+    pub shards: Option<usize>,
 }
 
 impl Default for SweepConfig {
@@ -185,6 +194,7 @@ impl Default for SweepConfig {
             // the tree, small enough to cut an infinite loop short.
             base_budget: 1_000_000_000,
             threads: None,
+            shards: None,
         }
     }
 }
@@ -226,7 +236,7 @@ pub fn run_sweep(
 ) -> Result<SweepReport, SweepError> {
     let member_hashes: Vec<u64> = members
         .iter()
-        .map(|sc| hash::member_hash(sc, cfg.base_budget))
+        .map(|sc| hash::member_hash_with(sc, cfg.base_budget, cfg.shards.is_some()))
         .collect();
     let sweep_hash = hash::sweep_hash(&member_hashes);
 
@@ -317,7 +327,7 @@ fn run_member(
     let mut attempts = Vec::new();
     let mut budget = cfg.base_budget;
     for _attempt in 0..=cfg.retries {
-        let (outcome, done) = match run_isolated(scenario, budget) {
+        let (outcome, done) = match run_isolated(scenario, budget, cfg.shards) {
             RunOutcome::Ok(result) => (AttemptOutcome::Ok(MemberMetrics::of(&result)), true),
             RunOutcome::Failed(message) => (AttemptOutcome::Failed(message), false),
             RunOutcome::TimedOut { events } => (AttemptOutcome::TimedOut { events }, false),

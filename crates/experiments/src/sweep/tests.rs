@@ -33,6 +33,33 @@ fn cfg_with_threads(threads: usize) -> SweepConfig {
 }
 
 #[test]
+fn sharded_sweep_matches_serial_and_refuses_serial_journals() {
+    // The base scenario is one network — a single-component plan — so
+    // the sharded engine delegates to the serial one and member results
+    // must be bit-identical. The journals still must not cross: the
+    // sharded member hash carries the execution-mode marker.
+    let members = seed_members(&base_scenario(), &[1, 2]);
+    let serial = run_sweep(&members, &SweepConfig::default(), None, false).expect("serial sweep");
+    let sharded_cfg = SweepConfig {
+        shards: Some(2),
+        ..SweepConfig::default()
+    };
+    let sharded = run_sweep(&members, &sharded_cfg, None, false).expect("sharded sweep");
+    for (a, b) in serial.members.iter().zip(&sharded.members) {
+        assert_eq!(a.attempts, b.attempts, "member {} diverged", a.member);
+        assert_ne!(a.hash, b.hash, "execution modes must not share keys");
+    }
+    assert_ne!(serial.sweep_hash, sharded.sweep_hash);
+
+    // A journal written serially is a typed StaleJournal for a sharded
+    // resume, never a silent replay.
+    let path = temp_path("serial-vs-sharded.jsonl");
+    run_sweep(&members, &SweepConfig::default(), Some(&path), false).expect("journaled serial");
+    let err = run_sweep(&members, &sharded_cfg, Some(&path), true).expect_err("must refuse");
+    assert!(matches!(err, SweepError::StaleJournal { .. }), "{err}");
+}
+
+#[test]
 fn fresh_sweep_matches_run_outcomes_bit_identically() {
     let members = seed_members(&base_scenario(), &[1, 2, 3]);
     let report = run_sweep(&members, &SweepConfig::default(), None, false).expect("no journal");
@@ -132,6 +159,7 @@ fn timed_out_member_retries_with_doubled_budget_until_it_completes() {
         retries: 16,
         base_budget: 100,
         threads: Some(1),
+        shards: None,
     };
     let report = run_sweep(&members, &cfg, None, false).expect("sweep runs");
     let member = report.members.first().expect("one member");

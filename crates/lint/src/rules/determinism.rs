@@ -131,6 +131,20 @@ mod tests {
     }
 
     #[test]
+    fn shard_runtime_is_in_scope() {
+        // The sharded merge seam must stay hash-order free: a HashMap
+        // in the TxId remapper would make merged ids depend on hashing.
+        for path in [
+            "crates/sim/src/runtime/shard/partition.rs",
+            "crates/sim/src/runtime/shard/merge.rs",
+            "crates/sim/src/runtime/shard/sync.rs",
+        ] {
+            let d = lint(path, "use std::collections::HashMap;\n");
+            assert_eq!(d.len(), 1, "{path} must be checked");
+        }
+    }
+
+    #[test]
     fn test_code_is_exempt() {
         let src = "#[cfg(test)]\nmod tests {\n    use std::collections::HashSet;\n}\n";
         assert!(lint("crates/mac/src/engine.rs", src).is_empty());

@@ -7,11 +7,13 @@
 //! compile error at every dispatch site, so the handling decision is
 //! forced at build time.
 //!
-//! Scope: the two files that own event/fault control flow
-//! (`sim/src/runtime/dispatch.rs`, `sim/src/runtime/faults.rs`), and
-//! only `match`es whose arms mention an event/fault enum (an
-//! `…Event::`/`…Fault…::` path) — matches over line counts or channel
-//! indices in the same files are untouched.
+//! Scope: the files that own event/fault control flow
+//! (`sim/src/runtime/dispatch.rs`, `sim/src/runtime/faults.rs`, and the
+//! shard merger `sim/src/runtime/shard/merge.rs`, whose
+//! `BoundaryEvent`/`Event` replay matches must cover every variant a
+//! worker can ship), and only `match`es whose arms mention an
+//! event/fault enum (an `…Event::`/`…Fault…::` path) — matches over
+//! line counts or channel indices in the same files are untouched.
 
 use crate::diag::Diagnostic;
 use crate::parser::{Items, MatchExpr};
@@ -22,6 +24,7 @@ pub const RULE: &str = "exhaustive-dispatch";
 const FILES: &[&str] = &[
     "crates/sim/src/runtime/dispatch.rs",
     "crates/sim/src/runtime/faults.rs",
+    "crates/sim/src/runtime/shard/merge.rs",
 ];
 
 pub fn in_scope(rel_path: &str) -> bool {
@@ -117,6 +120,18 @@ mod tests {
         let src =
             "fn f(n: u8) -> u8 {\n    match n {\n        0 => 1,\n        _ => 0,\n    }\n}\n";
         assert!(lint("crates/sim/src/runtime/dispatch.rs", src).is_empty());
+    }
+
+    #[test]
+    fn shard_merge_boundary_event_wildcard_is_flagged() {
+        // The sharded runtime's replay match dispatches on
+        // BoundaryEvent — its name ends in "Event" precisely so this
+        // rule watches it; a wildcard would silently drop a newly added
+        // boundary-record kind at the merge seam.
+        let src = "fn replay(ev: BoundaryEvent) {\n    match ev {\n        BoundaryEvent::Popped(e) => pop(e),\n        _ => {}\n    }\n}\n";
+        let d = lint("crates/sim/src/runtime/shard/merge.rs", src);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("catch-all"));
     }
 
     #[test]

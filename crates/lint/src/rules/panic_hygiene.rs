@@ -180,6 +180,9 @@ mod tests {
             "crates/sim/src/runtime/mod.rs",
             "crates/sim/src/runtime/tx.rs",
             "crates/sim/src/runtime/faults.rs",
+            "crates/sim/src/runtime/shard/partition.rs",
+            "crates/sim/src/runtime/shard/merge.rs",
+            "crates/sim/src/runtime/shard/sync.rs",
         ] {
             let sf = SourceFile::parse("fn f() { panic!(\"x\"); }\n");
             let mut out = Vec::new();

@@ -8,11 +8,18 @@
 //! The machinery behind these lives in [`crate::runtime`]: the event
 //! loop ([`runtime`](crate::runtime) dispatch), per-node state and MAC
 //! handling, the data-frame and ACK life cycles, power sensing, and the
-//! observer fan-out. The engine is single-threaded and fully
-//! deterministic for a given scenario + seed (parallelism belongs at
-//! the sweep level — each parameter point is an independent run), and
-//! observers are write-only: attaching any combination of them cannot
-//! change the simulated outcome.
+//! observer fan-out. The serial engine is single-threaded and fully
+//! deterministic for a given scenario + seed, and observers are
+//! write-only: attaching any combination of them cannot change the
+//! simulated outcome.
+//!
+//! [`run_sharded`] (and friends) execute one run as deterministic
+//! shards: the scenario is partitioned into interaction components
+//! (see [`crate::runtime::shard`]), each component simulates on its
+//! own engine with a derived RNG stream, and worker threads advance
+//! the shards in conservative time windows while a canonical merge
+//! rebuilds one serial-looking observer stream. Results depend only on
+//! the scenario — never on the thread count.
 //!
 //! # Examples
 //!
@@ -44,7 +51,7 @@
 
 use crate::metrics::SimResult;
 use crate::runtime::observer::SimObserver;
-use crate::runtime::Engine;
+use crate::runtime::{shard, Engine};
 use crate::scenario::Scenario;
 
 /// Runs `scenario` to completion.
@@ -105,5 +112,79 @@ pub fn run_bounded(
     let mut engine = Engine::new(scenario, observers);
     engine.max_events = max_events;
     let (result, exhausted) = engine.run_reporting_exhaustion();
+    BoundedRun { result, exhausted }
+}
+
+/// The canonical shard plan for `scenario`: one
+/// [`shard::ShardSpec`] per interaction component, sorted by minimum
+/// network index. Exposed for tests and tooling that want to inspect
+/// how a scenario partitions; [`run_sharded`] computes the same plan
+/// internally.
+pub fn shard_plan(scenario: &Scenario) -> Vec<shard::ShardSpec> {
+    shard::plan(scenario)
+}
+
+/// Runs `scenario` as deterministic shards on up to `threads` worker
+/// threads.
+///
+/// The scenario is split into its interaction components (see
+/// [`crate::runtime::shard`]); fully-coupled scenarios have one
+/// component and delegate to [`run`] unchanged, so the result is
+/// byte-identical to the serial engine. Multi-component scenarios run
+/// each component as a standalone sub-scenario with a seed derived
+/// from the base seed and the component's minimum network index — the
+/// result is identical to running each component's sub-scenario
+/// serially and composing, whatever `threads` is (`threads` only sizes
+/// the worker pool and is clamped to `1..=components`).
+///
+/// # Panics
+///
+/// Panics under the same (builder-rejected) conditions as [`run`].
+pub fn run_sharded(scenario: &Scenario, threads: usize) -> SimResult {
+    run_sharded_with(scenario, &mut [], threads)
+}
+
+/// [`run_sharded`] with external observers: the canonical
+/// `(time, shard, seq)` merge replays one serial-order notification
+/// stream into `observers`, so sinks observe a sharded run exactly as
+/// they would a serial one (transmission ids are minted in merged
+/// order).
+///
+/// # Panics
+///
+/// Panics under the same (builder-rejected) conditions as [`run`].
+pub fn run_sharded_with(
+    scenario: &Scenario,
+    observers: &mut [&mut dyn SimObserver],
+    threads: usize,
+) -> SimResult {
+    let plan = shard::plan(scenario);
+    if plan.len() <= 1 {
+        return run_with(scenario, observers);
+    }
+    let (result, _) = shard::execute(scenario, &plan, observers, u64::MAX, threads);
+    result
+}
+
+/// [`run_bounded`] under sharding: the event budget is split across
+/// shards as evenly as possible (earlier components take the
+/// remainder), so a budget-truncated sharded run stops at the same
+/// per-shard events — and reports the same totals — regardless of
+/// thread count. `exhausted` is set when *any* shard hit its share.
+///
+/// # Panics
+///
+/// Panics under the same (builder-rejected) conditions as [`run`].
+pub fn run_sharded_bounded(
+    scenario: &Scenario,
+    observers: &mut [&mut dyn SimObserver],
+    max_events: u64,
+    threads: usize,
+) -> BoundedRun {
+    let plan = shard::plan(scenario);
+    if plan.len() <= 1 {
+        return run_bounded(scenario, observers, max_events);
+    }
+    let (result, exhausted) = shard::execute(scenario, &plan, observers, max_events, threads);
     BoundedRun { result, exhausted }
 }

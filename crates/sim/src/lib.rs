@@ -8,6 +8,8 @@
 //! * [`events`] — the future-event list with deterministic tie-breaking,
 //! * [`medium`] — the shared RF medium: per-observer coupled powers,
 //!   segment-wise SINR histories, collision predicates,
+//! * [`reach`] — the interaction-reachability predicates shared by the
+//!   medium's channel cutoffs and the shard partitioner,
 //! * [`scenario`] — deployment + behaviour + propagation configuration,
 //! * [`engine`] — the [`engine::run`]/[`engine::run_with`] entry points,
 //! * [`runtime`] — the layered event loop behind them (dispatch, node
@@ -44,12 +46,16 @@ pub mod engine;
 pub mod events;
 pub mod medium;
 pub mod metrics;
+pub mod reach;
 pub mod rng;
 pub mod runtime;
 pub mod scenario;
 pub mod trace;
 
-pub use engine::{run, run_bounded, run_with, BoundedRun};
+pub use engine::{
+    run, run_bounded, run_sharded, run_sharded_bounded, run_sharded_with, run_with, shard_plan,
+    BoundedRun,
+};
 pub use metrics::{LinkMetrics, NetworkMetrics, SimResult};
 pub use runtime::observer::{
     PowerSample, SimObserver, ThresholdSample, TxOutcomeInfo, TxStartInfo,

@@ -44,10 +44,14 @@
 //! observer frequency exceeds [`AcrCurve::saturation_cfd`]: past the
 //! curve's support the rejection is at its ~50 dB floor and the leaked
 //! power (≈1e-5 of an already-weak signal) is physically negligible, so
-//! such channels are treated as fully orthogonal. [`Medium::was_collided`]
+//! such channels are treated as fully orthogonal. The predicate itself
+//! lives in [`crate::reach::channel_coupled`] and is shared with the
+//! shard partitioner, so sensing and partitioning can never disagree
+//! about which channels couple. [`Medium::was_collided`]
 //! intentionally does *not* apply the cutoff — the paper's collision
 //! predicate compares against an explicit power floor, which a strong
-//! far-channel emitter can still cross.
+//! far-channel emitter can still cross (the partitioner bounds that
+//! path with [`crate::reach::above_collision_floor`]).
 //!
 //! # Summation order
 //!
@@ -89,6 +93,7 @@
 //! evaluation. Both caches are bit-exact by construction.
 
 use crate::events::{NodeId, TxId};
+use crate::reach;
 use nomc_phy::coupling::AcrCurve;
 use nomc_phy::lut::AcrLut;
 use nomc_phy::BerModel;
@@ -324,9 +329,9 @@ impl Medium {
     /// `cutoff` MHz of `freq` at `now` (fault-plan introspection for
     /// recovery metrics; power queries already include ambient energy).
     pub fn ambient_active(&self, freq: Megahertz, now: SimTime) -> bool {
-        self.ambient
-            .iter()
-            .any(|a| a.is_active_at(now) && a.freq.distance_to(freq) <= self.cutoff_mhz)
+        self.ambient.iter().any(|a| {
+            a.is_active_at(now) && reach::channel_coupled(a.freq.distance_to(freq), self.cutoff_mhz)
+        })
     }
 
     /// Leakage factor at `cfd`: [`AcrLut`] table read for channel-grid
@@ -514,7 +519,7 @@ impl Medium {
                 continue;
             }
             let cfd = ch.freq.distance_to(freq);
-            if cfd > self.cutoff_mhz {
+            if !reach::channel_coupled(cfd, self.cutoff_mhz) {
                 continue;
             }
             let mut leak: Option<f64> = None;
@@ -539,7 +544,7 @@ impl Medium {
                 continue;
             }
             let cfd = a.freq.distance_to(freq);
-            if cfd > self.cutoff_mhz {
+            if !reach::channel_coupled(cfd, self.cutoff_mhz) {
                 continue;
             }
             let coupled = a.rx_mw * self.leakage(cfd);
@@ -569,7 +574,7 @@ impl Medium {
         let now_ns = now.as_nanos();
         for ch in &self.channels {
             let cfd = ch.freq.distance_to(freq);
-            if cfd > self.cutoff_mhz {
+            if !reach::channel_coupled(cfd, self.cutoff_mhz) {
                 continue;
             }
             let (lo, hi) = self.window(ch, now_ns, now_ns.saturating_add(1));
@@ -596,7 +601,7 @@ impl Medium {
                 continue;
             }
             let cfd = a.freq.distance_to(freq);
-            if cfd > self.cutoff_mhz {
+            if !reach::channel_coupled(cfd, self.cutoff_mhz) {
                 continue;
             }
             let coupled = a.rx_mw * self.leakage(cfd);
@@ -663,7 +668,7 @@ impl Medium {
         interferers.clear();
         for ch in &self.channels {
             let cfd = ch.freq.distance_to(freq);
-            if cfd > self.cutoff_mhz {
+            if !reach::channel_coupled(cfd, self.cutoff_mhz) {
                 continue;
             }
             let (lo, hi) = self.window(ch, from_ns, to_ns);
@@ -693,7 +698,7 @@ impl Medium {
         // to the fault-free scan. Jammers have no id and belong to no
         // node, so the subject/observer exclusions do not apply.
         for a in &self.ambient {
-            if a.freq.distance_to(freq) > self.cutoff_mhz {
+            if !reach::channel_coupled(a.freq.distance_to(freq), self.cutoff_mhz) {
                 continue;
             }
             let Some((s, e)) = a.overlap(from, to) else {

@@ -35,14 +35,36 @@ impl Engine<'_, '_, '_> {
 
     fn run_loop(&mut self) {
         self.bootstrap();
+        self.run_window(SimTime::MAX);
+    }
+
+    /// Advances the engine through every queued event with `t < until`,
+    /// in the exact order and with the exact side effects of the
+    /// whole-run loop (`until == SimTime::MAX` *is* the whole-run loop).
+    ///
+    /// The first popped entry at or beyond `until` is *held* — with its
+    /// original queue sequence number, which the fault layer's
+    /// stale-event watermarks compare against — and re-examined on the
+    /// next call, so windowed execution pops each entry exactly once.
+    /// Returns `true` while the run can continue past `until`; `false`
+    /// once it is over (queue drained, drain deadline passed, or event
+    /// budget exhausted — the same three exits as the serial loop).
+    pub(crate) fn run_window(&mut self, until: SimTime) -> bool {
         let deadline = SimTime::ZERO + self.sc.duration + DRAIN;
-        while let Some((t, seq, ev)) = self.queue.pop_entry() {
+        loop {
+            let Some((t, seq, ev)) = self.held.take().or_else(|| self.queue.pop_entry()) else {
+                return false;
+            };
+            if t >= until {
+                self.held = Some((t, seq, ev));
+                return true;
+            }
             if t > deadline {
-                break;
+                return false;
             }
             if self.events >= self.max_events {
                 self.exhausted = true;
-                break;
+                return false;
             }
             self.now = t;
             self.events += 1;
@@ -54,7 +76,7 @@ impl Engine<'_, '_, '_> {
         }
     }
 
-    fn bootstrap(&mut self) {
+    pub(crate) fn bootstrap(&mut self) {
         let sender_ids: Vec<NodeId> = (0..self.nodes.len())
             .filter(|&i| self.nodes[i].is_sender)
             .collect();

@@ -11,7 +11,11 @@
 //! * `sense` — RSSI power sensing and provider housekeeping ticks,
 //! * [`observer`] — the pluggable [`observer::SimObserver`] sink trait,
 //! * [`sinks`] — built-in observers (metrics, trace, timeline, energy,
-//!   JSONL streaming) and the engine's fan-out.
+//!   JSONL streaming) and the engine's fan-out,
+//! * [`shard`] — deterministic sharded execution: interaction-component
+//!   partition planning, conservative time-windowed shard workers, and
+//!   the canonical boundary-event merge behind
+//!   [`crate::engine::run_sharded`].
 //!
 //! `Engine` itself lives here (crate-private): the struct is shared
 //! state, the submodules contribute `impl` blocks. All measurement side
@@ -25,6 +29,7 @@
 //! bit-identical [`SimResult`]s whatever observers are attached.
 
 pub mod observer;
+pub mod shard;
 pub mod sinks;
 
 mod ack;
@@ -103,6 +108,11 @@ pub(crate) struct Engine<'a, 'o, 'e> {
     pub(crate) max_events: u64,
     /// Whether the run stopped on the event budget rather than draining.
     pub(crate) exhausted: bool,
+    /// Window-mode holdover: the first popped entry at or beyond the
+    /// current window boundary, kept (with its original queue sequence
+    /// number, which stale-event checks compare against) until the next
+    /// [`Engine::run_window`] call. Always `None` in whole-run mode.
+    pub(crate) held: Option<(SimTime, u64, crate::events::Event)>,
 }
 
 impl<'a, 'o, 'e> Engine<'a, 'o, 'e> {
@@ -265,6 +275,7 @@ impl<'a, 'o, 'e> Engine<'a, 'o, 'e> {
             events: 0,
             max_events: u64::MAX,
             exhausted: false,
+            held: None,
         }
     }
 

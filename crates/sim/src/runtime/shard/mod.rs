@@ -1,0 +1,43 @@
+//! Deterministic sharded execution of a single simulation run.
+//!
+//! A scenario's networks fall into *interaction components* — the
+//! equivalence classes of the "can possibly interact" relation built
+//! from the same [`crate::reach`] predicates the medium's sensing
+//! paths use (channel coupling within the ACR support, capture-model
+//! sync candidacy, the collision-floor bound for the cutoff-free
+//! `was_collided` query, and forwarding traffic). Networks in
+//! different components can never exchange power, preamble sync, or
+//! frames, so each component simulates as a standalone sub-scenario
+//! with its own derived RNG stream, and the sub-results compose
+//! exactly.
+//!
+//! The module family:
+//!
+//! * [`partition`] — union-find planning and [`ShardSpec`] / sub-
+//!   scenario construction,
+//! * `sync` — lockstep time-windowed workers over
+//!   `Engine::run_window`, round-robin shard ownership, bounded
+//!   channels,
+//! * `merge` — the boundary-event relay observer and the canonical
+//!   `(time, shard rank, seq)` merge that replays one serial-looking
+//!   callback stream into external observers.
+//!
+//! # Determinism contract
+//!
+//! Results of [`crate::engine::run_sharded`] depend only on the
+//! scenario — never on the thread count (`--shards N` sizes the worker
+//! pool; the partition is canonical) and never on scheduling. A
+//! single-component plan delegates to the serial engine with the seed
+//! untouched, byte-identical to [`crate::engine::run`]. Multi-component
+//! plans run each component exactly as the serial engine would run that
+//! component's sub-scenario (same windows or not — windowing never
+//! reorders a single engine's events), with per-shard seeds derived by
+//! the sweep layer's keyed-`splitmix64` discipline, and merge the
+//! observer streams in canonical order.
+
+pub(crate) mod merge;
+pub mod partition;
+pub(crate) mod sync;
+
+pub use partition::{plan, ShardSpec};
+pub(crate) use sync::execute;

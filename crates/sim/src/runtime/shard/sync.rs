@@ -1,0 +1,202 @@
+//! Conservative time-windowed shard execution.
+//!
+//! # Protocol
+//!
+//! Shards are distributed round-robin over `min(threads, shards)`
+//! workers (worker *w* owns ranks `w, w + workers, …`). All workers
+//! advance their owned engines in lockstep global windows
+//! `[i·H, (i+1)·H)` where `H` is the lookahead horizon: each window,
+//! a worker steps its owned shards in ascending rank through
+//! [`Engine::run_window`], the attached [`RelayObserver`] streaming
+//! every consumed note to the merger as it happens, then sends one
+//! [`ShardMsg::Barrier`] per shard (or the terminal [`ShardMsg::Done`]
+//! when the shard's run ended inside the window). Same-thread sends on
+//! clones of one channel preserve program order, so a shard's window-*i*
+//! notes always precede its window-*i* barrier.
+//!
+//! # Lookahead horizon
+//!
+//! Shards in this partition scheme are *fully independent* — the
+//! planner unions every pair that could exchange power, sync, or
+//! frames — so no cross-shard event can invalidate another shard's
+//! window and **any** positive horizon is conservative. The windows
+//! exist to bound merger memory (one window of notes at a time) while
+//! keeping per-window overhead amortized: `H` is the scenario's
+//! minimum RX→TX turnaround (the shortest delay between deciding to
+//! transmit and the frame reaching the air — the classical lookahead
+//! bound a coupled-shard protocol would need) scaled by a constant
+//! window amortization factor, floored at 1 ms.
+//!
+//! # Deadlock freedom
+//!
+//! Channels are bounded, so workers can block on a full channel and
+//! the merger blocks on empty ones; freedom follows from matching scan
+//! orders. The merger drains shards in ascending rank within each
+//! window round, and a worker fills its owned shards in ascending rank
+//! within the same window. Inductively, when the merger waits on shard
+//! *s* at window *i*, every earlier-rank shard's window-*i* traffic has
+//! already been drained — so *s*'s owner is either at *s* (producing
+//! into a channel the merger is actively draining) or blocked on a
+//! *later*-rank shard's full channel, which the merger reaches only
+//! after *s*'s barrier, i.e. never before unblocking it. No cycle.
+//!
+//! [`RelayObserver`]: super::merge::RelayObserver
+//! [`ShardMsg::Barrier`]: super::merge::ShardMsg::Barrier
+//! [`ShardMsg::Done`]: super::merge::ShardMsg::Done
+
+use super::merge::{self, RelayObserver, ShardMsg, ShipFlags};
+use super::partition::ShardSpec;
+use crate::metrics::SimResult;
+use crate::runtime::observer::SimObserver;
+use crate::runtime::Engine;
+use crate::scenario::Scenario;
+use nomc_units::{SimDuration, SimTime};
+use std::sync::mpsc::{sync_channel, SyncSender};
+
+/// Bounded per-shard channel depth: enough to keep a worker streaming
+/// while the merger drains a sibling, small enough to cap peak memory.
+const CHANNEL_CAP: usize = 256;
+
+/// Window length as a multiple of the lookahead quantum (the minimum
+/// RX→TX turnaround), amortizing per-window barrier traffic.
+const WINDOW_QUANTA: u64 = 64;
+
+/// Floor on the window length: barrier overhead stays negligible even
+/// for scenarios with unusually small MAC timings.
+const MIN_WINDOW: SimDuration = SimDuration::from_millis(1);
+
+/// The synchronization window length for a scenario.
+pub(crate) fn sync_horizon(sc: &Scenario) -> SimDuration {
+    let quantum = sc
+        .behaviors
+        .iter()
+        .map(|b| b.mac.turnaround)
+        .min()
+        .unwrap_or(MIN_WINDOW);
+    let nanos = quantum.as_nanos().saturating_mul(WINDOW_QUANTA);
+    SimDuration::from_nanos(nanos.max(MIN_WINDOW.as_nanos()))
+}
+
+/// Runs a multi-shard plan to completion: spawns the workers, merges
+/// the note streams in canonical order, and returns the merged result
+/// plus whether any shard exhausted its share of the event budget.
+///
+/// `max_events` is split across shards as evenly as possible (earlier
+/// ranks take the remainder), so exhaustion points depend only on the
+/// plan — never on thread count.
+pub(crate) fn execute(
+    sc: &Scenario,
+    plan: &[ShardSpec],
+    externals: &mut [&mut dyn SimObserver],
+    max_events: u64,
+    threads: usize,
+) -> (SimResult, bool) {
+    let shards = plan.len();
+    let workers = threads.max(1).min(shards);
+    let horizon_ns = sync_horizon(sc).as_nanos().max(1);
+    let budgets = split_budget(max_events, shards);
+    let ship = ShipFlags::for_run(sc, externals);
+
+    // Worker-local copies with the heavyweight recorders off: the
+    // merger rebuilds the trace and timeline from relayed notes.
+    let subs: Vec<Scenario> = plan
+        .iter()
+        .map(|spec| {
+            let mut sub = spec.scenario.clone();
+            sub.record_trace = false;
+            sub.record_timeline = false;
+            sub
+        })
+        .collect();
+
+    let mut senders = Vec::with_capacity(shards);
+    let mut receivers = Vec::with_capacity(shards);
+    for _ in 0..shards {
+        let (tx, rx) = sync_channel(CHANNEL_CAP);
+        senders.push(tx);
+        receivers.push(rx);
+    }
+
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let owned: Vec<(SyncSender<ShardMsg>, &Scenario, u64)> = (w..shards)
+                .step_by(workers)
+                .map(|rank| (senders[rank].clone(), &subs[rank], budgets[rank]))
+                .collect();
+            scope.spawn(move || run_worker(owned, horizon_ns, ship));
+        }
+        // Drop the original senders: if a worker dies, the merger's
+        // `recv` disconnects (and panics with context) instead of
+        // blocking forever.
+        drop(senders);
+        merge::merge(sc, plan, &receivers, externals)
+    })
+}
+
+/// Splits an event budget over `shards` as evenly as possible; an
+/// unlimited budget stays unlimited everywhere.
+fn split_budget(max_events: u64, shards: usize) -> Vec<u64> {
+    if max_events == u64::MAX {
+        return vec![u64::MAX; shards];
+    }
+    let n = shards as u64;
+    let per = max_events / n;
+    let rem = max_events % n;
+    (0..n).map(|rank| per + u64::from(rank < rem)).collect()
+}
+
+/// One worker: builds engines for its owned shards and advances them
+/// through lockstep windows until all are done.
+fn run_worker(
+    owned: Vec<(SyncSender<ShardMsg>, &Scenario, u64)>,
+    horizon_ns: u64,
+    ship: ShipFlags,
+) {
+    let mut relays: Vec<RelayObserver> = owned
+        .iter()
+        .map(|(tx, _, _)| RelayObserver::new(tx.clone(), ship))
+        .collect();
+    let mut slots: Vec<&mut dyn SimObserver> = relays
+        .iter_mut()
+        .map(|r| r as &mut dyn SimObserver)
+        .collect();
+    let mut engines: Vec<Option<Engine<'_, '_, '_>>> = Vec::with_capacity(owned.len());
+    let mut rest: &mut [&mut dyn SimObserver] = &mut slots;
+    for (_, sub, budget) in &owned {
+        let (head, tail) = std::mem::take(&mut rest).split_at_mut(1);
+        rest = tail;
+        let mut engine = Engine::new(sub, head);
+        engine.max_events = *budget;
+        engine.bootstrap();
+        engines.push(Some(engine));
+    }
+
+    let mut live = engines.len();
+    let mut window: u64 = 0;
+    while live > 0 {
+        let until = SimTime::ZERO
+            + SimDuration::from_nanos(horizon_ns.saturating_mul(window.saturating_add(1)));
+        for (i, slot) in engines.iter_mut().enumerate() {
+            let more = match slot.as_mut() {
+                Some(engine) => engine.run_window(until),
+                None => continue,
+            };
+            let (tx, _, _) = &owned[i];
+            if more {
+                tx.send(ShardMsg::Barrier)
+                    .expect("merger outlives the shard workers");
+            } else {
+                let engine = slot.take().expect("engine present while live");
+                let exhausted = engine.exhausted;
+                let result = engine.finalize();
+                tx.send(ShardMsg::Done {
+                    result: Box::new(result),
+                    exhausted,
+                })
+                .expect("merger outlives the shard workers");
+                live -= 1;
+            }
+        }
+        window = window.saturating_add(1);
+    }
+}

@@ -40,9 +40,23 @@ fn fixture_path() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures/trace_2net_dcn.jsonl")
 }
 
+/// Honors the CI shard matrix: with `NOMC_SHARDS=N` set, the run goes
+/// through the sharded engine on `N` worker threads. The two networks
+/// sit 3 MHz apart — inside the ACR support, one interaction component
+/// — so the fixture must stay byte-identical for every `N`.
+fn run_golden(sc: &Scenario) -> nomc_sim::SimResult {
+    match std::env::var("NOMC_SHARDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+    {
+        Some(threads) => engine::run_sharded(sc, threads),
+        None => engine::run(sc),
+    }
+}
+
 #[test]
 fn golden_trace_is_byte_identical() {
-    let result = engine::run(&golden_scenario());
+    let result = run_golden(&golden_scenario());
     assert!(!result.trace.is_empty(), "trace recording must be on");
     let jsonl = trace::to_jsonl(&result.trace);
     let path = fixture_path();

@@ -77,9 +77,22 @@ fn fixture_path() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures/trace_2net_dcn_faults.jsonl")
 }
 
+/// Honors the CI shard matrix: with `NOMC_SHARDS=N` set, the faulted
+/// run goes through the sharded engine on `N` worker threads; the
+/// fixture must stay byte-identical for every `N`.
+fn run_golden(sc: &Scenario) -> nomc_sim::SimResult {
+    match std::env::var("NOMC_SHARDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+    {
+        Some(threads) => engine::run_sharded(sc, threads),
+        None => engine::run(sc),
+    }
+}
+
 #[test]
 fn faulted_golden_trace_is_byte_identical() {
-    let result = engine::run(&faulted_scenario());
+    let result = run_golden(&faulted_scenario());
     assert!(!result.trace.is_empty(), "trace recording must be on");
     let jsonl = trace::to_jsonl(&result.trace);
     // The plan really fired: the trace carries the crash, the reboot,
