@@ -15,10 +15,21 @@ cargo test -p nomc-integration-tests --test trace_golden_faults -q --offline
 cargo test -p nomc-experiments --lib -q --offline runner::
 cargo test -p nomc-experiments --lib -q --offline kill_reboot
 
+echo "==> snapshot/restore: mid-run checkpoint byte identity"
+# The DESIGN.md §14 contract: run-to-event-K, snapshot, restore,
+# run-to-end is byte-identical to an uninterrupted run — serial,
+# sharded, and with every fault type in flight — and corrupt snapshots
+# are typed errors, never panics.
+cargo test -p nomc-integration-tests --test snapshot_resume -q --offline
+cargo test -p nomc-experiments --lib -q --offline checkpoint::
+
 echo "==> sweep crash safety: kill-and-resume must be byte-identical"
 # Thread-count matrix: sweep determinism must hold whether the test
 # binary serializes the suites or races them — any shared mutable state
-# between parameter points shows up as a flake under 2/8.
+# between parameter points shows up as a flake under 2/8. The
+# sweep_crash suite SIGKILLs real sweep processes both between members
+# (journal replay) and mid-member (restart from the last engine
+# checkpoint) and requires the resumed report byte-identical.
 for threads in 1 2 8; do
   echo "    --test-threads $threads"
   cargo test -p nomc-experiments --lib -q --offline sweep:: -- --test-threads "$threads"
@@ -26,10 +37,13 @@ done
 cargo test -p nomc-cli --test sweep_crash -q --offline
 
 echo "==> sharded-engine determinism: golden traces byte-identical at every shard count"
-# The golden fixtures pin the serial engine's event history; the sharded
-# engine must reproduce them byte for byte on 1/2/4/8 worker threads
-# (the fixtures' two networks form one interaction component, so this
-# also pins the single-component delegation path).
+# The clean and faulted two-network fixtures pin the serial engine's
+# event history; the sharded engine must reproduce them byte for byte on
+# 1/2/4/8 worker threads (one interaction component, so this also pins
+# the single-component delegation path). The four-network partitioned
+# faulted fixture rides in trace_golden_faults and pins the
+# componentized path — per-shard seeds, cross-shard fault routing — at
+# the same shard counts.
 for shards in 1 2 4 8; do
   echo "    --shards $shards"
   NOMC_SHARDS="$shards" cargo test -p nomc-integration-tests \

@@ -21,6 +21,15 @@
 //!   `power_sense_heavy` six-network 3 MHz grid through `run_sharded`,
 //!   which collapses to a single component, so the bench pins the
 //!   partition-planning + delegation overhead on coupled workloads.
+//! * `snapshot_roundtrip` — one mid-run engine checkpoint priced end to
+//!   end: serialize a paused `power_sense_heavy` run to its JSON wire
+//!   format and restore it back.
+//! * `checkpoint_overhead` — the same workload run under full
+//!   checkpoint supervision (pause every 4 000 events, atomic
+//!   save + fsync through the sweep checkpoint store, reload, resume);
+//!   compare against `power_sense_heavy` for the supervision premium.
+//!   With checkpointing off the engine never touches this code, so the
+//!   plain kernels above double as the zero-regression guard.
 //!
 //! `cargo bench -p nomc-bench --bench sim` writes `BENCH_sim.json` with
 //! wall-clock per run and events/sec, the perf-trajectory record ci.sh
@@ -144,6 +153,37 @@ fn sharded_independent_scenario(seed: u64) -> Scenario {
     b.build().expect("valid bench scenario")
 }
 
+/// One checkpoint-supervised run of `sc`: pause every `cadence`
+/// events, persist the snapshot through the sweep checkpoint store
+/// (atomic tmp + fsync + rename), reload and restore it from disk, and
+/// resume — the exact per-leg cost a `--checkpoint-every` sweep member
+/// pays for durability.
+fn run_checkpointed(sc: &Scenario, dir: &std::path::Path, cadence: u64) -> nomc_sim::SimResult {
+    use nomc_experiments::sweep::checkpoint;
+    const KEY: u64 = 0xbe7c_0de5;
+    let mut target = cadence;
+    let mut progress = engine::run_until(sc, &mut [], u64::MAX, target);
+    loop {
+        match progress {
+            engine::RunProgress::Paused(snap) => {
+                checkpoint::save(dir, KEY, 0, target, &engine::snapshot(&snap))
+                    .expect("bench checkpoint saves");
+                let rec = checkpoint::load(dir, KEY)
+                    .expect("bench checkpoint loads")
+                    .expect("bench checkpoint exists");
+                let restored = engine::restore(&rec.payload).expect("bench checkpoint restores");
+                target += cadence;
+                progress = engine::resume_bounded(sc, restored, &mut [], target)
+                    .expect("bench checkpoint resumes");
+            }
+            engine::RunProgress::Done(done) => {
+                checkpoint::discard(dir, KEY);
+                return done.result;
+            }
+        }
+    }
+}
+
 fn bench_sim(c: &mut Criterion) {
     let mut g = c.benchmark_group("sim");
     g.sample_size(10);
@@ -173,6 +213,27 @@ fn bench_sim(c: &mut Criterion) {
             b.iter(|| black_box(engine::run_sharded(&shrunk, threads)))
         });
     }
+    // Snapshot/checkpoint kernels (DESIGN.md §14): the serialization
+    // round-trip alone, then a fully supervised run.
+    let shrunk = shrink(power_sense_heavy_scenario(1));
+    let paused = match engine::run_until(&shrunk, &mut [], u64::MAX, 10_000) {
+        engine::RunProgress::Paused(p) => p,
+        engine::RunProgress::Done(_) => panic!("the shrunken bench run has well over 10k events"),
+    };
+    let wire_bytes = engine::snapshot(&paused).len() as u64;
+    g.throughput(wire_bytes);
+    g.bench_function("snapshot_roundtrip", |b| {
+        b.iter(|| {
+            let text = engine::snapshot(&paused);
+            black_box(engine::restore(&text).expect("snapshot text round-trips"))
+        })
+    });
+    let dir = std::env::temp_dir().join("nomc-bench-checkpoints");
+    std::fs::create_dir_all(&dir).expect("bench checkpoint dir creatable");
+    g.throughput(engine::run(&shrunk).events);
+    g.bench_function("checkpoint_overhead", |b| {
+        b.iter(|| black_box(run_checkpointed(&shrunk, &dir, 4_000)))
+    });
     g.finish();
 }
 

@@ -15,19 +15,32 @@ USAGE:
   nomc generate <template> [out.json]    write an example scenario file
                                          templates: line | dense | fig5 | attacker
   nomc run <scenario.json> [--json out] [--trace out.jsonl] [--faults plan.json]
-           [--shards N]                  simulate a scenario file, optionally
+           [--shards N] [--checkpoint-every EVENTS --snapshot-dir DIR]
+                                         simulate a scenario file, optionally
                                          injecting a deterministic fault plan;
                                          --shards runs independent network
                                          components on N worker threads
-                                         (results never depend on N)
+                                         (results never depend on N);
+                                         --checkpoint-every snapshots engine
+                                         state every EVENTS events (atomic
+                                         tmp+rename into DIR) and resumes a
+                                         killed run from its last snapshot —
+                                         the result is byte-identical either
+                                         way
   nomc sweep <scenario.json> [--journal out.jsonl] [--resume] [--retries N]
              [--budget EVENTS] [--threads N] [--shards N]
+             [--checkpoint-every EVENTS] [--snapshot-dir DIR]
              [--seeds 1,2,3 | --seed-count N]
              [--report out.json]         crash-safe multi-seed sweep: every
                                          concluded member is checkpointed to
                                          the journal (atomic tmp+rename), and
                                          --resume skips members the journal
-                                         already records
+                                         already records; --checkpoint-every
+                                         additionally snapshots each member
+                                         mid-run (default DIR: beside the
+                                         journal), so --resume restarts long
+                                         members from their last snapshot
+                                         instead of their first event
   nomc inspect <scenario.json>           print the link/interference budget
   nomc plan [--target-cprr F] [--delta DB] [--sigma DB] [--frame-bits N]
                                          smallest CFD meeting a CPRR target
@@ -145,10 +158,27 @@ pub fn run(args: &[String]) -> Result<(), String> {
     if let Some(t) = tracer.as_mut() {
         sinks.push(t);
     }
-    let result = match parse_flag::<usize>(args, "--shards")? {
+    let shards = match parse_flag::<usize>(args, "--shards")? {
         Some(0) => return Err("--shards must be at least 1".into()),
-        Some(threads) => engine::run_sharded_with(&scenario, &mut sinks, threads),
-        None => engine::run_with(&scenario, &mut sinks),
+        other => other,
+    };
+    let result = match parse_flag::<u64>(args, "--checkpoint-every")? {
+        Some(0) => return Err("--checkpoint-every must be at least 1 event".into()),
+        Some(every) => {
+            let dir = flag_value(args, "--snapshot-dir")?
+                .ok_or("--checkpoint-every needs --snapshot-dir <dir>")?;
+            checkpointed_run(
+                &scenario,
+                &mut sinks,
+                shards,
+                every,
+                std::path::Path::new(&dir),
+            )?
+        }
+        None => match shards {
+            Some(threads) => engine::run_sharded_with(&scenario, &mut sinks, threads),
+            None => engine::run_with(&scenario, &mut sinks),
+        },
     };
     if let (Some(t), Some(out)) = (tracer, &trace_path) {
         let records = t.finish().map_err(|e| format!("cannot write {out}: {e}"))?;
@@ -215,6 +245,87 @@ pub fn run(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// The checkpoint-supervised engine loop behind `nomc run
+/// --checkpoint-every`: resume from the run's snapshot file when a
+/// trustworthy one exists (any defect — corruption, version skew, a
+/// snapshot of a different scenario — degrades to a clean start with a
+/// notice, never a panic), then alternate run-to-pause legs with
+/// atomic snapshot writes until the run completes. The snapshot file is
+/// keyed by scenario content and execution mode, and removed on
+/// completion.
+///
+/// The result is byte-identical to an uninterrupted run; a `--trace`
+/// sink on a *resumed* serial run streams only the remaining suffix
+/// (a resumed sharded run replays the complete merged stream at the
+/// end).
+fn checkpointed_run(
+    scenario: &Scenario,
+    sinks: &mut [&mut dyn SimObserver],
+    shards: Option<usize>,
+    every: u64,
+    dir: &std::path::Path,
+) -> Result<nomc_sim::SimResult, String> {
+    use nomc_experiments::sweep::{checkpoint, hash};
+
+    let key = hash::member_hash_with(scenario, u64::MAX, shards.is_some());
+    let recovered = match checkpoint::load(dir, key) {
+        Ok(found) => found,
+        Err(e) => {
+            eprintln!("checkpoint unusable ({e}); restarting from the beginning");
+            checkpoint::discard(dir, key);
+            None
+        }
+    };
+    let mut resumed = None;
+    if let Some(rec) = recovered {
+        let restored = engine::restore(&rec.payload)
+            .map_err(|e| e.to_string())
+            .and_then(|snap| {
+                let target = rec.events_done.saturating_add(every);
+                engine::resume_bounded(scenario, snap, sinks, target)
+                    .map(|progress| (target, progress))
+                    .map_err(|e| e.to_string())
+            });
+        match restored {
+            Ok(pair) => {
+                eprintln!("resumed from checkpoint at {} events", rec.events_done);
+                resumed = Some(pair);
+            }
+            Err(e) => {
+                eprintln!("checkpoint unusable ({e}); restarting from the beginning");
+                checkpoint::discard(dir, key);
+            }
+        }
+    }
+    let (mut target, mut progress) = match resumed {
+        Some(pair) => pair,
+        None => {
+            let progress = match shards {
+                Some(_) => engine::run_sharded_until(scenario, sinks, u64::MAX, every),
+                None => engine::run_until(scenario, sinks, u64::MAX, every),
+            };
+            (every, progress)
+        }
+    };
+    loop {
+        match progress {
+            engine::RunProgress::Paused(snap) => {
+                if let Err(e) = checkpoint::save(dir, key, 0, target, &engine::snapshot(&snap)) {
+                    // Losing durability is not losing the run.
+                    eprintln!("checkpoint not saved ({e}); continuing without it");
+                }
+                target = target.saturating_add(every);
+                progress = engine::resume_bounded(scenario, *snap, sinks, target)
+                    .map_err(|e| format!("in-process resume failed: {e}"))?;
+            }
+            engine::RunProgress::Done(done) => {
+                checkpoint::discard(dir, key);
+                return Ok(done.result);
+            }
+        }
+    }
+}
+
 /// `nomc sweep <scenario.json> [--journal out.jsonl] [--resume]
 /// [--retries N] [--budget EVENTS] [--threads N] [--shards N]
 /// [--seeds 1,2,3 | --seed-count N] [--report out.json]`.
@@ -250,6 +361,26 @@ pub fn sweep(args: &[String]) -> Result<(), String> {
     let resume = args.iter().any(|a| a == "--resume");
     if resume && journal.is_none() {
         return Err("--resume needs --journal <path> to resume from".into());
+    }
+    if let Some(every) = parse_flag::<u64>(args, "--checkpoint-every")? {
+        if every == 0 {
+            return Err("--checkpoint-every must be at least 1 event".into());
+        }
+        let dir = match flag_value(args, "--snapshot-dir")? {
+            Some(d) => std::path::PathBuf::from(d),
+            // Default: a sibling directory of the journal, so resuming
+            // with the same command line finds the same snapshots.
+            None => match &journal {
+                Some(j) => std::path::PathBuf::from(format!("{j}.snapshots")),
+                None => {
+                    return Err("--checkpoint-every needs --journal (snapshots then live \
+                         beside it) or an explicit --snapshot-dir <dir>"
+                        .into())
+                }
+            },
+        };
+        cfg.checkpoint_every = Some(every);
+        cfg.snapshot_dir = Some(dir);
     }
 
     let members = sweep::seed_members(&base, &seeds);
@@ -597,6 +728,57 @@ mod tests {
         run(&[base.clone(), "--shards".into(), "2".into()]).unwrap();
         let err = run(&[base, "--shards".into(), "0".into()]).unwrap_err();
         assert!(err.contains("--shards"), "{err}");
+    }
+
+    #[test]
+    fn run_checkpointed_matches_plain_and_cleans_up() {
+        let mut sc = template_scenario("line").unwrap();
+        sc.duration = nomc_units::SimDuration::from_millis(300);
+        sc.warmup = nomc_units::SimDuration::from_millis(50);
+        let dir = std::env::temp_dir().join("nomc-cli-checkpointed");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let sc_path = dir.join("scenario.json");
+        std::fs::write(&sc_path, nomc_json::to_string(&sc)).unwrap();
+        let base = sc_path.to_str().unwrap().to_string();
+
+        let plain_json = dir.join("plain.json");
+        run(&[
+            base.clone(),
+            "--json".into(),
+            plain_json.to_str().unwrap().to_string(),
+        ])
+        .unwrap();
+
+        let snap_dir = dir.join("snapshots");
+        let ckpt_json = dir.join("ckpt.json");
+        run(&[
+            base.clone(),
+            "--checkpoint-every".into(),
+            "5000".into(),
+            "--snapshot-dir".into(),
+            snap_dir.to_str().unwrap().to_string(),
+            "--json".into(),
+            ckpt_json.to_str().unwrap().to_string(),
+        ])
+        .unwrap();
+        assert_eq!(
+            std::fs::read(&plain_json).unwrap(),
+            std::fs::read(&ckpt_json).unwrap(),
+            "checkpointing must not change the summary by a byte"
+        );
+        // The run completed, so its snapshot file was removed.
+        let leftovers: Vec<_> = std::fs::read_dir(&snap_dir)
+            .map(|es| es.filter_map(|e| e.ok()).collect())
+            .unwrap_or_default();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+
+        // Flag validation: zero cadence and a missing dir are typed
+        // errors, not silent defaults.
+        let err = run(&[base.clone(), "--checkpoint-every".into(), "0".into()]).unwrap_err();
+        assert!(err.contains("--checkpoint-every"), "{err}");
+        let err = run(&[base, "--checkpoint-every".into(), "5000".into()]).unwrap_err();
+        assert!(err.contains("--snapshot-dir"), "{err}");
     }
 
     #[test]

@@ -156,6 +156,123 @@ fn sigkill_mid_sweep_then_resume_is_byte_identical_to_uninterrupted() {
     );
 }
 
+/// `.ckpt.json` files currently present in a snapshot directory.
+fn checkpoint_files(dir: &Path) -> Vec<PathBuf> {
+    std::fs::read_dir(dir)
+        .map(|entries| {
+            entries
+                .filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .filter(|p| p.to_string_lossy().ends_with(".ckpt.json"))
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+#[test]
+fn sigkill_mid_member_then_resume_is_byte_identical_to_uninterrupted() {
+    let dir = test_dir("sigkill-mid-member");
+    let scenario = scenario_file(&dir);
+    let snapshots = dir.join("snapshots");
+    // Few long members on one thread: the sweep spends nearly all its
+    // time *inside* a member, so a kill triggered by the appearance of
+    // a mid-member checkpoint reliably lands mid-member.
+    let member_args = |journal: &Path, report: &Path| -> Vec<String> {
+        [
+            "sweep",
+            scenario.to_str().expect("utf8 path"),
+            "--seed-count",
+            "2",
+            "--threads",
+            "1",
+            "--retries",
+            "1",
+            "--checkpoint-every",
+            "20000",
+            "--snapshot-dir",
+            snapshots.to_str().expect("utf8 path"),
+            "--journal",
+            journal.to_str().expect("utf8 path"),
+            "--report",
+            report.to_str().expect("utf8 path"),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect()
+    };
+
+    // Reference: one uninterrupted checkpointed sweep. It concludes
+    // every member, so it leaves the snapshot directory empty for the
+    // victim run (same member keys — that is the point).
+    let full_journal = dir.join("full.jsonl");
+    let full_report = dir.join("full.json");
+    run_to_completion(&member_args(&full_journal, &full_report));
+    assert_eq!(journal_entries(&full_journal), 2);
+    assert_eq!(
+        checkpoint_files(&snapshots),
+        Vec::<PathBuf>::new(),
+        "a completed sweep must discard every member checkpoint"
+    );
+
+    // Victim: same sweep, SIGKILLed as soon as a mid-member engine
+    // checkpoint exists — i.e. while the first member is still running
+    // (the journal has no entries yet).
+    let kill_journal = dir.join("killed.jsonl");
+    let kill_report = dir.join("killed.json");
+    let args = member_args(&kill_journal, &kill_report);
+    let mut child = Command::new(nomc())
+        .args(&args)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("nomc spawns");
+    let saw_checkpoint = loop {
+        if !checkpoint_files(&snapshots).is_empty() {
+            break true;
+        }
+        if child.try_wait().expect("child pollable").is_some() {
+            break false;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    };
+    // SIGKILL: no destructors, no flush, no atexit — the hard case.
+    child.kill().expect("SIGKILL delivered");
+    child.wait().expect("child reaped");
+    assert!(
+        saw_checkpoint,
+        "test premise: a mid-member checkpoint existed before the kill"
+    );
+    assert!(
+        !kill_report.exists(),
+        "the killed run must not have written its report"
+    );
+
+    // Resume: journal replay skips any concluded members, and the
+    // in-flight member restarts from its last snapshot rather than
+    // from scratch.
+    let mut resume_args = args.clone();
+    resume_args.push("--resume".to_string());
+    run_to_completion(&resume_args);
+
+    // The acceptance bar: byte-identical report AND journal, and the
+    // snapshot directory drained.
+    assert_eq!(
+        std::fs::read(&kill_report).expect("resumed report"),
+        std::fs::read(&full_report).expect("reference report"),
+        "resumed report differs from the uninterrupted run"
+    );
+    assert_eq!(
+        std::fs::read(&kill_journal).expect("resumed journal"),
+        std::fs::read(&full_journal).expect("reference journal"),
+        "resumed journal differs from the uninterrupted run"
+    );
+    assert_eq!(
+        checkpoint_files(&snapshots),
+        Vec::<PathBuf>::new(),
+        "the resumed sweep must discard every member checkpoint"
+    );
+}
+
 #[test]
 fn resume_on_a_completed_journal_reruns_nothing_and_reproduces_the_report() {
     let dir = test_dir("noop-resume");

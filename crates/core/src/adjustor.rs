@@ -48,6 +48,34 @@ pub struct CcaAdjustor {
     stats: AdjustorStats,
 }
 
+/// The complete mutable state of a [`CcaAdjustor`], detached from its
+/// construction-time configuration. [`CcaAdjustor::save`] and
+/// [`CcaAdjustor::load`] round-trip through this so a host can
+/// checkpoint mid-run and resume bit-identically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdjustorSnapshot {
+    /// Current phase.
+    pub phase: DcnPhase,
+    /// Start of the (current) initializing phase.
+    pub started: SimTime,
+    /// Initializing phase: minimum co-channel packet RSSI seen.
+    pub init_min_rssi: Option<Dbm>,
+    /// Initializing phase: maximum in-channel sensed power seen.
+    pub init_max_power: Option<Dbm>,
+    /// Updating phase: the `T_U` co-channel RSSI window, oldest first.
+    pub window: Vec<(SimTime, Dbm)>,
+    /// Time of the last Case-I update.
+    pub last_case1: SimTime,
+    /// Time of the last Case-II evaluation.
+    pub last_case2: SimTime,
+    /// Time the staleness clock was last fed.
+    pub last_heard: SimTime,
+    /// The threshold in force.
+    pub current: Dbm,
+    /// Activity counters.
+    pub stats: AdjustorStats,
+}
+
 /// Counters describing the adjustor's activity, for experiment reporting.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct AdjustorStats {
@@ -146,6 +174,41 @@ impl CcaAdjustor {
     /// The adjustor's configuration.
     pub fn config(&self) -> &DcnConfig {
         &self.config
+    }
+
+    /// Captures the adjustor's complete mutable state (everything except
+    /// the construction-time `config`/`default`/`clamp`), for
+    /// checkpoint/restore.
+    pub fn save(&self) -> AdjustorSnapshot {
+        AdjustorSnapshot {
+            phase: self.phase,
+            started: self.started,
+            init_min_rssi: self.init_min_rssi,
+            init_max_power: self.init_max_power,
+            window: self.window.iter().copied().collect(),
+            last_case1: self.last_case1,
+            last_case2: self.last_case2,
+            last_heard: self.last_heard,
+            current: self.current,
+            stats: self.stats,
+        }
+    }
+
+    /// Overwrites the mutable state with a previously [`CcaAdjustor::save`]d
+    /// one. The adjustor must have been constructed with the same
+    /// `config`/`default`/`clamp` as the saved one for the resumed
+    /// trajectory to match.
+    pub fn load(&mut self, snap: AdjustorSnapshot) {
+        self.phase = snap.phase;
+        self.started = snap.started;
+        self.init_min_rssi = snap.init_min_rssi;
+        self.init_max_power = snap.init_max_power;
+        self.window = snap.window.into();
+        self.last_case1 = snap.last_case1;
+        self.last_case2 = snap.last_case2;
+        self.last_heard = snap.last_heard;
+        self.current = snap.current;
+        self.stats = snap.stats;
     }
 
     /// Eq. 2: `CCA_I = min{ S_1, …, max{ P_1, … } }`, with the paper's
@@ -275,6 +338,50 @@ impl CcaThresholdProvider for CcaAdjustor {
         }
     }
 }
+
+impl nomc_json::ToJson for DcnPhase {
+    fn to_json(&self) -> nomc_json::Json {
+        let s = match self {
+            DcnPhase::Initializing => "initializing",
+            DcnPhase::Updating => "updating",
+        };
+        nomc_json::ToJson::to_json(s)
+    }
+}
+
+impl nomc_json::FromJson for DcnPhase {
+    fn from_json(value: &nomc_json::Json) -> Result<Self, nomc_json::Error> {
+        match value
+            .as_str()
+            .ok_or_else(|| nomc_json::Error::new("expected string for DcnPhase"))?
+        {
+            "initializing" => Ok(DcnPhase::Initializing),
+            "updating" => Ok(DcnPhase::Updating),
+            other => Err(nomc_json::Error::new(format!("unknown DcnPhase `{other}`"))),
+        }
+    }
+}
+
+nomc_json::json_struct!(AdjustorStats {
+    case1_updates: u64,
+    case2_updates: u64,
+    cochannel_observations: u64,
+    power_sense_observations: u64,
+    reinitializations: u64,
+});
+
+nomc_json::json_struct!(AdjustorSnapshot {
+    phase: DcnPhase,
+    started: SimTime,
+    init_min_rssi: Option<Dbm>,
+    init_max_power: Option<Dbm>,
+    window: Vec<(SimTime, Dbm)>,
+    last_case1: SimTime,
+    last_case2: SimTime,
+    last_heard: SimTime,
+    current: Dbm,
+    stats: AdjustorStats,
+});
 
 #[cfg(test)]
 mod tests {

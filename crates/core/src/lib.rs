@@ -72,6 +72,6 @@ pub mod adjustor;
 pub mod classifier;
 pub mod config;
 
-pub use adjustor::{CcaAdjustor, DcnPhase};
+pub use adjustor::{AdjustorSnapshot, AdjustorStats, CcaAdjustor, DcnPhase};
 pub use classifier::OracleClassifierCca;
 pub use config::DcnConfig;

@@ -171,7 +171,7 @@ pub(crate) fn run_isolated(sc: &Scenario, max_events: u64, shards: Option<usize>
 
 /// Best-effort extraction of a panic payload's message (the standard
 /// `panic!`/`expect` payloads are `&str` or `String`).
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {

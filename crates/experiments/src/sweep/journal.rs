@@ -35,12 +35,17 @@ struct Header {
     sweep_hash: u64,
     /// Number of members in the sweep.
     members: usize,
+    /// Where mid-member engine checkpoints live, when checkpoint
+    /// supervision is on. Informational (the resume command line names
+    /// its own directory); absent in journals written without it.
+    snapshot_dir: Option<String>,
 }
 
 nomc_json::json_struct!(Header {
     nomc_sweep_journal: u64,
     sweep_hash: u64,
     members: usize,
+    snapshot_dir: Option<String> = None,
 });
 
 /// What a journal replay recovered: per-slot concluded reports plus a
@@ -166,11 +171,16 @@ pub fn parse(text: &str, sweep_hash: u64, member_hashes: &[u64]) -> Result<Repla
 /// header first, then every concluded report in slot order (which is
 /// what makes the file independent of completion — and thus thread —
 /// order).
-pub fn render(sweep_hash: u64, members: &[Option<MemberReport>]) -> String {
+pub fn render(
+    sweep_hash: u64,
+    snapshot_dir: Option<&str>,
+    members: &[Option<MemberReport>],
+) -> String {
     let header = Header {
         nomc_sweep_journal: JOURNAL_VERSION,
         sweep_hash,
         members: members.len(),
+        snapshot_dir: snapshot_dir.map(str::to_string),
     };
     let mut out = nomc_json::to_string(&header);
     out.push('\n');
@@ -192,9 +202,24 @@ pub fn render(sweep_hash: u64, members: &[Option<MemberReport>]) -> String {
 pub fn persist(
     path: &Path,
     sweep_hash: u64,
+    snapshot_dir: Option<&str>,
     members: &[Option<MemberReport>],
 ) -> Result<(), SweepError> {
-    let text = render(sweep_hash, members);
+    write_atomic(path, &render(sweep_hash, snapshot_dir, members))
+}
+
+/// Atomically replaces the file at `path` with `text`: write to the
+/// sibling `<path>.tmp`, `fsync`, `rename` over `path`, `fsync` the
+/// containing directory. A crash at any point leaves either the old
+/// complete file or the new complete file — never a torn mixture. The
+/// same pattern protects engine checkpoints (see [`super::checkpoint`]).
+///
+/// # Errors
+///
+/// [`SweepError::Io`] on any filesystem failure (the replacement is then
+/// not guaranteed durable, but the previous file is still intact —
+/// rename either happened completely or not at all).
+pub(crate) fn write_atomic(path: &Path, text: &str) -> Result<(), SweepError> {
     let tmp = tmp_path(path);
     let io_err = |p: &Path, e: std::io::Error| SweepError::Io {
         path: p.display().to_string(),
@@ -204,7 +229,7 @@ pub fn persist(
     file.write_all(text.as_bytes())
         .map_err(|e| io_err(&tmp, e))?;
     // Data must be on disk *before* the rename publishes it, or a crash
-    // could leave a journal whose name is newer than its bytes.
+    // could leave a file whose name is newer than its bytes.
     file.sync_all().map_err(|e| io_err(&tmp, e))?;
     drop(file);
     std::fs::rename(&tmp, path).map_err(|e| io_err(path, e))?;
@@ -282,7 +307,7 @@ mod tests {
             .enumerate()
             .map(|(i, &h)| Some(member(i, h)))
             .collect();
-        render(777, &members)
+        render(777, None, &members)
     }
 
     #[test]
@@ -348,7 +373,7 @@ mod tests {
             .map(|(i, &h)| Some(member(i, h)))
             .collect();
         members[3] = Some(member(3, 999)); // stale per-member hash
-        let text = render(777, &members);
+        let text = render(777, None, &members);
         let replay = parse(&text, 777, &hashes()).expect("parses");
         assert!(replay.members[3].is_none());
         assert_eq!(
@@ -403,12 +428,12 @@ mod tests {
         let path = dir.join("journal.jsonl");
         let mut members: Vec<Option<MemberReport>> = vec![None; 4];
         members[2] = Some(member(2, 33));
-        persist(&path, 777, &members).expect("persists");
+        persist(&path, 777, None, &members).expect("persists");
         let replay = load(&path, 777, &hashes()).expect("loads").expect("exists");
         assert_eq!(replay.recovered(), 1);
         // Growing the checkpoint only appends (slot order preserved).
         members[0] = Some(member(0, 11));
-        persist(&path, 777, &members).expect("persists again");
+        persist(&path, 777, None, &members).expect("persists again");
         let text = std::fs::read_to_string(&path).unwrap();
         let entries: Vec<&str> = text.lines().skip(1).collect();
         assert_eq!(entries.len(), 2);

@@ -10,6 +10,12 @@
 //! * [`journal`] — an append-only JSONL checkpoint, atomically replaced
 //!   (tmp-write + `fsync` + `rename`) after every concluded member, so
 //!   a SIGKILL'd sweep resumes from its last member instead of seed 1;
+//! * [`checkpoint`] — optional *mid-member* engine snapshots on an
+//!   event cadence ([`SweepConfig::checkpoint_every`]), written with
+//!   the same atomic discipline, so a SIGKILL'd sweep resumes a long
+//!   member from its last pause instead of its first event — and the
+//!   resumed member's report is byte-identical to the uninterrupted
+//!   one (the engine's snapshot contract);
 //! * [`hash`] — FNV-1a content keys over (serialized scenario, seed,
 //!   event budget) that bind journal entries to exactly the sweep that
 //!   wrote them, detecting stale journals after scenario edits;
@@ -42,6 +48,7 @@
 //! # Ok::<(), nomc_experiments::sweep::SweepError>(())
 //! ```
 
+pub mod checkpoint;
 pub mod hash;
 pub mod journal;
 pub mod report;
@@ -184,6 +191,15 @@ pub struct SweepConfig {
     /// and serial journals are not silently replayed. `None` keeps the
     /// legacy serial engine.
     pub shards: Option<usize>,
+    /// Mid-member checkpoint cadence in *events* (never a wall clock):
+    /// `Some(n)` pauses every member each `n` events and persists an
+    /// engine snapshot to [`SweepConfig::snapshot_dir`], so a killed
+    /// sweep resumes long members mid-flight. Requires `snapshot_dir`;
+    /// `None` (the default) runs members straight through.
+    pub checkpoint_every: Option<u64>,
+    /// Directory holding one checkpoint file per member (keyed by
+    /// member hash). Only consulted when `checkpoint_every` is set.
+    pub snapshot_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for SweepConfig {
@@ -195,6 +211,8 @@ impl Default for SweepConfig {
             base_budget: 1_000_000_000,
             threads: None,
             shards: None,
+            checkpoint_every: None,
+            snapshot_dir: None,
         }
     }
 }
@@ -240,6 +258,8 @@ pub fn run_sweep(
         .collect();
     let sweep_hash = hash::sweep_hash(&member_hashes);
 
+    let snapshot_dir_text = cfg.snapshot_dir.as_ref().map(|p| p.display().to_string());
+
     let mut concluded: Vec<Option<MemberReport>> = members.iter().map(|_| None).collect();
     if resume {
         if let Some(path) = journal_path {
@@ -252,7 +272,7 @@ pub fn run_sweep(
     // previous journal; resumes rewrite the recovered subset, which
     // also sheds quarantined lines).
     if let Some(path) = journal_path {
-        journal::persist(path, sweep_hash, &concluded)?;
+        journal::persist(path, sweep_hash, snapshot_dir_text.as_deref(), &concluded)?;
     }
 
     let pending: Vec<usize> = (0..members.len())
@@ -281,7 +301,9 @@ pub fn run_sweep(
         }
         if let Some(path) = journal_path {
             if first_error.is_none() {
-                if let Err(e) = journal::persist(path, sweep_hash, slots) {
+                if let Err(e) =
+                    journal::persist(path, sweep_hash, snapshot_dir_text.as_deref(), slots)
+                {
                     *first_error = Some(e);
                 }
             }
@@ -318,16 +340,41 @@ pub fn run_sweep(
 /// Runs one member's attempt loop: first attempt at the base budget,
 /// then — for `Failed`/`TimedOut` outcomes — up to `retries` more with
 /// a doubling event budget, recording every attempt.
+///
+/// With checkpoint supervision configured, each attempt pauses every
+/// [`SweepConfig::checkpoint_every`] events and persists an engine
+/// snapshot; a timed-out attempt's last checkpoint carries into the
+/// retry (which resumes it under the doubled budget instead of
+/// replaying the prefix), and the checkpoint is discarded once the
+/// member concludes. The report records nothing about checkpointing —
+/// a resumed member's report is byte-identical to an uninterrupted
+/// one.
 fn run_member(
     scenario: &Scenario,
     index: usize,
     member_hash: u64,
     cfg: &SweepConfig,
 ) -> MemberReport {
+    let supervision = match (&cfg.snapshot_dir, cfg.checkpoint_every) {
+        (Some(dir), Some(every)) if every > 0 => Some((dir.as_path(), every)),
+        _ => None,
+    };
     let mut attempts = Vec::new();
     let mut budget = cfg.base_budget;
-    for _attempt in 0..=cfg.retries {
-        let (outcome, done) = match run_isolated(scenario, budget, cfg.shards) {
+    for attempt in 0..=cfg.retries {
+        let run = match supervision {
+            Some((dir, every)) => run_checkpointed(
+                scenario,
+                budget,
+                cfg.shards,
+                dir,
+                every,
+                member_hash,
+                attempt,
+            ),
+            None => run_isolated(scenario, budget, cfg.shards),
+        };
+        let (outcome, done) = match run {
             RunOutcome::Ok(result) => (AttemptOutcome::Ok(MemberMetrics::of(&result)), true),
             RunOutcome::Failed(message) => (AttemptOutcome::Failed(message), false),
             RunOutcome::TimedOut { events } => (AttemptOutcome::TimedOut { events }, false),
@@ -338,10 +385,136 @@ fn run_member(
         }
         budget = budget.saturating_mul(2);
     }
+    // The member is concluded (the caller journals it next); its
+    // checkpoint has served its purpose.
+    if let Some((dir, _)) = supervision {
+        checkpoint::discard(dir, member_hash);
+    }
     MemberReport {
         member: index,
         hash: member_hash,
         attempts,
+    }
+}
+
+/// One checkpoint-supervised attempt: panic-isolated like
+/// [`run_isolated`], but run as a chain of pause/snapshot/resume legs.
+fn run_checkpointed(
+    scenario: &Scenario,
+    budget: u64,
+    shards: Option<usize>,
+    dir: &Path,
+    every: u64,
+    member_hash: u64,
+    attempt: u32,
+) -> RunOutcome {
+    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        checkpointed_legs(scenario, budget, shards, dir, every, member_hash, attempt)
+    }));
+    match run {
+        Ok(outcome) => outcome,
+        Err(payload) => {
+            // A panicking attempt cannot vouch for what it left on
+            // disk; drop the checkpoint so the retry starts clean.
+            checkpoint::discard(dir, member_hash);
+            RunOutcome::Failed(crate::runner::panic_message(&*payload))
+        }
+    }
+}
+
+/// The leg chain of one checkpointed attempt: resume from the latest
+/// trustworthy checkpoint (falling back to a clean start on *any*
+/// defect — typed errors all the way down, never a panic), then
+/// alternate run-to-pause with atomic snapshot writes until the engine
+/// finishes or exhausts its budget.
+fn checkpointed_legs(
+    scenario: &Scenario,
+    budget: u64,
+    shards: Option<usize>,
+    dir: &Path,
+    every: u64,
+    member_hash: u64,
+    attempt: u32,
+) -> RunOutcome {
+    use nomc_sim::engine;
+
+    // Recover a prior checkpoint, if it can be trusted. A defective
+    // file (corrupt, version-skewed, wrong member) is discarded and the
+    // attempt degrades to a clean start — by the engine's snapshot
+    // contract the results are byte-identical either way, so
+    // corruption costs time, never correctness.
+    let recovered = match checkpoint::load(dir, member_hash) {
+        Ok(found) => found,
+        Err(_) => {
+            checkpoint::discard(dir, member_hash);
+            None
+        }
+    };
+
+    let mut resumed = None;
+    if let Some(rec) = recovered {
+        // A checkpoint written by a *later* attempt must not leak into
+        // an earlier one: a resumed sweep replays the attempt ladder
+        // from 0, and attempt `k` has to reproduce the uninterrupted
+        // attempt `k` exactly. The file is left in place — this attempt
+        // overwrites it at its own first pause.
+        if rec.attempt <= attempt {
+            match engine::restore(&rec.payload) {
+                Ok(mut snap) => {
+                    // Graft this attempt's budget onto the saved state
+                    // (a retry resumes a timed-out attempt's checkpoint
+                    // under the doubled budget).
+                    snap.set_budget(budget);
+                    let target = rec.events_done.saturating_add(every);
+                    match engine::resume_bounded(scenario, snap, &mut [], target) {
+                        Ok(progress) => resumed = Some((target, progress)),
+                        Err(_) => checkpoint::discard(dir, member_hash),
+                    }
+                }
+                Err(_) => checkpoint::discard(dir, member_hash),
+            }
+        }
+    }
+
+    let (mut target, mut progress) = match resumed {
+        Some(pair) => pair,
+        None => {
+            let target = every;
+            let progress = match shards {
+                Some(_) => engine::run_sharded_until(scenario, &mut [], budget, target),
+                None => engine::run_until(scenario, &mut [], budget, target),
+            };
+            (target, progress)
+        }
+    };
+
+    loop {
+        match progress {
+            engine::RunProgress::Paused(snap) => {
+                let payload = engine::snapshot(&snap);
+                // A failed save loses durability, not the run: the
+                // member keeps executing with an older (or no)
+                // checkpoint to fall back on after a crash.
+                let _ = checkpoint::save(dir, member_hash, attempt, target, &payload);
+                target = target.saturating_add(every);
+                match engine::resume_bounded(scenario, *snap, &mut [], target) {
+                    Ok(next) => progress = next,
+                    // Unreachable in practice (the snapshot came from
+                    // this very scenario moments ago), but a typed
+                    // failure stays a recorded failure, not a panic.
+                    Err(e) => return RunOutcome::Failed(e.to_string()),
+                }
+            }
+            engine::RunProgress::Done(done) => {
+                return if done.exhausted {
+                    RunOutcome::TimedOut {
+                        events: done.result.events,
+                    }
+                } else {
+                    RunOutcome::Ok(done.result)
+                };
+            }
+        }
     }
 }
 

@@ -160,6 +160,8 @@ fn timed_out_member_retries_with_doubled_budget_until_it_completes() {
         base_budget: 100,
         threads: Some(1),
         shards: None,
+        checkpoint_every: None,
+        snapshot_dir: None,
     };
     let report = run_sweep(&members, &cfg, None, false).expect("sweep runs");
     let member = report.members.first().expect("one member");
@@ -182,6 +184,139 @@ fn timed_out_member_retries_with_doubled_budget_until_it_completes() {
     }
     let counts = report.counts();
     assert_eq!((counts.ok, counts.retried), (1, 1));
+}
+
+/// A tempdir for one test's member checkpoints, wiped up front.
+fn snapshot_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("nomc-sweep-ckpt-{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("snapshot dir creatable");
+    dir
+}
+
+fn checkpointed_cfg(tag: &str, every: u64) -> SweepConfig {
+    SweepConfig {
+        threads: Some(1),
+        checkpoint_every: Some(every),
+        snapshot_dir: Some(snapshot_dir(tag)),
+        ..SweepConfig::default()
+    }
+}
+
+/// `.ckpt.json` files currently in a snapshot directory.
+fn checkpoint_files(dir: &PathBuf) -> Vec<PathBuf> {
+    std::fs::read_dir(dir)
+        .map(|entries| {
+            entries
+                .filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .filter(|p| p.to_string_lossy().ends_with(".ckpt.json"))
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+#[test]
+fn checkpointed_sweep_is_byte_identical_to_plain_and_cleans_up() {
+    let members = seed_members(&base_scenario(), &[1, 2, 3]);
+    let plain = run_sweep(&members, &cfg_with_threads(1), None, false).expect("plain sweep");
+    let cfg = checkpointed_cfg("identical", 5_000);
+    let checkpointed = run_sweep(&members, &cfg, None, false).expect("checkpointed sweep");
+    assert_eq!(
+        checkpointed.to_json_string(),
+        plain.to_json_string(),
+        "checkpoint supervision must not change the report by a byte"
+    );
+    // Every member concluded, so every checkpoint was discarded.
+    let dir = cfg.snapshot_dir.expect("configured above");
+    assert_eq!(checkpoint_files(&dir), Vec::<PathBuf>::new());
+}
+
+#[test]
+fn planted_mid_member_checkpoint_resumes_to_the_uninterrupted_report() {
+    let members = seed_members(&base_scenario(), &[1, 2]);
+    let plain = run_sweep(&members, &cfg_with_threads(1), None, false).expect("plain sweep");
+
+    // Simulate a SIGKILL mid-member: run member 0 partway through this
+    // sweep's own cadence, persist its engine snapshot exactly as the
+    // supervisor would, then start the sweep against that directory.
+    let cfg = checkpointed_cfg("resume", 4_000);
+    let dir = cfg.snapshot_dir.clone().expect("configured above");
+    let first = members.first().expect("two members");
+    let mh = hash::member_hash_with(first, cfg.base_budget, false);
+    let engine::RunProgress::Paused(snap) =
+        engine::run_until(first, &mut [], cfg.base_budget, 4_000)
+    else {
+        panic!("scenario must outlast one cadence");
+    };
+    super::checkpoint::save(&dir, mh, 0, 4_000, &engine::snapshot(&snap)).expect("planted");
+
+    let resumed = run_sweep(&members, &cfg, None, false).expect("resumed sweep");
+    assert_eq!(
+        resumed.to_json_string(),
+        plain.to_json_string(),
+        "a member resumed mid-flight must reproduce the uninterrupted report"
+    );
+    assert_eq!(checkpoint_files(&dir), Vec::<PathBuf>::new());
+}
+
+#[test]
+fn corrupt_or_alien_checkpoints_degrade_to_a_clean_rerun() {
+    let members = seed_members(&base_scenario(), &[5]);
+    let plain = run_sweep(&members, &cfg_with_threads(1), None, false).expect("plain sweep");
+    let cfg = checkpointed_cfg("corrupt", 4_000);
+    let dir = cfg.snapshot_dir.clone().expect("configured above");
+    let first = members.first().expect("one member");
+    let mh = hash::member_hash_with(first, cfg.base_budget, false);
+    // Not even JSON: load fails typed, the member reruns clean.
+    std::fs::write(super::checkpoint::path_for(&dir, mh), b"\x00garbage\xff").expect("planted");
+    let report = run_sweep(&members, &cfg, None, false).expect("sweep survives corruption");
+    assert_eq!(report.to_json_string(), plain.to_json_string());
+
+    // A checkpoint from a *later* attempt must not leak into attempt 0.
+    let engine::RunProgress::Paused(snap) =
+        engine::run_until(first, &mut [], cfg.base_budget, 4_000)
+    else {
+        panic!("scenario must outlast one cadence");
+    };
+    super::checkpoint::save(&dir, mh, 3, 4_000, &engine::snapshot(&snap)).expect("planted");
+    let report = run_sweep(&members, &cfg, None, false).expect("sweep ignores later attempt");
+    assert_eq!(report.to_json_string(), plain.to_json_string());
+    assert_eq!(checkpoint_files(&dir), Vec::<PathBuf>::new());
+}
+
+#[test]
+fn checkpointed_retry_ladder_matches_the_plain_one() {
+    // The doubling-retry path under checkpoint supervision: a timed-out
+    // attempt's last checkpoint carries into the retry (resumed under
+    // the doubled budget), and the recorded attempt history must still
+    // be indistinguishable from the unsupervised ladder.
+    let members = seed_members(&base_scenario(), &[7]);
+    let mut plain_cfg = cfg_with_threads(1);
+    plain_cfg.retries = 16;
+    plain_cfg.base_budget = 100;
+    let plain = run_sweep(&members, &plain_cfg, None, false).expect("plain ladder");
+    let cfg = SweepConfig {
+        retries: 16,
+        base_budget: 100,
+        // A cadence below the base budget, so even the first attempt
+        // checkpoints before timing out.
+        ..checkpointed_cfg("ladder", 30)
+    };
+    let checkpointed = run_sweep(&members, &cfg, None, false).expect("checkpointed ladder");
+    assert_eq!(
+        checkpointed.to_json_string(),
+        plain.to_json_string(),
+        "retry ladder must not notice checkpoint supervision"
+    );
+    assert!(
+        checkpointed
+            .members
+            .first()
+            .expect("one member")
+            .was_retried(),
+        "the ladder must actually have retried"
+    );
 }
 
 #[test]
@@ -239,7 +374,7 @@ fn synthetic_journal() -> (String, u64, Vec<u64>) {
             })
         })
         .collect();
-    (journal::render(sweep, &members), sweep, hashes)
+    (journal::render(sweep, None, &members), sweep, hashes)
 }
 
 #[test]
@@ -350,7 +485,7 @@ fn prop_corrupted_content_hashes_quarantine_that_member_only() {
                     })
                 })
                 .collect();
-            let text = journal::render(sweep, &members);
+            let text = journal::render(sweep, None, &members);
             let replay = journal::parse(&text, sweep, &hashes)
                 .map_err(|e| format!("hash corruption must not be fatal: {e:?}"))?;
             nomc_rngcore::check!(

@@ -18,7 +18,7 @@
 //! | `dep-audit`           | every `Cargo.toml`                       |
 //! | `float-totality`      | `sim`/`phy`/`mac`/`core`/`experiments`   |
 //! | `observer-purity`     | every `impl SimObserver`                 |
-//! | `exhaustive-dispatch` | `sim/src/runtime/{dispatch,faults}.rs`   |
+//! | `exhaustive-dispatch` | `sim/src/runtime/{dispatch,faults,snapshot}.rs` + shard merge |
 //! | `dead-allow`          | every allow directive                    |
 //!
 //! The line-oriented v1 rules run on the lexed [`source::SourceFile`]

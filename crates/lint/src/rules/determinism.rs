@@ -145,6 +145,20 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_and_checkpoint_layers_are_in_scope() {
+        // The snapshot codec and the sweep checkpoint store sit on the
+        // byte-identity path: hash-order or wall-clock leaks there
+        // would make a resumed run diverge from an uninterrupted one.
+        for path in [
+            "crates/sim/src/runtime/snapshot.rs",
+            "crates/experiments/src/sweep/checkpoint.rs",
+        ] {
+            let d = lint(path, "let t = Instant::now();\n");
+            assert_eq!(d.len(), 1, "{path} must be checked");
+        }
+    }
+
+    #[test]
     fn test_code_is_exempt() {
         let src = "#[cfg(test)]\nmod tests {\n    use std::collections::HashSet;\n}\n";
         assert!(lint("crates/mac/src/engine.rs", src).is_empty());

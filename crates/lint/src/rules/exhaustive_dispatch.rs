@@ -8,12 +8,15 @@
 //! forced at build time.
 //!
 //! Scope: the files that own event/fault control flow
-//! (`sim/src/runtime/dispatch.rs`, `sim/src/runtime/faults.rs`, and the
+//! (`sim/src/runtime/dispatch.rs`, `sim/src/runtime/faults.rs`, the
 //! shard merger `sim/src/runtime/shard/merge.rs`, whose
 //! `BoundaryEvent`/`Event` replay matches must cover every variant a
-//! worker can ship), and only `match`es whose arms mention an
-//! event/fault enum (an `…Event::`/`…Fault…::` path) — matches over
-//! line counts or channel indices in the same files are untouched.
+//! worker can ship, and the snapshot codec
+//! `sim/src/runtime/snapshot.rs`, whose `Event` wire serialization must
+//! name every variant or a new event kind silently vanishes from
+//! checkpoints), and only `match`es whose arms mention an event/fault
+//! enum (an `…Event::`/`…Fault…::` path) — matches over line counts or
+//! channel indices in the same files are untouched.
 
 use crate::diag::Diagnostic;
 use crate::parser::{Items, MatchExpr};
@@ -25,6 +28,7 @@ const FILES: &[&str] = &[
     "crates/sim/src/runtime/dispatch.rs",
     "crates/sim/src/runtime/faults.rs",
     "crates/sim/src/runtime/shard/merge.rs",
+    "crates/sim/src/runtime/snapshot.rs",
 ];
 
 pub fn in_scope(rel_path: &str) -> bool {
@@ -130,6 +134,17 @@ mod tests {
         // boundary-record kind at the merge seam.
         let src = "fn replay(ev: BoundaryEvent) {\n    match ev {\n        BoundaryEvent::Popped(e) => pop(e),\n        _ => {}\n    }\n}\n";
         let d = lint("crates/sim/src/runtime/shard/merge.rs", src);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("catch-all"));
+    }
+
+    #[test]
+    fn snapshot_codec_event_wildcard_is_flagged() {
+        // The snapshot wire codec serializes `Event` variant by
+        // variant; a wildcard arm would let a newly added event kind
+        // vanish from checkpoints instead of failing the build.
+        let src = "fn encode(ev: Event) -> Json {\n    match ev {\n        Event::TxStart(n) => tag(n),\n        _ => Json::Null,\n    }\n}\n";
+        let d = lint("crates/sim/src/runtime/snapshot.rs", src);
         assert_eq!(d.len(), 1);
         assert!(d[0].message.contains("catch-all"));
     }

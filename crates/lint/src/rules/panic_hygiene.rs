@@ -183,6 +183,8 @@ mod tests {
             "crates/sim/src/runtime/shard/partition.rs",
             "crates/sim/src/runtime/shard/merge.rs",
             "crates/sim/src/runtime/shard/sync.rs",
+            "crates/sim/src/runtime/snapshot.rs",
+            "crates/experiments/src/sweep/checkpoint.rs",
         ] {
             let sf = SourceFile::parse("fn f() { panic!(\"x\"); }\n");
             let mut out = Vec::new();

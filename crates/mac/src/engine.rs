@@ -73,6 +73,41 @@ enum State {
     AwaitingAck,
 }
 
+/// Where in the CSMA/CA procedure an engine currently is, as exposed by
+/// [`MacEngine::snapshot`]. Mirrors the internal state machine exactly,
+/// one variant per state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MacPhase {
+    /// Waiting for [`MacEvent::PacketReady`].
+    Idle,
+    /// A backoff timer is armed.
+    InBackoff,
+    /// A CCA is in flight.
+    AwaitingCca,
+    /// The frame (or a forced retry) is on the air.
+    Transmitting,
+    /// Acknowledged mode: listening for the Imm-ACK.
+    AwaitingAck,
+}
+
+/// The complete mutable state of a [`MacEngine`], detached from its
+/// (immutable, scenario-derived) parameters.
+///
+/// [`MacEngine::snapshot`] and [`MacEngine::restore`] round-trip through
+/// this so a host can checkpoint a run mid-frame and resume it
+/// bit-identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MacSnapshot {
+    /// Current state-machine phase.
+    pub phase: MacPhase,
+    /// `NB`: number of busy CCAs so far for the current frame.
+    pub nb: u8,
+    /// `BE`: current backoff exponent.
+    pub be: u8,
+    /// Retransmissions performed for the current frame (ACK mode).
+    pub retries: u8,
+}
+
 /// The unslotted CSMA/CA engine for a single transmitter.
 #[derive(Debug, Clone)]
 pub struct MacEngine {
@@ -106,6 +141,43 @@ impl MacEngine {
     /// The engine's parameters.
     pub fn params(&self) -> &CsmaParams {
         &self.params
+    }
+
+    /// Captures the engine's complete mutable state.
+    pub fn snapshot(&self) -> MacSnapshot {
+        MacSnapshot {
+            phase: match self.state {
+                State::Idle => MacPhase::Idle,
+                State::InBackoff => MacPhase::InBackoff,
+                State::AwaitingCca => MacPhase::AwaitingCca,
+                State::Transmitting => MacPhase::Transmitting,
+                State::AwaitingAck => MacPhase::AwaitingAck,
+            },
+            nb: self.nb,
+            be: self.be,
+            retries: self.retries,
+        }
+    }
+
+    /// Rebuilds an engine from `params` and a captured state, resuming
+    /// exactly where [`MacEngine::snapshot`] left off.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` fail [`CsmaParams::validate`].
+    pub fn restore(params: CsmaParams, snap: MacSnapshot) -> Self {
+        let mut mac = MacEngine::new(params);
+        mac.state = match snap.phase {
+            MacPhase::Idle => State::Idle,
+            MacPhase::InBackoff => State::InBackoff,
+            MacPhase::AwaitingCca => State::AwaitingCca,
+            MacPhase::Transmitting => State::Transmitting,
+            MacPhase::AwaitingAck => State::AwaitingAck,
+        };
+        mac.nb = snap.nb;
+        mac.be = snap.be;
+        mac.retries = snap.retries;
+        mac
     }
 
     /// `true` when the engine will accept [`MacEvent::PacketReady`].
@@ -214,6 +286,42 @@ impl MacEngine {
         self.params.unit_backoff * u64::from(units)
     }
 }
+
+impl nomc_json::ToJson for MacPhase {
+    fn to_json(&self) -> nomc_json::Json {
+        let s = match self {
+            MacPhase::Idle => "idle",
+            MacPhase::InBackoff => "in_backoff",
+            MacPhase::AwaitingCca => "awaiting_cca",
+            MacPhase::Transmitting => "transmitting",
+            MacPhase::AwaitingAck => "awaiting_ack",
+        };
+        nomc_json::ToJson::to_json(s)
+    }
+}
+
+impl nomc_json::FromJson for MacPhase {
+    fn from_json(value: &nomc_json::Json) -> Result<Self, nomc_json::Error> {
+        match value
+            .as_str()
+            .ok_or_else(|| nomc_json::Error::new("expected string for MacPhase"))?
+        {
+            "idle" => Ok(MacPhase::Idle),
+            "in_backoff" => Ok(MacPhase::InBackoff),
+            "awaiting_cca" => Ok(MacPhase::AwaitingCca),
+            "transmitting" => Ok(MacPhase::Transmitting),
+            "awaiting_ack" => Ok(MacPhase::AwaitingAck),
+            other => Err(nomc_json::Error::new(format!("unknown MacPhase `{other}`"))),
+        }
+    }
+}
+
+nomc_json::json_struct!(MacSnapshot {
+    phase: MacPhase,
+    nb: u8,
+    be: u8,
+    retries: u8,
+});
 
 #[cfg(test)]
 mod tests {

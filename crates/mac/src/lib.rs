@@ -38,7 +38,7 @@ pub mod params;
 pub mod stats;
 pub mod threshold;
 
-pub use engine::{MacCommand, MacEngine, MacEvent};
+pub use engine::{MacCommand, MacEngine, MacEvent, MacPhase, MacSnapshot};
 pub use params::{CcaFailurePolicy, CsmaParams};
 pub use stats::MacStats;
 pub use threshold::{CcaThresholdProvider, FixedThreshold};

@@ -65,6 +65,17 @@ impl MacStats {
     }
 }
 
+nomc_json::json_struct!(MacStats {
+    enqueued: u64,
+    transmitted: u64,
+    forced_transmissions: u64,
+    access_failures: u64,
+    cca_busy: u64,
+    cca_clear: u64,
+    retransmissions: u64,
+    abandoned: u64,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -37,6 +37,15 @@ impl Xoshiro256StarStar {
         Xoshiro256StarStar { s }
     }
 
+    /// The raw 256-bit state, suitable for [`Xoshiro256StarStar::from_state`].
+    ///
+    /// Capturing and later restoring the state resumes the stream at
+    /// exactly the draw it was paused on, which is what checkpoint/
+    /// restore layers need for bit-identical replay.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
     /// Derives an independent stream for a sub-component (e.g. one node),
     /// so adding a node does not perturb the draws of the others.
     pub fn fork(&self, stream: u64) -> Self {

@@ -51,8 +51,11 @@
 
 use crate::metrics::SimResult;
 use crate::runtime::observer::SimObserver;
+use crate::runtime::snapshot::{self, ShardedProgress, ShardedSnapshot, SnapInner};
 use crate::runtime::{shard, Engine};
 use crate::scenario::Scenario;
+
+pub use crate::runtime::snapshot::SnapshotError;
 
 /// Runs `scenario` to completion.
 ///
@@ -187,4 +190,193 @@ pub fn run_sharded_bounded(
     }
     let (result, exhausted) = shard::execute(scenario, &plan, observers, max_events, threads);
     BoundedRun { result, exhausted }
+}
+
+/// A paused run, opaque to callers: serialize it with [`snapshot()`],
+/// bring it back with [`restore`], continue it with [`resume_bounded`].
+///
+/// Holds everything mutable about the run (event queue with original
+/// sequence numbers, RNG stream position, per-node MAC/provider state,
+/// medium history, built-in collector state, event budget and count);
+/// everything derived is recomputed from the scenario at resume. The
+/// contract: *run-to-event-K, snapshot, restore, run-to-end is
+/// byte-identical to the uninterrupted run* — results, traces,
+/// timelines, and (for sharded runs) the merged observer stream.
+#[derive(Debug)]
+pub struct RunSnapshot {
+    inner: SnapInner,
+}
+
+impl RunSnapshot {
+    /// Replaces the event budget persisted in the snapshot.
+    ///
+    /// A supervisor that retries a timed-out run with a doubled budget
+    /// resumes from the latest checkpoint rather than starting over;
+    /// this lets it graft the new budget onto the saved state. Sharded
+    /// snapshots re-split the budget over their ranks exactly as a
+    /// fresh bounded run would.
+    pub fn set_budget(&mut self, max_events: u64) {
+        match &mut self.inner {
+            SnapInner::Serial(snap) => snap.max_events = max_events,
+            SnapInner::Sharded(snap) => snap.set_budget(max_events),
+        }
+    }
+}
+
+/// A [`run_until`] / [`resume_bounded`] outcome: either the run paused
+/// at the requested event count, or it finished.
+#[derive(Debug)]
+pub enum RunProgress {
+    /// The pause target was reached first; the run can be snapshotted
+    /// and resumed.
+    Paused(Box<RunSnapshot>),
+    /// The run completed (naturally or on its event budget) before the
+    /// pause target.
+    Done(BoundedRun),
+}
+
+/// Runs `scenario` on the serial engine until `pause_after` events have
+/// been handled, the event budget `max_events` is exhausted, or the run
+/// drains — whichever comes first.
+///
+/// Both limits count *handled events* — no wall clock is consulted — so
+/// the pause point is deterministic. Pausing takes effect before the
+/// `pause_after + 1`-th event is popped: the paused engine has done
+/// exactly what the uninterrupted engine had done after its
+/// `pause_after`-th event, which is what makes the resumed run
+/// byte-identical. Pass `u64::MAX` for either limit to disable it.
+///
+/// # Panics
+///
+/// Panics under the same (builder-rejected) conditions as [`run`].
+pub fn run_until(
+    scenario: &Scenario,
+    observers: &mut [&mut dyn SimObserver],
+    max_events: u64,
+    pause_after: u64,
+) -> RunProgress {
+    let mut engine = Engine::new(scenario, observers);
+    engine.max_events = max_events;
+    engine.bootstrap();
+    serial_leg(engine, pause_after)
+}
+
+/// [`run_until`] under sharding: pauses once the *global* event count
+/// (summed across shards) reaches `pause_after`.
+///
+/// Single-component plans delegate to the serial [`run_until`], exactly
+/// as [`run_sharded`] delegates to [`run`]. Multi-component plans run
+/// rank by rank with the same per-shard budget split as
+/// [`run_sharded_bounded`]; on completion the buffered note stream
+/// replays through the canonical `(time, shard, seq)` merge, so the
+/// merged result and observer stream are byte-identical to an
+/// uninterrupted [`run_sharded_bounded`] whatever the pause pattern
+/// was.
+///
+/// # Panics
+///
+/// Panics under the same (builder-rejected) conditions as [`run`].
+pub fn run_sharded_until(
+    scenario: &Scenario,
+    observers: &mut [&mut dyn SimObserver],
+    max_events: u64,
+    pause_after: u64,
+) -> RunProgress {
+    let plan = shard::plan(scenario);
+    if plan.len() <= 1 {
+        return run_until(scenario, observers, max_events, pause_after);
+    }
+    let fresh = ShardedSnapshot::fresh(scenario, max_events, plan.len());
+    let progress = snapshot::run_sharded_leg(scenario, fresh, observers, pause_after)
+        // A freshly minted snapshot always matches its own scenario and
+        // plan; a rejection here is an engine bug, not an input condition.
+        .expect("fresh sharded leg accepts its own snapshot");
+    sharded_progress(progress)
+}
+
+/// Serializes a paused run as self-describing, versioned snapshot JSON
+/// (the in-tree `nomc-json` codec; exact `u64`/`f64` round-trips).
+///
+/// The scenario itself is *not* embedded — only its fingerprint — so a
+/// snapshot can only be resumed against the configuration that produced
+/// it, and snapshot files stay proportional to live state.
+pub fn snapshot(snap: &RunSnapshot) -> String {
+    snapshot::encode(&snap.inner)
+}
+
+/// Parses snapshot JSON produced by [`snapshot()`] back into a resumable
+/// [`RunSnapshot`].
+///
+/// Total: corrupt payloads (truncation, bit flips, type confusion) are
+/// [`SnapshotError::Malformed`], an incompatible format version is
+/// [`SnapshotError::VersionSkew`] — never a panic. Scenario agreement
+/// is checked at [`resume_bounded`] time, where the scenario is in
+/// hand.
+pub fn restore(text: &str) -> Result<RunSnapshot, SnapshotError> {
+    snapshot::decode(text).map(|inner| RunSnapshot { inner })
+}
+
+/// Resumes a paused run against `scenario` until `pause_after` total
+/// events, its persisted event budget, or completion — whichever comes
+/// first.
+///
+/// The snapshot remembers whether it was a serial or sharded run and
+/// its original `max_events`; `pause_after` is an absolute target on
+/// the same counter [`run_until`] uses (pass `u64::MAX` to run to the
+/// end). `observers` attach for the remainder of the run: a resumed
+/// serial run streams them the suffix only, while a resumed sharded
+/// run replays the *complete* buffered note stream at the final merge.
+/// Built-in collector state travels inside the snapshot either way, so
+/// the returned result, trace, and timeline are byte-identical to an
+/// uninterrupted run.
+///
+/// # Errors
+///
+/// [`SnapshotError::ScenarioMismatch`] when the snapshot fingerprint
+/// does not match `scenario`, [`SnapshotError::Malformed`] when the
+/// snapshot's internal invariants do not hold against the scenario
+/// (index bounds, state-shape agreement). Never panics on bad input.
+pub fn resume_bounded(
+    scenario: &Scenario,
+    snap: RunSnapshot,
+    observers: &mut [&mut dyn SimObserver],
+    pause_after: u64,
+) -> Result<RunProgress, SnapshotError> {
+    match snap.inner {
+        SnapInner::Serial(engine_snap) => {
+            let engine = Engine::restore_from(scenario, observers, &engine_snap)?;
+            Ok(serial_leg(engine, pause_after))
+        }
+        SnapInner::Sharded(sharded) => {
+            let progress = snapshot::run_sharded_leg(scenario, sharded, observers, pause_after)?;
+            Ok(sharded_progress(progress))
+        }
+    }
+}
+
+/// Advances a (fresh or restored) serial engine one leg.
+fn serial_leg(mut engine: Engine<'_, '_, '_>, pause_after: u64) -> RunProgress {
+    match engine.run_leg(pause_after) {
+        crate::runtime::LegEnd::Paused => RunProgress::Paused(Box::new(RunSnapshot {
+            inner: SnapInner::Serial(Box::new(engine.capture())),
+        })),
+        crate::runtime::LegEnd::Over => {
+            let exhausted = engine.exhausted;
+            RunProgress::Done(BoundedRun {
+                result: engine.finalize(),
+                exhausted,
+            })
+        }
+    }
+}
+
+fn sharded_progress(progress: ShardedProgress) -> RunProgress {
+    match progress {
+        ShardedProgress::Paused(sharded) => RunProgress::Paused(Box::new(RunSnapshot {
+            inner: SnapInner::Sharded(sharded),
+        })),
+        ShardedProgress::Done(result, exhausted) => {
+            RunProgress::Done(BoundedRun { result, exhausted })
+        }
+    }
 }

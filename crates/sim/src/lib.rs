@@ -53,8 +53,9 @@ pub mod scenario;
 pub mod trace;
 
 pub use engine::{
-    run, run_bounded, run_sharded, run_sharded_bounded, run_sharded_with, run_with, shard_plan,
-    BoundedRun,
+    restore, resume_bounded, run, run_bounded, run_sharded, run_sharded_bounded, run_sharded_until,
+    run_sharded_with, run_until, run_with, shard_plan, snapshot, BoundedRun, RunProgress,
+    RunSnapshot, SnapshotError,
 };
 pub use metrics::{LinkMetrics, NetworkMetrics, SimResult};
 pub use runtime::observer::{

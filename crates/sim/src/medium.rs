@@ -448,6 +448,78 @@ impl Medium {
         }
     }
 
+    /// The retained transmission history in slab (id) order — each entry
+    /// with whether it is still in its channel's active set — plus the
+    /// running airtime maximum. Together these are the medium's complete
+    /// mutable state for checkpointing: the rx-milliwatt and leakage
+    /// caches are pure functions of it, and ambient bursts are
+    /// construction-time state.
+    pub(crate) fn history(&self) -> (Vec<(Transmission, bool)>, SimDuration) {
+        let mut active = std::collections::BTreeSet::new();
+        for ch in &self.channels {
+            active.extend(ch.active.iter().map(|e| e.id));
+        }
+        let history = self
+            .slab
+            .iter()
+            .map(|e| (e.tx.clone(), active.contains(&e.tx.id)))
+            .collect();
+        (history, self.max_duration)
+    }
+
+    /// Rebuilds the slab and channel index from a [`Medium::history`]
+    /// capture, replacing any current history.
+    ///
+    /// This is *not* a replay of [`Medium::add`]: no retention pruning
+    /// runs (the capture already reflects every prune the original run
+    /// performed, and replaying survivors could prune differently when
+    /// airtimes are mixed), and `max_duration` is restored verbatim
+    /// because pruned entries contributed to it. Channels that exist in
+    /// the original but have no surviving entries are not recreated;
+    /// empty channels contribute nothing to any query.
+    pub(crate) fn restore_history(
+        &mut self,
+        history: Vec<(Transmission, bool)>,
+        max_duration: SimDuration,
+    ) {
+        self.slab.clear();
+        self.channels.clear();
+        self.max_duration = max_duration;
+        for (tx, live) in history {
+            debug_assert!(
+                self.slab.back().is_none_or(|b| tx.id == b.tx.id + 1),
+                "history ids must be consecutive",
+            );
+            let key = ChanEntry {
+                id: tx.id,
+                start_ns: tx.start.as_nanos(),
+                end_ns: tx.end.as_nanos(),
+                tx_node: tx.tx_node,
+            };
+            match self
+                .channels
+                .binary_search_by(|c| c.freq.value().total_cmp(&tx.frequency.value()))
+            {
+                Ok(i) => {
+                    self.channels[i].ids.push(key);
+                    if live {
+                        self.channels[i].active.push(key);
+                    }
+                }
+                Err(i) => self.channels.insert(
+                    i,
+                    Channel {
+                        freq: tx.frequency,
+                        ids: vec![key],
+                        active: if live { vec![key] } else { Vec::new() },
+                    },
+                ),
+            }
+            let rx_mw = vec![std::cell::Cell::new(f64::NAN); tx.rx_power.len()];
+            self.slab.push_back(Entry { tx, rx_mw });
+        }
+    }
+
     /// Looks up a slab entry by id in O(1) (id arithmetic off the front).
     #[inline]
     fn entry(&self, id: TxId) -> Option<&Entry> {

@@ -12,6 +12,16 @@
 //! runs without ever consulting a wall clock.
 
 use super::{Engine, DRAIN};
+
+/// How a [`Engine::run_leg`] ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum LegEnd {
+    /// The pause budget was reached; the run can continue from a snapshot.
+    Paused,
+    /// The run is over: queue drained, drain deadline passed, or event
+    /// budget exhausted — the same exits as the serial loop.
+    Over,
+}
 use crate::events::{Event, EventQueue, NodeId};
 use crate::metrics::SimResult;
 use crate::scenario::TrafficModel;
@@ -63,8 +73,46 @@ impl Engine<'_, '_, '_> {
                 return false;
             }
             if self.events >= self.max_events {
+                // Keep the popped entry: exhaustion must leave the queue
+                // state intact so a snapshot taken here (or a resumed
+                // bounded run) sees exactly what an uninterrupted run
+                // with a larger budget would pop next.
                 self.exhausted = true;
+                self.held = Some((t, seq, ev));
                 return false;
+            }
+            self.now = t;
+            self.events += 1;
+            if self.discards(seq, &ev) {
+                continue;
+            }
+            self.obs.event(t, &ev);
+            self.dispatch(ev);
+        }
+    }
+
+    /// Advances exactly like [`Engine::run_window`]`(SimTime::MAX)` but
+    /// additionally *pauses* — before popping anything, with no side
+    /// effects — once `pause_at` events have been counted. An engine
+    /// paused here is in precisely the state an uninterrupted run passes
+    /// through after its `pause_at`-th event, which is what makes
+    /// snapshots taken at the pause point resumable bit-identically.
+    pub(crate) fn run_leg(&mut self, pause_at: u64) -> LegEnd {
+        let deadline = SimTime::ZERO + self.sc.duration + DRAIN;
+        loop {
+            if self.events >= pause_at {
+                return LegEnd::Paused;
+            }
+            let Some((t, seq, ev)) = self.held.take().or_else(|| self.queue.pop_entry()) else {
+                return LegEnd::Over;
+            };
+            if t > deadline {
+                return LegEnd::Over;
+            }
+            if self.events >= self.max_events {
+                self.exhausted = true;
+                self.held = Some((t, seq, ev));
+                return LegEnd::Over;
             }
             self.now = t;
             self.events += 1;

@@ -31,9 +31,11 @@
 pub mod observer;
 pub mod shard;
 pub mod sinks;
+pub mod snapshot;
 
 mod ack;
 mod dispatch;
+pub(crate) use dispatch::LegEnd;
 mod faults;
 mod node;
 mod sense;

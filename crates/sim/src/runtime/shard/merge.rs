@@ -33,7 +33,7 @@ use crate::scenario::Scenario;
 use crate::trace::{TraceKind, TraceRecord};
 use nomc_units::SimTime;
 use std::collections::BTreeMap;
-use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::mpsc::{Receiver, Sender, SyncSender};
 
 /// Which note categories a run actually consumes, sampled once before
 /// the workers start. Categories nobody consumes are never shipped.
@@ -121,11 +121,32 @@ pub(crate) enum ShardMsg {
     },
 }
 
+/// Where a [`RelayObserver`] delivers its messages: the threaded
+/// executor's bounded channel (backpressure against the merger), or an
+/// unbounded one for the single-threaded checkpoint executor, where the
+/// consumer drains only after the producing leg finishes — a bounded
+/// channel would deadlock there.
+pub(crate) enum NoteSink {
+    /// Threaded lockstep execution (`shard::execute`).
+    Bounded(SyncSender<ShardMsg>),
+    /// Buffered single-threaded execution (checkpointed legs).
+    Unbounded(Sender<ShardMsg>),
+}
+
+impl NoteSink {
+    fn send(&self, msg: ShardMsg) {
+        match self {
+            NoteSink::Bounded(tx) => tx.send(msg).expect("merger outlives the shard workers"),
+            NoteSink::Unbounded(tx) => tx.send(msg).expect("receiver outlives the leg"),
+        }
+    }
+}
+
 /// The per-shard observer: forwards each notification to the merger the
-/// moment it happens. Owns no shared state (plain `SyncSender` clone),
-/// so it satisfies the observer-purity rule by construction.
+/// moment it happens. Owns no shared state (plain channel sender), so
+/// it satisfies the observer-purity rule by construction.
 pub(crate) struct RelayObserver {
-    tx: SyncSender<ShardMsg>,
+    tx: NoteSink,
     ship: ShipFlags,
     seq: u64,
     /// Engine time of the last popped event — `on_abandon` carries no
@@ -135,20 +156,31 @@ pub(crate) struct RelayObserver {
 
 impl RelayObserver {
     pub(crate) fn new(tx: SyncSender<ShardMsg>, ship: ShipFlags) -> Self {
-        RelayObserver {
-            tx,
-            ship,
-            seq: 0,
-            now: SimTime::ZERO,
-        }
+        RelayObserver::resumed(NoteSink::Bounded(tx), ship, 0, SimTime::ZERO)
+    }
+
+    /// A relay resuming an interrupted note stream: `seq` and `now`
+    /// continue from the values [`RelayObserver::seq`] /
+    /// [`RelayObserver::now`] reported when the stream paused, so the
+    /// canonical `(time, rank, seq)` merge key ordering spans legs.
+    pub(crate) fn resumed(tx: NoteSink, ship: ShipFlags, seq: u64, now: SimTime) -> Self {
+        RelayObserver { tx, ship, seq, now }
+    }
+
+    /// Notes emitted so far (the next note's merge-key `seq`).
+    pub(crate) fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Engine time of the last relayed popped event.
+    pub(crate) fn now(&self) -> SimTime {
+        self.now
     }
 
     fn send(&mut self, at: SimTime, ev: BoundaryEvent) {
         let seq = self.seq;
         self.seq += 1;
-        self.tx
-            .send(ShardMsg::Note(Box::new(Note { at, seq, ev })))
-            .expect("merger outlives the shard workers");
+        self.tx.send(ShardMsg::Note(Box::new(Note { at, seq, ev })));
     }
 }
 
@@ -361,6 +393,50 @@ pub(crate) fn merge(
             merger.replay(at, &plan[rank], rank, ev, externals);
         }
     }
+    merger.assemble(plan, states, externals)
+}
+
+/// Merges fully-buffered per-rank note logs — the checkpoint executor's
+/// counterpart of [`merge`], which drains live channels window by
+/// window.
+///
+/// Correctness of the single global sort: the canonical order is
+/// `(time, rank, seq)` applied window-by-window, and windows partition
+/// time (window *w* holds exactly the events in `[w·H, (w+1)·H)`), so
+/// concatenating per-window sorts equals one global sort of everything.
+/// The replay and the final assembly are the *same code* the threaded
+/// merge runs, so the merged result, trace, timeline, and external
+/// observer call sequence are byte-identical.
+pub(crate) fn merge_logs(
+    sc: &Scenario,
+    plan: &[ShardSpec],
+    logs: Vec<Vec<Note>>,
+    results: Vec<(SimResult, bool)>,
+    externals: &mut [&mut dyn SimObserver],
+) -> (SimResult, bool) {
+    let shards = plan.len();
+    let mut merger = Merger {
+        sc,
+        remap: Remapper::new(shards),
+        trace: Vec::new(),
+        timeline: Vec::new(),
+    };
+    let mut all: Vec<(SimTime, usize, u64, BoundaryEvent)> = Vec::new();
+    for (rank, log) in logs.into_iter().enumerate() {
+        all.extend(log.into_iter().map(|n| (n.at, rank, n.seq, n.ev)));
+    }
+    all.sort_unstable_by_key(|a| (a.0, a.1, a.2));
+    for (at, rank, _seq, ev) in all {
+        merger.replay(at, &plan[rank], rank, ev, externals);
+    }
+    let states = results
+        .into_iter()
+        .map(|(result, exhausted)| ShardState {
+            finished: true,
+            exhausted,
+            result: Some(Box::new(result)),
+        })
+        .collect();
     merger.assemble(plan, states, externals)
 }
 

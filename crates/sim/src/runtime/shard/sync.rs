@@ -135,7 +135,7 @@ pub(crate) fn execute(
 
 /// Splits an event budget over `shards` as evenly as possible; an
 /// unlimited budget stays unlimited everywhere.
-fn split_budget(max_events: u64, shards: usize) -> Vec<u64> {
+pub(crate) fn split_budget(max_events: u64, shards: usize) -> Vec<u64> {
     if max_events == u64::MAX {
         return vec![u64::MAX; shards];
     }

@@ -40,6 +40,16 @@ impl MetricsCollector {
     pub(crate) fn into_links(self) -> Vec<LinkMetrics> {
         self.links
     }
+
+    /// The counters accumulated so far (checkpoint capture).
+    pub(crate) fn links(&self) -> &[LinkMetrics] {
+        &self.links
+    }
+
+    /// Overwrites the accumulated counters (checkpoint restore).
+    pub(crate) fn restore_links(&mut self, links: Vec<LinkMetrics>) {
+        self.links = links;
+    }
 }
 
 impl SimObserver for MetricsCollector {
@@ -115,6 +125,11 @@ impl TraceRecorder {
     pub fn into_records(self) -> Vec<TraceRecord> {
         self.records
     }
+
+    /// Overwrites the collected records (checkpoint restore).
+    pub(crate) fn restore_records(&mut self, records: Vec<TraceRecord>) {
+        self.records = records;
+    }
 }
 
 impl SimObserver for TraceRecorder {
@@ -148,6 +163,11 @@ impl TimelineRecorder {
     /// Consumes the recorder, yielding its records.
     pub fn into_records(self) -> Vec<TimelineRecord> {
         self.records
+    }
+
+    /// Overwrites the collected records (checkpoint restore).
+    pub(crate) fn restore_records(&mut self, records: Vec<TimelineRecord>) {
+        self.records = records;
     }
 }
 

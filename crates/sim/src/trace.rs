@@ -8,7 +8,7 @@
 //! fared.
 
 use crate::events::{NodeId, TxId};
-use nomc_json::{Json, ToJson};
+use nomc_json::{Error, FromJson, Json, ToJson};
 use nomc_units::{Dbm, SimTime};
 
 /// One trace entry.
@@ -138,6 +138,96 @@ impl ToJson for TraceKind {
                 "Fault",
                 Json::object([("node", node.to_json()), ("fault", fault.to_json())]),
             )]),
+        }
+    }
+}
+
+impl FromJson for TraceRecord {
+    fn from_json(value: &Json) -> Result<Self, Error> {
+        let obj = value
+            .as_object()
+            .ok_or_else(|| Error::new("expected object for TraceRecord"))?;
+        let at = obj
+            .get("at")
+            .ok_or_else(|| Error::new("missing field `at` in TraceRecord"))?;
+        let kind = obj
+            .get("kind")
+            .ok_or_else(|| Error::new("missing field `kind` in TraceRecord"))?;
+        Ok(TraceRecord {
+            at: SimTime::from_json(at)?,
+            kind: TraceKind::from_json(kind)?,
+        })
+    }
+}
+
+/// Maps a decoded outcome string back onto the engine's static strings,
+/// so round-tripped records compare (and re-serialize) identically.
+fn static_outcome(s: &str) -> Result<&'static str, Error> {
+    match s {
+        "received" => Ok("received"),
+        "crc_failed" => Ok("crc_failed"),
+        "sync_missed" => Ok("sync_missed"),
+        "receiver_busy" => Ok("receiver_busy"),
+        other => Err(Error::new(format!("unknown trace outcome `{other}`"))),
+    }
+}
+
+/// Maps a decoded fault string back onto the engine's static strings.
+fn static_fault(s: &str) -> Result<&'static str, Error> {
+    match s {
+        "down" => Ok("down"),
+        "up" => Ok("up"),
+        "cca_stuck" => Ok("cca_stuck"),
+        "cca_released" => Ok("cca_released"),
+        other => Err(Error::new(format!("unknown trace fault `{other}`"))),
+    }
+}
+
+impl FromJson for TraceKind {
+    fn from_json(value: &Json) -> Result<Self, Error> {
+        let obj = value
+            .as_object()
+            .ok_or_else(|| Error::new("expected object for TraceKind"))?;
+        let (tag, body) = obj
+            .iter()
+            .next()
+            .ok_or_else(|| Error::new("empty TraceKind object"))?;
+        let field = |name: &str| {
+            body.as_object()
+                .and_then(|b| b.get(name))
+                .ok_or_else(|| Error::new(format!("missing field `{name}` in TraceKind::{tag}")))
+        };
+        match tag {
+            "Cca" => Ok(TraceKind::Cca {
+                node: NodeId::from_json(field("node")?)?,
+                sensed_dbm: Dbm::from_json(field("sensed_dbm")?)?,
+                threshold_dbm: Dbm::from_json(field("threshold_dbm")?)?,
+                clear: bool::from_json(field("clear")?)?,
+            }),
+            "TxStart" => Ok(TraceKind::TxStart {
+                node: NodeId::from_json(field("node")?)?,
+                tx: TxId::from_json(field("tx")?)?,
+                seq: u32::from_json(field("seq")?)?,
+                forced: bool::from_json(field("forced")?)?,
+            }),
+            "Outcome" => Ok(TraceKind::Outcome {
+                tx: TxId::from_json(field("tx")?)?,
+                receiver: NodeId::from_json(field("receiver")?)?,
+                outcome: static_outcome(&String::from_json(field("outcome")?)?)?,
+            }),
+            "AckDelivered" => Ok(TraceKind::AckDelivered {
+                tx: TxId::from_json(field("tx")?)?,
+                sender: NodeId::from_json(field("sender")?)?,
+            }),
+            "AckTimedOut" => Ok(TraceKind::AckTimedOut {
+                tx: TxId::from_json(field("tx")?)?,
+                sender: NodeId::from_json(field("sender")?)?,
+            }),
+            "Fault" => Ok(TraceKind::Fault {
+                node: NodeId::from_json(field("node")?)?,
+                fault: static_fault(&String::from_json(field("fault")?)?)?,
+            }),
+            other => Err(Error::new(format!("unknown TraceKind tag `{other}`"))),
         }
     }
 }
