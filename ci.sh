@@ -54,9 +54,38 @@ cargo test -p nomc-integration-tests --test shard_determinism -q --offline
 echo "==> ext_fault_recovery smoke (quick sweep must recover at every duty)"
 cargo run -p nomc-experiments --release --offline --bin fault_recovery -- --quick
 
+echo "==> serve smoke (submit, wait, resubmit hits cache, SIGTERM drains)"
+# Live end-to-end pass over the results server: a job submitted twice
+# must come back byte-identical without re-simulating, and SIGTERM must
+# drain to exit code 0. The SIGKILL chaos path rides in the
+# serve_chaos test suite (cargo test above).
+SERVE_STATE="$(mktemp -d)"
+SERVE_SCENARIO="$SERVE_STATE/scenario.json"
+trap 'kill "$SERVE_PID" 2>/dev/null || true; rm -rf "$SERVE_STATE"' EXIT
+./target/release/nomc generate line "$SERVE_SCENARIO"
+./target/release/nomc serve --state-dir "$SERVE_STATE" --addr 127.0.0.1:0 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  [ -s "$SERVE_STATE/serve.addr" ] && break
+  sleep 0.1
+done
+SERVE_ADDR="$(cat "$SERVE_STATE/serve.addr")"
+./target/release/nomc submit "$SERVE_SCENARIO" --addr "$SERVE_ADDR" \
+  --seeds 1,2 --wait --report "$SERVE_STATE/report_a.json"
+./target/release/nomc submit "$SERVE_SCENARIO" --addr "$SERVE_ADDR" \
+  --seeds 1,2 --wait --report "$SERVE_STATE/report_b.json" \
+  | grep -q '"cached":true' || { echo "resubmit missed the cache"; exit 1; }
+cmp "$SERVE_STATE/report_a.json" "$SERVE_STATE/report_b.json" \
+  || { echo "cached report not byte-identical"; exit 1; }
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" || { echo "SIGTERM drain exited nonzero"; exit 1; }
+trap - EXIT
+rm -rf "$SERVE_STATE"
+
 echo "==> bench smoke (single iteration, no report written)"
 cargo bench -p nomc-bench --bench sim --offline -- --test
 cargo bench -p nomc-bench --bench lint --offline -- --test
+cargo bench -p nomc-bench --bench serve --offline -- --test
 
 echo "==> bench guard (every committed BENCH_*.json within its committed budget)"
 # The committed BENCH_<group>.json files are the perf-trajectory record;

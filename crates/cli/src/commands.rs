@@ -46,14 +46,73 @@ USAGE:
                                          smallest CFD meeting a CPRR target
   nomc assign <scenario.json> [out.json] re-assign channels to minimize
                                          predicted coupled interference
+  nomc serve --state-dir DIR [--addr HOST:PORT] [--max-queue N] [--workers N]
+                                         crash-safe results server: jobs are
+                                         journaled, deduplicated by content,
+                                         shed with 429 past the queue cap, and
+                                         resumed after a kill -9 when restarted
+                                         on the same --state-dir; SIGTERM
+                                         drains gracefully
+  nomc submit <scenario.json> --addr HOST:PORT [--seeds 1,2,3 | --seed-count N]
+              [--budget EVENTS] [--retries N] [--shards N]
+              [--checkpoint-every EVENTS] [--wait] [--report out.json]
+                                         submit a sweep job to `nomc serve`;
+                                         --wait polls until it concludes,
+                                         --report fetches the report bytes
   nomc help                              this text
 ";
 
+/// A command failure, split by exit code: usage errors (a malformed
+/// invocation the caller must fix) exit 2, runtime failures (the
+/// invocation was fine but the work failed) exit 1.
+#[derive(Debug)]
+pub enum CliError {
+    /// The invocation itself is wrong — exit code 2.
+    Usage(String),
+    /// The work failed — exit code 1.
+    Runtime(String),
+}
+
+impl CliError {
+    /// A usage-class error (exit 2).
+    pub fn usage(message: impl Into<String>) -> CliError {
+        CliError::Usage(message.into())
+    }
+
+    /// The process exit code this error maps to.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Runtime(_) => 1,
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(message) | CliError::Runtime(message) => write!(f, "{message}"),
+        }
+    }
+}
+
+impl From<String> for CliError {
+    fn from(message: String) -> CliError {
+        CliError::Runtime(message)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(message: &str) -> CliError {
+        CliError::Runtime(message.to_string())
+    }
+}
+
 /// `nomc generate <template> [out.json]`.
-pub fn generate(args: &[String]) -> Result<(), String> {
-    let template = args
-        .first()
-        .ok_or("generate needs a template name (line|dense|fig5|attacker)")?;
+pub fn generate(args: &[String]) -> Result<(), CliError> {
+    let template = args.first().ok_or_else(|| {
+        CliError::usage("generate needs a template name (line|dense|fig5|attacker)")
+    })?;
     let scenario = template_scenario(template)?;
     let json = nomc_json::to_string_pretty(&scenario);
     match args.get(1) {
@@ -123,8 +182,10 @@ fn template_scenario(template: &str) -> Result<Scenario, String> {
 
 /// `nomc run <scenario.json> [--json out.json] [--trace out.jsonl]
 /// [--faults plan.json] [--shards N]`.
-pub fn run(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or("run needs a scenario file")?;
+pub fn run(args: &[String]) -> Result<(), CliError> {
+    let path = args
+        .first()
+        .ok_or_else(|| CliError::usage("run needs a scenario file"))?;
     let mut scenario = load_scenario(path)?;
     if let Some(plan_path) = flag_value(args, "--faults")? {
         scenario.faults = load_fault_plan(&plan_path)?;
@@ -159,14 +220,18 @@ pub fn run(args: &[String]) -> Result<(), String> {
         sinks.push(t);
     }
     let shards = match parse_flag::<usize>(args, "--shards")? {
-        Some(0) => return Err("--shards must be at least 1".into()),
+        Some(0) => return Err(CliError::usage("--shards must be at least 1")),
         other => other,
     };
     let result = match parse_flag::<u64>(args, "--checkpoint-every")? {
-        Some(0) => return Err("--checkpoint-every must be at least 1 event".into()),
+        Some(0) => {
+            return Err(CliError::usage(
+                "--checkpoint-every must be at least 1 event",
+            ))
+        }
         Some(every) => {
             let dir = flag_value(args, "--snapshot-dir")?
-                .ok_or("--checkpoint-every needs --snapshot-dir <dir>")?;
+                .ok_or_else(|| CliError::usage("--checkpoint-every needs --snapshot-dir <dir>"))?;
             checkpointed_run(
                 &scenario,
                 &mut sinks,
@@ -329,42 +394,54 @@ fn checkpointed_run(
 /// `nomc sweep <scenario.json> [--journal out.jsonl] [--resume]
 /// [--retries N] [--budget EVENTS] [--threads N] [--shards N]
 /// [--seeds 1,2,3 | --seed-count N] [--report out.json]`.
-pub fn sweep(args: &[String]) -> Result<(), String> {
+pub fn sweep(args: &[String]) -> Result<(), CliError> {
     use nomc_experiments::sweep::{self, SweepConfig};
 
-    let path = args.first().ok_or("sweep needs a scenario file")?;
+    let path = args
+        .first()
+        .ok_or_else(|| CliError::usage("sweep needs a scenario file"))?;
     let base = load_scenario(path)?;
     let seeds = sweep_seeds(args)?;
     let mut cfg = SweepConfig::default();
     if let Some(retries) = parse_flag::<u32>(args, "--retries")? {
+        if retries > nomc_serve::MAX_RETRIES {
+            return Err(CliError::usage(format!(
+                "--retries {retries} exceeds the cap of {} (each retry doubles the event budget)",
+                nomc_serve::MAX_RETRIES
+            )));
+        }
         cfg.retries = retries;
     }
     if let Some(budget) = parse_flag::<u64>(args, "--budget")? {
         if budget == 0 {
-            return Err("--budget must be at least 1 event".into());
+            return Err(CliError::usage("--budget must be at least 1 event"));
         }
         cfg.base_budget = budget;
     }
     if let Some(threads) = parse_flag::<usize>(args, "--threads")? {
         if threads == 0 {
-            return Err("--threads must be at least 1".into());
+            return Err(CliError::usage("--threads must be at least 1"));
         }
         cfg.threads = Some(threads);
     }
     if let Some(shards) = parse_flag::<usize>(args, "--shards")? {
         if shards == 0 {
-            return Err("--shards must be at least 1".into());
+            return Err(CliError::usage("--shards must be at least 1"));
         }
         cfg.shards = Some(shards);
     }
     let journal = flag_value(args, "--journal")?;
     let resume = args.iter().any(|a| a == "--resume");
     if resume && journal.is_none() {
-        return Err("--resume needs --journal <path> to resume from".into());
+        return Err(CliError::usage(
+            "--resume needs --journal <path> to resume from",
+        ));
     }
     if let Some(every) = parse_flag::<u64>(args, "--checkpoint-every")? {
         if every == 0 {
-            return Err("--checkpoint-every must be at least 1 event".into());
+            return Err(CliError::usage(
+                "--checkpoint-every must be at least 1 event",
+            ));
         }
         let dir = match flag_value(args, "--snapshot-dir")? {
             Some(d) => std::path::PathBuf::from(d),
@@ -373,9 +450,10 @@ pub fn sweep(args: &[String]) -> Result<(), String> {
             None => match &journal {
                 Some(j) => std::path::PathBuf::from(format!("{j}.snapshots")),
                 None => {
-                    return Err("--checkpoint-every needs --journal (snapshots then live \
-                         beside it) or an explicit --snapshot-dir <dir>"
-                        .into())
+                    return Err(CliError::usage(
+                        "--checkpoint-every needs --journal (snapshots then live \
+                         beside it) or an explicit --snapshot-dir <dir>",
+                    ))
                 }
             },
         };
@@ -422,31 +500,33 @@ pub fn sweep(args: &[String]) -> Result<(), String> {
 
 /// The seed list of a sweep: `--seeds a,b,c` wins, then
 /// `--seed-count N` (seeds `1..=N`), then the default `1..=5`.
-fn sweep_seeds(args: &[String]) -> Result<Vec<u64>, String> {
+fn sweep_seeds(args: &[String]) -> Result<Vec<u64>, CliError> {
     if let Some(list) = flag_value(args, "--seeds")? {
         let seeds: Vec<u64> = list
             .split(',')
             .map(|s| {
                 s.trim()
                     .parse::<u64>()
-                    .map_err(|e| format!("bad seed {s:?} in --seeds: {e}"))
+                    .map_err(|e| CliError::usage(format!("bad seed {s:?} in --seeds: {e}")))
             })
             .collect::<Result<_, _>>()?;
         if seeds.is_empty() {
-            return Err("--seeds needs at least one seed".into());
+            return Err(CliError::usage("--seeds needs at least one seed"));
         }
         return Ok(seeds);
     }
     let count = parse_flag::<u64>(args, "--seed-count")?.unwrap_or(5);
     if count == 0 {
-        return Err("--seed-count must be at least 1".into());
+        return Err(CliError::usage("--seed-count must be at least 1"));
     }
     Ok((1..=count).collect())
 }
 
 /// `nomc inspect <scenario.json>`.
-pub fn inspect(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or("inspect needs a scenario file")?;
+pub fn inspect(args: &[String]) -> Result<(), CliError> {
+    let path = args
+        .first()
+        .ok_or_else(|| CliError::usage("inspect needs a scenario file"))?;
     let scenario = load_scenario(path)?;
     let pl = LogDistance::indoor_2_4ghz();
     println!(
@@ -501,13 +581,15 @@ pub fn inspect(args: &[String]) -> Result<(), String> {
 }
 
 /// `nomc plan [--target-cprr F] [--delta DB] [--sigma DB] [--frame-bits N]`.
-pub fn plan(args: &[String]) -> Result<(), String> {
+pub fn plan(args: &[String]) -> Result<(), CliError> {
     let target: f64 = parse_flag(args, "--target-cprr")?.unwrap_or(0.95);
     let delta: f64 = parse_flag(args, "--delta")?.unwrap_or(0.0);
     let sigma: f64 = parse_flag(args, "--sigma")?.unwrap_or(4.0);
     let frame_bits: u32 = parse_flag(args, "--frame-bits")?.unwrap_or(408);
     if !(0.0 < target && target <= 1.0) {
-        return Err(format!("--target-cprr must be in (0,1], got {target}"));
+        return Err(CliError::usage(format!(
+            "--target-cprr must be in (0,1], got {target}"
+        )));
     }
     let model = CprrModel {
         power_delta: Db::new(delta),
@@ -537,11 +619,13 @@ pub fn plan(args: &[String]) -> Result<(), String> {
 }
 
 /// `nomc assign <scenario.json> [out.json]`.
-pub fn assign(args: &[String]) -> Result<(), String> {
+pub fn assign(args: &[String]) -> Result<(), CliError> {
     use nomc_topology::assignment::{apply_assignment, optimize_assignment};
     use nomc_topology::spectrum::ChannelPlan;
 
-    let path = args.first().ok_or("assign needs a scenario file")?;
+    let path = args
+        .first()
+        .ok_or_else(|| CliError::usage("assign needs a scenario file"))?;
     let mut scenario = load_scenario(path)?;
     let mut freqs: Vec<f64> = scenario
         .deployment
@@ -586,6 +670,212 @@ pub fn assign(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `nomc serve --state-dir DIR [--addr HOST:PORT] [--max-queue N]
+/// [--workers N]`.
+///
+/// Blocks until a drain is requested (SIGTERM/SIGINT), finishes or
+/// requeues in-flight work, and exits 0. Restarting on the same
+/// `--state-dir` resumes every unfinished job and re-serves completed
+/// reports byte-identically.
+pub fn serve(args: &[String]) -> Result<(), CliError> {
+    use nomc_serve::{signals, ServeConfig, Server};
+
+    let state_dir = flag_value(args, "--state-dir")?
+        .ok_or_else(|| CliError::usage("serve needs --state-dir <dir> (its durable state root)"))?;
+    let mut cfg = ServeConfig::new(
+        flag_value(args, "--addr")?.unwrap_or_else(|| "127.0.0.1:0".to_string()),
+        state_dir,
+    );
+    if let Some(max_queue) = parse_flag::<usize>(args, "--max-queue")? {
+        if max_queue == 0 {
+            return Err(CliError::usage(
+                "--max-queue must be at least 1 (a zero-slot queue admits nothing)",
+            ));
+        }
+        cfg.max_queue = max_queue;
+    }
+    if let Some(workers) = parse_flag::<usize>(args, "--workers")? {
+        if workers == 0 {
+            return Err(CliError::usage("--workers must be at least 1"));
+        }
+        cfg.workers = workers;
+    }
+    signals::install_drain_handler();
+    let server = Server::start(cfg).map_err(|e| format!("serve: {e}"))?;
+    eprintln!("nomc serve: listening on {}", server.addr());
+    server.join();
+    eprintln!("nomc serve: drained");
+    Ok(())
+}
+
+/// `nomc submit <scenario.json> --addr HOST:PORT [...]`: the client
+/// side of `nomc serve`.
+pub fn submit(args: &[String]) -> Result<(), CliError> {
+    use nomc_serve::http;
+
+    let path = args
+        .first()
+        .ok_or_else(|| CliError::usage("submit needs a scenario file"))?;
+    let scenario = load_scenario(path)?;
+    let addr = flag_value(args, "--addr")?
+        .ok_or_else(|| CliError::usage("submit needs --addr <host:port> (see serve.addr)"))?;
+    let seeds = sweep_seeds(args)?;
+    let mut spec = nomc_serve::JobSpec {
+        scenario,
+        seeds,
+        budget: 1_000_000_000,
+        retries: 1,
+        shards: None,
+        checkpoint_every: Some(200_000),
+    };
+    if let Some(budget) = parse_flag::<u64>(args, "--budget")? {
+        if budget == 0 {
+            return Err(CliError::usage("--budget must be at least 1 event"));
+        }
+        spec.budget = budget;
+    }
+    if let Some(retries) = parse_flag::<u32>(args, "--retries")? {
+        if retries > nomc_serve::MAX_RETRIES {
+            return Err(CliError::usage(format!(
+                "--retries {retries} exceeds the cap of {} (each retry doubles the event budget)",
+                nomc_serve::MAX_RETRIES
+            )));
+        }
+        spec.retries = retries;
+    }
+    if let Some(shards) = parse_flag::<usize>(args, "--shards")? {
+        if shards == 0 {
+            return Err(CliError::usage("--shards must be at least 1"));
+        }
+        spec.shards = Some(shards);
+    }
+    if let Some(every) = parse_flag::<u64>(args, "--checkpoint-every")? {
+        if every == 0 {
+            return Err(CliError::usage(
+                "--checkpoint-every must be at least 1 event",
+            ));
+        }
+        spec.checkpoint_every = Some(every);
+    }
+    // Client-side validation mirrors the server's admission rules, so a
+    // bad spec fails here with a usage error instead of a 400.
+    spec.validate()
+        .map_err(|e| CliError::usage(format!("rejected job spec: {e}")))?;
+
+    let body = nomc_json::to_string(&spec);
+    let resp = http_request(&addr, http::Method::Post, "/jobs", body.as_bytes())?;
+    let resp_body = String::from_utf8_lossy(&resp.body).into_owned();
+    match resp.status {
+        200 | 202 => {}
+        429 => {
+            let hint = resp
+                .header("retry-after")
+                .map(|s| format!(" (Retry-After: {s}s)"))
+                .unwrap_or_default();
+            return Err(format!("server queue is full{hint}: {resp_body}").into());
+        }
+        other => return Err(format!("submit failed with {other}: {resp_body}").into()),
+    }
+    let job = resp_body
+        .split("\"job\":\"")
+        .nth(1)
+        .and_then(|rest| rest.get(..16))
+        .ok_or_else(|| format!("malformed server ack: {resp_body}"))?
+        .to_string();
+    println!("{resp_body}");
+    eprintln!(
+        "job {job} ({})",
+        if resp.status == 200 {
+            "cached"
+        } else {
+            "queued"
+        }
+    );
+
+    let wait = args.iter().any(|a| a == "--wait");
+    let report_out = flag_value(args, "--report")?;
+    if !(wait || report_out.is_some()) {
+        return Ok(());
+    }
+    // Poll until the job concludes (bounded: the server answers
+    // immediately, so each round is one short exchange).
+    let status_target = format!("/jobs/{job}");
+    let mut concluded = false;
+    for _ in 0..3000 {
+        let status = http_request(&addr, http::Method::Get, &status_target, b"")?;
+        let text = String::from_utf8_lossy(&status.body).into_owned();
+        if status.status != 200 {
+            return Err(format!("status poll failed with {}: {text}", status.status).into());
+        }
+        if text.contains("\"state\":\"failed\"") {
+            return Err(format!("job {job} failed: {text}").into());
+        }
+        if text.contains("\"state\":\"done\"") {
+            concluded = true;
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(200));
+    }
+    if !concluded {
+        return Err(format!("job {job} did not conclude within the polling window").into());
+    }
+    eprintln!("job {job} done");
+    if let Some(out) = report_out {
+        let report = http_request(
+            &addr,
+            http::Method::Get,
+            &format!("/jobs/{job}/report"),
+            b"",
+        )?;
+        if report.status != 200 {
+            return Err(format!(
+                "report fetch failed with {}: {}",
+                report.status,
+                String::from_utf8_lossy(&report.body)
+            )
+            .into());
+        }
+        std::fs::write(&out, &report.body).map_err(|e| format!("cannot write {out}: {e}"))?;
+        eprintln!("wrote {out}");
+    }
+    Ok(())
+}
+
+/// One HTTP exchange against the results server (connect, send, read
+/// to close, parse). All timeouts are bounded; a wedged server is a
+/// typed error, never a hang.
+fn http_request(
+    addr: &str,
+    method: nomc_serve::http::Method,
+    target: &str,
+    body: &[u8],
+) -> Result<nomc_serve::http::ClientResponse, String> {
+    use nomc_serve::http;
+    use std::io::{Read, Write};
+
+    let timeout = std::time::Duration::from_secs(30);
+    let mut stream =
+        std::net::TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(timeout))
+        .and_then(|()| stream.set_write_timeout(Some(timeout)))
+        .map_err(|e| format!("cannot configure socket: {e}"))?;
+    stream
+        .write_all(&http::render_request(method, target, body))
+        .map_err(|e| format!("cannot send request to {addr}: {e}"))?;
+    let mut bytes = Vec::new();
+    stream
+        .read_to_end(&mut bytes)
+        .map_err(|e| format!("cannot read response from {addr}: {e}"))?;
+    match http::parse_response(&bytes).map_err(|e| format!("bad response from {addr}: {e}"))? {
+        http::Parsed::Complete { value, .. } => Ok(value),
+        http::Parsed::Partial => Err(format!(
+            "truncated response from {addr} ({} bytes)",
+            bytes.len()
+        )),
+    }
+}
+
 fn load_scenario(path: &str) -> Result<Scenario, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let scenario: Scenario =
@@ -607,7 +897,7 @@ fn load_fault_plan(path: &str) -> Result<FaultPlan, String> {
 /// The value following `flag`, `Ok(None)` when the flag is absent, and
 /// an error when the flag is present with no value — a trailing
 /// `--journal` must not silently run without journaling.
-fn flag_value(args: &[String], flag: &str) -> Result<Option<String>, String> {
+fn flag_value(args: &[String], flag: &str) -> Result<Option<String>, CliError> {
     let Some(i) = args.iter().position(|a| a == flag) else {
         return Ok(None);
     };
@@ -615,11 +905,11 @@ fn flag_value(args: &[String], flag: &str) -> Result<Option<String>, String> {
         // The next `--flag` is not this flag's value (values such as
         // `--delta -9.1` keep working: one dash, not two).
         Some(v) if !v.starts_with("--") => Ok(Some(v.clone())),
-        _ => Err(format!("{flag} needs a value")),
+        _ => Err(CliError::usage(format!("{flag} needs a value"))),
     }
 }
 
-fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Result<Option<T>, String>
+fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Result<Option<T>, CliError>
 where
     T::Err: std::fmt::Display,
 {
@@ -628,7 +918,7 @@ where
         Some(raw) => raw
             .parse()
             .map(Some)
-            .map_err(|e| format!("bad value for {flag}: {e}")),
+            .map_err(|e| CliError::usage(format!("bad value for {flag}: {e}"))),
     }
 }
 
@@ -712,7 +1002,7 @@ mod tests {
             bad_path.to_str().unwrap().to_string(),
         ])
         .unwrap_err();
-        assert!(err.contains("invalid fault plan"), "{err}");
+        assert!(err.to_string().contains("invalid fault plan"), "{err:?}");
     }
 
     #[test]
@@ -727,7 +1017,7 @@ mod tests {
         let base = path.to_str().unwrap().to_string();
         run(&[base.clone(), "--shards".into(), "2".into()]).unwrap();
         let err = run(&[base, "--shards".into(), "0".into()]).unwrap_err();
-        assert!(err.contains("--shards"), "{err}");
+        assert!(err.to_string().contains("--shards"), "{err:?}");
     }
 
     #[test]
@@ -776,9 +1066,9 @@ mod tests {
         // Flag validation: zero cadence and a missing dir are typed
         // errors, not silent defaults.
         let err = run(&[base.clone(), "--checkpoint-every".into(), "0".into()]).unwrap_err();
-        assert!(err.contains("--checkpoint-every"), "{err}");
+        assert!(err.to_string().contains("--checkpoint-every"), "{err:?}");
         let err = run(&[base, "--checkpoint-every".into(), "5000".into()]).unwrap_err();
-        assert!(err.contains("--snapshot-dir"), "{err}");
+        assert!(err.to_string().contains("--snapshot-dir"), "{err:?}");
     }
 
     #[test]

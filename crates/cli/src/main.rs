@@ -7,14 +7,20 @@
 //!                                       simulate a scenario file
 //! nomc sweep <scenario.json> [--journal j.jsonl] [--resume] [...]
 //!                                       crash-safe journaled multi-seed sweep
+//! nomc serve --state-dir DIR [...]      crash-safe deterministic results server
+//! nomc submit <scenario.json> --addr A  submit a sweep job to a server
 //! nomc inspect <scenario.json>          print the link/interference budget
 //! nomc plan [--target-cprr F] [--delta DB] [--sigma DB]
 //!                                       analytic minimum-CFD planner
 //! nomc assign <scenario.json> [out]     interference-aware channel re-assignment
 //! ```
+//!
+//! Exit codes: 0 success, 1 runtime failure, 2 usage error (malformed
+//! invocation — bad flags, missing arguments, out-of-range values).
 
 mod commands;
 
+use commands::CliError;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -23,6 +29,8 @@ fn main() -> ExitCode {
         Some("generate") => commands::generate(&args[1..]),
         Some("run") => commands::run(&args[1..]),
         Some("sweep") => commands::sweep(&args[1..]),
+        Some("serve") => commands::serve(&args[1..]),
+        Some("submit") => commands::submit(&args[1..]),
         Some("inspect") => commands::inspect(&args[1..]),
         Some("plan") => commands::plan(&args[1..]),
         Some("assign") => commands::assign(&args[1..]),
@@ -30,13 +38,16 @@ fn main() -> ExitCode {
             print!("{}", commands::USAGE);
             Ok(())
         }
-        Some(other) => Err(format!("unknown command `{other}`\n\n{}", commands::USAGE)),
+        Some(other) => Err(CliError::usage(format!(
+            "unknown command `{other}`\n\n{}",
+            commands::USAGE
+        ))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(message) => {
-            eprintln!("nomc: {message}");
-            ExitCode::FAILURE
+        Err(error) => {
+            eprintln!("nomc: {error}");
+            ExitCode::from(error.exit_code())
         }
     }
 }

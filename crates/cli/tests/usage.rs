@@ -1,0 +1,126 @@
+//! Exit-code contract for malformed invocations: every usage-class
+//! error must exit 2 (not 1) and explain itself on stderr, so shell
+//! scripts can distinguish "you called me wrong" from "the work failed".
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn nomc() -> &'static str {
+    env!("CARGO_BIN_EXE_nomc")
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(nomc())
+        .args(args)
+        .output()
+        .expect("nomc binary runs")
+}
+
+fn stderr_text(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// A real scenario file, so the failure under test is the flag — not
+/// an earlier "cannot read scenario" runtime error.
+fn scenario_file(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("nomc-usage").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("test dir creatable");
+    let path = dir.join("scenario.json");
+    let generated = run(&["generate", "line", path.to_str().expect("utf8 path")]);
+    assert!(generated.status.success(), "{}", stderr_text(&generated));
+    path
+}
+
+fn assert_usage_error(args: &[&str], needle: &str) {
+    let out = run(args);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "{args:?} must exit 2, stderr: {}",
+        stderr_text(&out)
+    );
+    let stderr = stderr_text(&out);
+    assert!(stderr.contains(needle), "{args:?} stderr: {stderr}");
+}
+
+#[test]
+fn zero_checkpoint_cadence_is_a_usage_error() {
+    let scenario = scenario_file("ckpt");
+    let scenario = scenario.to_str().expect("utf8 path");
+    assert_usage_error(
+        &[
+            "run",
+            scenario,
+            "--checkpoint-every",
+            "0",
+            "--snapshot-dir",
+            "/tmp/x",
+        ],
+        "--checkpoint-every",
+    );
+    assert_usage_error(
+        &["sweep", scenario, "--seeds", "1", "--checkpoint-every", "0"],
+        "--checkpoint-every",
+    );
+}
+
+#[test]
+fn zero_shards_is_a_usage_error() {
+    let scenario = scenario_file("shards");
+    let scenario = scenario.to_str().expect("utf8 path");
+    assert_usage_error(&["run", scenario, "--shards", "0"], "--shards");
+    assert_usage_error(
+        &["sweep", scenario, "--seeds", "1", "--shards", "0"],
+        "--shards",
+    );
+}
+
+#[test]
+fn retry_cap_is_a_usage_error() {
+    let scenario = scenario_file("retries");
+    let scenario = scenario.to_str().expect("utf8 path");
+    assert_usage_error(
+        &["sweep", scenario, "--seeds", "1", "--retries", "17"],
+        "exceeds the cap",
+    );
+    assert_usage_error(
+        &[
+            "submit",
+            scenario,
+            "--addr",
+            "127.0.0.1:1",
+            "--seeds",
+            "1",
+            "--retries",
+            "17",
+        ],
+        "exceeds the cap",
+    );
+}
+
+#[test]
+fn serve_flag_validation_is_a_usage_error() {
+    assert_usage_error(&["serve"], "--state-dir");
+    assert_usage_error(
+        &["serve", "--state-dir", "/tmp/x", "--max-queue", "0"],
+        "--max-queue",
+    );
+    assert_usage_error(
+        &["serve", "--state-dir", "/tmp/x", "--workers", "0"],
+        "--workers",
+    );
+}
+
+#[test]
+fn unknown_command_is_a_usage_error() {
+    assert_usage_error(&["frobnicate"], "unknown command");
+}
+
+#[test]
+fn runtime_failures_still_exit_1() {
+    // A well-formed invocation whose work fails (missing file) must
+    // stay on exit code 1 so scripts can tell the classes apart.
+    let out = run(&["run", "/nonexistent/scenario.json"]);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr_text(&out));
+}

@@ -15,7 +15,7 @@
 //! reproducible as a completed one.
 
 use crate::ExpConfig;
-use nomc_sim::{engine, Scenario, SimResult};
+use nomc_sim::{engine, Scenario, SimObserver, SimResult};
 
 /// Mean and (population) standard deviation of a sample.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -141,24 +141,33 @@ pub fn run_outcomes(scenarios: &[Scenario], max_events: u64) -> Vec<RunOutcome> 
     crate::sweep::scheduler::run_indexed(
         scenarios.len(),
         crate::sweep::scheduler::default_threads(),
-        |i| run_isolated(&scenarios[i], max_events, None),
+        |i| run_isolated(&scenarios[i], max_events, None, &mut []),
     )
 }
 
 /// One member: budgeted, with the panic boundary right around the
 /// engine call. `AssertUnwindSafe` is sound here because nothing
 /// crosses the boundary on the panic path — the scenario is borrowed
-/// immutably and the engine's state dies with the unwind.
+/// immutably, the engine's state dies with the unwind, and observers
+/// are write-only sinks whose partial output is discarded with the
+/// failed attempt.
 ///
 /// With `shards: Some(n)` the member runs through the sharded engine on
 /// `n` worker threads ([`engine::run_sharded_bounded`]); `None` keeps
-/// the legacy serial [`engine::run_bounded`].
+/// the legacy serial [`engine::run_bounded`]. `observers` stream the
+/// attempt's progress (batch paths pass `&mut []`; the results server
+/// feeds its per-job event channel through here).
 ///
 /// Also the attempt primitive of [`crate::sweep`]'s retry loop.
-pub(crate) fn run_isolated(sc: &Scenario, max_events: u64, shards: Option<usize>) -> RunOutcome {
+pub(crate) fn run_isolated(
+    sc: &Scenario,
+    max_events: u64,
+    shards: Option<usize>,
+    observers: &mut [&mut dyn SimObserver],
+) -> RunOutcome {
     let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match shards {
-        Some(threads) => engine::run_sharded_bounded(sc, &mut [], max_events, threads),
-        None => engine::run_bounded(sc, &mut [], max_events),
+        Some(threads) => engine::run_sharded_bounded(sc, observers, max_events, threads),
+        None => engine::run_bounded(sc, observers, max_events),
     }));
     match run {
         Ok(bounded) if bounded.exhausted => RunOutcome::TimedOut {

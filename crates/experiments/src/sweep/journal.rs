@@ -75,8 +75,21 @@ impl Replay {
 /// [`SweepError::StaleJournal`] when the header's sweep hash or member
 /// count disagrees with this sweep (the scenarios, seeds or budget were
 /// edited since the journal was written). Member-line corruption never
-/// errors — it quarantines (see [`Replay::quarantined`]).
+/// errors — it quarantines (see [`Replay::quarantined`]). An unparsable
+/// *final* line in a file that does not end with a newline quarantines
+/// as [`SweepError::TrailingGarbage`] (the expected torn tail of a
+/// killed write) rather than [`SweepError::CorruptLine`] (mid-file
+/// corruption), so restart paths can tell the two apart.
 pub fn parse(text: &str, sweep_hash: u64, member_hashes: &[u64]) -> Result<Replay, SweepError> {
+    // A file ending without '\n' was cut off mid-record: its last line
+    // is a torn tail, not corruption. Only relevant when that last line
+    // also fails to parse — a structurally valid final record (even an
+    // untrustworthy one) was written whole.
+    let torn_tail = (!text.ends_with('\n')).then(|| {
+        let offset = text.rfind('\n').map(|i| i + 1).unwrap_or(0);
+        let line = text.lines().count();
+        (line, offset)
+    });
     let mut lines = text.lines().enumerate();
     let header: Header = match lines.next() {
         Some((_, first)) => nomc_json::from_str(first).map_err(|e| SweepError::BadHeader {
@@ -117,9 +130,14 @@ pub fn parse(text: &str, sweep_hash: u64, member_hashes: &[u64]) -> Result<Repla
         let entry: MemberReport = match nomc_json::from_str(raw) {
             Ok(e) => e,
             Err(e) => {
-                replay.quarantined.push(SweepError::CorruptLine {
-                    line,
-                    reason: e.to_string(),
+                replay.quarantined.push(match torn_tail {
+                    Some((torn_line, offset)) if torn_line == line => {
+                        SweepError::TrailingGarbage { offset }
+                    }
+                    _ => SweepError::CorruptLine {
+                        line,
+                        reason: e.to_string(),
+                    },
                 });
                 continue;
             }
@@ -218,8 +236,10 @@ pub fn persist(
 ///
 /// [`SweepError::Io`] on any filesystem failure (the replacement is then
 /// not guaranteed durable, but the previous file is still intact —
-/// rename either happened completely or not at all).
-pub(crate) fn write_atomic(path: &Path, text: &str) -> Result<(), SweepError> {
+/// rename either happened completely or not at all). Public so other
+/// durable state (the results server's job specs and reports) shares
+/// the exact same crash discipline instead of reinventing it.
+pub fn write_atomic(path: &Path, text: &str) -> Result<(), SweepError> {
     let tmp = tmp_path(path);
     let io_err = |p: &Path, e: std::io::Error| SweepError::Io {
         path: p.display().to_string(),
@@ -418,6 +438,52 @@ mod tests {
         assert!(matches!(
             replay.quarantined[2],
             SweepError::CorruptLine { .. }
+        ));
+    }
+
+    #[test]
+    fn torn_final_line_without_newline_is_trailing_garbage() {
+        let full = full_text();
+        // Cut the file mid-way through the last record (no newline).
+        let cut = full.len() - 17;
+        let torn = &full[..cut];
+        let offset = torn.rfind('\n').unwrap() + 1;
+        let replay = parse(torn, 777, &hashes()).expect("header is fine");
+        assert_eq!(replay.recovered(), 3, "whole records all survive");
+        assert!(replay.members[3].is_none(), "torn member reruns");
+        assert_eq!(
+            replay.quarantined,
+            vec![SweepError::TrailingGarbage { offset }]
+        );
+    }
+
+    #[test]
+    fn unparsable_last_line_with_newline_stays_corrupt() {
+        // The same broken bytes *followed by a newline* were written
+        // whole — that is corruption, not a torn tail.
+        let mut text = full_text();
+        text.push_str("{\"member\": broken");
+        text.push('\n');
+        let replay = parse(&text, 777, &hashes()).expect("header is fine");
+        assert_eq!(replay.recovered(), 4);
+        assert!(matches!(
+            replay.quarantined[..],
+            [SweepError::CorruptLine { line: 6, .. }]
+        ));
+    }
+
+    #[test]
+    fn torn_mid_file_line_is_still_corrupt_not_trailing() {
+        // An unparsable line that is *not* the file's last cannot be a
+        // torn tail (whole-file atomic replace never tears mid-file).
+        let mut lines: Vec<String> = full_text().lines().map(str::to_string).collect();
+        lines[2] = lines[2][..lines[2].len() - 5].to_string();
+        let mut text = lines.join("\n");
+        text.push('\n');
+        let replay = parse(&text, 777, &hashes()).expect("header is fine");
+        assert!(matches!(
+            replay.quarantined[..],
+            [SweepError::CorruptLine { line: 3, .. }]
         ));
     }
 

@@ -59,7 +59,7 @@ pub use report::{
 };
 
 use crate::runner::{run_isolated, RunOutcome};
-use nomc_sim::Scenario;
+use nomc_sim::{Scenario, SimObserver};
 use std::path::Path;
 use std::sync::Mutex;
 
@@ -116,6 +116,15 @@ pub enum SweepError {
         /// The member both lines name.
         member: usize,
     },
+    /// The journal's final line is a partial record and the file does
+    /// not end with a newline: the classic torn tail of a write that
+    /// was killed mid-flight. Distinguished from [`SweepError::CorruptLine`]
+    /// so restart paths can drop it silently (expected after SIGKILL)
+    /// instead of warning about mid-file corruption.
+    TrailingGarbage {
+        /// Byte offset where the torn final line starts.
+        offset: usize,
+    },
     /// Too few members completed to reduce to a statistic.
     TooFewSamples {
         /// Members whose final attempt completed.
@@ -159,6 +168,10 @@ impl std::fmt::Display for SweepError {
                     "journal line {line}: duplicate entry for member {member}"
                 )
             }
+            SweepError::TrailingGarbage { offset } => write!(
+                f,
+                "journal ends mid-record at byte {offset} (torn final write); partial line dropped"
+            ),
             SweepError::TooFewSamples { completed, members } => write!(
                 f,
                 "only {completed} of {members} members completed; refusing to reduce fewer \
@@ -289,7 +302,7 @@ pub fn run_sweep(
         let member_hash = *member_hashes
             .get(index)
             .expect("one hash per member by construction");
-        let report = run_member(scenario, index, member_hash, cfg);
+        let report = run_member(scenario, index, member_hash, cfg, &mut []);
         // Checkpoint before the member is considered done: insert the
         // report, then atomically replace the journal. Serialized by
         // the mutex; only the first persist failure is kept (later
@@ -337,6 +350,31 @@ pub fn run_sweep(
     })
 }
 
+/// Runs (or resumes) a single sweep member under the full attempt
+/// supervisor — retry ladder, panic isolation, and mid-member
+/// checkpoint supervision when [`SweepConfig::checkpoint_every`] /
+/// [`SweepConfig::snapshot_dir`] are set — streaming progress to
+/// `observers`.
+///
+/// This is the one-member entry point for job-level supervisors (the
+/// results server) that own their *own* journal and drive members
+/// individually instead of through [`run_sweep`]'s scheduler. The
+/// member hash is computed exactly as [`run_sweep`] computes it, so a
+/// checkpoint written under `run_sweep` resumes here and vice versa,
+/// and the returned [`MemberReport`] is byte-identically serializable
+/// either way. Observers are write-only sinks and cannot perturb the
+/// run (the engine's observer contract), so attaching a progress
+/// channel keeps the report bit-identical to an unobserved run.
+pub fn run_one_member(
+    scenario: &Scenario,
+    index: usize,
+    cfg: &SweepConfig,
+    observers: &mut [&mut dyn SimObserver],
+) -> MemberReport {
+    let member_hash = hash::member_hash_with(scenario, cfg.base_budget, cfg.shards.is_some());
+    run_member(scenario, index, member_hash, cfg, observers)
+}
+
 /// Runs one member's attempt loop: first attempt at the base budget,
 /// then — for `Failed`/`TimedOut` outcomes — up to `retries` more with
 /// a doubling event budget, recording every attempt.
@@ -354,6 +392,7 @@ fn run_member(
     index: usize,
     member_hash: u64,
     cfg: &SweepConfig,
+    observers: &mut [&mut dyn SimObserver],
 ) -> MemberReport {
     let supervision = match (&cfg.snapshot_dir, cfg.checkpoint_every) {
         (Some(dir), Some(every)) if every > 0 => Some((dir.as_path(), every)),
@@ -371,8 +410,9 @@ fn run_member(
                 every,
                 member_hash,
                 attempt,
+                observers,
             ),
-            None => run_isolated(scenario, budget, cfg.shards),
+            None => run_isolated(scenario, budget, cfg.shards, observers),
         };
         let (outcome, done) = match run {
             RunOutcome::Ok(result) => (AttemptOutcome::Ok(MemberMetrics::of(&result)), true),
@@ -399,6 +439,7 @@ fn run_member(
 
 /// One checkpoint-supervised attempt: panic-isolated like
 /// [`run_isolated`], but run as a chain of pause/snapshot/resume legs.
+#[allow(clippy::too_many_arguments)]
 fn run_checkpointed(
     scenario: &Scenario,
     budget: u64,
@@ -407,9 +448,19 @@ fn run_checkpointed(
     every: u64,
     member_hash: u64,
     attempt: u32,
+    observers: &mut [&mut dyn SimObserver],
 ) -> RunOutcome {
     let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        checkpointed_legs(scenario, budget, shards, dir, every, member_hash, attempt)
+        checkpointed_legs(
+            scenario,
+            budget,
+            shards,
+            dir,
+            every,
+            member_hash,
+            attempt,
+            observers,
+        )
     }));
     match run {
         Ok(outcome) => outcome,
@@ -427,6 +478,7 @@ fn run_checkpointed(
 /// defect — typed errors all the way down, never a panic), then
 /// alternate run-to-pause with atomic snapshot writes until the engine
 /// finishes or exhausts its budget.
+#[allow(clippy::too_many_arguments)]
 fn checkpointed_legs(
     scenario: &Scenario,
     budget: u64,
@@ -435,6 +487,7 @@ fn checkpointed_legs(
     every: u64,
     member_hash: u64,
     attempt: u32,
+    observers: &mut [&mut dyn SimObserver],
 ) -> RunOutcome {
     use nomc_sim::engine;
 
@@ -466,7 +519,7 @@ fn checkpointed_legs(
                     // under the doubled budget).
                     snap.set_budget(budget);
                     let target = rec.events_done.saturating_add(every);
-                    match engine::resume_bounded(scenario, snap, &mut [], target) {
+                    match engine::resume_bounded(scenario, snap, observers, target) {
                         Ok(progress) => resumed = Some((target, progress)),
                         Err(_) => checkpoint::discard(dir, member_hash),
                     }
@@ -481,8 +534,8 @@ fn checkpointed_legs(
         None => {
             let target = every;
             let progress = match shards {
-                Some(_) => engine::run_sharded_until(scenario, &mut [], budget, target),
-                None => engine::run_until(scenario, &mut [], budget, target),
+                Some(_) => engine::run_sharded_until(scenario, observers, budget, target),
+                None => engine::run_until(scenario, observers, budget, target),
             };
             (target, progress)
         }
@@ -497,7 +550,7 @@ fn checkpointed_legs(
                 // checkpoint to fall back on after a crash.
                 let _ = checkpoint::save(dir, member_hash, attempt, target, &payload);
                 target = target.saturating_add(every);
-                match engine::resume_bounded(scenario, *snap, &mut [], target) {
+                match engine::resume_bounded(scenario, *snap, observers, target) {
                     Ok(next) => progress = next,
                     // Unreachable in practice (the snapshot came from
                     // this very scenario moments ago), but a typed

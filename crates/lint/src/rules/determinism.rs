@@ -1,7 +1,9 @@
 //! Rule `determinism`: the report-path crates (`sim`, `mac`, `core`,
-//! `experiments`) must stay bit-reproducible for a given scenario +
-//! seed — that is what makes the Fig. 4 byte-identical metrics-JSON
-//! regression meaningful. Three leak classes are banned there:
+//! `experiments`, and the results server `serve`, whose cache dedup
+//! and crash recovery both assume byte-identical reports) must stay
+//! bit-reproducible for a given scenario + seed — that is what makes
+//! the Fig. 4 byte-identical metrics-JSON regression meaningful.
+//! Three leak classes are banned there:
 //!
 //! 1. hash-order containers (`HashMap`/`HashSet`/`RandomState`), whose
 //!    iteration order is randomized per process;
@@ -22,6 +24,7 @@ const SCOPES: &[&str] = &[
     "crates/mac/src/",
     "crates/core/src/",
     "crates/experiments/src/",
+    "crates/serve/src/",
 ];
 
 const BANNED: &[(&str, &str)] = &[
@@ -140,6 +143,22 @@ mod tests {
             "crates/sim/src/runtime/shard/sync.rs",
         ] {
             let d = lint(path, "use std::collections::HashMap;\n");
+            assert_eq!(d.len(), 1, "{path} must be checked");
+        }
+    }
+
+    #[test]
+    fn serve_sources_are_in_scope() {
+        // The results server deduplicates jobs by report bytes and
+        // re-serves cached reports byte-identically, so the same
+        // determinism bans apply: a wall-clock read anywhere outside
+        // its accounted deadline module is a bug.
+        for path in [
+            "crates/serve/src/server.rs",
+            "crates/serve/src/jobs.rs",
+            "crates/serve/src/deadline.rs",
+        ] {
+            let d = lint(path, "let t = Instant::now();\n");
             assert_eq!(d.len(), 1, "{path} must be checked");
         }
     }

@@ -14,9 +14,12 @@
 //! worker can ship, and the snapshot codec
 //! `sim/src/runtime/snapshot.rs`, whose `Event` wire serialization must
 //! name every variant or a new event kind silently vanishes from
-//! checkpoints), and only `match`es whose arms mention an event/fault
-//! enum (an `…Event::`/`…Fault…::` path) — matches over line counts or
-//! channel indices in the same files are untouched.
+//! checkpoints, plus the results server's job lifecycle
+//! `serve/src/jobs.rs`, whose `JobEvent` transition table must
+//! enumerate every state/event pair or a new lifecycle event silently
+//! becomes a no-op), and only `match`es whose arms mention an
+//! event/fault enum (an `…Event::`/`…Fault…::` path) — matches over
+//! line counts or channel indices in the same files are untouched.
 
 use crate::diag::Diagnostic;
 use crate::parser::{Items, MatchExpr};
@@ -29,6 +32,7 @@ const FILES: &[&str] = &[
     "crates/sim/src/runtime/faults.rs",
     "crates/sim/src/runtime/shard/merge.rs",
     "crates/sim/src/runtime/snapshot.rs",
+    "crates/serve/src/jobs.rs",
 ];
 
 pub fn in_scope(rel_path: &str) -> bool {
@@ -145,6 +149,17 @@ mod tests {
         // vanish from checkpoints instead of failing the build.
         let src = "fn encode(ev: Event) -> Json {\n    match ev {\n        Event::TxStart(n) => tag(n),\n        _ => Json::Null,\n    }\n}\n";
         let d = lint("crates/sim/src/runtime/snapshot.rs", src);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("catch-all"));
+    }
+
+    #[test]
+    fn serve_job_lifecycle_wildcard_is_flagged() {
+        // The results server's job state machine matches on
+        // (JobState, JobEvent) pairs; a wildcard arm would let a newly
+        // added lifecycle event silently become a no-op transition.
+        let src = "fn apply(s: &JobState, ev: &JobEvent) {\n    match (s, ev) {\n        (JobState::Queued, JobEvent::Start { total }) => run(total),\n        _ => {}\n    }\n}\n";
+        let d = lint("crates/serve/src/jobs.rs", src);
         assert_eq!(d.len(), 1);
         assert!(d[0].message.contains("catch-all"));
     }

@@ -29,9 +29,15 @@ pub const RULE: &str = "panic-hygiene";
 /// runtime decomposition made "the hot path" the whole sim crate, and
 /// the sweep supervisor is the crash-recovery machinery itself: a
 /// panic while journaling loses exactly the durability the journal
-/// exists to provide. Prefixes keep newly added modules covered
-/// automatically.
-const HOT_PATH_PREFIXES: &[&str] = &["crates/sim/src/", "crates/experiments/src/sweep/"];
+/// exists to provide. The results server is held to the same bar: a
+/// panic in a connection handler or worker turns hostile input into a
+/// denial of service, which is the attack its total parser exists to
+/// survive. Prefixes keep newly added modules covered automatically.
+const HOT_PATH_PREFIXES: &[&str] = &[
+    "crates/sim/src/",
+    "crates/experiments/src/sweep/",
+    "crates/serve/src/",
+];
 
 /// Integration-style test modules inside in-scope prefixes (whole
 /// files that exist only for `#[cfg(test)]`).
@@ -223,6 +229,23 @@ mod tests {
             let mut out = Vec::new();
             check(path, &sf, &mut out);
             assert_eq!(out.len(), 1, "{path} must be checked");
+        }
+    }
+
+    #[test]
+    fn serve_modules_are_in_scope() {
+        // The results server faces hostile sockets: a panic in any of
+        // its modules converts malformed input into a crash, so the
+        // whole crate is covered by prefix, future modules included.
+        for path in [
+            "crates/serve/src/http.rs",
+            "crates/serve/src/server.rs",
+            "crates/serve/src/some_future_module.rs",
+        ] {
+            let sf = SourceFile::parse("fn f(xs: &[u8]) { xs[0].check().unwrap(); }\n");
+            let mut out = Vec::new();
+            check(path, &sf, &mut out);
+            assert_eq!(out.len(), 2, "{path} must be checked");
         }
     }
 

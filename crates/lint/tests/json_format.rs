@@ -47,8 +47,10 @@ fn json_report_matches_golden() {
 }
 
 /// The committed workspace inventory must encode the target state:
-/// zero diagnostics, zero allow escapes. CI regenerates the live
-/// report and diffs it against this file byte-for-byte.
+/// zero diagnostics, and exactly one accounted allow — the results
+/// server's deadline module, the single place wall-clock time may be
+/// read (socket I/O budgets are real time by nature). Any other allow
+/// is scope creep and must fail here, not just in the CI diff.
 #[test]
 fn committed_workspace_inventory_is_empty() {
     let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("allows_golden.json");
@@ -63,8 +65,18 @@ fn committed_workspace_inventory_is_empty() {
         .and_then(nomc_json::Json::as_array)
         .expect("allows array");
     assert!(diags.is_empty(), "committed inventory records diagnostics");
-    assert!(
-        allows.is_empty(),
-        "committed inventory records allow escapes"
+    let described: Vec<(Option<&str>, Option<&str>)> = allows
+        .iter()
+        .map(|a| {
+            (
+                a.get("file").and_then(nomc_json::Json::as_str),
+                a.get("rule").and_then(nomc_json::Json::as_str),
+            )
+        })
+        .collect();
+    assert_eq!(
+        described,
+        vec![(Some("crates/serve/src/deadline.rs"), Some("determinism"))],
+        "the only accounted allow is the serve deadline module's wall clock"
     );
 }

@@ -1,0 +1,161 @@
+//! The wall-clock edge: per-connection read/write deadlines.
+//!
+//! This is the **only** module in the workspace's report path allowed
+//! to read the wall clock, and the only place `nomc-serve` does: socket
+//! I/O against real clients genuinely happens in real time (a slowloris
+//! peer is defined by wall-clock behavior), while everything behind the
+//! I/O edge — simulation, retries, budgets, checkpoints — stays in
+//! deterministic event time. The determinism lint enforces the boundary:
+//! `crates/serve/src/` is in its scope, and the single aliased import
+//! below carries the one accounted allow (inventoried in
+//! `crates/lint/allows_golden.json`; see DESIGN.md §15).
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+use std::time::Instant as WallClock; // nomc-lint: allow(determinism)
+
+/// A TCP stream whose every read and write is bounded by a rolling
+/// deadline.
+///
+/// The deadline covers the whole current exchange (request read +
+/// response write), so a peer trickling one byte per poll — or never
+/// reading its response — is disconnected when the budget expires, not
+/// when the OS gives up. Long-lived streams (the `/events` feed) call
+/// [`DeadlineStream::renew`] before each write: the deadline then
+/// bounds per-write progress instead of total connection lifetime.
+pub struct DeadlineStream {
+    stream: TcpStream,
+    deadline: WallClock,
+    budget: Duration,
+}
+
+/// The typed timeout error every expired deadline maps to.
+fn timeout_error() -> io::Error {
+    io::Error::new(
+        io::ErrorKind::TimedOut,
+        "per-connection I/O deadline expired",
+    )
+}
+
+/// Whether an I/O error is the platform's read/write-timeout signal
+/// (`WouldBlock` on Unix sockets with `SO_RCVTIMEO`, `TimedOut`
+/// elsewhere).
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+impl DeadlineStream {
+    /// Wraps `stream` with `budget` of wall time for the exchange.
+    ///
+    /// # Errors
+    ///
+    /// An [`io::Error`] when the deadline cannot be represented.
+    pub fn new(stream: TcpStream, budget: Duration) -> io::Result<DeadlineStream> {
+        let deadline = WallClock::now()
+            .checked_add(budget)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "deadline overflow"))?;
+        Ok(DeadlineStream {
+            stream,
+            deadline,
+            budget,
+        })
+    }
+
+    /// Restarts the deadline window (the `/events` feed renews before
+    /// each write so streaming a long job is bounded per write, not in
+    /// total).
+    pub fn renew(&mut self) {
+        if let Some(deadline) = WallClock::now().checked_add(self.budget) {
+            self.deadline = deadline;
+        }
+    }
+
+    /// Wall time left before the deadline.
+    ///
+    /// # Errors
+    ///
+    /// The typed timeout error when the deadline has already expired.
+    fn remaining(&self) -> io::Result<Duration> {
+        let left = self.deadline.saturating_duration_since(WallClock::now());
+        if left.is_zero() {
+            return Err(timeout_error());
+        }
+        Ok(left)
+    }
+
+    /// Reads some bytes into `buf` (0 = clean EOF), waiting at most the
+    /// remaining deadline.
+    ///
+    /// # Errors
+    ///
+    /// The typed timeout error on deadline expiry, or the underlying
+    /// socket error.
+    pub fn read_some(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        loop {
+            let left = self.remaining()?;
+            self.stream.set_read_timeout(Some(left))?;
+            match self.stream.read(buf) {
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) if is_timeout(&e) => return Err(timeout_error()),
+                other => return other,
+            }
+        }
+    }
+
+    /// Writes all of `bytes`, waiting at most the remaining deadline
+    /// across however many partial writes the socket takes.
+    ///
+    /// # Errors
+    ///
+    /// The typed timeout error on deadline expiry, `WriteZero` when the
+    /// peer closed mid-response, or the underlying socket error.
+    pub fn write_all(&mut self, bytes: &[u8]) -> io::Result<()> {
+        let mut rest = bytes;
+        while !rest.is_empty() {
+            let left = self.remaining()?;
+            self.stream.set_write_timeout(Some(left))?;
+            match self.stream.write(rest) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "peer closed mid-response",
+                    ))
+                }
+                Ok(n) => rest = rest.get(n..).unwrap_or_default(),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) if is_timeout(&e) => return Err(timeout_error()),
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn silent_peer_times_out_instead_of_hanging() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        // The peer connects and says nothing.
+        let _peer = TcpStream::connect(addr).unwrap();
+        let (accepted, _) = listener.accept().unwrap();
+        let mut conn = DeadlineStream::new(accepted, Duration::from_millis(60)).unwrap();
+        let mut buf = [0u8; 16];
+        let err = conn.read_some(&mut buf).expect_err("must time out");
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        // Once expired, every further call fails fast.
+        let err = conn.read_some(&mut buf).expect_err("stays expired");
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        // Until the window is renewed.
+        conn.renew();
+        assert!(conn.write_all(b"ok").is_ok());
+    }
+}
